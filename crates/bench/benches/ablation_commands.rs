@@ -1,0 +1,42 @@
+//! Complex-vs-simple command ablation as a Criterion benchmark: host cost
+//! of resolving one fault through a one-command `LRU` policy vs the
+//! all-simple-commands Clock policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_core::HipecKernel;
+use hipec_policies::PolicyKind;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn faulting_kernel(kind: PolicyKind) -> (HipecKernel, hipec_vm::TaskId, hipec_vm::VAddr) {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 256;
+    params.wired_frames = 8;
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (base, _o, _c) = k
+        .vm_allocate_hipec(task, 4 * PAGE_SIZE, kind.program(), 2)
+        .expect("install");
+    (k, task, base)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_commands");
+    group.sample_size(30);
+
+    for kind in [PolicyKind::Lru, PolicyKind::Clock] {
+        let (mut k, task, base) = faulting_kernel(kind);
+        let mut i = 0u64;
+        group.bench_function(format!("fault_via_{}", kind.name()), |b| {
+            b.iter(|| {
+                // Cycle 4 pages through a 2-frame pool: every access faults.
+                i = (i + 1) % 4;
+                k.access(task, VAddr(base.0 + i * PAGE_SIZE), false)
+                    .expect("fault")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

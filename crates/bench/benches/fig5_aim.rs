@@ -1,0 +1,41 @@
+//! Figure 5 as a Criterion benchmark: one short AIM run per kernel, at
+//! 4 users (near the paper's knee). Tracks the host cost of the multiuser
+//! simulation; the `fig5` binary prints the actual throughput curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_core::HipecKernel;
+use hipec_sim::SimDuration;
+use hipec_vm::{Kernel, KernelParams};
+use hipec_workloads::aim::{run, AimConfig};
+
+fn quick_cfg() -> AimConfig {
+    AimConfig {
+        users: 4,
+        duration: SimDuration::from_secs(5),
+        mem_pages: 300,
+        mem_region_pages: 400,
+        ..AimConfig::default()
+    }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(15);
+
+    group.bench_function("aim_4users_mach", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(KernelParams::paper_64mb());
+            run(&mut k, &quick_cfg()).expect("run")
+        })
+    });
+    group.bench_function("aim_4users_hipec", |b| {
+        b.iter(|| {
+            let mut k = HipecKernel::new(KernelParams::paper_64mb());
+            run(&mut k, &quick_cfg()).expect("run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

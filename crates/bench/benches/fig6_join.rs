@@ -1,0 +1,31 @@
+//! Figure 6 as a Criterion benchmark: a scaled-down join (6 MB outer,
+//! 4 MB memory, 8 scans) under LRU vs MRU. The `fig6` binary runs the
+//! paper-scale sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_policies::PolicyKind;
+use hipec_workloads::join::{run, JoinConfig};
+
+fn small_cfg() -> JoinConfig {
+    const MB: u64 = 1024 * 1024;
+    let mut cfg = JoinConfig::paper(6 * MB);
+    cfg.memory_bytes = 4 * MB;
+    cfg.inner_bytes = 512; // 8 scans
+    cfg
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+
+    group.bench_function("join_lru_6mb", |b| {
+        b.iter(|| run(&small_cfg(), PolicyKind::Lru.program()).expect("join"))
+    });
+    group.bench_function("join_mru_6mb", |b| {
+        b.iter(|| run(&small_cfg(), PolicyKind::Mru.program()).expect("join"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 3 as a Criterion benchmark: the 40 MB fault sweep at reduced
+//! scale (4 MB) so the comparison runs in milliseconds of host time. The
+//! reported virtual-time ratio is what the table states; this benchmark
+//! tracks the host cost of simulating each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_policies::PolicyKind;
+use hipec_vm::KernelParams;
+use hipec_workloads::fault_sweep;
+
+fn bench_table3(c: &mut Criterion) {
+    const MB: u64 = 1024 * 1024;
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(20);
+
+    group.bench_function("mach_sweep_no_io", |b| {
+        b.iter(|| fault_sweep::run_mach(KernelParams::paper_64mb(), 4 * MB, false))
+    });
+    group.bench_function("hipec_sweep_no_io", |b| {
+        b.iter(|| {
+            fault_sweep::run_hipec(
+                KernelParams::paper_64mb(),
+                4 * MB,
+                false,
+                PolicyKind::FifoSecondChance.program(),
+            )
+        })
+    });
+    group.bench_function("mach_sweep_with_io", |b| {
+        b.iter(|| fault_sweep::run_mach(KernelParams::paper_64mb(), 4 * MB, true))
+    });
+    group.bench_function("hipec_sweep_with_io", |b| {
+        b.iter(|| {
+            fault_sweep::run_hipec(
+                KernelParams::paper_64mb(),
+                4 * MB,
+                true,
+                PolicyKind::FifoSecondChance.program(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 4's primitives as real measurements: one simulated fault through
+//! each dispatch path, timed on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_core::HipecKernel;
+use hipec_policies::PolicyKind;
+use hipec_vm::{Kernel, KernelParams, VAddr, PAGE_SIZE};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(30);
+
+    // Resident access on the plain kernel (the baseline "nothing happens").
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 256;
+    params.wired_frames = 8;
+    let mut mach = Kernel::new(params.clone());
+    let t = mach.create_task();
+    let (addr, _) = mach.vm_allocate(t, PAGE_SIZE).expect("allocate");
+    mach.access(t, addr, false).expect("warm");
+    group.bench_function("mach_resident_access", |b| {
+        b.iter(|| mach.access(t, addr, false).expect("hit"))
+    });
+
+    // A HiPEC fault resolved by the interpreted MRU policy, alternating
+    // between two pages of a one-frame pool so every access faults.
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (base, _o, _key) = k
+        .vm_allocate_hipec(task, 2 * PAGE_SIZE, PolicyKind::Mru.program(), 1)
+        .expect("install");
+    let mut flip = false;
+    group.bench_function("hipec_interpreted_fault", |b| {
+        b.iter(|| {
+            flip = !flip;
+            let addr = VAddr(base.0 + (flip as u64) * PAGE_SIZE);
+            k.access(task, addr, false).expect("fault")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

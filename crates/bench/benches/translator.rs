@@ -1,0 +1,40 @@
+//! Translator performance: pseudo-code compilation and assembler speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipec_policies::{asm_listings, sources};
+
+fn bench_translator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translator");
+    group.sample_size(30);
+
+    group.bench_function("compile_fifo_second_chance", |b| {
+        b.iter(|| hipec_lang::compile(sources::FIFO_SECOND_CHANCE).expect("compiles"))
+    });
+
+    group.bench_function("compile_mru", |b| {
+        b.iter(|| hipec_lang::compile(sources::MRU).expect("compiles"))
+    });
+
+    group.bench_function("assemble_table2_listing", |b| {
+        b.iter(|| {
+            hipec_lang::assemble(asm_listings::FIFO_SECOND_CHANCE_ASM).expect("assembles")
+        })
+    });
+
+    let program = hipec_lang::compile(sources::FIFO_SECOND_CHANCE).expect("compiles");
+    group.bench_function("validate_program", |b| {
+        b.iter(|| hipec_core::validate_program(&program).expect("valid"))
+    });
+
+    group.bench_function("wire_round_trip", |b| {
+        b.iter(|| {
+            let words = program.to_words();
+            hipec_core::PolicyProgram::from_words(&words).expect("decodes")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_translator);
+criterion_main!(benches);

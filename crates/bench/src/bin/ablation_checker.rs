@@ -1,0 +1,116 @@
+//! Ablation: the security checker's adaptive wakeup (paper §4.3.3).
+//!
+//! Compares the paper's halve-on-timeout / double-when-idle schedule
+//! against fixed 250 ms and fixed 8 s wakeups, on two scenarios:
+//!
+//! * a *quiet* hour of virtual time (no runaway policies): how many wakeups
+//!   (= background CPU cost) does each schedule burn?
+//! * a *runaway* policy: how long until it is detected and killed?
+
+use hipec_core::command::{build, JumpMode};
+use hipec_core::{HipecKernel, OperandDecl, PolicyProgram, NO_OPERAND};
+use hipec_policies::PolicyKind;
+use hipec_sim::SimDuration;
+use hipec_vm::{KernelParams, PAGE_SIZE};
+
+fn runaway_program() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let _fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![build::jump(JumpMode::Always, 0), build::ret(page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+#[derive(Clone, Copy)]
+enum Schedule {
+    Adaptive,
+    Fixed(SimDuration),
+}
+
+impl Schedule {
+    fn name(self) -> String {
+        match self {
+            Schedule::Adaptive => "adaptive (paper)".to_string(),
+            Schedule::Fixed(d) => format!("fixed {d}"),
+        }
+    }
+
+    fn apply(self, k: &mut HipecKernel) {
+        match self {
+            Schedule::Adaptive => k.checker.adaptive = true,
+            Schedule::Fixed(d) => {
+                k.checker.adaptive = false;
+                k.checker.interval = d;
+                k.checker.next_wakeup = k.vm.now() + d;
+            }
+        }
+    }
+}
+
+fn small_params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 512;
+    p.wired_frames = 16;
+    p
+}
+
+fn main() {
+    let schedules = [
+        Schedule::Adaptive,
+        Schedule::Fixed(SimDuration::from_ms(250)),
+        Schedule::Fixed(SimDuration::from_secs(8)),
+    ];
+
+    println!("== Ablation: checker wakeup schedule ==\n");
+    println!(
+        "{:<18} {:>16} {:>20}",
+        "schedule", "quiet-hr wakeups", "runaway detection"
+    );
+    let mut rows = Vec::new();
+    for s in schedules {
+        // Scenario 1: a quiet hour with one well-behaved app.
+        let quiet_wakeups = {
+            let mut k = HipecKernel::new(small_params());
+            s.apply(&mut k);
+            let task = k.vm.create_task();
+            let (addr, _o, _c) = k
+                .vm_allocate_hipec(task, 8 * PAGE_SIZE, PolicyKind::Fifo.program(), 8)
+                .expect("install");
+            k.access_sync(task, addr, false).expect("one fault");
+            k.vm.charge(SimDuration::from_secs(3_600));
+            k.poll_checker();
+            k.checker.wakeups
+        };
+
+        // Scenario 2: a runaway policy faults at t≈1 s.
+        let detection = {
+            let mut k = HipecKernel::new(small_params());
+            s.apply(&mut k);
+            let task = k.vm.create_task();
+            let (addr, _o, _c) = k
+                .vm_allocate_hipec(task, 8 * PAGE_SIZE, runaway_program(), 8)
+                .expect("install");
+            k.vm.charge(SimDuration::from_secs(1));
+            let started = k.vm.now();
+            let err = k.access(task, addr, false).expect_err("runaway");
+            let _ = err;
+            k.vm.now().since(started)
+        };
+
+        println!("{:<18} {:>16} {:>20}", s.name(), quiet_wakeups, detection.to_string());
+        rows.push(serde_json::json!({
+            "schedule": s.name(),
+            "quiet_hour_wakeups": quiet_wakeups,
+            "runaway_detection_ms": detection.as_ms_f64(),
+        }));
+    }
+    println!("\npaper (§4.3.3): the adaptive schedule sleeps most of the time when no");
+    println!("timeouts occur (cheap background cost) yet converges to 250 ms wakeups");
+    println!("when runaways appear (fast detection) — the fixed schedules give you");
+    println!("only one of the two.");
+    hipec_bench::dump_json("ablation_checker", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,89 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Each binary prints the paper-style rows/series and a `paper:` reference
+//! line so the shapes can be compared at a glance:
+//!
+//! * `table3` — HiPEC mechanism overhead (Comparison I),
+//! * `table4` — dispatch primitives (Comparison II),
+//! * `fig5` — AIM-like multiuser throughput, Mach vs HiPEC kernel,
+//! * `fig6` — nested-loops join elapsed time, LRU vs HiPEC MRU,
+//! * `ablation_commands` — complex vs simple command policies,
+//! * `ablation_checker` — adaptive vs fixed checker wakeup,
+//! * `ablation_partition` — `partition_burst` sweep,
+//! * `ablation_dispatch` — in-kernel interpretation vs upcall vs IPC.
+//!
+//! Results are also dumped as JSON under `target/hipec-results/` so
+//! EXPERIMENTS.md can cite exact numbers.
+
+use std::fs;
+use std::path::PathBuf;
+
+pub use hipec_sim::stats::{Series, TextTable};
+
+/// Where JSON result dumps go.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("hipec-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Dumps a JSON value for EXPERIMENTS.md provenance.
+pub fn dump_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("(json: {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a figure as aligned text series.
+pub fn print_series(title: &str, xlabel: &str, series: &[Series]) {
+    println!("\n== {title} ==");
+    print!("{xlabel:>10}");
+    for s in series {
+        print!("{:>16}", s.label);
+    }
+    println!();
+    if let Some(first) = series.first() {
+        for (i, (x, _)) in first.points.iter().enumerate() {
+            print!("{x:>10.1}");
+            for s in series {
+                match s.points.get(i) {
+                    Some((_, y)) => print!("{y:>16.2}"),
+                    None => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+
+    #[test]
+    fn series_print_does_not_panic() {
+        let mut a = Series::new("LRU");
+        a.push(20.0, 1.0);
+        a.push(40.0, 2.0);
+        let mut b = Series::new("MRU");
+        b.push(20.0, 1.0);
+        print_series("test", "MB", &[a, b]);
+    }
+}

@@ -1,0 +1,443 @@
+//! Extended static analysis of policy programs.
+//!
+//! The paper's future-work list (§6) asks for a security checker that does
+//! "more than the current version in detecting malicious actions or
+//! mistakes". This module adds control- and data-flow analysis on top of
+//! the syntactic validation in [`crate::checker`]:
+//!
+//! * **unreachable commands** — dead code after unconditional jumps;
+//! * **no reachable `Return`** — the execution *must* run away (the
+//!   runtime checker would kill it after the timeout; better to warn now);
+//! * **inescapable loops** — a cycle with no exit edge;
+//! * **possibly-unassigned page slots** — a command reads a page variable
+//!   on a path where nothing ever wrote it (the most common policy bug).
+//!
+//! All findings are warnings: they do not block installation (a reachable
+//! fault still terminates only the offending application), but `hipecc
+//! check` surfaces them at build time.
+
+use std::sync::Arc;
+
+use crate::command::{JumpMode, OpCode, RawCmd, NO_OPERAND};
+use crate::operand::OperandDecl;
+use crate::program::PolicyProgram;
+
+/// Analyzes every event of `program`, returning human-readable warnings.
+pub fn analyze_program(program: &PolicyProgram) -> Vec<String> {
+    let mut warnings = Vec::new();
+    // Page slots any event may write (used to model `Activate` calls).
+    let written_anywhere: Vec<u8> = program
+        .events
+        .iter()
+        .flat_map(|seg| seg.iter())
+        .filter_map(page_slot_written)
+        .collect();
+    for (ev, seg) in program.events.iter().enumerate() {
+        let name = program
+            .event_names
+            .get(ev)
+            .map(String::as_str)
+            .unwrap_or("unnamed");
+        analyze_event(ev, name, seg, program, &written_anywhere, &mut warnings);
+    }
+    warnings
+}
+
+/// The page slot a command writes, if any.
+fn page_slot_written(cmd: &RawCmd) -> Option<u8> {
+    match cmd.opcode()? {
+        OpCode::DeQueue | OpCode::Find => Some(cmd.a()),
+        OpCode::Flush => Some(cmd.a()), // rebinds to the exchanged frame
+        OpCode::Fifo | OpCode::Lru | OpCode::Mru if cmd.b() != NO_OPERAND => Some(cmd.b()),
+        _ => None,
+    }
+}
+
+/// Page slots a command reads.
+fn page_slots_read(cmd: &RawCmd, decls: &[OperandDecl]) -> Vec<u8> {
+    let is_page = |idx: u8| {
+        idx != NO_OPERAND
+            && matches!(decls.get(idx as usize), Some(OperandDecl::Page))
+    };
+    match cmd.opcode() {
+        Some(OpCode::EnQueue | OpCode::Release | OpCode::Flush | OpCode::Set)
+        | Some(OpCode::Ref | OpCode::Mod) => {
+            if is_page(cmd.a()) {
+                vec![cmd.a()]
+            } else {
+                vec![]
+            }
+        }
+        Some(OpCode::InQ) => {
+            if is_page(cmd.b()) {
+                vec![cmd.b()]
+            } else {
+                vec![]
+            }
+        }
+        Some(OpCode::Return) => {
+            if is_page(cmd.a()) {
+                vec![cmd.a()]
+            } else {
+                vec![]
+            }
+        }
+        _ => vec![],
+    }
+}
+
+fn successors(cmd: RawCmd, cc: usize, len: usize) -> Vec<usize> {
+    match cmd.opcode() {
+        Some(OpCode::Return) => vec![],
+        Some(OpCode::Jump) => {
+            let target = cmd.jump_target() as usize;
+            let mut next = Vec::new();
+            if target < len {
+                next.push(target);
+            }
+            match JumpMode::from_u8(cmd.a()) {
+                Some(JumpMode::Always) => {}
+                _ => {
+                    if cc + 1 < len {
+                        next.push(cc + 1);
+                    }
+                }
+            }
+            next
+        }
+        _ => {
+            if cc + 1 < len {
+                vec![cc + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+fn analyze_event(
+    ev: usize,
+    name: &str,
+    seg: &Arc<Vec<RawCmd>>,
+    program: &PolicyProgram,
+    written_anywhere: &[u8],
+    warnings: &mut Vec<String>,
+) {
+    let len = seg.len();
+    if len == 0 {
+        return; // The validator already rejects empty events.
+    }
+    let succ: Vec<Vec<usize>> = seg
+        .iter()
+        .enumerate()
+        .map(|(cc, cmd)| successors(*cmd, cc, len))
+        .collect();
+
+    // Reachability from the entry.
+    let mut reachable = vec![false; len];
+    let mut stack = vec![0usize];
+    while let Some(cc) = stack.pop() {
+        if std::mem::replace(&mut reachable[cc], true) {
+            continue;
+        }
+        stack.extend(succ[cc].iter().copied());
+    }
+    let dead = reachable.iter().filter(|r| !**r).count();
+    if dead > 0 {
+        warnings.push(format!(
+            "event {ev} ({name}): {dead} unreachable command(s)"
+        ));
+    }
+
+    // Is any Return reachable?
+    let returns_reachable = seg
+        .iter()
+        .enumerate()
+        .any(|(cc, cmd)| reachable[cc] && cmd.opcode() == Some(OpCode::Return));
+    if !returns_reachable {
+        warnings.push(format!(
+            "event {ev} ({name}): no Return is reachable — execution is guaranteed to run away"
+        ));
+    }
+
+    // Inescapable cycles: an SCC with a cycle and no edge leaving it.
+    for scc in tarjan_sccs(&succ) {
+        let is_cycle = scc.len() > 1
+            || succ[scc[0]].contains(&scc[0]);
+        if !is_cycle || !reachable[scc[0]] {
+            continue;
+        }
+        let escapes = scc
+            .iter()
+            .any(|&cc| succ[cc].iter().any(|s| !scc.contains(s)));
+        if !escapes {
+            warnings.push(format!(
+                "event {ev} ({name}): inescapable loop over commands {:?}",
+                scc
+            ));
+        }
+    }
+
+    // Definite-assignment of page slots (forward dataflow; meet =
+    // intersection). `Activate` conservatively assigns every page slot any
+    // event writes.
+    let nslots = program.decls.len();
+    let full: u128 = if nslots >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << nslots) - 1
+    };
+    let mut assigned: Vec<u128> = vec![full; len]; // ⊤ until visited
+    let mut in_entry = 0u128;
+    let _ = &mut in_entry; // entry starts with nothing assigned
+    let mut worklist = vec![(0usize, 0u128)];
+    let mut visited = vec![false; len];
+    while let Some((cc, input)) = worklist.pop() {
+        let new_in = if visited[cc] { assigned[cc] & input } else { input };
+        if visited[cc] && new_in == assigned[cc] {
+            continue;
+        }
+        visited[cc] = true;
+        assigned[cc] = new_in;
+        let cmd = seg[cc];
+        let mut out = new_in;
+        if let Some(slot) = page_slot_written(&cmd) {
+            if (slot as usize) < nslots {
+                out |= 1 << slot;
+            }
+        }
+        if cmd.opcode() == Some(OpCode::Activate) {
+            for &slot in written_anywhere {
+                if (slot as usize) < nslots {
+                    out |= 1 << slot;
+                }
+            }
+        }
+        for &s in &succ[cc] {
+            worklist.push((s, out));
+        }
+    }
+    for (cc, cmd) in seg.iter().enumerate() {
+        if !visited[cc] {
+            continue;
+        }
+        for slot in page_slots_read(cmd, &program.decls) {
+            if (slot as usize) < nslots && assigned[cc] & (1 << slot) == 0 {
+                warnings.push(format!(
+                    "event {ev} ({name}) cc {cc}: page slot {slot} may be read before \
+                     any command assigns it"
+                ));
+            }
+        }
+    }
+}
+
+/// Tarjan's strongly-connected components.
+fn tarjan_sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        succ: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next_index: usize,
+        sccs: Vec<Vec<usize>>,
+    }
+    fn strongconnect(v: usize, st: &mut State<'_>) {
+        st.index[v] = Some(st.next_index);
+        st.low[v] = st.next_index;
+        st.next_index += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for &w in st.succ[v].to_vec().iter() {
+            if st.index[w].is_none() {
+                strongconnect(w, st);
+                st.low[v] = st.low[v].min(st.low[w]);
+            } else if st.on_stack[w] {
+                st.low[v] = st.low[v].min(st.index[w].expect("indexed"));
+            }
+        }
+        if Some(st.low[v]) == st.index[v] {
+            let mut scc = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("stack holds the SCC");
+                st.on_stack[w] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            scc.sort_unstable();
+            st.sccs.push(scc);
+        }
+    }
+    let n = succ.len();
+    let mut st = State {
+        succ,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next_index: 0,
+        sccs: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v].is_none() {
+            strongconnect(v, &mut st);
+        }
+    }
+    st.sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{build, CompOp, QueueEnd};
+    use crate::operand::KernelVar;
+
+    fn base() -> PolicyProgram {
+        let mut p = PolicyProgram::new();
+        p.declare(OperandDecl::FreeQueue); // 0
+        p.declare(OperandDecl::Page); // 1
+        p.declare(OperandDecl::Kernel(KernelVar::FreeCount)); // 2
+        p.declare(OperandDecl::Int(0)); // 3
+        p
+    }
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![
+                build::dequeue(1, 0, QueueEnd::Head),
+                build::ret(1),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        assert!(analyze_program(&p).is_empty(), "{:?}", analyze_program(&p));
+    }
+
+    #[test]
+    fn unreachable_code_is_flagged() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![
+                build::ret(NO_OPERAND),
+                build::dequeue(1, 0, QueueEnd::Head), // dead
+                build::ret(1),                        // dead
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let w = analyze_program(&p);
+        assert!(w.iter().any(|m| m.contains("2 unreachable")), "{w:?}");
+    }
+
+    #[test]
+    fn guaranteed_runaway_is_flagged() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![build::jump(JumpMode::Always, 0), build::ret(NO_OPERAND)],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let w = analyze_program(&p);
+        assert!(w.iter().any(|m| m.contains("guaranteed to run away")), "{w:?}");
+        assert!(w.iter().any(|m| m.contains("inescapable loop")), "{w:?}");
+    }
+
+    #[test]
+    fn conditional_loops_are_not_flagged_as_inescapable() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![
+                // while free_count > 0 { dequeue }
+                build::comp(2, 3, CompOp::Gt),
+                build::jump(JumpMode::IfFalse, 4),
+                build::dequeue(1, 0, QueueEnd::Head),
+                build::jump(JumpMode::Always, 0),
+                build::ret(NO_OPERAND),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let w = analyze_program(&p);
+        assert!(
+            !w.iter().any(|m| m.contains("inescapable")),
+            "conditional loop misflagged: {w:?}"
+        );
+        assert!(!w.iter().any(|m| m.contains("run away")), "{w:?}");
+    }
+
+    #[test]
+    fn read_before_assignment_is_flagged() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![
+                build::enqueue(1, 0, QueueEnd::Tail), // reads slot 1: never assigned
+                build::ret(NO_OPERAND),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let w = analyze_program(&p);
+        assert!(
+            w.iter().any(|m| m.contains("read before")),
+            "missing definite-assignment warning: {w:?}"
+        );
+    }
+
+    #[test]
+    fn assignment_on_one_branch_only_is_flagged() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![
+                build::comp(2, 3, CompOp::Gt),
+                build::jump(JumpMode::IfFalse, 3),
+                build::dequeue(1, 0, QueueEnd::Head), // assigns on the true path only
+                build::ret(1),                        // may read unassigned slot 1
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let w = analyze_program(&p);
+        assert!(w.iter().any(|m| m.contains("cc 3") && m.contains("slot 1")), "{w:?}");
+    }
+
+    #[test]
+    fn activate_counts_as_assignment() {
+        let mut p = base();
+        p.add_event(
+            "PageFault",
+            vec![build::activate(2), build::ret(1)],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p.add_event(
+            "helper",
+            vec![build::dequeue(1, 0, QueueEnd::Head), build::ret(NO_OPERAND)],
+        );
+        let w = analyze_program(&p);
+        assert!(
+            !w.iter().any(|m| m.contains("read before")),
+            "activate-assigned slot misflagged: {w:?}"
+        );
+    }
+
+    #[test]
+    fn shipped_policy_sources_analyze_clean() {
+        // The paper's Figure 4 policy, via the same builders the tests use.
+        let mut p = base();
+        let q2 = p.declare(OperandDecl::Queue { recency: false });
+        p.add_event(
+            "PageFault",
+            vec![
+                build::dequeue(1, 0, QueueEnd::Head),
+                build::enqueue(1, q2, QueueEnd::Tail),
+                build::ret(1),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        assert!(analyze_program(&p).is_empty());
+    }
+}

@@ -1,0 +1,421 @@
+//! The in-kernel security checker (paper §4.3.3).
+//!
+//! Two duties:
+//!
+//! 1. **Static validation** ([`validate_program`]): commands with an invalid
+//!    format — undefined opcodes, out-of-range operand indices, wrong
+//!    operand types, bad flags, wild jumps — are rejected before the
+//!    container is mounted.
+//! 2. **Timeout detection** ([`SecurityChecker`]): a kernel thread wakes
+//!    periodically, compares each container's execution timestamp against
+//!    the *TimeOut* period and terminates overrunning applications. The
+//!    sleep interval adapts: halved when a timeout is detected, doubled
+//!    otherwise, clamped to [250 ms, 8 s] — the paper's WakeUp equation.
+
+use hipec_sim::{SimDuration, SimTime};
+
+use crate::command::{
+    ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, NO_OPERAND,
+};
+use crate::kernel::HipecKernel;
+use crate::operand::OperandDecl;
+use crate::program::PolicyProgram;
+
+/// The adaptive-wakeup timeout checker.
+#[derive(Debug, Clone)]
+pub struct SecurityChecker {
+    /// Current sleep interval (the paper's *WakeUp*).
+    pub interval: SimDuration,
+    /// Next wakeup instant.
+    pub next_wakeup: SimTime,
+    /// The *TimeOut* period (set by a privileged user in the paper).
+    pub timeout: SimDuration,
+    /// Lower clamp of the interval (250 ms).
+    pub min_interval: SimDuration,
+    /// Upper clamp of the interval (8 s).
+    pub max_interval: SimDuration,
+    /// When false, the interval never adapts (for the ablation experiment).
+    pub adaptive: bool,
+    /// Wakeups performed.
+    pub wakeups: u64,
+    /// Applications terminated for timeout.
+    pub kills: u64,
+}
+
+impl SecurityChecker {
+    /// Creates a checker with the paper's clamps, a 1 s initial interval
+    /// and a 100 ms timeout period.
+    pub fn new() -> Self {
+        let interval = SimDuration::from_secs(1);
+        SecurityChecker {
+            interval,
+            next_wakeup: SimTime::ZERO + interval,
+            timeout: SimDuration::from_ms(100),
+            min_interval: SimDuration::from_ms(250),
+            max_interval: SimDuration::from_secs(8),
+            adaptive: true,
+            wakeups: 0,
+            kills: 0,
+        }
+    }
+
+    /// Applies the paper's WakeUp adaptation after one wakeup.
+    pub fn adapt(&mut self, timeout_detected: bool) {
+        if !self.adaptive {
+            return;
+        }
+        self.interval = if timeout_detected {
+            self.interval.halved_with_floor(self.min_interval)
+        } else {
+            self.interval.doubled_with_ceil(self.max_interval)
+        };
+    }
+}
+
+impl Default for SecurityChecker {
+    fn default() -> Self {
+        SecurityChecker::new()
+    }
+}
+
+impl HipecKernel {
+    /// One checker wakeup: scan containers for timed-out executions, kill
+    /// offenders, adapt the interval, schedule the next wakeup.
+    pub(crate) fn checker_wakeup(&mut self) {
+        let n = self.containers.len() as u64;
+        self.vm.charge(
+            self.vm.cost.checker_wakeup + self.vm.cost.checker_per_container.saturating_mul(n),
+        );
+        self.checker.wakeups += 1;
+        let now = self.vm.now();
+        let timeout = self.checker.timeout;
+        let mut detected = false;
+        for i in 0..self.containers.len() {
+            let c = &self.containers[i];
+            if c.terminated {
+                continue;
+            }
+            if let Some(start) = c.exec_started {
+                if now.since(start) > timeout {
+                    let _ = self.kill(i, "policy execution timeout");
+                    self.checker.kills += 1;
+                    detected = true;
+                }
+            }
+        }
+        self.checker.adapt(detected);
+        // Each wakeup (including ones replayed after a long idle stretch)
+        // reschedules from its own firing time, so the checker's CPU cost
+        // is charged for every tick that would have occurred.
+        self.checker.next_wakeup += self.checker.interval;
+    }
+}
+
+/// Statically validates a policy program (syntax, operand types, control
+/// flow). Returns the full list of problems on failure.
+pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if program.decls.len() > 255 {
+        errors.push(format!(
+            "operand array has {} entries; at most 255 allowed",
+            program.decls.len()
+        ));
+    }
+    if program.events.len() < 2 {
+        errors.push(
+            "programs must define the PageFault (0) and ReclaimFrame (1) events".to_string(),
+        );
+    }
+
+    let decl = |idx: u8, what: &str, ev: usize, cc: usize| -> Result<OperandDecl, String> {
+        program.decls.get(idx as usize).copied().ok_or(format!(
+            "event {ev} cc {cc}: {what} operand index {idx} out of range"
+        ))
+    };
+
+    for (ev, seg) in program.events.iter().enumerate() {
+        if seg.is_empty() {
+            errors.push(format!("event {ev} is empty"));
+            continue;
+        }
+        for (cc, cmd) in seg.iter().enumerate() {
+            let Some(op) = cmd.opcode() else {
+                errors.push(format!(
+                    "event {ev} cc {cc}: undefined opcode 0x{:02x}",
+                    cmd.op_byte()
+                ));
+                continue;
+            };
+            let need = |idx: u8, what: &str, check: fn(OperandDecl) -> bool| -> Option<String> {
+                match decl(idx, what, ev, cc) {
+                    Ok(d) if check(d) => None,
+                    Ok(_) => Some(format!(
+                        "event {ev} cc {cc}: operand {idx} is not a {what}"
+                    )),
+                    Err(e) => Some(e),
+                }
+            };
+            match op {
+                OpCode::Return => {
+                    if cmd.a() != NO_OPERAND {
+                        errors.extend(need(cmd.a(), "returnable value", |d| !d.is_queue()));
+                    }
+                }
+                OpCode::Arith => {
+                    match ArithOp::from_u8(cmd.c()) {
+                        None => errors.push(format!("event {ev} cc {cc}: bad arith flag")),
+                        Some(aop) => {
+                            errors.extend(need(cmd.a(), "writable int", |d| {
+                                d.is_int() && d.writable()
+                            }));
+                            if !matches!(aop, ArithOp::Inc | ArithOp::Dec) {
+                                errors.extend(need(cmd.b(), "int", OperandDecl::is_int));
+                            }
+                        }
+                    }
+                }
+                OpCode::Comp => {
+                    if CompOp::from_u8(cmd.c()).is_none() {
+                        errors.push(format!("event {ev} cc {cc}: bad comparison flag"));
+                    }
+                    errors.extend(need(cmd.a(), "int", OperandDecl::is_int));
+                    errors.extend(need(cmd.b(), "int", OperandDecl::is_int));
+                }
+                OpCode::Logic => match LogicOp::from_u8(cmd.c()) {
+                    None => errors.push(format!("event {ev} cc {cc}: bad logic flag")),
+                    Some(LogicOp::And | LogicOp::Or | LogicOp::Xor) => {
+                        errors.extend(need(cmd.a(), "bool", OperandDecl::is_bool));
+                        errors.extend(need(cmd.b(), "bool", OperandDecl::is_bool));
+                    }
+                    Some(_) => errors.extend(need(cmd.a(), "bool", OperandDecl::is_bool)),
+                },
+                OpCode::EmptyQ => {
+                    errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue))
+                }
+                OpCode::InQ => {
+                    errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue));
+                    errors.extend(need(cmd.b(), "page", OperandDecl::is_page));
+                }
+                OpCode::Jump => {
+                    if JumpMode::from_u8(cmd.a()).is_none() {
+                        errors.push(format!("event {ev} cc {cc}: bad jump mode"));
+                    }
+                    if cmd.jump_target() as usize >= seg.len() {
+                        errors.push(format!(
+                            "event {ev} cc {cc}: jump target {} outside segment of {}",
+                            cmd.jump_target(),
+                            seg.len()
+                        ));
+                    }
+                }
+                OpCode::DeQueue => {
+                    errors.extend(need(cmd.a(), "page", OperandDecl::is_page));
+                    errors.extend(need(cmd.b(), "queue", OperandDecl::is_queue));
+                    if QueueEnd::from_u8(cmd.c()).is_none() {
+                        errors.push(format!("event {ev} cc {cc}: bad queue-end flag"));
+                    }
+                }
+                OpCode::EnQueue => {
+                    errors.extend(need(cmd.a(), "page", OperandDecl::is_page));
+                    errors.extend(need(cmd.b(), "queue", OperandDecl::is_queue));
+                    if QueueEnd::from_u8(cmd.c()).is_none() {
+                        errors.push(format!("event {ev} cc {cc}: bad queue-end flag"));
+                    }
+                }
+                OpCode::Request => {
+                    errors.extend(need(cmd.a(), "int", OperandDecl::is_int));
+                    if cmd.b() != NO_OPERAND {
+                        errors.extend(need(cmd.b(), "writable int", |d| {
+                            d.is_int() && d.writable()
+                        }));
+                    }
+                }
+                OpCode::Release | OpCode::Flush | OpCode::Ref | OpCode::Mod => {
+                    errors.extend(need(cmd.a(), "page", OperandDecl::is_page))
+                }
+                OpCode::Set => {
+                    errors.extend(need(cmd.a(), "page", OperandDecl::is_page));
+                    if PageBit::from_u8(cmd.b()).is_none() {
+                        errors.push(format!("event {ev} cc {cc}: bad page-bit selector"));
+                    }
+                    if cmd.c() > 1 {
+                        errors.push(format!("event {ev} cc {cc}: bad set/clear flag"));
+                    }
+                }
+                OpCode::Find => {
+                    errors.extend(need(cmd.a(), "page", OperandDecl::is_page));
+                    errors.extend(need(cmd.b(), "int", OperandDecl::is_int));
+                }
+                OpCode::Activate => {
+                    if (cmd.a() as usize) >= program.events.len() {
+                        errors.push(format!(
+                            "event {ev} cc {cc}: activate of undefined event {}",
+                            cmd.a()
+                        ));
+                    }
+                }
+                OpCode::Fifo => {
+                    errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue));
+                    if cmd.b() != NO_OPERAND {
+                        errors.extend(need(cmd.b(), "page", OperandDecl::is_page));
+                    }
+                }
+                OpCode::Lru | OpCode::Mru => {
+                    // LRU/MRU rely on kernel-maintained recency ordering.
+                    match decl(cmd.a(), "queue", ev, cc) {
+                        Ok(OperandDecl::Queue { recency: true }) => {}
+                        Ok(OperandDecl::Queue { recency: false }) | Ok(OperandDecl::FreeQueue) => {
+                            errors.push(format!(
+                                "event {ev} cc {cc}: {} requires a recency-ordered queue",
+                                op.mnemonic()
+                            ))
+                        }
+                        Ok(_) => errors.push(format!(
+                            "event {ev} cc {cc}: operand {} is not a queue",
+                            cmd.a()
+                        )),
+                        Err(e) => errors.push(e),
+                    }
+                    if cmd.b() != NO_OPERAND {
+                        errors.extend(need(cmd.b(), "page", OperandDecl::is_page));
+                    }
+                }
+                OpCode::Migrate => {
+                    errors.extend(need(cmd.a(), "int", OperandDecl::is_int))
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{build, RawCmd};
+    use crate::operand::KernelVar;
+
+    fn minimal_valid() -> PolicyProgram {
+        let mut p = PolicyProgram::new();
+        let free_q = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        p.add_event(
+            "PageFault",
+            vec![
+                build::dequeue(page, free_q, QueueEnd::Head),
+                build::ret(page),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        assert!(validate_program(&minimal_valid()).is_ok());
+    }
+
+    #[test]
+    fn missing_mandatory_events_fail() {
+        let mut p = PolicyProgram::new();
+        let q = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        p.add_event(
+            "PageFault",
+            vec![build::dequeue(page, q, QueueEnd::Head), build::ret(page)],
+        );
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("ReclaimFrame")));
+    }
+
+    #[test]
+    fn undefined_opcode_is_reported() {
+        let mut p = minimal_valid();
+        p.add_event("bad", vec![RawCmd::new(0xEE, 0, 0, 0), build::ret(NO_OPERAND)]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("undefined opcode")));
+    }
+
+    #[test]
+    fn operand_type_confusion_is_reported() {
+        let mut p = PolicyProgram::new();
+        let q = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        // Comp of a queue against a page: two type errors.
+        p.add_event("PageFault", vec![build::comp(q, page, CompOp::Gt), build::ret(page)]);
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.len() >= 2);
+        assert!(errs.iter().all(|e| e.contains("not a int") || e.contains("int")));
+    }
+
+    #[test]
+    fn wild_jump_is_reported() {
+        let mut p = minimal_valid();
+        p.add_event(
+            "wild",
+            vec![build::jump(JumpMode::Always, 400), build::ret(NO_OPERAND)],
+        );
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("jump target 400")));
+    }
+
+    #[test]
+    fn writes_to_kernel_vars_are_rejected() {
+        let mut p = minimal_valid();
+        let kv = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+        let one = p.declare(OperandDecl::Int(1));
+        p.add_event("bad", vec![build::arith(kv, one, ArithOp::Add), build::ret(NO_OPERAND)]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("writable int")));
+    }
+
+    #[test]
+    fn lru_on_non_recency_queue_is_rejected() {
+        let mut p = minimal_valid();
+        let plain = p.declare(OperandDecl::Queue { recency: false });
+        p.add_event("bad", vec![build::lru(plain, NO_OPERAND), build::ret(NO_OPERAND)]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("recency-ordered")));
+    }
+
+    #[test]
+    fn activate_of_missing_event_is_rejected() {
+        let mut p = minimal_valid();
+        p.add_event("bad", vec![build::activate(99), build::ret(NO_OPERAND)]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("undefined event 99")));
+    }
+
+    #[test]
+    fn empty_event_is_rejected() {
+        let mut p = minimal_valid();
+        p.add_event("empty", vec![]);
+        let errs = validate_program(&p).expect_err("must fail");
+        assert!(errs.iter().any(|e| e.contains("empty")));
+    }
+
+    #[test]
+    fn adaptation_follows_the_wakeup_equation() {
+        let mut c = SecurityChecker::new();
+        c.interval = SimDuration::from_secs(1);
+        c.adapt(true);
+        assert_eq!(c.interval, SimDuration::from_ms(500));
+        c.adapt(true);
+        assert_eq!(c.interval, SimDuration::from_ms(250));
+        c.adapt(true);
+        assert_eq!(c.interval, SimDuration::from_ms(250), "clamped at 250 ms");
+        for _ in 0..10 {
+            c.adapt(false);
+        }
+        assert_eq!(c.interval, SimDuration::from_secs(8), "clamped at 8 s");
+        // Non-adaptive mode holds the interval.
+        c.adaptive = false;
+        c.adapt(true);
+        assert_eq!(c.interval, SimDuration::from_secs(8));
+    }
+}

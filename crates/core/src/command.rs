@@ -1,0 +1,600 @@
+//! The HiPEC command set and its 32-bit binary encoding.
+//!
+//! A HiPEC command is one 32-bit word: an 8-bit operator code and up to
+//! three 8-bit operands (paper §4.2, Figure 3). Operand bytes index the
+//! container's 256-entry operand array; the value `0xFF` ([`NO_OPERAND`])
+//! means "no operand". `Jump` interprets its last two bytes as a 16-bit
+//! command-counter target, byte-compatible with the paper's 8-bit targets.
+//!
+//! Control flow uses a single condition flag: *test* commands (`Comp`,
+//! `Logic`, `EmptyQ`, `InQ`, `Ref`, `Mod`, and the commands that report
+//! success) set it, every other command clears it, and `Jump` mode 0
+//! branches when the flag is **false** — which makes the paper's listings
+//! (else-jumps after tests, unconditional jumps after actions) decode
+//! unambiguously. Modes 1 (always) and 2 (jump-if-true) are a
+//! backwards-compatible superset used by the translator.
+
+use core::fmt;
+
+/// Operand byte meaning "no operand".
+pub const NO_OPERAND: u8 = 0xFF;
+
+/// The operator codes of the HiPEC command set (paper Table 1, plus the
+/// `Migrate` extension from the paper's future-work list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// End of execution; the return value is in operand 1.
+    Return = 0x00,
+    /// Integer arithmetic: `op1 = op1 ⊕ op2` (⊕ selected by the flag).
+    Arith = 0x01,
+    /// Integer comparison; sets the condition flag.
+    Comp = 0x02,
+    /// Boolean operations on `Bool` slots and the condition flag.
+    Logic = 0x03,
+    /// Tests whether queue `op1` is empty; sets the condition flag.
+    EmptyQ = 0x04,
+    /// Tests whether page `op2` is on queue `op1`; sets the condition flag.
+    InQ = 0x05,
+    /// Branch: operand 1 is the mode, operands 2‖3 the 16-bit target.
+    Jump = 0x06,
+    /// `op1 (page) = dequeue(op2 (queue))`; flag picks head/tail.
+    DeQueue = 0x07,
+    /// Enqueue page `op1` onto queue `op2`; flag picks head/tail.
+    EnQueue = 0x08,
+    /// Request `op1` (int) frames from the global frame manager; grant count
+    /// is written to `op2` (int) if present. Sets the condition flag on a
+    /// full grant.
+    Request = 0x09,
+    /// Release page `op1` back to the global frame manager.
+    Release = 0x0A,
+    /// Flush page `op1`: hand the dirty page to the global frame manager
+    /// and receive a clean frame in exchange (written back to `op1`).
+    Flush = 0x0B,
+    /// Set or clear a page bit: `op1` page, flag1 selects ref/mod, flag2
+    /// selects set/clear.
+    Set = 0x0C,
+    /// Tests the reference bit of page `op1`; sets the condition flag.
+    Ref = 0x0D,
+    /// Tests the modify bit of page `op1`; sets the condition flag.
+    Mod = 0x0E,
+    /// `op1 (page) = frame backing virtual address op2 (int)`.
+    Find = 0x0F,
+    /// Invoke another policy event; operand 1 is the literal event number.
+    Activate = 0x10,
+    /// One-shot FIFO replacement on queue `op1`; reclaimed page also lands
+    /// in `op2` (page) if present. Sets the condition flag on success.
+    Fifo = 0x11,
+    /// One-shot LRU replacement (head of a recency-ordered queue).
+    Lru = 0x12,
+    /// One-shot MRU replacement (tail of a recency-ordered queue).
+    Mru = 0x13,
+    /// Extension: migrate one free frame from this container to the
+    /// container whose key is in `op1` (int).
+    Migrate = 0x14,
+}
+
+impl OpCode {
+    /// All defined opcodes, in numeric order.
+    pub const ALL: [OpCode; 21] = [
+        OpCode::Return,
+        OpCode::Arith,
+        OpCode::Comp,
+        OpCode::Logic,
+        OpCode::EmptyQ,
+        OpCode::InQ,
+        OpCode::Jump,
+        OpCode::DeQueue,
+        OpCode::EnQueue,
+        OpCode::Request,
+        OpCode::Release,
+        OpCode::Flush,
+        OpCode::Set,
+        OpCode::Ref,
+        OpCode::Mod,
+        OpCode::Find,
+        OpCode::Activate,
+        OpCode::Fifo,
+        OpCode::Lru,
+        OpCode::Mru,
+        OpCode::Migrate,
+    ];
+
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<OpCode> {
+        OpCode::ALL.get(b as usize).copied()
+    }
+
+    /// True for commands that *set* the condition flag (everything else
+    /// clears it, making a following mode-0 `Jump` unconditional).
+    pub fn is_test(self) -> bool {
+        matches!(
+            self,
+            OpCode::Comp
+                | OpCode::Logic
+                | OpCode::EmptyQ
+                | OpCode::InQ
+                | OpCode::Ref
+                | OpCode::Mod
+                | OpCode::Request
+                | OpCode::Fifo
+                | OpCode::Lru
+                | OpCode::Mru
+        )
+    }
+
+    /// The command's mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpCode::Return => "return",
+            OpCode::Arith => "arith",
+            OpCode::Comp => "comp",
+            OpCode::Logic => "logic",
+            OpCode::EmptyQ => "emptyq",
+            OpCode::InQ => "inq",
+            OpCode::Jump => "jump",
+            OpCode::DeQueue => "dequeue",
+            OpCode::EnQueue => "enqueue",
+            OpCode::Request => "request",
+            OpCode::Release => "release",
+            OpCode::Flush => "flush",
+            OpCode::Set => "set",
+            OpCode::Ref => "ref",
+            OpCode::Mod => "mod",
+            OpCode::Find => "find",
+            OpCode::Activate => "activate",
+            OpCode::Fifo => "fifo",
+            OpCode::Lru => "lru",
+            OpCode::Mru => "mru",
+            OpCode::Migrate => "migrate",
+        }
+    }
+}
+
+/// Arithmetic operations selected by the `Arith` flag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ArithOp {
+    /// `op1 += op2`
+    Add = 0,
+    /// `op1 -= op2`
+    Sub = 1,
+    /// `op1 *= op2`
+    Mul = 2,
+    /// `op1 /= op2`
+    Div = 3,
+    /// `op1 %= op2`
+    Mod = 4,
+    /// `op1 = op2`
+    Mov = 5,
+    /// `op1 += 1`
+    Inc = 6,
+    /// `op1 -= 1`
+    Dec = 7,
+}
+
+impl ArithOp {
+    /// Decodes a flag byte.
+    pub fn from_u8(b: u8) -> Option<ArithOp> {
+        [
+            ArithOp::Add,
+            ArithOp::Sub,
+            ArithOp::Mul,
+            ArithOp::Div,
+            ArithOp::Mod,
+            ArithOp::Mov,
+            ArithOp::Inc,
+            ArithOp::Dec,
+        ]
+        .get(b as usize)
+        .copied()
+    }
+}
+
+/// Comparison operations selected by the `Comp` flag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CompOp {
+    /// `op1 == op2`
+    Eq = 0,
+    /// `op1 > op2`
+    Gt = 1,
+    /// `op1 < op2`
+    Lt = 2,
+    /// `op1 >= op2`
+    Ge = 3,
+    /// `op1 <= op2`
+    Le = 4,
+    /// `op1 != op2`
+    Ne = 5,
+}
+
+impl CompOp {
+    /// Decodes a flag byte.
+    pub fn from_u8(b: u8) -> Option<CompOp> {
+        [
+            CompOp::Eq,
+            CompOp::Gt,
+            CompOp::Lt,
+            CompOp::Ge,
+            CompOp::Le,
+            CompOp::Ne,
+        ]
+        .get(b as usize)
+        .copied()
+    }
+
+    /// Applies the comparison.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CompOp::Eq => a == b,
+            CompOp::Gt => a > b,
+            CompOp::Lt => a < b,
+            CompOp::Ge => a >= b,
+            CompOp::Le => a <= b,
+            CompOp::Ne => a != b,
+        }
+    }
+}
+
+/// Boolean operations selected by the `Logic` flag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum LogicOp {
+    /// flag = op1 && op2
+    And = 0,
+    /// flag = op1 || op2
+    Or = 1,
+    /// flag = op1 ^ op2
+    Xor = 2,
+    /// flag = !op1
+    Not = 3,
+    /// op1 (bool slot) = flag
+    StoreCond = 4,
+    /// flag = op1 (bool slot)
+    LoadCond = 5,
+}
+
+impl LogicOp {
+    /// Decodes a flag byte.
+    pub fn from_u8(b: u8) -> Option<LogicOp> {
+        [
+            LogicOp::And,
+            LogicOp::Or,
+            LogicOp::Xor,
+            LogicOp::Not,
+            LogicOp::StoreCond,
+            LogicOp::LoadCond,
+        ]
+        .get(b as usize)
+        .copied()
+    }
+}
+
+/// `Jump` modes (operand 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum JumpMode {
+    /// Branch when the condition flag is false (the paper's else-jump).
+    IfFalse = 0,
+    /// Branch unconditionally.
+    Always = 1,
+    /// Branch when the condition flag is true.
+    IfTrue = 2,
+}
+
+impl JumpMode {
+    /// Decodes a mode byte.
+    pub fn from_u8(b: u8) -> Option<JumpMode> {
+        [JumpMode::IfFalse, JumpMode::Always, JumpMode::IfTrue]
+            .get(b as usize)
+            .copied()
+    }
+}
+
+/// Queue ends selected by `DeQueue`/`EnQueue` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum QueueEnd {
+    /// Head (front) of the queue.
+    Head = 0,
+    /// Tail (back) of the queue.
+    Tail = 1,
+}
+
+impl QueueEnd {
+    /// Decodes a flag byte.
+    pub fn from_u8(b: u8) -> Option<QueueEnd> {
+        [QueueEnd::Head, QueueEnd::Tail].get(b as usize).copied()
+    }
+}
+
+/// The page bit selected by `Set`'s first flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageBit {
+    /// The reference bit.
+    Reference = 1,
+    /// The modify bit.
+    Modify = 2,
+}
+
+impl PageBit {
+    /// Decodes a flag byte.
+    pub fn from_u8(b: u8) -> Option<PageBit> {
+        match b {
+            1 => Some(PageBit::Reference),
+            2 => Some(PageBit::Modify),
+            _ => None,
+        }
+    }
+}
+
+/// One encoded HiPEC command word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawCmd(pub u32);
+
+impl RawCmd {
+    /// Assembles a command from its four bytes.
+    pub const fn new(op: u8, a: u8, b: u8, c: u8) -> RawCmd {
+        RawCmd(((op as u32) << 24) | ((a as u32) << 16) | ((b as u32) << 8) | c as u32)
+    }
+
+    /// The opcode byte.
+    pub const fn op_byte(self) -> u8 {
+        (self.0 >> 24) as u8
+    }
+
+    /// Operand byte 1.
+    pub const fn a(self) -> u8 {
+        (self.0 >> 16) as u8
+    }
+
+    /// Operand byte 2.
+    pub const fn b(self) -> u8 {
+        (self.0 >> 8) as u8
+    }
+
+    /// Operand byte 3 (often a flag).
+    pub const fn c(self) -> u8 {
+        self.0 as u8
+    }
+
+    /// The decoded opcode, if valid.
+    pub fn opcode(self) -> Option<OpCode> {
+        OpCode::from_u8(self.op_byte())
+    }
+
+    /// The 16-bit jump target encoded in bytes 2‖3.
+    pub const fn jump_target(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+}
+
+impl fmt::Display for RawCmd {
+    /// Disassembles the command into `mnemonic a, b, c` form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.opcode() {
+            Some(op) => {
+                write!(f, "{}", op.mnemonic())?;
+                if op == OpCode::Jump {
+                    return write!(f, " mode={} -> {}", self.a(), self.jump_target());
+                }
+                for (i, v) in [self.a(), self.b(), self.c()].into_iter().enumerate() {
+                    if v != NO_OPERAND {
+                        write!(f, "{} {v}", if i == 0 { "" } else { "," })?;
+                    }
+                }
+                Ok(())
+            }
+            None => write!(f, "invalid(0x{:08x})", self.0),
+        }
+    }
+}
+
+/// Convenience constructors matching Table 1's shapes.
+pub mod build {
+    use super::*;
+
+    /// `Return value_slot` (pass [`NO_OPERAND`] for no value).
+    pub const fn ret(slot: u8) -> RawCmd {
+        RawCmd::new(OpCode::Return as u8, slot, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `Arith dst, src, op`.
+    pub const fn arith(dst: u8, src: u8, op: ArithOp) -> RawCmd {
+        RawCmd::new(OpCode::Arith as u8, dst, src, op as u8)
+    }
+
+    /// `Comp a, b, op`.
+    pub const fn comp(a: u8, b: u8, op: CompOp) -> RawCmd {
+        RawCmd::new(OpCode::Comp as u8, a, b, op as u8)
+    }
+
+    /// `Logic a, b, op`.
+    pub const fn logic(a: u8, b: u8, op: LogicOp) -> RawCmd {
+        RawCmd::new(OpCode::Logic as u8, a, b, op as u8)
+    }
+
+    /// `EmptyQ queue`.
+    pub const fn emptyq(queue: u8) -> RawCmd {
+        RawCmd::new(OpCode::EmptyQ as u8, queue, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `InQ queue, page`.
+    pub const fn inq(queue: u8, page: u8) -> RawCmd {
+        RawCmd::new(OpCode::InQ as u8, queue, page, NO_OPERAND)
+    }
+
+    /// `Jump mode, target`.
+    pub const fn jump(mode: JumpMode, target: u16) -> RawCmd {
+        RawCmd::new(
+            OpCode::Jump as u8,
+            mode as u8,
+            (target >> 8) as u8,
+            target as u8,
+        )
+    }
+
+    /// `DeQueue page_dst, queue, end`.
+    pub const fn dequeue(page_dst: u8, queue: u8, end: QueueEnd) -> RawCmd {
+        RawCmd::new(OpCode::DeQueue as u8, page_dst, queue, end as u8)
+    }
+
+    /// `EnQueue page, queue, end`.
+    pub const fn enqueue(page: u8, queue: u8, end: QueueEnd) -> RawCmd {
+        RawCmd::new(OpCode::EnQueue as u8, page, queue, end as u8)
+    }
+
+    /// `Request count_slot, granted_slot`.
+    pub const fn request(count: u8, granted: u8) -> RawCmd {
+        RawCmd::new(OpCode::Request as u8, count, granted, NO_OPERAND)
+    }
+
+    /// `Release page`.
+    pub const fn release(page: u8) -> RawCmd {
+        RawCmd::new(OpCode::Release as u8, page, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `Flush page`.
+    pub const fn flush(page: u8) -> RawCmd {
+        RawCmd::new(OpCode::Flush as u8, page, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `Set page, bit, value`.
+    pub const fn set(page: u8, bit: PageBit, value: bool) -> RawCmd {
+        RawCmd::new(OpCode::Set as u8, page, bit as u8, value as u8)
+    }
+
+    /// `Ref page`.
+    pub const fn is_ref(page: u8) -> RawCmd {
+        RawCmd::new(OpCode::Ref as u8, page, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `Mod page`.
+    pub const fn is_mod(page: u8) -> RawCmd {
+        RawCmd::new(OpCode::Mod as u8, page, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `Find page_dst, vaddr_slot`.
+    pub const fn find(page_dst: u8, vaddr: u8) -> RawCmd {
+        RawCmd::new(OpCode::Find as u8, page_dst, vaddr, NO_OPERAND)
+    }
+
+    /// `Activate event`.
+    pub const fn activate(event: u8) -> RawCmd {
+        RawCmd::new(OpCode::Activate as u8, event, NO_OPERAND, NO_OPERAND)
+    }
+
+    /// `FIFO queue, page_dst`.
+    pub const fn fifo(queue: u8, page_dst: u8) -> RawCmd {
+        RawCmd::new(OpCode::Fifo as u8, queue, page_dst, NO_OPERAND)
+    }
+
+    /// `LRU queue, page_dst`.
+    pub const fn lru(queue: u8, page_dst: u8) -> RawCmd {
+        RawCmd::new(OpCode::Lru as u8, queue, page_dst, NO_OPERAND)
+    }
+
+    /// `MRU queue, page_dst`.
+    pub const fn mru(queue: u8, page_dst: u8) -> RawCmd {
+        RawCmd::new(OpCode::Mru as u8, queue, page_dst, NO_OPERAND)
+    }
+
+    /// `Migrate target_container_slot`.
+    pub const fn migrate(target: u8) -> RawCmd {
+        RawCmd::new(OpCode::Migrate as u8, target, NO_OPERAND, NO_OPERAND)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_packing_round_trips() {
+        let c = RawCmd::new(0x07, 0x0B, 0x01, 0x01);
+        assert_eq!(c.op_byte(), 0x07);
+        assert_eq!(c.a(), 0x0B);
+        assert_eq!(c.b(), 0x01);
+        assert_eq!(c.c(), 0x01);
+        assert_eq!(c.opcode(), Some(OpCode::DeQueue));
+    }
+
+    #[test]
+    fn opcode_byte_values_match_table1() {
+        // The paper's Table 1 binary column.
+        assert_eq!(OpCode::Return as u8, 0x00);
+        assert_eq!(OpCode::Comp as u8, 0x02);
+        assert_eq!(OpCode::Jump as u8, 0x06);
+        assert_eq!(OpCode::DeQueue as u8, 0x07);
+        assert_eq!(OpCode::EnQueue as u8, 0x08);
+        assert_eq!(OpCode::Flush as u8, 0x0B);
+        assert_eq!(OpCode::Set as u8, 0x0C);
+        assert_eq!(OpCode::Ref as u8, 0x0D);
+        assert_eq!(OpCode::Mod as u8, 0x0E);
+        assert_eq!(OpCode::Activate as u8, 0x10);
+        assert_eq!(OpCode::Mru as u8, 0x13);
+    }
+
+    #[test]
+    fn all_opcodes_decode() {
+        for (i, op) in OpCode::ALL.into_iter().enumerate() {
+            assert_eq!(OpCode::from_u8(i as u8), Some(op));
+            assert_eq!(op as usize, i);
+        }
+        assert_eq!(OpCode::from_u8(0x15), None);
+        assert_eq!(OpCode::from_u8(0xFF), None);
+    }
+
+    #[test]
+    fn jump_target_is_16_bit() {
+        let j = build::jump(JumpMode::IfFalse, 0x1234);
+        assert_eq!(j.jump_target(), 0x1234);
+        assert_eq!(j.a(), 0);
+        // Byte-compatible with the paper's 8-bit targets: high byte zero.
+        let paper = RawCmd::new(0x06, 0x00, 0x00, 0x05);
+        assert_eq!(paper.jump_target(), 5);
+        assert_eq!(paper.opcode(), Some(OpCode::Jump));
+    }
+
+    #[test]
+    fn test_commands_are_classified() {
+        assert!(OpCode::Comp.is_test());
+        assert!(OpCode::Ref.is_test());
+        assert!(OpCode::Lru.is_test());
+        assert!(!OpCode::DeQueue.is_test());
+        assert!(!OpCode::Jump.is_test());
+        assert!(!OpCode::Return.is_test());
+    }
+
+    #[test]
+    fn comp_eval() {
+        assert!(CompOp::Gt.eval(3, 2));
+        assert!(!CompOp::Gt.eval(2, 2));
+        assert!(CompOp::Le.eval(2, 2));
+        assert!(CompOp::Ne.eval(1, 2));
+        assert!(CompOp::Eq.eval(-5, -5));
+        assert!(CompOp::Lt.eval(-6, -5));
+        assert!(CompOp::Ge.eval(0, -1));
+    }
+
+    #[test]
+    fn flag_decoders_reject_out_of_range() {
+        assert_eq!(ArithOp::from_u8(8), None);
+        assert_eq!(CompOp::from_u8(6), None);
+        assert_eq!(LogicOp::from_u8(6), None);
+        assert_eq!(JumpMode::from_u8(3), None);
+        assert_eq!(QueueEnd::from_u8(2), None);
+        assert_eq!(PageBit::from_u8(0), None);
+        assert_eq!(PageBit::from_u8(3), None);
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        assert_eq!(build::dequeue(2, 1, QueueEnd::Head).to_string(), "dequeue 2, 1, 0");
+        assert_eq!(build::jump(JumpMode::Always, 7).to_string(), "jump mode=1 -> 7");
+        assert_eq!(build::ret(NO_OPERAND).to_string(), "return");
+        assert!(RawCmd::new(0xEE, 0, 0, 0).to_string().contains("invalid"));
+    }
+}

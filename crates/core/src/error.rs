@@ -1,0 +1,225 @@
+//! Error types of the HiPEC layer.
+
+use core::fmt;
+
+use hipec_vm::VmError;
+
+use crate::command::RawCmd;
+
+/// A fault raised while interpreting a policy.
+///
+/// Any `PolicyFault` terminates the offending specific application — the
+/// behaviour the paper assigns to the security checker for "bad policies
+/// from malicious users or due to program mistakes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyFault {
+    /// The opcode byte is not a defined command.
+    BadOpcode {
+        /// The offending command word.
+        cmd: RawCmd,
+        /// Command counter where it was fetched.
+        cc: usize,
+    },
+    /// A flag byte is out of range for the opcode.
+    BadFlag {
+        /// The offending command word.
+        cmd: RawCmd,
+        /// Command counter.
+        cc: usize,
+    },
+    /// An operand byte indexes past the operand array.
+    BadOperandIndex {
+        /// The out-of-range index.
+        index: u8,
+        /// Command counter.
+        cc: usize,
+    },
+    /// An operand slot has the wrong type for the command.
+    TypeMismatch {
+        /// What the command required.
+        expected: &'static str,
+        /// What the slot held.
+        found: &'static str,
+        /// Command counter.
+        cc: usize,
+    },
+    /// A read-only slot (kernel variable or queue binding) was written.
+    ReadOnlySlot {
+        /// The slot index.
+        index: u8,
+        /// Command counter.
+        cc: usize,
+    },
+    /// A page operand held no page.
+    EmptyPageSlot {
+        /// The slot index.
+        index: u8,
+        /// Command counter.
+        cc: usize,
+    },
+    /// Integer division or modulo by zero.
+    DivideByZero {
+        /// Command counter.
+        cc: usize,
+    },
+    /// A jump target is outside the event's command segment.
+    JumpOutOfRange {
+        /// The target command counter.
+        target: u16,
+        /// The segment length.
+        len: usize,
+    },
+    /// Execution ran off the end of the segment without `Return`.
+    MissingReturn,
+    /// `Activate` named an undefined event.
+    UnknownEvent(u8),
+    /// `Activate` nesting exceeded the depth limit.
+    DepthExceeded,
+    /// The per-invocation fuel budget was exhausted (runaway policy).
+    OutOfFuel,
+    /// A dirty page was pushed to the free queue without a `Flush`.
+    DirtyFree,
+    /// A set modify bit was cleared by `Set` (would lose data).
+    UnsafeModClear,
+    /// `Return` from `PageFault` did not produce a usable page.
+    NoPageReturned,
+    /// `Migrate` named an unknown or terminated container.
+    BadMigrateTarget(i64),
+    /// The VM substrate rejected an operation.
+    Vm(VmError),
+}
+
+impl fmt::Display for PolicyFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyFault::BadOpcode { cmd, cc } => {
+                write!(f, "cc {cc}: undefined opcode in 0x{:08x}", cmd.0)
+            }
+            PolicyFault::BadFlag { cmd, cc } => {
+                write!(f, "cc {cc}: bad flag byte in 0x{:08x}", cmd.0)
+            }
+            PolicyFault::BadOperandIndex { index, cc } => {
+                write!(f, "cc {cc}: operand index {index} out of range")
+            }
+            PolicyFault::TypeMismatch {
+                expected,
+                found,
+                cc,
+            } => write!(f, "cc {cc}: expected a {expected} operand, found {found}"),
+            PolicyFault::ReadOnlySlot { index, cc } => {
+                write!(f, "cc {cc}: write to read-only slot {index}")
+            }
+            PolicyFault::EmptyPageSlot { index, cc } => {
+                write!(f, "cc {cc}: page slot {index} holds no page")
+            }
+            PolicyFault::DivideByZero { cc } => write!(f, "cc {cc}: division by zero"),
+            PolicyFault::JumpOutOfRange { target, len } => {
+                write!(f, "jump target {target} outside segment of {len} commands")
+            }
+            PolicyFault::MissingReturn => write!(f, "execution ran past the segment end"),
+            PolicyFault::UnknownEvent(e) => write!(f, "activate of undefined event {e}"),
+            PolicyFault::DepthExceeded => write!(f, "activate nesting too deep"),
+            PolicyFault::OutOfFuel => write!(f, "policy exceeded its execution budget"),
+            PolicyFault::DirtyFree => write!(f, "dirty page freed without flush"),
+            PolicyFault::UnsafeModClear => write!(f, "modify bit cleared on a dirty page"),
+            PolicyFault::NoPageReturned => {
+                write!(f, "PageFault event returned without a page")
+            }
+            PolicyFault::BadMigrateTarget(k) => write!(f, "migrate to unknown container {k}"),
+            PolicyFault::Vm(e) => write!(f, "vm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyFault {}
+
+impl From<VmError> for PolicyFault {
+    fn from(e: VmError) -> Self {
+        PolicyFault::Vm(e)
+    }
+}
+
+/// Errors surfaced by the HiPEC kernel interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HipecError {
+    /// The `minFrame` admission request cannot be satisfied (the paper's
+    /// documented error return from `vm_map_hipec`/`vm_allocate_hipec`).
+    MinFramesUnavailable {
+        /// Frames requested.
+        requested: u64,
+        /// Frames obtainable.
+        available: u64,
+    },
+    /// The program failed static validation; see the contained report.
+    InvalidProgram(String),
+    /// The specific application was terminated (policy fault or timeout).
+    Terminated {
+        /// Container key.
+        container: u32,
+        /// Why it was killed.
+        reason: String,
+    },
+    /// The container key is unknown.
+    NoSuchContainer(u32),
+    /// The VM substrate rejected an operation.
+    Vm(VmError),
+}
+
+impl fmt::Display for HipecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HipecError::MinFramesUnavailable {
+                requested,
+                available,
+            } => write!(
+                f,
+                "minFrame request of {requested} frames cannot be met ({available} available)"
+            ),
+            HipecError::InvalidProgram(r) => write!(f, "invalid policy program: {r}"),
+            HipecError::Terminated { container, reason } => {
+                write!(f, "specific application (container {container}) terminated: {reason}")
+            }
+            HipecError::NoSuchContainer(k) => write!(f, "no such container {k}"),
+            HipecError::Vm(e) => write!(f, "vm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HipecError {}
+
+impl From<VmError> for HipecError {
+    fn from(e: VmError) -> Self {
+        HipecError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_display() {
+        let f = PolicyFault::TypeMismatch {
+            expected: "queue",
+            found: "int",
+            cc: 7,
+        };
+        assert!(f.to_string().contains("cc 7"));
+        assert!(f.to_string().contains("queue"));
+        assert!(PolicyFault::OutOfFuel.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = HipecError::MinFramesUnavailable {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = HipecError::Terminated {
+            container: 3,
+            reason: "timeout".into(),
+        };
+        assert!(e.to_string().contains("timeout"));
+    }
+}

@@ -1,0 +1,338 @@
+//! The HiPEC kernel: the modified Mach kernel of the paper.
+//!
+//! [`HipecKernel`] wraps the `hipec-vm` kernel and adds everything §4
+//! describes: containers, the policy executor, the security checker and the
+//! global frame manager. Non-specific applications run through
+//! [`HipecKernel::access`] exactly as on plain Mach (plus the per-fault
+//! region check the paper measures); specific applications install policies
+//! with [`HipecKernel::vm_allocate_hipec`] / [`HipecKernel::vm_map_hipec`].
+
+use hipec_sim::SimDuration;
+use hipec_vm::{
+    AccessOutcome, AccessResult, Backing, Kernel, KernelParams, ObjectId, TaskId, VAddr,
+};
+
+use crate::checker::{validate_program, SecurityChecker};
+use crate::container::Container;
+use crate::error::{HipecError, PolicyFault};
+use crate::executor::{ExecLimits, ExecValue};
+use crate::manager::GlobalFrameManager;
+use crate::program::{PolicyProgram, EVENT_PAGE_FAULT};
+
+/// The handle an application receives when it invokes HiPEC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContainerKey(pub u32);
+
+/// The modified (HiPEC) kernel.
+pub struct HipecKernel {
+    /// The underlying VM substrate (fault path, frame pool, paging device).
+    pub vm: Kernel,
+    /// All containers ever created (terminated ones stay for inspection).
+    pub containers: Vec<Container>,
+    /// The global frame manager state.
+    pub gfm: GlobalFrameManager,
+    /// The security checker.
+    pub checker: SecurityChecker,
+    /// Executor fuel and nesting limits.
+    pub limits: ExecLimits,
+    next_seq: u64,
+}
+
+impl HipecKernel {
+    /// Boots the modified kernel. `partition_burst` is set to 50 % of the
+    /// free frames after startup (paper §4.3.1).
+    pub fn new(params: KernelParams) -> Self {
+        let mut vm = Kernel::new(params);
+        vm.hipec_check_enabled = true;
+        let burst = vm.free_count() / 2;
+        HipecKernel {
+            vm,
+            containers: Vec::new(),
+            gfm: GlobalFrameManager::new(burst),
+            checker: SecurityChecker::new(),
+            limits: ExecLimits::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// `vm_allocate_hipec`: an anonymous region under the given policy.
+    pub fn vm_allocate_hipec(
+        &mut self,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region(task, bytes, program, min_frames, Backing::Anonymous)
+    }
+
+    /// `vm_map_hipec`: a file-backed region under the given policy.
+    pub fn vm_map_hipec(
+        &mut self,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region(task, bytes, program, min_frames, Backing::File)
+    }
+
+    fn setup_hipec_region(
+        &mut self,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+        backing: Backing,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        // The security checker validates the command buffer before the
+        // container is mounted (paper §4.3).
+        if let Err(report) = validate_program(&program) {
+            return Err(HipecError::InvalidProgram(report.join("; ")));
+        }
+        // minFrame admission: reclaim from existing containers if the free
+        // pool alone cannot cover the request.
+        let frames = self.admit_frames(min_frames)?;
+
+        let pages = hipec_vm::bytes_to_pages(bytes);
+        let object = self.vm.create_object(pages, backing)?;
+        let addr = self.vm.map_object(task, object, 0, pages)?;
+        let key = self.containers.len() as u32;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut container =
+            Container::new(key, object, task, program, min_frames, seq, &mut self.vm);
+        for f in frames {
+            self.vm
+                .frames
+                .enqueue_tail(container.free_q, f)
+                .map_err(HipecError::Vm)?;
+        }
+        container.allocated = min_frames;
+        self.gfm.total_specific += min_frames;
+        self.vm.object_mut(object)?.container = Some(key);
+        self.containers.push(container);
+        // Installing the policy costs one system call.
+        self.vm.charge(self.vm.cost.null_syscall);
+        self.vm.stats.bump("hipec_installs");
+        Ok((addr, object, ContainerKey(key)))
+    }
+
+    /// Performs one memory access, resolving HiPEC faults via the policy
+    /// executor.
+    pub fn access(
+        &mut self,
+        task: TaskId,
+        addr: VAddr,
+        write: bool,
+    ) -> Result<AccessResult, HipecError> {
+        self.poll_checker();
+        match self.vm.access(task, addr, write)? {
+            AccessOutcome::Done(r) => Ok(r),
+            AccessOutcome::NeedsPolicy(info) => self.policy_fault(info),
+        }
+    }
+
+    fn policy_fault(
+        &mut self,
+        info: hipec_vm::PolicyFaultInfo,
+    ) -> Result<AccessResult, HipecError> {
+        let cidx = info.container as usize;
+        let container = self
+            .containers
+            .get(cidx)
+            .ok_or(HipecError::NoSuchContainer(info.container))?;
+        if container.terminated {
+            return Err(HipecError::Terminated {
+                container: info.container,
+                reason: "already terminated".into(),
+            });
+        }
+        // Invoke the policy executor: container lookup, operand binding,
+        // start timestamp (inspected by the checker).
+        self.vm.charge(self.vm.cost.executor_invoke);
+        let fault_start = self.vm.now();
+        self.containers[cidx].exec_started = Some(fault_start);
+        let mut fuel = self.limits.fuel;
+        let outcome = self.run_event(cidx, EVENT_PAGE_FAULT, 0, &mut fuel);
+        match outcome {
+            Ok(ExecValue::Page(frame)) => {
+                self.containers[cidx].exec_started = None;
+                self.containers[cidx].stats.faults += 1;
+                // Defensive checks on the returned frame: it must be clean
+                // and evicted, and must not linger on the free queue.
+                let free_q = self.containers[cidx].free_q;
+                if self.vm.frames.queue_of(frame)? == Some(free_q) {
+                    self.vm.frames.remove(frame)?;
+                }
+                if self.vm.frames.frame(frame)?.owner.is_some() {
+                    return Err(self.kill(cidx, "PageFault returned an owned page"));
+                }
+                let result = self.vm.complete_policy_fault(info, frame)?;
+                let end = result.io_until.unwrap_or_else(|| self.vm.now());
+                self.vm.fault_latency.record(end.since(fault_start));
+                Ok(result)
+            }
+            Ok(_) => Err(self.kill(cidx, &PolicyFault::NoPageReturned.to_string())),
+            Err(PolicyFault::OutOfFuel) => {
+                // A runaway policy: the executor is stuck until the security
+                // checker's timeout detection terminates the application.
+                // Model the detection latency by running the checker forward.
+                let reason = self.detect_runaway(cidx);
+                Err(reason)
+            }
+            Err(fault) => Err(self.kill(cidx, &fault.to_string())),
+        }
+    }
+
+    /// Terminates a container: reclaims every frame it holds and reverts its
+    /// region to default management.
+    pub(crate) fn kill(&mut self, cidx: usize, reason: &str) -> HipecError {
+        self.containers[cidx].terminated = true;
+        self.containers[cidx].exec_started = None;
+        let _ = self.reclaim_all_frames(cidx);
+        let object = self.containers[cidx].object;
+        if let Ok(obj) = self.vm.object_mut(object) {
+            obj.container = None;
+        }
+        self.vm.stats.bump("hipec_kills");
+        HipecError::Terminated {
+            container: self.containers[cidx].key,
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Advances the security checker until it detects the runaway policy in
+    /// `cidx`, then terminates the application. Returns the termination
+    /// error (carrying the detection latency in its reason).
+    fn detect_runaway(&mut self, cidx: usize) -> HipecError {
+        let started = self.containers[cidx]
+            .exec_started
+            .expect("runaway policies have a start stamp");
+        // The checker only kills executions older than the timeout period;
+        // step wakeup by wakeup until that happens.
+        let mut guard = 0;
+        while !self.containers[cidx].terminated {
+            let next = self.checker.next_wakeup;
+            self.vm.clock.advance_to(next);
+            self.poll_checker();
+            guard += 1;
+            if guard > 10_000 {
+                // Unreachable by construction; fail closed rather than hang.
+                let _ = self.kill(cidx, "runaway (checker fallback)");
+                break;
+            }
+        }
+        let latency = self.vm.now().since(started);
+        HipecError::Terminated {
+            container: self.containers[cidx].key,
+            reason: format!("policy execution timeout detected after {latency}"),
+        }
+    }
+
+    /// Runs the security checker if its wakeup time has passed.
+    pub fn poll_checker(&mut self) {
+        while self.vm.now() >= self.checker.next_wakeup {
+            self.checker_wakeup();
+        }
+    }
+
+    /// Total frames currently allocated to specific applications.
+    pub fn specific_total(&self) -> u64 {
+        self.gfm.total_specific
+    }
+
+    /// Convenience: access and, if the access started device I/O, advance
+    /// the clock to its completion (single-job drivers).
+    pub fn access_sync(
+        &mut self,
+        task: TaskId,
+        addr: VAddr,
+        write: bool,
+    ) -> Result<AccessResult, HipecError> {
+        let r = self.access(task, addr, write)?;
+        if let Some(done) = r.io_until {
+            self.vm.clock.advance_to(done);
+            self.vm.pump();
+        }
+        Ok(r)
+    }
+
+    /// A container view by key.
+    pub fn container(&self, key: ContainerKey) -> Result<&Container, HipecError> {
+        self.containers
+            .get(key.0 as usize)
+            .ok_or(HipecError::NoSuchContainer(key.0))
+    }
+
+    /// `vm_deallocate_hipec`: tears down a HiPEC region (paper §4.3.1,
+    /// deallocation trigger 1: "when their VM region is deallocated").
+    ///
+    /// Every frame the container holds — queued, resident or parked in an
+    /// operand slot — returns to the global pool (dirty contents are
+    /// discarded with the region), the container is retired gracefully
+    /// (it does not count as a kill) and the address range is unmapped.
+    pub fn vm_deallocate_hipec(
+        &mut self,
+        task: TaskId,
+        addr: VAddr,
+        key: ContainerKey,
+    ) -> Result<u64, HipecError> {
+        let cidx = key.0 as usize;
+        if cidx >= self.containers.len() {
+            return Err(HipecError::NoSuchContainer(key.0));
+        }
+        // Contents are being destroyed: clear modify bits so the sweep
+        // frees instead of flushing.
+        let queues = self.containers[cidx].queues.clone();
+        for q in queues {
+            let members: Vec<_> = self.vm.frames.iter_queue(q).collect();
+            for f in members {
+                self.vm.frames.frame_mut(f)?.mod_bit = false;
+            }
+        }
+        let parked: Vec<_> = self.containers[cidx]
+            .operands
+            .iter()
+            .filter_map(|slot| match slot {
+                crate::operand::OperandSlot::Page(Some(f)) => Some(*f),
+                _ => None,
+            })
+            .collect();
+        for f in parked {
+            self.vm.frames.frame_mut(f)?.mod_bit = false;
+        }
+        let reclaimed = self.reclaim_all_frames(cidx);
+        self.containers[cidx].terminated = true;
+        self.containers[cidx].exec_started = None;
+        let object = self.containers[cidx].object;
+        self.vm.object_mut(object)?.container = None;
+        let freed = self.vm.vm_deallocate(task, addr)?;
+        self.vm.stats.bump("hipec_deallocations");
+        Ok(reclaimed + freed)
+    }
+
+    /// Runs one event of `key`'s policy outside the fault path.
+    ///
+    /// Measurement hook: benchmarks and tests use it to drive the
+    /// interpreter's fetch/decode/dispatch loop in isolation. The event
+    /// executes with a fresh fuel budget; faults are returned, not killed.
+    pub fn run_event_raw(
+        &mut self,
+        key: ContainerKey,
+        event: u8,
+    ) -> Result<ExecValue, PolicyFault> {
+        let mut fuel = self.limits.fuel;
+        self.run_event(key.0 as usize, event, 0, &mut fuel)
+    }
+
+    /// Charges the cost of one null syscall (used by comparison harnesses).
+    pub fn charge_syscall(&mut self) {
+        self.vm.charge(self.vm.cost.null_syscall);
+    }
+
+    /// Charges an arbitrary CPU cost (workload compute time).
+    pub fn charge(&mut self, d: SimDuration) {
+        self.vm.charge(d);
+    }
+}

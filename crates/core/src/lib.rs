@@ -1,0 +1,69 @@
+//! HiPEC: High Performance External Virtual Memory Caching.
+//!
+//! A from-scratch reproduction of the mechanism from Lee, Chen & Chang
+//! (OSDI 1994): applications install their own page-replacement policies as
+//! sequences of 32-bit commands that the kernel interprets at page-fault
+//! time — no kernel/user crossing, no upcalls, no IPC.
+//!
+//! The crate layers on the `hipec-vm` Mach-style substrate:
+//!
+//! * [`command`] — the 20-command set (plus the `Migrate` extension) and
+//!   its binary encoding;
+//! * [`program`] — policy programs, operand declarations and the
+//!   command-buffer wire format;
+//! * [`container`] — the per-region kernel object holding the operand
+//!   array, private frame queues and execution timestamps;
+//! * [`executor`] — the in-kernel interpreter;
+//! * [`checker`] — static validation and adaptive timeout detection;
+//! * [`manager`] — the global frame manager (partition_burst, minFrame,
+//!   FAFR reclamation, asynchronous flush);
+//! * [`kernel`] — [`HipecKernel`], the modified kernel with
+//!   `vm_allocate_hipec` / `vm_map_hipec`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hipec_core::{HipecKernel, PolicyProgram, OperandDecl};
+//! use hipec_core::command::{build, QueueEnd, NO_OPERAND};
+//! use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+//!
+//! // A trivial policy: serve faults straight from the private free list.
+//! let mut program = PolicyProgram::new();
+//! let free_q = program.declare(OperandDecl::FreeQueue);
+//! let page = program.declare(OperandDecl::Page);
+//! program.add_event("PageFault", vec![
+//!     build::dequeue(page, free_q, QueueEnd::Head),
+//!     build::ret(page),
+//! ]);
+//! program.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+//!
+//! let mut kernel = HipecKernel::new(KernelParams::paper_64mb());
+//! let task = kernel.vm.create_task();
+//! let (addr, _object, _key) = kernel
+//!     .vm_allocate_hipec(task, 8 * PAGE_SIZE, program, 8)
+//!     .expect("install policy");
+//! kernel.access(task, addr, false).expect("fault resolved by policy");
+//! kernel.access(task, VAddr(addr.0 + PAGE_SIZE), true).expect("again");
+//! ```
+
+pub mod analysis;
+pub mod checker;
+pub mod command;
+pub mod container;
+pub mod error;
+pub mod executor;
+pub mod kernel;
+pub mod manager;
+pub mod operand;
+pub mod program;
+
+pub use analysis::analyze_program;
+pub use checker::{validate_program, SecurityChecker};
+pub use command::{OpCode, RawCmd, NO_OPERAND};
+pub use container::{Container, ContainerStats};
+pub use error::{HipecError, PolicyFault};
+pub use executor::{ExecLimits, ExecValue};
+pub use kernel::{ContainerKey, HipecKernel};
+pub use manager::GlobalFrameManager;
+pub use operand::{KernelVar, OperandDecl, OperandSlot};
+pub use program::{PolicyProgram, WireError, EVENT_PAGE_FAULT, EVENT_RECLAIM_FRAME, HIPEC_MAGIC};

@@ -1,0 +1,348 @@
+//! The global frame manager (paper §4.3.1).
+//!
+//! The Mach pageout daemon, extended to serve specific applications. Four
+//! tasks:
+//!
+//! * **Balance** — the `partition_burst` watermark (50 % of post-boot free
+//!   frames) caps the total allocation to specific applications; exceeding
+//!   it triggers reclamation from containers holding more than `minFrame`.
+//! * **Allocation** — `minFrame` admission at `vm_*_hipec` time and the
+//!   `Request` command at run time (full grant or rejection).
+//! * **Deallocation** — normal reclamation runs the victim container's
+//!   `ReclaimFrame` event (FAFR order: first allocated, first reclaimed);
+//!   forced reclamation takes frames directly from container queues.
+//! * **I/O handling** — `Flush` exchanges a dirty page for a clean frame;
+//!   the device write happens asynchronously so the executor never waits
+//!   for the disk.
+
+use hipec_vm::FrameId;
+
+use crate::error::{HipecError, PolicyFault};
+use crate::kernel::HipecKernel;
+use crate::program::EVENT_RECLAIM_FRAME;
+
+/// Global-frame-manager state and statistics.
+#[derive(Debug, Clone)]
+pub struct GlobalFrameManager {
+    /// Maximum total frames allocatable to specific applications.
+    pub partition_burst: u64,
+    /// Frames currently allocated to specific applications.
+    pub total_specific: u64,
+    /// `Request` grants.
+    pub grants: u64,
+    /// `Request` rejections.
+    pub rejections: u64,
+    /// Frames reclaimed through `ReclaimFrame` events.
+    pub normal_reclaims: u64,
+    /// Frames reclaimed by force.
+    pub forced_reclaims: u64,
+}
+
+impl GlobalFrameManager {
+    /// Creates the manager with the given partition watermark.
+    pub fn new(partition_burst: u64) -> Self {
+        GlobalFrameManager {
+            partition_burst,
+            total_specific: 0,
+            grants: 0,
+            rejections: 0,
+            normal_reclaims: 0,
+            forced_reclaims: 0,
+        }
+    }
+}
+
+impl HipecKernel {
+    /// `minFrame` admission: obtains `n` frames for a new container,
+    /// reclaiming from existing containers if the free pool cannot cover
+    /// the request. Fails with [`HipecError::MinFramesUnavailable`].
+    pub(crate) fn admit_frames(&mut self, n: u64) -> Result<Vec<FrameId>, HipecError> {
+        match self.vm.take_free_frames(n) {
+            Ok(frames) => Ok(frames),
+            Err(_) => {
+                // Reclaim from existing specific applications, then retry.
+                let shortfall = n.saturating_sub(self.vm.free_count());
+                self.reclaim_specific(shortfall);
+                self.vm
+                    .take_free_frames(n)
+                    .map_err(|_| HipecError::MinFramesUnavailable {
+                        requested: n,
+                        available: self.vm.free_count(),
+                    })
+            }
+        }
+    }
+
+    /// The `Request` command: full grant or rejection (paper §4.3.1).
+    ///
+    /// A request is granted only if the global free pool can supply it
+    /// without dipping below the pageout daemon's `free_target`. Granted
+    /// frames land on the container's free queue. If the grant pushes the
+    /// specific total past `partition_burst`, balance reclamation runs.
+    pub(crate) fn gfm_request(&mut self, cidx: usize, n: u64) -> Result<u64, PolicyFault> {
+        self.vm.charge(self.vm.cost.request_grant);
+        if n == 0 {
+            return Ok(0);
+        }
+        let spare = self.vm.free_count().saturating_sub(self.vm.free_target());
+        if n > spare {
+            // Rejected: the executor checks the return code and lets the
+            // policy handle the shortage — it is never hung waiting.
+            self.gfm.rejections += 1;
+            return Ok(0);
+        }
+        let frames = self.vm.take_free_frames(n)?;
+        let free_q = self.containers[cidx].free_q;
+        for f in frames {
+            self.vm.frames.enqueue_tail(free_q, f)?;
+        }
+        self.containers[cidx].allocated += n;
+        self.containers[cidx].stats.requested += n;
+        self.gfm.total_specific += n;
+        self.gfm.grants += 1;
+        self.balance();
+        Ok(n)
+    }
+
+    /// The `Release` command: returns one page to the global pool.
+    pub(crate) fn gfm_release(&mut self, cidx: usize, page: FrameId) -> Result<(), PolicyFault> {
+        self.vm.charge(self.vm.cost.request_grant);
+        {
+            let frame = self.vm.frames.frame(page)?;
+            if frame.mod_bit {
+                return Err(PolicyFault::DirtyFree);
+            }
+        }
+        if self.vm.frames.frame(page)?.owner.is_some() {
+            self.vm.evict_frame(page)?;
+        }
+        self.vm.return_frame(page)?;
+        self.containers[cidx].allocated = self.containers[cidx].allocated.saturating_sub(1);
+        self.containers[cidx].stats.released += 1;
+        self.gfm.total_specific = self.gfm.total_specific.saturating_sub(1);
+        Ok(())
+    }
+
+    /// The `Flush` command: hands a dirty page to the manager's flush
+    /// machinery and returns a clean frame in exchange, so the executor
+    /// never waits for the device (paper §4.3.1, I/O handling).
+    ///
+    /// Clean pages are exchanged for themselves (no device write).
+    pub(crate) fn flush_exchange(
+        &mut self,
+        cidx: usize,
+        page: FrameId,
+    ) -> Result<FrameId, PolicyFault> {
+        if !self.vm.frames.frame(page)?.mod_bit {
+            return Ok(page);
+        }
+        if self.vm.frames.queue_of(page)?.is_some() {
+            self.vm.frames.remove(page)?;
+        }
+        // The dirty frame migrates to the global pool (it reappears on the
+        // global free queue when its write completes)…
+        self.vm.start_flush(page)?;
+        self.containers[cidx].allocated -= 1;
+        self.gfm.total_specific -= 1;
+        // …and the container receives a clean frame now. `take_free_frames`
+        // waits on in-flight flushes if the pool is momentarily empty, so
+        // this cannot deadlock.
+        let replacement = self
+            .vm
+            .take_free_frames(1)?
+            .pop()
+            .expect("take_free_frames(1) yields one frame");
+        self.containers[cidx].allocated += 1;
+        self.containers[cidx].stats.flushes += 1;
+        self.gfm.total_specific += 1;
+        self.vm.charge(self.vm.cost.request_grant);
+        Ok(replacement)
+    }
+
+    /// The `Migrate` extension: moves one free frame from `cidx`'s free
+    /// queue to the container with key `target` (paper §6, future work).
+    pub(crate) fn migrate_frame(&mut self, cidx: usize, target: i64) -> Result<(), PolicyFault> {
+        let tidx = usize::try_from(target).map_err(|_| PolicyFault::BadMigrateTarget(target))?;
+        if tidx >= self.containers.len() || self.containers[tidx].terminated || tidx == cidx {
+            return Err(PolicyFault::BadMigrateTarget(target));
+        }
+        let src_free = self.containers[cidx].free_q;
+        let frame = self
+            .vm
+            .frames
+            .dequeue_head(src_free)?
+            .ok_or(PolicyFault::EmptyPageSlot {
+                index: 0,
+                cc: usize::MAX,
+            })?;
+        let dst_free = self.containers[tidx].free_q;
+        self.vm.frames.enqueue_tail(dst_free, frame)?;
+        self.vm.charge(self.vm.cost.queue_op * 2);
+        self.containers[cidx].allocated -= 1;
+        self.containers[tidx].allocated += 1;
+        Ok(())
+    }
+
+    /// Balance: if specific applications collectively exceed
+    /// `partition_burst`, reclaim the excess from containers holding more
+    /// than their `minFrame` (paper §4.3.1, balance + deallocation).
+    pub fn balance(&mut self) {
+        if self.gfm.total_specific > self.gfm.partition_burst {
+            let excess = self.gfm.total_specific - self.gfm.partition_burst;
+            self.reclaim_specific(excess);
+        }
+    }
+
+    /// Reclaims up to `want` frames from specific applications: normal
+    /// (FAFR `ReclaimFrame` events) first, then forced. Returns the number
+    /// actually reclaimed.
+    pub(crate) fn reclaim_specific(&mut self, want: u64) -> u64 {
+        if want == 0 {
+            return 0;
+        }
+        let mut got = self.normal_reclaim(want);
+        if got < want {
+            got += self.forced_reclaim(want - got);
+        }
+        got
+    }
+
+    /// FAFR order: container indices sorted by creation sequence, skipping
+    /// terminated containers and those at or below `minFrame`.
+    fn fafr_candidates(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.containers.len())
+            .filter(|&i| !self.containers[i].terminated && self.containers[i].surplus() > 0)
+            .collect();
+        idx.sort_by_key(|&i| self.containers[i].created_seq);
+        idx
+    }
+
+    /// Normal reclamation: run `ReclaimFrame` events, letting applications
+    /// decide which pages are least important.
+    fn normal_reclaim(&mut self, want: u64) -> u64 {
+        let mut got = 0u64;
+        for i in self.fafr_candidates() {
+            if got >= want {
+                break;
+            }
+            let ask = (want - got).min(self.containers[i].surplus());
+            if ask == 0 {
+                continue;
+            }
+            let before = self.containers[i].allocated;
+            self.containers[i].reclaim_target = ask;
+            self.containers[i].exec_started = Some(self.vm.now());
+            self.vm.charge(self.vm.cost.executor_invoke);
+            let mut fuel = self.limits.fuel;
+            let outcome = self.run_event(i, EVENT_RECLAIM_FRAME, 0, &mut fuel);
+            self.containers[i].reclaim_target = 0;
+            self.containers[i].exec_started = None;
+            match outcome {
+                Ok(_) => {
+                    let released = before.saturating_sub(self.containers[i].allocated);
+                    got += released;
+                    self.gfm.normal_reclaims += released;
+                }
+                Err(fault) => {
+                    // A faulting ReclaimFrame policy terminates the app;
+                    // its frames all come back.
+                    let reason = fault.to_string();
+                    let _ = self.kill(i, &reason);
+                    got += before;
+                }
+            }
+        }
+        got
+    }
+
+    /// Forced reclamation: take frames directly off container queues, free
+    /// queue first, flushing dirty pages (they are "linked to a VM object
+    /// and flushed to disk later").
+    fn forced_reclaim(&mut self, want: u64) -> u64 {
+        let mut got = 0u64;
+        for i in self.fafr_candidates() {
+            if got >= want {
+                break;
+            }
+            let take = (want - got).min(self.containers[i].surplus());
+            got += self.force_take(i, take);
+        }
+        got
+    }
+
+    /// Takes up to `take` frames from container `i`. Returns the number
+    /// taken.
+    pub(crate) fn force_take(&mut self, i: usize, take: u64) -> u64 {
+        let mut taken = 0u64;
+        let queues = self.containers[i].queues.clone();
+        'outer: for q in queues {
+            while taken < take {
+                let Ok(Some(f)) = self.vm.frames.dequeue_head(q) else {
+                    break;
+                };
+                let dirty = self.vm.frames.frame(f).map(|fr| fr.mod_bit).unwrap_or(false);
+                let ok = if dirty {
+                    self.vm.start_flush(f).is_ok()
+                } else {
+                    self.vm.evict_frame(f).is_ok() && self.vm.return_frame(f).is_ok()
+                };
+                if ok {
+                    taken += 1;
+                } else {
+                    break 'outer;
+                }
+            }
+            if taken >= take {
+                break;
+            }
+        }
+        // Frames parked in Page operand slots sit on no queue; sweep them
+        // too so a terminated or deallocated container cannot leak.
+        if taken < take {
+            for slot in 0..self.containers[i].operands.len() {
+                if taken >= take {
+                    break;
+                }
+                let crate::operand::OperandSlot::Page(Some(f)) = self.containers[i].operands[slot]
+                else {
+                    continue;
+                };
+                let parked = self
+                    .vm
+                    .frames
+                    .queue_of(f)
+                    .ok()
+                    .is_some_and(|q| q.is_none());
+                if !parked {
+                    continue;
+                }
+                let dirty = self.vm.frames.frame(f).map(|fr| fr.mod_bit).unwrap_or(false);
+                let ok = if dirty {
+                    self.vm.start_flush(f).is_ok()
+                } else {
+                    self.vm.evict_frame(f).is_ok() && self.vm.return_frame(f).is_ok()
+                };
+                if ok {
+                    self.containers[i].operands[slot] = crate::operand::OperandSlot::Page(None);
+                    taken += 1;
+                }
+            }
+        }
+        self.containers[i].allocated -= taken.min(self.containers[i].allocated);
+        self.containers[i].stats.released += taken;
+        self.gfm.total_specific -= taken.min(self.gfm.total_specific);
+        self.gfm.forced_reclaims += taken;
+        taken
+    }
+
+    /// Reclaims *all* of a container's frames (termination path).
+    pub(crate) fn reclaim_all_frames(&mut self, i: usize) -> u64 {
+        let all = self.containers[i].allocated;
+        // Temporarily treat everything as surplus.
+        let saved_min = self.containers[i].min_frames;
+        self.containers[i].min_frames = 0;
+        let taken = self.force_take(i, all);
+        self.containers[i].min_frames = saved_min;
+        taken
+    }
+}

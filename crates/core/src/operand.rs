@@ -1,0 +1,145 @@
+//! Operand slots: the typed variables HiPEC commands operate on.
+//!
+//! Each container holds an operand array of up to 256 entries (paper §4.2).
+//! An entry points at a variable that can be "as simple as an unsigned
+//! integer, or as complex as the virtual memory page structure or page
+//! queue list". Here that is the [`OperandSlot`] enum; kernel-maintained
+//! counters are exposed through read-only [`KernelVar`] slots, which is how
+//! the executor gives policies the information PREMO could not (e.g. the
+//! number of frames under the application's control) without letting them
+//! touch kernel structures directly.
+
+use hipec_vm::{FrameId, QueueId};
+use serde::{Deserialize, Serialize};
+
+/// A kernel-maintained, read-only integer visible to policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelVar {
+    /// Frames on this container's free queue.
+    FreeCount,
+    /// Frames on this container's active queue (declared slot 0 of kind
+    /// `ActiveQueue`).
+    ActiveCount,
+    /// Frames on this container's inactive queue.
+    InactiveCount,
+    /// Total frames currently allocated to this container.
+    AllocatedCount,
+    /// The container's configured minimum allocation (`minFrame`).
+    MinFrames,
+    /// Frames on the system-wide free queue.
+    GlobalFreeCount,
+    /// During a `ReclaimFrame` event: how many frames the global frame
+    /// manager wants back (0 outside reclamation).
+    ReclaimTarget,
+}
+
+/// A declaration of one operand-array entry, carried with the program and
+/// validated by the security checker before installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandDecl {
+    /// A mutable integer, with its initial value.
+    Int(i64),
+    /// A mutable boolean, with its initial value.
+    Bool(bool),
+    /// A page variable (starts holding no page).
+    Page,
+    /// Binds the container's free queue.
+    FreeQueue,
+    /// Creates a container page queue. With `recency` set, the kernel keeps
+    /// it ordered by last reference (see `hipec-vm`'s auto-recency queues),
+    /// which the `LRU`/`MRU` commands require.
+    Queue {
+        /// Kernel-maintained recency ordering.
+        recency: bool,
+    },
+    /// A read-only kernel counter.
+    Kernel(KernelVar),
+}
+
+impl OperandDecl {
+    /// True if commands may write this slot.
+    pub fn writable(self) -> bool {
+        matches!(
+            self,
+            OperandDecl::Int(_) | OperandDecl::Bool(_) | OperandDecl::Page
+        )
+    }
+
+    /// True if the slot reads as an integer.
+    pub fn is_int(self) -> bool {
+        matches!(self, OperandDecl::Int(_) | OperandDecl::Kernel(_))
+    }
+
+    /// True if the slot holds a queue.
+    pub fn is_queue(self) -> bool {
+        matches!(self, OperandDecl::FreeQueue | OperandDecl::Queue { .. })
+    }
+
+    /// True if the slot holds a page.
+    pub fn is_page(self) -> bool {
+        matches!(self, OperandDecl::Page)
+    }
+
+    /// True if the slot holds a boolean.
+    pub fn is_bool(self) -> bool {
+        matches!(self, OperandDecl::Bool(_))
+    }
+}
+
+/// The runtime value of one operand-array entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandSlot {
+    /// A mutable integer.
+    Int(i64),
+    /// A mutable boolean.
+    Bool(bool),
+    /// A page variable; `None` until a page is assigned.
+    Page(Option<FrameId>),
+    /// A page queue (container free queue or a declared queue).
+    Queue(QueueId),
+    /// A read-only kernel counter, resolved on every read.
+    Kernel(KernelVar),
+}
+
+impl OperandSlot {
+    /// A short name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            OperandSlot::Int(_) => "int",
+            OperandSlot::Bool(_) => "bool",
+            OperandSlot::Page(_) => "page",
+            OperandSlot::Queue(_) => "queue",
+            OperandSlot::Kernel(_) => "kernel-int",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_classification() {
+        assert!(OperandDecl::Int(3).writable());
+        assert!(OperandDecl::Page.writable());
+        assert!(!OperandDecl::FreeQueue.writable());
+        assert!(!OperandDecl::Kernel(KernelVar::FreeCount).writable());
+        assert!(OperandDecl::Int(0).is_int());
+        assert!(OperandDecl::Kernel(KernelVar::FreeCount).is_int());
+        assert!(!OperandDecl::Page.is_int());
+        assert!(OperandDecl::FreeQueue.is_queue());
+        assert!(OperandDecl::Queue { recency: true }.is_queue());
+        assert!(OperandDecl::Page.is_page());
+        assert!(OperandDecl::Bool(true).is_bool());
+    }
+
+    #[test]
+    fn slot_type_names() {
+        assert_eq!(OperandSlot::Int(1).type_name(), "int");
+        assert_eq!(OperandSlot::Page(None).type_name(), "page");
+        assert_eq!(
+            OperandSlot::Kernel(KernelVar::GlobalFreeCount).type_name(),
+            "kernel-int"
+        );
+    }
+}

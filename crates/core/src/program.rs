@@ -1,0 +1,375 @@
+//! Policy programs: event segments, operand declarations, wire format.
+//!
+//! A policy program is what a specific application installs: operand
+//! declarations plus one command segment per event. Events `0`
+//! ([`EVENT_PAGE_FAULT`]) and `1` ([`EVENT_RECLAIM_FRAME`]) are
+//! kernel-defined and mandatory (paper §4.2); further events are reached
+//! via `Activate`.
+//!
+//! The wire format mirrors the paper's command buffer: a stream of 32-bit
+//! words starting with a magic number, wired read-only in user space. The
+//! [`PolicyProgram::to_words`]/[`PolicyProgram::from_words`] pair
+//! round-trips it.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::RawCmd;
+use crate::operand::{KernelVar, OperandDecl};
+
+/// The kernel-defined page-fault event.
+pub const EVENT_PAGE_FAULT: u8 = 0;
+/// The kernel-defined frame-reclaim event.
+pub const EVENT_RECLAIM_FRAME: u8 = 1;
+
+/// The magic number heading every command buffer ("HiPE").
+pub const HIPEC_MAGIC: u32 = 0x4869_5045;
+/// Wire-format version.
+pub const WIRE_VERSION: u32 = 1;
+
+/// A complete application policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyProgram {
+    /// Operand-array declarations (slot *i* is entry *i*).
+    pub decls: Vec<OperandDecl>,
+    /// Command segments, indexed by event number.
+    #[serde(with = "arc_events")]
+    pub events: Vec<Arc<Vec<RawCmd>>>,
+    /// Event names for diagnostics (parallel to `events`).
+    pub event_names: Vec<String>,
+}
+
+mod arc_events {
+    use super::*;
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+
+    pub fn serialize<S: Serializer>(
+        events: &[Arc<Vec<RawCmd>>],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let plain: Vec<Vec<u32>> = events
+            .iter()
+            .map(|e| e.iter().map(|c| c.0).collect())
+            .collect();
+        serde::Serialize::serialize(&plain, s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<Vec<Arc<Vec<RawCmd>>>, D::Error> {
+        let plain: Vec<Vec<u32>> = serde::Deserialize::deserialize(d)?;
+        Ok(plain
+            .into_iter()
+            .map(|e| Arc::new(e.into_iter().map(RawCmd).collect()))
+            .collect())
+    }
+}
+
+/// Errors from decoding a wire-format command buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer does not start with [`HIPEC_MAGIC`].
+    BadMagic(u32),
+    /// Unsupported wire version.
+    BadVersion(u32),
+    /// The buffer ended mid-structure.
+    Truncated,
+    /// An operand declaration tag is unknown.
+    BadDeclTag(u32),
+    /// A kernel-variable code is unknown.
+    BadKernelVar(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Truncated => write!(f, "truncated command buffer"),
+            WireError::BadDeclTag(t) => write!(f, "unknown operand declaration tag {t}"),
+            WireError::BadKernelVar(v) => write!(f, "unknown kernel variable code {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const KERNEL_VARS: [KernelVar; 7] = [
+    KernelVar::FreeCount,
+    KernelVar::ActiveCount,
+    KernelVar::InactiveCount,
+    KernelVar::AllocatedCount,
+    KernelVar::MinFrames,
+    KernelVar::GlobalFreeCount,
+    KernelVar::ReclaimTarget,
+];
+
+fn kernel_var_code(v: KernelVar) -> u32 {
+    KERNEL_VARS
+        .iter()
+        .position(|k| *k == v)
+        .expect("all kernel vars listed") as u32
+}
+
+impl PolicyProgram {
+    /// Creates an empty program (no events, no declarations).
+    pub fn new() -> Self {
+        PolicyProgram {
+            decls: Vec::new(),
+            events: Vec::new(),
+            event_names: Vec::new(),
+        }
+    }
+
+    /// Adds an operand declaration, returning its slot index.
+    pub fn declare(&mut self, decl: OperandDecl) -> u8 {
+        let idx = self.decls.len();
+        assert!(idx < 255, "operand array holds at most 255 slots");
+        self.decls.push(decl);
+        idx as u8
+    }
+
+    /// Adds an event segment, returning its event number.
+    pub fn add_event(&mut self, name: impl Into<String>, cmds: Vec<RawCmd>) -> u8 {
+        let id = self.events.len();
+        assert!(id < 256, "at most 256 events");
+        self.events.push(Arc::new(cmds));
+        self.event_names.push(name.into());
+        id as u8
+    }
+
+    /// The command segment of `event`, if defined.
+    pub fn event(&self, event: u8) -> Option<&Arc<Vec<RawCmd>>> {
+        self.events.get(event as usize)
+    }
+
+    /// Total commands across all events.
+    pub fn total_commands(&self) -> usize {
+        self.events.iter().map(|e| e.len()).sum()
+    }
+
+    /// Serializes the program to the 32-bit-word command-buffer format.
+    pub fn to_words(&self) -> Vec<u32> {
+        let mut w = vec![HIPEC_MAGIC, WIRE_VERSION, self.decls.len() as u32];
+        for d in &self.decls {
+            match *d {
+                OperandDecl::Int(v) => {
+                    w.push(0);
+                    w.push((v as u64 >> 32) as u32);
+                    w.push(v as u64 as u32);
+                }
+                OperandDecl::Bool(b) => {
+                    w.push(1);
+                    w.push(b as u32);
+                    w.push(0);
+                }
+                OperandDecl::Page => {
+                    w.push(2);
+                    w.push(0);
+                    w.push(0);
+                }
+                OperandDecl::FreeQueue => {
+                    w.push(3);
+                    w.push(0);
+                    w.push(0);
+                }
+                OperandDecl::Queue { recency } => {
+                    w.push(4);
+                    w.push(recency as u32);
+                    w.push(0);
+                }
+                OperandDecl::Kernel(v) => {
+                    w.push(5);
+                    w.push(kernel_var_code(v));
+                    w.push(0);
+                }
+            }
+        }
+        w.push(self.events.len() as u32);
+        for e in &self.events {
+            w.push(e.len() as u32);
+            w.extend(e.iter().map(|c| c.0));
+        }
+        w
+    }
+
+    /// Decodes a command buffer produced by [`PolicyProgram::to_words`].
+    ///
+    /// Event names are not part of the wire format; decoded programs get
+    /// `event<N>` placeholders.
+    pub fn from_words(words: &[u32]) -> Result<PolicyProgram, WireError> {
+        let mut it = words.iter().copied();
+        let mut next = || it.next().ok_or(WireError::Truncated);
+        let magic = next()?;
+        if magic != HIPEC_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = next()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let ndecls = next()?;
+        let mut decls = Vec::with_capacity(ndecls as usize);
+        for _ in 0..ndecls {
+            let tag = next()?;
+            let p1 = next()?;
+            let p2 = next()?;
+            decls.push(match tag {
+                0 => OperandDecl::Int((((p1 as u64) << 32) | p2 as u64) as i64),
+                1 => OperandDecl::Bool(p1 != 0),
+                2 => OperandDecl::Page,
+                3 => OperandDecl::FreeQueue,
+                4 => OperandDecl::Queue { recency: p1 != 0 },
+                5 => OperandDecl::Kernel(
+                    KERNEL_VARS
+                        .get(p1 as usize)
+                        .copied()
+                        .ok_or(WireError::BadKernelVar(p1))?,
+                ),
+                t => return Err(WireError::BadDeclTag(t)),
+            });
+        }
+        let nevents = next()?;
+        let mut events = Vec::with_capacity(nevents as usize);
+        let mut event_names = Vec::with_capacity(nevents as usize);
+        for i in 0..nevents {
+            let len = next()?;
+            let mut cmds = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                cmds.push(RawCmd(next()?));
+            }
+            events.push(Arc::new(cmds));
+            event_names.push(format!("event{i}"));
+        }
+        Ok(PolicyProgram {
+            decls,
+            events,
+            event_names,
+        })
+    }
+}
+
+impl Default for PolicyProgram {
+    fn default() -> Self {
+        PolicyProgram::new()
+    }
+}
+
+// `RawCmd` serde: serialize as the raw u32.
+impl Serialize for RawCmd {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u32(self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for RawCmd {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(RawCmd(u32::deserialize(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{build, JumpMode, QueueEnd, NO_OPERAND};
+
+    fn sample() -> PolicyProgram {
+        let mut p = PolicyProgram::new();
+        let free_q = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        let lo = p.declare(OperandDecl::Int(-7));
+        let hi = p.declare(OperandDecl::Int(i64::MAX - 3));
+        let _flag = p.declare(OperandDecl::Bool(true));
+        let _act = p.declare(OperandDecl::Queue { recency: true });
+        let _fc = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+        let _ = (lo, hi);
+        p.add_event(
+            "PageFault",
+            vec![
+                build::dequeue(page, free_q, QueueEnd::Head),
+                build::ret(page),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p.add_event(
+            "helper",
+            vec![build::jump(JumpMode::Always, 1), build::ret(NO_OPERAND)],
+        );
+        p
+    }
+
+    #[test]
+    fn declare_and_lookup() {
+        let p = sample();
+        assert_eq!(p.decls.len(), 7);
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.event(EVENT_PAGE_FAULT).expect("present").len(), 2);
+        assert!(p.event(99).is_none());
+        assert_eq!(p.total_commands(), 5);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let p = sample();
+        let words = p.to_words();
+        assert_eq!(words[0], HIPEC_MAGIC);
+        let q = PolicyProgram::from_words(&words).expect("decode");
+        assert_eq!(q.decls, p.decls);
+        assert_eq!(q.events.len(), p.events.len());
+        for (a, b) in q.events.iter().zip(p.events.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn wire_rejects_corruption() {
+        let p = sample();
+        let mut words = p.to_words();
+        // Bad magic.
+        let saved = words[0];
+        words[0] = 0xDEAD_BEEF;
+        assert_eq!(
+            PolicyProgram::from_words(&words).expect_err("bad magic"),
+            WireError::BadMagic(0xDEAD_BEEF)
+        );
+        words[0] = saved;
+        // Bad version.
+        words[1] = 99;
+        assert_eq!(
+            PolicyProgram::from_words(&words).expect_err("bad version"),
+            WireError::BadVersion(99)
+        );
+        words[1] = WIRE_VERSION;
+        // Truncation at every prefix must error, not panic.
+        for cut in 0..words.len() {
+            assert!(PolicyProgram::from_words(&words[..cut]).is_err());
+        }
+        // Bad declaration tag.
+        words[3] = 42;
+        assert_eq!(
+            PolicyProgram::from_words(&words).expect_err("bad tag"),
+            WireError::BadDeclTag(42)
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).expect("serialize");
+        let q: PolicyProgram = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(q.decls, p.decls);
+        assert_eq!(q.event_names, p.event_names);
+        assert_eq!(
+            q.event(0).expect("event").as_slice(),
+            p.event(0).expect("event").as_slice()
+        );
+    }
+
+    #[test]
+    fn wire_errors_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadKernelVar(9).to_string().contains("9"));
+    }
+}

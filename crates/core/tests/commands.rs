@@ -1,0 +1,335 @@
+//! Per-command semantics: one focused scenario for every opcode in the
+//! set, driven through the real executor via `run_event_raw`.
+
+use hipec_core::command::{build, ArithOp, CompOp, JumpMode, LogicOp, PageBit, QueueEnd};
+use hipec_core::{
+    ContainerKey, ExecValue, HipecKernel, KernelVar, OperandDecl, PolicyProgram, NO_OPERAND,
+};
+use hipec_vm::{KernelParams, PAGE_SIZE};
+
+/// Builds a kernel with one container running `program`, whose private
+/// free queue holds `frames` frames.
+fn setup(program: PolicyProgram, frames: u64) -> (HipecKernel, ContainerKey) {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 256;
+    params.wired_frames = 8;
+    params.free_target = 16;
+    params.free_min = 8;
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (_a, _o, key) = k
+        .vm_allocate_hipec(task, 64 * PAGE_SIZE, program, frames)
+        .expect("install");
+    (k, key)
+}
+
+/// A program skeleton with the standard slots and one bench event (id 2).
+fn with_event(
+    decls: impl FnOnce(&mut PolicyProgram) -> Vec<hipec_core::RawCmd>,
+) -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let cmds = decls(&mut p);
+    // Mandatory events first.
+    let fq_exists = p
+        .decls
+        .iter()
+        .any(|d| matches!(d, OperandDecl::FreeQueue));
+    let fq = if fq_exists {
+        p.decls
+            .iter()
+            .position(|d| matches!(d, OperandDecl::FreeQueue))
+            .expect("checked") as u8
+    } else {
+        p.declare(OperandDecl::FreeQueue)
+    };
+    let pf_page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![build::dequeue(pf_page, fq, QueueEnd::Head), build::ret(pf_page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p.add_event("bench", cmds);
+    p
+}
+
+#[test]
+fn arith_all_operations() {
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let a = p.declare(OperandDecl::Int(10));
+        let b = p.declare(OperandDecl::Int(3));
+        vec![
+            build::arith(a, b, ArithOp::Add),  // 13
+            build::arith(a, b, ArithOp::Sub),  // 10
+            build::arith(a, b, ArithOp::Mul),  // 30
+            build::arith(a, b, ArithOp::Div),  // 10
+            build::arith(a, b, ArithOp::Mod),  // 1
+            build::arith(a, a, ArithOp::Inc),  // 2
+            build::arith(a, a, ArithOp::Inc),  // 3
+            build::arith(a, a, ArithOp::Dec),  // 2
+            build::arith(a, b, ArithOp::Mov),  // 3
+            build::arith(a, b, ArithOp::Mul),  // 9
+            build::ret(a),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    let v = k.run_event_raw(key, 2).expect("runs");
+    assert_eq!(v, ExecValue::Int(9));
+}
+
+#[test]
+fn comp_and_jump_modes() {
+    // Returns 1 when 5 > 3 via jump-if-true, else 0; then an always-jump
+    // over a poison path.
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let five = p.declare(OperandDecl::Int(5));
+        let three = p.declare(OperandDecl::Int(3));
+        let out = p.declare(OperandDecl::Int(0));
+        vec![
+            build::comp(five, three, CompOp::Gt),
+            build::jump(JumpMode::IfTrue, 3),
+            build::ret(out), // not taken
+            build::arith(out, out, ArithOp::Inc),
+            build::jump(JumpMode::Always, 6),
+            build::arith(out, out, ArithOp::Inc), // skipped
+            build::ret(out),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(1));
+}
+
+#[test]
+fn logic_store_and_load_cond() {
+    // cond = (5 > 3); store into flag; negate; return flag.
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let five = p.declare(OperandDecl::Int(5));
+        let three = p.declare(OperandDecl::Int(3));
+        let flag = p.declare(OperandDecl::Bool(false));
+        let other = p.declare(OperandDecl::Bool(true));
+        vec![
+            build::comp(five, three, CompOp::Gt),
+            build::logic(flag, NO_OPERAND, LogicOp::StoreCond), // flag = true
+            build::logic(flag, other, LogicOp::Xor),            // cond = true^true = false
+            build::logic(flag, NO_OPERAND, LogicOp::StoreCond), // flag = false
+            build::ret(flag),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Bool(false));
+}
+
+#[test]
+fn queue_commands_emptyq_inq_dequeue_enqueue() {
+    // Move a frame between two queues, checking membership along the way.
+    // Returns 1 only if every check passes.
+    let program = with_event(|p| {
+        let fq = p.declare(OperandDecl::FreeQueue);
+        let q2 = p.declare(OperandDecl::Queue { recency: false });
+        let page = p.declare(OperandDecl::Page);
+        let out = p.declare(OperandDecl::Int(0));
+        vec![
+            // q2 starts empty.
+            build::emptyq(q2),
+            build::jump(JumpMode::IfFalse, 12),
+            // Take a frame from the free queue, put it on q2 at the head.
+            build::dequeue(page, fq, QueueEnd::Head),
+            build::enqueue(page, q2, QueueEnd::Head),
+            // It is on q2 now…
+            build::inq(q2, page),
+            build::jump(JumpMode::IfFalse, 12),
+            // …and q2 is no longer empty.
+            build::emptyq(q2),
+            build::jump(JumpMode::IfTrue, 12),
+            // Take it back off the tail (same single element).
+            build::dequeue(page, q2, QueueEnd::Tail),
+            build::inq(q2, page),
+            build::jump(JumpMode::IfTrue, 12),
+            build::arith(out, out, ArithOp::Inc),
+            build::ret(out),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(1));
+}
+
+#[test]
+fn set_ref_and_mod_bits() {
+    let program = with_event(|p| {
+        let fq = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        let out = p.declare(OperandDecl::Int(0));
+        vec![
+            build::dequeue(page, fq, QueueEnd::Head),
+            // Fresh free frame: neither bit set.
+            build::is_ref(page),
+            build::jump(JumpMode::IfTrue, 12),
+            build::is_mod(page),
+            build::jump(JumpMode::IfTrue, 12),
+            // Set the reference bit, verify, clear it, verify.
+            build::set(page, PageBit::Reference, true),
+            build::is_ref(page),
+            build::jump(JumpMode::IfFalse, 12),
+            build::set(page, PageBit::Reference, false),
+            build::is_ref(page),
+            build::jump(JumpMode::IfTrue, 12),
+            build::arith(out, out, ArithOp::Inc),
+            build::ret(out),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(1));
+}
+
+#[test]
+fn find_resolves_mapped_addresses() {
+    // Fault a page in through the normal path, then Find it by address.
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        let addr = p.declare(OperandDecl::Int(0)); // patched below via arith
+        vec![build::find(page, addr), build::ret(page)]
+    });
+    let (mut k, key) = setup(program, 4);
+    let task = k.containers[key.0 as usize].task;
+    let base = {
+        // The region the container controls starts at the first map entry.
+        let entry = *k.vm.task(task).expect("task").map.iter().next().expect("mapped");
+        hipec_vm::VAddr(entry.start_vpage * PAGE_SIZE)
+    };
+    k.access_sync(task, base, false).expect("fault in page 0");
+    // Patch the address operand (slot layout: fq=0, page=1, addr=2 within
+    // the bench decls — find the Int slot and set it).
+    let addr_slot = k.containers[key.0 as usize]
+        .operands
+        .iter()
+        .position(|s| matches!(s, hipec_core::OperandSlot::Int(0)))
+        .expect("addr slot");
+    k.containers[key.0 as usize].operands[addr_slot] =
+        hipec_core::OperandSlot::Int(base.0 as i64);
+    let v = k.run_event_raw(key, 2).expect("runs");
+    let expected = k.vm.task(task).expect("task").translate(base.vpage()).expect("mapped");
+    assert_eq!(v, ExecValue::Page(expected));
+}
+
+#[test]
+fn request_release_round_trip() {
+    // Request 4 frames, then release one; allocation accounting follows.
+    let program = with_event(|p| {
+        let fq = p.declare(OperandDecl::FreeQueue);
+        let four = p.declare(OperandDecl::Int(4));
+        let granted = p.declare(OperandDecl::Int(0));
+        let page = p.declare(OperandDecl::Page);
+        vec![
+            build::request(four, granted),
+            build::jump(JumpMode::IfFalse, 4),
+            build::dequeue(page, fq, QueueEnd::Head),
+            build::release(page),
+            build::ret(granted),
+        ]
+    });
+    let (mut k, key) = setup(program, 8);
+    let before = k.container(key).expect("container").allocated;
+    let v = k.run_event_raw(key, 2).expect("runs");
+    assert_eq!(v, ExecValue::Int(4));
+    assert_eq!(k.container(key).expect("container").allocated, before + 4 - 1);
+}
+
+#[test]
+fn complex_commands_report_success_and_failure() {
+    // FIFO on an empty queue sets the condition flag false; after an
+    // enqueue it reclaims and reports true.
+    let program = with_event(|p| {
+        let fq = p.declare(OperandDecl::FreeQueue);
+        let q2 = p.declare(OperandDecl::Queue { recency: false });
+        let page = p.declare(OperandDecl::Page);
+        let out = p.declare(OperandDecl::Int(0));
+        vec![
+            build::fifo(q2, NO_OPERAND), // empty: cond = false
+            build::jump(JumpMode::IfTrue, 8),
+            build::dequeue(page, fq, QueueEnd::Head),
+            build::enqueue(page, q2, QueueEnd::Tail),
+            build::fifo(q2, page), // reclaims the page: cond = true
+            build::jump(JumpMode::IfFalse, 8),
+            build::arith(out, out, ArithOp::Inc),
+            build::ret(out),
+            build::ret(out),
+        ]
+    });
+    let (mut k, key) = setup(program, 4);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(1));
+    // The reclaimed page landed on the container free queue.
+    let free_q = k.containers[key.0 as usize].free_q;
+    assert_eq!(k.vm.frames.queue_len(free_q).expect("len"), 4);
+}
+
+#[test]
+fn return_of_each_value_kind() {
+    for (decl, expected) in [
+        (OperandDecl::Int(-7), ExecValue::Int(-7)),
+        (OperandDecl::Bool(true), ExecValue::Bool(true)),
+    ] {
+        let program = with_event(|p| {
+            let _fq = p.declare(OperandDecl::FreeQueue);
+            let slot = p.declare(decl);
+            vec![build::ret(slot)]
+        });
+        let (mut k, key) = setup(program, 2);
+        assert_eq!(k.run_event_raw(key, 2).expect("runs"), expected);
+    }
+    // Kernel variables return their current value.
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let kv = p.declare(OperandDecl::Kernel(KernelVar::AllocatedCount));
+        vec![build::ret(kv)]
+    });
+    let (mut k, key) = setup(program, 6);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(6));
+    // Return with no operand.
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        vec![build::ret(NO_OPERAND)]
+    });
+    let (mut k, key) = setup(program, 2);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::None);
+}
+
+#[test]
+fn activate_calls_and_discards_value() {
+    // bench (event 2) activates event 3, which modifies a shared counter
+    // and returns a value that must be discarded.
+    let mut p = PolicyProgram::new();
+    let fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let counter = p.declare(OperandDecl::Int(0));
+    p.add_event(
+        "PageFault",
+        vec![build::dequeue(page, fq, QueueEnd::Head), build::ret(page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p.add_event(
+        "bench",
+        vec![build::activate(3), build::activate(3), build::ret(counter)],
+    );
+    p.add_event(
+        "helper",
+        vec![build::arith(counter, counter, ArithOp::Inc), build::ret(counter)],
+    );
+    let (mut k, key) = setup(p, 2);
+    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(2));
+}
+
+#[test]
+fn division_by_zero_is_a_policy_fault() {
+    let program = with_event(|p| {
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let a = p.declare(OperandDecl::Int(1));
+        let zero = p.declare(OperandDecl::Int(0));
+        vec![build::arith(a, zero, ArithOp::Div), build::ret(a)]
+    });
+    let (mut k, key) = setup(program, 2);
+    let err = k.run_event_raw(key, 2).expect_err("div by zero");
+    assert!(matches!(err, hipec_core::PolicyFault::DivideByZero { .. }));
+}

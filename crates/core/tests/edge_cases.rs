@@ -1,0 +1,225 @@
+//! Edge cases and failure injection: resource exhaustion, recursion
+//! limits, oversized programs, and error paths that must stay error paths.
+
+use hipec_core::command::{build, ArithOp, CompOp, JumpMode, QueueEnd};
+use hipec_core::{
+    HipecError, HipecKernel, OperandDecl, PolicyProgram, NO_OPERAND,
+};
+use hipec_disk::{DeviceParams, DiskParams};
+use hipec_vm::{KernelParams, VAddr, VmError, PAGE_SIZE};
+
+fn params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 256;
+    p.wired_frames = 8;
+    p
+}
+
+fn simple_policy() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![build::dequeue(page, fq, QueueEnd::Head), build::ret(page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+#[test]
+fn backing_store_exhaustion_is_a_clean_error() {
+    // A paging device with room for only 64 pages.
+    let mut p = params();
+    p.disk = DeviceParams::Disk(DiskParams {
+        cylinders: 16, // 64 pages
+        ..DiskParams::paper_scsi()
+    });
+    let mut k = HipecKernel::new(p);
+    let task = k.vm.create_task();
+    // First file fits.
+    k.vm.vm_map(task, 32 * PAGE_SIZE).expect("fits");
+    // Second file does not.
+    let err = k.vm.vm_map(task, 64 * PAGE_SIZE).expect_err("disk is full");
+    assert!(matches!(err, VmError::Backing(_)), "{err}");
+    // The kernel keeps working afterwards.
+    let (a, _) = k.vm.vm_allocate(task, 4 * PAGE_SIZE).expect("anonymous still fine");
+    k.access_sync(task, a, false).expect("fault");
+}
+
+#[test]
+fn swap_exhaustion_surfaces_when_dirty_anonymous_pages_spill() {
+    // Tiny disk, big dirty anonymous footprint: the pageout daemon must
+    // eventually fail to allocate swap — as a clean error, not a panic.
+    let mut p = params();
+    p.total_frames = 64;
+    p.disk = DeviceParams::Disk(DiskParams {
+        cylinders: 8, // 32 pages of swap
+        ..DiskParams::paper_scsi()
+    });
+    let mut k = HipecKernel::new(p);
+    let task = k.vm.create_task();
+    let (a, _) = k.vm.vm_allocate(task, 128 * PAGE_SIZE).expect("allocate");
+    let mut failed = false;
+    for page in 0..128u64 {
+        match k.access_sync(task, VAddr(a.0 + page * PAGE_SIZE), true) {
+            Ok(_) => k.vm.pump(),
+            Err(HipecError::Vm(VmError::Backing(_))) => {
+                failed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert!(failed, "a 512 KB region cannot swap onto a 128 KB device");
+}
+
+#[test]
+fn activate_recursion_depth_is_bounded() {
+    // Event 2 activates itself: must die with DepthExceeded, not overflow
+    // the host stack.
+    let mut p = simple_policy();
+    p.add_event("recurse", vec![build::activate(2), build::ret(NO_OPERAND)]);
+    // Redirect PageFault into the recursion.
+    let mut p2 = PolicyProgram::new();
+    let _fq = p2.declare(OperandDecl::FreeQueue);
+    let page = p2.declare(OperandDecl::Page);
+    p2.add_event("PageFault", vec![build::activate(2), build::ret(page)]);
+    p2.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p2.add_event("recurse", vec![build::activate(2), build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(params());
+    let task = k.vm.create_task();
+    let (a, _o, key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p2, 8)
+        .expect("install");
+    let err = k.access(task, a, false).expect_err("recursion dies");
+    match err {
+        HipecError::Terminated { reason, .. } => {
+            assert!(reason.contains("deep"), "reason: {reason}")
+        }
+        other => panic!("unexpected: {other}"),
+    }
+    assert!(k.container(key).expect("container").terminated);
+}
+
+#[test]
+fn programs_longer_than_256_commands_use_16_bit_targets() {
+    // Build a 600-command PageFault: a long chain of Arith commands, a
+    // jump over the back half, and a Return — exercising targets > 255.
+    let mut p = PolicyProgram::new();
+    let fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let x = p.declare(OperandDecl::Int(0));
+    let mut cmds = Vec::new();
+    for _ in 0..300 {
+        cmds.push(build::arith(x, x, ArithOp::Inc));
+    }
+    // Jump over 250 increments to the landing pad at cc 551.
+    cmds.push(build::jump(JumpMode::Always, 551)); // cc 300
+    for _ in 0..250 {
+        cmds.push(build::arith(x, x, ArithOp::Inc)); // cc 301..=550 (skipped)
+    }
+    cmds.push(build::dequeue(page, fq, QueueEnd::Head)); // cc 551
+    cmds.push(build::ret(page)); // cc 552
+    p.add_event("PageFault", cmds);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+
+    let mut k = HipecKernel::new(params());
+    let task = k.vm.create_task();
+    let (a, _o, key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 8)
+        .expect("long program installs");
+    k.access_sync(task, a, false).expect("fault resolves");
+    let c = k.container(key).expect("container");
+    // 300 increments + jump + dequeue + return = 303 commands interpreted.
+    assert_eq!(c.stats.commands, 303);
+    // The skipped increments never ran.
+    assert_eq!(c.operands[2], hipec_core::OperandSlot::Int(300));
+}
+
+#[test]
+fn operand_array_is_capped_at_255_slots() {
+    let mut p = PolicyProgram::new();
+    for _ in 0..254 {
+        p.declare(OperandDecl::Int(0));
+    }
+    let last = p.declare(OperandDecl::Page); // slot 254: fine
+    assert_eq!(last, 254);
+    let result = std::panic::catch_unwind(move || {
+        let mut p = p;
+        p.declare(OperandDecl::Int(1)) // slot 255 would collide with NO_OPERAND
+    });
+    assert!(result.is_err(), "slot 255 must be rejected");
+}
+
+#[test]
+fn access_after_termination_keeps_failing_cleanly() {
+    // A policy that dies on its first fault; subsequent HiPEC accesses to
+    // the same object return Terminated (until the region reverts).
+    let mut p = PolicyProgram::new();
+    let _fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let q = p.declare(OperandDecl::Queue { recency: false });
+    p.add_event(
+        "PageFault",
+        vec![build::dequeue(page, q, QueueEnd::Head), build::ret(page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(params());
+    let task = k.vm.create_task();
+    let (a, _o, _key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 8)
+        .expect("install");
+    assert!(k.access(task, a, false).is_err(), "first fault kills");
+    // The region reverted to default management on kill: this now works.
+    k.access_sync(task, a, false).expect("default pool serves it");
+}
+
+#[test]
+fn zero_sized_regions_are_rejected() {
+    let mut k = HipecKernel::new(params());
+    let task = k.vm.create_task();
+    let err = k
+        .vm_allocate_hipec(task, 0, simple_policy(), 4)
+        .expect_err("empty region");
+    assert!(matches!(err, HipecError::Vm(VmError::EmptyRegion)));
+}
+
+#[test]
+fn fuel_limit_is_configurable() {
+    // A policy that takes ~40 commands per fault dies under a 10-command
+    // fuel budget and is reported as a timeout (runaway).
+    let mut p = PolicyProgram::new();
+    let fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let x = p.declare(OperandDecl::Int(0));
+    let n = p.declare(OperandDecl::Int(10));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::comp(x, n, CompOp::Lt),
+            build::jump(JumpMode::IfFalse, 4),
+            build::arith(x, x, ArithOp::Inc),
+            build::jump(JumpMode::Always, 0),
+            build::dequeue(page, fq, QueueEnd::Head),
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(params());
+    k.limits.fuel = 10;
+    let task = k.vm.create_task();
+    let (a, _o, _key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p.clone(), 8)
+        .expect("install");
+    let err = k.access(task, a, false).expect_err("fuel exhausted");
+    assert!(matches!(err, HipecError::Terminated { .. }));
+
+    // With ample fuel the same program completes.
+    let mut k = HipecKernel::new(params());
+    let task = k.vm.create_task();
+    let (a, _o, _key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 8)
+        .expect("install");
+    k.access_sync(task, a, false).expect("completes");
+}

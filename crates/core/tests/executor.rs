@@ -1,0 +1,509 @@
+//! Integration tests for the policy executor, global frame manager and
+//! security checker, driving real faults through interpreted policies.
+
+use hipec_core::command::{build, ArithOp, CompOp, JumpMode, QueueEnd};
+use hipec_core::{
+    ContainerKey, HipecError, HipecKernel, KernelVar, OperandDecl, PolicyProgram, NO_OPERAND,
+};
+use hipec_sim::SimDuration;
+use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
+
+fn small_params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 256;
+    p.wired_frames = 16;
+    p.free_target = 16;
+    p.free_min = 8;
+    p.inactive_target = 32;
+    p
+}
+
+/// A FIFO policy in the Table 2 style: PageFault takes from the private
+/// free queue, activating a reclaim helper when it runs dry; the helper
+/// does FIFO-with-eviction from the fifo queue. Faulted pages are enqueued
+/// onto the fifo queue by the PageFault event itself.
+fn fifo_policy() -> (PolicyProgram, u8) {
+    let mut p = PolicyProgram::new();
+    let free_q = p.declare(OperandDecl::FreeQueue);
+    let fifo_q = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    let free_count = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+    let zero = p.declare(OperandDecl::Int(0));
+    // PageFault:
+    //   0: if free_count > 0
+    //   1:   (else) jump 3
+    //   2:   jump 4            ; skip the reclaim
+    //   3: activate 2          ; Lack_free_frame
+    //   4: page = dequeue_head(free_q)
+    //   5: enqueue_tail(fifo_q, page)   ; remember fault order
+    //   6: return page
+    p.add_event(
+        "PageFault",
+        vec![
+            build::comp(free_count, zero, CompOp::Gt),
+            build::jump(JumpMode::IfFalse, 3),
+            build::jump(JumpMode::Always, 4),
+            build::activate(2),
+            build::dequeue(page, free_q, QueueEnd::Head),
+            build::enqueue(page, fifo_q, QueueEnd::Tail),
+            build::ret(page),
+        ],
+    );
+    // ReclaimFrame: release `ReclaimTarget` frames, serving from the free
+    // queue and FIFO-evicting when it runs dry.
+    let want = p.declare(OperandDecl::Kernel(KernelVar::ReclaimTarget));
+    let released = p.declare(OperandDecl::Int(0));
+    let rpage = p.declare(OperandDecl::Page);
+    p.add_event(
+        "ReclaimFrame",
+        vec![
+            // 0: released = 0
+            build::arith(released, zero, ArithOp::Mov),
+            // 1: while released < want
+            build::comp(released, want, CompOp::Lt),
+            build::jump(JumpMode::IfFalse, 10),
+            // 3: if the free queue is empty, FIFO-evict one page into it
+            build::emptyq(free_q),
+            build::jump(JumpMode::IfFalse, 6),
+            build::fifo(fifo_q, rpage),
+            // 6: hand one free frame back to the global frame manager
+            build::dequeue(rpage, free_q, QueueEnd::Head),
+            build::release(rpage),
+            build::arith(released, zero, ArithOp::Inc),
+            build::jump(JumpMode::Always, 1),
+            // 10:
+            build::ret(NO_OPERAND),
+        ],
+    );
+    // Lack_free_frame: FIFO-evict one page into the free queue.
+    p.add_event("Lack_free_frame", vec![build::fifo(fifo_q, page), build::ret(NO_OPERAND)]);
+    (p, fifo_q)
+}
+
+fn touch_all(
+    k: &mut HipecKernel,
+    task: TaskId,
+    base: VAddr,
+    pages: u64,
+    write: bool,
+) -> Result<(), HipecError> {
+    for i in 0..pages {
+        k.access_sync(task, VAddr(base.0 + i * PAGE_SIZE), write)?;
+        k.vm.pump();
+    }
+    Ok(())
+}
+
+#[test]
+fn fifo_policy_serves_faults_and_replaces_under_pressure() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let min = 32;
+    let pages = 64u64; // twice the private pool
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, pages * PAGE_SIZE, program, min)
+        .expect("install");
+    touch_all(&mut k, task, addr, pages, false).expect("sequential sweep");
+    let c = k.container(key).expect("container");
+    assert_eq!(c.stats.faults, pages, "every page faults once on first touch");
+    assert_eq!(c.allocated, min, "allocation stays at minFrame");
+    assert!(c.stats.commands > 0);
+    // A second sweep over a FIFO-managed pool smaller than the region
+    // faults on every page again (cyclic behaviour).
+    touch_all(&mut k, task, addr, pages, false).expect("second sweep");
+    let c = k.container(key).expect("container");
+    assert_eq!(c.stats.faults, 2 * pages);
+}
+
+#[test]
+fn dirty_pages_flow_through_flush_exchange() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let pages = 64u64;
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, pages * PAGE_SIZE, program, 32)
+        .expect("install");
+    touch_all(&mut k, task, addr, pages, true).expect("dirtying sweep");
+    let c = k.container(key).expect("container");
+    assert!(c.stats.flushes > 0, "dirty victims must be flush-exchanged");
+    assert_eq!(c.allocated, 32, "exchange preserves the allocation");
+    assert!(k.vm.stats.get("pageouts") > 0);
+}
+
+#[test]
+fn mru_policy_on_cyclic_scan_beats_fifo() {
+    // MRU keeps the first `min` pages resident across sweeps; FIFO evicts
+    // everything cyclically. This is the essence of the paper's Figure 6.
+    fn mru_policy() -> PolicyProgram {
+        let mut p = PolicyProgram::new();
+        let free_q = p.declare(OperandDecl::FreeQueue);
+        let recency_q = p.declare(OperandDecl::Queue { recency: true });
+        let page = p.declare(OperandDecl::Page);
+        let free_count = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+        let zero = p.declare(OperandDecl::Int(0));
+        p.add_event(
+            "PageFault",
+            vec![
+                build::comp(free_count, zero, CompOp::Gt),
+                build::jump(JumpMode::IfFalse, 3),
+                build::jump(JumpMode::Always, 4),
+                build::mru(recency_q, page),
+                build::dequeue(page, free_q, QueueEnd::Head),
+                build::enqueue(page, recency_q, QueueEnd::Tail),
+                build::ret(page),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p
+    }
+    let min = 32u64;
+    let pages = 48u64;
+    let sweeps = 4u64;
+
+    let run = |program: PolicyProgram| -> u64 {
+        let mut k = HipecKernel::new(small_params());
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, pages * PAGE_SIZE, program, min)
+            .expect("install");
+        for _ in 0..sweeps {
+            touch_all(&mut k, task, addr, pages, false).expect("sweep");
+        }
+        k.container(key).expect("container").stats.faults
+    };
+
+    let fifo_faults = run(fifo_policy().0);
+    let mru_faults = run(mru_policy());
+    // FIFO on a cyclic scan larger than memory faults every access — the
+    // paper's PF_l formula.
+    assert_eq!(fifo_faults, pages * sweeps);
+    // MRU matches the paper's PF_m formula exactly:
+    // (OutLSize − MSize)·(Loop − 1) + OutLSize, in pages.
+    let expected_mru = (pages - min) * (sweeps - 1) + pages;
+    assert_eq!(mru_faults, expected_mru);
+    assert!(mru_faults < fifo_faults);
+}
+
+#[test]
+fn min_frames_admission_is_enforced() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params()); // 240 pageable
+    let task = k.vm.create_task();
+    let err = k
+        .vm_allocate_hipec(task, 64 * PAGE_SIZE, program, 100_000)
+        .expect_err("cannot admit");
+    assert!(matches!(err, HipecError::MinFramesUnavailable { .. }));
+}
+
+#[test]
+fn invalid_program_is_rejected_at_install() {
+    let mut p = PolicyProgram::new();
+    let q = p.declare(OperandDecl::FreeQueue);
+    // Comp on queues: type error.
+    p.add_event("PageFault", vec![build::comp(q, q, CompOp::Gt), build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let err = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 4)
+        .expect_err("must be rejected");
+    assert!(matches!(err, HipecError::InvalidProgram(_)));
+}
+
+#[test]
+fn runaway_policy_is_terminated_by_the_checker() {
+    // PageFault spins forever; the checker must detect the timeout and
+    // terminate the application, and its interval must have shrunk.
+    let mut p = PolicyProgram::new();
+    let _free_q = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![build::jump(JumpMode::Always, 0), build::ret(page)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 4)
+        .expect("install");
+    let before_interval = k.checker.interval;
+    let err = k.access(task, addr, false).expect_err("runaway");
+    match err {
+        HipecError::Terminated { reason, .. } => {
+            assert!(reason.contains("timeout"), "reason: {reason}");
+        }
+        other => panic!("unexpected error {other}"),
+    }
+    assert!(k.container(key).expect("container").terminated);
+    assert_eq!(k.checker.kills, 1);
+    assert!(
+        k.checker.interval < before_interval
+            || k.checker.interval == k.checker.min_interval,
+        "detection must halve the wakeup interval"
+    );
+    // The container's frames all returned to the global pool.
+    assert_eq!(k.container(key).expect("container").allocated, 0);
+    // Subsequent accesses to the (reverted) region still work via the
+    // default pool.
+    k.access_sync(task, addr, false).expect("default path");
+}
+
+#[test]
+fn type_confusion_at_runtime_terminates_the_app() {
+    // Statically valid (indices in range, right decl kinds) but the policy
+    // dequeues from an empty queue and then enqueues the empty page slot.
+    let mut p = PolicyProgram::new();
+    let free_q = p.declare(OperandDecl::FreeQueue);
+    let q2 = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![
+            build::dequeue(page, q2, QueueEnd::Head), // q2 is empty → page = None
+            build::enqueue(page, free_q, QueueEnd::Tail), // EmptyPageSlot fault
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, p, 4)
+        .expect("install");
+    let err = k.access(task, addr, false).expect_err("policy fault");
+    assert!(matches!(err, HipecError::Terminated { .. }));
+    assert!(k.container(key).expect("container").terminated);
+}
+
+#[test]
+fn request_grows_the_private_pool_and_respects_availability() {
+    // PageFault requests 8 more frames whenever the free queue is empty.
+    let mut p = PolicyProgram::new();
+    let free_q = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let free_count = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+    let zero = p.declare(OperandDecl::Int(0));
+    let eight = p.declare(OperandDecl::Int(8));
+    let granted = p.declare(OperandDecl::Int(0));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::comp(free_count, zero, CompOp::Gt),
+            build::jump(JumpMode::IfTrue, 2),
+            build::request(eight, granted),
+            build::dequeue(page, free_q, QueueEnd::Head),
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let pages = 40u64;
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, pages * PAGE_SIZE, p, 8)
+        .expect("install");
+    touch_all(&mut k, task, addr, pages, false).expect("sweep");
+    let c = k.container(key).expect("container");
+    assert!(c.allocated >= pages, "pool grew to cover the region");
+    assert!(c.stats.requested >= pages - 8);
+    assert!(k.gfm.grants > 0);
+}
+
+#[test]
+fn partition_burst_caps_specific_allocation() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params()); // 240 free at boot → burst 120
+    assert_eq!(k.gfm.partition_burst, 120);
+    let t1 = k.vm.create_task();
+    let (_a1, _o1, k1) = k
+        .vm_allocate_hipec(t1, 64 * PAGE_SIZE, program.clone(), 100)
+        .expect("first app");
+    let t2 = k.vm.create_task();
+    // Admitting the second app pushes the specific total to 200 > 120;
+    // balance reclaims the first app's surplus (down to its minFrame).
+    let (_a2, _o2, k2) = k
+        .vm_allocate_hipec(t2, 64 * PAGE_SIZE, program, 100)
+        .expect("second app");
+    k.balance();
+    let total = k.specific_total();
+    assert!(
+        total <= 210,
+        "specific total {total} should be pulled toward the burst"
+    );
+    let _ = (k1, k2);
+}
+
+#[test]
+fn migrate_moves_frames_between_containers() {
+    // Container 0's PageFault migrates a frame to container 1 before
+    // serving the fault (contrived, but exercises the command).
+    let mut p = PolicyProgram::new();
+    let free_q = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let target = p.declare(OperandDecl::Int(1));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::migrate(target),
+            build::dequeue(page, free_q, QueueEnd::Head),
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+
+    let (plain, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params());
+    let t0 = k.vm.create_task();
+    let (addr0, _o0, key0) = k
+        .vm_allocate_hipec(t0, 8 * PAGE_SIZE, p, 8)
+        .expect("migrating app");
+    let t1 = k.vm.create_task();
+    let (_addr1, _o1, key1) = k
+        .vm_allocate_hipec(t1, 8 * PAGE_SIZE, plain, 8)
+        .expect("receiving app");
+    assert_eq!(key0, ContainerKey(0));
+    assert_eq!(key1, ContainerKey(1));
+    k.access_sync(t0, addr0, false).expect("fault with migration");
+    assert_eq!(k.container(key0).expect("c0").allocated, 7);
+    assert_eq!(k.container(key1).expect("c1").allocated, 9);
+}
+
+/// A FIFO policy that grows its pool with `Request` and evicts only when
+/// the global frame manager rejects the request.
+fn growing_fifo_policy() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let free_q = p.declare(OperandDecl::FreeQueue);
+    let fifo_q = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    let free_count = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+    let zero = p.declare(OperandDecl::Int(0));
+    let eight = p.declare(OperandDecl::Int(8));
+    let granted = p.declare(OperandDecl::Int(0));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::comp(free_count, zero, CompOp::Gt),
+            build::jump(JumpMode::IfTrue, 5),
+            build::request(eight, granted),
+            build::jump(JumpMode::IfTrue, 5),
+            build::fifo(fifo_q, page),
+            build::dequeue(page, free_q, QueueEnd::Head),
+            build::enqueue(page, fifo_q, QueueEnd::Tail),
+            build::ret(page),
+        ],
+    );
+    let want = p.declare(OperandDecl::Kernel(KernelVar::ReclaimTarget));
+    let released = p.declare(OperandDecl::Int(0));
+    let rpage = p.declare(OperandDecl::Page);
+    p.add_event(
+        "ReclaimFrame",
+        vec![
+            build::arith(released, zero, ArithOp::Mov),
+            build::comp(released, want, CompOp::Lt),
+            build::jump(JumpMode::IfFalse, 10),
+            build::emptyq(free_q),
+            build::jump(JumpMode::IfFalse, 6),
+            build::fifo(fifo_q, rpage),
+            build::dequeue(rpage, free_q, QueueEnd::Head),
+            build::release(rpage),
+            build::arith(released, zero, ArithOp::Inc),
+            build::jump(JumpMode::Always, 1),
+            build::ret(NO_OPERAND),
+        ],
+    );
+    p
+}
+
+#[test]
+fn normal_reclamation_runs_the_reclaim_event_in_fafr_order() {
+    let mut k = HipecKernel::new(small_params()); // 240 free at boot
+    // App 1 starts at minFrame 8 and grows its pool to cover its 80-page
+    // region via Request, building up surplus.
+    let t1 = k.vm.create_task();
+    let (a1, _o1, key1) = k
+        .vm_allocate_hipec(t1, 80 * PAGE_SIZE, growing_fifo_policy(), 8)
+        .expect("first app");
+    touch_all(&mut k, t1, a1, 80, false).expect("populate first app");
+    let grown = k.container(key1).expect("first container").allocated;
+    assert!(grown > 40, "app 1 grew its pool (has {grown})");
+    // App 2 takes a large fixed slice of the pool.
+    let (program2, _) = fifo_policy();
+    let t2 = k.vm.create_task();
+    k.vm_allocate_hipec(t2, 100 * PAGE_SIZE, program2, 100)
+        .expect("second app");
+    // App 3's minFrame cannot be met from the free pool alone: the manager
+    // must run app 1's ReclaimFrame event (FAFR: first allocated first).
+    let (program3, _) = fifo_policy();
+    let t3 = k.vm.create_task();
+    k.vm_allocate_hipec(t3, 100 * PAGE_SIZE, program3, 100)
+        .expect("third app admits by reclaiming from the first");
+    let c1 = k.container(key1).expect("first container");
+    assert!(
+        c1.allocated < grown,
+        "the first-allocated app must have been reclaimed from ({} -> {})",
+        grown,
+        c1.allocated
+    );
+    assert!(k.gfm.normal_reclaims > 0, "ReclaimFrame event did the work");
+}
+
+#[test]
+fn checker_interval_doubles_when_idle() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let (addr, _obj, _key) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, program, 8)
+        .expect("install");
+    k.access_sync(task, addr, false).expect("one fault");
+    // Idle for a long stretch of virtual time: wakeups fire, none detect a
+    // timeout, the interval climbs to the 8 s ceiling.
+    k.vm.charge(SimDuration::from_secs(120));
+    k.poll_checker();
+    assert!(k.checker.wakeups >= 5);
+    assert_eq!(k.checker.interval, k.checker.max_interval);
+    assert_eq!(k.checker.kills, 0);
+}
+
+#[test]
+fn vm_deallocate_hipec_returns_every_frame() {
+    let (program, _) = fifo_policy();
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    let free_before = k.vm.free_count();
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, 64 * PAGE_SIZE, program, 48)
+        .expect("install");
+    // Populate with dirty pages so teardown has to discard modified data.
+    touch_all(&mut k, task, addr, 64, true).expect("dirty sweep");
+    assert!(k.specific_total() > 0);
+    let freed = k
+        .vm_deallocate_hipec(task, addr, key)
+        .expect("deallocate");
+    assert!(freed >= 48, "all {freed} private frames must come back");
+    assert_eq!(k.container(key).expect("container").allocated, 0);
+    assert_eq!(k.specific_total(), 0);
+    // Wait out every in-flight flush, then the pool must be whole again.
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.vm.pump();
+    }
+    assert_eq!(k.vm.free_count(), free_before);
+    // The region is gone: accesses now fault as unmapped.
+    assert!(k.access(task, addr, false).is_err());
+    // The address range is reusable.
+    let (program2, _) = fifo_policy();
+    k.vm_allocate_hipec(task, 64 * PAGE_SIZE, program2, 48)
+        .expect("range and frames are reusable");
+}
+
+#[test]
+fn deallocate_unknown_container_fails() {
+    let mut k = HipecKernel::new(small_params());
+    let task = k.vm.create_task();
+    assert!(k
+        .vm_deallocate_hipec(task, hipec_vm::VAddr(0x1000), ContainerKey(42))
+        .is_err());
+}

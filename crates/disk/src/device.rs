@@ -1,0 +1,122 @@
+//! A paging device: either the mechanical disk or the flash extension.
+
+use hipec_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::flash::{FlashModel, FlashParams};
+use crate::model::{DiskModel, DiskParams, Lba};
+
+/// Parameters for either device kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DeviceParams {
+    /// A seek/rotation/transfer disk.
+    Disk(DiskParams),
+    /// A flash array with a log-structured translation layer.
+    Flash(FlashParams),
+}
+
+impl DeviceParams {
+    /// Logical page capacity.
+    pub fn capacity_pages(&self) -> u64 {
+        match self {
+            DeviceParams::Disk(p) => p.capacity_pages(),
+            DeviceParams::Flash(p) => p.capacity_pages(),
+        }
+    }
+
+    /// Builds the device.
+    pub fn build(&self) -> PagingDevice {
+        match self {
+            DeviceParams::Disk(p) => PagingDevice::Disk(DiskModel::new(p.clone())),
+            DeviceParams::Flash(p) => PagingDevice::Flash(FlashModel::new(p.clone())),
+        }
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams::Disk(DiskParams::default())
+    }
+}
+
+/// The device a kernel pages against.
+#[derive(Debug, Clone)]
+pub enum PagingDevice {
+    /// Mechanical disk.
+    Disk(DiskModel),
+    /// Flash array.
+    Flash(FlashModel),
+}
+
+impl PagingDevice {
+    /// Services a page read submitted at `now`; returns completion.
+    pub fn read(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        match self {
+            PagingDevice::Disk(d) => d.read(lba, now),
+            PagingDevice::Flash(f) => f.read(lba, now),
+        }
+    }
+
+    /// Services a page write submitted at `now`; returns completion.
+    pub fn write(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        match self {
+            PagingDevice::Disk(d) => d.write(lba, now),
+            PagingDevice::Flash(f) => f.write(lba, now),
+        }
+    }
+
+    /// The instant the device goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        match self {
+            PagingDevice::Disk(d) => d.busy_until(),
+            PagingDevice::Flash(f) => f.busy_until(),
+        }
+    }
+
+    /// The disk, if this device is one.
+    pub fn as_disk(&self) -> Option<&DiskModel> {
+        match self {
+            PagingDevice::Disk(d) => Some(d),
+            PagingDevice::Flash(_) => None,
+        }
+    }
+
+    /// The flash array, if this device is one.
+    pub fn as_flash(&self) -> Option<&FlashModel> {
+        match self {
+            PagingDevice::Disk(_) => None,
+            PagingDevice::Flash(f) => Some(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_both_kinds() {
+        let d = DeviceParams::default().build();
+        assert!(d.as_disk().is_some());
+        assert!(d.as_flash().is_none());
+        let f = DeviceParams::Flash(FlashParams::default()).build();
+        assert!(f.as_flash().is_some());
+        assert!(f.as_disk().is_none());
+    }
+
+    #[test]
+    fn both_kinds_service_requests() {
+        for params in [
+            DeviceParams::default(),
+            DeviceParams::Flash(FlashParams::default()),
+        ] {
+            let mut dev = params.build();
+            let r = dev.read(Lba(3), SimTime::ZERO);
+            assert!(r > SimTime::ZERO);
+            let w = dev.write(Lba(3), r);
+            assert!(w > r);
+            assert_eq!(dev.busy_until(), w);
+            assert!(params.capacity_pages() > 0);
+        }
+    }
+}

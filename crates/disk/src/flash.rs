@@ -1,0 +1,433 @@
+//! A flash (solid-state) paging device — the paper's §6 future-work item:
+//! "new hardware architecture, such as flash RAM, can be managed
+//! efficiently if each specific application can control the device".
+//!
+//! The model is a NOR/NAND-style array with the three asymmetric
+//! operations of real flash: fast page reads, slow page programs, and
+//! block erases. Pages cannot be overwritten in place, so writes go
+//! through a minimal log-structured translation layer: each logical page
+//! write programs the next free page of an open block and invalidates the
+//! old copy; when free blocks run low, garbage collection copies the valid
+//! pages out of the dirtiest block and erases it. Erase counts are tracked
+//! per block, so experiments can observe wear and write amplification —
+//! exactly the device behaviour an application-specific policy can reduce
+//! by avoiding dirty evictions.
+
+use hipec_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::model::Lba;
+
+/// Flash geometry and timing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlashParams {
+    /// Reading one page.
+    pub read_page: SimDuration,
+    /// Programming (writing) one erased page.
+    pub program_page: SimDuration,
+    /// Erasing one block.
+    pub erase_block: SimDuration,
+    /// Pages per erase block.
+    pub pages_per_block: u64,
+    /// Number of erase blocks.
+    pub blocks: u64,
+    /// Logical capacity as a fraction of physical (the rest is
+    /// over-provisioning for garbage collection), in percent.
+    pub logical_pct: u64,
+}
+
+impl FlashParams {
+    /// Early-1990s flash card: reads far faster than the paper's disk,
+    /// programs slow, erases very slow, small blocks.
+    pub fn early_flash_card() -> Self {
+        FlashParams {
+            read_page: SimDuration::from_us(150),
+            program_page: SimDuration::from_us(900),
+            erase_block: SimDuration::from_ms(12),
+            pages_per_block: 16,
+            blocks: 20_480, // 16K pages/block × 20480 = 1.25 GB physical
+            logical_pct: 80,
+        }
+    }
+
+    /// Logical page capacity exposed to the kernel.
+    pub fn capacity_pages(&self) -> u64 {
+        self.blocks * self.pages_per_block * self.logical_pct / 100
+    }
+
+    fn physical_pages(&self) -> u64 {
+        self.blocks * self.pages_per_block
+    }
+}
+
+impl Default for FlashParams {
+    fn default() -> Self {
+        FlashParams::early_flash_card()
+    }
+}
+
+/// Running flash statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlashStats {
+    /// Page reads serviced.
+    pub reads: u64,
+    /// Page programs (host writes + GC copies).
+    pub programs: u64,
+    /// Host-issued writes (excludes GC copies).
+    pub host_writes: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Pages copied by garbage collection.
+    pub gc_copies: u64,
+}
+
+impl FlashStats {
+    /// Write amplification: total programs per host write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.programs as f64 / self.host_writes as f64
+        }
+    }
+}
+
+const FREE: u32 = u32::MAX;
+const INVALID: u32 = u32::MAX - 1;
+
+/// The flash device with its translation layer.
+#[derive(Debug, Clone)]
+pub struct FlashModel {
+    params: FlashParams,
+    /// Logical page → physical page (u32::MAX = unmapped).
+    l2p: Vec<u32>,
+    /// Physical page state: FREE, INVALID, or the logical page stored.
+    p2l: Vec<u32>,
+    /// Valid-page count per block.
+    valid_in_block: Vec<u32>,
+    /// Erase count per block (wear).
+    erase_count: Vec<u32>,
+    /// The block currently being filled and the next page index within it.
+    open_block: u64,
+    next_in_block: u64,
+    /// Blocks that are fully erased and not open.
+    free_blocks: Vec<u64>,
+    busy_until: SimTime,
+    stats: FlashStats,
+}
+
+impl FlashModel {
+    /// Creates an empty (fully erased) device.
+    pub fn new(params: FlashParams) -> Self {
+        let phys = params.physical_pages() as usize;
+        let blocks = params.blocks as usize;
+        FlashModel {
+            l2p: vec![u32::MAX; params.capacity_pages() as usize],
+            p2l: vec![FREE; phys],
+            valid_in_block: vec![0; blocks],
+            erase_count: vec![0; blocks],
+            open_block: 0,
+            next_in_block: 0,
+            free_blocks: (1..params.blocks).rev().collect(),
+            busy_until: SimTime::ZERO,
+            params,
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &FlashParams {
+        &self.params
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    /// Maximum block erase count (peak wear).
+    pub fn max_wear(&self) -> u32 {
+        self.erase_count.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The instant the device goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn begin(&mut self, now: SimTime) -> SimTime {
+        self.busy_until.max(now)
+    }
+
+    /// Reads logical page `lba`; returns the completion instant.
+    ///
+    /// Unmapped pages (never written) read as erased and still cost one
+    /// page read.
+    pub fn read(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        debug_assert!((lba.0 as usize) < self.l2p.len(), "read past capacity");
+        let start = self.begin(now);
+        self.stats.reads += 1;
+        self.busy_until = start + self.params.read_page;
+        self.busy_until
+    }
+
+    /// Writes logical page `lba`; returns the completion instant.
+    pub fn write(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        let mut t = self.begin(now);
+        self.stats.host_writes += 1;
+        t = self.program(lba.0, t);
+        self.busy_until = t;
+        t
+    }
+
+    fn program(&mut self, logical: u64, mut t: SimTime) -> SimTime {
+        if self.next_in_block >= self.params.pages_per_block {
+            t = self.open_new_block(t);
+        }
+        self.program_in_open(logical, t)
+    }
+
+    fn open_new_block(&mut self, mut t: SimTime) -> SimTime {
+        if self.free_blocks.is_empty() {
+            t = self.garbage_collect(t);
+        }
+        self.open_block = self
+            .free_blocks
+            .pop()
+            .expect("garbage collection frees a block");
+        self.next_in_block = 0;
+        t
+    }
+
+    /// Greedy garbage collection: erase least-valid blocks, relocating
+    /// their live pages, until at least one block is completely free.
+    ///
+    /// Relocation copies may consume the block just erased (the open block
+    /// is full when GC starts); over-provisioning (`logical_pct` < 100)
+    /// guarantees each round recovers invalid space, so the loop
+    /// terminates with a net-free block.
+    fn garbage_collect(&mut self, mut t: SimTime) -> SimTime {
+        let mut guard = 0;
+        while self.free_blocks.is_empty() {
+            guard += 1;
+            assert!(
+                guard <= 2 * self.params.blocks,
+                "flash GC cannot make progress: device over-full"
+            );
+            let victim = (0..self.params.blocks)
+                .filter(|&b| b != self.open_block)
+                .min_by_key(|&b| self.valid_in_block[b as usize])
+                .expect("more than one block exists");
+            // Capture the victim's live pages, then erase it. (A real FTL
+            // stages through over-provisioned space; the capture models
+            // that.)
+            let base = victim * self.params.pages_per_block;
+            let mut to_move = Vec::new();
+            for i in 0..self.params.pages_per_block {
+                let phys = (base + i) as usize;
+                let logical = self.p2l[phys];
+                if logical != FREE && logical != INVALID {
+                    to_move.push(logical as u64);
+                    // The page is "in transit": unmap it so the relocation
+                    // program does not try to invalidate the erased copy.
+                    self.l2p[logical as usize] = u32::MAX;
+                }
+                self.p2l[phys] = FREE;
+            }
+            self.valid_in_block[victim as usize] = 0;
+            self.erase_count[victim as usize] += 1;
+            self.stats.erases += 1;
+            t += self.params.erase_block;
+            self.free_blocks.push(victim);
+            // Relocate live pages: into the open block's remaining space,
+            // spilling into the freshly erased victim when it fills.
+            for logical in to_move {
+                self.stats.gc_copies += 1;
+                t += self.params.read_page;
+                if self.next_in_block >= self.params.pages_per_block {
+                    self.open_block = self
+                        .free_blocks
+                        .pop()
+                        .expect("the erased victim is available");
+                    self.next_in_block = 0;
+                }
+                t = self.program_in_open(logical, t);
+            }
+        }
+        t
+    }
+
+    /// Programs `logical` into the open block (which must have room),
+    /// without triggering block allocation.
+    fn program_in_open(&mut self, logical: u64, t: SimTime) -> SimTime {
+        debug_assert!(self.next_in_block < self.params.pages_per_block);
+        let old = self.l2p[logical as usize];
+        if old != u32::MAX {
+            let b = old as u64 / self.params.pages_per_block;
+            self.p2l[old as usize] = INVALID;
+            self.valid_in_block[b as usize] -= 1;
+        }
+        let phys = self.open_block * self.params.pages_per_block + self.next_in_block;
+        self.next_in_block += 1;
+        self.p2l[phys as usize] = logical as u32;
+        self.l2p[logical as usize] = phys as u32;
+        self.valid_in_block[self.open_block as usize] += 1;
+        self.stats.programs += 1;
+        t + self.params.program_page
+    }
+}
+
+impl Default for FlashModel {
+    fn default() -> Self {
+        FlashModel::new(FlashParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FlashModel {
+        FlashModel::new(FlashParams {
+            read_page: SimDuration::from_us(100),
+            program_page: SimDuration::from_us(500),
+            erase_block: SimDuration::from_ms(2),
+            pages_per_block: 4,
+            blocks: 8,
+            logical_pct: 75, // 24 logical pages over 32 physical
+        })
+    }
+
+    #[test]
+    fn reads_are_fast_and_writes_slow() {
+        let mut f = tiny();
+        let r = f.read(Lba(0), SimTime::ZERO);
+        assert_eq!(r.as_ns(), 100_000);
+        let w = f.write(Lba(0), r);
+        assert_eq!(w.since(r), SimDuration::from_us(500));
+        assert_eq!(f.stats().reads, 1);
+        assert_eq!(f.stats().host_writes, 1);
+    }
+
+    #[test]
+    fn overwrites_invalidate_and_remap() {
+        let mut f = tiny();
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t = f.write(Lba(5), t);
+        }
+        assert_eq!(f.stats().host_writes, 3);
+        assert_eq!(f.stats().programs, 3);
+        // One live copy, two invalid.
+        let valid: u32 = f.valid_in_block.iter().sum();
+        assert_eq!(valid, 1);
+    }
+
+    #[test]
+    fn gc_kicks_in_when_blocks_run_out_and_wear_accrues() {
+        let mut f = tiny(); // 32 physical pages
+        let mut t = SimTime::ZERO;
+        // Hammer a working set of 6 logical pages with 200 writes: far
+        // more programs than physical pages, forcing repeated GC.
+        for i in 0..200u64 {
+            t = f.write(Lba(i % 6), t);
+        }
+        let s = f.stats();
+        assert_eq!(s.host_writes, 200);
+        assert!(s.erases > 10, "GC must have erased blocks ({})", s.erases);
+        assert!(f.max_wear() >= 2);
+        assert!(
+            s.write_amplification() >= 1.0,
+            "WA {} must be ≥ 1",
+            s.write_amplification()
+        );
+        // Every logical page in the working set still maps somewhere.
+        for l in 0..6usize {
+            assert_ne!(f.l2p[l], u32::MAX);
+        }
+    }
+
+    #[test]
+    fn sequential_writes_have_unit_write_amplification() {
+        let mut f = tiny();
+        let mut t = SimTime::ZERO;
+        // Write each logical page once: no page is ever invalidated, so GC
+        // (if any) finds fully-invalid blocks only — no copies.
+        for l in 0..24u64 {
+            t = f.write(Lba(l), t);
+        }
+        let s = f.stats();
+        assert_eq!(s.programs, s.host_writes);
+        assert_eq!(s.gc_copies, 0);
+    }
+
+    #[test]
+    fn capacity_reflects_overprovisioning() {
+        let p = FlashParams::early_flash_card();
+        assert!(p.capacity_pages() < p.blocks * p.pages_per_block);
+        assert_eq!(
+            p.capacity_pages(),
+            p.blocks * p.pages_per_block * p.logical_pct / 100
+        );
+    }
+
+    #[test]
+    fn device_serializes_requests() {
+        let mut f = tiny();
+        let a = f.write(Lba(0), SimTime::ZERO);
+        let b = f.read(Lba(0), SimTime::ZERO);
+        assert!(b > a, "second request waits for the first");
+    }
+
+    /// Structural invariants of the translation layer.
+    fn check_ftl(f: &FlashModel) {
+        // l2p/p2l agree: every mapped logical page's physical slot points
+        // back at it.
+        for (logical, &phys) in f.l2p.iter().enumerate() {
+            if phys != u32::MAX {
+                assert_eq!(f.p2l[phys as usize], logical as u32);
+            }
+        }
+        // valid_in_block counts match p2l.
+        for b in 0..f.params.blocks {
+            let base = (b * f.params.pages_per_block) as usize;
+            let count = (0..f.params.pages_per_block as usize)
+                .filter(|&i| {
+                    let v = f.p2l[base + i];
+                    v != FREE && v != INVALID
+                })
+                .count() as u32;
+            assert_eq!(count, f.valid_in_block[b as usize], "block {b}");
+        }
+        // Free blocks really are free.
+        for &b in &f.free_blocks {
+            assert_eq!(f.valid_in_block[b as usize], 0);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Arbitrary read/write interleavings keep the FTL consistent and
+        /// time monotonic.
+        #[test]
+        fn ftl_invariants_hold_under_arbitrary_traffic(
+            ops in proptest::collection::vec((proptest::bool::ANY, 0u64..24), 1..400)
+        ) {
+            let mut f = tiny();
+            let mut t = SimTime::ZERO;
+            for (is_write, lba) in ops {
+                let done = if is_write {
+                    f.write(Lba(lba), t)
+                } else {
+                    f.read(Lba(lba), t)
+                };
+                proptest::prop_assert!(done > t);
+                t = done;
+            }
+            check_ftl(&f);
+            let s = f.stats();
+            proptest::prop_assert!(s.programs >= s.host_writes);
+        }
+    }
+}

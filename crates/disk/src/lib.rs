@@ -1,0 +1,31 @@
+//! A mechanical disk model and paging backing store.
+//!
+//! The HiPEC paper's elapsed-time results are dominated by paging I/O on a
+//! 1994 SCSI disk. This crate models such a disk in the style of Ruemmler &
+//! Wilkes ("An Introduction to Disk Drive Modeling", IEEE Computer 1994 —
+//! the paper's reference \[26\]):
+//!
+//! * a seek-time curve (`a + b·√distance` for the cylinder distance),
+//! * true rotational position tracking (the platter angle is a function of
+//!   virtual time, so sequential access patterns see realistic rotational
+//!   misses), with sector interleaving as 1990s paging partitions used,
+//! * per-track page slots and a transfer time proportional to rotation.
+//!
+//! [`DiskModel`] answers "when does this page transfer complete?" for a
+//! logical block at a given submission time. [`BackingStore`] maps (memory
+//! object, page offset) pairs onto logical blocks. [`DiskQueue`] provides
+//! FCFS and SSTF request ordering for the asynchronous flush daemon.
+//!
+//! Everything is deterministic: no randomness, no wall clock.
+
+pub mod backing;
+pub mod device;
+pub mod flash;
+pub mod model;
+pub mod queue;
+
+pub use backing::{BackingStore, PageLocation};
+pub use device::{DeviceParams, PagingDevice};
+pub use flash::{FlashModel, FlashParams};
+pub use model::{DiskModel, DiskParams, Lba};
+pub use queue::{DiskQueue, QueueDiscipline};

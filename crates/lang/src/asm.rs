@@ -1,0 +1,542 @@
+//! A textual assembler and disassembler for HiPEC command programs.
+//!
+//! The paper's Table 2 presents policies as hand-coded command listings;
+//! this module supports the same workflow with symbolic flags and labels:
+//!
+//! ```text
+//! .freeq                  ; slot 0: the container free queue
+//! .page                   ; slot 1: scratch page
+//! .kernel free_count      ; slot 2: read-only counter
+//! .int 0                  ; slot 3: the constant 0
+//!
+//! .event PageFault
+//!     comp 2, 3, gt       ; free_count > 0 ?
+//!     jf refill
+//!     dequeue 1, 0, head
+//!     return 1
+//! refill:
+//!     activate 2
+//!     ja 0
+//! .event ReclaimFrame
+//!     return
+//! ```
+//!
+//! [`disassemble`] renders a program back into this syntax (losing only
+//! label names).
+
+use std::collections::HashMap;
+
+use hipec_core::command::{
+    build, ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, RawCmd,
+};
+use hipec_core::{KernelVar, OperandDecl, PolicyProgram, NO_OPERAND};
+
+use crate::diag::{Diagnostic, Span};
+
+/// Assembles the textual form into a [`PolicyProgram`].
+pub fn assemble(text: &str) -> Result<PolicyProgram, Diagnostic> {
+    let mut program = PolicyProgram::new();
+    let mut current: Option<(String, Vec<Line>)> = None;
+    let mut events: Vec<(String, Vec<Line>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let span = Span {
+            line: lineno as u32 + 1,
+            col: 1,
+        };
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let arg = parts.next();
+            match directive {
+                "event" => {
+                    let name = arg
+                        .ok_or_else(|| Diagnostic::new(span, ".event needs a name"))?;
+                    if let Some(done) = current.take() {
+                        events.push(done);
+                    }
+                    current = Some((name.to_string(), Vec::new()));
+                }
+                "int" => {
+                    let v: i64 = arg
+                        .ok_or_else(|| Diagnostic::new(span, ".int needs a value"))?
+                        .parse()
+                        .map_err(|_| Diagnostic::new(span, "bad .int value"))?;
+                    program.declare(OperandDecl::Int(v));
+                }
+                "bool" => {
+                    let v = match arg {
+                        Some("true") => true,
+                        Some("false") => false,
+                        _ => return Err(Diagnostic::new(span, ".bool needs true or false")),
+                    };
+                    program.declare(OperandDecl::Bool(v));
+                }
+                "page" => {
+                    program.declare(OperandDecl::Page);
+                }
+                "freeq" => {
+                    program.declare(OperandDecl::FreeQueue);
+                }
+                "queue" => {
+                    program.declare(OperandDecl::Queue { recency: false });
+                }
+                "rqueue" => {
+                    program.declare(OperandDecl::Queue { recency: true });
+                }
+                "kernel" => {
+                    let var = match arg {
+                        Some("free_count") => KernelVar::FreeCount,
+                        Some("active_count") => KernelVar::ActiveCount,
+                        Some("inactive_count") => KernelVar::InactiveCount,
+                        Some("allocated_count") => KernelVar::AllocatedCount,
+                        Some("min_frames") => KernelVar::MinFrames,
+                        Some("global_free_count") => KernelVar::GlobalFreeCount,
+                        Some("reclaim_target") => KernelVar::ReclaimTarget,
+                        other => {
+                            return Err(Diagnostic::new(
+                                span,
+                                format!("unknown kernel variable {other:?}"),
+                            ))
+                        }
+                    };
+                    program.declare(OperandDecl::Kernel(var));
+                }
+                other => {
+                    return Err(Diagnostic::new(span, format!("unknown directive .{other}")))
+                }
+            }
+            continue;
+        }
+        let Some((_, lines)) = current.as_mut() else {
+            return Err(Diagnostic::new(span, "instruction outside of .event"));
+        };
+        if let Some(label) = line.strip_suffix(':') {
+            lines.push(Line::Label(label.trim().to_string(), span));
+        } else {
+            lines.push(Line::Instr(line.to_string(), span));
+        }
+    }
+    if let Some(done) = current.take() {
+        events.push(done);
+    }
+
+    for (name, lines) in events {
+        let cmds = assemble_event(&lines)?;
+        program.add_event(name, cmds);
+    }
+    Ok(program)
+}
+
+enum Line {
+    Label(String, Span),
+    Instr(String, Span),
+}
+
+fn assemble_event(lines: &[Line]) -> Result<Vec<RawCmd>, Diagnostic> {
+    // Pass 1: label positions.
+    let mut labels: HashMap<&str, u16> = HashMap::new();
+    let mut pc = 0u16;
+    for l in lines {
+        match l {
+            Line::Label(name, span) => {
+                if labels.insert(name.as_str(), pc).is_some() {
+                    return Err(Diagnostic::new(*span, format!("duplicate label `{name}`")));
+                }
+            }
+            Line::Instr(..) => pc += 1,
+        }
+    }
+    // Pass 2: encode.
+    let mut out = Vec::new();
+    for l in lines {
+        let Line::Instr(text, span) = l else { continue };
+        out.push(encode_instr(text, &labels, *span)?);
+    }
+    Ok(out)
+}
+
+fn encode_instr(
+    text: &str,
+    labels: &HashMap<&str, u16>,
+    span: Span,
+) -> Result<RawCmd, Diagnostic> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let err = |msg: &str| Diagnostic::new(span, format!("{mnemonic}: {msg}"));
+    let slot = |i: usize| -> Result<u8, Diagnostic> {
+        ops.get(i)
+            .ok_or_else(|| err("missing operand"))?
+            .parse::<u8>()
+            .map_err(|_| err("operand must be a slot number"))
+    };
+    let end_flag = |i: usize| -> Result<QueueEnd, Diagnostic> {
+        match ops.get(i).copied() {
+            Some("head") => Ok(QueueEnd::Head),
+            Some("tail") => Ok(QueueEnd::Tail),
+            _ => Err(err("expected head or tail")),
+        }
+    };
+    let target = |i: usize| -> Result<u16, Diagnostic> {
+        let t = ops.get(i).ok_or_else(|| err("missing jump target"))?;
+        if let Ok(n) = t.parse::<u16>() {
+            return Ok(n);
+        }
+        labels
+            .get(t)
+            .copied()
+            .ok_or_else(|| err(&format!("unknown label `{t}`")))
+    };
+
+    let cmd = match mnemonic {
+        "return" => {
+            if ops.is_empty() {
+                build::ret(NO_OPERAND)
+            } else {
+                build::ret(slot(0)?)
+            }
+        }
+        "arith" => {
+            // The operation name is the last operand (`arith a, inc` has no
+            // second slot).
+            let op = match ops.last().copied() {
+                Some("add") => ArithOp::Add,
+                Some("sub") => ArithOp::Sub,
+                Some("mul") => ArithOp::Mul,
+                Some("div") => ArithOp::Div,
+                Some("mod") => ArithOp::Mod,
+                Some("mov") => ArithOp::Mov,
+                Some("inc") => ArithOp::Inc,
+                Some("dec") => ArithOp::Dec,
+                _ => return Err(err("bad arith op")),
+            };
+            let b = if matches!(op, ArithOp::Inc | ArithOp::Dec) {
+                NO_OPERAND
+            } else {
+                slot(1)?
+            };
+            RawCmd::new(OpCode::Arith as u8, slot(0)?, b, op as u8)
+        }
+        "comp" => {
+            let op = match ops.get(2).copied() {
+                Some("eq") => CompOp::Eq,
+                Some("gt") => CompOp::Gt,
+                Some("lt") => CompOp::Lt,
+                Some("ge") => CompOp::Ge,
+                Some("le") => CompOp::Le,
+                Some("ne") => CompOp::Ne,
+                _ => return Err(err("bad comparison op")),
+            };
+            build::comp(slot(0)?, slot(1)?, op)
+        }
+        "logic" => {
+            let op = match ops.last().copied() {
+                Some("and") => LogicOp::And,
+                Some("or") => LogicOp::Or,
+                Some("xor") => LogicOp::Xor,
+                Some("not") => LogicOp::Not,
+                Some("store") => LogicOp::StoreCond,
+                Some("load") => LogicOp::LoadCond,
+                _ => return Err(err("bad logic op")),
+            };
+            let b = if ops.len() > 2 { slot(1)? } else { NO_OPERAND };
+            build::logic(slot(0)?, b, op)
+        }
+        "emptyq" => build::emptyq(slot(0)?),
+        "inq" => build::inq(slot(0)?, slot(1)?),
+        "jf" => build::jump(JumpMode::IfFalse, target(0)?),
+        "ja" => build::jump(JumpMode::Always, target(0)?),
+        "jt" => build::jump(JumpMode::IfTrue, target(0)?),
+        "dequeue" => build::dequeue(slot(0)?, slot(1)?, end_flag(2)?),
+        "enqueue" => build::enqueue(slot(0)?, slot(1)?, end_flag(2)?),
+        "request" => {
+            let granted = if ops.len() > 1 { slot(1)? } else { NO_OPERAND };
+            build::request(slot(0)?, granted)
+        }
+        "release" => build::release(slot(0)?),
+        "flush" => build::flush(slot(0)?),
+        "set" => {
+            let bit = match ops.get(1).copied() {
+                Some("ref") => PageBit::Reference,
+                Some("mod") => PageBit::Modify,
+                _ => return Err(err("expected ref or mod")),
+            };
+            let value = match ops.get(2).copied() {
+                Some("set") => true,
+                Some("clear") => false,
+                _ => return Err(err("expected set or clear")),
+            };
+            build::set(slot(0)?, bit, value)
+        }
+        "ref" => build::is_ref(slot(0)?),
+        "mod" => build::is_mod(slot(0)?),
+        "find" => build::find(slot(0)?, slot(1)?),
+        "activate" => build::activate(slot(0)?),
+        "fifo" | "lru" | "mru" => {
+            let dst = if ops.len() > 1 { slot(1)? } else { NO_OPERAND };
+            match mnemonic {
+                "fifo" => build::fifo(slot(0)?, dst),
+                "lru" => build::lru(slot(0)?, dst),
+                _ => build::mru(slot(0)?, dst),
+            }
+        }
+        "migrate" => build::migrate(slot(0)?),
+        other => return Err(Diagnostic::new(span, format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(cmd)
+}
+
+/// Renders a program as an assembler listing (labels become numeric
+/// targets; declarations come first).
+pub fn disassemble(program: &PolicyProgram) -> String {
+    let mut out = String::new();
+    for (i, d) in program.decls.iter().enumerate() {
+        let line = match d {
+            OperandDecl::Int(v) => format!(".int {v}"),
+            OperandDecl::Bool(b) => format!(".bool {b}"),
+            OperandDecl::Page => ".page".to_string(),
+            OperandDecl::FreeQueue => ".freeq".to_string(),
+            OperandDecl::Queue { recency: false } => ".queue".to_string(),
+            OperandDecl::Queue { recency: true } => ".rqueue".to_string(),
+            OperandDecl::Kernel(v) => format!(".kernel {}", kernel_name(*v)),
+        };
+        out.push_str(&format!("{line:<24}; slot {i}\n"));
+    }
+    for (id, seg) in program.events.iter().enumerate() {
+        let name = program
+            .event_names
+            .get(id)
+            .map(String::as_str)
+            .unwrap_or("unnamed");
+        out.push_str(&format!(".event {name}\n"));
+        for (cc, cmd) in seg.iter().enumerate() {
+            out.push_str(&format!("    {:<28}; cc {cc}\n", render(*cmd)));
+        }
+    }
+    out
+}
+
+fn kernel_name(v: KernelVar) -> &'static str {
+    match v {
+        KernelVar::FreeCount => "free_count",
+        KernelVar::ActiveCount => "active_count",
+        KernelVar::InactiveCount => "inactive_count",
+        KernelVar::AllocatedCount => "allocated_count",
+        KernelVar::MinFrames => "min_frames",
+        KernelVar::GlobalFreeCount => "global_free_count",
+        KernelVar::ReclaimTarget => "reclaim_target",
+    }
+}
+
+fn render(cmd: RawCmd) -> String {
+    let Some(op) = cmd.opcode() else {
+        return format!("<invalid 0x{:08x}>", cmd.0);
+    };
+    let a = cmd.a();
+    let b = cmd.b();
+    let c = cmd.c();
+    match op {
+        OpCode::Return => {
+            if a == NO_OPERAND {
+                "return".into()
+            } else {
+                format!("return {a}")
+            }
+        }
+        OpCode::Arith => {
+            let ops = ["add", "sub", "mul", "div", "mod", "mov", "inc", "dec"];
+            let name = ops.get(c as usize).copied().unwrap_or("?");
+            if c >= 6 {
+                format!("arith {a}, {name}")
+            } else {
+                format!("arith {a}, {b}, {name}")
+            }
+        }
+        OpCode::Comp => {
+            let ops = ["eq", "gt", "lt", "ge", "le", "ne"];
+            format!("comp {a}, {b}, {}", ops.get(c as usize).copied().unwrap_or("?"))
+        }
+        OpCode::Logic => {
+            let ops = ["and", "or", "xor", "not", "store", "load"];
+            let name = ops.get(c as usize).copied().unwrap_or("?");
+            if b == NO_OPERAND {
+                format!("logic {a}, {name}")
+            } else {
+                format!("logic {a}, {b}, {name}")
+            }
+        }
+        OpCode::EmptyQ => format!("emptyq {a}"),
+        OpCode::InQ => format!("inq {a}, {b}"),
+        OpCode::Jump => {
+            let m = ["jf", "ja", "jt"].get(a as usize).copied().unwrap_or("j?");
+            format!("{m} {}", cmd.jump_target())
+        }
+        OpCode::DeQueue => format!("dequeue {a}, {b}, {}", end_name(c)),
+        OpCode::EnQueue => format!("enqueue {a}, {b}, {}", end_name(c)),
+        OpCode::Request => {
+            if b == NO_OPERAND {
+                format!("request {a}")
+            } else {
+                format!("request {a}, {b}")
+            }
+        }
+        OpCode::Release => format!("release {a}"),
+        OpCode::Flush => format!("flush {a}"),
+        OpCode::Set => format!(
+            "set {a}, {}, {}",
+            if b == 1 { "ref" } else { "mod" },
+            if c == 1 { "set" } else { "clear" }
+        ),
+        OpCode::Ref => format!("ref {a}"),
+        OpCode::Mod => format!("mod {a}"),
+        OpCode::Find => format!("find {a}, {b}"),
+        OpCode::Activate => format!("activate {a}"),
+        OpCode::Fifo => replace_render("fifo", a, b),
+        OpCode::Lru => replace_render("lru", a, b),
+        OpCode::Mru => replace_render("mru", a, b),
+        OpCode::Migrate => format!("migrate {a}"),
+    }
+}
+
+fn replace_render(name: &str, a: u8, b: u8) -> String {
+    if b == NO_OPERAND {
+        format!("{name} {a}")
+    } else {
+        format!("{name} {a}, {b}")
+    }
+}
+
+fn end_name(c: u8) -> &'static str {
+    if c == 1 {
+        "tail"
+    } else {
+        "head"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+.freeq                  ; slot 0
+.page                   ; slot 1
+.kernel free_count      ; slot 2
+.int 0                  ; slot 3
+
+.event PageFault
+    comp 2, 3, gt
+    jf refill
+    dequeue 1, 0, head
+    return 1
+refill:
+    activate 2
+    ja 2
+.event ReclaimFrame
+    return
+.event Refill
+    fifo 0, 1
+    return
+"#;
+
+    #[test]
+    fn assembles_with_labels() {
+        let p = assemble(SAMPLE).expect("assembles");
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.decls.len(), 4);
+        let pf = p.event(0).expect("PageFault");
+        assert_eq!(pf.len(), 6);
+        // `jf refill` resolves to cc 4.
+        assert_eq!(pf[1].jump_target(), 4);
+        assert_eq!(pf[1].a(), JumpMode::IfFalse as u8);
+    }
+
+    #[test]
+    fn round_trips_through_disassembly() {
+        let p = assemble(SAMPLE).expect("assembles");
+        let text = disassemble(&p);
+        let q = assemble(&text).expect("reassembles");
+        assert_eq!(p.decls, q.decls);
+        for (a, b) in p.events.iter().zip(q.events.iter()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_reported() {
+        let err = assemble(".event E\n    ja nowhere\n").expect_err("unknown label");
+        assert!(err.message.contains("nowhere"));
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let err =
+            assemble(".event E\nx:\nx:\n    return\n").expect_err("duplicate label");
+        assert!(err.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn instruction_outside_event_is_rejected() {
+        let err = assemble("return").expect_err("no event");
+        assert!(err.message.contains("outside"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_rejected() {
+        let err = assemble(".event E\n    zorp 1\n").expect_err("bad mnemonic");
+        assert!(err.message.contains("zorp"));
+    }
+
+    #[test]
+    fn all_mnemonics_assemble() {
+        let all = r#"
+.freeq
+.page
+.int 1
+.bool false
+.rqueue
+.event PageFault
+    arith 2, 2, add
+    arith 2, inc
+    comp 2, 2, le
+    logic 3, load
+    emptyq 0
+    inq 0, 1
+    dequeue 1, 0, tail
+    enqueue 1, 0, head
+    request 2, 2
+    flush 1
+    set 1, ref, clear
+    ref 1
+    mod 1
+    find 1, 2
+    fifo 4
+    lru 4, 1
+    mru 4
+    migrate 2
+    release 1
+    return 1
+.event ReclaimFrame
+    return
+"#;
+        let p = assemble(all).expect("assembles");
+        assert_eq!(p.event(0).expect("segment").len(), 20);
+        // And every command renders back.
+        let text = disassemble(&p);
+        assert!(text.contains("request 2, 2"));
+        assert!(text.contains("set 1, ref, clear"));
+        assert!(assemble(&text).is_ok());
+    }
+}

@@ -1,0 +1,209 @@
+//! The abstract syntax tree of the policy language.
+
+use hipec_core::command::CompOp;
+
+use crate::diag::Span;
+
+/// A whole policy source file.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    /// Top-level declarations.
+    pub globals: Vec<Decl>,
+    /// Event definitions, in source order.
+    pub events: Vec<EventDef>,
+}
+
+/// One event definition.
+#[derive(Debug, Clone)]
+pub struct EventDef {
+    /// Event name (`PageFault`, `ReclaimFrame`, user names).
+    pub name: String,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Position of the `event` keyword.
+    pub span: Span,
+}
+
+/// A variable declaration (top level or in a block).
+#[derive(Debug, Clone)]
+pub enum Decl {
+    /// `int name = value;`
+    Int {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: IntExpr,
+        /// Position.
+        span: Span,
+    },
+    /// `bool name = true|false;`
+    Bool {
+        /// Variable name.
+        name: String,
+        /// Initial value.
+        init: bool,
+        /// Position.
+        span: Span,
+    },
+    /// `page name;` or `page name = <page expr>;`
+    Page {
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<PageExpr>,
+        /// Position.
+        span: Span,
+    },
+    /// `queue name;` / `recency queue name;`
+    Queue {
+        /// Queue name.
+        name: String,
+        /// Kernel-maintained recency ordering.
+        recency: bool,
+        /// Position.
+        span: Span,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// A nested declaration.
+    Decl(Decl),
+    /// `x = <int expr>;`
+    AssignInt(String, IntExpr, Span),
+    /// `p = <page expr>;`
+    AssignPage(String, PageExpr, Span),
+    /// `b = <condition>;`
+    AssignBool(String, Cond, Span),
+    /// `if (cond) { .. } else { .. }`
+    If(Cond, Vec<Stmt>, Vec<Stmt>, Span),
+    /// `while (cond) { .. }`
+    While(Cond, Vec<Stmt>, Span),
+    /// `return;` / `return <value>;`
+    Return(Option<RetVal>, Span),
+    /// `activate Name;`
+    Activate(String, Span),
+    /// `break;` — exit the innermost `while`.
+    Break(Span),
+    /// `continue;` — jump to the innermost `while`'s condition.
+    Continue(Span),
+    /// A builtin call in statement position.
+    Call(Builtin, Span),
+}
+
+/// A `return` value.
+#[derive(Debug, Clone)]
+pub enum RetVal {
+    /// Return a page.
+    Page(PageExpr),
+    /// Return an integer.
+    Int(IntExpr),
+}
+
+/// Builtin calls usable as statements.
+#[derive(Debug, Clone)]
+pub enum Builtin {
+    /// `enqueue_head(q, p)`
+    EnqueueHead(String, String),
+    /// `enqueue_tail(q, p)`
+    EnqueueTail(String, String),
+    /// `flush(p)` — p is rebound to the exchanged clean frame.
+    Flush(String),
+    /// `release(p)`
+    Release(String),
+    /// `set_ref(p)` / `reset_ref(p)` / `set_mod(p)` / `reset_mod(p)`
+    SetBit {
+        /// Page variable.
+        page: String,
+        /// True for the reference bit, false for the modify bit.
+        reference: bool,
+        /// Set or clear.
+        value: bool,
+    },
+    /// `migrate(container)`
+    Migrate(IntExpr),
+    /// `request(n)` in statement position (grant ignored).
+    Request(IntExpr),
+    /// `fifo(q)` / `lru(q)` / `mru(q)` in statement position.
+    Replace(ReplaceKind, String),
+}
+
+/// Which one-shot replacement command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplaceKind {
+    /// FIFO (head victim).
+    Fifo,
+    /// LRU (head of a recency queue).
+    Lru,
+    /// MRU (tail of a recency queue).
+    Mru,
+}
+
+/// Expressions producing a page.
+#[derive(Debug, Clone)]
+pub enum PageExpr {
+    /// A page variable.
+    Var(String),
+    /// `dequeue_head(q)`
+    DequeueHead(String),
+    /// `dequeue_tail(q)`
+    DequeueTail(String),
+    /// `fifo(q)` / `lru(q)` / `mru(q)` — the freed page.
+    Replace(ReplaceKind, String),
+    /// `find(vaddr)`
+    Find(IntExpr),
+}
+
+/// Integer expressions.
+#[derive(Debug, Clone)]
+pub enum IntExpr {
+    /// A literal.
+    Lit(i64),
+    /// An `int` variable or kernel counter.
+    Var(String),
+    /// A binary operation.
+    Bin(Box<IntExpr>, IntBinOp, Box<IntExpr>),
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+/// Boolean conditions.
+#[derive(Debug, Clone)]
+pub enum Cond {
+    /// `a <op> b`
+    Cmp(IntExpr, CompOp, IntExpr),
+    /// `referenced(p)`
+    Referenced(String),
+    /// `modified(p)`
+    Modified(String),
+    /// `empty(q)`
+    Empty(String),
+    /// `in_queue(q, p)`
+    InQueue(String, String),
+    /// `request(n)` — true when fully granted.
+    Request(IntExpr),
+    /// A `bool` variable.
+    Var(String),
+    /// `true` / `false`
+    Lit(bool),
+    /// `!c`
+    Not(Box<Cond>),
+    /// `a && b` (short-circuit)
+    And(Box<Cond>, Box<Cond>),
+    /// `a || b` (short-circuit)
+    Or(Box<Cond>, Box<Cond>),
+}

@@ -1,0 +1,96 @@
+//! `hipecc` — the stand-alone HiPEC policy translator (paper §4.3.4).
+//!
+//! ```text
+//! hipecc compile <policy.hp>    translate pseudo-code; print the listing
+//! hipecc asm <policy.hps>       assemble a hand-coded listing
+//! hipecc check <policy.hp|hps>  translate/assemble + run the security checker
+//! hipecc words <policy.hp>      emit the raw command buffer (hex words)
+//! ```
+//!
+//! Inputs ending in `.hps` are treated as assembler listings; anything else
+//! as pseudo-code.
+
+use std::process::ExitCode;
+
+use hipec_core::PolicyProgram;
+
+fn load(path: &str) -> Result<PolicyProgram, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".hps") {
+        hipec_lang::assemble(&source).map_err(|d| format!("{path}:{d}"))
+    } else {
+        hipec_lang::compile(&source).map_err(|diags| {
+            diags
+                .iter()
+                .map(|d| format!("{path}:{d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (cmd, path) = match (args.get(1), args.get(2)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: hipecc <compile|asm|check|words> <policy-file>");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "compile" | "asm" => {
+            print!("{}", hipec_lang::disassemble(&program));
+            ExitCode::SUCCESS
+        }
+        "check" => match hipec_core::validate_program(&program) {
+            Ok(()) => {
+                let warnings = hipec_core::analysis::analyze_program(&program);
+                for w in &warnings {
+                    eprintln!("warning: {w}");
+                }
+                println!(
+                    "{path}: OK ({} events, {} commands, {} operand slots{})",
+                    program.events.len(),
+                    program.total_commands(),
+                    program.decls.len(),
+                    if warnings.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", {} warnings", warnings.len())
+                    }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for e in errors {
+                    eprintln!("error: {e}");
+                }
+                ExitCode::FAILURE
+            }
+        },
+        "words" => {
+            for (i, w) in program.to_words().iter().enumerate() {
+                if i % 8 == 0 && i > 0 {
+                    println!();
+                }
+                print!("{w:08x} ");
+            }
+            println!();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The policy-language lexer.
+
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Tok, Token};
+
+/// Tokenizes `source`, returning the token stream (terminated by `Eof`).
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let mut out = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Token {
+                tok: $tok,
+                span: Span { line, col },
+            });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = Span { line, col };
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Diagnostic::new(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ';' => push!(Tok::Semi, 1),
+            ',' => push!(Tok::Comma, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' => push!(Tok::Percent, 1),
+            '=' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '!' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Ne, 2),
+            '!' => push!(Tok::Bang, 1),
+            '<' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if bytes.get(i + 1) == Some(&b'=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '&' if bytes.get(i + 1) == Some(&b'&') => push!(Tok::AndAnd, 2),
+            '|' if bytes.get(i + 1) == Some(&b'|') => push!(Tok::OrOr, 2),
+            '0'..='9' => {
+                let start = i;
+                let span = Span { line, col };
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| Diagnostic::new(span, format!("integer `{text}` out of range")))?;
+                out.push(Token {
+                    tok: Tok::IntLit(value),
+                    span,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let span = Span { line, col };
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                let tok = match text {
+                    "event" => Tok::Event,
+                    "int" => Tok::Int,
+                    "bool" => Tok::Bool,
+                    "page" => Tok::Page,
+                    "queue" => Tok::Queue,
+                    "recency" => Tok::Recency,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "activate" => Tok::Activate,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                out.push(Token { tok, span });
+            }
+            other => {
+                return Err(Diagnostic::new(
+                    Span { line, col },
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        let toks = kinds("event PageFault page p");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Event,
+                Tok::Ident("PageFault".into()),
+                Tok::Page,
+                Tok::Ident("p".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let toks = kinds("<= < == = != ! && || >= >");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Ne,
+                Tok::Bang,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Ge,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // line comment\n b /* block\n comment */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42 007"), vec![Tok::IntLit(42), Tok::IntLit(7), Tok::Eof]);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  b").expect("lexes");
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn bad_character_is_rejected() {
+        let err = lex("a @ b").expect_err("rejects");
+        assert!(err.message.contains("`@`"));
+        assert_eq!(err.span.col, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_is_rejected() {
+        let err = lex("/* never ends").expect_err("rejects");
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn huge_integer_is_rejected() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

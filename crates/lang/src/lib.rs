@@ -1,0 +1,96 @@
+//! The HiPEC pseudo-code translator (paper §4.3.4).
+//!
+//! "It is not convenient for a programmer to design a page replacement
+//! policy by directly using the low-level HiPEC command set." This crate is
+//! the stand-alone translator the paper describes: it compiles a C-like
+//! policy language into streams of HiPEC commands, ready to install with
+//! `vm_map_hipec` / `vm_allocate_hipec`.
+//!
+//! # The policy language
+//!
+//! ```text
+//! queue fifo_q;                 // a plain container queue
+//! recency queue lru_q;          // kernel keeps it ordered by last use
+//! int free_target = 4;          // a mutable counter
+//!
+//! event PageFault() {
+//!     if (free_count > 0) {
+//!         page p = dequeue_head(free_queue);
+//!         enqueue_tail(fifo_q, p);
+//!         return p;
+//!     } else {
+//!         activate Evict;
+//!         page p = dequeue_head(free_queue);
+//!         enqueue_tail(fifo_q, p);
+//!         return p;
+//!     }
+//! }
+//!
+//! event ReclaimFrame() { return; }
+//! event Evict() { fifo(fifo_q); }
+//! ```
+//!
+//! * **Declarations** — `int x = n;`, `bool b = true;`, `page p;`,
+//!   `queue q;`, `recency queue q;` at top level or inside blocks.
+//! * **Kernel symbols** — `free_queue` (the container's private free
+//!   queue), and the read-only counters `free_count`, `active_count`,
+//!   `inactive_count`, `allocated_count`, `min_frames`,
+//!   `global_free_count`, `reclaim_target`.
+//! * **Statements** — assignment, `if`/`else`, `while` (with `break;` and
+//!   `continue;`), `return [value];`, `activate EventName;`, and builtin
+//!   calls.
+//! * **Page builtins** — `dequeue_head(q)`, `dequeue_tail(q)`, `fifo(q)`,
+//!   `lru(q)`, `mru(q)` (one-shot replacement, yielding the freed page),
+//!   `find(vaddr)`, `flush(p)`, `release(p)`, `enqueue_head(q, p)`,
+//!   `enqueue_tail(q, p)`, `set_ref(p)`, `reset_ref(p)`, `set_mod(p)`,
+//!   `reset_mod(p)`, `migrate(container)`.
+//! * **Conditions** — integer comparisons, `referenced(p)`, `modified(p)`,
+//!   `empty(q)`, `in_queue(q, p)`, `request(n)` (true on a full grant),
+//!   bool variables, `!`, `&&`, `||` (short-circuit).
+//!
+//! `PageFault` and `ReclaimFrame` are required and become events 0 and 1;
+//! other events are numbered in order of appearance and reached via
+//! `activate`.
+//!
+//! # Examples
+//!
+//! ```
+//! let source = r#"
+//!     event PageFault() {
+//!         page p = dequeue_head(free_queue);
+//!         return p;
+//!     }
+//!     event ReclaimFrame() { return; }
+//! "#;
+//! let program = hipec_lang::compile(source).expect("compiles");
+//! assert!(hipec_core::validate_program(&program).is_ok());
+//! ```
+
+pub mod asm;
+pub mod ast;
+pub mod codegen;
+pub mod diag;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod token;
+
+pub use asm::{assemble, disassemble};
+pub use codegen::compile_ast;
+pub use diag::{Diagnostic, Span};
+pub use opt::optimize;
+
+use hipec_core::PolicyProgram;
+
+/// Compiles policy pseudo-code into a HiPEC command program.
+pub fn compile(source: &str) -> Result<PolicyProgram, Vec<Diagnostic>> {
+    let tokens = lexer::lex(source).map_err(|d| vec![d])?;
+    let ast = parser::parse(&tokens).map_err(|d| vec![d])?;
+    codegen::compile_ast(&ast)
+}
+
+/// Compiles and then runs the peephole optimizer (fewer commands = less
+/// per-fault interpretation overhead).
+pub fn compile_optimized(source: &str) -> Result<PolicyProgram, Vec<Diagnostic>> {
+    compile(source).map(|p| opt::optimize(&p))
+}

@@ -1,0 +1,302 @@
+//! A peephole optimizer for compiled command programs.
+//!
+//! The executor charges per command fetched (§4.2: more commands = more
+//! overhead), so shaving commands off a policy directly cuts its per-fault
+//! cost. Three semantics-preserving passes run to a fixpoint:
+//!
+//! * **jump threading** — a jump whose target is an unconditional jump is
+//!   retargeted to the final destination (taken jumps clear the condition
+//!   flag either way, so chains collapse safely);
+//! * **jump-to-next elimination** — an unconditional jump to the next
+//!   command is removed, unless the following command reads the condition
+//!   flag (a moded `Jump` or `Logic store`), which the jump would have
+//!   cleared;
+//! * **unreachable-code elimination** — commands no path reaches are
+//!   dropped, with every jump target renumbered.
+
+use std::sync::Arc;
+
+use hipec_core::command::{JumpMode, LogicOp, OpCode, RawCmd};
+use hipec_core::PolicyProgram;
+
+/// Optimizes every event of `program`. Pure: returns the optimized copy.
+pub fn optimize(program: &PolicyProgram) -> PolicyProgram {
+    let mut out = program.clone();
+    out.events = program
+        .events
+        .iter()
+        .map(|seg| Arc::new(optimize_event(seg)))
+        .collect();
+    out
+}
+
+fn optimize_event(seg: &[RawCmd]) -> Vec<RawCmd> {
+    let mut code: Vec<RawCmd> = seg.to_vec();
+    // Each pass can expose more work for the others; iterate to fixpoint
+    // (bounded — every pass only ever shrinks or retargets).
+    for _ in 0..8 {
+        let before = (code.len(), code.clone());
+        thread_jumps(&mut code);
+        drop_jump_to_next(&mut code);
+        drop_unreachable(&mut code);
+        if before.0 == code.len() && before.1 == code {
+            break;
+        }
+    }
+    code
+}
+
+fn is_jump(c: RawCmd) -> bool {
+    c.opcode() == Some(OpCode::Jump)
+}
+
+fn is_unconditional(c: RawCmd) -> bool {
+    is_jump(c) && c.a() == JumpMode::Always as u8
+}
+
+/// True if executing `c` observes the condition flag.
+fn reads_flag(c: RawCmd) -> bool {
+    match c.opcode() {
+        Some(OpCode::Jump) => c.a() != JumpMode::Always as u8,
+        Some(OpCode::Logic) => LogicOp::from_u8(c.c()) == Some(LogicOp::StoreCond),
+        _ => false,
+    }
+}
+
+fn thread_jumps(code: &mut [RawCmd]) {
+    for i in 0..code.len() {
+        if !is_jump(code[i]) {
+            continue;
+        }
+        let mut target = code[i].jump_target() as usize;
+        let mut hops = 0;
+        while target < code.len() && is_unconditional(code[target]) && hops < code.len() {
+            target = code[target].jump_target() as usize;
+            hops += 1;
+        }
+        if target != code[i].jump_target() as usize && target < code.len() {
+            let mode = JumpMode::from_u8(code[i].a()).expect("validated mode");
+            code[i] = hipec_core::command::build::jump(mode, target as u16);
+        }
+    }
+}
+
+fn drop_jump_to_next(code: &mut Vec<RawCmd>) {
+    let Some(i) = (0..code.len()).find(|&i| {
+        is_unconditional(code[i])
+            && code[i].jump_target() as usize == i + 1
+            && code.get(i + 1).is_none_or(|next| !reads_flag(*next))
+    }) else {
+        return;
+    };
+    remove_at(code, i);
+}
+
+fn drop_unreachable(code: &mut Vec<RawCmd>) {
+    loop {
+        let len = code.len();
+        if len == 0 {
+            return;
+        }
+        let mut reachable = vec![false; len];
+        let mut stack = vec![0usize];
+        while let Some(cc) = stack.pop() {
+            if std::mem::replace(&mut reachable[cc], true) {
+                continue;
+            }
+            let c = code[cc];
+            match c.opcode() {
+                Some(OpCode::Return) => {}
+                Some(OpCode::Jump) => {
+                    let t = c.jump_target() as usize;
+                    if t < len {
+                        stack.push(t);
+                    }
+                    if c.a() != JumpMode::Always as u8 && cc + 1 < len {
+                        stack.push(cc + 1);
+                    }
+                }
+                _ => {
+                    if cc + 1 < len {
+                        stack.push(cc + 1);
+                    }
+                }
+            }
+        }
+        match reachable.iter().position(|r| !r) {
+            Some(dead) => remove_at(code, dead),
+            None => return,
+        }
+    }
+}
+
+/// Removes the command at `at`, renumbering every jump target behind it.
+fn remove_at(code: &mut Vec<RawCmd>, at: usize) {
+    code.remove(at);
+    for c in code.iter_mut() {
+        if is_jump(*c) {
+            let t = c.jump_target() as usize;
+            if t > at {
+                let mode = JumpMode::from_u8(c.a()).expect("validated mode");
+                *c = hipec_core::command::build::jump(mode, (t - 1) as u16);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_core::command::{build, CompOp, QueueEnd};
+    use hipec_core::{OperandDecl, NO_OPERAND};
+
+    fn count(program: &PolicyProgram) -> usize {
+        program.total_commands()
+    }
+
+    #[test]
+    fn jump_chains_collapse() {
+        let mut p = PolicyProgram::new();
+        let _q = p.declare(OperandDecl::FreeQueue);
+        p.add_event(
+            "PageFault",
+            vec![
+                build::jump(JumpMode::Always, 2), // 0 → 2 → 4
+                build::ret(NO_OPERAND),           // 1 (dead)
+                build::jump(JumpMode::Always, 4), // 2
+                build::ret(NO_OPERAND),           // 3 (dead)
+                build::ret(NO_OPERAND),           // 4
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let o = optimize(&p);
+        // Threading makes 0 jump straight to 4; DCE removes 1..=3; the
+        // jump-to-next pass then removes the jump itself.
+        assert_eq!(o.event(0).expect("segment").len(), 1);
+        assert_eq!(
+            o.event(0).expect("segment")[0].opcode(),
+            Some(OpCode::Return)
+        );
+    }
+
+    #[test]
+    fn conditional_jump_after_test_is_preserved() {
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let a = p.declare(OperandDecl::Int(1));
+        let b = p.declare(OperandDecl::Int(2));
+        let page = p.declare(OperandDecl::Page);
+        let q = p.declare(OperandDecl::Queue { recency: false });
+        p.add_event(
+            "PageFault",
+            vec![
+                build::comp(a, b, CompOp::Lt),
+                build::jump(JumpMode::IfFalse, 4),
+                build::dequeue(page, q, QueueEnd::Head),
+                build::ret(page),
+                build::ret(NO_OPERAND),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let o = optimize(&p);
+        assert_eq!(count(&o), count(&p), "nothing to optimize away");
+        assert_eq!(
+            o.event(0).expect("segment").as_slice(),
+            p.event(0).expect("segment").as_slice()
+        );
+    }
+
+    #[test]
+    fn jump_to_next_is_removed_only_when_flag_unread() {
+        // Safe: followed by a plain command.
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        let q = p.declare(OperandDecl::Queue { recency: false });
+        p.add_event(
+            "PageFault",
+            vec![
+                build::jump(JumpMode::Always, 1),
+                build::dequeue(page, q, QueueEnd::Head),
+                build::ret(page),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let o = optimize(&p);
+        assert_eq!(o.event(0).expect("segment").len(), 2);
+
+        // Unsafe: the next command reads the condition flag the jump would
+        // have cleared.
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let a = p.declare(OperandDecl::Int(1));
+        p.add_event(
+            "PageFault",
+            vec![
+                build::comp(a, a, CompOp::Eq),    // sets the flag
+                build::jump(JumpMode::Always, 2), // clears it
+                build::jump(JumpMode::IfTrue, 0), // must NOT become reachable-with-flag
+                build::ret(NO_OPERAND),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let o = optimize(&p);
+        let seg = o.event(0).expect("segment");
+        assert!(
+            seg.iter()
+                .any(|c| is_unconditional(*c)),
+            "flag-clearing jump must survive: {seg:?}"
+        );
+    }
+
+    #[test]
+    fn optimized_shipped_policies_stay_valid_and_smaller_or_equal() {
+        let src = super::tests_support::FIFO_SECOND_CHANCE_FOR_OPT;
+        let p = crate::compile(src).expect("compiles");
+        let o = optimize(&p);
+        hipec_core::validate_program(&o).expect("optimized program is valid");
+        assert!(count(&o) <= count(&p));
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    /// A policy with enough control flow to exercise every pass.
+    pub const FIFO_SECOND_CHANCE_FOR_OPT: &str = r#"
+        queue active_q;
+        queue inactive_q;
+        int inactive_target = 8;
+        int free_target = 2;
+
+        event PageFault() {
+            if (free_count == 0) {
+                activate Lack_free_frame;
+            }
+            page p = dequeue_head(free_queue);
+            enqueue_tail(active_q, p);
+            return p;
+        }
+
+        event Lack_free_frame() {
+            while (inactive_count < inactive_target && active_count > 0) {
+                page p = dequeue_head(active_q);
+                reset_ref(p);
+                enqueue_tail(inactive_q, p);
+            }
+            while (free_count < free_target && inactive_count > 0) {
+                page q = dequeue_head(inactive_q);
+                if (referenced(q)) {
+                    enqueue_tail(active_q, q);
+                    reset_ref(q);
+                } else {
+                    if (modified(q)) {
+                        flush(q);
+                    }
+                    enqueue_head(free_queue, q);
+                }
+            }
+        }
+
+        event ReclaimFrame() { return; }
+    "#;
+}

@@ -1,0 +1,718 @@
+//! Recursive-descent parser for the policy language.
+
+use hipec_core::command::CompOp;
+
+use crate::ast::{
+    Builtin, Cond, Decl, EventDef, IntBinOp, IntExpr, PageExpr, Policy, ReplaceKind, RetVal, Stmt,
+};
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Tok, Token};
+
+/// Parses a token stream into a [`Policy`] AST.
+pub fn parse(tokens: &[Token]) -> Result<Policy, Diagnostic> {
+    Parser { tokens, pos: 0 }.policy()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos].tok;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: Tok) -> Result<(), Diagnostic> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(&want.describe()))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> Diagnostic {
+        Diagnostic::new(
+            self.span(),
+            format!("expected {wanted}, found {}", self.peek().describe()),
+        )
+    }
+
+    fn ident(&mut self) -> Result<String, Diagnostic> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected("an identifier")),
+        }
+    }
+
+    fn policy(&mut self) -> Result<Policy, Diagnostic> {
+        let mut p = Policy::default();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(p),
+                Tok::Event => p.events.push(self.event()?),
+                Tok::Int | Tok::Bool | Tok::Page | Tok::Queue | Tok::Recency => {
+                    p.globals.push(self.decl()?)
+                }
+                _ => return Err(self.unexpected("`event` or a declaration")),
+            }
+        }
+    }
+
+    fn event(&mut self) -> Result<EventDef, Diagnostic> {
+        let span = self.span();
+        self.eat(Tok::Event)?;
+        let name = self.ident()?;
+        self.eat(Tok::LParen)?;
+        self.eat(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(EventDef { name, body, span })
+    }
+
+    fn decl(&mut self) -> Result<Decl, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(Tok::Assign)?;
+                let init = self.int_expr()?;
+                self.eat(Tok::Semi)?;
+                Ok(Decl::Int { name, init, span })
+            }
+            Tok::Bool => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(Tok::Assign)?;
+                let init = match self.bump().clone() {
+                    Tok::True => true,
+                    Tok::False => false,
+                    _ => {
+                        return Err(Diagnostic::new(
+                            span,
+                            "bool declarations take `true` or `false`",
+                        ))
+                    }
+                };
+                self.eat(Tok::Semi)?;
+                Ok(Decl::Bool { name, init, span })
+            }
+            Tok::Page => {
+                self.bump();
+                let name = self.ident()?;
+                let init = if *self.peek() == Tok::Assign {
+                    self.bump();
+                    Some(self.page_expr()?)
+                } else {
+                    None
+                };
+                self.eat(Tok::Semi)?;
+                Ok(Decl::Page { name, init, span })
+            }
+            Tok::Queue => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(Tok::Semi)?;
+                Ok(Decl::Queue {
+                    name,
+                    recency: false,
+                    span,
+                })
+            }
+            Tok::Recency => {
+                self.bump();
+                self.eat(Tok::Queue)?;
+                let name = self.ident()?;
+                self.eat(Tok::Semi)?;
+                Ok(Decl::Queue {
+                    name,
+                    recency: true,
+                    span,
+                })
+            }
+            _ => Err(self.unexpected("a declaration")),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Diagnostic> {
+        self.eat(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return Err(self.unexpected("`}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int | Tok::Bool | Tok::Page | Tok::Queue | Tok::Recency => {
+                Ok(Stmt::Decl(self.decl()?))
+            }
+            Tok::If => {
+                self.bump();
+                self.eat(Tok::LParen)?;
+                let cond = self.cond()?;
+                self.eat(Tok::RParen)?;
+                let then_b = self.block()?;
+                let else_b = if *self.peek() == Tok::Else {
+                    self.bump();
+                    if *self.peek() == Tok::If {
+                        // `else if` chains.
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_b, else_b, span))
+            }
+            Tok::While => {
+                self.bump();
+                self.eat(Tok::LParen)?;
+                let cond = self.cond()?;
+                self.eat(Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body, span))
+            }
+            Tok::Return => {
+                self.bump();
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.ret_val()?)
+                };
+                self.eat(Tok::Semi)?;
+                Ok(Stmt::Return(value, span))
+            }
+            Tok::Activate => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(Tok::Semi)?;
+                Ok(Stmt::Activate(name, span))
+            }
+            Tok::Break => {
+                self.bump();
+                self.eat(Tok::Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            Tok::Continue => {
+                self.bump();
+                self.eat(Tok::Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::Assign {
+                    self.bump();
+                    let stmt = self.assignment(name, span)?;
+                    self.eat(Tok::Semi)?;
+                    Ok(stmt)
+                } else if *self.peek() == Tok::LParen {
+                    let call = self.builtin_call(&name, span)?;
+                    self.eat(Tok::Semi)?;
+                    Ok(Stmt::Call(call, span))
+                } else {
+                    Err(self.unexpected("`=` or `(`"))
+                }
+            }
+            _ => Err(self.unexpected("a statement")),
+        }
+    }
+
+    fn ret_val(&mut self) -> Result<RetVal, Diagnostic> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.is_page_builtin(&name) {
+                return Ok(RetVal::Page(self.page_expr()?));
+            }
+        }
+        // Bare identifiers are resolved by type at code generation; parse as
+        // an integer expression (codegen reinterprets page variables).
+        Ok(RetVal::Int(self.int_expr()?))
+    }
+
+    fn is_page_builtin(&self, name: &str) -> bool {
+        matches!(
+            name,
+            "dequeue_head" | "dequeue_tail" | "fifo" | "lru" | "mru" | "find"
+        )
+    }
+
+    fn assignment(&mut self, target: String, span: Span) -> Result<Stmt, Diagnostic> {
+        // Disambiguate by the first token(s) of the right-hand side; bare
+        // identifiers are typed at code generation.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.is_page_builtin(&name) {
+                return Ok(Stmt::AssignPage(target, self.page_expr()?, span));
+            }
+            if matches!(
+                name.as_str(),
+                "referenced" | "modified" | "empty" | "in_queue" | "request"
+            ) {
+                return Ok(Stmt::AssignBool(target, self.cond()?, span));
+            }
+        }
+        if matches!(self.peek(), Tok::True | Tok::False | Tok::Bang) {
+            return Ok(Stmt::AssignBool(target, self.cond()?, span));
+        }
+        let lhs = self.int_expr()?;
+        if let Some(op) = self.peek_cmp() {
+            self.bump();
+            let rhs = self.int_expr()?;
+            let cond = self.cond_rest(Cond::Cmp(lhs, op, rhs))?;
+            return Ok(Stmt::AssignBool(target, cond, span));
+        }
+        if matches!(self.peek(), Tok::AndAnd | Tok::OrOr) {
+            // `b = x && y` where x parsed as an int expression: only a bare
+            // variable can be a bool here.
+            if let IntExpr::Var(v) = lhs {
+                let cond = self.cond_rest(Cond::Var(v))?;
+                return Ok(Stmt::AssignBool(target, cond, span));
+            }
+            return Err(self.unexpected("a boolean expression"));
+        }
+        Ok(Stmt::AssignInt(target, lhs, span))
+    }
+
+    fn builtin_call(&mut self, name: &str, span: Span) -> Result<Builtin, Diagnostic> {
+        self.eat(Tok::LParen)?;
+        let b = match name {
+            "enqueue_head" | "enqueue_tail" => {
+                let q = self.ident()?;
+                self.eat(Tok::Comma)?;
+                let p = self.ident()?;
+                if name == "enqueue_head" {
+                    Builtin::EnqueueHead(q, p)
+                } else {
+                    Builtin::EnqueueTail(q, p)
+                }
+            }
+            "flush" => Builtin::Flush(self.ident()?),
+            "release" => Builtin::Release(self.ident()?),
+            "set_ref" => Builtin::SetBit {
+                page: self.ident()?,
+                reference: true,
+                value: true,
+            },
+            "reset_ref" => Builtin::SetBit {
+                page: self.ident()?,
+                reference: true,
+                value: false,
+            },
+            "set_mod" => Builtin::SetBit {
+                page: self.ident()?,
+                reference: false,
+                value: true,
+            },
+            "reset_mod" => Builtin::SetBit {
+                page: self.ident()?,
+                reference: false,
+                value: false,
+            },
+            "migrate" => Builtin::Migrate(self.int_expr()?),
+            "request" => Builtin::Request(self.int_expr()?),
+            "fifo" => Builtin::Replace(ReplaceKind::Fifo, self.ident()?),
+            "lru" => Builtin::Replace(ReplaceKind::Lru, self.ident()?),
+            "mru" => Builtin::Replace(ReplaceKind::Mru, self.ident()?),
+            other => {
+                return Err(Diagnostic::new(span, format!("unknown builtin `{other}`")))
+            }
+        };
+        self.eat(Tok::RParen)?;
+        Ok(b)
+    }
+
+    fn page_expr(&mut self) -> Result<PageExpr, Diagnostic> {
+        let span = self.span();
+        let name = self.ident()?;
+        if *self.peek() != Tok::LParen {
+            return Ok(PageExpr::Var(name));
+        }
+        self.eat(Tok::LParen)?;
+        let e = match name.as_str() {
+            "dequeue_head" => PageExpr::DequeueHead(self.ident()?),
+            "dequeue_tail" => PageExpr::DequeueTail(self.ident()?),
+            "fifo" => PageExpr::Replace(ReplaceKind::Fifo, self.ident()?),
+            "lru" => PageExpr::Replace(ReplaceKind::Lru, self.ident()?),
+            "mru" => PageExpr::Replace(ReplaceKind::Mru, self.ident()?),
+            "find" => PageExpr::Find(self.int_expr()?),
+            other => {
+                return Err(Diagnostic::new(
+                    span,
+                    format!("`{other}` does not produce a page"),
+                ))
+            }
+        };
+        self.eat(Tok::RParen)?;
+        Ok(e)
+    }
+
+    // --- Conditions ---------------------------------------------------------
+
+    fn cond(&mut self) -> Result<Cond, Diagnostic> {
+        let first = self.and_cond()?;
+        self.or_rest(first)
+    }
+
+    fn or_rest(&mut self, mut acc: Cond) -> Result<Cond, Diagnostic> {
+        while *self.peek() == Tok::OrOr {
+            self.bump();
+            let rhs = self.and_cond()?;
+            acc = Cond::Or(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn cond_rest(&mut self, first: Cond) -> Result<Cond, Diagnostic> {
+        let mut acc = first;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.not_cond()?;
+            acc = Cond::And(Box::new(acc), Box::new(rhs));
+        }
+        self.or_rest(acc)
+    }
+
+    fn and_cond(&mut self) -> Result<Cond, Diagnostic> {
+        let mut acc = self.not_cond()?;
+        while *self.peek() == Tok::AndAnd {
+            self.bump();
+            let rhs = self.not_cond()?;
+            acc = Cond::And(Box::new(acc), Box::new(rhs));
+        }
+        Ok(acc)
+    }
+
+    fn not_cond(&mut self) -> Result<Cond, Diagnostic> {
+        if *self.peek() == Tok::Bang {
+            self.bump();
+            return Ok(Cond::Not(Box::new(self.not_cond()?)));
+        }
+        self.primary_cond()
+    }
+
+    fn primary_cond(&mut self) -> Result<Cond, Diagnostic> {
+        match self.peek().clone() {
+            Tok::True => {
+                self.bump();
+                return Ok(Cond::Lit(true));
+            }
+            Tok::False => {
+                self.bump();
+                return Ok(Cond::Lit(false));
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "referenced" | "modified" => {
+                    self.bump();
+                    self.eat(Tok::LParen)?;
+                    let p = self.ident()?;
+                    self.eat(Tok::RParen)?;
+                    return Ok(if name == "referenced" {
+                        Cond::Referenced(p)
+                    } else {
+                        Cond::Modified(p)
+                    });
+                }
+                "empty" => {
+                    self.bump();
+                    self.eat(Tok::LParen)?;
+                    let q = self.ident()?;
+                    self.eat(Tok::RParen)?;
+                    return Ok(Cond::Empty(q));
+                }
+                "in_queue" => {
+                    self.bump();
+                    self.eat(Tok::LParen)?;
+                    let q = self.ident()?;
+                    self.eat(Tok::Comma)?;
+                    let p = self.ident()?;
+                    self.eat(Tok::RParen)?;
+                    return Ok(Cond::InQueue(q, p));
+                }
+                "request" => {
+                    self.bump();
+                    self.eat(Tok::LParen)?;
+                    let n = self.int_expr()?;
+                    self.eat(Tok::RParen)?;
+                    return Ok(Cond::Request(n));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        // Try `int_expr <cmp> int_expr`, backtracking on failure.
+        let save = self.pos;
+        if let Ok(lhs) = self.int_expr() {
+            if let Some(op) = self.peek_cmp() {
+                self.bump();
+                let rhs = self.int_expr()?;
+                return Ok(Cond::Cmp(lhs, op, rhs));
+            }
+            if let IntExpr::Var(v) = lhs {
+                // A bare identifier: a bool variable.
+                return Ok(Cond::Var(v));
+            }
+        }
+        self.pos = save;
+        if *self.peek() == Tok::LParen {
+            self.bump();
+            let c = self.cond()?;
+            self.eat(Tok::RParen)?;
+            return Ok(c);
+        }
+        Err(self.unexpected("a condition"))
+    }
+
+    fn peek_cmp(&self) -> Option<CompOp> {
+        match self.peek() {
+            Tok::EqEq => Some(CompOp::Eq),
+            Tok::Ne => Some(CompOp::Ne),
+            Tok::Lt => Some(CompOp::Lt),
+            Tok::Le => Some(CompOp::Le),
+            Tok::Gt => Some(CompOp::Gt),
+            Tok::Ge => Some(CompOp::Ge),
+            _ => None,
+        }
+    }
+
+    // --- Integer expressions --------------------------------------------------
+
+    fn int_expr(&mut self) -> Result<IntExpr, Diagnostic> {
+        let mut acc = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => IntBinOp::Add,
+                Tok::Minus => IntBinOp::Sub,
+                _ => return Ok(acc),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            acc = IntExpr::Bin(Box::new(acc), op, Box::new(rhs));
+        }
+    }
+
+    fn term(&mut self) -> Result<IntExpr, Diagnostic> {
+        let mut acc = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => IntBinOp::Mul,
+                Tok::Slash => IntBinOp::Div,
+                Tok::Percent => IntBinOp::Mod,
+                _ => return Ok(acc),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            acc = IntExpr::Bin(Box::new(acc), op, Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self) -> Result<IntExpr, Diagnostic> {
+        match self.peek().clone() {
+            Tok::IntLit(v) => {
+                self.bump();
+                Ok(IntExpr::Lit(v))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.factor()? {
+                    IntExpr::Lit(v) => Ok(IntExpr::Lit(-v)),
+                    e => Ok(IntExpr::Bin(
+                        Box::new(IntExpr::Lit(0)),
+                        IntBinOp::Sub,
+                        Box::new(e),
+                    )),
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(IntExpr::Var(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.int_expr()?;
+                self.eat(Tok::RParen)?;
+                Ok(e)
+            }
+            _ => Err(self.unexpected("an integer expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Policy {
+        parse(&lex(src).expect("lexes")).expect("parses")
+    }
+
+    #[test]
+    fn minimal_policy() {
+        let p = parse_ok(
+            "event PageFault() { page p = dequeue_head(free_queue); return p; }\n\
+             event ReclaimFrame() { return; }",
+        );
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.events[0].name, "PageFault");
+        assert_eq!(p.events[0].body.len(), 2);
+    }
+
+    #[test]
+    fn globals_parse() {
+        let p = parse_ok(
+            "queue fq; recency queue rq; int t = 5; bool flag = true; page scratch;\n\
+             event PageFault() { return; } event ReclaimFrame() { return; }",
+        );
+        assert_eq!(p.globals.len(), 5);
+        assert!(matches!(
+            p.globals[1],
+            Decl::Queue { recency: true, .. }
+        ));
+    }
+
+    #[test]
+    fn if_else_and_while() {
+        let p = parse_ok(
+            "event PageFault() {\n\
+               while (free_count < 2) { activate Helper; }\n\
+               if (free_count > 0) { return; } else { return; }\n\
+             }\n\
+             event ReclaimFrame() { return; }\n\
+             event Helper() { return; }",
+        );
+        let body = &p.events[0].body;
+        assert!(matches!(body[0], Stmt::While(..)));
+        assert!(matches!(body[1], Stmt::If(..)));
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse_ok(
+            "event PageFault() {\n\
+               if (free_count > 4) { return; }\n\
+               else if (free_count > 2) { return; }\n\
+               else { return; }\n\
+             }\n\
+             event ReclaimFrame() { return; }",
+        );
+        let Stmt::If(_, _, else_b, _) = &p.events[0].body[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(else_b.len(), 1);
+        assert!(matches!(else_b[0], Stmt::If(..)));
+    }
+
+    #[test]
+    fn conditions_with_connectives() {
+        let p = parse_ok(
+            "event PageFault() {\n\
+               if (referenced(p) && !modified(p) || empty(q)) { return; }\n\
+             }\n\
+             event ReclaimFrame() { return; }\n\
+             queue q; page p;",
+        );
+        let Stmt::If(cond, ..) = &p.events[0].body[0] else {
+            panic!("expected if");
+        };
+        assert!(matches!(cond, Cond::Or(..)));
+    }
+
+    #[test]
+    fn parenthesized_comparison_condition() {
+        let p = parse_ok(
+            "event PageFault() { if ((free_count + 1) * 2 >= 10) { return; } }\n\
+             event ReclaimFrame() { return; }",
+        );
+        let Stmt::If(Cond::Cmp(lhs, op, _), ..) = &p.events[0].body[0] else {
+            panic!("expected comparison");
+        };
+        assert_eq!(*op, CompOp::Ge);
+        assert!(matches!(lhs, IntExpr::Bin(..)));
+    }
+
+    #[test]
+    fn assignments_disambiguate() {
+        let p = parse_ok(
+            "event PageFault() {\n\
+               x = 3 + 4;\n\
+               p = dequeue_head(q);\n\
+               b = x > 2;\n\
+               b = modified(p);\n\
+               p2 = p;\n\
+             }\n\
+             event ReclaimFrame() { return; }",
+        );
+        let body = &p.events[0].body;
+        assert!(matches!(body[0], Stmt::AssignInt(..)));
+        assert!(matches!(body[1], Stmt::AssignPage(..)));
+        assert!(matches!(body[2], Stmt::AssignBool(..)));
+        assert!(matches!(body[3], Stmt::AssignBool(..)));
+        // `p2 = p` parses as an int assignment; codegen retypes it.
+        assert!(matches!(body[4], Stmt::AssignInt(..)));
+    }
+
+    #[test]
+    fn builtin_statements() {
+        let p = parse_ok(
+            "event PageFault() {\n\
+               enqueue_tail(q, p); flush(p); release(p); reset_ref(p);\n\
+               migrate(1); request(8); fifo(q);\n\
+             }\n\
+             event ReclaimFrame() { return; }",
+        );
+        assert_eq!(p.events[0].body.len(), 7);
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_ok(
+            "int x = -5; event PageFault() { return; } event ReclaimFrame() { return; }",
+        );
+        let Decl::Int { init, .. } = &p.globals[0] else {
+            panic!("int decl");
+        };
+        assert!(matches!(init, IntExpr::Lit(-5)));
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let err = parse(&lex("event PageFault() { return }").expect("lexes"))
+            .expect_err("missing semicolon");
+        assert!(err.message.contains("expected"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn unknown_builtin_is_rejected() {
+        let err = parse(&lex("event E() { frobnicate(p); }").expect("lexes"))
+            .expect_err("unknown builtin");
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unclosed_block_is_rejected() {
+        assert!(parse(&lex("event E() { return;").expect("lexes")).is_err());
+    }
+}

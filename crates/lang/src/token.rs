@@ -1,0 +1,152 @@
+//! Tokens of the policy language.
+
+use crate::diag::Span;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Keywords.
+    /// `event`
+    Event,
+    /// `int`
+    Int,
+    /// `bool`
+    Bool,
+    /// `page`
+    Page,
+    /// `queue`
+    Queue,
+    /// `recency`
+    Recency,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `activate`
+    Activate,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    // Literals and identifiers.
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Source position.
+    pub span: Span,
+}
+
+impl Tok {
+    /// A short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::IntLit(v) => format!("integer `{v}`"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.text()),
+        }
+    }
+
+    fn text(&self) -> &'static str {
+        match self {
+            Tok::Event => "event",
+            Tok::Int => "int",
+            Tok::Bool => "bool",
+            Tok::Page => "page",
+            Tok::Queue => "queue",
+            Tok::Recency => "recency",
+            Tok::If => "if",
+            Tok::Else => "else",
+            Tok::While => "while",
+            Tok::Return => "return",
+            Tok::Activate => "activate",
+            Tok::Break => "break",
+            Tok::Continue => "continue",
+            Tok::True => "true",
+            Tok::False => "false",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Assign => "=",
+            Tok::EqEq => "==",
+            Tok::Ne => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Bang => "!",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Ident(_) | Tok::IntLit(_) | Tok::Eof => unreachable!(),
+        }
+    }
+}

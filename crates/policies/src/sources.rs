@@ -1,0 +1,267 @@
+//! Pseudo-code sources for the shipped policies.
+//!
+//! Convention used by all sources: the **first** declared queue is reported
+//! by the `active_count` kernel counter and the second by `inactive_count`
+//! (the counters bind to the container's queues in declaration order).
+
+/// Plain FIFO: evict the oldest-faulted page.
+pub const FIFO: &str = r#"
+    queue fifo_q;
+
+    event PageFault() {
+        if (free_count == 0) {
+            fifo(fifo_q);
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(fifo_q, p);
+        return p;
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                fifo(fifo_q);
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// FIFO with second chance — the paper's Figure 4, and the policy the Mach
+/// pageout daemon implements natively (used for the Table 3 comparison).
+pub const FIFO_SECOND_CHANCE: &str = r#"
+    queue active_q;
+    queue inactive_q;
+    int inactive_target = 8;
+    int free_target = 2;
+
+    event PageFault() {
+        if (free_count == 0) {
+            activate Lack_free_frame;
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(active_q, p);
+        return p;
+    }
+
+    event Lack_free_frame() {
+        // Stage 1: refill the inactive queue, clearing reference bits.
+        while (inactive_count < inactive_target && active_count > 0) {
+            page p = dequeue_head(active_q);
+            reset_ref(p);
+            enqueue_tail(inactive_q, p);
+        }
+        // Stage 2: reclaim from the inactive head with second chance.
+        while (free_count < free_target && inactive_count > 0) {
+            page q = dequeue_head(inactive_q);
+            if (referenced(q)) {
+                enqueue_tail(active_q, q);
+                reset_ref(q);
+            } else {
+                if (modified(q)) {
+                    flush(q);
+                }
+                enqueue_head(free_queue, q);
+            }
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                activate Lack_free_frame;
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// Exact LRU over a kernel-maintained recency queue.
+pub const LRU: &str = r#"
+    recency queue lru_q;
+
+    event PageFault() {
+        if (free_count == 0) {
+            lru(lru_q);
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(lru_q, p);
+        return p;
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                lru(lru_q);
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// MRU: evict the most recently used page — optimal for cyclic scans such
+/// as the nested-loops join of §5.3.
+pub const MRU: &str = r#"
+    recency queue mru_q;
+
+    event PageFault() {
+        if (free_count == 0) {
+            mru(mru_q);
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(mru_q, p);
+        return p;
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                mru(mru_q);
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// Clock: second chance on one circulating queue, written entirely with
+/// simple commands (no complex `FIFO`/`LRU`/`MRU` command) — the expensive
+/// end of the paper's simple-vs-complex command trade-off (§4.2).
+pub const CLOCK: &str = r#"
+    queue clock_q;
+
+    event PageFault() {
+        if (free_count == 0) {
+            activate Tick;
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(clock_q, p);
+        return p;
+    }
+
+    event Tick() {
+        bool done = false;
+        while (!done && active_count > 0) {
+            page p = dequeue_head(clock_q);
+            if (referenced(p)) {
+                reset_ref(p);
+                enqueue_tail(clock_q, p);
+            } else {
+                if (modified(p)) {
+                    flush(p);
+                }
+                enqueue_head(free_queue, p);
+                done = true;
+            }
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                activate Tick;
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// Simplified 2Q (scan-resistant): first-touch pages enter a FIFO probation
+/// queue (`a1`); pages referenced again while on probation are promoted to
+/// a protected recency queue (`am`) at eviction-scan time. Evictions prefer
+/// unreferenced probation pages, so one-shot scans cannot flush the hot set
+/// — the scan-resistance LRU lacks.
+pub const TWO_QUEUE: &str = r#"
+    queue a1_fresh;       // just-faulted pages (reference bit still set
+                          // from the faulting access itself)
+    queue a1_cleared;     // aged probation: reference bits cleared
+    recency queue am;     // protected (LRU order)
+
+    event PageFault() {
+        if (free_count == 0) {
+            activate Evict;
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(a1_fresh, p);
+        return p;
+    }
+
+    event Evict() {
+        // Age the fresh pages: clear the fault-time reference bit so a
+        // later set bit means a genuine *re*-reference.
+        while (active_count > 0) {
+            page f = dequeue_head(a1_fresh);
+            reset_ref(f);
+            enqueue_tail(a1_cleared, f);
+        }
+        // Scan aged probation: promote re-referenced pages, evict the
+        // first cold one. One-shot scan pages are never re-referenced, so
+        // they go straight out — the hot set in `am` survives.
+        bool done = false;
+        while (!done && inactive_count > 0) {
+            page p = dequeue_head(a1_cleared);
+            if (referenced(p)) {
+                reset_ref(p);
+                enqueue_tail(am, p);
+            } else {
+                if (modified(p)) {
+                    flush(p);
+                }
+                enqueue_head(free_queue, p);
+                done = true;
+            }
+        }
+        // Probation exhausted: fall back to LRU on the protected queue.
+        if (!done) {
+            lru(am);
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                activate Evict;
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sources_compile_clean() {
+        for (name, src) in [
+            ("FIFO", FIFO),
+            ("FIFO_SECOND_CHANCE", FIFO_SECOND_CHANCE),
+            ("LRU", LRU),
+            ("MRU", MRU),
+            ("CLOCK", CLOCK),
+            ("TWO_QUEUE", TWO_QUEUE),
+        ] {
+            let p = hipec_lang::compile(src)
+                .unwrap_or_else(|e| panic!("{name} failed to compile: {e:?}"));
+            hipec_core::validate_program(&p)
+                .unwrap_or_else(|e| panic!("{name} failed validation: {e:?}"));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Interpreted-vs-native equivalence: the compiled HiPEC policies must
+//! fault exactly like their plain-Rust oracles on the same reference
+//! traces.
+
+use hipec_core::HipecKernel;
+use hipec_policies::native::{CacheSim, Fifo, Lru, Mru, Replacement};
+use hipec_policies::PolicyKind;
+use hipec_sim::DetRng;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn run_interpreted(kind: PolicyKind, trace: &[u64], region_pages: u64, capacity: u64) -> u64 {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 2_048;
+    params.wired_frames = 64;
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (addr, _obj, key) = k
+        .vm_allocate_hipec(task, region_pages * PAGE_SIZE, kind.program(), capacity)
+        .expect("install");
+    for &page in trace {
+        k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+            .expect("access");
+        k.vm.pump();
+    }
+    k.container(key).expect("container").stats.faults
+}
+
+fn run_native<P: Replacement>(policy: P, trace: &[u64], capacity: u64) -> u64 {
+    CacheSim::new(policy, capacity as usize).run(trace.iter().copied())
+}
+
+fn traces(region_pages: u64) -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = DetRng::new(0x5EED);
+    let cyclic: Vec<u64> = (0..4).flat_map(|_| 0..region_pages).collect();
+    let random: Vec<u64> = (0..2_000).map(|_| rng.below(region_pages)).collect();
+    let hot_cold: Vec<u64> = (0..1_000)
+        .flat_map(|i| [i % 4, rng.below(region_pages)])
+        .collect();
+    let strided: Vec<u64> = (0..1_500u64).map(|i| (i * 7) % region_pages).collect();
+    vec![
+        ("cyclic", cyclic),
+        ("random", random),
+        ("hot_cold", hot_cold),
+        ("strided", strided),
+    ]
+}
+
+#[test]
+fn interpreted_fifo_matches_native_fifo() {
+    let (region, cap) = (48u64, 32u64);
+    for (name, trace) in traces(region) {
+        let interp = run_interpreted(PolicyKind::Fifo, &trace, region, cap);
+        let native = run_native(Fifo::default(), &trace, cap);
+        assert_eq!(interp, native, "trace `{name}`");
+    }
+}
+
+#[test]
+fn interpreted_lru_matches_native_lru() {
+    let (region, cap) = (48u64, 32u64);
+    for (name, trace) in traces(region) {
+        let interp = run_interpreted(PolicyKind::Lru, &trace, region, cap);
+        let native = run_native(Lru::default(), &trace, cap);
+        assert_eq!(interp, native, "trace `{name}`");
+    }
+}
+
+#[test]
+fn interpreted_mru_matches_native_mru() {
+    let (region, cap) = (48u64, 32u64);
+    for (name, trace) in traces(region) {
+        let interp = run_interpreted(PolicyKind::Mru, &trace, region, cap);
+        let native = run_native(Mru::default(), &trace, cap);
+        assert_eq!(interp, native, "trace `{name}`");
+    }
+}
+
+#[test]
+fn second_chance_lands_between_fifo_and_oracle_bounds() {
+    // FIFO-with-second-chance approximates LRU; on reuse-heavy traces it
+    // must not fault more than plain FIFO (beyond a small slack for its
+    // two-queue staging) and never less than OPT.
+    let (region, cap) = (48u64, 32u64);
+    for (name, trace) in traces(region) {
+        let sc = run_interpreted(PolicyKind::FifoSecondChance, &trace, region, cap);
+        let fifo = run_native(Fifo::default(), &trace, cap);
+        let opt = hipec_policies::native::opt_faults(&trace, cap as usize);
+        assert!(
+            sc <= fifo + fifo / 4 + 8,
+            "trace `{name}`: second chance ({sc}) much worse than FIFO ({fifo})"
+        );
+        assert!(sc >= opt, "trace `{name}`: beat OPT?! ({sc} < {opt})");
+    }
+}
+
+#[test]
+fn clock_policy_runs_clean_on_all_traces() {
+    let (region, cap) = (48u64, 32u64);
+    for (name, trace) in traces(region) {
+        let clock = run_interpreted(PolicyKind::Clock, &trace, region, cap);
+        let native = run_native(hipec_policies::native::Clock::default(), &trace, cap);
+        assert_eq!(clock, native, "trace `{name}`");
+    }
+}
+
+#[test]
+fn hand_coded_listings_match_translator_output_behaviour() {
+    let (region, cap) = (48u64, 32u64);
+    let run_program = |program: hipec_core::PolicyProgram, trace: &[u64]| -> u64 {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        let mut k = HipecKernel::new(params);
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, region * PAGE_SIZE, program, cap)
+            .expect("install");
+        for &page in trace {
+            k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+                .expect("access");
+            k.vm.pump();
+        }
+        k.container(key).expect("container").stats.faults
+    };
+    for (name, trace) in traces(region) {
+        let asm_mru = run_program(hipec_policies::asm_listings::mru(), &trace);
+        let compiled_mru = run_interpreted(PolicyKind::Mru, &trace, region, cap);
+        assert_eq!(asm_mru, compiled_mru, "MRU listings diverge on `{name}`");
+
+        let asm_sc = run_program(hipec_policies::asm_listings::fifo_second_chance(), &trace);
+        let compiled_sc = run_interpreted(PolicyKind::FifoSecondChance, &trace, region, cap);
+        assert_eq!(
+            asm_sc, compiled_sc,
+            "second-chance listings diverge on `{name}`"
+        );
+    }
+}
+
+#[test]
+fn optimized_policies_fault_identically_to_unoptimized() {
+    let (region, cap) = (48u64, 32u64);
+    let run_program = |program: hipec_core::PolicyProgram, trace: &[u64]| -> u64 {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        let mut k = HipecKernel::new(params);
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, region * PAGE_SIZE, program, cap)
+            .expect("install");
+        for &page in trace {
+            k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+                .expect("access");
+            k.vm.pump();
+        }
+        k.container(key).expect("container").stats.faults
+    };
+    for kind in PolicyKind::ALL {
+        let plain = kind.program();
+        let optimized = kind.program_optimized();
+        assert!(
+            optimized.total_commands() <= plain.total_commands(),
+            "{}: optimizer must not grow the program",
+            kind.name()
+        );
+        hipec_core::validate_program(&optimized).expect("optimized program validates");
+        for (name, trace) in traces(region) {
+            let a = run_program(plain.clone(), &trace);
+            let b = run_program(optimized.clone(), &trace);
+            assert_eq!(a, b, "{} diverged after optimization on `{name}`", kind.name());
+        }
+    }
+}
+
+#[test]
+fn optimizer_reduces_interpreted_commands_per_fault() {
+    // The whole point: fewer fetch/decode cycles for the same decisions.
+    let (region, cap) = (48u64, 32u64);
+    let commands_per_fault = |program: hipec_core::PolicyProgram| -> f64 {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        let mut k = HipecKernel::new(params);
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, region * PAGE_SIZE, program, cap)
+            .expect("install");
+        for round in 0..3u64 {
+            for page in 0..region {
+                let _ = round;
+                k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+                    .expect("access");
+                k.vm.pump();
+            }
+        }
+        let c = k.container(key).expect("container");
+        c.stats.commands as f64 / c.stats.faults.max(1) as f64
+    };
+    let kind = PolicyKind::FifoSecondChance;
+    let before = commands_per_fault(kind.program());
+    let after = commands_per_fault(kind.program_optimized());
+    assert!(
+        after <= before,
+        "optimization must not add work: {after:.2} vs {before:.2}"
+    );
+}
+
+#[test]
+fn two_queue_is_scan_resistant() {
+    // Phase 1 (warmup): short scans, so the hot set gets re-referenced
+    // while still on aged probation and is promoted to the protected
+    // queue. Phase 2: long one-shot scan bursts, much larger than memory.
+    // LRU lets every burst flush the hot set; 2Q's probation absorbs the
+    // burst (evictions prefer probation over the protected queue), so the
+    // promoted hot set survives indefinitely.
+    let (region, cap) = (256u64, 24u64);
+    let hot = 8u64;
+    let mut trace = Vec::new();
+    let mut cold = hot;
+    let mut scan = |trace: &mut Vec<u64>, n: u64| {
+        for _ in 0..n {
+            trace.push(cold);
+            cold = hot + (cold - hot + 1) % (region - hot);
+        }
+    };
+    for _ in 0..4 {
+        trace.extend(0..hot);
+        scan(&mut trace, 8);
+    }
+    for _ in 0..25 {
+        trace.extend(0..hot);
+        scan(&mut trace, 40);
+    }
+    let lru = run_interpreted(PolicyKind::Lru, &trace, region, cap);
+    let two_q = run_interpreted(PolicyKind::TwoQueue, &trace, region, cap);
+    let fifo = run_interpreted(PolicyKind::Fifo, &trace, region, cap);
+    assert!(
+        two_q + 100 < lru,
+        "2Q must beat LRU on scan-polluted traces ({two_q} vs {lru})"
+    );
+    assert!(
+        two_q + 100 < fifo,
+        "2Q must beat FIFO on scan-polluted traces ({two_q} vs {fifo})"
+    );
+}

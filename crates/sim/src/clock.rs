@@ -1,0 +1,66 @@
+//! The monotonic virtual clock a simulated kernel owns.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonic virtual clock.
+///
+/// The clock only moves forward: [`VirtualClock::advance`] adds a duration,
+/// [`VirtualClock::advance_to`] jumps to a later instant and is a no-op if the
+/// target is in the past (so event-driven code can blindly fast-forward to a
+/// completion time that may already have been passed by CPU accounting).
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// Creates a clock at simulation boot (t = 0).
+    pub fn new() -> Self {
+        VirtualClock { now: SimTime::ZERO }
+    }
+
+    /// Returns the current instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock to `t` if `t` is in the future; otherwise leaves it
+    /// unchanged. Returns the (possibly unchanged) current instant.
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimDuration::from_us(5));
+        assert_eq!(c.now().as_ns(), 5_000);
+        c.advance(SimDuration::from_ns(1));
+        assert_eq!(c.now().as_ns(), 5_001);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut c = VirtualClock::new();
+        c.advance_to(SimTime::from_ns(100));
+        assert_eq!(c.now().as_ns(), 100);
+        // Jumping "back" is a no-op.
+        c.advance_to(SimTime::from_ns(50));
+        assert_eq!(c.now().as_ns(), 100);
+    }
+}

@@ -1,0 +1,217 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by firing time; events scheduled for the same instant
+//! fire in the order they were scheduled (FIFO tie-break via a sequence
+//! number). This makes every simulation in the workspace reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A handle that identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+    cancelled: bool,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `BinaryHeap` is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event queue keyed by [`SimTime`].
+///
+/// Cancellation is lazy: [`EventQueue::cancel`] marks the event and it is
+/// discarded when it reaches the head of the heap.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Sequence numbers still pending in the heap (not popped, not
+    /// cancelled). Source of truth for liveness.
+    pending: std::collections::HashSet<u64>,
+    /// Cancelled-but-not-yet-skipped heap entries.
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pending: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`; returns a cancellation handle.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            payload,
+            cancelled: false,
+        });
+        self.pending.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending (a popped or already-cancelled event returns false).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the firing time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the next live event, returning its firing time and payload.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| {
+            self.pending.remove(&e.seq);
+            (e.at, e.payload)
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of live (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(head) = self.heap.peek() {
+            if head.cancelled || self.cancelled.contains(&head.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), "c");
+        q.schedule(SimTime::from_ns(10), "a");
+        q.schedule(SimTime::from_ns(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a");
+        q.schedule(SimTime::from_ns(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(100), "later");
+        assert!(q.pop_due(SimTime::from_ns(50)).is_none());
+        assert_eq!(
+            q.pop_due(SimTime::from_ns(100)).map(|(_, e)| e),
+            Some("later")
+        );
+    }
+
+    #[test]
+    fn cancel_after_pop_is_a_no_op() {
+        // Regression: cancelling an already-delivered event must not
+        // succeed or corrupt the live count.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a");
+        q.schedule(SimTime::from_ns(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert!(!q.cancel(a), "event already fired");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), "a");
+        q.schedule(SimTime::from_ns(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+    }
+}

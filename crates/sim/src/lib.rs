@@ -1,0 +1,29 @@
+//! Simulation substrate for the HiPEC reproduction.
+//!
+//! This crate provides the deterministic foundations every other crate in the
+//! workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual nanosecond clock domain.
+//! * [`VirtualClock`] — the single monotonic clock a simulated kernel owns.
+//! * [`EventQueue`] — a deterministic discrete-event queue (FIFO tie-break).
+//! * [`DetRng`] — a seedable RNG with the distributions the workloads need.
+//! * [`CostModel`] — virtual-time cost constants, calibrated against the
+//!   measurements published in the HiPEC paper (OSDI '94, Tables 3 and 4).
+//! * [`stats`] — counters, online moments, histograms and series used by the
+//!   experiment harnesses.
+//!
+//! Everything here is pure computation: no wall-clock reads, no I/O, no
+//! threads. Simulations are bit-reproducible given the same seed.
+
+pub mod clock;
+pub mod cost;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::VirtualClock;
+pub use cost::CostModel;
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

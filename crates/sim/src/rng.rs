@@ -1,0 +1,193 @@
+//! Deterministic random numbers for workload generation.
+//!
+//! All stochastic behaviour in the workspace flows through [`DetRng`], a thin
+//! wrapper over a seeded [`rand::rngs::SmallRng`]. Besides uniform draws it
+//! provides the two distributions the synthetic workloads need: a bounded
+//! Zipf sampler (skewed page popularity) and an exponential sampler
+//! (inter-arrival / service-time jitter).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse-CDF sampling; guard the open interval so ln(0) cannot occur.
+        let u = self.f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Draws from a Zipf distribution over `{0, .., n-1}` with exponent `s`,
+    /// using rejection-inversion-free direct inversion over the harmonic CDF.
+    ///
+    /// Suitable for the modest `n` the workloads use (≤ a few million); the
+    /// CDF table is built lazily by [`ZipfTable`], this method is a one-shot
+    /// convenience for small `n`.
+    pub fn zipf_once(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        let mut norm = 0.0;
+        for k in 1..=n {
+            norm += 1.0 / (k as f64).powf(s);
+        }
+        let target = self.f64() * norm;
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            if acc >= target {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+}
+
+/// A precomputed Zipf CDF for repeated sampling over a fixed support.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the CDF for ranks `{0, .., n-1}` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Samples a rank using `rng`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000), b.below(1_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut r = DetRng::new(7);
+        for _ in 0..1_000 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = DetRng::new(99);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(8.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let table = ZipfTable::new(100, 1.0);
+        let mut r = DetRng::new(123);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[table.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_once_matches_table_distribution_shape() {
+        let mut r = DetRng::new(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..5_000 {
+            counts[r.zipf_once(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(3);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

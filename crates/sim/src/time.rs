@@ -1,0 +1,323 @@
+//! Virtual time: instants and durations measured in simulated nanoseconds.
+//!
+//! The whole workspace runs on a virtual clock so that "elapsed time" results
+//! (the paper's Tables 3 and Figures 5/6) are deterministic. [`SimTime`] is an
+//! instant since simulation boot; [`SimDuration`] is a span. Both are thin
+//! wrappers over `u64` nanoseconds with saturating arithmetic, so a
+//! malfunctioning policy cannot panic the simulator by overflow.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the virtual clock, in nanoseconds since simulation boot.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation boot instant.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after boot.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Returns the number of nanoseconds since boot.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `s` seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration of `m` minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000_000)
+    }
+
+    /// Creates a duration from a fractional number of microseconds.
+    ///
+    /// Negative inputs clamp to zero; values are rounded to the nearest
+    /// nanosecond.
+    pub fn from_us_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((us * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Returns the duration in nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the duration in fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60_000_000_000.0
+    }
+
+    /// True if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating multiplication by an event count.
+    pub const fn saturating_mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+
+    /// Halves the duration, clamping at `floor`.
+    pub fn halved_with_floor(self, floor: SimDuration) -> SimDuration {
+        let half = SimDuration(self.0 / 2);
+        if half < floor {
+            floor
+        } else {
+            half
+        }
+    }
+
+    /// Doubles the duration, clamping at `ceil`.
+    pub fn doubled_with_ceil(self, ceil: SimDuration) -> SimDuration {
+        let double = SimDuration(self.0.saturating_mul(2));
+        if double > ceil {
+            ceil
+        } else {
+            double
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Formats with a unit chosen by magnitude (ns, µs, ms, s, min).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}µs", self.as_us_f64())
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_ms_f64())
+        } else if ns < 60_000_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.2}min", self.as_mins_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimDuration::from_ms(3).as_ns(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_ns(), 3_000_000_000);
+        assert_eq!(SimDuration::from_mins(2).as_ns(), 120_000_000_000);
+    }
+
+    #[test]
+    fn fractional_conversions() {
+        let d = SimDuration::from_ns(1_500);
+        assert!((d.as_us_f64() - 1.5).abs() < 1e-9);
+        let d = SimDuration::from_ms(2_500);
+        assert!((d.as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_us_f64_clamps_and_rounds() {
+        assert_eq!(SimDuration::from_us_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_us_f64(1.4999), SimDuration::from_ns(1_500));
+    }
+
+    #[test]
+    fn instant_arithmetic_saturates() {
+        let early = SimTime::from_ns(10);
+        let late = SimTime::from_ns(25);
+        assert_eq!(late.since(early).as_ns(), 15);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_us(10);
+        let b = SimDuration::from_us(4);
+        assert_eq!((a + b).as_ns(), 14_000);
+        assert_eq!((a - b).as_ns(), 6_000);
+        assert_eq!((b - a), SimDuration::ZERO);
+        assert_eq!((a * 3).as_ns(), 30_000);
+        assert_eq!((a / 2).as_ns(), 5_000);
+        assert_eq!((a / 0).as_ns(), 10_000, "division by zero clamps divisor to 1");
+    }
+
+    #[test]
+    fn adaptive_halving_and_doubling_clamp() {
+        let floor = SimDuration::from_ms(250);
+        let ceil = SimDuration::from_secs(8);
+        assert_eq!(SimDuration::from_ms(300).halved_with_floor(floor), floor);
+        assert_eq!(
+            SimDuration::from_ms(1_000).halved_with_floor(floor),
+            SimDuration::from_ms(500)
+        );
+        assert_eq!(SimDuration::from_secs(5).doubled_with_ceil(ceil), ceil);
+        assert_eq!(
+            SimDuration::from_secs(2).doubled_with_ceil(ceil),
+            SimDuration::from_secs(4)
+        );
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_ns(42).to_string(), "42ns");
+        assert_eq!(SimDuration::from_us(42).to_string(), "42.00µs");
+        assert_eq!(SimDuration::from_ms(42).to_string(), "42.00ms");
+        assert_eq!(SimDuration::from_secs(42).to_string(), "42.00s");
+        assert_eq!(SimDuration::from_mins(42).to_string(), "42.00min");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_us).sum();
+        assert_eq!(total.as_ns(), 10_000);
+    }
+}

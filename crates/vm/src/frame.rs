@@ -1,0 +1,414 @@
+//! The physical frame table and intrusive page queues.
+//!
+//! Mirrors Mach's `vm_page` machinery: every physical frame carries its
+//! ownership (which object/offset currently lives in it), software
+//! reference/modify bits, and intrusive queue links. A frame is on at most
+//! one page queue at a time; queues support O(1) enqueue, dequeue and
+//! mid-queue removal, which is what makes command-driven replacement
+//! policies cheap.
+//!
+//! Queues can be created dynamically — the kernel owns the global free,
+//! active and inactive queues, and every HiPEC container creates its private
+//! queues in the same table so interpreted commands operate on the same
+//! machinery the native pageout daemon uses.
+
+use crate::types::{FrameId, ObjectId, PageOffset, TaskId, VmError};
+
+/// A page-queue identifier within a [`FrameTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub u32);
+
+/// One physical page frame.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    /// The object page currently held, if any.
+    pub owner: Option<(ObjectId, PageOffset)>,
+    /// Software reference bit (set by the pmap on access).
+    pub ref_bit: bool,
+    /// Software modify bit (set by the pmap on write).
+    pub mod_bit: bool,
+    /// Wired frames are never candidates for replacement.
+    pub wired: bool,
+    /// Busy frames are in transit (e.g. being flushed) and unavailable.
+    pub busy: bool,
+    /// Tasks (and virtual pages) currently mapping this frame.
+    pub mappings: Vec<(TaskId, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Link {
+    prev: Option<FrameId>,
+    next: Option<FrameId>,
+    queue: Option<QueueId>,
+}
+
+#[derive(Debug, Clone)]
+struct QueueMeta {
+    head: Option<FrameId>,
+    tail: Option<FrameId>,
+    len: u64,
+    auto_recency: bool,
+}
+
+/// The frame arena plus all page queues threaded through it.
+#[derive(Debug, Clone)]
+pub struct FrameTable {
+    frames: Vec<Frame>,
+    links: Vec<Link>,
+    queues: Vec<QueueMeta>,
+}
+
+impl FrameTable {
+    /// Creates a table of `nframes` unowned, unqueued frames.
+    pub fn new(nframes: u32) -> Self {
+        FrameTable {
+            frames: (0..nframes).map(|_| Frame::default()).collect(),
+            links: vec![Link::default(); nframes as usize],
+            queues: Vec::new(),
+        }
+    }
+
+    /// Number of frames in the table.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the table holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Creates a new empty queue.
+    ///
+    /// With `auto_recency` set, every [`FrameTable::touch`] of a member frame
+    /// moves it to the tail, keeping the queue ordered least-recently-used
+    /// (head) to most-recently-used (tail). This is the kernel-provided exact
+    /// recency ordering the `LRU`/`MRU` complex commands rely on.
+    pub fn new_queue(&mut self, auto_recency: bool) -> QueueId {
+        let id = QueueId(self.queues.len() as u32);
+        self.queues.push(QueueMeta {
+            head: None,
+            tail: None,
+            len: 0,
+            auto_recency,
+        });
+        id
+    }
+
+    fn check_frame(&self, f: FrameId) -> Result<(), VmError> {
+        if (f.0 as usize) < self.frames.len() {
+            Ok(())
+        } else {
+            Err(VmError::BadFrame(f))
+        }
+    }
+
+    fn check_queue(&self, q: QueueId) -> Result<(), VmError> {
+        if (q.0 as usize) < self.queues.len() {
+            Ok(())
+        } else {
+            Err(VmError::BadQueue(q.0))
+        }
+    }
+
+    /// Immutable access to a frame.
+    pub fn frame(&self, f: FrameId) -> Result<&Frame, VmError> {
+        self.check_frame(f)?;
+        Ok(&self.frames[f.0 as usize])
+    }
+
+    /// Mutable access to a frame.
+    pub fn frame_mut(&mut self, f: FrameId) -> Result<&mut Frame, VmError> {
+        self.check_frame(f)?;
+        Ok(&mut self.frames[f.0 as usize])
+    }
+
+    /// The queue a frame currently sits on, if any.
+    pub fn queue_of(&self, f: FrameId) -> Result<Option<QueueId>, VmError> {
+        self.check_frame(f)?;
+        Ok(self.links[f.0 as usize].queue)
+    }
+
+    /// Queue length.
+    pub fn queue_len(&self, q: QueueId) -> Result<u64, VmError> {
+        self.check_queue(q)?;
+        Ok(self.queues[q.0 as usize].len)
+    }
+
+    /// True if the queue has no members.
+    pub fn queue_is_empty(&self, q: QueueId) -> Result<bool, VmError> {
+        Ok(self.queue_len(q)? == 0)
+    }
+
+    /// The frame at the head (front) of the queue.
+    pub fn queue_head(&self, q: QueueId) -> Result<Option<FrameId>, VmError> {
+        self.check_queue(q)?;
+        Ok(self.queues[q.0 as usize].head)
+    }
+
+    /// The frame at the tail (back) of the queue.
+    pub fn queue_tail(&self, q: QueueId) -> Result<Option<FrameId>, VmError> {
+        self.check_queue(q)?;
+        Ok(self.queues[q.0 as usize].tail)
+    }
+
+    /// Appends `f` at the tail of `q`. Fails if `f` is on any queue.
+    pub fn enqueue_tail(&mut self, q: QueueId, f: FrameId) -> Result<(), VmError> {
+        self.check_frame(f)?;
+        self.check_queue(q)?;
+        if self.links[f.0 as usize].queue.is_some() {
+            return Err(VmError::FrameAlreadyQueued(f));
+        }
+        let meta = &mut self.queues[q.0 as usize];
+        let old_tail = meta.tail;
+        meta.tail = Some(f);
+        if meta.head.is_none() {
+            meta.head = Some(f);
+        }
+        meta.len += 1;
+        self.links[f.0 as usize] = Link {
+            prev: old_tail,
+            next: None,
+            queue: Some(q),
+        };
+        if let Some(t) = old_tail {
+            self.links[t.0 as usize].next = Some(f);
+        }
+        Ok(())
+    }
+
+    /// Inserts `f` at the head of `q`. Fails if `f` is on any queue.
+    pub fn enqueue_head(&mut self, q: QueueId, f: FrameId) -> Result<(), VmError> {
+        self.check_frame(f)?;
+        self.check_queue(q)?;
+        if self.links[f.0 as usize].queue.is_some() {
+            return Err(VmError::FrameAlreadyQueued(f));
+        }
+        let meta = &mut self.queues[q.0 as usize];
+        let old_head = meta.head;
+        meta.head = Some(f);
+        if meta.tail.is_none() {
+            meta.tail = Some(f);
+        }
+        meta.len += 1;
+        self.links[f.0 as usize] = Link {
+            prev: None,
+            next: old_head,
+            queue: Some(q),
+        };
+        if let Some(h) = old_head {
+            self.links[h.0 as usize].prev = Some(f);
+        }
+        Ok(())
+    }
+
+    /// Removes and returns the head of `q` (oldest member), if any.
+    pub fn dequeue_head(&mut self, q: QueueId) -> Result<Option<FrameId>, VmError> {
+        self.check_queue(q)?;
+        match self.queues[q.0 as usize].head {
+            Some(f) => {
+                self.remove(f)?;
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Removes and returns the tail of `q` (newest member), if any.
+    pub fn dequeue_tail(&mut self, q: QueueId) -> Result<Option<FrameId>, VmError> {
+        self.check_queue(q)?;
+        match self.queues[q.0 as usize].tail {
+            Some(f) => {
+                self.remove(f)?;
+                Ok(Some(f))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Unlinks `f` from whatever queue it is on.
+    pub fn remove(&mut self, f: FrameId) -> Result<(), VmError> {
+        self.check_frame(f)?;
+        let link = self.links[f.0 as usize];
+        let q = link.queue.ok_or(VmError::FrameNotQueued(f))?;
+        let meta = &mut self.queues[q.0 as usize];
+        match link.prev {
+            Some(p) => self.links[p.0 as usize].next = link.next,
+            None => meta.head = link.next,
+        }
+        let meta = &mut self.queues[q.0 as usize];
+        match link.next {
+            Some(n) => self.links[n.0 as usize].prev = link.prev,
+            None => meta.tail = link.prev,
+        }
+        self.queues[q.0 as usize].len -= 1;
+        self.links[f.0 as usize] = Link::default();
+        Ok(())
+    }
+
+    /// Records an access to `f`: sets the reference bit (and the modify bit
+    /// for writes) and applies the auto-recency move if `f` sits on a
+    /// recency-ordered queue.
+    pub fn touch(&mut self, f: FrameId, write: bool) -> Result<(), VmError> {
+        self.check_frame(f)?;
+        {
+            let frame = &mut self.frames[f.0 as usize];
+            frame.ref_bit = true;
+            if write {
+                frame.mod_bit = true;
+            }
+        }
+        if let Some(q) = self.links[f.0 as usize].queue {
+            if self.queues[q.0 as usize].auto_recency && self.queues[q.0 as usize].tail != Some(f)
+            {
+                self.remove(f)?;
+                self.enqueue_tail(q, f)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates a queue from head to tail.
+    pub fn iter_queue(&self, q: QueueId) -> QueueIter<'_> {
+        let next = self
+            .queues
+            .get(q.0 as usize)
+            .and_then(|m| m.head);
+        QueueIter { table: self, next }
+    }
+}
+
+/// Head-to-tail iterator over one queue.
+pub struct QueueIter<'a> {
+    table: &'a FrameTable,
+    next: Option<FrameId>,
+}
+
+impl Iterator for QueueIter<'_> {
+    type Item = FrameId;
+
+    fn next(&mut self) -> Option<FrameId> {
+        let cur = self.next?;
+        self.next = self.table.links[cur.0 as usize].next;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: u32) -> FrameTable {
+        FrameTable::new(n)
+    }
+
+    #[test]
+    fn enqueue_dequeue_fifo_order() {
+        let mut t = table(8);
+        let q = t.new_queue(false);
+        for i in 0..5 {
+            t.enqueue_tail(q, FrameId(i)).expect("enqueue");
+        }
+        assert_eq!(t.queue_len(q).expect("len"), 5);
+        let order: Vec<_> = std::iter::from_fn(|| t.dequeue_head(q).expect("dequeue"))
+            .map(|f| f.0)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(t.queue_is_empty(q).expect("empty"));
+    }
+
+    #[test]
+    fn enqueue_head_gives_lifo() {
+        let mut t = table(8);
+        let q = t.new_queue(false);
+        for i in 0..3 {
+            t.enqueue_head(q, FrameId(i)).expect("enqueue");
+        }
+        assert_eq!(t.queue_head(q).expect("head"), Some(FrameId(2)));
+        assert_eq!(t.queue_tail(q).expect("tail"), Some(FrameId(0)));
+        assert_eq!(t.dequeue_tail(q).expect("dequeue"), Some(FrameId(0)));
+    }
+
+    #[test]
+    fn double_enqueue_is_rejected() {
+        let mut t = table(4);
+        let q1 = t.new_queue(false);
+        let q2 = t.new_queue(false);
+        t.enqueue_tail(q1, FrameId(0)).expect("first enqueue");
+        assert_eq!(
+            t.enqueue_tail(q2, FrameId(0)),
+            Err(VmError::FrameAlreadyQueued(FrameId(0)))
+        );
+    }
+
+    #[test]
+    fn mid_queue_removal_relinks() {
+        let mut t = table(8);
+        let q = t.new_queue(false);
+        for i in 0..5 {
+            t.enqueue_tail(q, FrameId(i)).expect("enqueue");
+        }
+        t.remove(FrameId(2)).expect("remove middle");
+        t.remove(FrameId(0)).expect("remove head");
+        t.remove(FrameId(4)).expect("remove tail");
+        let remaining: Vec<_> = t.iter_queue(q).map(|f| f.0).collect();
+        assert_eq!(remaining, vec![1, 3]);
+        assert_eq!(t.queue_len(q).expect("len"), 2);
+        assert_eq!(t.remove(FrameId(2)), Err(VmError::FrameNotQueued(FrameId(2))));
+    }
+
+    #[test]
+    fn touch_sets_bits() {
+        let mut t = table(2);
+        t.touch(FrameId(0), false).expect("read touch");
+        assert!(t.frame(FrameId(0)).expect("frame").ref_bit);
+        assert!(!t.frame(FrameId(0)).expect("frame").mod_bit);
+        t.touch(FrameId(0), true).expect("write touch");
+        assert!(t.frame(FrameId(0)).expect("frame").mod_bit);
+    }
+
+    #[test]
+    fn auto_recency_moves_to_tail() {
+        let mut t = table(8);
+        let q = t.new_queue(true);
+        for i in 0..4 {
+            t.enqueue_tail(q, FrameId(i)).expect("enqueue");
+        }
+        // Touch frame 1: it becomes most-recently-used (tail).
+        t.touch(FrameId(1), false).expect("touch");
+        let order: Vec<_> = t.iter_queue(q).map(|f| f.0).collect();
+        assert_eq!(order, vec![0, 2, 3, 1]);
+        // LRU victim is the head; MRU victim is the tail.
+        assert_eq!(t.queue_head(q).expect("head"), Some(FrameId(0)));
+        assert_eq!(t.queue_tail(q).expect("tail"), Some(FrameId(1)));
+    }
+
+    #[test]
+    fn non_recency_queue_does_not_reorder_on_touch() {
+        let mut t = table(4);
+        let q = t.new_queue(false);
+        for i in 0..3 {
+            t.enqueue_tail(q, FrameId(i)).expect("enqueue");
+        }
+        t.touch(FrameId(0), false).expect("touch");
+        let order: Vec<_> = t.iter_queue(q).map(|f| f.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        let mut t = table(2);
+        let q = t.new_queue(false);
+        assert_eq!(t.enqueue_tail(q, FrameId(9)), Err(VmError::BadFrame(FrameId(9))));
+        assert_eq!(t.queue_len(QueueId(7)), Err(VmError::BadQueue(7)));
+        assert!(t.frame(FrameId(5)).is_err());
+    }
+
+    #[test]
+    fn dequeue_from_empty_is_none() {
+        let mut t = table(2);
+        let q = t.new_queue(false);
+        assert_eq!(t.dequeue_head(q).expect("ok"), None);
+        assert_eq!(t.dequeue_tail(q).expect("ok"), None);
+    }
+}

@@ -1,0 +1,780 @@
+//! The simulated Mach kernel: fault path, frame pool and syscalls.
+//!
+//! [`Kernel`] owns the virtual clock, the frame table, all tasks and memory
+//! objects, the paging device and the global page queues. Running it alone
+//! gives the *unmodified Mach kernel* baseline of the paper's experiments;
+//! `hipec-core` layers containers, the policy executor, the security checker
+//! and the global frame manager on top of the hooks exposed here
+//! ([`AccessOutcome::NeedsPolicy`], [`Kernel::complete_policy_fault`],
+//! [`Kernel::take_free_frames`], …).
+
+use hipec_disk::{BackingStore, DeviceParams, PagingDevice};
+use hipec_sim::stats::{Counter, Histogram};
+use hipec_sim::{CostModel, SimDuration, SimTime, VirtualClock};
+
+use crate::frame::{FrameTable, QueueId};
+use crate::object::{Backing, VmObject};
+use crate::task::Task;
+use crate::types::{
+    bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError,
+};
+
+/// Static configuration of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct KernelParams {
+    /// Physical frames (64 MB ⇒ 16 384).
+    pub total_frames: u32,
+    /// Frames permanently wired for kernel text/data.
+    pub wired_frames: u32,
+    /// The pageout daemon refills the free queue to this level.
+    pub free_target: u64,
+    /// A fault that finds fewer free frames than this triggers the daemon.
+    pub free_min: u64,
+    /// The daemon keeps this many pages on the inactive queue.
+    pub inactive_target: u64,
+    /// Paging-device kind and geometry.
+    pub disk: DeviceParams,
+    /// Virtual-time cost constants.
+    pub cost: CostModel,
+}
+
+impl KernelParams {
+    /// The paper's Acer Altos 10000: 64 MB of memory, 1994 SCSI paging disk.
+    pub fn paper_64mb() -> Self {
+        KernelParams {
+            total_frames: 16_384,
+            wired_frames: 1_024,
+            free_target: 256,
+            free_min: 64,
+            inactive_target: 1_024,
+            disk: DeviceParams::Disk(hipec_disk::DiskParams::paper_scsi()),
+            cost: CostModel::acer_altos_486(),
+        }
+    }
+
+    /// The paper machine, paging against the §6 flash extension instead of
+    /// the disk.
+    pub fn paper_64mb_flash() -> Self {
+        let mut p = KernelParams::paper_64mb();
+        p.disk = DeviceParams::Flash(hipec_disk::FlashParams::early_flash_card());
+        p
+    }
+
+    /// A machine with exactly `pageable` pageable frames (plus wired kernel
+    /// overhead), for experiments that constrain resident-set size.
+    pub fn with_pageable_frames(pageable: u32) -> Self {
+        let mut p = KernelParams::paper_64mb();
+        p.total_frames = pageable + p.wired_frames;
+        p
+    }
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        KernelParams::paper_64mb()
+    }
+}
+
+/// How an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Translation present; no fault.
+    Hit,
+    /// Page was resident but unmapped in this task.
+    MinorFault,
+    /// Fresh anonymous page, zero-filled.
+    ZeroFill,
+    /// Page read from the paging device.
+    PageIn,
+}
+
+/// The result of a completed access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessResult {
+    /// How the access resolved.
+    pub kind: AccessKind,
+    /// If the access started a device read, the completion instant. The
+    /// kernel does **not** advance its clock to this time — single-job
+    /// drivers fast-forward, multi-job drivers overlap other work.
+    pub io_until: Option<SimTime>,
+}
+
+/// A fault inside a HiPEC-controlled region, to be resolved by the policy
+/// executor in `hipec-core`.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyFaultInfo {
+    /// Faulting task.
+    pub task: TaskId,
+    /// Faulting virtual page.
+    pub vpage: u64,
+    /// Backing object.
+    pub object: ObjectId,
+    /// Page within the object.
+    pub offset: PageOffset,
+    /// True for write accesses.
+    pub write: bool,
+    /// The container key attached to the object.
+    pub container: u32,
+}
+
+/// Outcome of [`Kernel::access`].
+#[derive(Debug, Clone, Copy)]
+pub enum AccessOutcome {
+    /// The kernel resolved the access.
+    Done(AccessResult),
+    /// The page belongs to a HiPEC region; the caller must run the policy
+    /// and then call [`Kernel::complete_policy_fault`].
+    NeedsPolicy(PolicyFaultInfo),
+}
+
+/// A dirty page in flight to the paging device.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightFlush {
+    pub done: SimTime,
+    pub frame: FrameId,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    /// The virtual clock; advanced by every charged operation.
+    pub clock: VirtualClock,
+    /// Cost constants.
+    pub cost: CostModel,
+    /// The frame table and all page queues.
+    pub frames: FrameTable,
+    /// Global free queue.
+    pub free_q: QueueId,
+    /// Global active queue (default-pool pages).
+    pub active_q: QueueId,
+    /// Global inactive queue.
+    pub inactive_q: QueueId,
+    /// When true, every fault pays the HiPEC region check the paper adds to
+    /// the fault handler (set by the HiPEC kernel wrapper).
+    pub hipec_check_enabled: bool,
+    /// Event counters.
+    pub stats: Counter,
+    /// Latency distribution of completed faults (trap to resolution,
+    /// including any device wait).
+    pub fault_latency: Histogram,
+    pub(crate) objects: Vec<VmObject>,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) disk: PagingDevice,
+    pub(crate) backing: BackingStore,
+    pub(crate) inflight: Vec<InflightFlush>,
+    pub(crate) free_target: u64,
+    pub(crate) free_min: u64,
+    pub(crate) inactive_target: u64,
+}
+
+impl Kernel {
+    /// Boots a machine: wires the kernel's frames, frees the rest.
+    pub fn new(params: KernelParams) -> Self {
+        let mut frames = FrameTable::new(params.total_frames);
+        let free_q = frames.new_queue(false);
+        let active_q = frames.new_queue(false);
+        let inactive_q = frames.new_queue(false);
+        for i in 0..params.total_frames {
+            if i < params.wired_frames {
+                frames
+                    .frame_mut(FrameId(i))
+                    .expect("frame exists")
+                    .wired = true;
+            } else {
+                frames
+                    .enqueue_tail(free_q, FrameId(i))
+                    .expect("fresh frame is unqueued");
+            }
+        }
+        let disk = params.disk.build();
+        let backing = BackingStore::new(params.disk.capacity_pages());
+        Kernel {
+            clock: VirtualClock::new(),
+            cost: params.cost,
+            frames,
+            free_q,
+            active_q,
+            inactive_q,
+            hipec_check_enabled: false,
+            stats: Counter::new(),
+            fault_latency: Histogram::new(),
+            objects: Vec::new(),
+            tasks: Vec::new(),
+            disk,
+            backing,
+            inflight: Vec::new(),
+            free_target: params.free_target,
+            free_min: params.free_min,
+            inactive_target: params.inactive_target,
+        }
+    }
+
+    /// Advances the clock by `d` (a charged CPU cost).
+    pub fn charge(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Frames on the global free queue.
+    pub fn free_count(&self) -> u64 {
+        self.frames.queue_len(self.free_q).expect("free queue exists")
+    }
+
+    /// Frames on the global inactive queue.
+    pub fn inactive_count(&self) -> u64 {
+        self.frames
+            .queue_len(self.inactive_q)
+            .expect("inactive queue exists")
+    }
+
+    /// Frames on the global active queue.
+    pub fn active_count(&self) -> u64 {
+        self.frames
+            .queue_len(self.active_q)
+            .expect("active queue exists")
+    }
+
+    /// The pageout daemon's free-queue refill level.
+    pub fn free_target(&self) -> u64 {
+        self.free_target
+    }
+
+    /// The daemon's inactive-queue target.
+    pub fn inactive_target(&self) -> u64 {
+        self.inactive_target
+    }
+
+    // --- Task and object management ----------------------------------------
+
+    /// Creates an empty task.
+    pub fn create_task(&mut self) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id));
+        id
+    }
+
+    /// Creates a memory object. File-backed objects get a disk extent now.
+    pub fn create_object(&mut self, size_pages: u64, backing: Backing) -> Result<ObjectId, VmError> {
+        let id = ObjectId(self.objects.len() as u32);
+        if backing == Backing::File {
+            self.backing.allocate(id.0 as u64, size_pages)?;
+        }
+        self.objects.push(VmObject::new(id, size_pages, backing));
+        Ok(id)
+    }
+
+    /// Maps `pages` of `object` (starting at `object_offset`) into `task` at
+    /// a kernel-chosen address.
+    pub fn map_object(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        object_offset: u64,
+        pages: u64,
+    ) -> Result<VAddr, VmError> {
+        self.object(object)?;
+        self.task_mut(task)?
+            .map
+            .insert_anywhere(pages, object, object_offset)
+    }
+
+    /// `vm_allocate`: a fresh anonymous region of `bytes`.
+    pub fn vm_allocate(&mut self, task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), VmError> {
+        let pages = bytes_to_pages(bytes);
+        let object = self.create_object(pages, Backing::Anonymous)?;
+        let addr = self.map_object(task, object, 0, pages)?;
+        self.charge(self.cost.null_syscall);
+        Ok((addr, object))
+    }
+
+    /// `vm_map`: maps a file-like object of `bytes` into the task.
+    pub fn vm_map(&mut self, task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), VmError> {
+        let pages = bytes_to_pages(bytes);
+        let object = self.create_object(pages, Backing::File)?;
+        let addr = self.map_object(task, object, 0, pages)?;
+        self.charge(self.cost.null_syscall);
+        Ok((addr, object))
+    }
+
+    /// `vm_deallocate`: tears down the region starting at `addr`, discarding
+    /// its contents. Resident frames (including dirty ones — the data is
+    /// being destroyed, so nothing is flushed) return to the global free
+    /// pool. Returns the number of frames freed.
+    ///
+    /// The region must not be under HiPEC control (the HiPEC kernel drains
+    /// the container first and then calls this).
+    pub fn vm_deallocate(&mut self, task: TaskId, addr: VAddr) -> Result<u64, VmError> {
+        let entry = self
+            .task_mut(task)?
+            .map
+            .remove(addr)
+            .ok_or(VmError::UnmappedAddress(task, addr))?;
+        let object = entry.object;
+        let resident: Vec<FrameId> = self.object(object)?.resident.values().copied().collect();
+        let mut freed = 0;
+        for frame in resident {
+            self.unmap_frame(frame)?;
+            {
+                let f = self.frames.frame_mut(frame)?;
+                f.owner = None;
+                f.ref_bit = false;
+                f.mod_bit = false; // contents discarded, not flushed
+            }
+            if self.frames.queue_of(frame)?.is_some() {
+                self.frames.remove(frame)?;
+            }
+            self.frames.enqueue_tail(self.free_q, frame)?;
+            freed += 1;
+        }
+        self.object_mut(object)?.resident.clear();
+        self.charge(self.cost.null_syscall);
+        self.stats.add("deallocated_frames", freed);
+        Ok(freed)
+    }
+
+    /// Immutable object access.
+    pub fn object(&self, id: ObjectId) -> Result<&VmObject, VmError> {
+        self.objects
+            .get(id.0 as usize)
+            .ok_or(VmError::NoSuchObject(id))
+    }
+
+    /// Mutable object access.
+    pub fn object_mut(&mut self, id: ObjectId) -> Result<&mut VmObject, VmError> {
+        self.objects
+            .get_mut(id.0 as usize)
+            .ok_or(VmError::NoSuchObject(id))
+    }
+
+    /// Immutable task access.
+    pub fn task(&self, id: TaskId) -> Result<&Task, VmError> {
+        self.tasks.get(id.0 as usize).ok_or(VmError::NoSuchTask(id))
+    }
+
+    /// Mutable task access.
+    pub fn task_mut(&mut self, id: TaskId) -> Result<&mut Task, VmError> {
+        self.tasks
+            .get_mut(id.0 as usize)
+            .ok_or(VmError::NoSuchTask(id))
+    }
+
+    /// Read-only view of the paging device.
+    pub fn device(&self) -> &PagingDevice {
+        &self.disk
+    }
+
+    /// Read-only view of the disk statistics (zeroed for flash devices).
+    pub fn disk_stats(&self) -> hipec_disk::model::DiskStats {
+        self.disk
+            .as_disk()
+            .map(|d| d.stats())
+            .unwrap_or_default()
+    }
+
+    // --- The access / fault path --------------------------------------------
+
+    /// Performs one memory access at `addr` by `task`.
+    ///
+    /// Resident accesses cost [`CostModel::mem_touch`]. Faults charge the
+    /// fault path; faults inside HiPEC regions return
+    /// [`AccessOutcome::NeedsPolicy`] for `hipec-core` to resolve.
+    pub fn access(
+        &mut self,
+        task: TaskId,
+        addr: VAddr,
+        write: bool,
+    ) -> Result<AccessOutcome, VmError> {
+        let vpage = addr.vpage();
+        if let Some(frame) = self.task(task)?.translate(vpage) {
+            self.frames.touch(frame, write)?;
+            self.charge(self.cost.mem_touch);
+            self.stats.bump("hits");
+            return Ok(AccessOutcome::Done(AccessResult {
+                kind: AccessKind::Hit,
+                io_until: None,
+            }));
+        }
+
+        // Fault.
+        self.stats.bump("faults");
+        let fault_start = self.now();
+        self.charge(self.cost.fault_base);
+        if self.hipec_check_enabled {
+            self.charge(self.cost.hipec_region_check);
+        }
+        let entry = *self.task(task)?.map.lookup(task, addr)?;
+        let offset = PageOffset(entry.object_page(vpage));
+        let object = entry.object;
+
+        if let Some(frame) = self.object(object)?.lookup(offset) {
+            // Minor fault: resident, just install the translation.
+            self.pmap_enter(task, vpage, frame)?;
+            self.charge(self.cost.pmap_enter);
+            self.frames.touch(frame, write)?;
+            self.stats.bump("minor_faults");
+            self.fault_latency.record(self.now().since(fault_start));
+            return Ok(AccessOutcome::Done(AccessResult {
+                kind: AccessKind::MinorFault,
+                io_until: None,
+            }));
+        }
+
+        if let Some(container) = self.object(object)?.container {
+            return Ok(AccessOutcome::NeedsPolicy(PolicyFaultInfo {
+                task,
+                vpage,
+                object,
+                offset,
+                write,
+                container,
+            }));
+        }
+
+        // Default pool: obtain a frame (running the pageout daemon if low).
+        let frame = self.obtain_free_frame()?;
+        let result = self.fill_and_map(task, vpage, object, offset, frame, write)?;
+        // Default-pool pages live on the global active queue.
+        self.frames.enqueue_tail(self.active_q, frame)?;
+        self.charge(self.cost.queue_op);
+        let end = result.io_until.unwrap_or_else(|| self.now());
+        self.fault_latency.record(end.since(fault_start));
+        Ok(AccessOutcome::Done(result))
+    }
+
+    /// Completes a HiPEC fault with the frame the policy chose.
+    ///
+    /// The frame must be clean and unowned (the policy evicted or flushed
+    /// its previous content); it may already sit on a container queue.
+    pub fn complete_policy_fault(
+        &mut self,
+        info: PolicyFaultInfo,
+        frame: FrameId,
+    ) -> Result<AccessResult, VmError> {
+        debug_assert!(self.frames.frame(frame)?.owner.is_none());
+        self.fill_and_map(info.task, info.vpage, info.object, info.offset, frame, info.write)
+    }
+
+    /// Installs `frame` as (object, offset), filling it by zero-fill or
+    /// device read, and maps it into the faulting task.
+    fn fill_and_map(
+        &mut self,
+        task: TaskId,
+        vpage: u64,
+        object: ObjectId,
+        offset: PageOffset,
+        frame: FrameId,
+        write: bool,
+    ) -> Result<AccessResult, VmError> {
+        let needs_io = self.object(object)?.fault_needs_io(offset);
+        let (kind, io_until) = if needs_io {
+            self.charge(self.cost.pagein_cpu);
+            let loc = self.backing.locate(object.0 as u64, offset.0)?;
+            let done = self.disk.read(loc.lba, self.clock.now());
+            self.stats.bump("pageins");
+            (AccessKind::PageIn, Some(done))
+        } else {
+            self.charge(self.cost.zero_fill);
+            self.stats.bump("zero_fills");
+            (AccessKind::ZeroFill, None)
+        };
+        {
+            let f = self.frames.frame_mut(frame)?;
+            f.owner = Some((object, offset));
+            f.ref_bit = false;
+            f.mod_bit = false;
+        }
+        self.object_mut(object)?.insert(offset, frame);
+        self.pmap_enter(task, vpage, frame)?;
+        self.charge(self.cost.pmap_enter);
+        self.frames.touch(frame, write)?;
+        Ok(AccessResult { kind, io_until })
+    }
+
+    fn pmap_enter(&mut self, task: TaskId, vpage: u64, frame: FrameId) -> Result<(), VmError> {
+        self.task_mut(task)?.pmap.insert(vpage, frame);
+        self.frames.frame_mut(frame)?.mappings.push((task, vpage));
+        Ok(())
+    }
+
+    /// Removes every translation of `frame` and detaches it from its object.
+    ///
+    /// The frame must be clean ([`VmError::DirtyFrameFreed`] otherwise — the
+    /// caller must flush first) and not busy.
+    pub fn evict_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
+        if self.frames.frame(frame)?.mod_bit {
+            return Err(VmError::DirtyFrameFreed(frame));
+        }
+        self.unmap_frame(frame)?;
+        if let Some((object, offset)) = self.frames.frame(frame)?.owner {
+            self.object_mut(object)?.evict(offset);
+        }
+        let f = self.frames.frame_mut(frame)?;
+        f.owner = None;
+        f.ref_bit = false;
+        Ok(())
+    }
+
+    /// Removes all pmap translations of `frame` (charging per mapping).
+    pub fn unmap_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
+        let mappings = std::mem::take(&mut self.frames.frame_mut(frame)?.mappings);
+        let n = mappings.len() as u64;
+        for (task, vpage) in mappings {
+            self.task_mut(task)?.pmap.remove(&vpage);
+        }
+        self.charge(self.cost.pmap_remove.saturating_mul(n));
+        Ok(())
+    }
+
+    // --- Frame-pool interface for the global frame manager ------------------
+
+    /// Takes `n` frames out of the global free pool (running the pageout
+    /// daemon and waiting on in-flight flushes as needed). The returned
+    /// frames are detached from every queue.
+    pub fn take_free_frames(&mut self, n: u64) -> Result<Vec<FrameId>, VmError> {
+        let mut out = Vec::with_capacity(n as usize);
+        while (out.len() as u64) < n {
+            match self.obtain_free_frame() {
+                Ok(f) => out.push(f),
+                Err(e) => {
+                    // Undo: give back what we took.
+                    for f in out {
+                        let _ = self.frames.enqueue_head(self.free_q, f);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a clean, evicted frame to the global free pool.
+    pub fn return_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
+        {
+            let f = self.frames.frame(frame)?;
+            if f.mod_bit {
+                return Err(VmError::DirtyFrameFreed(frame));
+            }
+        }
+        if self.frames.queue_of(frame)?.is_some() {
+            self.frames.remove(frame)?;
+        }
+        self.frames.enqueue_tail(self.free_q, frame)
+    }
+
+    /// One clean frame off the free queue, replenishing it if necessary.
+    pub(crate) fn obtain_free_frame(&mut self) -> Result<FrameId, VmError> {
+        if self.free_count() < self.free_min {
+            self.pageout_scan()?;
+        }
+        loop {
+            if let Some(f) = self.frames.dequeue_head(self.free_q)? {
+                self.charge(self.cost.queue_op);
+                return Ok(f);
+            }
+            // Nothing free: wait for an in-flight flush if there is one.
+            if let Some(earliest) = self.inflight.iter().map(|i| i.done).min() {
+                self.clock.advance_to(earliest);
+                self.pump();
+            } else {
+                return Err(VmError::OutOfFrames {
+                    requested: 1,
+                    available: 0,
+                });
+            }
+        }
+    }
+
+    /// Completes any in-flight flushes due by now, freeing their frames.
+    pub fn pump(&mut self) {
+        let now = self.clock.now();
+        let mut done = Vec::new();
+        self.inflight.retain(|i| {
+            if i.done <= now {
+                done.push(i.frame);
+                false
+            } else {
+                true
+            }
+        });
+        for frame in done {
+            let f = self
+                .frames
+                .frame_mut(frame)
+                .expect("inflight frames are valid");
+            f.busy = false;
+            f.owner = None;
+            self.frames
+                .enqueue_tail(self.free_q, frame)
+                .expect("flushed frame is unqueued");
+            self.stats.bump("flush_completions");
+        }
+    }
+
+    /// Earliest pending flush completion, if any (for event-driven drivers).
+    pub fn next_flush_completion(&self) -> Option<SimTime> {
+        self.inflight.iter().map(|i| i.done).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PAGE_SIZE;
+
+    fn small_kernel() -> Kernel {
+        let mut p = KernelParams::paper_64mb();
+        p.total_frames = 128;
+        p.wired_frames = 8;
+        p.free_target = 16;
+        p.free_min = 8;
+        p.inactive_target = 24;
+        Kernel::new(p)
+    }
+
+    #[test]
+    fn boot_frees_unwired_frames() {
+        let k = small_kernel();
+        assert_eq!(k.free_count(), 120);
+        assert_eq!(k.active_count(), 0);
+    }
+
+    #[test]
+    fn zero_fill_fault_then_hit() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, _) = k.vm_allocate(t, 4 * PAGE_SIZE).expect("allocate");
+        let before = k.now();
+        let r = match k.access(t, addr, false).expect("access") {
+            AccessOutcome::Done(r) => r,
+            AccessOutcome::NeedsPolicy(_) => panic!("anonymous region is not HiPEC"),
+        };
+        assert_eq!(r.kind, AccessKind::ZeroFill);
+        assert!(r.io_until.is_none());
+        // Fault cost ≈ fault_base + zero_fill + pmap_enter (+ queue op).
+        let elapsed = k.now().since(before);
+        assert!(elapsed >= k.cost.fault_zero_fill());
+        // Second touch is a hit.
+        let r = match k.access(t, addr, true).expect("access") {
+            AccessOutcome::Done(r) => r,
+            _ => unreachable!(),
+        };
+        assert_eq!(r.kind, AccessKind::Hit);
+        assert_eq!(k.stats.get("hits"), 1);
+        assert_eq!(k.stats.get("faults"), 1);
+    }
+
+    #[test]
+    fn file_fault_reads_from_disk() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, _) = k.vm_map(t, 2 * PAGE_SIZE).expect("map");
+        let r = match k.access(t, addr, false).expect("access") {
+            AccessOutcome::Done(r) => r,
+            _ => unreachable!(),
+        };
+        assert_eq!(r.kind, AccessKind::PageIn);
+        let done = r.io_until.expect("page-in has device time");
+        assert!(done > k.now());
+        assert_eq!(k.stats.get("pageins"), 1);
+    }
+
+    #[test]
+    fn each_page_faults_once_when_memory_is_ample() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let pages = 40u64;
+        let (addr, _) = k.vm_allocate(t, pages * PAGE_SIZE).expect("allocate");
+        for round in 0..3 {
+            for p in 0..pages {
+                k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false)
+                    .expect("access");
+            }
+            if round == 0 {
+                assert_eq!(k.stats.get("faults"), pages);
+            }
+        }
+        assert_eq!(k.stats.get("faults"), pages, "no replacement needed");
+        assert_eq!(k.stats.get("hits"), 2 * pages);
+    }
+
+    #[test]
+    fn replacement_kicks_in_under_pressure() {
+        let mut k = small_kernel(); // 120 pageable frames
+        let t = k.create_task();
+        let pages = 200u64; // working set larger than memory
+        let (addr, _) = k.vm_allocate(t, pages * PAGE_SIZE).expect("allocate");
+        for p in 0..pages {
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true).expect("access");
+        }
+        assert_eq!(k.stats.get("faults"), pages);
+        assert!(k.stats.get("pageouts") > 0, "dirty pages must be flushed");
+        // A second sequential sweep with LRU-ish FIFO replacement faults again.
+        let before = k.stats.get("faults");
+        for p in 0..pages {
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false).expect("access");
+        }
+        assert!(k.stats.get("faults") > before, "cyclic sweep must re-fault");
+    }
+
+    #[test]
+    fn unmapped_access_is_an_error() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        assert!(matches!(
+            k.access(t, VAddr(0x100), false),
+            Err(VmError::UnmappedAddress(_, _))
+        ));
+    }
+
+    #[test]
+    fn take_and_return_frames() {
+        let mut k = small_kernel();
+        let before = k.free_count();
+        let taken = k.take_free_frames(10).expect("available");
+        assert_eq!(taken.len(), 10);
+        assert_eq!(k.free_count(), before - 10);
+        for f in &taken {
+            assert!(k.frames.queue_of(*f).expect("valid").is_none());
+        }
+        for f in taken {
+            k.return_frame(f).expect("clean return");
+        }
+        assert_eq!(k.free_count(), before);
+    }
+
+    #[test]
+    fn take_too_many_frames_fails_and_rolls_back() {
+        let mut k = small_kernel();
+        let before = k.free_count();
+        assert!(k.take_free_frames(10_000).is_err());
+        assert_eq!(k.free_count(), before, "partial takes are rolled back");
+    }
+
+    #[test]
+    fn dirty_frame_cannot_be_returned() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, _) = k.vm_allocate(t, PAGE_SIZE).expect("allocate");
+        k.access(t, addr, true).expect("dirtying write");
+        let frame = k.task(t).expect("task").translate(addr.vpage()).expect("mapped");
+        assert_eq!(k.return_frame(frame), Err(VmError::DirtyFrameFreed(frame)));
+        assert_eq!(k.evict_frame(frame), Err(VmError::DirtyFrameFreed(frame)));
+    }
+
+    #[test]
+    fn evict_frame_unmaps_and_detaches() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, obj) = k.vm_allocate(t, PAGE_SIZE).expect("allocate");
+        k.access(t, addr, false).expect("read fault");
+        let frame = k.task(t).expect("task").translate(addr.vpage()).expect("mapped");
+        k.frames.remove(frame).expect("off the active queue");
+        k.evict_frame(frame).expect("clean eviction");
+        assert_eq!(k.task(t).expect("task").translate(addr.vpage()), None);
+        assert_eq!(k.object(obj).expect("object").resident_count(), 0);
+        assert!(k.frames.frame(frame).expect("frame").owner.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-task address maps.
+//!
+//! A `VmMap` is the ordered set of virtual-memory regions a task has mapped,
+//! each backed by a memory object — Mach's `vm_map` / `vm_map_entry`. The
+//! *region* is HiPEC's unit of specific control (paper §3).
+
+use std::collections::BTreeMap;
+
+use crate::types::{ObjectId, TaskId, VAddr, VmError, PAGE_SIZE};
+
+/// One contiguous mapped region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapEntry {
+    /// First virtual page of the region.
+    pub start_vpage: u64,
+    /// Length in pages.
+    pub pages: u64,
+    /// Backing object.
+    pub object: ObjectId,
+    /// Object page corresponding to `start_vpage`.
+    pub object_offset: u64,
+}
+
+impl MapEntry {
+    /// Translates a virtual page within this entry to an object page.
+    pub fn object_page(&self, vpage: u64) -> u64 {
+        debug_assert!(self.contains(vpage));
+        self.object_offset + (vpage - self.start_vpage)
+    }
+
+    /// True if `vpage` falls inside the region.
+    pub fn contains(&self, vpage: u64) -> bool {
+        vpage >= self.start_vpage && vpage < self.start_vpage + self.pages
+    }
+}
+
+/// A task's address map.
+#[derive(Debug, Clone, Default)]
+pub struct VmMap {
+    /// Entries keyed by starting virtual page.
+    entries: BTreeMap<u64, MapEntry>,
+    /// Next page used by the find-space allocator.
+    next_vpage: u64,
+}
+
+impl VmMap {
+    /// Creates an empty map whose find-space allocator starts at 1 GiB
+    /// (leaving low addresses free for explicitly placed regions, as the
+    /// Mach user map layout does for text/data).
+    pub fn new() -> Self {
+        VmMap {
+            entries: BTreeMap::new(),
+            next_vpage: (1u64 << 30) / PAGE_SIZE,
+        }
+    }
+
+    /// Inserts a region at a kernel-chosen address; returns its base address.
+    pub fn insert_anywhere(
+        &mut self,
+        pages: u64,
+        object: ObjectId,
+        object_offset: u64,
+    ) -> Result<VAddr, VmError> {
+        if pages == 0 {
+            return Err(VmError::EmptyRegion);
+        }
+        let start = self.next_vpage;
+        self.next_vpage += pages;
+        let entry = MapEntry {
+            start_vpage: start,
+            pages,
+            object,
+            object_offset,
+        };
+        self.entries.insert(start, entry);
+        Ok(VAddr(start * PAGE_SIZE))
+    }
+
+    /// Inserts a region at a fixed address, failing on overlap.
+    pub fn insert_at(
+        &mut self,
+        addr: VAddr,
+        pages: u64,
+        object: ObjectId,
+        object_offset: u64,
+    ) -> Result<(), VmError> {
+        if pages == 0 {
+            return Err(VmError::EmptyRegion);
+        }
+        let start = addr.vpage();
+        let end = start + pages;
+        // The nearest entry at or below `start`, and the first above, are the
+        // only possible overlaps.
+        if let Some((_, e)) = self.entries.range(..=start).next_back() {
+            if e.start_vpage + e.pages > start {
+                return Err(VmError::RegionOverlap(addr));
+            }
+        }
+        if let Some((_, e)) = self.entries.range(start..).next() {
+            if e.start_vpage < end {
+                return Err(VmError::RegionOverlap(addr));
+            }
+        }
+        self.entries.insert(
+            start,
+            MapEntry {
+                start_vpage: start,
+                pages,
+                object,
+                object_offset,
+            },
+        );
+        Ok(())
+    }
+
+    /// Finds the entry covering `addr`.
+    pub fn lookup(&self, task: TaskId, addr: VAddr) -> Result<&MapEntry, VmError> {
+        let vpage = addr.vpage();
+        self.entries
+            .range(..=vpage)
+            .next_back()
+            .map(|(_, e)| e)
+            .filter(|e| e.contains(vpage))
+            .ok_or(VmError::UnmappedAddress(task, addr))
+    }
+
+    /// Removes the entry starting exactly at `addr`, returning it.
+    pub fn remove(&mut self, addr: VAddr) -> Option<MapEntry> {
+        self.entries.remove(&addr.vpage())
+    }
+
+    /// Iterates all entries in address order.
+    pub fn iter(&self) -> impl Iterator<Item = &MapEntry> {
+        self.entries.values()
+    }
+
+    /// Number of mapped regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TaskId = TaskId(0);
+
+    #[test]
+    fn insert_anywhere_allocates_disjoint_regions() {
+        let mut m = VmMap::new();
+        let a = m.insert_anywhere(10, ObjectId(1), 0).expect("region a");
+        let b = m.insert_anywhere(5, ObjectId(2), 0).expect("region b");
+        assert_eq!(b.vpage(), a.vpage() + 10);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn lookup_resolves_interior_addresses() {
+        let mut m = VmMap::new();
+        let base = m.insert_anywhere(4, ObjectId(9), 100).expect("region");
+        let inside = VAddr(base.0 + 2 * PAGE_SIZE + 5);
+        let e = m.lookup(T, inside).expect("covered");
+        assert_eq!(e.object, ObjectId(9));
+        assert_eq!(e.object_page(inside.vpage()), 102);
+    }
+
+    #[test]
+    fn lookup_outside_any_region_faults() {
+        let mut m = VmMap::new();
+        let base = m.insert_anywhere(2, ObjectId(1), 0).expect("region");
+        let past_end = VAddr(base.0 + 2 * PAGE_SIZE);
+        assert_eq!(
+            m.lookup(T, past_end),
+            Err(VmError::UnmappedAddress(T, past_end))
+        );
+        assert!(m.lookup(T, VAddr(0)).is_err());
+    }
+
+    #[test]
+    fn insert_at_detects_overlap() {
+        let mut m = VmMap::new();
+        m.insert_at(VAddr(0x10000), 4, ObjectId(1), 0).expect("first");
+        // Overlapping from below.
+        assert!(m.insert_at(VAddr(0x10000 - PAGE_SIZE), 2, ObjectId(2), 0).is_err());
+        // Overlapping inside.
+        assert!(m.insert_at(VAddr(0x11000), 1, ObjectId(2), 0).is_err());
+        // Adjacent after is fine.
+        m.insert_at(VAddr(0x10000 + 4 * PAGE_SIZE), 2, ObjectId(2), 0)
+            .expect("adjacent");
+        // Adjacent before is fine.
+        m.insert_at(VAddr(0x10000 - 2 * PAGE_SIZE), 2, ObjectId(3), 0)
+            .expect("before");
+    }
+
+    #[test]
+    fn empty_region_is_rejected() {
+        let mut m = VmMap::new();
+        assert_eq!(
+            m.insert_anywhere(0, ObjectId(1), 0),
+            Err(VmError::EmptyRegion)
+        );
+        assert_eq!(
+            m.insert_at(VAddr(0x1000), 0, ObjectId(1), 0),
+            Err(VmError::EmptyRegion)
+        );
+    }
+
+    #[test]
+    fn remove_frees_the_address_range() {
+        let mut m = VmMap::new();
+        m.insert_at(VAddr(0x20000), 4, ObjectId(1), 0).expect("insert");
+        let e = m.remove(VAddr(0x20000)).expect("present");
+        assert_eq!(e.pages, 4);
+        assert!(m.is_empty());
+        m.insert_at(VAddr(0x20000), 4, ObjectId(2), 0)
+            .expect("range reusable after remove");
+    }
+}

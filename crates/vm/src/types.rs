@@ -1,0 +1,157 @@
+//! Fundamental identifiers and constants of the simulated VM subsystem.
+
+use core::fmt;
+
+/// Page size in bytes — 4096, as on the paper's i486 hardware.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Converts a byte count to a page count, rounding up.
+pub const fn bytes_to_pages(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// A physical page frame index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u32);
+
+/// A kernel memory-object identifier (one per `VmObject`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// A task (address space) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+/// A virtual address within a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VAddr(pub u64);
+
+/// A page index within a memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageOffset(pub u64);
+
+impl VAddr {
+    /// The virtual page number containing this address.
+    pub const fn vpage(self) -> u64 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// The byte offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame#{}", self.0)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// Errors surfaced by the VM substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The task id does not exist.
+    NoSuchTask(TaskId),
+    /// The object id does not exist.
+    NoSuchObject(ObjectId),
+    /// The address is not covered by any map entry.
+    UnmappedAddress(TaskId, VAddr),
+    /// The requested region overlaps an existing map entry.
+    RegionOverlap(VAddr),
+    /// The global frame pool cannot satisfy the request.
+    OutOfFrames {
+        /// Frames requested.
+        requested: u64,
+        /// Frames available.
+        available: u64,
+    },
+    /// The frame index is out of range.
+    BadFrame(FrameId),
+    /// The frame is already on a queue and cannot be enqueued again.
+    FrameAlreadyQueued(FrameId),
+    /// The frame is not on the expected queue.
+    FrameNotQueued(FrameId),
+    /// The queue id does not exist.
+    BadQueue(u32),
+    /// A dirty frame was released without being flushed first.
+    DirtyFrameFreed(FrameId),
+    /// The backing store rejected the operation.
+    Backing(hipec_disk::backing::BackingError),
+    /// A zero-page region request.
+    EmptyRegion,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoSuchTask(t) => write!(f, "no such task {}", t.0),
+            VmError::NoSuchObject(o) => write!(f, "no such object {}", o.0),
+            VmError::UnmappedAddress(t, a) => {
+                write!(f, "task {} touched unmapped address {a}", t.0)
+            }
+            VmError::RegionOverlap(a) => write!(f, "region at {a} overlaps an existing mapping"),
+            VmError::OutOfFrames {
+                requested,
+                available,
+            } => write!(
+                f,
+                "frame pool exhausted: requested {requested}, available {available}"
+            ),
+            VmError::BadFrame(id) => write!(f, "invalid {id}"),
+            VmError::FrameAlreadyQueued(id) => write!(f, "{id} is already on a queue"),
+            VmError::FrameNotQueued(id) => write!(f, "{id} is not on the expected queue"),
+            VmError::BadQueue(q) => write!(f, "invalid queue id {q}"),
+            VmError::DirtyFrameFreed(id) => write!(f, "dirty {id} released without flush"),
+            VmError::Backing(e) => write!(f, "backing store: {e}"),
+            VmError::EmptyRegion => write!(f, "zero-sized region"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<hipec_disk::backing::BackingError> for VmError {
+    fn from(e: hipec_disk::backing::BackingError) -> Self {
+        VmError::Backing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_page_conversions() {
+        assert_eq!(bytes_to_pages(0), 0);
+        assert_eq!(bytes_to_pages(1), 1);
+        assert_eq!(bytes_to_pages(PAGE_SIZE), 1);
+        assert_eq!(bytes_to_pages(PAGE_SIZE + 1), 2);
+        assert_eq!(bytes_to_pages(40 * 1024 * 1024), 10_240);
+    }
+
+    #[test]
+    fn vaddr_decomposition() {
+        let a = VAddr(3 * PAGE_SIZE + 17);
+        assert_eq!(a.vpage(), 3);
+        assert_eq!(a.page_offset(), 17);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = VmError::OutOfFrames {
+            requested: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("requested 10"));
+        assert!(VmError::UnmappedAddress(TaskId(1), VAddr(0x1000))
+            .to_string()
+            .contains("0x1000"));
+    }
+}

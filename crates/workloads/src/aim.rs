@@ -1,0 +1,387 @@
+//! An AIM-Suite-III-like multiuser throughput benchmark (Figure 5).
+//!
+//! The paper uses AIM III to show the HiPEC modifications do not perturb
+//! the throughput of *non-specific* applications. This module reproduces
+//! the experiment's structure: N simulated users each run a weighted mix
+//! of compute, disk and memory jobs over one CPU (round-robin scheduled)
+//! and one shared paging disk; throughput is jobs per virtual minute.
+//! Three mixes match the paper's: standard, disk-weighted, memory-weighted.
+
+use hipec_sim::{DetRng, SimDuration, SimTime};
+use hipec_vm::{TaskId, VAddr, PAGE_SIZE};
+
+use crate::kernel_iface::SysKernel;
+
+/// Job-mix weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Mix name for reports.
+    pub name: &'static str,
+    /// Weight of pure-CPU jobs.
+    pub compute: f64,
+    /// Weight of disk-read jobs.
+    pub disk: f64,
+    /// Weight of memory-touch jobs.
+    pub memory: f64,
+}
+
+impl Mix {
+    /// The standard (balanced) workload.
+    pub fn standard() -> Mix {
+        Mix {
+            name: "standard",
+            compute: 1.0,
+            disk: 1.0,
+            memory: 1.0,
+        }
+    }
+
+    /// Emphasizes disk usage.
+    pub fn disk_heavy() -> Mix {
+        Mix {
+            name: "disk",
+            compute: 0.5,
+            disk: 2.0,
+            memory: 0.5,
+        }
+    }
+
+    /// Emphasizes memory usage.
+    pub fn memory_heavy() -> Mix {
+        Mix {
+            name: "memory",
+            compute: 0.5,
+            disk: 0.5,
+            memory: 2.0,
+        }
+    }
+
+    fn draw(&self, rng: &mut DetRng) -> JobKind {
+        let total = self.compute + self.disk + self.memory;
+        let x = rng.f64() * total;
+        if x < self.compute {
+            JobKind::Compute
+        } else if x < self.compute + self.disk {
+            JobKind::Disk
+        } else {
+            JobKind::Memory
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    Compute,
+    Disk,
+    Memory,
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct AimConfig {
+    /// Number of simulated concurrent users.
+    pub users: u32,
+    /// Job mix.
+    pub mix: Mix,
+    /// Virtual run length.
+    pub duration: SimDuration,
+    /// Scheduler quantum.
+    pub quantum: SimDuration,
+    /// Per-user think time between jobs (AIM simulates interactive users;
+    /// this is what gives the throughput curve its knee).
+    pub think_time: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU time of one compute job.
+    pub compute_time: SimDuration,
+    /// Pages read by one disk job.
+    pub disk_pages: u64,
+    /// Per-user file region (pages) disk jobs read from.
+    pub file_pages: u64,
+    /// Pages touched by one memory job.
+    pub mem_pages: u64,
+    /// Per-user anonymous region size (pages).
+    pub mem_region_pages: u64,
+}
+
+impl Default for AimConfig {
+    fn default() -> Self {
+        AimConfig {
+            users: 1,
+            mix: Mix::standard(),
+            duration: SimDuration::from_secs(30),
+            quantum: SimDuration::from_ms(20),
+            think_time: SimDuration::from_ms(1_000),
+            seed: 0xA1B2,
+            compute_time: SimDuration::from_ms(120),
+            disk_pages: 16,
+            file_pages: 4_096,
+            mem_pages: 1_500,
+            mem_region_pages: 2_200,
+        }
+    }
+}
+
+/// Benchmark result.
+#[derive(Debug, Clone, Copy)]
+pub struct AimResult {
+    /// Jobs completed in the run.
+    pub jobs: u64,
+    /// Throughput in jobs per virtual minute.
+    pub jobs_per_minute: f64,
+    /// Total page faults during the run.
+    pub faults: u64,
+    /// Total page-ins during the run.
+    pub pageins: u64,
+}
+
+#[derive(Debug)]
+enum Op {
+    Compute(SimDuration),
+    Touch { region: Region, page: u64, write: bool },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Region {
+    File,
+    Anon,
+}
+
+struct User {
+    task: TaskId,
+    file_base: VAddr,
+    anon_base: VAddr,
+    ops: Vec<Op>,
+    next_op: usize,
+    blocked_until: Option<SimTime>,
+    jobs_done: u64,
+    mem_cursor: u64,
+}
+
+impl User {
+    fn new_job(&mut self, cfg: &AimConfig, rng: &mut DetRng) {
+        self.ops.clear();
+        self.next_op = 0;
+        match cfg.mix.draw(rng) {
+            JobKind::Compute => self.ops.push(Op::Compute(cfg.compute_time)),
+            JobKind::Disk => {
+                // A sequential window somewhere in the (uncacheable) file.
+                let window = cfg.file_pages.saturating_sub(cfg.disk_pages).max(1);
+                let start = rng.below(window);
+                for i in 0..cfg.disk_pages {
+                    self.ops.push(Op::Touch {
+                        region: Region::File,
+                        page: start + i,
+                        write: false,
+                    });
+                }
+            }
+            JobKind::Memory => {
+                // Touch a rotating window of the user's anonymous region,
+                // dirtying every eighth page.
+                for i in 0..cfg.mem_pages {
+                    let page = (self.mem_cursor + i) % cfg.mem_region_pages;
+                    self.ops.push(Op::Touch {
+                        region: Region::Anon,
+                        page,
+                        write: i % 8 == 0,
+                    });
+                }
+                self.mem_cursor = (self.mem_cursor + cfg.mem_pages / 4) % cfg.mem_region_pages;
+                self.ops.push(Op::Compute(SimDuration::from_ms(10)));
+            }
+        }
+    }
+}
+
+/// Runs the benchmark on the given kernel.
+pub fn run(k: &mut impl SysKernel, cfg: &AimConfig) -> Result<AimResult, String> {
+    let mut rng = DetRng::new(cfg.seed ^ (cfg.users as u64) << 32);
+    let mut users = Vec::with_capacity(cfg.users as usize);
+    for _ in 0..cfg.users {
+        let task = k.vm().create_task();
+        let (file_base, _) = k
+            .vm()
+            .vm_map(task, cfg.file_pages * PAGE_SIZE)
+            .map_err(|e| e.to_string())?;
+        let (anon_base, _) = k
+            .vm()
+            .vm_allocate(task, cfg.mem_region_pages * PAGE_SIZE)
+            .map_err(|e| e.to_string())?;
+        let mut u = User {
+            task,
+            file_base,
+            anon_base,
+            ops: Vec::new(),
+            next_op: 0,
+            blocked_until: None,
+            jobs_done: 0,
+            mem_cursor: 0,
+        };
+        u.new_job(cfg, &mut rng);
+        users.push(u);
+    }
+
+    let start = k.now();
+    let end = start + cfg.duration;
+    let start_faults = k.vm().stats.get("faults");
+    let start_pageins = k.vm().stats.get("pageins");
+    let mut next = 0usize;
+
+    while k.now() < end {
+        // Find a runnable user, round-robin from `next`.
+        let now = k.now();
+        let runnable = (0..users.len())
+            .map(|i| (next + i) % users.len())
+            .find(|&i| users[i].blocked_until.is_none_or(|t| t <= now));
+        let Some(i) = runnable else {
+            // Everyone is waiting on the disk: idle until the first wake.
+            let wake = users
+                .iter()
+                .filter_map(|u| u.blocked_until)
+                .min()
+                .expect("somebody must be blocked");
+            k.vm().clock.advance_to(wake);
+            k.pump();
+            continue;
+        };
+        next = (i + 1) % users.len().max(1);
+        users[i].blocked_until = None;
+        let cs = k.vm().cost.context_switch;
+        k.charge(cs);
+
+        // Run user i for one quantum (or until it blocks).
+        let slice_end = k.now() + cfg.quantum;
+        while k.now() < slice_end && k.now() < end {
+            if users[i].next_op >= users[i].ops.len() {
+                users[i].jobs_done += 1;
+                let think_until = k.now() + cfg.think_time;
+                let u = &mut users[i];
+                u.new_job(cfg, &mut rng);
+                if !cfg.think_time.is_zero() {
+                    u.blocked_until = Some(think_until);
+                    break;
+                }
+                continue;
+            }
+            let idx = users[i].next_op;
+            match users[i].ops[idx] {
+                Op::Compute(remaining) => {
+                    let slice = slice_end.since(k.now()).min(remaining);
+                    k.charge(slice);
+                    let left = remaining - slice;
+                    if left.is_zero() {
+                        users[i].next_op += 1;
+                    } else {
+                        users[i].ops[idx] = Op::Compute(left);
+                    }
+                }
+                Op::Touch { region, page, write } => {
+                    let base = match region {
+                        Region::File => users[i].file_base,
+                        Region::Anon => users[i].anon_base,
+                    };
+                    let addr = VAddr(base.0 + page * PAGE_SIZE);
+                    let r = k.access(users[i].task, addr, write)?;
+                    users[i].next_op += 1;
+                    if let Some(done) = r.io_until {
+                        // Block on the device; the CPU runs someone else.
+                        users[i].blocked_until = Some(done);
+                        break;
+                    }
+                }
+            }
+        }
+        k.pump();
+    }
+
+    let jobs: u64 = users.iter().map(|u| u.jobs_done).sum();
+    let minutes = cfg.duration.as_mins_f64();
+    Ok(AimResult {
+        jobs,
+        jobs_per_minute: jobs as f64 / minutes,
+        faults: k.vm().stats.get("faults") - start_faults,
+        pageins: k.vm().stats.get("pageins") - start_pageins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_core::HipecKernel;
+    use hipec_vm::{Kernel, KernelParams};
+
+    fn quick(users: u32) -> AimConfig {
+        AimConfig {
+            users,
+            duration: SimDuration::from_secs(8),
+            think_time: SimDuration::from_ms(500),
+            mem_pages: 200,
+            mem_region_pages: 300,
+            ..AimConfig::default()
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_a_second_user() {
+        let mut one = Kernel::new(KernelParams::paper_64mb());
+        let r1 = run(&mut one, &quick(1)).expect("run");
+        let mut four = Kernel::new(KernelParams::paper_64mb());
+        let r4 = run(&mut four, &quick(4)).expect("run");
+        assert!(r1.jobs > 0);
+        assert!(
+            r4.jobs_per_minute > r1.jobs_per_minute,
+            "overlap must help: {} vs {}",
+            r4.jobs_per_minute,
+            r1.jobs_per_minute
+        );
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let mut a = Kernel::new(KernelParams::paper_64mb());
+        let mut b = Kernel::new(KernelParams::paper_64mb());
+        let ra = run(&mut a, &quick(3)).expect("run");
+        let rb = run(&mut b, &quick(3)).expect("run");
+        assert_eq!(ra.jobs, rb.jobs);
+        assert_eq!(ra.faults, rb.faults);
+    }
+
+    #[test]
+    fn hipec_kernel_throughput_is_within_noise_of_mach() {
+        // A longer window so job-count granularity does not mask the
+        // comparison (~400 jobs; one job is 0.25 %).
+        let mut cfg = quick(4);
+        cfg.duration = SimDuration::from_secs(60);
+        let mut mach = Kernel::new(KernelParams::paper_64mb());
+        let rm = run(&mut mach, &cfg).expect("mach run");
+        let mut hipec = HipecKernel::new(KernelParams::paper_64mb());
+        let rh = run(&mut hipec, &cfg).expect("hipec run");
+        let ratio = rh.jobs_per_minute / rm.jobs_per_minute;
+        assert!(
+            (0.97..=1.005).contains(&ratio),
+            "Figure 5's claim: ratio {ratio:.4} (HiPEC {} vs Mach {})",
+            rh.jobs_per_minute,
+            rm.jobs_per_minute
+        );
+    }
+
+    #[test]
+    fn mixes_shift_the_bottleneck() {
+        let mut disk_cfg = quick(4);
+        disk_cfg.mix = Mix::disk_heavy();
+        let mut mem_cfg = quick(4);
+        mem_cfg.mix = Mix::memory_heavy();
+        let mut k1 = Kernel::new(KernelParams::paper_64mb());
+        let rd = run(&mut k1, &disk_cfg).expect("disk mix");
+        let mut k2 = Kernel::new(KernelParams::paper_64mb());
+        let rmem = run(&mut k2, &mem_cfg).expect("memory mix");
+        assert!(
+            rd.pageins > rmem.pageins,
+            "disk mix must hit the device more ({} vs {})",
+            rd.pageins,
+            rmem.pageins
+        );
+        assert!(rmem.faults > 0);
+    }
+}

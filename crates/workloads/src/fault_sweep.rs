@@ -1,0 +1,144 @@
+//! The §5.1 measurement: page-fault handling time for a 40 MB region
+//! (Table 3), with and without disk I/O, on both kernels.
+
+use hipec_core::{HipecKernel, PolicyProgram};
+use hipec_sim::SimDuration;
+use hipec_vm::{bytes_to_pages, Kernel, KernelParams, VAddr, PAGE_SIZE};
+
+use crate::kernel_iface::SysKernel;
+
+/// One fault-sweep measurement.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Faults taken (one per page).
+    pub faults: u64,
+    /// Total elapsed virtual time.
+    pub elapsed: SimDuration,
+    /// Fault-latency distribution (trap to resolution).
+    pub latency: hipec_sim::stats::Histogram,
+}
+
+impl SweepResult {
+    /// Mean time per fault.
+    pub fn per_fault(&self) -> SimDuration {
+        self.elapsed / self.faults.max(1)
+    }
+}
+
+fn sweep(k: &mut impl SysKernel, task: hipec_vm::TaskId, bytes: u64, base: VAddr) -> SweepResult {
+    let pages = bytes_to_pages(bytes);
+    let start = k.now();
+    for p in 0..pages {
+        k.access_wait(task, VAddr(base.0 + p * PAGE_SIZE), false)
+            .expect("sweep access");
+    }
+    k.pump();
+    let elapsed = k.now().since(start);
+    SweepResult {
+        faults: pages,
+        elapsed,
+        latency: k.vm().fault_latency.clone(),
+    }
+}
+
+/// Runs the sweep on the unmodified Mach kernel.
+pub fn run_mach(params: KernelParams, bytes: u64, with_io: bool) -> SweepResult {
+    let mut k = Kernel::new(params);
+    let task = k.create_task();
+    let (base, _) = if with_io {
+        k.vm_map(task, bytes).expect("map file region")
+    } else {
+        k.vm_allocate(task, bytes).expect("allocate region")
+    };
+    sweep(&mut k, task, bytes, base)
+}
+
+/// Runs the sweep on the HiPEC kernel under the given policy, with the
+/// whole region privately allocated (`minFrame` = region pages), exactly
+/// as the paper's experiment requests 40 MB for private management.
+pub fn run_hipec(
+    params: KernelParams,
+    bytes: u64,
+    with_io: bool,
+    program: PolicyProgram,
+) -> SweepResult {
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let pages = bytes_to_pages(bytes);
+    let (base, _obj, _key) = if with_io {
+        k.vm_map_hipec(task, bytes, program, pages).expect("map")
+    } else {
+        k.vm_allocate_hipec(task, bytes, program, pages).expect("allocate")
+    };
+    sweep(&mut k, task, bytes, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_policies::PolicyKind;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn no_io_sweep_matches_the_calibrated_fault_cost() {
+        let params = KernelParams::paper_64mb();
+        let r = run_mach(params.clone(), 4 * MB, false);
+        assert_eq!(r.faults, 1024);
+        let per = r.per_fault();
+        // 392 µs per zero-fill fault (+ small queue costs).
+        assert!(
+            (390.0..420.0).contains(&per.as_us_f64()),
+            "per-fault {per}"
+        );
+    }
+
+    #[test]
+    fn io_sweep_is_dominated_by_the_device() {
+        let r = run_mach(KernelParams::paper_64mb(), 4 * MB, true);
+        let per_ms = r.per_fault().as_ms_f64();
+        assert!(
+            (6.0..10.0).contains(&per_ms),
+            "per-fault {per_ms:.2} ms should be ≈ 8 ms"
+        );
+    }
+
+    #[test]
+    fn hipec_overhead_is_small_positive_without_io() {
+        let bytes = 4 * MB;
+        let mach = run_mach(KernelParams::paper_64mb(), bytes, false);
+        let hipec = run_hipec(
+            KernelParams::paper_64mb(),
+            bytes,
+            false,
+            PolicyKind::FifoSecondChance.program(),
+        );
+        assert_eq!(mach.faults, hipec.faults);
+        let overhead =
+            hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
+        assert!(
+            (0.001..0.04).contains(&overhead),
+            "no-I/O overhead {:.2}% out of band",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn hipec_overhead_is_negligible_with_io() {
+        let bytes = 2 * MB;
+        let mach = run_mach(KernelParams::paper_64mb(), bytes, true);
+        let hipec = run_hipec(
+            KernelParams::paper_64mb(),
+            bytes,
+            true,
+            PolicyKind::FifoSecondChance.program(),
+        );
+        let overhead =
+            hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
+        assert!(
+            overhead.abs() < 0.005,
+            "with-I/O overhead {:.3}% should be ≈ 0.02%",
+            overhead * 100.0
+        );
+    }
+}

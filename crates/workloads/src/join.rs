@@ -1,0 +1,186 @@
+//! The §5.3 nested-loops join workload (Figure 6).
+//!
+//! A 4 KB inner table is pinned in memory; the outer table (20–60 MB of
+//! 64-byte tuples, memory-mapped) is scanned once per inner tuple — 64
+//! full scans. With 40 MB of allocated memory, an LRU-like policy faults
+//! on every outer page of every scan (cyclic thrash); MRU keeps a stable
+//! prefix resident and only re-reads the tail.
+
+use hipec_core::{HipecKernel, PolicyProgram};
+use hipec_sim::{SimDuration, SimTime};
+use hipec_vm::{bytes_to_pages, KernelParams, VAddr, PAGE_SIZE};
+
+/// Join configuration (defaults are the paper's §5.3 parameters).
+#[derive(Debug, Clone)]
+pub struct JoinConfig {
+    /// Outer table size in bytes (the paper sweeps 20–60 MB).
+    pub outer_bytes: u64,
+    /// Inner table size in bytes (4 KB).
+    pub inner_bytes: u64,
+    /// Tuple size in bytes (64).
+    pub tuple_bytes: u64,
+    /// Memory allocated to the outer table's private pool (40 MB).
+    pub memory_bytes: u64,
+    /// Machine parameters.
+    pub params: KernelParams,
+}
+
+impl JoinConfig {
+    /// The paper's configuration with the given outer-table size.
+    pub fn paper(outer_bytes: u64) -> Self {
+        JoinConfig {
+            outer_bytes,
+            inner_bytes: 4 * 1024,
+            tuple_bytes: 64,
+            memory_bytes: 40 * 1024 * 1024,
+            params: KernelParams::paper_64mb(),
+        }
+    }
+
+    /// Number of outer-table scans (= inner-table tuples).
+    pub fn loops(&self) -> u64 {
+        self.inner_bytes / self.tuple_bytes
+    }
+
+    /// Outer table size in pages.
+    pub fn outer_pages(&self) -> u64 {
+        bytes_to_pages(self.outer_bytes)
+    }
+}
+
+/// Result of one join run.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinResult {
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+    /// Outer-table page faults.
+    pub faults: u64,
+    /// Page-ins from the backing store.
+    pub pageins: u64,
+}
+
+/// Runs the join under a HiPEC policy controlling the outer table.
+pub fn run(cfg: &JoinConfig, program: PolicyProgram) -> Result<JoinResult, String> {
+    let mut k = HipecKernel::new(cfg.params.clone());
+    let task = k.vm.create_task();
+
+    // The pinned 4 KB inner table: an ordinary resident page.
+    let (inner, _) = k.vm.vm_allocate(task, cfg.inner_bytes).map_err(|e| e.to_string())?;
+    k.access(task, inner, false).map_err(|e| e.to_string())?;
+
+    // The outer table: memory-mapped under specific control.
+    let memory_pages = bytes_to_pages(cfg.memory_bytes).min(cfg.outer_pages());
+    let (outer, _obj, key) = k
+        .vm_map_hipec(task, cfg.outer_bytes, program, memory_pages)
+        .map_err(|e| e.to_string())?;
+
+    let tuples_per_page = PAGE_SIZE / cfg.tuple_bytes;
+    let compute_per_page = k.vm.cost.tuple_op.saturating_mul(tuples_per_page);
+    let outer_pages = cfg.outer_pages();
+    let start = k.vm.now();
+
+    for _ in 0..cfg.loops() {
+        // One inner tuple joins against every outer tuple: scan the outer
+        // table page by page, charging the per-tuple compute.
+        k.charge(k.vm.cost.mem_touch); // read the inner tuple
+        for p in 0..outer_pages {
+            let r = k
+                .access(task, VAddr(outer.0 + p * PAGE_SIZE), false)
+                .map_err(|e| e.to_string())?;
+            if let Some(done) = r.io_until {
+                advance(&mut k, done);
+            }
+            k.charge(compute_per_page);
+        }
+    }
+    k.vm.pump();
+    let elapsed = k.vm.now().since(start);
+    let faults = k.container(key).map_err(|e| e.to_string())?.stats.faults;
+    Ok(JoinResult {
+        elapsed,
+        faults,
+        pageins: k.vm.stats.get("pageins"),
+    })
+}
+
+fn advance(k: &mut HipecKernel, to: SimTime) {
+    k.vm.clock.advance_to(to);
+    k.vm.pump();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_policies::{analytic, PolicyKind};
+
+    const MB: u64 = 1024 * 1024;
+
+    fn small(outer_mb: u64, memory_mb: u64) -> JoinConfig {
+        let mut cfg = JoinConfig::paper(outer_mb * MB);
+        cfg.memory_bytes = memory_mb * MB;
+        cfg.inner_bytes = 512; // 8 scans: keep the test fast
+        cfg
+    }
+
+    #[test]
+    fn lru_faults_match_pf_l_when_thrashing() {
+        let cfg = small(6, 4); // outer 6 MB, memory 4 MB
+        let r = run(&cfg, PolicyKind::Lru.program()).expect("join");
+        assert_eq!(
+            r.faults,
+            analytic::pf_lru(cfg.outer_bytes, cfg.loops(), PAGE_SIZE)
+        );
+    }
+
+    #[test]
+    fn mru_faults_match_pf_m() {
+        let cfg = small(6, 4);
+        let r = run(&cfg, PolicyKind::Mru.program()).expect("join");
+        assert_eq!(
+            r.faults,
+            analytic::pf_mru(cfg.outer_bytes, cfg.memory_bytes, cfg.loops(), PAGE_SIZE)
+        );
+    }
+
+    #[test]
+    fn below_memory_size_policies_tie() {
+        let cfg = small(3, 4); // outer fits in memory
+        let lru = run(&cfg, PolicyKind::Lru.program()).expect("join");
+        let mru = run(&cfg, PolicyKind::Mru.program()).expect("join");
+        assert_eq!(lru.faults, cfg.outer_pages());
+        assert_eq!(mru.faults, cfg.outer_pages());
+        // Elapsed times within a hair of each other.
+        let ratio = lru.elapsed.as_ns() as f64 / mru.elapsed.as_ns() as f64;
+        assert!((0.99..1.01).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn mru_beats_lru_above_memory_size() {
+        let cfg = small(6, 4);
+        let lru = run(&cfg, PolicyKind::Lru.program()).expect("join");
+        let mru = run(&cfg, PolicyKind::Mru.program()).expect("join");
+        assert!(mru.faults < lru.faults);
+        assert!(
+            mru.elapsed < lru.elapsed,
+            "MRU {} vs LRU {}",
+            mru.elapsed,
+            lru.elapsed
+        );
+        // The gap is roughly the analytic gain (fault counts are exact; the
+        // time model adds queue/flush noise, so allow 25 %).
+        let fault_time = SimDuration::from_ms(8);
+        let gain = analytic::gain(
+            cfg.outer_bytes,
+            cfg.memory_bytes,
+            cfg.loops(),
+            PAGE_SIZE,
+            fault_time,
+        );
+        let measured = lru.elapsed - mru.elapsed;
+        let ratio = measured.as_ns() as f64 / gain.as_ns() as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "measured gain {measured} vs analytic {gain} (ratio {ratio:.2})"
+        );
+    }
+}

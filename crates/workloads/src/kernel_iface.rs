@@ -1,0 +1,162 @@
+//! A common interface over the plain Mach kernel and the HiPEC kernel.
+//!
+//! The paper's experiments run identical workloads on the unmodified Mach
+//! 3.0 kernel and on the HiPEC-modified kernel. [`SysKernel`] is the small
+//! surface those workloads need; both kernels implement it.
+
+use hipec_core::{HipecError, HipecKernel};
+use hipec_sim::{SimDuration, SimTime};
+use hipec_vm::{
+    AccessOutcome, AccessResult, Kernel, ObjectId, TaskId, VAddr, VmError,
+};
+
+/// Workload-facing kernel operations.
+pub trait SysKernel {
+    /// The kernel's name in reports ("Mach" / "HiPEC").
+    fn label(&self) -> &'static str;
+
+    /// Performs one access (without waiting for device completions).
+    fn access(&mut self, task: TaskId, addr: VAddr, write: bool) -> Result<AccessResult, String>;
+
+    /// The underlying VM kernel (clock, stats, syscalls).
+    fn vm(&mut self) -> &mut Kernel;
+
+    /// Read-only view of the VM kernel.
+    fn vm_ref(&self) -> &Kernel;
+
+    /// Housekeeping hook (flush completions, checker wakeups).
+    fn pump(&mut self);
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime {
+        self.vm_ref().clock.now()
+    }
+
+    /// Charges CPU time (workload compute).
+    fn charge(&mut self, d: SimDuration) {
+        self.vm().charge(d);
+    }
+
+    /// Access that synchronously waits out any device time it started.
+    fn access_wait(
+        &mut self,
+        task: TaskId,
+        addr: VAddr,
+        write: bool,
+    ) -> Result<AccessResult, String> {
+        let r = self.access(task, addr, write)?;
+        if let Some(done) = r.io_until {
+            self.vm().clock.advance_to(done);
+            self.pump();
+        }
+        Ok(r)
+    }
+}
+
+impl SysKernel for Kernel {
+    fn label(&self) -> &'static str {
+        "Mach"
+    }
+
+    fn access(&mut self, task: TaskId, addr: VAddr, write: bool) -> Result<AccessResult, String> {
+        match Kernel::access(self, task, addr, write).map_err(|e: VmError| e.to_string())? {
+            AccessOutcome::Done(r) => Ok(r),
+            AccessOutcome::NeedsPolicy(_) => {
+                Err("plain kernel cannot resolve HiPEC faults".to_string())
+            }
+        }
+    }
+
+    fn vm(&mut self) -> &mut Kernel {
+        self
+    }
+
+    fn vm_ref(&self) -> &Kernel {
+        self
+    }
+
+    fn pump(&mut self) {
+        Kernel::pump(self);
+    }
+}
+
+impl SysKernel for HipecKernel {
+    fn label(&self) -> &'static str {
+        "HiPEC"
+    }
+
+    fn access(&mut self, task: TaskId, addr: VAddr, write: bool) -> Result<AccessResult, String> {
+        HipecKernel::access(self, task, addr, write).map_err(|e: HipecError| e.to_string())
+    }
+
+    fn vm(&mut self) -> &mut Kernel {
+        &mut self.vm
+    }
+
+    fn vm_ref(&self) -> &Kernel {
+        &self.vm
+    }
+
+    fn pump(&mut self) {
+        self.vm.pump();
+        self.poll_checker();
+    }
+}
+
+/// Convenience: maps a file-backed region (both kernels).
+pub fn map_file(k: &mut (impl SysKernel + ?Sized), task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), String> {
+    k.vm().vm_map(task, bytes).map_err(|e| e.to_string())
+}
+
+/// Convenience: allocates an anonymous region (both kernels).
+pub fn allocate(
+    k: &mut (impl SysKernel + ?Sized),
+    task: TaskId,
+    bytes: u64,
+) -> Result<(VAddr, ObjectId), String> {
+    k.vm().vm_allocate(task, bytes).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_vm::{KernelParams, PAGE_SIZE};
+
+    #[test]
+    fn both_kernels_serve_the_same_interface() {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 128;
+        params.wired_frames = 8;
+        let mut mach = Kernel::new(params.clone());
+        let mut hipec = HipecKernel::new(params);
+        assert_eq!(SysKernel::label(&mach), "Mach");
+        assert_eq!(SysKernel::label(&hipec), "HiPEC");
+
+        for k in [&mut mach as &mut dyn SysKernel, &mut hipec] {
+            let task = k.vm().create_task();
+            let (addr, _) = allocate(k, task, 4 * PAGE_SIZE).expect("allocate");
+            k.access_wait(task, addr, true).expect("fault");
+            k.access_wait(task, addr, false).expect("hit");
+            assert_eq!(k.vm().stats.get("faults"), 1);
+        }
+    }
+
+    #[test]
+    fn hipec_kernel_charges_the_region_check() {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 128;
+        params.wired_frames = 8;
+        let mut mach = Kernel::new(params.clone());
+        let mut hipec = HipecKernel::new(params);
+        let fault_cost = |k: &mut dyn SysKernel| {
+            let task = k.vm().create_task();
+            let (addr, _) = allocate(k, task, PAGE_SIZE).expect("allocate");
+            let before = k.now();
+            k.access_wait(task, addr, false).expect("fault");
+            k.now().since(before)
+        };
+        let mach_cost = fault_cost(&mut mach);
+        let hipec_cost = fault_cost(&mut hipec);
+        assert!(hipec_cost > mach_cost, "the modified kernel pays the check");
+    }
+}

@@ -1,0 +1,135 @@
+//! Frame migration between cooperating applications — the paper's first
+//! future-work item (§6): "migrating physical frames between the relevant
+//! jobs might be important and necessary".
+//!
+//! A two-phase pipeline: the *producer* scans a large input region, then
+//! goes idle; the *consumer* ramps up afterwards. With plain HiPEC the
+//! consumer would have to Request frames from the global manager (and the
+//! producer's idle pool would sit wasted until reclamation). With the
+//! `Migrate` command the producer's policy hands its frames directly to
+//! the consumer as its own phase winds down.
+//!
+//! Run with: `cargo run --example cooperating_apps`
+
+use hipec_core::HipecKernel;
+use hipec_policies::PolicyKind;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+/// The producer's policy: normal FIFO, plus a `Drain` event that migrates
+/// `batch` free frames to the container whose key is in `peer`.
+const PRODUCER: &str = r#"
+    queue fifo_q;
+    int peer = 1;      // the consumer's container key
+    int batch = 16;
+
+    event PageFault() {
+        if (free_count == 0) {
+            fifo(fifo_q);
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(fifo_q, p);
+        return p;
+    }
+
+    event Drain() {
+        // Hand `batch` frames to the peer: evict our own pages into the
+        // free queue if needed, then migrate.
+        int moved = 0;
+        while (moved < batch && allocated_count > 0) {
+            if (free_count == 0) {
+                fifo(fifo_q);
+            }
+            migrate(peer);
+            moved = moved + 1;
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                fifo(fifo_q);
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// Event number of `Drain` in the producer's program (user events start
+/// at 2, after PageFault and ReclaimFrame).
+const DRAIN_EVENT: u8 = 2;
+
+fn main() {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 1_024;
+    params.wired_frames = 32;
+    let mut kernel = HipecKernel::new(params);
+
+    // Producer: 256-frame pool over a 384-page input.
+    let producer_task = kernel.vm.create_task();
+    let producer_program = hipec_lang::compile(PRODUCER).expect("producer compiles");
+    let (pin, _o, producer) = kernel
+        .vm_map_hipec(producer_task, 384 * PAGE_SIZE, producer_program, 256)
+        .expect("producer installs");
+
+    // Consumer: starts with a deliberately tiny pool (32 frames) for its
+    // 256-page working set.
+    let consumer_task = kernel.vm.create_task();
+    let (cin, _o, consumer) = kernel
+        .vm_allocate_hipec(
+            consumer_task,
+            256 * PAGE_SIZE,
+            PolicyKind::Lru.program(),
+            32,
+        )
+        .expect("consumer installs");
+    assert_eq!(consumer.0, 1, "the producer policy names container key 1");
+
+    // Phase 1: the producer streams its input.
+    for p in 0..384u64 {
+        kernel
+            .access_sync(producer_task, VAddr(pin.0 + p * PAGE_SIZE), false)
+            .expect("producer scan");
+    }
+    println!(
+        "after phase 1: producer holds {} frames, consumer {}",
+        kernel.container(producer).expect("p").allocated,
+        kernel.container(consumer).expect("c").allocated,
+    );
+
+    // The consumer works its set with only 32 frames: it thrashes.
+    let consumer_sweep = |kernel: &mut HipecKernel| -> u64 {
+        let before = kernel.container(consumer).expect("c").stats.faults;
+        for p in 0..256u64 {
+            kernel
+                .access_sync(consumer_task, VAddr(cin.0 + p * PAGE_SIZE), false)
+                .expect("consumer sweep");
+        }
+        kernel.container(consumer).expect("c").stats.faults - before
+    };
+    let starved = consumer_sweep(&mut kernel);
+    println!("consumer sweep while starved: {starved} faults");
+
+    // Phase 2: the producer drains, migrating frames to the consumer in
+    // batches of 16 (each Drain call is what a real producer would run on
+    // its phase boundary).
+    for _ in 0..14 {
+        kernel
+            .run_event_raw(producer, DRAIN_EVENT)
+            .expect("producer drains");
+    }
+    println!(
+        "after migration: producer holds {} frames, consumer {}",
+        kernel.container(producer).expect("p").allocated,
+        kernel.container(consumer).expect("c").allocated,
+    );
+
+    // Warm the enlarged pool once, then measure the steady state.
+    consumer_sweep(&mut kernel);
+    let fed = consumer_sweep(&mut kernel);
+    println!("consumer sweep after migration: {fed} faults");
+    assert!(fed < starved / 4, "migration must relieve the consumer");
+    println!("\nframe migration turned the idle producer pool into consumer hits.");
+}

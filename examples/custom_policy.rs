@@ -1,0 +1,103 @@
+//! Writing your own policy: pseudo-code → translator → command buffer →
+//! kernel, end to end — the full workflow of paper §4.3.4.
+//!
+//! The policy here protects a "pinned" prefix of the region: the first
+//! `pinned` faulted pages are never replaced, the rest live in a FIFO.
+//! (A database would pin its index root pages this way.)
+//!
+//! Run with: `cargo run --example custom_policy`
+
+use hipec_core::HipecKernel;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+const POLICY: &str = r#"
+    // Pages faulted while `pinned_left > 0` go to the pinned queue and are
+    // never evicted; everything else cycles through a FIFO.
+    queue pinned_q;
+    queue fifo_q;
+    int pinned_left = 8;
+
+    event PageFault() {
+        if (free_count == 0) {
+            fifo(fifo_q);
+        }
+        page p = dequeue_head(free_queue);
+        if (pinned_left > 0) {
+            pinned_left = pinned_left - 1;
+            enqueue_tail(pinned_q, p);
+        } else {
+            enqueue_tail(fifo_q, p);
+        }
+        return p;
+    }
+
+    event ReclaimFrame() {
+        // Give back only unpinned surplus.
+        int released = 0;
+        while (released < reclaim_target && active_count > 0) {
+            if (free_count == 0) {
+                fifo(fifo_q);
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+fn main() {
+    // 1. Translate.
+    let program = match hipec_lang::compile(POLICY) {
+        Ok(p) => p,
+        Err(diags) => {
+            eprintln!("policy does not compile:");
+            for d in diags {
+                eprintln!("  {d}");
+            }
+            std::process::exit(1);
+        }
+    };
+    println!("translated: {} commands", program.total_commands());
+
+    // 2. Inspect the command buffer (the paper's Table 2 view).
+    println!("\n--- disassembly -------------------------------------");
+    print!("{}", hipec_lang::disassemble(&program));
+    println!("------------------------------------------------------\n");
+
+    // 3. The buffer ships as 32-bit words behind a magic number.
+    let words = program.to_words();
+    println!(
+        "wire format: {} words, magic 0x{:08X}",
+        words.len(),
+        words[0]
+    );
+
+    // 4. Install and run: 64 pages through a 24-frame pool. The first 8
+    //    pages are pinned; page 0 must never fault again.
+    let mut kernel = HipecKernel::new(KernelParams::paper_64mb());
+    let task = kernel.vm.create_task();
+    let (base, _obj, key) = kernel
+        .vm_allocate_hipec(task, 64 * PAGE_SIZE, program, 24)
+        .expect("policy validates and installs");
+
+    for sweep in 0..4 {
+        for p in 0..64u64 {
+            kernel
+                .access_sync(task, VAddr(base.0 + p * PAGE_SIZE), false)
+                .expect("access");
+        }
+        let faults = kernel.container(key).expect("container").stats.faults;
+        println!("sweep {sweep}: cumulative faults {faults}");
+    }
+
+    // The pinned pages stayed resident: sweeps 1-3 fault only on the
+    // unpinned 56 pages.
+    let c = kernel.container(key).expect("container");
+    let expected = 64 + 3 * 56;
+    println!(
+        "\ntotal faults {} (expected {expected}: 64 cold + 3 × 56 unpinned)",
+        c.stats.faults
+    );
+    assert_eq!(c.stats.faults, expected);
+    println!("the pinned prefix never re-faulted — the policy works.");
+}

@@ -1,0 +1,1 @@
+//! Example host crate; the runnable programs live in the example targets.

@@ -1,0 +1,84 @@
+//! Bit-reproducibility: every experiment produces identical results on
+//! every run — the property that makes the virtual-time numbers citable.
+
+use hipec_core::HipecKernel;
+use hipec_policies::PolicyKind;
+use hipec_sim::SimDuration;
+use hipec_vm::{Kernel, KernelParams};
+use hipec_workloads::aim::{run as aim_run, AimConfig};
+use hipec_workloads::fault_sweep;
+use hipec_workloads::join::{run as join_run, JoinConfig};
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn table3_sweeps_are_bit_reproducible() {
+    let a = fault_sweep::run_mach(KernelParams::paper_64mb(), 4 * MB, true);
+    let b = fault_sweep::run_mach(KernelParams::paper_64mb(), 4 * MB, true);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.faults, b.faults);
+    let a = fault_sweep::run_hipec(
+        KernelParams::paper_64mb(),
+        4 * MB,
+        false,
+        PolicyKind::FifoSecondChance.program(),
+    );
+    let b = fault_sweep::run_hipec(
+        KernelParams::paper_64mb(),
+        4 * MB,
+        false,
+        PolicyKind::FifoSecondChance.program(),
+    );
+    assert_eq!(a.elapsed, b.elapsed);
+}
+
+#[test]
+fn fig5_runs_are_bit_reproducible() {
+    let cfg = AimConfig {
+        users: 6,
+        duration: SimDuration::from_secs(20),
+        ..AimConfig::default()
+    };
+    let mut k1 = Kernel::new(KernelParams::paper_64mb());
+    let a = aim_run(&mut k1, &cfg).expect("run");
+    let mut k2 = Kernel::new(KernelParams::paper_64mb());
+    let b = aim_run(&mut k2, &cfg).expect("run");
+    assert_eq!(a.jobs, b.jobs);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.pageins, b.pageins);
+    // And HiPEC runs too.
+    let mut h1 = HipecKernel::new(KernelParams::paper_64mb());
+    let c = aim_run(&mut h1, &cfg).expect("run");
+    let mut h2 = HipecKernel::new(KernelParams::paper_64mb());
+    let d = aim_run(&mut h2, &cfg).expect("run");
+    assert_eq!(c.jobs, d.jobs);
+    assert_eq!(c.faults, d.faults);
+}
+
+#[test]
+fn fig6_runs_are_bit_reproducible() {
+    let mut cfg = JoinConfig::paper(6 * MB);
+    cfg.memory_bytes = 4 * MB;
+    cfg.inner_bytes = 512;
+    let a = join_run(&cfg, PolicyKind::Mru.program()).expect("a");
+    let b = join_run(&cfg, PolicyKind::Mru.program()).expect("b");
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.pageins, b.pageins);
+}
+
+#[test]
+fn fault_latency_histogram_tracks_the_device() {
+    // The with-I/O sweep's latency distribution must sit in the
+    // milliseconds; the no-I/O sweep's in the microseconds.
+    let io = fault_sweep::run_mach(KernelParams::paper_64mb(), 2 * MB, true);
+    let no_io = fault_sweep::run_mach(KernelParams::paper_64mb(), 2 * MB, false);
+    assert_eq!(io.latency.count(), io.faults);
+    assert!(io.latency.mean().as_ms_f64() > 2.0, "{}", io.latency.mean());
+    assert!(
+        no_io.latency.mean().as_us_f64() < 1_000.0,
+        "{}",
+        no_io.latency.mean()
+    );
+    assert!(io.latency.quantile(0.99) >= io.latency.quantile(0.5));
+}

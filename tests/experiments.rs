@@ -1,0 +1,140 @@
+//! Fast, scaled-down versions of every experiment in the paper's §5,
+//! asserting the *shapes* the full benchmark harnesses print.
+
+use hipec_core::HipecKernel;
+use hipec_policies::{analytic, PolicyKind};
+use hipec_sim::SimDuration;
+use hipec_vm::{Kernel, KernelParams, PAGE_SIZE};
+use hipec_workloads::aim::{run as aim_run, AimConfig};
+use hipec_workloads::fault_sweep;
+use hipec_workloads::join::{run as join_run, JoinConfig};
+
+const MB: u64 = 1024 * 1024;
+
+#[test]
+fn table3_shape_overhead_small_positive_no_io_negligible_with_io() {
+    let bytes = 4 * MB;
+    let program = || PolicyKind::FifoSecondChance.program();
+
+    let mach = fault_sweep::run_mach(KernelParams::paper_64mb(), bytes, false);
+    let hipec = fault_sweep::run_hipec(KernelParams::paper_64mb(), bytes, false, program());
+    let no_io = hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
+    // Paper: 1.8 %.
+    assert!((0.005..0.035).contains(&no_io), "no-I/O overhead {no_io:.4}");
+
+    let mach = fault_sweep::run_mach(KernelParams::paper_64mb(), bytes, true);
+    let hipec = fault_sweep::run_hipec(KernelParams::paper_64mb(), bytes, true, program());
+    let with_io = (hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0).abs();
+    // Paper: 0.024 % — compensated by "as few as one or two disk page I/Os".
+    assert!(with_io < 0.005, "with-I/O overhead {with_io:.5}");
+    assert!(
+        with_io < no_io,
+        "I/O must dwarf the mechanism cost ({with_io:.5} vs {no_io:.5})"
+    );
+}
+
+#[test]
+fn table4_shape_ipc_beats_syscall_beats_hipec_by_orders_of_magnitude() {
+    let cost = hipec_sim::CostModel::acer_altos_486();
+    let hipec_decode = cost.cmd_fetch_decode * 3;
+    // IPC ≫ syscall ≫ HiPEC interpretation.
+    assert!(cost.null_ipc.as_ns() > 10 * cost.null_syscall.as_ns());
+    assert!(cost.null_syscall.as_ns() > 100 * hipec_decode.as_ns());
+    assert_eq!(hipec_decode.as_ns(), 150, "the paper's ≅150 ns");
+}
+
+#[test]
+fn fig5_shape_kernels_match_and_curve_is_unimodal_ish() {
+    // 1, 4 and 10 users: throughput must rise to the knee and fall past it,
+    // and the two kernels must track each other at every point.
+    let mut peak_seen = 0.0f64;
+    let mut last = 0.0f64;
+    for users in [1u32, 5, 10] {
+        // The default AIM sizing: ten users overcommit the 60 MB of
+        // pageable memory, which is what bends the curve down.
+        let cfg = AimConfig {
+            users,
+            duration: SimDuration::from_secs(60),
+            ..AimConfig::default()
+        };
+        let mut mach = Kernel::new(KernelParams::paper_64mb());
+        let rm = aim_run(&mut mach, &cfg).expect("mach");
+        let mut hipec = HipecKernel::new(KernelParams::paper_64mb());
+        let rh = aim_run(&mut hipec, &cfg).expect("hipec");
+        let ratio = rh.jobs_per_minute / rm.jobs_per_minute;
+        // Past the knee the system thrashes and job counts become
+        // chaotically sensitive to microsecond-level timing shifts, so the
+        // band is wider there (the full fig5 harness averages this out
+        // with longer windows).
+        let band = if users <= 5 { 0.95..1.05 } else { 0.80..1.25 };
+        assert!(
+            band.contains(&ratio),
+            "users={users}: kernels diverge (ratio {ratio:.3})"
+        );
+        peak_seen = peak_seen.max(rm.jobs_per_minute);
+        last = rm.jobs_per_minute;
+    }
+    assert!(
+        last < peak_seen,
+        "throughput must decline past the knee ({last} !< {peak_seen})"
+    );
+}
+
+#[test]
+fn fig6_shape_crossover_at_msize_and_mru_wins_above() {
+    let mut cfg = JoinConfig::paper(3 * MB);
+    cfg.memory_bytes = 4 * MB;
+    cfg.inner_bytes = 1024; // 16 scans
+
+    // Below MSize: identical.
+    let lru = join_run(&cfg, PolicyKind::Lru.program()).expect("lru");
+    let mru = join_run(&cfg, PolicyKind::Mru.program()).expect("mru");
+    assert_eq!(lru.faults, mru.faults, "below MSize both only cold-fault");
+
+    // Above MSize: LRU thrashes per PF_l, MRU per PF_m; big elapsed gap.
+    let mut cfg = JoinConfig::paper(6 * MB);
+    cfg.memory_bytes = 4 * MB;
+    cfg.inner_bytes = 1024;
+    let lru = join_run(&cfg, PolicyKind::Lru.program()).expect("lru");
+    let mru = join_run(&cfg, PolicyKind::Mru.program()).expect("mru");
+    assert_eq!(
+        lru.faults,
+        analytic::pf_lru(cfg.outer_bytes, cfg.loops(), PAGE_SIZE)
+    );
+    assert_eq!(
+        mru.faults,
+        analytic::pf_mru(cfg.outer_bytes, cfg.memory_bytes, cfg.loops(), PAGE_SIZE)
+    );
+    let speedup = lru.elapsed.as_ns() as f64 / mru.elapsed.as_ns() as f64;
+    assert!(
+        speedup > 2.0,
+        "the paper's 'great response time gap': speedup {speedup:.2}"
+    );
+}
+
+#[test]
+fn fig6_gain_tracks_the_papers_closed_form() {
+    // Gain = (Loop−1)·MSize/PageSize·PFHandleTime. Measure PFHandleTime
+    // from the LRU run itself, then check the gap.
+    let mut cfg = JoinConfig::paper(8 * MB);
+    cfg.memory_bytes = 4 * MB;
+    cfg.inner_bytes = 512; // 8 scans
+    let lru = join_run(&cfg, PolicyKind::Lru.program()).expect("lru");
+    let mru = join_run(&cfg, PolicyKind::Mru.program()).expect("mru");
+    let fault_time = SimDuration::from_ns(
+        (lru.elapsed.as_ns() as f64 / lru.faults as f64) as u64,
+    );
+    let gain = analytic::gain(
+        cfg.outer_bytes,
+        cfg.memory_bytes,
+        cfg.loops(),
+        PAGE_SIZE,
+        fault_time,
+    );
+    let measured = lru.elapsed - mru.elapsed;
+    let ratio = measured.as_ns() as f64 / gain.as_ns() as f64;
+    assert!(
+        (0.75..1.25).contains(&ratio),
+        "measured gain {measured} vs analytic {gain} (ratio {ratio:.2})"
+    );
+}

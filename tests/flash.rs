@@ -1,0 +1,83 @@
+//! The §6 flash extension end to end: the same kernel, policies and
+//! workloads page against flash instead of the disk.
+
+use hipec_core::HipecKernel;
+use hipec_integration::audit_frames;
+use hipec_policies::PolicyKind;
+use hipec_vm::{Kernel, KernelParams, VAddr, PAGE_SIZE};
+
+fn flash_params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb_flash();
+    p.total_frames = 512;
+    p.wired_frames = 16;
+    p
+}
+
+#[test]
+fn plain_kernel_pages_against_flash() {
+    let mut k = Kernel::new(flash_params());
+    let t = k.create_task();
+    let (base, _) = k.vm_map(t, 64 * PAGE_SIZE).expect("map");
+    for p in 0..64u64 {
+        let out = k.access(t, VAddr(base.0 + p * PAGE_SIZE), false).expect("access");
+        if let hipec_vm::AccessOutcome::Done(r) = out {
+            if let Some(done) = r.io_until {
+                k.clock.advance_to(done);
+                k.pump();
+            }
+        }
+    }
+    let flash = k.device().as_flash().expect("flash device");
+    assert_eq!(flash.stats().reads, 64, "every page-in hit the flash");
+    assert_eq!(k.stats.get("pageins"), 64);
+}
+
+#[test]
+fn flash_reads_are_much_faster_than_disk_reads() {
+    let run = |params: KernelParams| {
+        let mut k = Kernel::new(params);
+        let t = k.create_task();
+        let (base, _) = k.vm_map(t, 256 * PAGE_SIZE).expect("map");
+        let start = k.now();
+        for p in 0..256u64 {
+            if let hipec_vm::AccessOutcome::Done(r) =
+                k.access(t, VAddr(base.0 + p * PAGE_SIZE), false).expect("access")
+            {
+                if let Some(done) = r.io_until {
+                    k.clock.advance_to(done);
+                }
+            }
+        }
+        k.now().since(start)
+    };
+    let disk = run(KernelParams::paper_64mb());
+    let flash = run(flash_params());
+    assert!(
+        disk.as_ns() > 5 * flash.as_ns(),
+        "1994 disk {disk} should dwarf flash {flash}"
+    );
+}
+
+#[test]
+fn hipec_policies_run_unchanged_on_flash() {
+    let mut k = HipecKernel::new(flash_params());
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(task, 96 * PAGE_SIZE, PolicyKind::Mru.program(), 64)
+        .expect("install");
+    // Dirty cyclic sweeps: evictions flush to flash.
+    for _ in 0..3 {
+        for p in 0..96u64 {
+            k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), true)
+                .expect("access");
+            k.vm.pump();
+        }
+    }
+    let c = k.container(key).expect("container");
+    assert!(!c.terminated);
+    // PF_m over three sweeps.
+    assert_eq!(c.stats.faults, 96 + 2 * (96 - 64));
+    let flash = k.vm.device().as_flash().expect("flash device");
+    assert!(flash.stats().host_writes > 0, "dirty evictions programmed flash");
+    audit_frames(&k);
+}

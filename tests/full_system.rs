@@ -1,0 +1,167 @@
+//! Whole-system integration: several specific applications with different
+//! policies, a non-specific background load, reclamation pressure and the
+//! security checker — all running against one kernel, with frame
+//! conservation audited throughout.
+
+use hipec_core::{ContainerKey, HipecKernel};
+use hipec_integration::{audit_frames, replay};
+use hipec_policies::PolicyKind;
+use hipec_sim::DetRng;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 1_024;
+    p.wired_frames = 32;
+    p.free_target = 32;
+    p.free_min = 16;
+    p.inactive_target = 64;
+    p
+}
+
+#[test]
+fn three_specific_apps_and_background_load_coexist() {
+    let mut k = HipecKernel::new(params());
+    let mut rng = DetRng::new(0xC0FFEE);
+
+    // App 1: MRU over a cyclic scan (the join pattern).
+    let t1 = k.vm.create_task();
+    let (a1, _o, k1) = k
+        .vm_map_hipec(t1, 200 * PAGE_SIZE, PolicyKind::Mru.program(), 120)
+        .expect("app1");
+    // App 2: LRU over a skewed working set.
+    let t2 = k.vm.create_task();
+    let (a2, _o, k2) = k
+        .vm_allocate_hipec(t2, 150 * PAGE_SIZE, PolicyKind::Lru.program(), 80)
+        .expect("app2");
+    // App 3: Clock, written in simple commands only.
+    let t3 = k.vm.create_task();
+    let (a3, _o, k3) = k
+        .vm_allocate_hipec(t3, 100 * PAGE_SIZE, PolicyKind::Clock.program(), 60)
+        .expect("app3");
+    // Non-specific background: random touches over 300 pages.
+    let tb = k.vm.create_task();
+    let (ab, _ob) = k.vm.vm_allocate(tb, 300 * PAGE_SIZE).expect("background");
+
+    audit_frames(&k);
+
+    for round in 0..3 {
+        // Interleave the four workloads.
+        let cyc: Vec<u64> = (0..200).collect();
+        replay(&mut k, t1, a1, &cyc);
+        let skew: Vec<u64> = (0..300).map(|_| rng.zipf_once(150, 1.0) as u64).collect();
+        replay(&mut k, t2, a2, &skew);
+        let rand: Vec<u64> = (0..200).map(|_| rng.below(100)).collect();
+        replay(&mut k, t3, a3, &rand);
+        for _ in 0..200 {
+            let p = rng.below(300);
+            k.access_sync(tb, VAddr(ab.0 + p * PAGE_SIZE), rng.chance(0.3))
+                .expect("background access");
+            k.vm.pump();
+        }
+        audit_frames(&k);
+        // Nobody was terminated.
+        for key in [k1, k2, k3] {
+            assert!(
+                !k.container(key).expect("container").terminated,
+                "round {round}: container {key:?} died"
+            );
+        }
+    }
+
+    // Every app made progress and containers honour their minimums.
+    for (key, min) in [(k1, 120), (k2, 80), (k3, 60)] {
+        let c = k.container(key).expect("container");
+        assert!(c.stats.faults > 0);
+        assert!(
+            c.allocated >= min,
+            "{key:?} fell below its minFrame ({} < {min})",
+            c.allocated
+        );
+    }
+    // Specific totals are consistent with the frame manager's accounting.
+    let sum: u64 = [k1, k2, k3]
+        .iter()
+        .map(|key| k.container(*key).expect("container").allocated)
+        .sum();
+    assert_eq!(sum, k.specific_total());
+    assert!(k.vm.stats.get("faults") > 0);
+}
+
+#[test]
+fn killing_one_app_frees_its_frames_for_others() {
+    let mut k = HipecKernel::new(params());
+
+    // A well-behaved app and a buggy one.
+    let t1 = k.vm.create_task();
+    let (a1, _o, k1) = k
+        .vm_allocate_hipec(t1, 100 * PAGE_SIZE, PolicyKind::Fifo.program(), 300)
+        .expect("app1");
+    let t2 = k.vm.create_task();
+    let buggy = {
+        // Statically valid, dies at run time: enqueues an empty page slot.
+        use hipec_core::command::{build, QueueEnd};
+        use hipec_core::{OperandDecl, PolicyProgram, NO_OPERAND};
+        let mut p = PolicyProgram::new();
+        let fq = p.declare(OperandDecl::FreeQueue);
+        let q2 = p.declare(OperandDecl::Queue { recency: false });
+        let page = p.declare(OperandDecl::Page);
+        p.add_event(
+            "PageFault",
+            vec![
+                build::dequeue(page, q2, QueueEnd::Head),
+                build::enqueue(page, fq, QueueEnd::Tail),
+                build::ret(page),
+            ],
+        );
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p
+    };
+    let (a2, _o, k2) = k
+        .vm_allocate_hipec(t2, 100 * PAGE_SIZE, buggy, 400)
+        .expect("buggy app admits");
+
+    let before_free = k.vm.free_count();
+    let err = k.access(t2, a2, false).expect_err("buggy policy dies");
+    let _ = err;
+    assert!(k.container(k2).expect("container").terminated);
+    assert_eq!(k.container(k2).expect("container").allocated, 0);
+    assert!(
+        k.vm.free_count() >= before_free + 400,
+        "the dead app's 400 frames must return to the pool"
+    );
+    audit_frames(&k);
+
+    // The survivor keeps working; the freed frames are grantable again.
+    let trace: Vec<u64> = (0..100).collect();
+    replay(&mut k, t1, a1, &trace);
+    assert!(!k.container(k1).expect("container").terminated);
+
+    // And the dead app's region still works through the default pool.
+    k.access_sync(t2, a2, false).expect("region reverts to default");
+}
+
+#[test]
+fn reclaim_pressure_shrinks_surplus_holders_first() {
+    let mut k = HipecKernel::new(params()); // 992 free at boot, burst 496
+    let t1 = k.vm.create_task();
+    let (a1, _o, k1) = k
+        .vm_allocate_hipec(t1, 300 * PAGE_SIZE, PolicyKind::Lru.program(), 300)
+        .expect("big app");
+    let trace: Vec<u64> = (0..300).collect();
+    replay(&mut k, t1, a1, &trace);
+
+    // Admitting a second big app requires frames the pool no longer has
+    // spare; FAFR reclamation must shave app 1 down toward its minimum.
+    let t2 = k.vm.create_task();
+    let before = k.container(k1).expect("container").allocated;
+    let (_a2, _o2, k2) = k
+        .vm_allocate_hipec(t2, 600 * PAGE_SIZE, PolicyKind::Fifo.program(), 600)
+        .expect("second app squeezes in");
+    let after = k.container(k1).expect("container").allocated;
+    assert_eq!(before, 300, "app1 started with its minFrame");
+    assert_eq!(after, 300, "min_frames is a floor: app1 had no surplus");
+    assert_eq!(k.container(k2).expect("container").allocated, 600);
+    audit_frames(&k);
+    let _ = ContainerKey(0);
+}

@@ -1,0 +1,52 @@
+//! Shared helpers for the HiPEC cross-crate integration tests.
+
+use hipec_core::HipecKernel;
+use hipec_vm::{FrameId, TaskId, VAddr, PAGE_SIZE};
+
+/// Replays a page trace through a task's region, waiting out device time.
+pub fn replay(k: &mut HipecKernel, task: TaskId, base: VAddr, trace: &[u64]) {
+    for &p in trace {
+        k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), false)
+            .expect("access");
+        k.vm.pump();
+    }
+}
+
+/// Frame-conservation audit: every frame is exactly one of wired, busy
+/// (in-flight flush), on a queue, or owned-and-unqueued (mapped page taken
+/// off its queue mid-operation). Panics on inconsistency and returns the
+/// number of frames on queues.
+pub fn audit_frames(k: &HipecKernel) -> u64 {
+    let total = k.vm.frames.len() as u32;
+    let mut queued = 0u64;
+    let mut wired = 0u64;
+    let mut busy = 0u64;
+    let mut loose = 0u64;
+    for i in 0..total {
+        let f = FrameId(i);
+        let frame = k.vm.frames.frame(f).expect("frame exists");
+        let on_queue = k.vm.frames.queue_of(f).expect("valid frame").is_some();
+        if frame.wired {
+            assert!(!on_queue, "wired frame {i} must not be queued");
+            wired += 1;
+        } else if frame.busy {
+            assert!(!on_queue, "busy frame {i} must not be queued");
+            busy += 1;
+        } else if on_queue {
+            queued += 1;
+        } else {
+            // A frame off every queue must be owned (resident) or it leaked.
+            assert!(
+                frame.owner.is_some(),
+                "frame {i} is unqueued, unowned, not wired, not busy: leaked"
+            );
+            loose += 1;
+        }
+    }
+    assert_eq!(
+        wired + busy + queued + loose,
+        total as u64,
+        "audit must cover every frame"
+    );
+    queued
+}

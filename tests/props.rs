@@ -1,0 +1,324 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use hipec_core::{HipecKernel, PolicyProgram};
+use hipec_policies::native::{CacheSim, Fifo, Lru, Mru};
+use hipec_policies::PolicyKind;
+use hipec_vm::{FrameId, FrameTable, KernelParams, VAddr, PAGE_SIZE};
+
+// --- Intrusive frame queues vs a VecDeque model ------------------------------
+
+#[derive(Debug, Clone)]
+enum QueueOp {
+    EnqueueTail(u8),
+    EnqueueHead(u8),
+    DequeueHead,
+    DequeueTail,
+    Remove(u8),
+    Touch(u8),
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u8..32).prop_map(QueueOp::EnqueueTail),
+        (0u8..32).prop_map(QueueOp::EnqueueHead),
+        Just(QueueOp::DequeueHead),
+        Just(QueueOp::DequeueTail),
+        (0u8..32).prop_map(QueueOp::Remove),
+        (0u8..32).prop_map(QueueOp::Touch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The intrusive queue behaves exactly like a VecDeque, including the
+    /// auto-recency move-to-tail on touch.
+    #[test]
+    fn frame_queue_matches_vecdeque_model(ops in prop::collection::vec(queue_op(), 1..200)) {
+        let mut table = FrameTable::new(32);
+        let q = table.new_queue(true);
+        let mut model: std::collections::VecDeque<u8> = Default::default();
+
+        for op in ops {
+            match op {
+                QueueOp::EnqueueTail(i) => {
+                    let res = table.enqueue_tail(q, FrameId(i as u32));
+                    if model.contains(&i) {
+                        prop_assert!(res.is_err(), "double enqueue must fail");
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.push_back(i);
+                    }
+                }
+                QueueOp::EnqueueHead(i) => {
+                    let res = table.enqueue_head(q, FrameId(i as u32));
+                    if model.contains(&i) {
+                        prop_assert!(res.is_err());
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.push_front(i);
+                    }
+                }
+                QueueOp::DequeueHead => {
+                    let got = table.dequeue_head(q).expect("valid queue");
+                    prop_assert_eq!(got.map(|f| f.0 as u8), model.pop_front());
+                }
+                QueueOp::DequeueTail => {
+                    let got = table.dequeue_tail(q).expect("valid queue");
+                    prop_assert_eq!(got.map(|f| f.0 as u8), model.pop_back());
+                }
+                QueueOp::Remove(i) => {
+                    let res = table.remove(FrameId(i as u32));
+                    match model.iter().position(|&x| x == i) {
+                        Some(pos) => {
+                            prop_assert!(res.is_ok());
+                            model.remove(pos);
+                        }
+                        None => prop_assert!(res.is_err()),
+                    }
+                }
+                QueueOp::Touch(i) => {
+                    table.touch(FrameId(i as u32), false).expect("valid frame");
+                    if let Some(pos) = model.iter().position(|&x| x == i) {
+                        // Auto-recency: member frames move to the tail.
+                        model.remove(pos);
+                        model.push_back(i);
+                    }
+                }
+            }
+            // Full structural comparison after every operation.
+            let ours: Vec<u8> = table.iter_queue(q).map(|f| f.0 as u8).collect();
+            let theirs: Vec<u8> = model.iter().copied().collect();
+            prop_assert_eq!(ours, theirs);
+            prop_assert_eq!(table.queue_len(q).expect("len"), model.len() as u64);
+        }
+    }
+
+    /// The wire decoder never panics on arbitrary word streams.
+    #[test]
+    fn wire_decoder_is_total(words in prop::collection::vec(any::<u32>(), 0..64)) {
+        let _ = PolicyProgram::from_words(&words);
+    }
+
+    /// Wire encoding round-trips every program the translator can produce
+    /// from the shipped sources (parameterized by which policy).
+    #[test]
+    fn wire_round_trip_shipped_policies(idx in 0usize..5) {
+        let program = PolicyKind::ALL[idx].program();
+        let decoded = PolicyProgram::from_words(&program.to_words()).expect("round trip");
+        prop_assert_eq!(&decoded.decls, &program.decls);
+        for (a, b) in decoded.events.iter().zip(program.events.iter()) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// The lexer and parser never panic on arbitrary input.
+    #[test]
+    fn translator_frontend_is_total(src in "\\PC{0,200}") {
+        let _ = hipec_lang::compile(&src);
+    }
+
+    /// Static validation never panics on arbitrary command streams.
+    #[test]
+    fn validator_is_total(
+        words in prop::collection::vec(any::<u32>(), 1..32),
+        decl_count in 0usize..6,
+    ) {
+        use hipec_core::OperandDecl;
+        let mut p = PolicyProgram::new();
+        for i in 0..decl_count {
+            p.declare(match i % 4 {
+                0 => OperandDecl::FreeQueue,
+                1 => OperandDecl::Page,
+                2 => OperandDecl::Int(7),
+                _ => OperandDecl::Bool(false),
+            });
+        }
+        p.add_event("PageFault", words.iter().map(|&w| hipec_core::RawCmd(w)).collect());
+        p.add_event("ReclaimFrame", vec![hipec_core::command::build::ret(hipec_core::NO_OPERAND)]);
+        let _ = hipec_core::validate_program(&p);
+    }
+}
+
+// --- Interpreted vs native policy equivalence ---------------------------------
+
+fn run_interpreted(kind: PolicyKind, trace: &[u64], region: u64, cap: u64) -> u64 {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 512;
+    params.wired_frames = 16;
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(task, region * PAGE_SIZE, kind.program(), cap)
+        .expect("install");
+    for &p in trace {
+        k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), false)
+            .expect("access");
+        k.vm.pump();
+    }
+    k.container(key).expect("container").stats.faults
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any trace, the interpreted FIFO/LRU/MRU policies fault exactly
+    /// like their native oracles.
+    #[test]
+    fn interpreted_policies_match_oracles(
+        trace in prop::collection::vec(0u64..24, 1..150),
+        cap in 2u64..16,
+    ) {
+        let region = 24u64;
+        let fifo = run_interpreted(PolicyKind::Fifo, &trace, region, cap);
+        prop_assert_eq!(
+            fifo,
+            CacheSim::new(Fifo::default(), cap as usize).run(trace.iter().copied())
+        );
+        let lru = run_interpreted(PolicyKind::Lru, &trace, region, cap);
+        prop_assert_eq!(
+            lru,
+            CacheSim::new(Lru::default(), cap as usize).run(trace.iter().copied())
+        );
+        let mru = run_interpreted(PolicyKind::Mru, &trace, region, cap);
+        prop_assert_eq!(
+            mru,
+            CacheSim::new(Mru::default(), cap as usize).run(trace.iter().copied())
+        );
+    }
+
+    /// Belady's OPT lower-bounds every shipped policy on every trace.
+    #[test]
+    fn opt_is_a_universal_lower_bound(
+        trace in prop::collection::vec(0u64..32, 1..200),
+        cap in 2usize..12,
+    ) {
+        let opt = hipec_policies::native::opt_faults(&trace, cap);
+        for faults in [
+            CacheSim::new(Fifo::default(), cap).run(trace.iter().copied()),
+            CacheSim::new(Lru::default(), cap).run(trace.iter().copied()),
+            CacheSim::new(Mru::default(), cap).run(trace.iter().copied()),
+            CacheSim::new(hipec_policies::native::Clock::default(), cap)
+                .run(trace.iter().copied()),
+        ] {
+            prop_assert!(opt <= faults);
+        }
+    }
+}
+
+// --- Event queue vs a sorted-model oracle -------------------------------------
+
+#[derive(Debug, Clone)]
+enum EvOp {
+    Schedule(u32),
+    CancelRecent,
+    Pop,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The deterministic event queue pops in (time, insertion) order and
+    /// honours cancellation, exactly like a stable-sorted model.
+    #[test]
+    fn event_queue_matches_sorted_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (0u32..100).prop_map(EvOp::Schedule),
+                Just(EvOp::CancelRecent),
+                Just(EvOp::Pop),
+            ],
+            1..120,
+        )
+    ) {
+        use hipec_sim::{EventQueue, SimTime};
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Model: (time, seq, payload, cancelled).
+        let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
+        let mut seq = 0u64;
+        let mut ids = Vec::new();
+        for op in ops {
+            match op {
+                EvOp::Schedule(t) => {
+                    let id = q.schedule(SimTime::from_ns(t as u64), seq);
+                    model.push((t as u64, seq, seq, false));
+                    ids.push((id, seq));
+                    seq += 1;
+                }
+                EvOp::CancelRecent => {
+                    if let Some((id, s)) = ids.pop() {
+                        let was_live = model
+                            .iter()
+                            .any(|(_, ms, _, c)| *ms == s && !c);
+                        prop_assert_eq!(q.cancel(id), was_live);
+                        for m in model.iter_mut() {
+                            if m.1 == s {
+                                m.3 = true;
+                            }
+                        }
+                    }
+                }
+                EvOp::Pop => {
+                    let expected = model
+                        .iter()
+                        .filter(|(_, _, _, c)| !c)
+                        .min_by_key(|(t, s, _, _)| (*t, *s))
+                        .map(|(t, s, p, _)| (*t, *s, *p));
+                    match (q.pop(), expected) {
+                        (Some((at, payload)), Some((t, s, p))) => {
+                            prop_assert_eq!(at.as_ns(), t);
+                            prop_assert_eq!(payload, p);
+                            model.retain(|(_, ms, _, _)| *ms != s);
+                        }
+                        (None, None) => {}
+                        (got, want) => {
+                            return Err(TestCaseError::fail(format!(
+                                "pop mismatch: {got:?} vs {want:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            let live = model.iter().filter(|(_, _, _, c)| !c).count();
+            prop_assert_eq!(q.len(), live);
+        }
+    }
+
+    /// VmMap region allocation never overlaps and lookups hit the right
+    /// entry, against a brute-force interval model.
+    #[test]
+    fn vm_map_matches_interval_model(
+        regions in prop::collection::vec((1u64..32, 0u64..200), 1..24),
+        probes in prop::collection::vec(0u64..8_192, 1..64),
+    ) {
+        use hipec_vm::{ObjectId, TaskId, VmMap, PAGE_SIZE};
+        let mut map = VmMap::new();
+        let mut model: Vec<(u64, u64, u32)> = Vec::new(); // (start_vpage, pages, obj)
+        for (i, (pages, offset)) in regions.into_iter().enumerate() {
+            let base = map
+                .insert_anywhere(pages, ObjectId(i as u32), offset)
+                .expect("insert");
+            let start = base.vpage();
+            for (ms, mp, _) in &model {
+                prop_assert!(
+                    start + pages <= *ms || *ms + *mp <= start,
+                    "regions overlap"
+                );
+            }
+            model.push((start, pages, i as u32));
+        }
+        let origin = model.first().map(|(s, _, _)| *s).unwrap_or(0);
+        for probe in probes {
+            let vpage = origin + probe;
+            let addr = hipec_vm::VAddr(vpage * PAGE_SIZE + 1);
+            let expect = model
+                .iter()
+                .find(|(s, p, _)| vpage >= *s && vpage < s + p)
+                .map(|(_, _, o)| *o);
+            let got = map.lookup(TaskId(0), addr).ok().map(|e| e.object.0);
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

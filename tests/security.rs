@@ -1,0 +1,199 @@
+//! Security-checker robustness: hostile or broken policies must never
+//! panic the kernel, leak frames, or harm other applications — the paper's
+//! §4.3.3 guarantee, exercised adversarially.
+
+use proptest::prelude::*;
+
+use hipec_core::command::{build, QueueEnd};
+use hipec_core::{
+    HipecError, HipecKernel, KernelVar, OperandDecl, PolicyProgram, RawCmd, NO_OPERAND,
+};
+use hipec_integration::audit_frames;
+use hipec_policies::PolicyKind;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 256;
+    p.wired_frames = 8;
+    p
+}
+
+/// Installs a program (if the validator lets it through) and drives faults
+/// at it. Whatever happens must be a clean error path, never a panic, and
+/// frame accounting must stay intact.
+fn exercise_hostile(program: PolicyProgram) {
+    let mut k = HipecKernel::new(params());
+    // A well-behaved bystander that must survive whatever happens.
+    let tb = k.vm.create_task();
+    let (ab, _o, kb) = k
+        .vm_allocate_hipec(tb, 32 * PAGE_SIZE, PolicyKind::Fifo.program(), 16)
+        .expect("bystander installs");
+
+    let th = k.vm.create_task();
+    match k.vm_allocate_hipec(th, 32 * PAGE_SIZE, program, 16) {
+        Err(HipecError::InvalidProgram(_)) => {
+            // Static validation caught it: fine.
+        }
+        Err(other) => panic!("unexpected install error: {other}"),
+        Ok((ah, _obj, kh)) => {
+            // Drive a few faults; every outcome except success must be a
+            // clean termination.
+            for p in 0..8u64 {
+                match k.access_sync(th, VAddr(ah.0 + p * PAGE_SIZE), false) {
+                    Ok(_) => {}
+                    Err(HipecError::Terminated { .. }) => break,
+                    Err(other) => panic!("unexpected runtime error: {other}"),
+                }
+            }
+            if k.container(kh).expect("container").terminated {
+                assert_eq!(k.container(kh).expect("container").allocated, 0);
+            }
+        }
+    }
+    // The bystander still works and the frame table is consistent.
+    for p in 0..32u64 {
+        k.access_sync(tb, VAddr(ab.0 + p * PAGE_SIZE), false)
+            .expect("bystander survives");
+        k.vm.pump();
+    }
+    assert!(!k.container(kb).expect("bystander").terminated);
+    audit_frames(&k);
+}
+
+#[test]
+fn infinite_loop_policy_is_detected_and_contained() {
+    let mut p = PolicyProgram::new();
+    let _fq = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![
+            build::jump(hipec_core::command::JumpMode::Always, 0),
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    exercise_hostile(p);
+}
+
+#[test]
+fn dirty_free_policy_is_contained() {
+    // Tries to push dirty pages straight onto the free queue.
+    let mut p = PolicyProgram::new();
+    let fq = p.declare(OperandDecl::FreeQueue);
+    let q = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    let fc = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+    let zero = p.declare(OperandDecl::Int(0));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::comp(fc, zero, hipec_core::command::CompOp::Gt),
+            build::jump(hipec_core::command::JumpMode::IfTrue, 4),
+            // Free queue empty: move a (possibly dirty) page from our FIFO
+            // back to the free queue without flushing. DirtyFree fault.
+            build::dequeue(page, q, QueueEnd::Head),
+            build::enqueue(page, fq, QueueEnd::Tail),
+            build::dequeue(page, fq, QueueEnd::Head),
+            build::enqueue(page, q, QueueEnd::Tail),
+            build::ret(page),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+
+    // Drive it with writes so pages are dirty when eviction starts.
+    let mut k = HipecKernel::new(params());
+    let t = k.vm.create_task();
+    let (a, _o, key) = k
+        .vm_allocate_hipec(t, 32 * PAGE_SIZE, p, 8)
+        .expect("installs (statically valid)");
+    let mut died = false;
+    for round in 0..3 {
+        for page in 0..32u64 {
+            match k.access_sync(t, VAddr(a.0 + page * PAGE_SIZE), true) {
+                Ok(_) => {}
+                Err(HipecError::Terminated { reason, .. }) => {
+                    assert!(
+                        reason.contains("dirty") || reason.contains("flush"),
+                        "round {round}: {reason}"
+                    );
+                    died = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        if died {
+            break;
+        }
+    }
+    assert!(died, "freeing dirty pages must terminate the app");
+    assert!(k.container(key).expect("container").terminated);
+    audit_frames(&k);
+}
+
+#[test]
+fn wild_jump_and_bad_opcode_programs_are_rejected_statically() {
+    for bad_cmd in [
+        RawCmd::new(0xEE, 0, 0, 0),                 // undefined opcode
+        build::jump(hipec_core::command::JumpMode::Always, 9_999), // wild jump
+        RawCmd::new(0x02, 200, 0, 0),               // operand index out of range
+        RawCmd::new(0x0C, 1, 0xEE, 9),              // bad Set flags
+    ] {
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let page = p.declare(OperandDecl::Page);
+        p.add_event("PageFault", vec![bad_cmd, build::ret(page)]);
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        let mut k = HipecKernel::new(params());
+        let t = k.vm.create_task();
+        let err = k
+            .vm_allocate_hipec(t, 8 * PAGE_SIZE, p, 4)
+            .expect_err("checker must reject");
+        assert!(matches!(err, HipecError::InvalidProgram(_)), "{bad_cmd:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary command soup: either rejected statically or contained at
+    /// run time. Never a panic, never a frame leak, never collateral
+    /// damage to the bystander.
+    #[test]
+    fn random_programs_cannot_harm_the_system(
+        cmds in prop::collection::vec(any::<u32>(), 1..24),
+    ) {
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let _pg = p.declare(OperandDecl::Page);
+        let _q = p.declare(OperandDecl::Queue { recency: true });
+        let _i = p.declare(OperandDecl::Int(3));
+        let _b = p.declare(OperandDecl::Bool(true));
+        let _k = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
+        p.add_event("PageFault", cmds.into_iter().map(RawCmd).collect());
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        exercise_hostile(p);
+    }
+
+    /// Arbitrary *valid-opcode* command streams (harder to reject
+    /// statically) are still contained.
+    #[test]
+    fn random_wellformed_programs_cannot_harm_the_system(
+        raw in prop::collection::vec((0u8..21, any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let _pg = p.declare(OperandDecl::Page);
+        let _q = p.declare(OperandDecl::Queue { recency: true });
+        let _i = p.declare(OperandDecl::Int(3));
+        let cmds: Vec<RawCmd> = raw
+            .into_iter()
+            .map(|(op, a, b, c)| RawCmd::new(op, a % 8, b % 8, c % 4))
+            .collect();
+        p.add_event("PageFault", cmds);
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        exercise_hostile(p);
+    }
+}

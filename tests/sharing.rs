@@ -1,0 +1,101 @@
+//! Shared memory objects: one object mapped into several tasks.
+
+use hipec_core::HipecKernel;
+use hipec_integration::audit_frames;
+use hipec_policies::PolicyKind;
+use hipec_vm::{AccessKind, Backing, Kernel, KernelParams, VAddr, PAGE_SIZE};
+
+fn params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 256;
+    p.wired_frames = 8;
+    p
+}
+
+#[test]
+fn second_mapper_takes_minor_faults_only() {
+    let mut k = Kernel::new(params());
+    let obj = k.create_object(16, Backing::File).expect("object");
+    let t1 = k.create_task();
+    let t2 = k.create_task();
+    let a1 = k.map_object(t1, obj, 0, 16).expect("map into t1");
+    let a2 = k.map_object(t2, obj, 0, 16).expect("map into t2");
+
+    // Task 1 pages everything in (major faults with device reads).
+    for p in 0..16u64 {
+        if let hipec_vm::AccessOutcome::Done(r) =
+            k.access(t1, VAddr(a1.0 + p * PAGE_SIZE), false).expect("t1 access")
+        {
+            if let Some(done) = r.io_until {
+                k.clock.advance_to(done);
+                k.pump();
+            }
+        }
+    }
+    let pageins_after_t1 = k.stats.get("pageins");
+    assert_eq!(pageins_after_t1, 16);
+
+    // Task 2 touches the same pages: resident already — minor faults, no
+    // further device traffic.
+    for p in 0..16u64 {
+        match k.access(t2, VAddr(a2.0 + p * PAGE_SIZE), false).expect("t2 access") {
+            hipec_vm::AccessOutcome::Done(r) => {
+                assert_eq!(r.kind, AccessKind::MinorFault, "page {p}");
+                assert!(r.io_until.is_none());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(k.stats.get("pageins"), pageins_after_t1, "no new device reads");
+    assert_eq!(k.stats.get("minor_faults"), 16);
+}
+
+#[test]
+fn eviction_unmaps_every_sharer() {
+    let mut k = Kernel::new(params());
+    let obj = k.create_object(4, Backing::Anonymous).expect("object");
+    let t1 = k.create_task();
+    let t2 = k.create_task();
+    let a1 = k.map_object(t1, obj, 0, 4).expect("map t1");
+    let a2 = k.map_object(t2, obj, 0, 4).expect("map t2");
+    k.access(t1, a1, false).expect("t1 touch");
+    k.access(t2, a2, false).expect("t2 touch (minor)");
+    let frame = k.task(t1).expect("task").translate(a1.vpage()).expect("mapped");
+    assert_eq!(
+        k.frames.frame(frame).expect("frame").mappings.len(),
+        2,
+        "both tasks map the shared frame"
+    );
+    // Evict it: both translations must vanish.
+    k.frames.remove(frame).expect("off its queue");
+    k.evict_frame(frame).expect("clean eviction");
+    assert!(k.task(t1).expect("t").translate(a1.vpage()).is_none());
+    assert!(k.task(t2).expect("t").translate(a2.vpage()).is_none());
+}
+
+#[test]
+fn hipec_region_shared_with_a_plain_mapper() {
+    // The HiPEC container controls the object; a second task mapping the
+    // same object takes minor faults against the container's resident
+    // pages — and the policy never even runs for those.
+    let mut k = HipecKernel::new(params());
+    let t1 = k.vm.create_task();
+    let (a1, obj, key) = k
+        .vm_map_hipec(t1, 32 * PAGE_SIZE, PolicyKind::Fifo.program(), 32)
+        .expect("install");
+    for p in 0..32u64 {
+        k.access_sync(t1, VAddr(a1.0 + p * PAGE_SIZE), false).expect("owner touch");
+    }
+    let owner_faults = k.container(key).expect("container").stats.faults;
+    let t2 = k.vm.create_task();
+    let a2 = k.vm.map_object(t2, obj, 0, 32).expect("second mapping");
+    for p in 0..32u64 {
+        k.access_sync(t2, VAddr(a2.0 + p * PAGE_SIZE), false).expect("sharer touch");
+    }
+    assert_eq!(
+        k.container(key).expect("container").stats.faults,
+        owner_faults,
+        "minor faults do not invoke the policy"
+    );
+    audit_frames(&k);
+}

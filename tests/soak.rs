@@ -1,0 +1,104 @@
+//! A long mixed soak: many applications, every shipped policy, constant
+//! reclamation pressure, random terminations and deallocations — with the
+//! frame-conservation audit run throughout. This is the "leave it running
+//! overnight" test at virtual scale.
+
+use hipec_core::{ContainerKey, HipecError, HipecKernel};
+use hipec_integration::audit_frames;
+use hipec_policies::PolicyKind;
+use hipec_sim::DetRng;
+use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
+
+#[test]
+fn mixed_soak_conserves_frames_and_stays_up() {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 2_048;
+    params.wired_frames = 64;
+    let mut k = HipecKernel::new(params);
+    let mut rng = DetRng::new(0x50_4B_17);
+
+    struct App {
+        task: TaskId,
+        base: VAddr,
+        pages: u64,
+        key: ContainerKey,
+        alive: bool,
+    }
+    let mut apps: Vec<App> = Vec::new();
+
+    // Boot six applications, one per shipped policy.
+    for (i, kind) in PolicyKind::ALL.iter().enumerate() {
+        let task = k.vm.create_task();
+        let pages = 120 + 40 * i as u64;
+        let min = 64 + 16 * i as u64;
+        let (base, _o, key) = k
+            .vm_allocate_hipec(task, pages * PAGE_SIZE, kind.program(), min)
+            .expect("install");
+        apps.push(App {
+            task,
+            base,
+            pages,
+            key,
+            alive: true,
+        });
+    }
+    // Plus a non-specific task in the default pool.
+    let bg = k.vm.create_task();
+    let (bg_base, _) = k.vm.vm_allocate(bg, 300 * PAGE_SIZE).expect("background");
+
+    for round in 0..40u64 {
+        for app in apps.iter().filter(|a| a.alive) {
+            for _ in 0..60 {
+                let page = rng.below(app.pages);
+                let write = rng.chance(0.3);
+                match k.access_sync(app.task, VAddr(app.base.0 + page * PAGE_SIZE), write) {
+                    Ok(_) => {}
+                    Err(HipecError::Terminated { reason, .. }) => {
+                        panic!("round {round}: shipped policy died: {reason}")
+                    }
+                    Err(other) => panic!("round {round}: {other}"),
+                }
+            }
+            k.vm.pump();
+        }
+        for _ in 0..40 {
+            let page = rng.below(300);
+            k.access_sync(bg, VAddr(bg_base.0 + page * PAGE_SIZE), rng.chance(0.2))
+                .expect("background");
+        }
+        k.vm.pump();
+        // Occasionally deallocate one app and start a replacement.
+        if round % 13 == 12 {
+            if let Some(i) = apps.iter().position(|a| a.alive) {
+                let (task, base, key) = (apps[i].task, apps[i].base, apps[i].key);
+                k.vm_deallocate_hipec(task, base, key).expect("deallocate");
+                apps[i].alive = false;
+                let kind = PolicyKind::ALL[(round as usize) % PolicyKind::ALL.len()];
+                let task = k.vm.create_task();
+                let (base, _o, key) = k
+                    .vm_allocate_hipec(task, 160 * PAGE_SIZE, kind.program(), 96)
+                    .expect("replacement installs");
+                apps.push(App {
+                    task,
+                    base,
+                    pages: 160,
+                    key,
+                    alive: true,
+                });
+            }
+        }
+        audit_frames(&k);
+        // Accounting stays consistent every round.
+        let sum: u64 = apps
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| k.container(a.key).expect("container").allocated)
+            .sum();
+        assert_eq!(sum, k.specific_total(), "round {round}");
+    }
+    // Everything alive made progress.
+    for app in apps.iter().filter(|a| a.alive) {
+        assert!(k.container(app.key).expect("container").stats.faults > 0);
+    }
+    assert!(k.vm.stats.get("faults") > 1_000);
+}
