@@ -16,9 +16,7 @@ fn bench_translator(c: &mut Criterion) {
     });
 
     group.bench_function("assemble_table2_listing", |b| {
-        b.iter(|| {
-            hipec_lang::assemble(asm_listings::FIFO_SECOND_CHANCE_ASM).expect("assembles")
-        })
+        b.iter(|| hipec_lang::assemble(asm_listings::FIFO_SECOND_CHANCE_ASM).expect("assembles"))
     });
 
     let program = hipec_lang::compile(sources::FIFO_SECOND_CHANCE).expect("compiles");

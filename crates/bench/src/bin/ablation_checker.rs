@@ -101,7 +101,12 @@ fn main() {
             k.vm.now().since(started)
         };
 
-        println!("{:<18} {:>16} {:>20}", s.name(), quiet_wakeups, detection.to_string());
+        println!(
+            "{:<18} {:>16} {:>20}",
+            s.name(),
+            quiet_wakeups,
+            detection.to_string()
+        );
         rows.push(serde_json::json!({
             "schedule": s.name(),
             "quiet_hour_wakeups": quiet_wakeups,

@@ -34,7 +34,11 @@ fn main() {
         "policy", "faults", "commands", "cmds/fault", "decode ns/fault"
     );
     let mut rows = Vec::new();
-    for kind in [PolicyKind::Lru, PolicyKind::Clock, PolicyKind::FifoSecondChance] {
+    for kind in [
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::FifoSecondChance,
+    ] {
         let mut params = KernelParams::paper_64mb();
         params.total_frames = 4_096;
         params.wired_frames = 64;

@@ -30,7 +30,11 @@ fn main() {
         ("uniform LRU", PolicyKind::Lru, PolicyKind::Lru),
         ("uniform MRU", PolicyKind::Mru, PolicyKind::Mru),
         ("uniform FIFO", PolicyKind::Fifo, PolicyKind::Fifo),
-        ("uniform 2nd-chance", PolicyKind::FifoSecondChance, PolicyKind::FifoSecondChance),
+        (
+            "uniform 2nd-chance",
+            PolicyKind::FifoSecondChance,
+            PolicyKind::FifoSecondChance,
+        ),
     ];
     for (name, index_policy, table_policy) in configs {
         let r = run_query_mix(&cfg, index_policy, table_policy).expect("query mix");

@@ -27,10 +27,12 @@ fn main() {
             with_io,
             PolicyKind::FifoSecondChance.program(),
         );
-        let overhead =
-            (hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0) * 100.0;
+        let overhead = (hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0) * 100.0;
 
-        table.row(vec![format!("40 Mbytes page fault — {label}"), String::new()]);
+        table.row(vec![
+            format!("40 Mbytes page fault — {label}"),
+            String::new(),
+        ]);
         table.row(vec![
             "  Running on Mach 3.0 Kernel".to_string(),
             format!("{:.1} msec", mach.elapsed.as_ms_f64()),
@@ -62,6 +64,8 @@ fn main() {
 
     println!("== Table 3: Comparison I (HiPEC mechanism overhead) ==\n");
     println!("{table}");
-    println!("paper: no-I/O 4016.5 ms vs 4088.6 ms (1.8%); with-I/O 82485.5 ms vs 82505.6 ms (0.024%)");
+    println!(
+        "paper: no-I/O 4016.5 ms vs 4088.6 ms (1.8%); with-I/O 82485.5 ms vs 82505.6 ms (0.024%)"
+    );
     hipec_bench::dump_json("table3", &serde_json::Value::Object(json));
 }

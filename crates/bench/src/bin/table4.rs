@@ -9,9 +9,7 @@
 
 use hipec_bench::TextTable;
 use hipec_core::command::{build, CompOp, JumpMode, QueueEnd};
-use hipec_core::{
-    ContainerKey, HipecKernel, KernelVar, OperandDecl, PolicyProgram, NO_OPERAND,
-};
+use hipec_core::{ContainerKey, HipecKernel, KernelVar, OperandDecl, PolicyProgram, NO_OPERAND};
 use hipec_vm::{KernelParams, PAGE_SIZE};
 
 /// Builds the 3-command fast path the paper cites: Comp, DeQueue, Return.

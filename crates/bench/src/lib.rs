@@ -22,10 +22,9 @@ pub use hipec_sim::stats::{Series, TextTable};
 
 /// Where JSON result dumps go.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("hipec-results");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("hipec-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }

@@ -55,10 +55,8 @@ fn page_slot_written(cmd: &RawCmd) -> Option<u8> {
 
 /// Page slots a command reads.
 fn page_slots_read(cmd: &RawCmd, decls: &[OperandDecl]) -> Vec<u8> {
-    let is_page = |idx: u8| {
-        idx != NO_OPERAND
-            && matches!(decls.get(idx as usize), Some(OperandDecl::Page))
-    };
+    let is_page =
+        |idx: u8| idx != NO_OPERAND && matches!(decls.get(idx as usize), Some(OperandDecl::Page));
     match cmd.opcode() {
         Some(OpCode::EnQueue | OpCode::Release | OpCode::Flush | OpCode::Set)
         | Some(OpCode::Ref | OpCode::Mod) => {
@@ -162,8 +160,7 @@ fn analyze_event(
 
     // Inescapable cycles: an SCC with a cycle and no edge leaving it.
     for scc in tarjan_sccs(&succ) {
-        let is_cycle = scc.len() > 1
-            || succ[scc[0]].contains(&scc[0]);
+        let is_cycle = scc.len() > 1 || succ[scc[0]].contains(&scc[0]);
         if !is_cycle || !reachable[scc[0]] {
             continue;
         }
@@ -193,7 +190,11 @@ fn analyze_event(
     let mut worklist = vec![(0usize, 0u128)];
     let mut visited = vec![false; len];
     while let Some((cc, input)) = worklist.pop() {
-        let new_in = if visited[cc] { assigned[cc] & input } else { input };
+        let new_in = if visited[cc] {
+            assigned[cc] & input
+        } else {
+            input
+        };
         if visited[cc] && new_in == assigned[cc] {
             continue;
         }
@@ -309,10 +310,7 @@ mod tests {
         let mut p = base();
         p.add_event(
             "PageFault",
-            vec![
-                build::dequeue(1, 0, QueueEnd::Head),
-                build::ret(1),
-            ],
+            vec![build::dequeue(1, 0, QueueEnd::Head), build::ret(1)],
         );
         p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
         assert!(analyze_program(&p).is_empty(), "{:?}", analyze_program(&p));
@@ -343,7 +341,10 @@ mod tests {
         );
         p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
         let w = analyze_program(&p);
-        assert!(w.iter().any(|m| m.contains("guaranteed to run away")), "{w:?}");
+        assert!(
+            w.iter().any(|m| m.contains("guaranteed to run away")),
+            "{w:?}"
+        );
         assert!(w.iter().any(|m| m.contains("inescapable loop")), "{w:?}");
     }
 
@@ -402,16 +403,16 @@ mod tests {
         );
         p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
         let w = analyze_program(&p);
-        assert!(w.iter().any(|m| m.contains("cc 3") && m.contains("slot 1")), "{w:?}");
+        assert!(
+            w.iter().any(|m| m.contains("cc 3") && m.contains("slot 1")),
+            "{w:?}"
+        );
     }
 
     #[test]
     fn activate_counts_as_assignment() {
         let mut p = base();
-        p.add_event(
-            "PageFault",
-            vec![build::activate(2), build::ret(1)],
-        );
+        p.add_event("PageFault", vec![build::activate(2), build::ret(1)]);
         p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
         p.add_event(
             "helper",

@@ -14,9 +14,7 @@
 
 use hipec_sim::{SimDuration, SimTime};
 
-use crate::command::{
-    ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, NO_OPERAND,
-};
+use crate::command::{ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, NO_OPERAND};
 use crate::kernel::HipecKernel;
 use crate::operand::OperandDecl;
 use crate::program::PolicyProgram;
@@ -122,9 +120,8 @@ pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
         ));
     }
     if program.events.len() < 2 {
-        errors.push(
-            "programs must define the PageFault (0) and ReclaimFrame (1) events".to_string(),
-        );
+        errors
+            .push("programs must define the PageFault (0) and ReclaimFrame (1) events".to_string());
     }
 
     let decl = |idx: u8, what: &str, ev: usize, cc: usize| -> Result<OperandDecl, String> {
@@ -149,9 +146,7 @@ pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
             let need = |idx: u8, what: &str, check: fn(OperandDecl) -> bool| -> Option<String> {
                 match decl(idx, what, ev, cc) {
                     Ok(d) if check(d) => None,
-                    Ok(_) => Some(format!(
-                        "event {ev} cc {cc}: operand {idx} is not a {what}"
-                    )),
+                    Ok(_) => Some(format!("event {ev} cc {cc}: operand {idx} is not a {what}")),
                     Err(e) => Some(e),
                 }
             };
@@ -161,19 +156,17 @@ pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
                         errors.extend(need(cmd.a(), "returnable value", |d| !d.is_queue()));
                     }
                 }
-                OpCode::Arith => {
-                    match ArithOp::from_u8(cmd.c()) {
-                        None => errors.push(format!("event {ev} cc {cc}: bad arith flag")),
-                        Some(aop) => {
-                            errors.extend(need(cmd.a(), "writable int", |d| {
-                                d.is_int() && d.writable()
-                            }));
-                            if !matches!(aop, ArithOp::Inc | ArithOp::Dec) {
-                                errors.extend(need(cmd.b(), "int", OperandDecl::is_int));
-                            }
+                OpCode::Arith => match ArithOp::from_u8(cmd.c()) {
+                    None => errors.push(format!("event {ev} cc {cc}: bad arith flag")),
+                    Some(aop) => {
+                        errors.extend(need(cmd.a(), "writable int", |d| {
+                            d.is_int() && d.writable()
+                        }));
+                        if !matches!(aop, ArithOp::Inc | ArithOp::Dec) {
+                            errors.extend(need(cmd.b(), "int", OperandDecl::is_int));
                         }
                     }
-                }
+                },
                 OpCode::Comp => {
                     if CompOp::from_u8(cmd.c()).is_none() {
                         errors.push(format!("event {ev} cc {cc}: bad comparison flag"));
@@ -189,9 +182,7 @@ pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
                     }
                     Some(_) => errors.extend(need(cmd.a(), "bool", OperandDecl::is_bool)),
                 },
-                OpCode::EmptyQ => {
-                    errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue))
-                }
+                OpCode::EmptyQ => errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue)),
                 OpCode::InQ => {
                     errors.extend(need(cmd.a(), "queue", OperandDecl::is_queue));
                     errors.extend(need(cmd.b(), "page", OperandDecl::is_page));
@@ -280,9 +271,7 @@ pub fn validate_program(program: &PolicyProgram) -> Result<(), Vec<String>> {
                         errors.extend(need(cmd.b(), "page", OperandDecl::is_page));
                     }
                 }
-                OpCode::Migrate => {
-                    errors.extend(need(cmd.a(), "int", OperandDecl::is_int))
-                }
+                OpCode::Migrate => errors.extend(need(cmd.a(), "int", OperandDecl::is_int)),
             }
         }
     }
@@ -335,7 +324,10 @@ mod tests {
     #[test]
     fn undefined_opcode_is_reported() {
         let mut p = minimal_valid();
-        p.add_event("bad", vec![RawCmd::new(0xEE, 0, 0, 0), build::ret(NO_OPERAND)]);
+        p.add_event(
+            "bad",
+            vec![RawCmd::new(0xEE, 0, 0, 0), build::ret(NO_OPERAND)],
+        );
         let errs = validate_program(&p).expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("undefined opcode")));
     }
@@ -346,11 +338,16 @@ mod tests {
         let q = p.declare(OperandDecl::FreeQueue);
         let page = p.declare(OperandDecl::Page);
         // Comp of a queue against a page: two type errors.
-        p.add_event("PageFault", vec![build::comp(q, page, CompOp::Gt), build::ret(page)]);
+        p.add_event(
+            "PageFault",
+            vec![build::comp(q, page, CompOp::Gt), build::ret(page)],
+        );
         p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
         let errs = validate_program(&p).expect_err("must fail");
         assert!(errs.len() >= 2);
-        assert!(errs.iter().all(|e| e.contains("not a int") || e.contains("int")));
+        assert!(errs
+            .iter()
+            .all(|e| e.contains("not a int") || e.contains("int")));
     }
 
     #[test]
@@ -369,7 +366,10 @@ mod tests {
         let mut p = minimal_valid();
         let kv = p.declare(OperandDecl::Kernel(KernelVar::FreeCount));
         let one = p.declare(OperandDecl::Int(1));
-        p.add_event("bad", vec![build::arith(kv, one, ArithOp::Add), build::ret(NO_OPERAND)]);
+        p.add_event(
+            "bad",
+            vec![build::arith(kv, one, ArithOp::Add), build::ret(NO_OPERAND)],
+        );
         let errs = validate_program(&p).expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("writable int")));
     }
@@ -378,7 +378,10 @@ mod tests {
     fn lru_on_non_recency_queue_is_rejected() {
         let mut p = minimal_valid();
         let plain = p.declare(OperandDecl::Queue { recency: false });
-        p.add_event("bad", vec![build::lru(plain, NO_OPERAND), build::ret(NO_OPERAND)]);
+        p.add_event(
+            "bad",
+            vec![build::lru(plain, NO_OPERAND), build::ret(NO_OPERAND)],
+        );
         let errs = validate_program(&p).expect_err("must fail");
         assert!(errs.iter().any(|e| e.contains("recency-ordered")));
     }

@@ -592,8 +592,14 @@ mod tests {
 
     #[test]
     fn disassembly_is_readable() {
-        assert_eq!(build::dequeue(2, 1, QueueEnd::Head).to_string(), "dequeue 2, 1, 0");
-        assert_eq!(build::jump(JumpMode::Always, 7).to_string(), "jump mode=1 -> 7");
+        assert_eq!(
+            build::dequeue(2, 1, QueueEnd::Head).to_string(),
+            "dequeue 2, 1, 0"
+        );
+        assert_eq!(
+            build::jump(JumpMode::Always, 7).to_string(),
+            "jump mode=1 -> 7"
+        );
         assert_eq!(build::ret(NO_OPERAND).to_string(), "return");
         assert!(RawCmd::new(0xEE, 0, 0, 0).to_string().contains("invalid"));
     }

@@ -120,10 +120,7 @@ impl Container {
     /// Resolves a kernel variable for this container.
     pub fn kernel_var(&self, var: KernelVar, kernel: &Kernel) -> i64 {
         match var {
-            KernelVar::FreeCount => kernel
-                .frames
-                .queue_len(self.free_q)
-                .unwrap_or(0) as i64,
+            KernelVar::FreeCount => kernel.frames.queue_len(self.free_q).unwrap_or(0) as i64,
             KernelVar::ActiveCount => self.nth_queue_len(1, kernel),
             KernelVar::InactiveCount => self.nth_queue_len(2, kernel),
             KernelVar::AllocatedCount => self.allocated as i64,
@@ -174,7 +171,9 @@ mod tests {
     #[test]
     fn operand_array_initialization() {
         let mut k = kernel();
-        let obj = k.create_object(16, hipec_vm::Backing::Anonymous).expect("object");
+        let obj = k
+            .create_object(16, hipec_vm::Backing::Anonymous)
+            .expect("object");
         let task = k.create_task();
         let c = Container::new(0, obj, task, program(), 8, 0, &mut k);
         assert_eq!(c.operands.len(), 7);
@@ -189,7 +188,9 @@ mod tests {
     #[test]
     fn kernel_vars_resolve() {
         let mut k = kernel();
-        let obj = k.create_object(16, hipec_vm::Backing::Anonymous).expect("object");
+        let obj = k
+            .create_object(16, hipec_vm::Backing::Anonymous)
+            .expect("object");
         let task = k.create_task();
         let mut c = Container::new(0, obj, task, program(), 8, 0, &mut k);
         assert_eq!(c.kernel_var(KernelVar::FreeCount, &k), 0);
@@ -210,7 +211,9 @@ mod tests {
     #[test]
     fn surplus_accounting() {
         let mut k = kernel();
-        let obj = k.create_object(16, hipec_vm::Backing::Anonymous).expect("object");
+        let obj = k
+            .create_object(16, hipec_vm::Backing::Anonymous)
+            .expect("object");
         let task = k.create_task();
         let mut c = Container::new(0, obj, task, program(), 8, 0, &mut k);
         c.allocated = 6;

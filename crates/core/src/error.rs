@@ -85,6 +85,12 @@ pub enum PolicyFault {
     NoPageReturned,
     /// `Migrate` named an unknown or terminated container.
     BadMigrateTarget(i64),
+    /// The paging device failed an operation the policy triggered.
+    ///
+    /// Unlike every other fault, this is *environmental* — the policy did
+    /// nothing wrong, so the security checker does not terminate the
+    /// application; the executor aborts the event and surfaces the error.
+    Device(hipec_disk::DiskFault),
     /// The VM substrate rejected an operation.
     Vm(VmError),
 }
@@ -126,6 +132,7 @@ impl fmt::Display for PolicyFault {
                 write!(f, "PageFault event returned without a page")
             }
             PolicyFault::BadMigrateTarget(k) => write!(f, "migrate to unknown container {k}"),
+            PolicyFault::Device(e) => write!(f, "paging device: {e}"),
             PolicyFault::Vm(e) => write!(f, "vm: {e}"),
         }
     }
@@ -135,7 +142,10 @@ impl std::error::Error for PolicyFault {}
 
 impl From<VmError> for PolicyFault {
     fn from(e: VmError) -> Self {
-        PolicyFault::Vm(e)
+        match e {
+            VmError::Device(d) => PolicyFault::Device(d),
+            other => PolicyFault::Vm(other),
+        }
     }
 }
 
@@ -177,7 +187,10 @@ impl fmt::Display for HipecError {
             ),
             HipecError::InvalidProgram(r) => write!(f, "invalid policy program: {r}"),
             HipecError::Terminated { container, reason } => {
-                write!(f, "specific application (container {container}) terminated: {reason}")
+                write!(
+                    f,
+                    "specific application (container {container}) terminated: {reason}"
+                )
             }
             HipecError::NoSuchContainer(k) => write!(f, "no such container {k}"),
             HipecError::Vm(e) => write!(f, "vm: {e}"),

@@ -14,9 +14,7 @@
 
 use hipec_vm::{FrameId, QueueId};
 
-use crate::command::{
-    ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, NO_OPERAND,
-};
+use crate::command::{ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, NO_OPERAND};
 use crate::error::PolicyFault;
 use crate::kernel::HipecKernel;
 use crate::operand::OperandSlot;
@@ -84,9 +82,7 @@ impl HipecKernel {
             let cmd = seg[cc];
             self.vm.charge(self.vm.cost.cmd_fetch_decode);
             self.containers[cidx].stats.commands += 1;
-            let op = cmd
-                .opcode()
-                .ok_or(PolicyFault::BadOpcode { cmd, cc })?;
+            let op = cmd.opcode().ok_or(PolicyFault::BadOpcode { cmd, cc })?;
             let mut new_cond = false;
             match op {
                 OpCode::Return => {
@@ -113,8 +109,7 @@ impl HipecKernel {
                     });
                 }
                 OpCode::Arith => {
-                    let aop = ArithOp::from_u8(cmd.c())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let aop = ArithOp::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     let a = self.read_int(cidx, cmd.a(), cc)?;
                     let b = match aop {
                         ArithOp::Inc | ArithOp::Dec => 1,
@@ -141,15 +136,13 @@ impl HipecKernel {
                     self.write_int(cidx, cmd.a(), v, cc)?;
                 }
                 OpCode::Comp => {
-                    let cop = CompOp::from_u8(cmd.c())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let cop = CompOp::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     let a = self.read_int(cidx, cmd.a(), cc)?;
                     let b = self.read_int(cidx, cmd.b(), cc)?;
                     new_cond = cop.eval(a, b);
                 }
                 OpCode::Logic => {
-                    let lop = LogicOp::from_u8(cmd.c())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let lop = LogicOp::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     match lop {
                         LogicOp::And => {
                             new_cond = self.read_bool(cidx, cmd.a(), cc)?
@@ -181,8 +174,8 @@ impl HipecKernel {
                     new_cond = self.vm.frames.queue_of(page)? == Some(q);
                 }
                 OpCode::Jump => {
-                    let mode = JumpMode::from_u8(cmd.a())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let mode =
+                        JumpMode::from_u8(cmd.a()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     let take = match mode {
                         JumpMode::IfFalse => !cond,
                         JumpMode::Always => true,
@@ -203,8 +196,7 @@ impl HipecKernel {
                 }
                 OpCode::DeQueue => {
                     let q = self.read_queue(cidx, cmd.b(), cc)?;
-                    let end = QueueEnd::from_u8(cmd.c())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let end = QueueEnd::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     let page = match end {
                         QueueEnd::Head => self.vm.frames.dequeue_head(q)?,
                         QueueEnd::Tail => self.vm.frames.dequeue_tail(q)?,
@@ -215,8 +207,7 @@ impl HipecKernel {
                 OpCode::EnQueue => {
                     let page = self.read_page(cidx, cmd.a(), cc)?;
                     let q = self.read_queue(cidx, cmd.b(), cc)?;
-                    let end = QueueEnd::from_u8(cmd.c())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let end = QueueEnd::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     // Pushing onto the container's free queue is the eviction
                     // point: the page must be clean and gets unmapped.
                     if q == self.containers[cidx].free_q {
@@ -258,8 +249,7 @@ impl HipecKernel {
                 }
                 OpCode::Set => {
                     let page = self.read_page(cidx, cmd.a(), cc)?;
-                    let bit = PageBit::from_u8(cmd.b())
-                        .ok_or(PolicyFault::BadFlag { cmd, cc })?;
+                    let bit = PageBit::from_u8(cmd.b()).ok_or(PolicyFault::BadFlag { cmd, cc })?;
                     let value = match cmd.c() {
                         0 => false,
                         1 => true,
@@ -464,17 +454,26 @@ impl HipecKernel {
         v: Option<FrameId>,
         cc: usize,
     ) -> Result<(), PolicyFault> {
-        match self.slot(cidx, idx, cc)? {
-            OperandSlot::Page(_) => {
-                self.containers[cidx].operands[idx as usize] = OperandSlot::Page(v);
-                Ok(())
+        let prev = match *self.slot(cidx, idx, cc)? {
+            OperandSlot::Page(p) => p,
+            ref s => {
+                return Err(PolicyFault::TypeMismatch {
+                    expected: "page",
+                    found: s.type_name(),
+                    cc,
+                })
             }
-            s => Err(PolicyFault::TypeMismatch {
-                expected: "page",
-                found: s.type_name(),
-                cc,
-            }),
+        };
+        if let Some(old) = prev {
+            if v != Some(old) {
+                // Overwriting the slot may destroy the last handle to a
+                // parked frame; the kernel reclaims it rather than letting
+                // a buggy policy leak it (see `reclaim_orphaned_frame`).
+                self.reclaim_orphaned_frame(cidx, idx, old);
+            }
         }
+        self.containers[cidx].operands[idx as usize] = OperandSlot::Page(v);
+        Ok(())
     }
 
     pub(crate) fn read_queue(

@@ -9,7 +9,7 @@
 
 use hipec_sim::SimDuration;
 use hipec_vm::{
-    AccessOutcome, AccessResult, Backing, Kernel, KernelParams, ObjectId, TaskId, VAddr,
+    AccessOutcome, AccessResult, Backing, Kernel, KernelParams, ObjectId, TaskId, VAddr, VmError,
 };
 
 use crate::checker::{validate_program, SecurityChecker};
@@ -36,6 +36,8 @@ pub struct HipecKernel {
     /// Executor fuel and nesting limits.
     pub limits: ExecLimits,
     next_seq: u64,
+    /// Call counter for sampled invariant audits (see `invariants`).
+    pub(crate) check_tick: std::cell::Cell<u64>,
 }
 
 impl HipecKernel {
@@ -52,6 +54,7 @@ impl HipecKernel {
             checker: SecurityChecker::new(),
             limits: ExecLimits::default(),
             next_seq: 0,
+            check_tick: std::cell::Cell::new(0),
         }
     }
 
@@ -115,6 +118,7 @@ impl HipecKernel {
         // Installing the policy costs one system call.
         self.vm.charge(self.vm.cost.null_syscall);
         self.vm.stats.bump("hipec_installs");
+        self.debug_check();
         Ok((addr, object, ContainerKey(key)))
     }
 
@@ -127,10 +131,13 @@ impl HipecKernel {
         write: bool,
     ) -> Result<AccessResult, HipecError> {
         self.poll_checker();
-        match self.vm.access(task, addr, write)? {
-            AccessOutcome::Done(r) => Ok(r),
-            AccessOutcome::NeedsPolicy(info) => self.policy_fault(info),
-        }
+        let result = match self.vm.access(task, addr, write) {
+            Ok(AccessOutcome::Done(r)) => Ok(r),
+            Ok(AccessOutcome::NeedsPolicy(info)) => self.policy_fault(info),
+            Err(e) => Err(e.into()),
+        };
+        self.debug_check();
+        result
     }
 
     fn policy_fault(
@@ -168,7 +175,18 @@ impl HipecKernel {
                 if self.vm.frames.frame(frame)?.owner.is_some() {
                     return Err(self.kill(cidx, "PageFault returned an owned page"));
                 }
-                let result = self.vm.complete_policy_fault(info, frame)?;
+                let result = match self.vm.complete_policy_fault(info, frame) {
+                    Ok(r) => r,
+                    Err(VmError::Device(d)) => {
+                        // Environmental failure while filling the frame: the
+                        // policy's frame goes back to its free queue (it is
+                        // still the container's) and the fault is surfaced
+                        // without terminating the application.
+                        let _ = self.vm.frames.enqueue_tail(free_q, frame);
+                        return Err(HipecError::Vm(VmError::Device(d)));
+                    }
+                    Err(e) => return Err(e.into()),
+                };
                 let end = result.io_until.unwrap_or_else(|| self.vm.now());
                 self.vm.fault_latency.record(end.since(fault_start));
                 Ok(result)
@@ -180,6 +198,13 @@ impl HipecKernel {
                 // Model the detection latency by running the checker forward.
                 let reason = self.detect_runaway(cidx);
                 Err(reason)
+            }
+            Err(PolicyFault::Device(d)) => {
+                // Environmental device failure mid-policy: abort the event
+                // without killing the application (the page stays faulted;
+                // the access can be retried).
+                self.containers[cidx].exec_started = None;
+                Err(HipecError::Vm(VmError::Device(d)))
             }
             Err(fault) => Err(self.kill(cidx, &fault.to_string())),
         }
@@ -253,9 +278,16 @@ impl HipecKernel {
         let r = self.access(task, addr, write)?;
         if let Some(done) = r.io_until {
             self.vm.clock.advance_to(done);
-            self.vm.pump();
+            self.pump();
         }
         Ok(r)
+    }
+
+    /// Completes due device I/O (a [`hipec_vm::Kernel::pump`] that also runs
+    /// the debug-build invariant audit).
+    pub fn pump(&mut self) {
+        self.vm.pump();
+        self.debug_check();
     }
 
     /// A container view by key.
@@ -309,6 +341,7 @@ impl HipecKernel {
         self.vm.object_mut(object)?.container = None;
         let freed = self.vm.vm_deallocate(task, addr)?;
         self.vm.stats.bump("hipec_deallocations");
+        self.debug_check();
         Ok(reclaimed + freed)
     }
 
@@ -323,7 +356,9 @@ impl HipecKernel {
         event: u8,
     ) -> Result<ExecValue, PolicyFault> {
         let mut fuel = self.limits.fuel;
-        self.run_event(key.0 as usize, event, 0, &mut fuel)
+        let result = self.run_event(key.0 as usize, event, 0, &mut fuel);
+        self.debug_check();
+        result
     }
 
     /// Charges the cost of one null syscall (used by comparison harnesses).

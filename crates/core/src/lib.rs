@@ -52,6 +52,7 @@ pub mod command;
 pub mod container;
 pub mod error;
 pub mod executor;
+pub mod invariants;
 pub mod kernel;
 pub mod manager;
 pub mod operand;

@@ -29,41 +29,52 @@ pub const HIPEC_MAGIC: u32 = 0x4869_5045;
 pub const WIRE_VERSION: u32 = 1;
 
 /// A complete application policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyProgram {
     /// Operand-array declarations (slot *i* is entry *i*).
     pub decls: Vec<OperandDecl>,
     /// Command segments, indexed by event number.
-    #[serde(with = "arc_events")]
     pub events: Vec<Arc<Vec<RawCmd>>>,
     /// Event names for diagnostics (parallel to `events`).
     pub event_names: Vec<String>,
 }
 
-mod arc_events {
-    use super::*;
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-
-    pub fn serialize<S: Serializer>(
-        events: &[Arc<Vec<RawCmd>>],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        let plain: Vec<Vec<u32>> = events
+// Hand-written (de)serialization: the `Arc` wrapper around each event
+// segment is an in-memory sharing detail, so the serialized form flattens
+// events to plain `Vec<Vec<u32>>` command words.
+impl Serialize for PolicyProgram {
+    fn to_value(&self) -> serde::Value {
+        let plain: Vec<Vec<u32>> = self
+            .events
             .iter()
             .map(|e| e.iter().map(|c| c.0).collect())
             .collect();
-        serde::Serialize::serialize(&plain, s)
+        let mut m = serde::Map::new();
+        m.insert("decls".to_string(), self.decls.to_value());
+        m.insert("events".to_string(), plain.to_value());
+        m.insert("event_names".to_string(), self.event_names.to_value());
+        serde::Value::Object(m)
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<Vec<Arc<Vec<RawCmd>>>, D::Error> {
-        let plain: Vec<Vec<u32>> = serde::Deserialize::deserialize(d)?;
-        Ok(plain
-            .into_iter()
-            .map(|e| Arc::new(e.into_iter().map(RawCmd).collect()))
-            .collect())
+impl Deserialize for PolicyProgram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("expected object for PolicyProgram"))?;
+        let field = |name: &str| {
+            m.get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{name}`")))
+        };
+        let plain = Vec::<Vec<u32>>::from_value(field("events")?)?;
+        Ok(PolicyProgram {
+            decls: Deserialize::from_value(field("decls")?)?,
+            events: plain
+                .into_iter()
+                .map(|e| Arc::new(e.into_iter().map(RawCmd).collect()))
+                .collect(),
+            event_names: Deserialize::from_value(field("event_names")?)?,
+        })
     }
 }
 
@@ -259,14 +270,14 @@ impl Default for PolicyProgram {
 
 // `RawCmd` serde: serialize as the raw u32.
 impl Serialize for RawCmd {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u32(self.0)
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for RawCmd {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        Ok(RawCmd(u32::deserialize(d)?))
+impl Deserialize for RawCmd {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        u32::from_value(v).map(RawCmd)
     }
 }
 

@@ -24,16 +24,11 @@ fn setup(program: PolicyProgram, frames: u64) -> (HipecKernel, ContainerKey) {
 }
 
 /// A program skeleton with the standard slots and one bench event (id 2).
-fn with_event(
-    decls: impl FnOnce(&mut PolicyProgram) -> Vec<hipec_core::RawCmd>,
-) -> PolicyProgram {
+fn with_event(decls: impl FnOnce(&mut PolicyProgram) -> Vec<hipec_core::RawCmd>) -> PolicyProgram {
     let mut p = PolicyProgram::new();
     let cmds = decls(&mut p);
     // Mandatory events first.
-    let fq_exists = p
-        .decls
-        .iter()
-        .any(|d| matches!(d, OperandDecl::FreeQueue));
+    let fq_exists = p.decls.iter().any(|d| matches!(d, OperandDecl::FreeQueue));
     let fq = if fq_exists {
         p.decls
             .iter()
@@ -45,7 +40,10 @@ fn with_event(
     let pf_page = p.declare(OperandDecl::Page);
     p.add_event(
         "PageFault",
-        vec![build::dequeue(pf_page, fq, QueueEnd::Head), build::ret(pf_page)],
+        vec![
+            build::dequeue(pf_page, fq, QueueEnd::Head),
+            build::ret(pf_page),
+        ],
     );
     p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
     p.add_event("bench", cmds);
@@ -59,16 +57,16 @@ fn arith_all_operations() {
         let a = p.declare(OperandDecl::Int(10));
         let b = p.declare(OperandDecl::Int(3));
         vec![
-            build::arith(a, b, ArithOp::Add),  // 13
-            build::arith(a, b, ArithOp::Sub),  // 10
-            build::arith(a, b, ArithOp::Mul),  // 30
-            build::arith(a, b, ArithOp::Div),  // 10
-            build::arith(a, b, ArithOp::Mod),  // 1
-            build::arith(a, a, ArithOp::Inc),  // 2
-            build::arith(a, a, ArithOp::Inc),  // 3
-            build::arith(a, a, ArithOp::Dec),  // 2
-            build::arith(a, b, ArithOp::Mov),  // 3
-            build::arith(a, b, ArithOp::Mul),  // 9
+            build::arith(a, b, ArithOp::Add), // 13
+            build::arith(a, b, ArithOp::Sub), // 10
+            build::arith(a, b, ArithOp::Mul), // 30
+            build::arith(a, b, ArithOp::Div), // 10
+            build::arith(a, b, ArithOp::Mod), // 1
+            build::arith(a, a, ArithOp::Inc), // 2
+            build::arith(a, a, ArithOp::Inc), // 3
+            build::arith(a, a, ArithOp::Dec), // 2
+            build::arith(a, b, ArithOp::Mov), // 3
+            build::arith(a, b, ArithOp::Mul), // 9
             build::ret(a),
         ]
     });
@@ -118,7 +116,10 @@ fn logic_store_and_load_cond() {
         ]
     });
     let (mut k, key) = setup(program, 4);
-    assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Bool(false));
+    assert_eq!(
+        k.run_event_raw(key, 2).expect("runs"),
+        ExecValue::Bool(false)
+    );
 }
 
 #[test]
@@ -196,7 +197,14 @@ fn find_resolves_mapped_addresses() {
     let task = k.containers[key.0 as usize].task;
     let base = {
         // The region the container controls starts at the first map entry.
-        let entry = *k.vm.task(task).expect("task").map.iter().next().expect("mapped");
+        let entry = *k
+            .vm
+            .task(task)
+            .expect("task")
+            .map
+            .iter()
+            .next()
+            .expect("mapped");
         hipec_vm::VAddr(entry.start_vpage * PAGE_SIZE)
     };
     k.access_sync(task, base, false).expect("fault in page 0");
@@ -207,10 +215,13 @@ fn find_resolves_mapped_addresses() {
         .iter()
         .position(|s| matches!(s, hipec_core::OperandSlot::Int(0)))
         .expect("addr slot");
-    k.containers[key.0 as usize].operands[addr_slot] =
-        hipec_core::OperandSlot::Int(base.0 as i64);
+    k.containers[key.0 as usize].operands[addr_slot] = hipec_core::OperandSlot::Int(base.0 as i64);
     let v = k.run_event_raw(key, 2).expect("runs");
-    let expected = k.vm.task(task).expect("task").translate(base.vpage()).expect("mapped");
+    let expected =
+        k.vm.task(task)
+            .expect("task")
+            .translate(base.vpage())
+            .expect("mapped");
     assert_eq!(v, ExecValue::Page(expected));
 }
 
@@ -234,7 +245,10 @@ fn request_release_round_trip() {
     let before = k.container(key).expect("container").allocated;
     let v = k.run_event_raw(key, 2).expect("runs");
     assert_eq!(v, ExecValue::Int(4));
-    assert_eq!(k.container(key).expect("container").allocated, before + 4 - 1);
+    assert_eq!(
+        k.container(key).expect("container").allocated,
+        before + 4 - 1
+    );
 }
 
 #[test]
@@ -315,7 +329,10 @@ fn activate_calls_and_discards_value() {
     );
     p.add_event(
         "helper",
-        vec![build::arith(counter, counter, ArithOp::Inc), build::ret(counter)],
+        vec![
+            build::arith(counter, counter, ArithOp::Inc),
+            build::ret(counter),
+        ],
     );
     let (mut k, key) = setup(p, 2);
     assert_eq!(k.run_event_raw(key, 2).expect("runs"), ExecValue::Int(2));

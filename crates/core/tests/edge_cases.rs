@@ -2,9 +2,7 @@
 //! limits, oversized programs, and error paths that must stay error paths.
 
 use hipec_core::command::{build, ArithOp, CompOp, JumpMode, QueueEnd};
-use hipec_core::{
-    HipecError, HipecKernel, OperandDecl, PolicyProgram, NO_OPERAND,
-};
+use hipec_core::{HipecError, HipecKernel, OperandDecl, PolicyProgram, NO_OPERAND};
 use hipec_disk::{DeviceParams, DiskParams};
 use hipec_vm::{KernelParams, VAddr, VmError, PAGE_SIZE};
 
@@ -43,7 +41,9 @@ fn backing_store_exhaustion_is_a_clean_error() {
     let err = k.vm.vm_map(task, 64 * PAGE_SIZE).expect_err("disk is full");
     assert!(matches!(err, VmError::Backing(_)), "{err}");
     // The kernel keeps working afterwards.
-    let (a, _) = k.vm.vm_allocate(task, 4 * PAGE_SIZE).expect("anonymous still fine");
+    let (a, _) =
+        k.vm.vm_allocate(task, 4 * PAGE_SIZE)
+            .expect("anonymous still fine");
     k.access_sync(task, a, false).expect("fault");
 }
 
@@ -172,7 +172,8 @@ fn access_after_termination_keeps_failing_cleanly() {
         .expect("install");
     assert!(k.access(task, a, false).is_err(), "first fault kills");
     // The region reverted to default management on kill: this now works.
-    k.access_sync(task, a, false).expect("default pool serves it");
+    k.access_sync(task, a, false)
+        .expect("default pool serves it");
 }
 
 #[test]

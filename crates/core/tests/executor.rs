@@ -76,7 +76,10 @@ fn fifo_policy() -> (PolicyProgram, u8) {
         ],
     );
     // Lack_free_frame: FIFO-evict one page into the free queue.
-    p.add_event("Lack_free_frame", vec![build::fifo(fifo_q, page), build::ret(NO_OPERAND)]);
+    p.add_event(
+        "Lack_free_frame",
+        vec![build::fifo(fifo_q, page), build::ret(NO_OPERAND)],
+    );
     (p, fifo_q)
 }
 
@@ -106,7 +109,10 @@ fn fifo_policy_serves_faults_and_replaces_under_pressure() {
         .expect("install");
     touch_all(&mut k, task, addr, pages, false).expect("sequential sweep");
     let c = k.container(key).expect("container");
-    assert_eq!(c.stats.faults, pages, "every page faults once on first touch");
+    assert_eq!(
+        c.stats.faults, pages,
+        "every page faults once on first touch"
+    );
     assert_eq!(c.allocated, min, "allocation stays at minFrame");
     assert!(c.stats.commands > 0);
     // A second sweep over a FIFO-managed pool smaller than the region
@@ -202,7 +208,10 @@ fn invalid_program_is_rejected_at_install() {
     let mut p = PolicyProgram::new();
     let q = p.declare(OperandDecl::FreeQueue);
     // Comp on queues: type error.
-    p.add_event("PageFault", vec![build::comp(q, q, CompOp::Gt), build::ret(NO_OPERAND)]);
+    p.add_event(
+        "PageFault",
+        vec![build::comp(q, q, CompOp::Gt), build::ret(NO_OPERAND)],
+    );
     let mut k = HipecKernel::new(small_params());
     let task = k.vm.create_task();
     let err = k
@@ -239,8 +248,7 @@ fn runaway_policy_is_terminated_by_the_checker() {
     assert!(k.container(key).expect("container").terminated);
     assert_eq!(k.checker.kills, 1);
     assert!(
-        k.checker.interval < before_interval
-            || k.checker.interval == k.checker.min_interval,
+        k.checker.interval < before_interval || k.checker.interval == k.checker.min_interval,
         "detection must halve the wakeup interval"
     );
     // The container's frames all returned to the global pool.
@@ -365,7 +373,8 @@ fn migrate_moves_frames_between_containers() {
         .expect("receiving app");
     assert_eq!(key0, ContainerKey(0));
     assert_eq!(key1, ContainerKey(1));
-    k.access_sync(t0, addr0, false).expect("fault with migration");
+    k.access_sync(t0, addr0, false)
+        .expect("fault with migration");
     assert_eq!(k.container(key0).expect("c0").allocated, 7);
     assert_eq!(k.container(key1).expect("c1").allocated, 9);
 }
@@ -419,8 +428,8 @@ fn growing_fifo_policy() -> PolicyProgram {
 #[test]
 fn normal_reclamation_runs_the_reclaim_event_in_fafr_order() {
     let mut k = HipecKernel::new(small_params()); // 240 free at boot
-    // App 1 starts at minFrame 8 and grows its pool to cover its 80-page
-    // region via Request, building up surplus.
+                                                  // App 1 starts at minFrame 8 and grows its pool to cover its 80-page
+                                                  // region via Request, building up surplus.
     let t1 = k.vm.create_task();
     let (a1, _o1, key1) = k
         .vm_allocate_hipec(t1, 80 * PAGE_SIZE, growing_fifo_policy(), 8)
@@ -479,9 +488,7 @@ fn vm_deallocate_hipec_returns_every_frame() {
     // Populate with dirty pages so teardown has to discard modified data.
     touch_all(&mut k, task, addr, 64, true).expect("dirty sweep");
     assert!(k.specific_total() > 0);
-    let freed = k
-        .vm_deallocate_hipec(task, addr, key)
-        .expect("deallocate");
+    let freed = k.vm_deallocate_hipec(task, addr, key).expect("deallocate");
     assert!(freed >= 48, "all {freed} private frames must come back");
     assert_eq!(k.container(key).expect("container").allocated, 0);
     assert_eq!(k.specific_total(), 0);

@@ -180,7 +180,10 @@ mod tests {
         b.allocate(1, 4).expect("fits");
         assert_eq!(
             b.locate(1, 4),
-            Err(BackingError::OutOfRange { offset: 4, pages: 4 })
+            Err(BackingError::OutOfRange {
+                offset: 4,
+                pages: 4
+            })
         );
         assert_eq!(b.locate(9, 0), Err(BackingError::NoExtent(9)));
         assert!(b.has_extent(1));

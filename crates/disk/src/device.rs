@@ -1,8 +1,10 @@
-//! A paging device: either the mechanical disk or the flash extension.
+//! A paging device: either the mechanical disk or the flash extension,
+//! optionally wrapped by a deterministic [`FaultPlan`].
 
 use hipec_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{DiskFault, FaultConfig, FaultPlan};
 use crate::flash::{FlashModel, FlashParams};
 use crate::model::{DiskModel, DiskParams, Lba};
 
@@ -24,11 +26,15 @@ impl DeviceParams {
         }
     }
 
-    /// Builds the device.
+    /// Builds the device (fault-free).
     pub fn build(&self) -> PagingDevice {
-        match self {
-            DeviceParams::Disk(p) => PagingDevice::Disk(DiskModel::new(p.clone())),
-            DeviceParams::Flash(p) => PagingDevice::Flash(FlashModel::new(p.clone())),
+        let model = match self {
+            DeviceParams::Disk(p) => DeviceModel::Disk(DiskModel::new(p.clone())),
+            DeviceParams::Flash(p) => DeviceModel::Flash(FlashModel::new(p.clone())),
+        };
+        PagingDevice {
+            model,
+            faults: None,
         }
     }
 }
@@ -39,53 +45,118 @@ impl Default for DeviceParams {
     }
 }
 
-/// The device a kernel pages against.
+/// The timing model behind a [`PagingDevice`].
 #[derive(Debug, Clone)]
-pub enum PagingDevice {
+pub enum DeviceModel {
     /// Mechanical disk.
     Disk(DiskModel),
     /// Flash array.
     Flash(FlashModel),
 }
 
+/// The completion report of an accepted write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteCompletion {
+    /// When the write completes (injected delay included).
+    pub done: SimTime,
+    /// The write completed torn: the data did not all make it and the
+    /// caller must re-issue the write after reaping the completion.
+    pub torn: bool,
+}
+
+/// The device a kernel pages against: a timing model plus an optional
+/// fault-injection plan. Without a plan, reads and writes never fail.
+#[derive(Debug, Clone)]
+pub struct PagingDevice {
+    model: DeviceModel,
+    faults: Option<FaultPlan>,
+}
+
 impl PagingDevice {
+    /// Installs a fault plan (replacing any existing one).
+    pub fn set_fault_plan(&mut self, cfg: FaultConfig) {
+        self.faults = Some(FaultPlan::new(cfg));
+    }
+
+    /// Removes the fault plan; subsequent operations never fail.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any (its trace is the failure record).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Services a page read submitted at `now`; returns completion.
-    pub fn read(&mut self, lba: Lba, now: SimTime) -> SimTime {
-        match self {
-            PagingDevice::Disk(d) => d.read(lba, now),
-            PagingDevice::Flash(f) => f.read(lba, now),
+    pub fn read(&mut self, lba: Lba, now: SimTime) -> Result<SimTime, DiskFault> {
+        let decision = self.faults.as_mut().map(|p| p.on_read(lba));
+        if let Some(d) = decision {
+            if d.error {
+                return Err(DiskFault::ReadError(lba));
+            }
+            let done = self.model_read(lba, now);
+            return Ok(done + d.extra_delay);
+        }
+        Ok(self.model_read(lba, now))
+    }
+
+    /// Services a page write submitted at `now`; returns the completion
+    /// report, or an error if the device rejected the submission.
+    pub fn write(&mut self, lba: Lba, now: SimTime) -> Result<WriteCompletion, DiskFault> {
+        let decision = self.faults.as_mut().map(|p| p.on_write(lba));
+        if let Some(d) = decision {
+            if d.error {
+                return Err(DiskFault::WriteError(lba));
+            }
+            let done = self.model_write(lba, now);
+            return Ok(WriteCompletion {
+                done: done + d.extra_delay,
+                torn: d.torn,
+            });
+        }
+        Ok(WriteCompletion {
+            done: self.model_write(lba, now),
+            torn: false,
+        })
+    }
+
+    fn model_read(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        match &mut self.model {
+            DeviceModel::Disk(d) => d.read(lba, now),
+            DeviceModel::Flash(f) => f.read(lba, now),
         }
     }
 
-    /// Services a page write submitted at `now`; returns completion.
-    pub fn write(&mut self, lba: Lba, now: SimTime) -> SimTime {
-        match self {
-            PagingDevice::Disk(d) => d.write(lba, now),
-            PagingDevice::Flash(f) => f.write(lba, now),
+    fn model_write(&mut self, lba: Lba, now: SimTime) -> SimTime {
+        match &mut self.model {
+            DeviceModel::Disk(d) => d.write(lba, now),
+            DeviceModel::Flash(f) => f.write(lba, now),
         }
     }
 
-    /// The instant the device goes idle.
+    /// The instant the device goes idle (injected delays excluded — they
+    /// model late completion reporting, not device occupancy).
     pub fn busy_until(&self) -> SimTime {
-        match self {
-            PagingDevice::Disk(d) => d.busy_until(),
-            PagingDevice::Flash(f) => f.busy_until(),
+        match &self.model {
+            DeviceModel::Disk(d) => d.busy_until(),
+            DeviceModel::Flash(f) => f.busy_until(),
         }
     }
 
     /// The disk, if this device is one.
     pub fn as_disk(&self) -> Option<&DiskModel> {
-        match self {
-            PagingDevice::Disk(d) => Some(d),
-            PagingDevice::Flash(_) => None,
+        match &self.model {
+            DeviceModel::Disk(d) => Some(d),
+            DeviceModel::Flash(_) => None,
         }
     }
 
     /// The flash array, if this device is one.
     pub fn as_flash(&self) -> Option<&FlashModel> {
-        match self {
-            PagingDevice::Disk(_) => None,
-            PagingDevice::Flash(f) => Some(f),
+        match &self.model {
+            DeviceModel::Disk(_) => None,
+            DeviceModel::Flash(f) => Some(f),
         }
     }
 }
@@ -93,6 +164,7 @@ impl PagingDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hipec_sim::SimDuration;
 
     #[test]
     fn builds_both_kinds() {
@@ -111,12 +183,76 @@ mod tests {
             DeviceParams::Flash(FlashParams::default()),
         ] {
             let mut dev = params.build();
-            let r = dev.read(Lba(3), SimTime::ZERO);
+            let r = dev.read(Lba(3), SimTime::ZERO).expect("fault-free read");
             assert!(r > SimTime::ZERO);
-            let w = dev.write(Lba(3), r);
-            assert!(w > r);
-            assert_eq!(dev.busy_until(), w);
+            let w = dev.write(Lba(3), r).expect("fault-free write");
+            assert!(w.done > r);
+            assert!(!w.torn);
+            assert_eq!(dev.busy_until(), w.done);
             assert!(params.capacity_pages() > 0);
         }
+    }
+
+    #[test]
+    fn fault_plan_injects_and_replays() {
+        let cfg = FaultConfig {
+            seed: 77,
+            read_error_permille: 300,
+            write_error_permille: 300,
+            delay_permille: 300,
+            max_delay: SimDuration::from_ms(2),
+            torn_permille: 300,
+        };
+        let run = |cfg: FaultConfig| {
+            let mut dev = DeviceParams::default().build();
+            dev.set_fault_plan(cfg);
+            let mut outcomes = Vec::new();
+            let mut t = SimTime::ZERO;
+            for i in 0..200u64 {
+                if i % 2 == 0 {
+                    match dev.read(Lba(i % 50), t) {
+                        Ok(done) => {
+                            t = t.max(done);
+                            outcomes.push((i, true));
+                        }
+                        Err(_) => outcomes.push((i, false)),
+                    }
+                } else {
+                    match dev.write(Lba(i % 50), t) {
+                        Ok(c) => {
+                            t = t.max(c.done);
+                            outcomes.push((i, !c.torn));
+                        }
+                        Err(_) => outcomes.push((i, false)),
+                    }
+                }
+            }
+            let trace = dev.fault_plan().expect("plan installed").trace().to_vec();
+            (outcomes, trace)
+        };
+        let (o1, t1) = run(cfg);
+        let (o2, t2) = run(cfg);
+        assert!(!t1.is_empty(), "this config must inject faults");
+        assert_eq!(o1, o2, "same seed must give the same outcomes");
+        assert_eq!(t1, t2, "same seed must give the same trace");
+        let (_, t3) = run(FaultConfig { seed: 78, ..cfg });
+        assert_ne!(t1, t3, "different seeds must diverge");
+    }
+
+    #[test]
+    fn clearing_the_plan_stops_injection() {
+        let mut dev = DeviceParams::default().build();
+        dev.set_fault_plan(FaultConfig {
+            seed: 1,
+            read_error_permille: 1000,
+            write_error_permille: 1000,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+        });
+        assert!(dev.read(Lba(0), SimTime::ZERO).is_err());
+        dev.clear_fault_plan();
+        assert!(dev.read(Lba(0), SimTime::ZERO).is_ok());
+        assert!(dev.fault_plan().is_none());
     }
 }

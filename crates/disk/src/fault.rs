@@ -1,0 +1,328 @@
+//! Deterministic fault injection for the paging device.
+//!
+//! A [`FaultPlan`] sits between the kernel and the device models, deciding —
+//! from a seed and an operation counter, nothing else — whether each read or
+//! write errors, completes late, or (writes only) completes *torn* and must
+//! be re-issued. Because every decision is a pure function of
+//! `(seed, operation index)`, the same seed always produces the same failure
+//! trace regardless of wall-clock or allocator behaviour, so failing
+//! schedules replay exactly.
+//!
+//! The plan records every injected fault in a [trace](FaultPlan::trace);
+//! tests compare traces across runs to assert determinism.
+
+use hipec_sim::SimDuration;
+
+use crate::model::Lba;
+
+/// Injection rates and magnitudes. All rates are per-mille (0–1000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Probability a read fails outright.
+    pub read_error_permille: u16,
+    /// Probability a write fails outright (reported at submission).
+    pub write_error_permille: u16,
+    /// Probability a completion is delayed by up to `max_delay`.
+    pub delay_permille: u16,
+    /// Upper bound of an injected completion delay.
+    pub max_delay: SimDuration,
+    /// Probability an accepted write completes torn (the caller must
+    /// re-issue it when the completion is reaped).
+    pub torn_permille: u16,
+}
+
+impl FaultConfig {
+    /// A plan that injects nothing (useful as a trace-only probe).
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+        }
+    }
+}
+
+/// A device-level failure surfaced to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The device could not read the block.
+    ReadError(Lba),
+    /// The device rejected the write.
+    WriteError(Lba),
+}
+
+impl std::fmt::Display for DiskFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskFault::ReadError(lba) => write!(f, "read error at block {}", lba.0),
+            DiskFault::WriteError(lba) => write!(f, "write error at block {}", lba.0),
+        }
+    }
+}
+
+impl std::error::Error for DiskFault {}
+
+/// One entry of the injected-fault trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Operation `op` (a read of `lba`) errored.
+    ReadError {
+        /// Operation index.
+        op: u64,
+        /// Target block.
+        lba: Lba,
+    },
+    /// Operation `op` (a write of `lba`) errored.
+    WriteError {
+        /// Operation index.
+        op: u64,
+        /// Target block.
+        lba: Lba,
+    },
+    /// Operation `op` completed `extra` late.
+    Delay {
+        /// Operation index.
+        op: u64,
+        /// Target block.
+        lba: Lba,
+        /// Injected extra latency.
+        extra: SimDuration,
+    },
+    /// Operation `op` (a write of `lba`) completed torn.
+    Torn {
+        /// Operation index.
+        op: u64,
+        /// Target block.
+        lba: Lba,
+    },
+}
+
+/// What the plan decided for one read.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadDecision {
+    /// The read fails.
+    pub error: bool,
+    /// Extra completion latency (zero when no delay was injected).
+    pub extra_delay: SimDuration,
+}
+
+/// What the plan decided for one write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteDecision {
+    /// The write is rejected at submission.
+    pub error: bool,
+    /// Extra completion latency.
+    pub extra_delay: SimDuration,
+    /// The write completes torn and must be re-issued.
+    pub torn: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, replayable schedule of device faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    op: u64,
+    trace: Vec<InjectedFault>,
+}
+
+impl FaultPlan {
+    /// Creates the plan.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            op: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Every fault injected so far, in operation order.
+    pub fn trace(&self) -> &[InjectedFault] {
+        &self.trace
+    }
+
+    /// Operations decided so far (faulty or not).
+    pub fn ops(&self) -> u64 {
+        self.op
+    }
+
+    /// Three decision draws for the current operation. Each operation
+    /// consumes its own splitmix64 stream keyed by `(seed, op)`, so the
+    /// decision depends only on the operation's ordinal — never on how
+    /// earlier decisions branched.
+    fn draws(&self) -> [u64; 3] {
+        let mut s = self
+            .cfg
+            .seed
+            .wrapping_add(self.op.wrapping_mul(0xA076_1D64_78BD_642F));
+        [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)]
+    }
+
+    fn hit(draw: u64, permille: u16) -> bool {
+        (draw % 1000) < u64::from(permille.min(1000))
+    }
+
+    fn delay_from(&self, draw: u64) -> SimDuration {
+        let ns = self.cfg.max_delay.as_ns();
+        if ns == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_ns(draw % (ns + 1))
+    }
+
+    /// Decides the fate of the next read.
+    pub fn on_read(&mut self, lba: Lba) -> ReadDecision {
+        let [d_err, d_delay, d_amount] = self.draws();
+        let op = self.op;
+        self.op += 1;
+        if Self::hit(d_err, self.cfg.read_error_permille) {
+            self.trace.push(InjectedFault::ReadError { op, lba });
+            return ReadDecision {
+                error: true,
+                extra_delay: SimDuration::ZERO,
+            };
+        }
+        let extra = if Self::hit(d_delay, self.cfg.delay_permille) {
+            let extra = self.delay_from(d_amount);
+            self.trace.push(InjectedFault::Delay { op, lba, extra });
+            extra
+        } else {
+            SimDuration::ZERO
+        };
+        ReadDecision {
+            error: false,
+            extra_delay: extra,
+        }
+    }
+
+    /// Decides the fate of the next write.
+    pub fn on_write(&mut self, lba: Lba) -> WriteDecision {
+        let [d_err, d_delay, d_amount] = self.draws();
+        let op = self.op;
+        self.op += 1;
+        if Self::hit(d_err, self.cfg.write_error_permille) {
+            self.trace.push(InjectedFault::WriteError { op, lba });
+            return WriteDecision {
+                error: true,
+                extra_delay: SimDuration::ZERO,
+                torn: false,
+            };
+        }
+        let extra = if Self::hit(d_delay, self.cfg.delay_permille) {
+            let extra = self.delay_from(d_amount);
+            self.trace.push(InjectedFault::Delay { op, lba, extra });
+            extra
+        } else {
+            SimDuration::ZERO
+        };
+        // The torn draw reuses the error draw's high bits: the two outcomes
+        // are mutually exclusive, and keeping three draws per op keeps the
+        // stream layout identical for reads and writes.
+        let torn = Self::hit(d_err >> 32, self.cfg.torn_permille);
+        if torn {
+            self.trace.push(InjectedFault::Torn { op, lba });
+        }
+        WriteDecision {
+            error: false,
+            extra_delay: extra,
+            torn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            read_error_permille: 100,
+            write_error_permille: 100,
+            delay_permille: 200,
+            max_delay: SimDuration::from_ms(5),
+            torn_permille: 150,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut a = FaultPlan::new(noisy(42));
+        let mut b = FaultPlan::new(noisy(42));
+        for i in 0..500u64 {
+            if i % 3 == 0 {
+                a.on_read(Lba(i));
+                b.on_read(Lba(i));
+            } else {
+                a.on_write(Lba(i));
+                b.on_write(Lba(i));
+            }
+        }
+        assert!(!a.trace().is_empty(), "noisy config must inject something");
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::new(noisy(1));
+        let mut b = FaultPlan::new(noisy(2));
+        for i in 0..500u64 {
+            a.on_write(Lba(i));
+            b.on_write(Lba(i));
+        }
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let mut p = FaultPlan::new(FaultConfig::quiet(7));
+        for i in 0..200u64 {
+            let r = p.on_read(Lba(i));
+            assert!(!r.error);
+            assert_eq!(r.extra_delay.as_ns(), 0);
+            let w = p.on_write(Lba(i));
+            assert!(!w.error && !w.torn);
+        }
+        assert!(p.trace().is_empty());
+        assert_eq!(p.ops(), 400);
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let mut p = FaultPlan::new(noisy(9));
+        let mut errors = 0;
+        for i in 0..10_000u64 {
+            if p.on_read(Lba(i)).error {
+                errors += 1;
+            }
+        }
+        // 10% nominal; allow a generous band.
+        assert!((500..2000).contains(&errors), "got {errors} errors");
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let mut p = FaultPlan::new(noisy(11));
+        for i in 0..2000u64 {
+            let d = p.on_read(Lba(i));
+            assert!(d.extra_delay <= SimDuration::from_ms(5));
+        }
+    }
+}

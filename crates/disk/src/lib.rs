@@ -16,16 +16,23 @@
 //! object, page offset) pairs onto logical blocks. [`DiskQueue`] provides
 //! FCFS and SSTF request ordering for the asynchronous flush daemon.
 //!
-//! Everything is deterministic: no randomness, no wall clock.
+//! [`FaultPlan`] optionally injects read/write errors, delayed completions
+//! and torn writes from a seeded decision stream, so failure handling can be
+//! tested reproducibly.
+//!
+//! Everything is deterministic: no wall clock, and the only randomness is
+//! the seeded fault stream.
 
 pub mod backing;
 pub mod device;
+pub mod fault;
 pub mod flash;
 pub mod model;
 pub mod queue;
 
 pub use backing::{BackingStore, PageLocation};
-pub use device::{DeviceParams, PagingDevice};
+pub use device::{DeviceParams, PagingDevice, WriteCompletion};
+pub use fault::{DiskFault, FaultConfig, FaultPlan, InjectedFault};
 pub use flash::{FlashModel, FlashParams};
 pub use model::{DiskModel, DiskParams, Lba};
 pub use queue::{DiskQueue, QueueDiscipline};

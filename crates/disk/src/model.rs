@@ -180,9 +180,7 @@ impl DiskModel {
         let angle_ns = positioned.as_ns() % rev_ns;
         let wait_ns = (target_angle_ns + rev_ns - angle_ns) % rev_ns;
 
-        let completion = positioned
-            + SimDuration::from_ns(wait_ns)
-            + self.params.transfer();
+        let completion = positioned + SimDuration::from_ns(wait_ns) + self.params.transfer();
         self.head_cylinder = cyl;
         self.stats.requests += 1;
         self.stats.busy += completion.since(start);

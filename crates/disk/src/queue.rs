@@ -57,6 +57,12 @@ impl<T> DiskQueue<T> {
         self.pending.is_empty()
     }
 
+    /// Iterates the pending requests in submission order (inspection only —
+    /// the service order is the discipline's business).
+    pub fn iter(&self) -> impl Iterator<Item = &Pending<T>> {
+        self.pending.iter()
+    }
+
     /// Picks the next request given the head position mapping.
     ///
     /// `cylinder_of` translates an LBA to its cylinder (supplied by the

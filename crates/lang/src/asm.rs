@@ -54,8 +54,7 @@ pub fn assemble(text: &str) -> Result<PolicyProgram, Diagnostic> {
             let arg = parts.next();
             match directive {
                 "event" => {
-                    let name = arg
-                        .ok_or_else(|| Diagnostic::new(span, ".event needs a name"))?;
+                    let name = arg.ok_or_else(|| Diagnostic::new(span, ".event needs a name"))?;
                     if let Some(done) = current.take() {
                         events.push(done);
                     }
@@ -106,9 +105,7 @@ pub fn assemble(text: &str) -> Result<PolicyProgram, Diagnostic> {
                     };
                     program.declare(OperandDecl::Kernel(var));
                 }
-                other => {
-                    return Err(Diagnostic::new(span, format!("unknown directive .{other}")))
-                }
+                other => return Err(Diagnostic::new(span, format!("unknown directive .{other}"))),
             }
             continue;
         }
@@ -160,11 +157,7 @@ fn assemble_event(lines: &[Line]) -> Result<Vec<RawCmd>, Diagnostic> {
     Ok(out)
 }
 
-fn encode_instr(
-    text: &str,
-    labels: &HashMap<&str, u16>,
-    span: Span,
-) -> Result<RawCmd, Diagnostic> {
+fn encode_instr(text: &str, labels: &HashMap<&str, u16>, span: Span) -> Result<RawCmd, Diagnostic> {
     let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
@@ -365,7 +358,10 @@ fn render(cmd: RawCmd) -> String {
         }
         OpCode::Comp => {
             let ops = ["eq", "gt", "lt", "ge", "le", "ne"];
-            format!("comp {a}, {b}, {}", ops.get(c as usize).copied().unwrap_or("?"))
+            format!(
+                "comp {a}, {b}, {}",
+                ops.get(c as usize).copied().unwrap_or("?")
+            )
         }
         OpCode::Logic => {
             let ops = ["and", "or", "xor", "not", "store", "load"];
@@ -482,8 +478,7 @@ refill:
 
     #[test]
     fn duplicate_label_is_reported() {
-        let err =
-            assemble(".event E\nx:\nx:\n    return\n").expect_err("duplicate label");
+        let err = assemble(".event E\nx:\nx:\n    return\n").expect_err("duplicate label");
         assert!(err.message.contains("duplicate label"));
     }
 

@@ -92,8 +92,10 @@ impl Codegen {
                 ordered[id] = Some(ev);
             }
             if self.event_ids.insert(ev.name.clone(), id as u8).is_some() && id >= 2 {
-                self.errors
-                    .push(Diagnostic::new(ev.span, format!("duplicate event `{}`", ev.name)));
+                self.errors.push(Diagnostic::new(
+                    ev.span,
+                    format!("duplicate event `{}`", ev.name),
+                ));
             }
         }
         if ordered[0].is_none() {
@@ -184,7 +186,10 @@ impl Codegen {
             self.scopes[0].insert(name.to_string(), sym);
             return Ok(sym);
         }
-        Err(Diagnostic::new(span, format!("undeclared identifier `{name}`")))
+        Err(Diagnostic::new(
+            span,
+            format!("undeclared identifier `{name}`"),
+        ))
     }
 
     fn lookup_kind(&mut self, name: &str, kind: SymKind, span: Span) -> CgResult<Sym> {
@@ -232,11 +237,25 @@ impl Codegen {
                     ));
                 };
                 let slot = self.declare_slot(OperandDecl::Int(*v), *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Int }, *span)
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Int,
+                    },
+                    *span,
+                )
             }
             Decl::Bool { name, init, span } => {
                 let slot = self.declare_slot(OperandDecl::Bool(*init), *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Bool }, *span)
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Bool,
+                    },
+                    *span,
+                )
             }
             Decl::Page { name, init, span } => {
                 if init.is_some() {
@@ -246,12 +265,29 @@ impl Codegen {
                     ));
                 }
                 let slot = self.declare_slot(OperandDecl::Page, *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Page }, *span)
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Page,
+                    },
+                    *span,
+                )
             }
-            Decl::Queue { name, recency, span } => {
-                let slot =
-                    self.declare_slot(OperandDecl::Queue { recency: *recency }, *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Queue }, *span)
+            Decl::Queue {
+                name,
+                recency,
+                span,
+            } => {
+                let slot = self.declare_slot(OperandDecl::Queue { recency: *recency }, *span)?;
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Queue,
+                    },
+                    *span,
+                )
             }
         }
     }
@@ -292,9 +328,7 @@ impl Codegen {
         let falls_through = match self.code.last() {
             None => true,
             Some(c) if c.op_byte() == OpCode::Return as u8 => false,
-            Some(c) if c.op_byte() == OpCode::Jump as u8 => {
-                c.a() != JumpMode::Always as u8
-            }
+            Some(c) if c.op_byte() == OpCode::Jump as u8 => c.a() != JumpMode::Always as u8,
             Some(_) => true,
         };
         if label_at_end || falls_through {
@@ -422,23 +456,26 @@ impl Codegen {
                 Ok(())
             }
             Stmt::Activate(name, span) => {
-                let id = *self.event_ids.get(name).ok_or_else(|| {
-                    Diagnostic::new(*span, format!("unknown event `{name}`"))
-                })?;
+                let id = *self
+                    .event_ids
+                    .get(name)
+                    .ok_or_else(|| Diagnostic::new(*span, format!("unknown event `{name}`")))?;
                 self.code.push(build::activate(id));
                 Ok(())
             }
             Stmt::Break(span) => {
-                let (_, exit) = *self.loop_stack.last().ok_or_else(|| {
-                    Diagnostic::new(*span, "`break` outside of a loop")
-                })?;
+                let (_, exit) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| Diagnostic::new(*span, "`break` outside of a loop"))?;
                 self.jump(JumpMode::Always, exit);
                 Ok(())
             }
             Stmt::Continue(span) => {
-                let (head, _) = *self.loop_stack.last().ok_or_else(|| {
-                    Diagnostic::new(*span, "`continue` outside of a loop")
-                })?;
+                let (head, _) = *self
+                    .loop_stack
+                    .last()
+                    .ok_or_else(|| Diagnostic::new(*span, "`continue` outside of a loop"))?;
                 self.jump(JumpMode::Always, head);
                 Ok(())
             }
@@ -450,26 +487,57 @@ impl Codegen {
         match d {
             Decl::Int { name, init, span } => {
                 let slot = self.declare_slot(OperandDecl::Int(0), *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Int }, *span)?;
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Int,
+                    },
+                    *span,
+                )?;
                 self.int_into(slot, init, *span)
             }
             Decl::Bool { name, init, span } => {
                 let slot = self.declare_slot(OperandDecl::Bool(*init), *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Bool }, *span)?;
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Bool,
+                    },
+                    *span,
+                )?;
                 self.bool_assign(slot, &Cond::Lit(*init), *span)
             }
             Decl::Page { name, init, span } => {
                 let slot = self.declare_slot(OperandDecl::Page, *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Page }, *span)?;
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Page,
+                    },
+                    *span,
+                )?;
                 if let Some(pe) = init {
                     self.page_into(slot, pe, *span)?;
                 }
                 Ok(())
             }
-            Decl::Queue { name, recency, span } => {
-                let slot =
-                    self.declare_slot(OperandDecl::Queue { recency: *recency }, *span)?;
-                self.define(name, Sym { slot, kind: SymKind::Queue }, *span)
+            Decl::Queue {
+                name,
+                recency,
+                span,
+            } => {
+                let slot = self.declare_slot(OperandDecl::Queue { recency: *recency }, *span)?;
+                self.define(
+                    name,
+                    Sym {
+                        slot,
+                        kind: SymKind::Queue,
+                    },
+                    *span,
+                )
             }
         }
     }

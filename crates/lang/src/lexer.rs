@@ -101,9 +101,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let span = Span { line, col };
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];
@@ -148,7 +146,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.tok).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]
@@ -203,7 +205,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("42 007"), vec![Tok::IntLit(42), Tok::IntLit(7), Tok::Eof]);
+        assert_eq!(
+            kinds("42 007"),
+            vec![Tok::IntLit(42), Tok::IntLit(7), Tok::Eof]
+        );
     }
 
     #[test]

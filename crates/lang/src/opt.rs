@@ -243,8 +243,7 @@ mod tests {
         let o = optimize(&p);
         let seg = o.event(0).expect("segment");
         assert!(
-            seg.iter()
-                .any(|c| is_unconditional(*c)),
+            seg.iter().any(|c| is_unconditional(*c)),
             "flag-clearing jump must survive: {seg:?}"
         );
     }

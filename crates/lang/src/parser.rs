@@ -335,9 +335,7 @@ impl<'a> Parser<'a> {
             "fifo" => Builtin::Replace(ReplaceKind::Fifo, self.ident()?),
             "lru" => Builtin::Replace(ReplaceKind::Lru, self.ident()?),
             "mru" => Builtin::Replace(ReplaceKind::Mru, self.ident()?),
-            other => {
-                return Err(Diagnostic::new(span, format!("unknown builtin `{other}`")))
-            }
+            other => return Err(Diagnostic::new(span, format!("unknown builtin `{other}`"))),
         };
         self.eat(Tok::RParen)?;
         Ok(b)
@@ -586,10 +584,7 @@ mod tests {
              event PageFault() { return; } event ReclaimFrame() { return; }",
         );
         assert_eq!(p.globals.len(), 5);
-        assert!(matches!(
-            p.globals[1],
-            Decl::Queue { recency: true, .. }
-        ));
+        assert!(matches!(p.globals[1], Decl::Queue { recency: true, .. }));
     }
 
     #[test]
@@ -687,9 +682,8 @@ mod tests {
 
     #[test]
     fn negative_literals_fold() {
-        let p = parse_ok(
-            "int x = -5; event PageFault() { return; } event ReclaimFrame() { return; }",
-        );
+        let p =
+            parse_ok("int x = -5; event PageFault() { return; } event ReclaimFrame() { return; }");
         let Decl::Int { init, .. } = &p.globals[0] else {
             panic!("int decl");
         };

@@ -172,9 +172,7 @@ fn undeclared_identifier_is_a_compile_error() {
          event ReclaimFrame() { return; }",
     )
     .expect_err("must fail");
-    assert!(errs
-        .iter()
-        .any(|d| d.message.contains("mystery_queue")));
+    assert!(errs.iter().any(|d| d.message.contains("mystery_queue")));
 }
 
 #[test]
@@ -276,10 +274,9 @@ fn break_and_continue_compile_and_run() {
 
 #[test]
 fn break_outside_loop_is_a_compile_error() {
-    let errs = hipec_lang::compile(
-        "event PageFault() { break; }\nevent ReclaimFrame() { return; }",
-    )
-    .expect_err("must fail");
+    let errs =
+        hipec_lang::compile("event PageFault() { break; }\nevent ReclaimFrame() { return; }")
+            .expect_err("must fail");
     assert!(errs.iter().any(|d| d.message.contains("outside")));
 }
 

@@ -58,7 +58,10 @@ mod tests {
         let outl = 60 * MB;
         let msize = 40 * MB;
         assert_eq!(pf_lru(outl, 64, PAGE), 983_040);
-        assert_eq!(pf_mru(outl, msize, 64, PAGE), (20 * MB / PAGE) * 63 + 15_360);
+        assert_eq!(
+            pf_mru(outl, msize, 64, PAGE),
+            (20 * MB / PAGE) * 63 + 15_360
+        );
     }
 
     #[test]

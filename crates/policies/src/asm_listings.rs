@@ -128,8 +128,7 @@ out:
 
 /// Assembles the hand-coded FIFO-with-second-chance listing.
 pub fn fifo_second_chance() -> PolicyProgram {
-    hipec_lang::assemble(FIFO_SECOND_CHANCE_ASM)
-        .expect("shipped listing assembles")
+    hipec_lang::assemble(FIFO_SECOND_CHANCE_ASM).expect("shipped listing assembles")
 }
 
 /// Assembles the hand-coded MRU listing.

@@ -100,7 +100,11 @@ mod tests {
             let program = kind.program();
             hipec_core::validate_program(&program)
                 .unwrap_or_else(|e| panic!("{} failed validation: {e:?}", kind.name()));
-            assert!(program.total_commands() > 2, "{} is non-trivial", kind.name());
+            assert!(
+                program.total_commands() > 2,
+                "{} is non-trivial",
+                kind.name()
+            );
         }
     }
 

@@ -167,7 +167,12 @@ fn optimized_policies_fault_identically_to_unoptimized() {
         for (name, trace) in traces(region) {
             let a = run_program(plain.clone(), &trace);
             let b = run_program(optimized.clone(), &trace);
-            assert_eq!(a, b, "{} diverged after optimization on `{name}`", kind.name());
+            assert_eq!(
+                a,
+                b,
+                "{} diverged after optimization on `{name}`",
+                kind.name()
+            );
         }
     }
 }

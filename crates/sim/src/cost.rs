@@ -173,9 +173,7 @@ mod tests {
     #[test]
     fn hipec_per_fault_overhead_is_small_positive() {
         let m = CostModel::default();
-        let overhead = m.hipec_region_check
-            + m.executor_invoke
-            + m.cmd_fetch_decode * 3;
+        let overhead = m.hipec_region_check + m.executor_invoke + m.cmd_fetch_decode * 3;
         let base = m.fault_zero_fill();
         let pct = overhead.as_ns() as f64 / base.as_ns() as f64 * 100.0;
         assert!(pct > 0.5 && pct < 3.0, "per-fault overhead {pct:.2}%");

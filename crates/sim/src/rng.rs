@@ -139,7 +139,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = DetRng::new(1);
         let mut b = DetRng::new(2);
-        let same = (0..64).filter(|_| a.below(1 << 30) == b.below(1 << 30)).count();
+        let same = (0..64)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
         assert!(same < 4);
     }
 

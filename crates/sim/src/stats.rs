@@ -150,7 +150,11 @@ impl Histogram {
     /// Records one duration sample.
     pub fn record(&mut self, d: SimDuration) {
         let ns = d.as_ns();
-        let bucket = if ns == 0 { 0 } else { 63 - ns.leading_zeros() as usize };
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.total_ns += ns as u128;

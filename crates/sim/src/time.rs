@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn from_us_f64_clamps_and_rounds() {
         assert_eq!(SimDuration::from_us_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_us_f64(1.4999), SimDuration::from_ns(1_500));
+        assert_eq!(
+            SimDuration::from_us_f64(1.4999),
+            SimDuration::from_ns(1_500)
+        );
     }
 
     #[test]
@@ -287,7 +290,11 @@ mod tests {
         assert_eq!((b - a), SimDuration::ZERO);
         assert_eq!((a * 3).as_ns(), 30_000);
         assert_eq!((a / 2).as_ns(), 5_000);
-        assert_eq!((a / 0).as_ns(), 10_000, "division by zero clamps divisor to 1");
+        assert_eq!(
+            (a / 0).as_ns(),
+            10_000,
+            "division by zero clamps divisor to 1"
+        );
     }
 
     #[test]

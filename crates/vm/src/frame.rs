@@ -259,8 +259,7 @@ impl FrameTable {
             }
         }
         if let Some(q) = self.links[f.0 as usize].queue {
-            if self.queues[q.0 as usize].auto_recency && self.queues[q.0 as usize].tail != Some(f)
-            {
+            if self.queues[q.0 as usize].auto_recency && self.queues[q.0 as usize].tail != Some(f) {
                 self.remove(f)?;
                 self.enqueue_tail(q, f)?;
             }
@@ -270,10 +269,7 @@ impl FrameTable {
 
     /// Iterates a queue from head to tail.
     pub fn iter_queue(&self, q: QueueId) -> QueueIter<'_> {
-        let next = self
-            .queues
-            .get(q.0 as usize)
-            .and_then(|m| m.head);
+        let next = self.queues.get(q.0 as usize).and_then(|m| m.head);
         QueueIter { table: self, next }
     }
 }
@@ -354,7 +350,10 @@ mod tests {
         let remaining: Vec<_> = t.iter_queue(q).map(|f| f.0).collect();
         assert_eq!(remaining, vec![1, 3]);
         assert_eq!(t.queue_len(q).expect("len"), 2);
-        assert_eq!(t.remove(FrameId(2)), Err(VmError::FrameNotQueued(FrameId(2))));
+        assert_eq!(
+            t.remove(FrameId(2)),
+            Err(VmError::FrameNotQueued(FrameId(2)))
+        );
     }
 
     #[test]
@@ -399,7 +398,10 @@ mod tests {
     fn bad_ids_are_rejected() {
         let mut t = table(2);
         let q = t.new_queue(false);
-        assert_eq!(t.enqueue_tail(q, FrameId(9)), Err(VmError::BadFrame(FrameId(9))));
+        assert_eq!(
+            t.enqueue_tail(q, FrameId(9)),
+            Err(VmError::BadFrame(FrameId(9)))
+        );
         assert_eq!(t.queue_len(QueueId(7)), Err(VmError::BadQueue(7)));
         assert!(t.frame(FrameId(5)).is_err());
     }

@@ -8,16 +8,14 @@
 //! ([`AccessOutcome::NeedsPolicy`], [`Kernel::complete_policy_fault`],
 //! [`Kernel::take_free_frames`], …).
 
-use hipec_disk::{BackingStore, DeviceParams, PagingDevice};
+use hipec_disk::{BackingStore, DeviceParams, DiskQueue, FaultConfig, PagingDevice};
 use hipec_sim::stats::{Counter, Histogram};
 use hipec_sim::{CostModel, SimDuration, SimTime, VirtualClock};
 
 use crate::frame::{FrameTable, QueueId};
 use crate::object::{Backing, VmObject};
 use crate::task::Task;
-use crate::types::{
-    bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError,
-};
+use crate::types::{bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError};
 
 /// Static configuration of a simulated machine.
 #[derive(Debug, Clone)]
@@ -132,6 +130,8 @@ pub enum AccessOutcome {
 pub(crate) struct InflightFlush {
     pub done: SimTime,
     pub frame: FrameId,
+    /// The device reported the write torn; it is re-issued when reaped.
+    pub torn: bool,
 }
 
 /// The simulated kernel.
@@ -161,6 +161,9 @@ pub struct Kernel {
     pub(crate) disk: PagingDevice,
     pub(crate) backing: BackingStore,
     pub(crate) inflight: Vec<InflightFlush>,
+    /// Torn flushes awaiting re-issue (FCFS — retry order is submission
+    /// order; tags are the frames being flushed).
+    pub(crate) retry_q: DiskQueue<FrameId>,
     pub(crate) free_target: u64,
     pub(crate) free_min: u64,
     pub(crate) inactive_target: u64,
@@ -175,10 +178,7 @@ impl Kernel {
         let inactive_q = frames.new_queue(false);
         for i in 0..params.total_frames {
             if i < params.wired_frames {
-                frames
-                    .frame_mut(FrameId(i))
-                    .expect("frame exists")
-                    .wired = true;
+                frames.frame_mut(FrameId(i)).expect("frame exists").wired = true;
             } else {
                 frames
                     .enqueue_tail(free_q, FrameId(i))
@@ -202,6 +202,7 @@ impl Kernel {
             disk,
             backing,
             inflight: Vec::new(),
+            retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
             free_target: params.free_target,
             free_min: params.free_min,
             inactive_target: params.inactive_target,
@@ -220,7 +221,9 @@ impl Kernel {
 
     /// Frames on the global free queue.
     pub fn free_count(&self) -> u64 {
-        self.frames.queue_len(self.free_q).expect("free queue exists")
+        self.frames
+            .queue_len(self.free_q)
+            .expect("free queue exists")
     }
 
     /// Frames on the global inactive queue.
@@ -257,7 +260,11 @@ impl Kernel {
     }
 
     /// Creates a memory object. File-backed objects get a disk extent now.
-    pub fn create_object(&mut self, size_pages: u64, backing: Backing) -> Result<ObjectId, VmError> {
+    pub fn create_object(
+        &mut self,
+        size_pages: u64,
+        backing: Backing,
+    ) -> Result<ObjectId, VmError> {
         let id = ObjectId(self.objects.len() as u32);
         if backing == Backing::File {
             self.backing.allocate(id.0 as u64, size_pages)?;
@@ -368,10 +375,7 @@ impl Kernel {
 
     /// Read-only view of the disk statistics (zeroed for flash devices).
     pub fn disk_stats(&self) -> hipec_disk::model::DiskStats {
-        self.disk
-            .as_disk()
-            .map(|d| d.stats())
-            .unwrap_or_default()
+        self.disk.as_disk().map(|d| d.stats()).unwrap_or_default()
     }
 
     // --- The access / fault path --------------------------------------------
@@ -435,7 +439,16 @@ impl Kernel {
 
         // Default pool: obtain a frame (running the pageout daemon if low).
         let frame = self.obtain_free_frame()?;
-        let result = self.fill_and_map(task, vpage, object, offset, frame, write)?;
+        let result = match self.fill_and_map(task, vpage, object, offset, frame, write) {
+            Ok(r) => r,
+            Err(e) => {
+                // The device read failed (or the fill aborted) before the
+                // frame was attached to anything: give it back so it cannot
+                // leak off every queue.
+                let _ = self.frames.enqueue_head(self.free_q, frame);
+                return Err(e);
+            }
+        };
         // Default-pool pages live on the global active queue.
         self.frames.enqueue_tail(self.active_q, frame)?;
         self.charge(self.cost.queue_op);
@@ -454,7 +467,14 @@ impl Kernel {
         frame: FrameId,
     ) -> Result<AccessResult, VmError> {
         debug_assert!(self.frames.frame(frame)?.owner.is_none());
-        self.fill_and_map(info.task, info.vpage, info.object, info.offset, frame, info.write)
+        self.fill_and_map(
+            info.task,
+            info.vpage,
+            info.object,
+            info.offset,
+            frame,
+            info.write,
+        )
     }
 
     /// Installs `frame` as (object, offset), filling it by zero-fill or
@@ -472,7 +492,15 @@ impl Kernel {
         let (kind, io_until) = if needs_io {
             self.charge(self.cost.pagein_cpu);
             let loc = self.backing.locate(object.0 as u64, offset.0)?;
-            let done = self.disk.read(loc.lba, self.clock.now());
+            // Submit before mutating any frame/object state so an injected
+            // device failure needs no rollback here.
+            let done = match self.disk.read(loc.lba, self.clock.now()) {
+                Ok(done) => done,
+                Err(fault) => {
+                    self.stats.bump("read_errors");
+                    return Err(VmError::Device(fault));
+                }
+            };
             self.stats.bump("pageins");
             (AccessKind::PageIn, Some(done))
         } else {
@@ -504,6 +532,13 @@ impl Kernel {
     /// The frame must be clean ([`VmError::DirtyFrameFreed`] otherwise — the
     /// caller must flush first) and not busy.
     pub fn evict_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
+        if self.frames.frame(frame)?.busy {
+            // An in-flight flush retains its owner so the completion (or a
+            // torn-write retry) can find its backing block; evicting now
+            // would orphan the write. Stale aliases to flushed frames land
+            // here instead of corrupting the frame.
+            return Err(VmError::FrameBusy(frame));
+        }
         if self.frames.frame(frame)?.mod_bit {
             return Err(VmError::DirtyFrameFreed(frame));
         }
@@ -554,9 +589,17 @@ impl Kernel {
     pub fn return_frame(&mut self, frame: FrameId) -> Result<(), VmError> {
         {
             let f = self.frames.frame(frame)?;
+            if f.busy {
+                return Err(VmError::FrameBusy(frame));
+            }
             if f.mod_bit {
                 return Err(VmError::DirtyFrameFreed(frame));
             }
+        }
+        // Free frames must be fully anonymous: detach any residual mapping
+        // and queue membership before handing the frame to the pool.
+        if self.frames.frame(frame)?.owner.is_some() {
+            self.evict_frame(frame)?;
         }
         if self.frames.queue_of(frame)?.is_some() {
             self.frames.remove(frame)?;
@@ -569,6 +612,7 @@ impl Kernel {
         if self.free_count() < self.free_min {
             self.pageout_scan()?;
         }
+        let mut dry_retries = 0;
         loop {
             if let Some(f) = self.frames.dequeue_head(self.free_q)? {
                 self.charge(self.cost.queue_op);
@@ -577,6 +621,13 @@ impl Kernel {
             // Nothing free: wait for an in-flight flush if there is one.
             if let Some(earliest) = self.inflight.iter().map(|i| i.done).min() {
                 self.clock.advance_to(earliest);
+                self.pump();
+            } else if !self.retry_q.is_empty() && dry_retries < 8 {
+                // Only torn writes remain and their re-issues keep being
+                // rejected; each pump draws fresh fault decisions, so a few
+                // attempts normally get one through. Bounded so a device
+                // rejecting every write still surfaces OutOfFrames.
+                dry_retries += 1;
                 self.pump();
             } else {
                 return Err(VmError::OutOfFrames {
@@ -588,18 +639,31 @@ impl Kernel {
     }
 
     /// Completes any in-flight flushes due by now, freeing their frames.
+    ///
+    /// Torn completions do not free their frame: the write is re-issued
+    /// (FCFS through the retry queue) and the frame stays busy until a
+    /// clean completion is reaped. A re-issue the device rejects outright
+    /// stays queued for the next pump, so no data is silently dropped.
     pub fn pump(&mut self) {
         let now = self.clock.now();
         let mut done = Vec::new();
         self.inflight.retain(|i| {
             if i.done <= now {
-                done.push(i.frame);
+                done.push((i.frame, i.torn));
                 false
             } else {
                 true
             }
         });
-        for frame in done {
+        for (frame, torn) in done {
+            if torn {
+                self.stats.bump("torn_flushes");
+                let lba = self
+                    .flush_target(frame)
+                    .expect("in-flight frames keep their owner");
+                self.retry_q.push(lba, frame);
+                continue;
+            }
             let f = self
                 .frames
                 .frame_mut(frame)
@@ -611,11 +675,71 @@ impl Kernel {
                 .expect("flushed frame is unqueued");
             self.stats.bump("flush_completions");
         }
+        // Re-issue torn writes (one attempt per entry per pump; a rejected
+        // re-issue goes back on the queue).
+        let mut still_torn = Vec::new();
+        while let Some(pending) = self.retry_q.pop_next(0, |_| 0) {
+            match self.disk.write(pending.lba, self.clock.now()) {
+                Ok(c) => {
+                    self.inflight.push(InflightFlush {
+                        done: c.done,
+                        frame: pending.tag,
+                        torn: c.torn,
+                    });
+                    self.stats.bump("flush_retries");
+                }
+                Err(_) => {
+                    self.stats.bump("flush_retry_errors");
+                    still_torn.push(pending);
+                }
+            }
+        }
+        for p in still_torn {
+            self.retry_q.push(p.lba, p.tag);
+        }
+    }
+
+    /// The backing-store block an in-flight flush writes to (derived from
+    /// the frame's retained owner).
+    fn flush_target(&self, frame: FrameId) -> Result<hipec_disk::Lba, VmError> {
+        let (object, offset) = self
+            .frames
+            .frame(frame)?
+            .owner
+            .ok_or(VmError::FrameNotQueued(frame))?;
+        Ok(self.backing.locate(object.0 as u64, offset.0)?.lba)
+    }
+
+    /// Installs a deterministic fault-injection plan on the paging device.
+    pub fn set_fault_plan(&mut self, cfg: FaultConfig) {
+        self.disk.set_fault_plan(cfg);
     }
 
     /// Earliest pending flush completion, if any (for event-driven drivers).
     pub fn next_flush_completion(&self) -> Option<SimTime> {
         self.inflight.iter().map(|i| i.done).min()
+    }
+
+    // --- Read-only state inspection (invariant checkers, audits) ------------
+
+    /// Frames with an in-flight flush (completion not yet reaped).
+    pub fn inflight_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.inflight.iter().map(|i| i.frame)
+    }
+
+    /// Frames whose torn flush awaits re-issue.
+    pub fn retry_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.retry_q.iter().map(|p| p.tag)
+    }
+
+    /// All VM objects, for state audits.
+    pub fn objects_iter(&self) -> impl Iterator<Item = &VmObject> {
+        self.objects.iter()
+    }
+
+    /// All tasks, for state audits.
+    pub fn tasks_iter(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
     }
 }
 
@@ -707,14 +831,16 @@ mod tests {
         let pages = 200u64; // working set larger than memory
         let (addr, _) = k.vm_allocate(t, pages * PAGE_SIZE).expect("allocate");
         for p in 0..pages {
-            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true).expect("access");
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true)
+                .expect("access");
         }
         assert_eq!(k.stats.get("faults"), pages);
         assert!(k.stats.get("pageouts") > 0, "dirty pages must be flushed");
         // A second sequential sweep with LRU-ish FIFO replacement faults again.
         let before = k.stats.get("faults");
         for p in 0..pages {
-            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false).expect("access");
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false)
+                .expect("access");
         }
         assert!(k.stats.get("faults") > before, "cyclic sweep must re-fault");
     }
@@ -746,6 +872,29 @@ mod tests {
     }
 
     #[test]
+    fn busy_frames_cannot_be_evicted_or_returned() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, _) = k.vm_allocate(t, PAGE_SIZE).expect("allocate");
+        k.access(t, addr, true).expect("dirty the page");
+        let frame = k
+            .task(t)
+            .expect("task")
+            .translate(addr.vpage())
+            .expect("mapped");
+        k.start_flush(frame).expect("flush starts");
+        assert!(k.frames.frame(frame).expect("frame").busy);
+        // A stale handle to the in-flight frame must bounce, not corrupt
+        // the retained owner the completion path needs.
+        assert_eq!(k.evict_frame(frame), Err(VmError::FrameBusy(frame)));
+        assert_eq!(k.return_frame(frame), Err(VmError::FrameBusy(frame)));
+        let done = k.next_flush_completion().expect("in flight");
+        k.clock.advance_to(done);
+        k.pump();
+        assert!(!k.frames.frame(frame).expect("frame").busy);
+    }
+
+    #[test]
     fn take_too_many_frames_fails_and_rolls_back() {
         let mut k = small_kernel();
         let before = k.free_count();
@@ -759,7 +908,11 @@ mod tests {
         let t = k.create_task();
         let (addr, _) = k.vm_allocate(t, PAGE_SIZE).expect("allocate");
         k.access(t, addr, true).expect("dirtying write");
-        let frame = k.task(t).expect("task").translate(addr.vpage()).expect("mapped");
+        let frame = k
+            .task(t)
+            .expect("task")
+            .translate(addr.vpage())
+            .expect("mapped");
         assert_eq!(k.return_frame(frame), Err(VmError::DirtyFrameFreed(frame)));
         assert_eq!(k.evict_frame(frame), Err(VmError::DirtyFrameFreed(frame)));
     }
@@ -770,7 +923,11 @@ mod tests {
         let t = k.create_task();
         let (addr, obj) = k.vm_allocate(t, PAGE_SIZE).expect("allocate");
         k.access(t, addr, false).expect("read fault");
-        let frame = k.task(t).expect("task").translate(addr.vpage()).expect("mapped");
+        let frame = k
+            .task(t)
+            .expect("task")
+            .translate(addr.vpage())
+            .expect("mapped");
         k.frames.remove(frame).expect("off the active queue");
         k.evict_frame(frame).expect("clean eviction");
         assert_eq!(k.task(t).expect("task").translate(addr.vpage()), None);

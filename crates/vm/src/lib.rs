@@ -20,9 +20,7 @@ pub mod task;
 pub mod types;
 
 pub use frame::{Frame, FrameTable, QueueId};
-pub use kernel::{
-    AccessKind, AccessOutcome, AccessResult, Kernel, KernelParams, PolicyFaultInfo,
-};
+pub use kernel::{AccessKind, AccessOutcome, AccessResult, Kernel, KernelParams, PolicyFaultInfo};
 pub use map::{MapEntry, VmMap};
 pub use object::{Backing, VmObject};
 pub use task::Task;

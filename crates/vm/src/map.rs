@@ -185,9 +185,12 @@ mod tests {
     #[test]
     fn insert_at_detects_overlap() {
         let mut m = VmMap::new();
-        m.insert_at(VAddr(0x10000), 4, ObjectId(1), 0).expect("first");
+        m.insert_at(VAddr(0x10000), 4, ObjectId(1), 0)
+            .expect("first");
         // Overlapping from below.
-        assert!(m.insert_at(VAddr(0x10000 - PAGE_SIZE), 2, ObjectId(2), 0).is_err());
+        assert!(m
+            .insert_at(VAddr(0x10000 - PAGE_SIZE), 2, ObjectId(2), 0)
+            .is_err());
         // Overlapping inside.
         assert!(m.insert_at(VAddr(0x11000), 1, ObjectId(2), 0).is_err());
         // Adjacent after is fine.
@@ -214,7 +217,8 @@ mod tests {
     #[test]
     fn remove_frees_the_address_range() {
         let mut m = VmMap::new();
-        m.insert_at(VAddr(0x20000), 4, ObjectId(1), 0).expect("insert");
+        m.insert_at(VAddr(0x20000), 4, ObjectId(1), 0)
+            .expect("insert");
         let e = m.remove(VAddr(0x20000)).expect("present");
         assert_eq!(e.pages, 4);
         assert!(m.is_empty());

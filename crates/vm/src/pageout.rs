@@ -42,10 +42,16 @@ impl Kernel {
     }
 
     /// Stage 2: reclaim from the inactive head with second chance.
+    ///
+    /// A dirty page whose flush submission fails (injected device fault)
+    /// goes back to the inactive tail and the scan moves on; the pop budget
+    /// bounds the pass so an all-faulting device cannot livelock it.
     fn reclaim_inactive(&mut self) -> Result<(u64, u64), VmError> {
         let mut freed = 0;
         let mut flushed = 0;
-        while self.free_count() < self.free_target {
+        let mut budget = self.inactive_count();
+        while self.free_count() < self.free_target && budget > 0 {
+            budget -= 1;
             let Some(f) = self.frames.dequeue_head(self.inactive_q)? else {
                 break;
             };
@@ -60,8 +66,15 @@ impl Kernel {
                 continue;
             }
             if frame.mod_bit {
-                self.start_flush(f)?;
-                flushed += 1;
+                match self.start_flush(f) {
+                    Ok(_) => flushed += 1,
+                    Err(VmError::Device(_)) => {
+                        // The page is untouched (still dirty and resident);
+                        // park it at the inactive tail for a later pass.
+                        self.frames.enqueue_tail(self.inactive_q, f)?;
+                    }
+                    Err(e) => return Err(e),
+                }
             } else {
                 self.evict_frame(f)?;
                 self.frames.enqueue_tail(self.free_q, f)?;
@@ -85,7 +98,6 @@ impl Kernel {
             .frame(frame)?
             .owner
             .ok_or(VmError::FrameNotQueued(frame))?;
-        self.unmap_frame(frame)?;
         // Anonymous objects get a swap extent the first time any of their
         // pages is written out.
         let key = object.0 as u64;
@@ -93,6 +105,23 @@ impl Kernel {
             let size = self.object(object)?.size_pages;
             self.backing.allocate(key, size)?;
         }
+        // Submit the write *before* mutating any frame or object state: an
+        // injected submission failure then leaves the page exactly as it
+        // was (dirty, mapped, resident) and needs no rollback.
+        let loc = self.backing.locate(key, offset.0)?;
+        let completion = match self.disk.write(loc.lba, self.clock.now()) {
+            Ok(c) => c,
+            Err(fault) => {
+                self.stats.bump("flush_errors");
+                return Err(VmError::Device(fault));
+            }
+        };
+        // Busy frames sit on no queue: detach callers that flush straight
+        // off a queue (the pageout path has already dequeued its victim).
+        if self.frames.queue_of(frame)?.is_some() {
+            self.frames.remove(frame)?;
+        }
+        self.unmap_frame(frame)?;
         {
             let obj = self.object_mut(object)?;
             obj.swap_allocated = true;
@@ -106,11 +135,13 @@ impl Kernel {
             f.busy = true;
         }
         self.charge(self.cost.flush_handoff);
-        let loc = self.backing.locate(key, offset.0)?;
-        let done = self.disk.write(loc.lba, self.clock.now());
-        self.inflight.push(InflightFlush { done, frame });
+        self.inflight.push(InflightFlush {
+            done: completion.done,
+            frame,
+            torn: completion.torn,
+        });
         self.stats.bump("pageouts");
-        Ok(done)
+        Ok(completion.done)
     }
 }
 
@@ -136,7 +167,8 @@ mod tests {
         let (addr, _) = k.vm_allocate(t, 100 * PAGE_SIZE).expect("allocate");
         // Read-only touches: pages stay clean, reclamation never writes.
         for p in 0..100 {
-            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false).expect("access");
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false)
+                .expect("access");
         }
         assert_eq!(k.stats.get("pageouts"), 0);
         assert!(k.stats.get("scans") > 0);
@@ -150,12 +182,15 @@ mod tests {
         let t = k.create_task();
         let (addr, _) = k.vm_allocate(t, 100 * PAGE_SIZE).expect("allocate");
         for p in 0..100 {
-            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true).expect("write");
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true)
+                .expect("write");
         }
         assert!(k.stats.get("pageouts") > 0);
         // Sweep again: previously paged-out pages come back from swap.
         for p in 0..100 {
-            let out = k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false).expect("read");
+            let out = k
+                .access(t, VAddr(addr.0 + p * PAGE_SIZE), false)
+                .expect("read");
             if let AccessOutcome::Done(r) = out {
                 if let Some(done) = r.io_until {
                     k.clock.advance_to(done);
@@ -175,17 +210,20 @@ mod tests {
         let (hot, _) = k.vm_allocate(t, 8 * PAGE_SIZE).expect("hot region");
         let (cold, _) = k.vm_allocate(t, 120 * PAGE_SIZE).expect("cold region");
         for p in 0..8 {
-            k.access(t, VAddr(hot.0 + p * PAGE_SIZE), false).expect("warm hot set");
+            k.access(t, VAddr(hot.0 + p * PAGE_SIZE), false)
+                .expect("warm hot set");
         }
         let mut hot_faults_after_warmup = 0;
         for sweep in 0..4 {
             for p in 0..120 {
-                k.access(t, VAddr(cold.0 + p * PAGE_SIZE), false).expect("cold");
+                k.access(t, VAddr(cold.0 + p * PAGE_SIZE), false)
+                    .expect("cold");
                 // Keep the hot set referenced throughout the sweep.
                 if p % 10 == 0 {
                     for h in 0..8 {
                         let before = k.stats.get("faults");
-                        k.access(t, VAddr(hot.0 + h * PAGE_SIZE), false).expect("hot");
+                        k.access(t, VAddr(hot.0 + h * PAGE_SIZE), false)
+                            .expect("hot");
                         if sweep > 0 {
                             hot_faults_after_warmup += k.stats.get("faults") - before;
                         }
@@ -209,7 +247,8 @@ mod tests {
         let t = k.create_task();
         let (addr, _) = k.vm_allocate(t, 100 * PAGE_SIZE).expect("allocate");
         for p in 0..100 {
-            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true).expect("write");
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), true)
+                .expect("write");
         }
         if let Some(done) = k.next_flush_completion() {
             k.clock.advance_to(done);

@@ -82,8 +82,13 @@ pub enum VmError {
     BadQueue(u32),
     /// A dirty frame was released without being flushed first.
     DirtyFrameFreed(FrameId),
+    /// The frame is busy (an in-flight flush) and cannot be evicted or
+    /// freed until its write completes.
+    FrameBusy(FrameId),
     /// The backing store rejected the operation.
     Backing(hipec_disk::backing::BackingError),
+    /// The paging device reported an I/O failure.
+    Device(hipec_disk::DiskFault),
     /// A zero-page region request.
     EmptyRegion,
 }
@@ -109,7 +114,9 @@ impl fmt::Display for VmError {
             VmError::FrameNotQueued(id) => write!(f, "{id} is not on the expected queue"),
             VmError::BadQueue(q) => write!(f, "invalid queue id {q}"),
             VmError::DirtyFrameFreed(id) => write!(f, "dirty {id} released without flush"),
+            VmError::FrameBusy(id) => write!(f, "{id} is busy (flush in flight)"),
             VmError::Backing(e) => write!(f, "backing store: {e}"),
+            VmError::Device(e) => write!(f, "paging device: {e}"),
             VmError::EmptyRegion => write!(f, "zero-sized region"),
         }
     }
@@ -120,6 +127,12 @@ impl std::error::Error for VmError {}
 impl From<hipec_disk::backing::BackingError> for VmError {
     fn from(e: hipec_disk::backing::BackingError) -> Self {
         VmError::Backing(e)
+    }
+}
+
+impl From<hipec_disk::DiskFault> for VmError {
+    fn from(e: hipec_disk::DiskFault) -> Self {
+        VmError::Device(e)
     }
 }
 

@@ -138,7 +138,11 @@ pub struct AimResult {
 #[derive(Debug)]
 enum Op {
     Compute(SimDuration),
-    Touch { region: Region, page: u64, write: bool },
+    Touch {
+        region: Region,
+        page: u64,
+        write: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -276,7 +280,11 @@ pub fn run(k: &mut impl SysKernel, cfg: &AimConfig) -> Result<AimResult, String>
                         users[i].ops[idx] = Op::Compute(left);
                     }
                 }
-                Op::Touch { region, page, write } => {
+                Op::Touch {
+                    region,
+                    page,
+                    write,
+                } => {
                     let base = match region {
                         Region::File => users[i].file_base,
                         Region::Anon => users[i].anon_base,

@@ -84,7 +84,11 @@ struct Db {
 }
 
 impl Db {
-    fn new(cfg: &DbConfig, index_policy: PolicyKind, table_policy: PolicyKind) -> Result<Self, HipecError> {
+    fn new(
+        cfg: &DbConfig,
+        index_policy: PolicyKind,
+        table_policy: PolicyKind,
+    ) -> Result<Self, HipecError> {
         let mut kernel = HipecKernel::new(cfg.params.clone());
         let task = kernel.vm.create_task();
         let (index_base, _o, index_key) = kernel.vm_map_hipec(
@@ -199,8 +203,7 @@ mod tests {
         let mixed = run_query_mix(&cfg, PolicyKind::Lru, PolicyKind::Mru).expect("mixed");
         let all_lru = run_query_mix(&cfg, PolicyKind::Lru, PolicyKind::Lru).expect("all lru");
         let all_mru = run_query_mix(&cfg, PolicyKind::Mru, PolicyKind::Mru).expect("all mru");
-        let all_fifo =
-            run_query_mix(&cfg, PolicyKind::Fifo, PolicyKind::Fifo).expect("all fifo");
+        let all_fifo = run_query_mix(&cfg, PolicyKind::Fifo, PolicyKind::Fifo).expect("all fifo");
         for (name, single) in [("LRU", all_lru), ("MRU", all_mru), ("FIFO", all_fifo)] {
             assert!(
                 mixed.elapsed < single.elapsed,

@@ -68,7 +68,8 @@ pub fn run_hipec(
     let (base, _obj, _key) = if with_io {
         k.vm_map_hipec(task, bytes, program, pages).expect("map")
     } else {
-        k.vm_allocate_hipec(task, bytes, program, pages).expect("allocate")
+        k.vm_allocate_hipec(task, bytes, program, pages)
+            .expect("allocate")
     };
     sweep(&mut k, task, bytes, base)
 }
@@ -87,10 +88,7 @@ mod tests {
         assert_eq!(r.faults, 1024);
         let per = r.per_fault();
         // 392 µs per zero-fill fault (+ small queue costs).
-        assert!(
-            (390.0..420.0).contains(&per.as_us_f64()),
-            "per-fault {per}"
-        );
+        assert!((390.0..420.0).contains(&per.as_us_f64()), "per-fault {per}");
     }
 
     #[test]
@@ -114,8 +112,7 @@ mod tests {
             PolicyKind::FifoSecondChance.program(),
         );
         assert_eq!(mach.faults, hipec.faults);
-        let overhead =
-            hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
+        let overhead = hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
         assert!(
             (0.001..0.04).contains(&overhead),
             "no-I/O overhead {:.2}% out of band",
@@ -133,8 +130,7 @@ mod tests {
             true,
             PolicyKind::FifoSecondChance.program(),
         );
-        let overhead =
-            hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
+        let overhead = hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
         assert!(
             overhead.abs() < 0.005,
             "with-I/O overhead {:.3}% should be ≈ 0.02%",

@@ -65,7 +65,9 @@ pub fn run(cfg: &JoinConfig, program: PolicyProgram) -> Result<JoinResult, Strin
     let task = k.vm.create_task();
 
     // The pinned 4 KB inner table: an ordinary resident page.
-    let (inner, _) = k.vm.vm_allocate(task, cfg.inner_bytes).map_err(|e| e.to_string())?;
+    let (inner, _) =
+        k.vm.vm_allocate(task, cfg.inner_bytes)
+            .map_err(|e| e.to_string())?;
     k.access(task, inner, false).map_err(|e| e.to_string())?;
 
     // The outer table: memory-mapped under specific control.

@@ -6,9 +6,7 @@
 
 use hipec_core::{HipecError, HipecKernel};
 use hipec_sim::{SimDuration, SimTime};
-use hipec_vm::{
-    AccessOutcome, AccessResult, Kernel, ObjectId, TaskId, VAddr, VmError,
-};
+use hipec_vm::{AccessOutcome, AccessResult, Kernel, ObjectId, TaskId, VAddr, VmError};
 
 /// Workload-facing kernel operations.
 pub trait SysKernel {
@@ -104,7 +102,11 @@ impl SysKernel for HipecKernel {
 }
 
 /// Convenience: maps a file-backed region (both kernels).
-pub fn map_file(k: &mut (impl SysKernel + ?Sized), task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), String> {
+pub fn map_file(
+    k: &mut (impl SysKernel + ?Sized),
+    task: TaskId,
+    bytes: u64,
+) -> Result<(VAddr, ObjectId), String> {
     k.vm().vm_map(task, bytes).map_err(|e| e.to_string())
 }
 

@@ -83,8 +83,7 @@ impl Mm {
         // A and C stream row-major with strong locality; model their cost
         // as per-element compute below and keep only B under page-level
         // simulation (it is the matrix whose reuse pattern matters).
-        let (b_base, _o, key) =
-            k.vm_map_hipec(task, cfg.matrix_bytes(), policy, cfg.pool_pages)?;
+        let (b_base, _o, key) = k.vm_map_hipec(task, cfg.matrix_bytes(), policy, cfg.pool_pages)?;
         Ok(Mm {
             k,
             task,

@@ -55,9 +55,7 @@ pub fn generate(pattern: Pattern, pages: u64, rng: &mut DetRng) -> Vec<u64> {
             let table = ZipfTable::new(pages as usize, s);
             (0..count).map(|_| table.sample(rng) as u64).collect()
         }
-        Pattern::Strided { count, stride } => {
-            (0..count).map(|i| (i * stride) % pages).collect()
-        }
+        Pattern::Strided { count, stride } => (0..count).map(|i| (i * stride) % pages).collect(),
         Pattern::HotCold { count, hot } => (0..count)
             .flat_map(|i| [i % hot.max(1), rng.below(pages)])
             .collect(),
@@ -109,7 +107,13 @@ mod tests {
             (Pattern::Cyclic { loops: 3 }, 96),
             (Pattern::Random { count: 50 }, 50),
             (Pattern::Zipf { count: 50, s: 1.0 }, 50),
-            (Pattern::Strided { count: 40, stride: 7 }, 40),
+            (
+                Pattern::Strided {
+                    count: 40,
+                    stride: 7,
+                },
+                40,
+            ),
             (Pattern::HotCold { count: 25, hot: 4 }, 50),
         ] {
             let t = generate(pattern, 32, &mut rng);
@@ -121,7 +125,14 @@ mod tests {
     #[test]
     fn zipf_trace_is_skewed() {
         let mut rng = DetRng::new(10);
-        let t = generate(Pattern::Zipf { count: 5_000, s: 1.0 }, 64, &mut rng);
+        let t = generate(
+            Pattern::Zipf {
+                count: 5_000,
+                s: 1.0,
+            },
+            64,
+            &mut rng,
+        );
         let low = t.iter().filter(|&&p| p < 8).count();
         assert!(low > t.len() / 3, "{low} of {} in the hot eighth", t.len());
     }

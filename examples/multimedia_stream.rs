@@ -48,8 +48,12 @@ fn play(
         stream_faults += k.vm().stats.get("faults") - before;
         // The background app touches a few hot pages between frames.
         for h in 0..4 {
-            k.access_wait(bg, VAddr(hot_base.0 + ((p * 4 + h) % HOT_PAGES) * PAGE_SIZE), false)
-                .expect("background work");
+            k.access_wait(
+                bg,
+                VAddr(hot_base.0 + ((p * 4 + h) % HOT_PAGES) * PAGE_SIZE),
+                false,
+            )
+            .expect("background work");
         }
     }
     let bg_faults = k.vm().stats.get("faults") - bg_warm_faults - stream_faults;
@@ -67,7 +71,9 @@ fn main() {
         .vm_map(player, STREAM_PAGES * PAGE_SIZE)
         .expect("map stream");
     let bg = mach.create_task();
-    let (hot, _) = mach.vm_allocate(bg, HOT_PAGES * PAGE_SIZE).expect("hot set");
+    let (hot, _) = mach
+        .vm_allocate(bg, HOT_PAGES * PAGE_SIZE)
+        .expect("hot set");
     let (bg_faults, stream_faults) = play(&mut mach, player, stream, bg, hot);
     println!("Mach   : stream faults {stream_faults:>6}, background re-faults {bg_faults:>6}");
 
@@ -84,7 +90,10 @@ fn main() {
         )
         .expect("install stream policy");
     let bg = hipec.vm.create_task();
-    let (hot, _) = hipec.vm.vm_allocate(bg, HOT_PAGES * PAGE_SIZE).expect("hot set");
+    let (hot, _) = hipec
+        .vm
+        .vm_allocate(bg, HOT_PAGES * PAGE_SIZE)
+        .expect("hot set");
     let (bg_faults_h, stream_faults_h) = play(&mut hipec, player, stream, bg, hot);
     println!("HiPEC  : stream faults {stream_faults_h:>6}, background re-faults {bg_faults_h:>6}");
 

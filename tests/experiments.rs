@@ -20,7 +20,10 @@ fn table3_shape_overhead_small_positive_no_io_negligible_with_io() {
     let hipec = fault_sweep::run_hipec(KernelParams::paper_64mb(), bytes, false, program());
     let no_io = hipec.elapsed.as_ns() as f64 / mach.elapsed.as_ns() as f64 - 1.0;
     // Paper: 1.8 %.
-    assert!((0.005..0.035).contains(&no_io), "no-I/O overhead {no_io:.4}");
+    assert!(
+        (0.005..0.035).contains(&no_io),
+        "no-I/O overhead {no_io:.4}"
+    );
 
     let mach = fault_sweep::run_mach(KernelParams::paper_64mb(), bytes, true);
     let hipec = fault_sweep::run_hipec(KernelParams::paper_64mb(), bytes, true, program());
@@ -121,9 +124,7 @@ fn fig6_gain_tracks_the_papers_closed_form() {
     cfg.inner_bytes = 512; // 8 scans
     let lru = join_run(&cfg, PolicyKind::Lru.program()).expect("lru");
     let mru = join_run(&cfg, PolicyKind::Mru.program()).expect("mru");
-    let fault_time = SimDuration::from_ns(
-        (lru.elapsed.as_ns() as f64 / lru.faults as f64) as u64,
-    );
+    let fault_time = SimDuration::from_ns((lru.elapsed.as_ns() as f64 / lru.faults as f64) as u64);
     let gain = analytic::gain(
         cfg.outer_bytes,
         cfg.memory_bytes,

@@ -19,7 +19,9 @@ fn plain_kernel_pages_against_flash() {
     let t = k.create_task();
     let (base, _) = k.vm_map(t, 64 * PAGE_SIZE).expect("map");
     for p in 0..64u64 {
-        let out = k.access(t, VAddr(base.0 + p * PAGE_SIZE), false).expect("access");
+        let out = k
+            .access(t, VAddr(base.0 + p * PAGE_SIZE), false)
+            .expect("access");
         if let hipec_vm::AccessOutcome::Done(r) = out {
             if let Some(done) = r.io_until {
                 k.clock.advance_to(done);
@@ -40,8 +42,9 @@ fn flash_reads_are_much_faster_than_disk_reads() {
         let (base, _) = k.vm_map(t, 256 * PAGE_SIZE).expect("map");
         let start = k.now();
         for p in 0..256u64 {
-            if let hipec_vm::AccessOutcome::Done(r) =
-                k.access(t, VAddr(base.0 + p * PAGE_SIZE), false).expect("access")
+            if let hipec_vm::AccessOutcome::Done(r) = k
+                .access(t, VAddr(base.0 + p * PAGE_SIZE), false)
+                .expect("access")
             {
                 if let Some(done) = r.io_until {
                     k.clock.advance_to(done);
@@ -78,6 +81,9 @@ fn hipec_policies_run_unchanged_on_flash() {
     // PF_m over three sweeps.
     assert_eq!(c.stats.faults, 96 + 2 * (96 - 64));
     let flash = k.vm.device().as_flash().expect("flash device");
-    assert!(flash.stats().host_writes > 0, "dirty evictions programmed flash");
+    assert!(
+        flash.stats().host_writes > 0,
+        "dirty evictions programmed flash"
+    );
     audit_frames(&k);
 }

@@ -138,7 +138,8 @@ fn killing_one_app_frees_its_frames_for_others() {
     assert!(!k.container(k1).expect("container").terminated);
 
     // And the dead app's region still works through the default pool.
-    k.access_sync(t2, a2, false).expect("region reverts to default");
+    k.access_sync(t2, a2, false)
+        .expect("region reverts to default");
 }
 
 #[test]

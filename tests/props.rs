@@ -208,6 +208,211 @@ proptest! {
     }
 }
 
+// --- Random policies under deterministic fault injection ----------------------
+
+use hipec_disk::FaultConfig;
+use hipec_vm::TaskId;
+
+fn fault_config(seed: u64, read_err: u16, write_err: u16, delay: u16, torn: u16) -> FaultConfig {
+    FaultConfig {
+        seed,
+        read_error_permille: read_err,
+        write_error_permille: write_err,
+        delay_permille: delay,
+        max_delay: hipec_sim::SimDuration::from_us(500),
+        torn_permille: torn,
+    }
+}
+
+/// Runs `trace` through a policy-managed region with faults injected, and
+/// audits every kernel step. Returns the injected-fault trace and a few
+/// counters (the determinism fingerprint).
+fn drive_faulty(
+    kind: PolicyKind,
+    trace: &[u64],
+    cap: u64,
+    cfg: FaultConfig,
+) -> (Vec<hipec_disk::InjectedFault>, u64, u64) {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 128;
+    params.wired_frames = 8;
+    let mut k = HipecKernel::new(params);
+    k.vm.set_fault_plan(cfg);
+    let task = k.vm.create_task();
+    let (base, _o, _key) = k
+        .vm_allocate_hipec(task, 24 * PAGE_SIZE, kind.program(), cap)
+        .expect("install");
+    for &p in trace {
+        // Accesses either succeed or raise a typed error (a device fault,
+        // or the security checker terminating the policy); the kernel
+        // state must stay consistent either way.
+        let addr = VAddr(base.0 + p * PAGE_SIZE);
+        // Writes make pages dirty so flushes (and torn flushes) happen.
+        let _ = k.access_sync(task, addr, p % 2 == 0);
+        k.pump();
+        k.check_invariants()
+            .expect("invariants must survive injected faults");
+    }
+    let faults =
+        k.vm.device()
+            .fault_plan()
+            .expect("plan installed")
+            .trace()
+            .to_vec();
+    (
+        faults,
+        k.vm.stats.get("torn_flushes"),
+        k.vm.stats.get("read_errors"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random replacement policy, random trace, random fault plan: every
+    /// kernel step either succeeds or raises a typed fault, and the
+    /// invariant audit passes after every step.
+    #[test]
+    fn policies_under_faults_preserve_invariants(
+        kind_idx in 0usize..5,
+        trace in prop::collection::vec(0u64..24, 1..60),
+        cap in 2u64..12,
+        seed in any::<u64>(),
+        read_err in 0u16..120,
+        write_err in 0u16..120,
+        delay in 0u16..200,
+        torn in 0u16..150,
+    ) {
+        let cfg = fault_config(seed, read_err, write_err, delay, torn);
+        drive_faulty(PolicyKind::ALL[kind_idx], &trace, cap, cfg);
+    }
+
+    /// Fault injection is deterministic: the same seed yields the same
+    /// injected-fault trace and the same failure counters, twice over.
+    #[test]
+    fn fault_injection_replays_exactly(
+        kind_idx in 0usize..5,
+        trace in prop::collection::vec(0u64..24, 1..40),
+        cap in 2u64..12,
+        seed in any::<u64>(),
+    ) {
+        let cfg = fault_config(seed, 80, 80, 150, 120);
+        let a = drive_faulty(PolicyKind::ALL[kind_idx], &trace, cap, cfg);
+        let b = drive_faulty(PolicyKind::ALL[kind_idx], &trace, cap, cfg);
+        prop_assert_eq!(a, b, "same seed must replay the same failure trace");
+    }
+}
+
+// --- Random command streams under faults ---------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum PolicyOp {
+    Request,
+    DequeueFree,
+    DequeueQ,
+    EnqueueFree,
+    EnqueueQ,
+    Release,
+    Flush,
+    Fifo,
+    Mru,
+    RefBit,
+    ModBit,
+}
+
+fn policy_op() -> impl Strategy<Value = PolicyOp> {
+    prop_oneof![
+        Just(PolicyOp::Request),
+        Just(PolicyOp::DequeueFree),
+        Just(PolicyOp::DequeueQ),
+        Just(PolicyOp::EnqueueFree),
+        Just(PolicyOp::EnqueueQ),
+        Just(PolicyOp::Release),
+        Just(PolicyOp::Flush),
+        Just(PolicyOp::Fifo),
+        Just(PolicyOp::Mru),
+        Just(PolicyOp::RefBit),
+        Just(PolicyOp::ModBit),
+    ]
+}
+
+/// Assembles a straight-line policy event from the op list. Slot layout:
+/// 0 free queue, 1 extra queue, 2 page, 3 int(1).
+fn assemble(ops: &[PolicyOp]) -> hipec_core::PolicyProgram {
+    use hipec_core::command::{build, QueueEnd};
+    use hipec_core::{OperandDecl, PolicyProgram, NO_OPERAND};
+    let mut p = PolicyProgram::new();
+    let free = p.declare(OperandDecl::FreeQueue);
+    let q = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    let one = p.declare(OperandDecl::Int(1));
+    let mut cmds = Vec::with_capacity(ops.len() + 1);
+    for op in ops {
+        cmds.push(match op {
+            PolicyOp::Request => build::request(one, NO_OPERAND),
+            PolicyOp::DequeueFree => build::dequeue(page, free, QueueEnd::Head),
+            PolicyOp::DequeueQ => build::dequeue(page, q, QueueEnd::Head),
+            PolicyOp::EnqueueFree => build::enqueue(page, free, QueueEnd::Tail),
+            PolicyOp::EnqueueQ => build::enqueue(page, q, QueueEnd::Tail),
+            PolicyOp::Release => build::release(page),
+            PolicyOp::Flush => build::flush(page),
+            PolicyOp::Fifo => build::fifo(q, NO_OPERAND),
+            PolicyOp::Mru => build::mru(q, NO_OPERAND),
+            PolicyOp::RefBit => build::is_ref(page),
+            PolicyOp::ModBit => build::is_mod(page),
+        });
+    }
+    cmds.push(build::ret(NO_OPERAND));
+    p.add_event("PageFault", cmds.clone());
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary well-typed command streams, run repeatedly under a random
+    /// fault plan, either complete or abort with a typed policy fault — and
+    /// the kernel invariants hold after every event, no matter what the
+    /// policy did to its queues and slots.
+    #[test]
+    fn random_command_streams_cannot_corrupt_the_kernel(
+        ops in prop::collection::vec(policy_op(), 0..24),
+        seed in any::<u64>(),
+        write_err in 0u16..200,
+        torn in 0u16..200,
+        rounds in 1usize..6,
+    ) {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 64;
+        params.wired_frames = 4;
+        let mut k = HipecKernel::new(params);
+        k.vm.set_fault_plan(fault_config(seed, 0, write_err, 100, torn));
+        let task = k.vm.create_task();
+        let program = assemble(&ops);
+        let (_, _, key) = match k.vm_allocate_hipec(task, 16 * PAGE_SIZE, program, 4) {
+            Ok(r) => r,
+            // Static validation may reject some streams; that is a typed
+            // failure, not a property violation.
+            Err(hipec_core::HipecError::InvalidProgram(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("install failed: {e}"))),
+        };
+        for _ in 0..rounds {
+            // Each event run either returns a value or a typed fault.
+            let _ = k.run_event_raw(key, hipec_core::EVENT_PAGE_FAULT);
+            k.check_invariants()
+                .expect("invariants must survive arbitrary policies");
+        }
+        // Drain any in-flight flushes the policy started.
+        while let Some(done) = k.vm.next_flush_completion() {
+            k.vm.clock.advance_to(done);
+            k.pump();
+        }
+        k.check_invariants().expect("invariants hold after drain");
+        let _ = TaskId(0);
+    }
+}
+
 // --- Event queue vs a sorted-model oracle -------------------------------------
 
 #[derive(Debug, Clone)]

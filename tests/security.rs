@@ -136,10 +136,10 @@ fn dirty_free_policy_is_contained() {
 #[test]
 fn wild_jump_and_bad_opcode_programs_are_rejected_statically() {
     for bad_cmd in [
-        RawCmd::new(0xEE, 0, 0, 0),                 // undefined opcode
+        RawCmd::new(0xEE, 0, 0, 0), // undefined opcode
         build::jump(hipec_core::command::JumpMode::Always, 9_999), // wild jump
-        RawCmd::new(0x02, 200, 0, 0),               // operand index out of range
-        RawCmd::new(0x0C, 1, 0xEE, 9),              // bad Set flags
+        RawCmd::new(0x02, 200, 0, 0), // operand index out of range
+        RawCmd::new(0x0C, 1, 0xEE, 9), // bad Set flags
     ] {
         let mut p = PolicyProgram::new();
         let _fq = p.declare(OperandDecl::FreeQueue);

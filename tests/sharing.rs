@@ -23,8 +23,9 @@ fn second_mapper_takes_minor_faults_only() {
 
     // Task 1 pages everything in (major faults with device reads).
     for p in 0..16u64 {
-        if let hipec_vm::AccessOutcome::Done(r) =
-            k.access(t1, VAddr(a1.0 + p * PAGE_SIZE), false).expect("t1 access")
+        if let hipec_vm::AccessOutcome::Done(r) = k
+            .access(t1, VAddr(a1.0 + p * PAGE_SIZE), false)
+            .expect("t1 access")
         {
             if let Some(done) = r.io_until {
                 k.clock.advance_to(done);
@@ -38,7 +39,10 @@ fn second_mapper_takes_minor_faults_only() {
     // Task 2 touches the same pages: resident already — minor faults, no
     // further device traffic.
     for p in 0..16u64 {
-        match k.access(t2, VAddr(a2.0 + p * PAGE_SIZE), false).expect("t2 access") {
+        match k
+            .access(t2, VAddr(a2.0 + p * PAGE_SIZE), false)
+            .expect("t2 access")
+        {
             hipec_vm::AccessOutcome::Done(r) => {
                 assert_eq!(r.kind, AccessKind::MinorFault, "page {p}");
                 assert!(r.io_until.is_none());
@@ -46,7 +50,11 @@ fn second_mapper_takes_minor_faults_only() {
             other => panic!("unexpected outcome {other:?}"),
         }
     }
-    assert_eq!(k.stats.get("pageins"), pageins_after_t1, "no new device reads");
+    assert_eq!(
+        k.stats.get("pageins"),
+        pageins_after_t1,
+        "no new device reads"
+    );
     assert_eq!(k.stats.get("minor_faults"), 16);
 }
 
@@ -60,7 +68,11 @@ fn eviction_unmaps_every_sharer() {
     let a2 = k.map_object(t2, obj, 0, 4).expect("map t2");
     k.access(t1, a1, false).expect("t1 touch");
     k.access(t2, a2, false).expect("t2 touch (minor)");
-    let frame = k.task(t1).expect("task").translate(a1.vpage()).expect("mapped");
+    let frame = k
+        .task(t1)
+        .expect("task")
+        .translate(a1.vpage())
+        .expect("mapped");
     assert_eq!(
         k.frames.frame(frame).expect("frame").mappings.len(),
         2,
@@ -84,13 +96,15 @@ fn hipec_region_shared_with_a_plain_mapper() {
         .vm_map_hipec(t1, 32 * PAGE_SIZE, PolicyKind::Fifo.program(), 32)
         .expect("install");
     for p in 0..32u64 {
-        k.access_sync(t1, VAddr(a1.0 + p * PAGE_SIZE), false).expect("owner touch");
+        k.access_sync(t1, VAddr(a1.0 + p * PAGE_SIZE), false)
+            .expect("owner touch");
     }
     let owner_faults = k.container(key).expect("container").stats.faults;
     let t2 = k.vm.create_task();
     let a2 = k.vm.map_object(t2, obj, 0, 32).expect("second mapping");
     for p in 0..32u64 {
-        k.access_sync(t2, VAddr(a2.0 + p * PAGE_SIZE), false).expect("sharer touch");
+        k.access_sync(t2, VAddr(a2.0 + p * PAGE_SIZE), false)
+            .expect("sharer touch");
     }
     assert_eq!(
         k.container(key).expect("container").stats.faults,

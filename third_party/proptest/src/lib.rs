@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace uses — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! [`prop_oneof!`], ranges/tuples/[`strategy::Just`]/[`collection::vec`]
+//! strategies, [`arbitrary::any`], [`bool::ANY`], simple string patterns, and
+//! [`prop_assert!`]/[`prop_assert_eq!`] — on top of a deterministic
+//! per-test-name seeded generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim
+//!   (they are `Debug`-printed before the test body runs) together with the
+//!   seed, so failures are reproducible but not minimized.
+//! * **No corpus persistence.** `proptest-regressions/` files are neither
+//!   read nor written; known regressions are pinned as explicit `#[test]`
+//!   replays instead (see `crates/disk/src/flash.rs`).
+//! * Seeding is derived from the fully qualified test name; set
+//!   `PROPTEST_SEED=<u64>` (decimal or `0x`-hex) to override for replay.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`] entry point.
+
+    use crate::strategy::{ArbInt, Strategy};
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The strategy [`any`] returns.
+        type Strategy: Strategy<Value = Self>;
+
+        /// The canonical full-domain strategy for this type.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = ArbInt<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    ArbInt::new()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        type Strategy = crate::bool::Any;
+        fn arbitrary() -> Self::Strategy {
+            crate::bool::Any
+        }
+    }
+}
+
+pub mod bool {
+    //! Strategies for `bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing either boolean with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use core::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Minimal string-pattern strategies (`&str` as a strategy).
+    //!
+    //! Supports the `\PC{m,n}` shape ("m to n printable characters") the
+    //! workspace uses; any other pattern generates itself literally.
+
+    use crate::test_runner::TestRng;
+
+    pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        if let Some(rest) = pattern.strip_prefix("\\PC{") {
+            if let Some(bounds) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = bounds.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                        let len = lo + rng.below(hi - lo + 1);
+                        return (0..len).map(|_| printable_char(rng)).collect();
+                    }
+                }
+            }
+        }
+        pattern.to_string()
+    }
+
+    fn printable_char(rng: &mut TestRng) -> char {
+        // Mostly ASCII printable, with a sprinkling of non-ASCII scalars to
+        // exercise multi-byte handling; never a control character.
+        match rng.below(10) {
+            0 => {
+                let mut c = ' ';
+                for _ in 0..16 {
+                    if let Some(x) = char::from_u32(0xA0 + rng.next_u64() as u32 % 0xFF00) {
+                        if !x.is_control() {
+                            c = x;
+                            break;
+                        }
+                    }
+                }
+                c
+            }
+            _ => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Chooses uniformly among several strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current test case (without panicking) if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __a,
+                    __b,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `cases` random instantiations of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                &__cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng, __input| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    {
+                        use ::std::fmt::Write as _;
+                        $(let _ = ::core::write!(
+                            __input,
+                            concat!(stringify!($arg), " = {:?}; "),
+                            &$arg
+                        );)+
+                    }
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Box(u16, u16),
+    }
+
+    fn shape() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            Just(Shape::Dot),
+            (0u8..9).prop_map(Shape::Line),
+            (1u16..4, any::<u16>()).prop_map(|(w, h)| Shape::Box(w, h)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in prop::collection::vec(any::<u32>(), 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7, "len {}", xs.len());
+        }
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..10, b in -4i32..=4, c in 0usize..1) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert_eq!(c, 0);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(shapes in prop::collection::vec(shape(), 64..65)) {
+            let dots = shapes.iter().filter(|s| **s == Shape::Dot).count();
+            prop_assert!(dots < 64, "union never picked the other arms");
+        }
+
+        #[test]
+        fn string_pattern_is_printable(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!(s.chars().all(|c| !c.is_control()), "control char in {s:?}");
+        }
+
+        #[test]
+        fn bools_vary(flags in prop::collection::vec(prop::bool::ANY, 64..65)) {
+            prop_assert!(flags.iter().any(|&f| f));
+            prop_assert!(flags.iter().any(|&f| !f));
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u64>(), 1..50);
+        let mut r1 = crate::test_runner::TestRng::for_case(1234, 5);
+        let mut r2 = crate::test_runner::TestRng::for_case(1234, 5);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failures_carry_input_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 10u32..20) {
+                prop_assert!(x < 10, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

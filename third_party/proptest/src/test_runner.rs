@@ -1,0 +1,175 @@
+//! Deterministic case execution: config, RNG, and the runner behind the
+//! `proptest!` macro.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case asked to be discarded (counted, not failed).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The deterministic generator strategies draw from (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// The generator for one case of a run seeded with `seed`.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        let mut sm = seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, the base seed for a test name.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn configured_seed(name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse::<u64>().ok()
+            };
+            parsed.unwrap_or_else(|| panic!("PROPTEST_SEED must be a u64, got '{v}'"))
+        }
+        Err(_) => name_seed(name),
+    }
+}
+
+/// Executes `cfg.cases` random instantiations of a property.
+///
+/// The closure receives the per-case RNG and a buffer it must fill with a
+/// `Debug` rendering of the generated inputs *before* running the body, so
+/// both failures and panics can report what was being tested.
+pub fn run<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let seed = configured_seed(name);
+    let mut rejected = 0u32;
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::for_case(seed, u64::from(case));
+        let mut input = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut input)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
+            Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                "proptest failure in {name}, case {case}/{} \
+                 (replay with PROPTEST_SEED={seed:#x}): {msg}\n  input: {input}",
+                cfg.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest panic in {name}, case {case}/{} \
+                     (replay with PROPTEST_SEED={seed:#x})\n  input: {input}",
+                    cfg.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+    if rejected > 0 && u64::from(rejected) * 2 > u64::from(cfg.cases) {
+        panic!(
+            "proptest {name}: too many rejected cases ({rejected}/{})",
+            cfg.cases
+        );
+    }
+}

@@ -1,0 +1,477 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the stand-in's
+//! `Value`-tree model using only the built-in `proc_macro` API (no `syn` /
+//! `quote`, which are unavailable offline). Supported shapes cover everything
+//! this workspace derives:
+//!
+//! * structs with named fields (externally visible as a JSON object),
+//! * newtype / tuple structs (serialized as the inner value, or an array),
+//! * enums with unit, newtype, and struct variants (serde's externally
+//!   tagged layout: `"Variant"` or `{"Variant": ...}`).
+//!
+//! Generics, lifetimes, and `#[serde(...)]` attributes are not supported —
+//! the attribute is accepted (so existing code parses) but must not be
+//! present on derived items; types needing custom behaviour hand-write the
+//! impls instead.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading `#[...]` attribute pairs, erroring on `#[serde(...)]`.
+fn skip_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let body = g.stream().to_string();
+                        assert!(
+                            !body.starts_with("serde"),
+                            "the vendored serde_derive does not support #[serde(...)] \
+                             attributes; hand-write the impls instead (found #[{body}])"
+                        );
+                    }
+                    other => panic!("malformed attribute: expected [...], got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(name)) => fields.push(name.to_string()),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type: everything up to a top-level comma. Generic angle
+        // brackets need depth tracking since `<`/`>` are bare puncts.
+        let mut depth = 0i32;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts tuple fields in `(Type, Type, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut depth = 0i32;
+    loop {
+        // Each iteration consumes one field (attrs + vis + type tokens).
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        saw_any = true;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        count += 1;
+    }
+    if saw_any {
+        count
+    } else {
+        0
+    }
+}
+
+/// Parses enum variants from the enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                toks.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                toks.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("explicit enum discriminants are not supported by the vendored derive")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            other => panic!("expected ',' after variant, got {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("malformed enum body for {name}: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, got {other}"),
+    }
+}
+
+fn serialize_fields_expr(path_prefix: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new(); ");
+            for n in names {
+                s.push_str(&format!(
+                    "__m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({path_prefix}{n})); "
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value({path_prefix}0)"),
+        Fields::Tuple(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_value({path_prefix}{i}), "));
+            }
+            s.push_str("])");
+            s
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn gen_struct_impls(name: &str, fields: &Fields) -> String {
+    let ser_body = match fields {
+        Fields::Named(_) | Fields::Tuple(_) => serialize_fields_expr("&self.", fields),
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    let de_body = match fields {
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let __m = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected object for struct {name}\"))?; Ok({name} {{ "
+            );
+            for n in names {
+                s.push_str(&format!(
+                    "{n}: ::serde::Deserialize::from_value(__m.get(\"{n}\").ok_or_else(|| \
+                     ::serde::DeError::custom(\"missing field `{n}` in {name}\"))?)?, "
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                 \"expected array for tuple struct {name}\"))?; \
+                 if __a.len() != {n} {{ return Err(::serde::DeError::custom(\
+                 \"wrong tuple length for {name}\")); }} Ok({name}("
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__a[{i}])?, "));
+            }
+            s.push_str("))");
+            s
+        }
+        Fields::Unit => format!("let _ = __v; Ok({name})"),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {ser_body} }} }} \
+         #[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {de_body} }} }}"
+    )
+}
+
+fn gen_enum_impls(name: &str, variants: &[Variant]) -> String {
+    // Serialize: match on self, emitting serde's externally tagged layout.
+    let mut ser_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => ser_arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()), "
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let mut s = String::from("::serde::Value::Array(vec![");
+                    for b in &binds {
+                        s.push_str(&format!("::serde::Serialize::to_value({b}), "));
+                    }
+                    s.push_str("])");
+                    s
+                };
+                ser_arms.push_str(&format!(
+                    "{name}::{vn}({}) => {{ let mut __m = ::serde::Map::new(); \
+                     __m.insert(\"{vn}\".to_string(), {inner}); ::serde::Value::Object(__m) }} ",
+                    binds.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let mut inner = String::from("{ let mut __i = ::serde::Map::new(); ");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "__i.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f})); "
+                    ));
+                }
+                inner.push_str("::serde::Value::Object(__i) }");
+                ser_arms.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => {{ let mut __m = ::serde::Map::new(); \
+                     __m.insert(\"{vn}\".to_string(), {inner}); ::serde::Value::Object(__m) }} ",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+
+    // Deserialize: strings name unit variants, single-key objects the rest.
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}), ")),
+            Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)), "
+            )),
+            Fields::Tuple(n) => {
+                let mut s = format!(
+                    "\"{vn}\" => {{ let __a = __inner.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?; \
+                     if __a.len() != {n} {{ return Err(::serde::DeError::custom(\
+                     \"wrong tuple length for {name}::{vn}\")); }} Ok({name}::{vn}("
+                );
+                for i in 0..*n {
+                    s.push_str(&format!("::serde::Deserialize::from_value(&__a[{i}])?, "));
+                }
+                s.push_str(")) } ");
+                tagged_arms.push_str(&s);
+            }
+            Fields::Named(fields) => {
+                let mut s = format!(
+                    "\"{vn}\" => {{ let __i = __inner.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?; \
+                     Ok({name}::{vn} {{ "
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(__i.get(\"{f}\").ok_or_else(|| \
+                         ::serde::DeError::custom(\"missing field `{f}` in {name}::{vn}\"))?)?, "
+                    ));
+                }
+                s.push_str("}) } ");
+                tagged_arms.push_str(&s);
+            }
+        }
+    }
+
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ match self {{ {ser_arms} }} }} }} \
+         #[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+             match __v {{ \
+               ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => Err(::serde::DeError::custom(format!(\
+                   \"unknown variant `{{__other}}` for {name}\"))), }}, \
+               ::serde::Value::Object(__m) if __m.len() == 1 => {{ \
+                 let (__tag, __inner) = __m.iter().next().expect(\"len checked\"); \
+                 match __tag.as_str() {{ {tagged_arms} \
+                   __other => Err(::serde::DeError::custom(format!(\
+                     \"unknown variant `{{__other}}` for {name}\"))), }} }} \
+               __other => Err(::serde::DeError::custom(format!(\
+                 \"expected string or single-key object for enum {name}, found {{}}\", \
+                 __other.kind()))), }} }} }}"
+    )
+}
+
+fn derive_impls(input: TokenStream) -> TokenStream {
+    let generated = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_impls(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_impls(&name, &variants),
+    };
+    generated
+        .parse()
+        .expect("vendored serde_derive generated invalid Rust")
+}
+
+/// Derives both directions at once; emitted only by whichever derive runs
+/// first on an item would double-define, so each derive emits only its own
+/// trait. To keep the generator simple both derives share `derive_impls` and
+/// filter the half they need.
+fn filter_impl(full: TokenStream, trait_name: &str) -> TokenStream {
+    // The generated stream is exactly two `#[automatically_derived] impl ...`
+    // items; keep the one whose header mentions `trait_name`.
+    let toks: Vec<TokenTree> = full.into_iter().collect();
+    let mut out = TokenStream::new();
+    let mut item = Vec::new();
+    let mut items = Vec::new();
+    for t in toks {
+        let is_item_end = matches!(&t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace);
+        item.push(t);
+        if is_item_end
+            && item
+                .iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "impl"))
+        {
+            items.push(std::mem::take(&mut item));
+        }
+    }
+    for item in items {
+        // Inspect only the header (everything before the body brace group):
+        // the trait path appears there as an exact ident, which avoids the
+        // "Deserialize" contains "Serialize" substring trap.
+        let header_matches = item[..item.len() - 1]
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == trait_name));
+        if header_matches {
+            out.extend(item);
+        }
+    }
+    out
+}
+
+/// Derive macro for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    filter_impl(derive_impls(input), "Serialize")
+}
+
+/// Derive macro for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    filter_impl(derive_impls(input), "Deserialize")
+}
