@@ -113,6 +113,7 @@ fn main() {
                 k.vm.pump();
             }
         }
+        let stats = k.kernel_stats();
         let c = k.container(key).expect("container");
         let specific_faults = c.stats.faults;
         let total_faults = k.vm.stats.get("faults");
@@ -121,11 +122,23 @@ fn main() {
             "{:<10} {:>14} {:>16} {:>18}",
             pct, c.allocated, specific_faults, non_specific_faults
         );
+        println!(
+            "{:<10} grants={} rejections={} reclaims={}+{} (normal+forced)",
+            "",
+            stats.get("gfm_grants"),
+            stats.get("gfm_rejections"),
+            stats.get("gfm_normal_reclaims"),
+            stats.get("gfm_forced_reclaims"),
+        );
         rows.push(serde_json::json!({
             "burst_pct": pct,
             "specific_frames": c.allocated,
             "specific_faults": specific_faults,
             "non_specific_faults": non_specific_faults,
+            "gfm_grants": stats.get("gfm_grants"),
+            "gfm_rejections": stats.get("gfm_rejections"),
+            "gfm_normal_reclaims": stats.get("gfm_normal_reclaims"),
+            "gfm_forced_reclaims": stats.get("gfm_forced_reclaims"),
         }));
     }
     println!("\nreading: a larger partition lets the specific application grow its");

@@ -50,6 +50,8 @@ fn main() {
             format!("{} / {}", mach.latency.mean(), mach.latency.quantile(0.99)),
         ]);
 
+        let stats = hipec.kernel.as_ref().expect("hipec runs snapshot counters");
+        let policy = stats.containers.first().expect("one container installed");
         let key = if with_io { "with_io" } else { "no_io" };
         json.insert(
             key.to_string(),
@@ -58,8 +60,14 @@ fn main() {
                 "hipec_ms": hipec.elapsed.as_ms_f64(),
                 "overhead_pct": overhead,
                 "faults": mach.faults,
+                "policy_faults": policy.faults,
+                "policy_commands": policy.commands,
+                "dev_reads": stats.get("dev_reads"),
             }),
         );
+        if with_io {
+            println!("-- kernel counters, HiPEC with-I/O sweep --\n{stats}");
+        }
     }
 
     println!("== Table 3: Comparison I (HiPEC mechanism overhead) ==\n");

@@ -46,6 +46,7 @@ fn main() {
     // Measure the interpreter's command fetch/decode share of the fast
     // path: total charged time minus the native queue operation it performs.
     let iterations = 1_000u64;
+    let snap = k.kernel_stats();
     let before = k.vm.now();
     let mut decoded_cmds = 0u64;
     for _ in 0..iterations {
@@ -87,6 +88,11 @@ fn main() {
          full interpreted path (incl. native queue op) {per_invocation}"
     );
     println!("paper: 19 µs / 292 µs / ≅150 ns");
+    // The measurement interval's kernel activity, as a counter delta.
+    println!(
+        "-- kernel counters over the measurement interval --\n{}",
+        k.kernel_stats().diff(&snap)
+    );
 
     hipec_bench::dump_json(
         "table4",

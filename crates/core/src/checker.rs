@@ -98,9 +98,13 @@ impl HipecKernel {
                     let _ = self.kill(i, "policy execution timeout");
                     self.checker.kills += 1;
                     detected = true;
+                    self.emit(crate::trace::TraceEvent::CheckerTimeout {
+                        container: self.containers[i].key,
+                    });
                 }
             }
         }
+        self.emit(crate::trace::TraceEvent::CheckerWake { detected });
         self.checker.adapt(detected);
         // Each wakeup (including ones replayed after a long idle stretch)
         // reschedules from its own firing time, so the checker's CPU cost

@@ -27,6 +27,9 @@ pub struct ContainerStats {
     pub released: u64,
     /// `Flush` exchanges performed.
     pub flushes: u64,
+    /// Device faults surfaced to this container (abandoned write-backs
+    /// whose data was lost after the retry budget ran out).
+    pub device_faults: u64,
 }
 
 /// A HiPEC container.
@@ -66,6 +69,9 @@ pub struct Container {
     pub reclaim_target: u64,
     /// Statistics.
     pub stats: ContainerStats,
+    /// Device faults surfaced asynchronously (abandoned write-backs), not
+    /// yet drained by `HipecKernel::take_surfaced_faults`.
+    pub pending_faults: Vec<crate::error::PolicyFault>,
 }
 
 impl Container {
@@ -114,6 +120,7 @@ impl Container {
             created_seq,
             reclaim_target: 0,
             stats: ContainerStats::default(),
+            pending_faults: Vec::new(),
         }
     }
 

@@ -62,6 +62,25 @@ impl HipecKernel {
         depth: u8,
         fuel: &mut u32,
     ) -> Result<ExecValue, PolicyFault> {
+        let before = self.containers[cidx].stats.commands;
+        let result = self.run_event_inner(cidx, event, depth, fuel);
+        let delta = self.containers[cidx].stats.commands - before;
+        self.emit(crate::trace::TraceEvent::PolicyEvent {
+            container: self.containers[cidx].key,
+            event,
+            commands: delta.min(u32::MAX as u64) as u32,
+            ok: result.is_ok(),
+        });
+        result
+    }
+
+    fn run_event_inner(
+        &mut self,
+        cidx: usize,
+        event: u8,
+        depth: u8,
+        fuel: &mut u32,
+    ) -> Result<ExecValue, PolicyFault> {
         let seg = self.containers[cidx]
             .program
             .event(event)

@@ -17,10 +17,64 @@
 
 use std::collections::HashMap;
 
-use hipec_vm::FrameId;
+use hipec_vm::{FrameId, QueueId};
 
 use crate::kernel::HipecKernel;
 use crate::operand::OperandSlot;
+
+/// An independently computed partition of every physical frame into
+/// exactly one bucket, by direct inspection of the frame table — no
+/// manager or container book is consulted. [`HipecKernel::check_invariants`]
+/// reconciles the books against it, and tests reconcile counter snapshots
+/// against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramePartition {
+    /// Wired (kernel) frames.
+    pub wired: u64,
+    /// Frames on the global free queue.
+    pub global_free: u64,
+    /// Frames on the global active/inactive queues (default pool).
+    pub default_pool: u64,
+    /// Resident default-pool pages off every queue (transient).
+    pub default_unqueued: u64,
+    /// Busy frames: write-backs in flight or awaiting a torn-write retry.
+    /// These belong to the global pool — `flush_exchange` and `force_take`
+    /// take them off the owning container's books when the flush starts.
+    pub in_flight: u64,
+    /// Frames attributed to each container (terminated ones included), in
+    /// container-list order: on one of its queues, resident in its object
+    /// off-queue, or parked in one of its page operand slots.
+    pub per_container: Vec<(u32, u64)>,
+    /// Frames in no bucket at all (always 0 unless a frame leaked).
+    pub unaccounted: u64,
+}
+
+impl FramePartition {
+    /// Frames attributed to container `key`, if it exists.
+    pub fn container(&self, key: u32) -> Option<u64> {
+        self.per_container
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, n)| n)
+    }
+
+    /// Total frames attributed to containers (the partition's independent
+    /// recomputation of `gfm.total_specific`).
+    pub fn total_specific(&self) -> u64 {
+        self.per_container.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Sum of every bucket — always the frame-table size.
+    pub fn total(&self) -> u64 {
+        self.wired
+            + self.global_free
+            + self.default_pool
+            + self.default_unqueued
+            + self.in_flight
+            + self.total_specific()
+            + self.unaccounted
+    }
+}
 
 /// Frame tables at or below this size are audited on every `debug_check`.
 const FULL_CHECK_FRAMES: usize = 2048;
@@ -29,6 +83,99 @@ const FULL_CHECK_FRAMES: usize = 2048;
 const SAMPLE_INTERVAL: u64 = 64;
 
 impl HipecKernel {
+    /// Computes the [`FramePartition`] by classifying every frame from the
+    /// frame table alone. Classification priority: wired, then queue
+    /// membership, then busy, then object ownership, then operand-slot
+    /// parking — so a frame named by several structures (a page slot may
+    /// legally alias a queued frame) is counted exactly once.
+    pub fn frame_partition(&self) -> FramePartition {
+        let frames = &self.vm.frames;
+
+        // Queue → container index (terminated containers keep their queues;
+        // a frame stuck on one — e.g. a dirty page whose flush submission
+        // the device refused mid-kill — is still theirs).
+        let mut queue_owner: HashMap<QueueId, usize> = HashMap::new();
+        for (i, c) in self.containers.iter().enumerate() {
+            for &q in &c.queues {
+                queue_owner.insert(q, i);
+            }
+        }
+        // Frame → parking container index (first slot wins).
+        let mut parked: HashMap<FrameId, usize> = HashMap::new();
+        for (i, c) in self.containers.iter().enumerate() {
+            for slot in &c.operands {
+                if let OperandSlot::Page(Some(f)) = slot {
+                    parked.entry(*f).or_insert(i);
+                }
+            }
+        }
+        // Object → container index.
+        let key_to_idx: HashMap<u32, usize> = self
+            .containers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.key, i))
+            .collect();
+        let object_owner: HashMap<_, usize> = self
+            .vm
+            .objects_iter()
+            .filter_map(|o| {
+                o.container
+                    .and_then(|k| key_to_idx.get(&k).copied())
+                    .map(|i| (o.id, i))
+            })
+            .collect();
+
+        let mut p = FramePartition {
+            wired: 0,
+            global_free: 0,
+            default_pool: 0,
+            default_unqueued: 0,
+            in_flight: 0,
+            per_container: self.containers.iter().map(|c| (c.key, 0)).collect(),
+            unaccounted: 0,
+        };
+        for i in 0..frames.len() as u32 {
+            let f = FrameId(i);
+            let frame = frames.frame(f).expect("frame index in range");
+            let queue = frames.queue_of(f).expect("frame index in range");
+            if frame.wired {
+                p.wired += 1;
+            } else if queue == Some(self.vm.free_q) {
+                p.global_free += 1;
+            } else if queue == Some(self.vm.active_q) || queue == Some(self.vm.inactive_q) {
+                p.default_pool += 1;
+            } else if let Some(&cidx) = queue.and_then(|q| queue_owner.get(&q)) {
+                p.per_container[cidx].1 += 1;
+            } else if frame.busy {
+                p.in_flight += 1;
+            } else if let Some(&cidx) = frame.owner.and_then(|(o, _)| object_owner.get(&o)) {
+                p.per_container[cidx].1 += 1;
+            } else if frame.owner.is_some() {
+                p.default_unqueued += 1;
+            } else if let Some(&cidx) = parked.get(&f) {
+                p.per_container[cidx].1 += 1;
+            } else {
+                p.unaccounted += 1;
+            }
+        }
+        p
+    }
+
+    /// Audits every kernel invariant; returns the first violation found —
+    /// with the last events leading up to it appended when tracing is
+    /// compiled in.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.check_invariants_inner().map_err(|violation| {
+            let tail = self.trace_tail(16);
+            if tail.is_empty() {
+                violation
+            } else {
+                format!("{violation}\n  last events:\n{tail}")
+            }
+        })
+    }
+
     /// Audits every kernel invariant; returns the first violation found.
     ///
     /// The invariants:
@@ -53,7 +200,10 @@ impl HipecKernel {
     ///    `allocated` counts, and no live container's page slot references
     ///    a frame that is on the global free queue (a stale handle to a
     ///    released frame).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    /// 7. **Partition conservation** — every container's `allocated` count
+    ///    equals the number of frames the independently computed
+    ///    [`FramePartition`] attributes to it, and no frame is in no bucket.
+    fn check_invariants_inner(&self) -> Result<(), String> {
         let frames = &self.vm.frames;
         let nframes = frames.len() as u32;
 
@@ -216,6 +366,24 @@ impl HipecKernel {
                     "container {key} holds a page slot for {f}, which is on the global free queue"
                 ));
             }
+        }
+
+        // Partition conservation: each container's books against the
+        // frame table's own story, container by container.
+        let partition = self.frame_partition();
+        for (c, &(key, held)) in self.containers.iter().zip(&partition.per_container) {
+            if held != c.allocated {
+                return Err(format!(
+                    "container {key} books {} frames but the frame partition attributes {held}",
+                    c.allocated
+                ));
+            }
+        }
+        if partition.unaccounted != 0 {
+            return Err(format!(
+                "{} frames fit no partition bucket",
+                partition.unaccounted
+            ));
         }
 
         Ok(())

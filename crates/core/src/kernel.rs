@@ -8,6 +8,8 @@
 //! with [`HipecKernel::vm_allocate_hipec`] / [`HipecKernel::vm_map_hipec`].
 
 use hipec_sim::SimDuration;
+#[cfg(feature = "trace")]
+use hipec_vm::VmEvent;
 use hipec_vm::{
     AccessOutcome, AccessResult, Backing, Kernel, KernelParams, ObjectId, TaskId, VAddr, VmError,
 };
@@ -18,6 +20,9 @@ use crate::error::{HipecError, PolicyFault};
 use crate::executor::{ExecLimits, ExecValue};
 use crate::manager::GlobalFrameManager;
 use crate::program::{PolicyProgram, EVENT_PAGE_FAULT};
+#[cfg(feature = "trace")]
+use crate::trace::TraceRecord;
+use crate::trace::{EventRing, TraceEvent, DEFAULT_TRACE_CAPACITY};
 
 /// The handle an application receives when it invokes HiPEC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,9 +40,15 @@ pub struct HipecKernel {
     pub checker: SecurityChecker,
     /// Executor fuel and nesting limits.
     pub limits: ExecLimits,
+    /// The merged kernel event trace (HiPEC layer + drained VM events).
+    pub trace: EventRing<TraceEvent>,
     next_seq: u64,
     /// Call counter for sampled invariant audits (see `invariants`).
     pub(crate) check_tick: std::cell::Cell<u64>,
+    /// Reused drain buffer so merging the VM ring never allocates in
+    /// steady state.
+    #[cfg(feature = "trace")]
+    trace_scratch: Vec<TraceRecord<VmEvent>>,
 }
 
 impl HipecKernel {
@@ -53,9 +64,70 @@ impl HipecKernel {
             gfm: GlobalFrameManager::new(burst),
             checker: SecurityChecker::new(),
             limits: ExecLimits::default(),
+            trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             next_seq: 0,
             check_tick: std::cell::Cell::new(0),
+            #[cfg(feature = "trace")]
+            trace_scratch: Vec::with_capacity(DEFAULT_TRACE_CAPACITY),
         }
+    }
+
+    /// Records a HiPEC-layer trace event, first draining the VM substrate's
+    /// ring so the merged trace stays in causal order. Free of clock
+    /// charges; a no-op with the `trace` feature compiled out.
+    #[inline]
+    pub(crate) fn emit(&mut self, event: TraceEvent) {
+        #[cfg(feature = "trace")]
+        {
+            self.sync_trace();
+            self.trace.push(self.vm.now(), event);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = event;
+    }
+
+    /// Moves any events the VM layer recorded since the last merge into the
+    /// master trace (stamped with their original virtual times).
+    pub fn sync_trace(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            if self.vm.trace.is_empty() {
+                return;
+            }
+            self.trace_scratch.clear();
+            self.vm.trace.drain_into(&mut self.trace_scratch);
+            // The scratch buffer cannot be borrowed while pushing; swap it
+            // out so this stays allocation-free.
+            let mut scratch = std::mem::take(&mut self.trace_scratch);
+            for rec in &scratch {
+                self.trace.push(rec.at, TraceEvent::Vm(rec.event));
+            }
+            scratch.clear();
+            self.trace_scratch = scratch;
+        }
+    }
+
+    /// Turns event recording on or off at run time for both layers.
+    /// Recording state never affects simulation behavior.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+        self.vm.trace.set_enabled(on);
+    }
+
+    /// The newest `n` trace events rendered one per line (oldest first) —
+    /// appended to invariant-violation reports. VM-ring events not yet
+    /// merged into the master ring (merging needs `&mut self`) are all
+    /// newer than the master's contents, so they render after it.
+    pub fn trace_tail(&self, n: usize) -> String {
+        let mut out = crate::trace::render_tail(&self.trace, n);
+        let pending = self.vm.trace.len();
+        for rec in self.vm.trace.iter().skip(pending.saturating_sub(n)) {
+            out.push_str(&format!(
+                "    [{:>6}] {} vm: {:?}\n",
+                rec.seq, rec.at, rec.event
+            ));
+        }
+        out
     }
 
     /// `vm_allocate_hipec`: an anonymous region under the given policy.
@@ -118,6 +190,10 @@ impl HipecKernel {
         // Installing the policy costs one system call.
         self.vm.charge(self.vm.cost.null_syscall);
         self.vm.stats.bump("hipec_installs");
+        self.emit(TraceEvent::Install {
+            container: key,
+            min_frames,
+        });
         self.debug_check();
         Ok((addr, object, ContainerKey(key)))
     }
@@ -136,6 +212,7 @@ impl HipecKernel {
             Ok(AccessOutcome::NeedsPolicy(info)) => self.policy_fault(info),
             Err(e) => Err(e.into()),
         };
+        self.sync_trace();
         self.debug_check();
         result
     }
@@ -189,6 +266,10 @@ impl HipecKernel {
                 };
                 let end = result.io_until.unwrap_or_else(|| self.vm.now());
                 self.vm.fault_latency.record(end.since(fault_start));
+                self.emit(TraceEvent::PolicyFaultResolved {
+                    container: info.container,
+                    frame,
+                });
                 Ok(result)
             }
             Ok(_) => Err(self.kill(cidx, &PolicyFault::NoPageReturned.to_string())),
@@ -220,7 +301,12 @@ impl HipecKernel {
         if let Ok(obj) = self.vm.object_mut(object) {
             obj.container = None;
         }
+        self.revert_stranded_frames(cidx);
         self.vm.stats.bump("hipec_kills");
+        self.emit(TraceEvent::Terminated {
+            container: self.containers[cidx].key,
+            graceful: false,
+        });
         HipecError::Terminated {
             container: self.containers[cidx].key,
             reason: reason.to_string(),
@@ -284,10 +370,59 @@ impl HipecKernel {
     }
 
     /// Completes due device I/O (a [`hipec_vm::Kernel::pump`] that also runs
-    /// the debug-build invariant audit).
+    /// the debug-build invariant audit), then attributes any abandoned
+    /// write-backs: a flush whose retry budget ran out lost its page's
+    /// data, and the owning container gets a surfaced
+    /// [`PolicyFault::Device`] it can drain via
+    /// [`HipecKernel::take_surfaced_faults`].
     pub fn pump(&mut self) {
         self.vm.pump();
+        for dead in self.vm.take_dead_flushes() {
+            let owner = self
+                .vm
+                .object(dead.object)
+                .ok()
+                .and_then(|o| o.container)
+                .map(|key| key as usize)
+                .filter(|&i| i < self.containers.len());
+            if let Some(i) = owner {
+                self.containers[i].stats.device_faults += 1;
+                // Bounded: a pathological device cannot grow this without
+                // the application ever draining it.
+                if self.containers[i].pending_faults.len() < 64 {
+                    self.containers[i]
+                        .pending_faults
+                        .push(PolicyFault::Device(dead.fault));
+                }
+                self.emit(TraceEvent::DeviceFaultSurfaced {
+                    container: self.containers[i].key,
+                    frame: dead.frame,
+                });
+            }
+        }
+        self.sync_trace();
         self.debug_check();
+    }
+
+    /// Drains the device faults surfaced to container `key` (data lost to
+    /// abandoned write-backs) since the last call.
+    pub fn take_surfaced_faults(&mut self, key: ContainerKey) -> Vec<PolicyFault> {
+        self.containers
+            .get_mut(key.0 as usize)
+            .map(|c| std::mem::take(&mut c.pending_faults))
+            .unwrap_or_default()
+    }
+
+    /// Reclaims up to `want` frames from specific applications (normal
+    /// FAFR reclamation first, then forced). Returns the number reclaimed.
+    ///
+    /// Public wrapper over the global frame manager's reclamation path for
+    /// drivers and tests; the kernel itself triggers it from admission and
+    /// balance checks.
+    pub fn reclaim_frames(&mut self, want: u64) -> u64 {
+        let got = self.reclaim_specific(want);
+        self.debug_check();
+        got
     }
 
     /// A container view by key.
@@ -339,8 +474,13 @@ impl HipecKernel {
         self.containers[cidx].exec_started = None;
         let object = self.containers[cidx].object;
         self.vm.object_mut(object)?.container = None;
+        self.revert_stranded_frames(cidx);
         let freed = self.vm.vm_deallocate(task, addr)?;
         self.vm.stats.bump("hipec_deallocations");
+        self.emit(TraceEvent::Terminated {
+            container: key.0,
+            graceful: true,
+        });
         self.debug_check();
         Ok(reclaimed + freed)
     }
@@ -357,6 +497,7 @@ impl HipecKernel {
     ) -> Result<ExecValue, PolicyFault> {
         let mut fuel = self.limits.fuel;
         let result = self.run_event(key.0 as usize, event, 0, &mut fuel);
+        self.sync_trace();
         self.debug_check();
         result
     }

@@ -18,7 +18,10 @@
 //! * [`manager`] — the global frame manager (partition_burst, minFrame,
 //!   FAFR reclamation, asynchronous flush);
 //! * [`kernel`] — [`HipecKernel`], the modified kernel with
-//!   `vm_allocate_hipec` / `vm_map_hipec`.
+//!   `vm_allocate_hipec` / `vm_map_hipec`;
+//! * [`trace`] — the merged deterministic event ring (feature `trace`,
+//!   default on);
+//! * [`metrics`] — [`KernelStats`] counter snapshots with `diff`.
 //!
 //! # Examples
 //!
@@ -55,8 +58,10 @@ pub mod executor;
 pub mod invariants;
 pub mod kernel;
 pub mod manager;
+pub mod metrics;
 pub mod operand;
 pub mod program;
+pub mod trace;
 
 pub use analysis::analyze_program;
 pub use checker::{validate_program, SecurityChecker};
@@ -64,7 +69,10 @@ pub use command::{OpCode, RawCmd, NO_OPERAND};
 pub use container::{Container, ContainerStats};
 pub use error::{HipecError, PolicyFault};
 pub use executor::{ExecLimits, ExecValue};
+pub use invariants::FramePartition;
 pub use kernel::{ContainerKey, HipecKernel};
 pub use manager::GlobalFrameManager;
+pub use metrics::{ContainerCounters, KernelStats};
 pub use operand::{KernelVar, OperandDecl, OperandSlot};
 pub use program::{PolicyProgram, WireError, EVENT_PAGE_FAULT, EVENT_RECLAIM_FRAME, HIPEC_MAGIC};
+pub use trace::{EventRing, TraceEvent, TraceRecord};

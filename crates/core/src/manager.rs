@@ -20,6 +20,7 @@ use hipec_vm::FrameId;
 use crate::error::{HipecError, PolicyFault};
 use crate::kernel::HipecKernel;
 use crate::program::EVENT_RECLAIM_FRAME;
+use crate::trace::TraceEvent;
 
 /// Global-frame-manager state and statistics.
 #[derive(Debug, Clone)]
@@ -92,6 +93,11 @@ impl HipecKernel {
             // Rejected: the executor checks the return code and lets the
             // policy handle the shortage — it is never hung waiting.
             self.gfm.rejections += 1;
+            self.emit(TraceEvent::Request {
+                container: self.containers[cidx].key,
+                asked: n,
+                granted: 0,
+            });
             return Ok(0);
         }
         let frames = self.vm.take_free_frames(n)?;
@@ -103,6 +109,11 @@ impl HipecKernel {
         self.containers[cidx].stats.requested += n;
         self.gfm.total_specific += n;
         self.gfm.grants += 1;
+        self.emit(TraceEvent::Request {
+            container: self.containers[cidx].key,
+            asked: n,
+            granted: n,
+        });
         self.balance();
         Ok(n)
     }
@@ -129,6 +140,10 @@ impl HipecKernel {
         self.containers[cidx].allocated = self.containers[cidx].allocated.saturating_sub(1);
         self.containers[cidx].stats.released += 1;
         self.gfm.total_specific = self.gfm.total_specific.saturating_sub(1);
+        self.emit(TraceEvent::Release {
+            container: self.containers[cidx].key,
+            frame: page,
+        });
         Ok(())
     }
 
@@ -186,6 +201,10 @@ impl HipecKernel {
             self.containers[cidx].allocated = self.containers[cidx].allocated.saturating_sub(1);
             self.gfm.total_specific = self.gfm.total_specific.saturating_sub(1);
             self.gfm.orphans_recovered += 1;
+            self.emit(TraceEvent::OrphanRecovered {
+                container: self.containers[cidx].key,
+                frame,
+            });
         }
     }
 
@@ -226,6 +245,11 @@ impl HipecKernel {
         self.containers[cidx].stats.flushes += 1;
         self.gfm.total_specific += 1;
         self.vm.charge(self.vm.cost.request_grant);
+        self.emit(TraceEvent::FlushExchange {
+            container: self.containers[cidx].key,
+            dirty: page,
+            replacement,
+        });
         Ok(replacement)
     }
 
@@ -250,6 +274,15 @@ impl HipecKernel {
         self.vm.charge(self.vm.cost.queue_op * 2);
         self.containers[cidx].allocated -= 1;
         self.containers[tidx].allocated += 1;
+        // The frame now belongs to the target container: no source operand
+        // slot may keep naming it, or the source policy could DeQueue /
+        // EnQueue a frame it no longer owns (cross-container corruption).
+        self.scrub_slots(cidx, frame);
+        self.emit(TraceEvent::Migrate {
+            from: self.containers[cidx].key,
+            to: self.containers[tidx].key,
+            frame,
+        });
         Ok(())
     }
 
@@ -312,6 +345,11 @@ impl HipecKernel {
                     let released = before.saturating_sub(self.containers[i].allocated);
                     got += released;
                     self.gfm.normal_reclaims += released;
+                    self.emit(TraceEvent::NormalReclaim {
+                        container: self.containers[i].key,
+                        asked: ask,
+                        recovered: released,
+                    });
                 }
                 Err(PolicyFault::Device(_)) => {
                     // Environmental: the device refused a flush the policy
@@ -320,13 +358,29 @@ impl HipecKernel {
                     let released = before.saturating_sub(self.containers[i].allocated);
                     got += released;
                     self.gfm.normal_reclaims += released;
+                    self.emit(TraceEvent::NormalReclaim {
+                        container: self.containers[i].key,
+                        asked: ask,
+                        recovered: released,
+                    });
                 }
                 Err(fault) => {
-                    // A faulting ReclaimFrame policy terminates the app;
-                    // its frames all come back.
+                    // A faulting ReclaimFrame policy terminates the app.
+                    // Credit only what the kill's sweep actually recovered:
+                    // dirty frames whose flush submission the device refuses
+                    // stay on the terminated container's books, so `before`
+                    // would overcount and let the caller skip reclamation it
+                    // still needs.
                     let reason = fault.to_string();
                     let _ = self.kill(i, &reason);
-                    got += before;
+                    let recovered = before.saturating_sub(self.containers[i].allocated);
+                    got += recovered;
+                    self.gfm.normal_reclaims += recovered;
+                    self.emit(TraceEvent::NormalReclaim {
+                        container: self.containers[i].key,
+                        asked: ask,
+                        recovered,
+                    });
                 }
             }
         }
@@ -417,6 +471,12 @@ impl HipecKernel {
         self.containers[i].stats.released += taken;
         self.gfm.total_specific -= taken.min(self.gfm.total_specific);
         self.gfm.forced_reclaims += taken;
+        if taken > 0 {
+            self.emit(TraceEvent::ForcedReclaim {
+                container: self.containers[i].key,
+                taken,
+            });
+        }
         taken
     }
 
@@ -429,6 +489,40 @@ impl HipecKernel {
         let taken = self.force_take(i, all);
         self.containers[i].min_frames = saved_min;
         taken
+    }
+
+    /// Hands a dead container's stranded resident pages to the default pool.
+    ///
+    /// `force_take` sweeps queues and operand slots, but a frame a policy
+    /// returned for a fault without enqueueing anywhere is owned and mapped
+    /// yet reachable through neither — it would stay charged to the
+    /// terminated container forever. The region has just reverted to
+    /// default management, so these pages now belong on the global active
+    /// queue with the specific books decremented accordingly. Call after
+    /// clearing the object's container link.
+    pub(crate) fn revert_stranded_frames(&mut self, i: usize) {
+        let object = self.containers[i].object;
+        let resident: Vec<FrameId> = match self.vm.object(object) {
+            Ok(o) => o.resident.values().copied().collect(),
+            Err(_) => return,
+        };
+        for f in resident {
+            let stray = matches!(self.vm.frames.queue_of(f), Ok(None))
+                && self
+                    .vm
+                    .frames
+                    .frame(f)
+                    .map(|fr| !fr.busy && !fr.wired)
+                    .unwrap_or(false);
+            if !stray {
+                continue;
+            }
+            if self.vm.frames.enqueue_tail(self.vm.active_q, f).is_ok() {
+                self.scrub_slots(i, f);
+                self.containers[i].allocated = self.containers[i].allocated.saturating_sub(1);
+                self.gfm.total_specific = self.gfm.total_specific.saturating_sub(1);
+            }
+        }
     }
 }
 

@@ -1,0 +1,212 @@
+//! Per-container and global counter snapshots.
+//!
+//! [`KernelStats`] assembles every counter the kernel maintains — the VM
+//! substrate's event counters, the global frame manager's books, the
+//! security checker, the paging device, the torn-write retry queue and the
+//! trace ring — plus one [`ContainerCounters`] row per container. Snapshots
+//! are plain data: [`KernelStats::diff`] subtracts two of them to get the
+//! activity of an interval, which is how the bench binaries report
+//! per-phase kernel work.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hipec_sim::SimTime;
+
+use crate::kernel::HipecKernel;
+
+/// Counter snapshot for one container.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContainerCounters {
+    /// The container's key.
+    pub key: u32,
+    /// Policy-resolved page faults.
+    pub faults: u64,
+    /// Commands interpreted.
+    pub commands: u64,
+    /// Event invocations.
+    pub events: u64,
+    /// Frames obtained via `Request`.
+    pub requested: u64,
+    /// Frames given back via `Release` or reclamation.
+    pub released: u64,
+    /// `Flush` exchanges performed.
+    pub flushes: u64,
+    /// Device faults surfaced to this container (abandoned write-backs).
+    pub device_faults: u64,
+    /// Frames currently allocated (gauge, not a counter).
+    pub allocated: u64,
+    /// True once the container has been terminated.
+    pub terminated: bool,
+}
+
+impl ContainerCounters {
+    /// Counter-wise difference against an earlier snapshot of the same
+    /// container (gauges keep `self`'s value).
+    pub fn diff(&self, earlier: &ContainerCounters) -> ContainerCounters {
+        ContainerCounters {
+            key: self.key,
+            faults: self.faults.saturating_sub(earlier.faults),
+            commands: self.commands.saturating_sub(earlier.commands),
+            events: self.events.saturating_sub(earlier.events),
+            requested: self.requested.saturating_sub(earlier.requested),
+            released: self.released.saturating_sub(earlier.released),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            device_faults: self.device_faults.saturating_sub(earlier.device_faults),
+            allocated: self.allocated,
+            terminated: self.terminated,
+        }
+    }
+}
+
+/// A full kernel counter snapshot at one virtual instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Virtual time of the snapshot.
+    pub at: SimTime,
+    /// Global counters, keyed by name. VM counters keep their names
+    /// (`faults`, `pageouts`, …); manager, checker, device, retry-queue and
+    /// trace counters are prefixed (`gfm_`, `checker_`, `dev_`, `retryq_`,
+    /// `trace_`).
+    pub global: BTreeMap<&'static str, u64>,
+    /// One row per container (terminated ones included).
+    pub containers: Vec<ContainerCounters>,
+    /// Frames on the global free queue (gauge).
+    pub free_frames: u64,
+    /// Frames allocated to specific applications (gauge).
+    pub total_specific: u64,
+    /// Write-backs in flight (gauge).
+    pub inflight_flushes: u64,
+    /// Torn write-backs awaiting re-issue (gauge).
+    pub retry_depth: u64,
+}
+
+impl KernelStats {
+    /// A global counter by name (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.global.get(name).copied().unwrap_or(0)
+    }
+
+    /// The counters of container `key`, if it exists.
+    pub fn container(&self, key: u32) -> Option<&ContainerCounters> {
+        self.containers.iter().find(|c| c.key == key)
+    }
+
+    /// Counter-wise difference against an earlier snapshot: every global
+    /// and per-container counter becomes `self - earlier` (saturating);
+    /// gauges and `at` keep `self`'s values.
+    pub fn diff(&self, earlier: &KernelStats) -> KernelStats {
+        let mut global = BTreeMap::new();
+        for (&k, &v) in &self.global {
+            global.insert(k, v.saturating_sub(earlier.get(k)));
+        }
+        let containers = self
+            .containers
+            .iter()
+            .map(|c| match earlier.container(c.key) {
+                Some(e) => c.diff(e),
+                None => *c,
+            })
+            .collect();
+        KernelStats {
+            at: self.at,
+            global,
+            containers,
+            free_frames: self.free_frames,
+            total_specific: self.total_specific,
+            inflight_flushes: self.inflight_flushes,
+            retry_depth: self.retry_depth,
+        }
+    }
+}
+
+impl fmt::Display for KernelStats {
+    /// A compact multi-line rendering (non-zero counters only) for bench
+    /// binaries and failure reports.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel stats @ {} (free={} specific={} inflight={} retrying={})",
+            self.at, self.free_frames, self.total_specific, self.inflight_flushes, self.retry_depth
+        )?;
+        for (k, v) in self.global.iter().filter(|(_, v)| **v != 0) {
+            writeln!(f, "  {k}: {v}")?;
+        }
+        for c in &self.containers {
+            writeln!(
+                f,
+                "  c{}: faults={} events={} commands={} req={} rel={} flush={} devfault={} alloc={}{}",
+                c.key,
+                c.faults,
+                c.events,
+                c.commands,
+                c.requested,
+                c.released,
+                c.flushes,
+                c.device_faults,
+                c.allocated,
+                if c.terminated { " [terminated]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl HipecKernel {
+    /// Takes a full counter snapshot ([`KernelStats`]) of the kernel now.
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut global: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for (name, value) in self.vm.stats.iter() {
+            global.insert(name, value);
+        }
+        global.insert("gfm_grants", self.gfm.grants);
+        global.insert("gfm_rejections", self.gfm.rejections);
+        global.insert("gfm_normal_reclaims", self.gfm.normal_reclaims);
+        global.insert("gfm_forced_reclaims", self.gfm.forced_reclaims);
+        global.insert("gfm_orphans_recovered", self.gfm.orphans_recovered);
+        global.insert("checker_wakeups", self.checker.wakeups);
+        global.insert("checker_kills", self.checker.kills);
+        let dev = self.vm.device().stats();
+        global.insert("dev_reads", dev.reads);
+        global.insert("dev_writes", dev.writes);
+        global.insert("dev_read_errors", dev.read_errors);
+        global.insert("dev_write_errors", dev.write_errors);
+        global.insert("dev_torn_writes", dev.torn_writes);
+        let (pushes, pops) = self.vm.retry_queue_counters();
+        global.insert("retryq_pushes", pushes);
+        global.insert("retryq_pops", pops);
+        global.insert(
+            "trace_recorded",
+            self.trace.recorded() + self.vm.trace.recorded(),
+        );
+        global.insert(
+            "trace_dropped",
+            self.trace.dropped() + self.vm.trace.dropped(),
+        );
+        let containers = self
+            .containers
+            .iter()
+            .map(|c| ContainerCounters {
+                key: c.key,
+                faults: c.stats.faults,
+                commands: c.stats.commands,
+                events: c.stats.events,
+                requested: c.stats.requested,
+                released: c.stats.released,
+                flushes: c.stats.flushes,
+                device_faults: c.stats.device_faults,
+                allocated: c.allocated,
+                terminated: c.terminated,
+            })
+            .collect();
+        KernelStats {
+            at: self.vm.now(),
+            global,
+            containers,
+            free_frames: self.vm.free_count(),
+            total_specific: self.gfm.total_specific,
+            inflight_flushes: self.vm.inflight_frames().count() as u64,
+            retry_depth: self.vm.retry_frames().count() as u64,
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Kernel-wide deterministic event tracing.
+//!
+//! The HiPEC kernel keeps one bounded [`EventRing`] of [`TraceEvent`]s
+//! covering both layers: its own events (policy execution, frame-manager
+//! commands, checker activity) and, via the [`TraceEvent::Vm`] wrapper,
+//! everything the VM substrate records (fault resolution, pageout scans,
+//! the flush/retry lifecycle). Immediately before each HiPEC-layer event is
+//! pushed — and at the end of every kernel entry point — the VM ring is
+//! drained into the master ring, so the merged trace preserves causal
+//! order across layers.
+//!
+//! **Determinism contract.** Events are stamped with the virtual clock and
+//! a monotonic sequence number; recording charges no virtual time and
+//! allocates nothing in steady state. Two runs of the same seeded workload
+//! therefore produce bit-for-bit identical traces, and turning tracing off
+//! (at run time or compile time, via the `trace` feature) cannot change
+//! any simulation outcome.
+
+use std::fmt;
+
+use hipec_vm::{FrameId, VmEvent};
+
+pub use hipec_vm::trace::{EventRing, TraceRecord, DEFAULT_TRACE_CAPACITY};
+
+/// One event in the merged kernel trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An event recorded by the VM substrate.
+    Vm(VmEvent),
+    /// A policy was installed (`vm_allocate_hipec` / `vm_map_hipec`).
+    Install {
+        /// The new container's key.
+        container: u32,
+        /// Its guaranteed `minFrame` allocation.
+        min_frames: u64,
+    },
+    /// One policy event ran to completion (nested `Activate` runs are
+    /// recorded separately, innermost first).
+    PolicyEvent {
+        /// The executing container.
+        container: u32,
+        /// The event index (0 = PageFault, 1 = ReclaimFrame, …).
+        event: u8,
+        /// Commands interpreted by this invocation (nested runs included).
+        commands: u32,
+        /// False if the run ended in a policy fault.
+        ok: bool,
+    },
+    /// A policy resolved a page fault with a frame.
+    PolicyFaultResolved {
+        /// The resolving container.
+        container: u32,
+        /// The frame the policy returned.
+        frame: FrameId,
+    },
+    /// A container was terminated (kill or graceful deallocate).
+    Terminated {
+        /// The terminated container.
+        container: u32,
+        /// True for graceful `vm_deallocate_hipec`, false for kills.
+        graceful: bool,
+    },
+    /// A `Request` command was serviced.
+    Request {
+        /// The requesting container.
+        container: u32,
+        /// Frames asked for.
+        asked: u64,
+        /// Frames granted (0 = rejected).
+        granted: u64,
+    },
+    /// A `Release` command returned a frame to the global pool.
+    Release {
+        /// The releasing container.
+        container: u32,
+        /// The released frame.
+        frame: FrameId,
+    },
+    /// A `Flush` exchanged a dirty page for a clean frame.
+    FlushExchange {
+        /// The flushing container.
+        container: u32,
+        /// The dirty page handed to the flush machinery.
+        dirty: FrameId,
+        /// The clean frame handed back.
+        replacement: FrameId,
+    },
+    /// A `Migrate` moved a free frame between containers.
+    Migrate {
+        /// Source container.
+        from: u32,
+        /// Destination container.
+        to: u32,
+        /// The migrated frame.
+        frame: FrameId,
+    },
+    /// A normal (`ReclaimFrame`-event) reclamation pass on one container.
+    NormalReclaim {
+        /// The container asked to give frames back.
+        container: u32,
+        /// Frames the manager wanted.
+        asked: u64,
+        /// Frames actually recovered (kill path included).
+        recovered: u64,
+    },
+    /// Forced reclamation seized frames from one container.
+    ForcedReclaim {
+        /// The container frames were taken from.
+        container: u32,
+        /// Frames seized.
+        taken: u64,
+    },
+    /// An orphaned frame (last slot handle overwritten) was recovered.
+    OrphanRecovered {
+        /// The container that held the orphan.
+        container: u32,
+        /// The recovered frame.
+        frame: FrameId,
+    },
+    /// The security checker woke up.
+    CheckerWake {
+        /// True if this wakeup detected (and killed) a timed-out policy.
+        detected: bool,
+    },
+    /// The checker terminated a container for exceeding the timeout.
+    CheckerTimeout {
+        /// The killed container.
+        container: u32,
+    },
+    /// An abandoned flush's data loss was attributed to its container as a
+    /// surfaced `PolicyFault::Device`.
+    DeviceFaultSurfaced {
+        /// The owning container.
+        container: u32,
+        /// The frame whose write-back was abandoned.
+        frame: FrameId,
+    },
+}
+
+impl From<VmEvent> for TraceEvent {
+    fn from(e: VmEvent) -> Self {
+        TraceEvent::Vm(e)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Vm(e) => write!(f, "vm: {e:?}"),
+            TraceEvent::Install {
+                container,
+                min_frames,
+            } => write!(f, "install c{container} min_frames={min_frames}"),
+            TraceEvent::PolicyEvent {
+                container,
+                event,
+                commands,
+                ok,
+            } => write!(
+                f,
+                "policy-event c{container} ev{event} commands={commands} {}",
+                if ok { "ok" } else { "fault" }
+            ),
+            TraceEvent::PolicyFaultResolved { container, frame } => {
+                write!(f, "policy-fault-resolved c{container} frame={}", frame.0)
+            }
+            TraceEvent::Terminated {
+                container,
+                graceful,
+            } => write!(
+                f,
+                "terminated c{container} ({})",
+                if graceful { "dealloc" } else { "kill" }
+            ),
+            TraceEvent::Request {
+                container,
+                asked,
+                granted,
+            } => write!(f, "request c{container} asked={asked} granted={granted}"),
+            TraceEvent::Release { container, frame } => {
+                write!(f, "release c{container} frame={}", frame.0)
+            }
+            TraceEvent::FlushExchange {
+                container,
+                dirty,
+                replacement,
+            } => write!(
+                f,
+                "flush-exchange c{container} dirty={} replacement={}",
+                dirty.0, replacement.0
+            ),
+            TraceEvent::Migrate { from, to, frame } => {
+                write!(f, "migrate c{from}->c{to} frame={}", frame.0)
+            }
+            TraceEvent::NormalReclaim {
+                container,
+                asked,
+                recovered,
+            } => write!(
+                f,
+                "normal-reclaim c{container} asked={asked} recovered={recovered}"
+            ),
+            TraceEvent::ForcedReclaim { container, taken } => {
+                write!(f, "forced-reclaim c{container} taken={taken}")
+            }
+            TraceEvent::OrphanRecovered { container, frame } => {
+                write!(f, "orphan-recovered c{container} frame={}", frame.0)
+            }
+            TraceEvent::CheckerWake { detected } => {
+                write!(
+                    f,
+                    "checker-wake{}",
+                    if detected { " (timeout detected)" } else { "" }
+                )
+            }
+            TraceEvent::CheckerTimeout { container } => {
+                write!(f, "checker-timeout c{container}")
+            }
+            TraceEvent::DeviceFaultSurfaced { container, frame } => {
+                write!(f, "device-fault-surfaced c{container} frame={}", frame.0)
+            }
+        }
+    }
+}
+
+/// Renders the newest `n` records of a ring, one per line, oldest first —
+/// the "last events leading up to a violation" block of invariant reports.
+pub fn render_tail(ring: &EventRing<TraceEvent>, n: usize) -> String {
+    let held = ring.len();
+    let skip = held.saturating_sub(n);
+    let mut out = String::new();
+    for rec in ring.iter().skip(skip) {
+        out.push_str(&format!("    [{:>6}] {} {}\n", rec.seq, rec.at, rec.event));
+    }
+    out
+}

@@ -35,6 +35,7 @@ impl DeviceParams {
         PagingDevice {
             model,
             faults: None,
+            stats: DeviceStats::default(),
         }
     }
 }
@@ -64,12 +65,32 @@ pub struct WriteCompletion {
     pub torn: bool,
 }
 
+/// Cumulative operation counters for one [`PagingDevice`].
+///
+/// Updated on every submission; read by the kernel's metrics snapshot. All
+/// fields count submissions, so `reads - read_errors` is the number of reads
+/// the device accepted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Read submissions.
+    pub reads: u64,
+    /// Write submissions.
+    pub writes: u64,
+    /// Reads rejected by the fault plan.
+    pub read_errors: u64,
+    /// Writes rejected by the fault plan.
+    pub write_errors: u64,
+    /// Writes accepted but completed torn.
+    pub torn_writes: u64,
+}
+
 /// The device a kernel pages against: a timing model plus an optional
 /// fault-injection plan. Without a plan, reads and writes never fail.
 #[derive(Debug, Clone)]
 pub struct PagingDevice {
     model: DeviceModel,
     faults: Option<FaultPlan>,
+    stats: DeviceStats,
 }
 
 impl PagingDevice {
@@ -88,11 +109,18 @@ impl PagingDevice {
         self.faults.as_ref()
     }
 
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
     /// Services a page read submitted at `now`; returns completion.
     pub fn read(&mut self, lba: Lba, now: SimTime) -> Result<SimTime, DiskFault> {
+        self.stats.reads += 1;
         let decision = self.faults.as_mut().map(|p| p.on_read(lba));
         if let Some(d) = decision {
             if d.error {
+                self.stats.read_errors += 1;
                 return Err(DiskFault::ReadError(lba));
             }
             let done = self.model_read(lba, now);
@@ -104,10 +132,15 @@ impl PagingDevice {
     /// Services a page write submitted at `now`; returns the completion
     /// report, or an error if the device rejected the submission.
     pub fn write(&mut self, lba: Lba, now: SimTime) -> Result<WriteCompletion, DiskFault> {
+        self.stats.writes += 1;
         let decision = self.faults.as_mut().map(|p| p.on_write(lba));
         if let Some(d) = decision {
             if d.error {
+                self.stats.write_errors += 1;
                 return Err(DiskFault::WriteError(lba));
+            }
+            if d.torn {
+                self.stats.torn_writes += 1;
             }
             let done = self.model_write(lba, now);
             return Ok(WriteCompletion {

@@ -31,7 +31,7 @@ pub mod model;
 pub mod queue;
 
 pub use backing::{BackingStore, PageLocation};
-pub use device::{DeviceParams, PagingDevice, WriteCompletion};
+pub use device::{DeviceParams, DeviceStats, PagingDevice, WriteCompletion};
 pub use fault::{DiskFault, FaultConfig, FaultPlan, InjectedFault};
 pub use flash::{FlashModel, FlashParams};
 pub use model::{DiskModel, DiskParams, Lba};

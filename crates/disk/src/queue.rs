@@ -31,6 +31,8 @@ pub struct Pending<T> {
 pub struct DiskQueue<T> {
     discipline: QueueDiscipline,
     pending: Vec<Pending<T>>,
+    pushes: u64,
+    pops: u64,
 }
 
 impl<T> DiskQueue<T> {
@@ -39,12 +41,25 @@ impl<T> DiskQueue<T> {
         DiskQueue {
             discipline,
             pending: Vec::new(),
+            pushes: 0,
+            pops: 0,
         }
     }
 
     /// Appends a request.
     pub fn push(&mut self, lba: Lba, tag: T) {
+        self.pushes += 1;
         self.pending.push(Pending { lba, tag });
+    }
+
+    /// Cumulative requests appended over the queue's lifetime.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Cumulative requests serviced over the queue's lifetime.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Number of queued requests.
@@ -81,6 +96,7 @@ impl<T> DiskQueue<T> {
                 .map(|(i, _)| i)
                 .expect("queue checked non-empty"),
         };
+        self.pops += 1;
         Some(self.pending.remove(idx))
     }
 }

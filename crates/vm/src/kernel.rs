@@ -8,13 +8,14 @@
 //! ([`AccessOutcome::NeedsPolicy`], [`Kernel::complete_policy_fault`],
 //! [`Kernel::take_free_frames`], …).
 
-use hipec_disk::{BackingStore, DeviceParams, DiskQueue, FaultConfig, PagingDevice};
+use hipec_disk::{BackingStore, DeviceParams, DiskFault, DiskQueue, FaultConfig, PagingDevice};
 use hipec_sim::stats::{Counter, Histogram};
 use hipec_sim::{CostModel, SimDuration, SimTime, VirtualClock};
 
 use crate::frame::{FrameTable, QueueId};
 use crate::object::{Backing, VmObject};
 use crate::task::Task;
+use crate::trace::{EventRing, VmEvent, DEFAULT_TRACE_CAPACITY};
 use crate::types::{bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError};
 
 /// Static configuration of a simulated machine.
@@ -132,6 +133,35 @@ pub(crate) struct InflightFlush {
     pub frame: FrameId,
     /// The device reported the write torn; it is re-issued when reaped.
     pub torn: bool,
+    /// Write submissions so far (the initial one counts).
+    pub attempts: u8,
+}
+
+/// Retry-queue tag: the frame being re-flushed and how many submissions it
+/// has burned so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryTag {
+    /// The busy frame awaiting a successful write-back.
+    pub frame: FrameId,
+    /// Write submissions so far.
+    pub attempts: u8,
+}
+
+/// A write-back that exhausted its retry budget: the page's data is lost.
+///
+/// The frame has already been freed; the HiPEC layer drains these via
+/// [`Kernel::take_dead_flushes`] and surfaces a device fault to the owning
+/// container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadFlush {
+    /// The frame that was carrying the page (already back on the free queue).
+    pub frame: FrameId,
+    /// The object the page belonged to.
+    pub object: ObjectId,
+    /// The page within the object.
+    pub offset: PageOffset,
+    /// The fault that exhausted the budget.
+    pub fault: DiskFault,
 }
 
 /// The simulated kernel.
@@ -156,14 +186,22 @@ pub struct Kernel {
     /// Latency distribution of completed faults (trap to resolution,
     /// including any device wait).
     pub fault_latency: Histogram,
+    /// Structured event trace of the VM layer (virtual-time stamped; see
+    /// [`crate::trace`]). Recording is free of clock charges, so it never
+    /// perturbs the simulation.
+    pub trace: EventRing<VmEvent>,
+    /// Write submissions a single dirty page may burn (initial + retries)
+    /// before its flush is abandoned and surfaced as a [`DeadFlush`].
+    pub flush_retry_budget: u8,
     pub(crate) objects: Vec<VmObject>,
     pub(crate) tasks: Vec<Task>,
     pub(crate) disk: PagingDevice,
     pub(crate) backing: BackingStore,
     pub(crate) inflight: Vec<InflightFlush>,
     /// Torn flushes awaiting re-issue (FCFS — retry order is submission
-    /// order; tags are the frames being flushed).
-    pub(crate) retry_q: DiskQueue<FrameId>,
+    /// order; tags carry the frame and its spent attempts).
+    pub(crate) retry_q: DiskQueue<RetryTag>,
+    pub(crate) dead_flushes: Vec<DeadFlush>,
     pub(crate) free_target: u64,
     pub(crate) free_min: u64,
     pub(crate) inactive_target: u64,
@@ -197,12 +235,15 @@ impl Kernel {
             hipec_check_enabled: false,
             stats: Counter::new(),
             fault_latency: Histogram::new(),
+            trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
+            flush_retry_budget: 8,
             objects: Vec::new(),
             tasks: Vec::new(),
             disk,
             backing,
             inflight: Vec::new(),
             retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+            dead_flushes: Vec::new(),
             free_target: params.free_target,
             free_min: params.free_min,
             inactive_target: params.inactive_target,
@@ -217,6 +258,16 @@ impl Kernel {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.clock.now()
+    }
+
+    /// Records a trace event. Recording charges no virtual time and does
+    /// not allocate; with the `trace` feature compiled out it is a no-op.
+    #[inline]
+    pub(crate) fn emit(&mut self, event: VmEvent) {
+        #[cfg(feature = "trace")]
+        self.trace.push(self.clock.now(), event);
+        #[cfg(not(feature = "trace"))]
+        let _ = event;
     }
 
     /// Frames on the global free queue.
@@ -420,6 +471,12 @@ impl Kernel {
             self.frames.touch(frame, write)?;
             self.stats.bump("minor_faults");
             self.fault_latency.record(self.now().since(fault_start));
+            self.emit(VmEvent::Fault {
+                task,
+                vpage,
+                kind: AccessKind::MinorFault,
+                write,
+            });
             return Ok(AccessOutcome::Done(AccessResult {
                 kind: AccessKind::MinorFault,
                 io_until: None,
@@ -454,6 +511,12 @@ impl Kernel {
         self.charge(self.cost.queue_op);
         let end = result.io_until.unwrap_or_else(|| self.now());
         self.fault_latency.record(end.since(fault_start));
+        self.emit(VmEvent::Fault {
+            task,
+            vpage,
+            kind: result.kind,
+            write,
+        });
         Ok(AccessOutcome::Done(result))
     }
 
@@ -498,6 +561,10 @@ impl Kernel {
                 Ok(done) => done,
                 Err(fault) => {
                     self.stats.bump("read_errors");
+                    self.emit(VmEvent::ReadError {
+                        object,
+                        offset: offset.0,
+                    });
                     return Err(VmError::Device(fault));
                 }
             };
@@ -643,25 +710,37 @@ impl Kernel {
     /// Torn completions do not free their frame: the write is re-issued
     /// (FCFS through the retry queue) and the frame stays busy until a
     /// clean completion is reaped. A re-issue the device rejects outright
-    /// stays queued for the next pump, so no data is silently dropped.
+    /// stays queued for the next pump. Each page gets at most
+    /// [`Kernel::flush_retry_budget`] submissions in total; past that the
+    /// flush is abandoned — the page's data is lost, the frame returns to
+    /// the free pool, and a [`DeadFlush`] is surfaced so the retry queue
+    /// always drains even against a device rejecting every write.
     pub fn pump(&mut self) {
         let now = self.clock.now();
         let mut done = Vec::new();
         self.inflight.retain(|i| {
             if i.done <= now {
-                done.push((i.frame, i.torn));
+                done.push((i.frame, i.torn, i.attempts));
                 false
             } else {
                 true
             }
         });
-        for (frame, torn) in done {
+        for (frame, torn, attempts) in done {
             if torn {
                 self.stats.bump("torn_flushes");
+                if attempts >= self.flush_retry_budget {
+                    self.abandon_flush(frame, attempts);
+                    continue;
+                }
                 let lba = self
                     .flush_target(frame)
                     .expect("in-flight frames keep their owner");
-                self.retry_q.push(lba, frame);
+                self.retry_q.push(lba, RetryTag { frame, attempts });
+                self.emit(VmEvent::TornRetry {
+                    frame,
+                    attempt: attempts,
+                });
                 continue;
             }
             let f = self
@@ -674,29 +753,92 @@ impl Kernel {
                 .enqueue_tail(self.free_q, frame)
                 .expect("flushed frame is unqueued");
             self.stats.bump("flush_completions");
+            self.emit(VmEvent::FlushComplete { frame });
         }
         // Re-issue torn writes (one attempt per entry per pump; a rejected
-        // re-issue goes back on the queue).
+        // re-issue goes back on the queue until its budget runs out).
         let mut still_torn = Vec::new();
         while let Some(pending) = self.retry_q.pop_next(0, |_| 0) {
+            let RetryTag { frame, attempts } = pending.tag;
             match self.disk.write(pending.lba, self.clock.now()) {
                 Ok(c) => {
                     self.inflight.push(InflightFlush {
                         done: c.done,
-                        frame: pending.tag,
+                        frame,
                         torn: c.torn,
+                        attempts: attempts + 1,
                     });
                     self.stats.bump("flush_retries");
                 }
                 Err(_) => {
                     self.stats.bump("flush_retry_errors");
-                    still_torn.push(pending);
+                    self.emit(VmEvent::RetryRejected {
+                        frame,
+                        attempt: attempts,
+                    });
+                    let spent = attempts + 1;
+                    if spent >= self.flush_retry_budget {
+                        self.abandon_flush(frame, spent);
+                    } else {
+                        still_torn.push((
+                            pending.lba,
+                            RetryTag {
+                                frame,
+                                attempts: spent,
+                            },
+                        ));
+                    }
                 }
             }
         }
-        for p in still_torn {
-            self.retry_q.push(p.lba, p.tag);
+        for (lba, tag) in still_torn {
+            self.retry_q.push(lba, tag);
         }
+    }
+
+    /// Gives up on a flush whose retry budget ran out: the page's data is
+    /// lost (it was evicted when the flush started), the frame is scrubbed
+    /// and returned to the free pool, and a [`DeadFlush`] records the loss
+    /// for the HiPEC layer to attribute.
+    fn abandon_flush(&mut self, frame: FrameId, attempts: u8) {
+        let (object, offset) = self
+            .frames
+            .frame(frame)
+            .expect("retry frames are valid")
+            .owner
+            .expect("in-flight frames keep their owner");
+        let lba = self
+            .backing
+            .locate(object.0 as u64, offset.0)
+            .map(|l| l.lba)
+            .unwrap_or(hipec_disk::Lba(0));
+        {
+            let f = self
+                .frames
+                .frame_mut(frame)
+                .expect("retry frames are valid");
+            f.busy = false;
+            f.owner = None;
+            f.mod_bit = false;
+            f.ref_bit = false;
+        }
+        self.frames
+            .enqueue_tail(self.free_q, frame)
+            .expect("abandoned frame is unqueued");
+        self.stats.bump("flush_abandoned");
+        self.dead_flushes.push(DeadFlush {
+            frame,
+            object,
+            offset,
+            fault: DiskFault::WriteError(lba),
+        });
+        self.emit(VmEvent::FlushAbandoned { frame, attempts });
+    }
+
+    /// Drains the record of abandoned flushes (data-loss events) since the
+    /// last call.
+    pub fn take_dead_flushes(&mut self) -> Vec<DeadFlush> {
+        std::mem::take(&mut self.dead_flushes)
     }
 
     /// The backing-store block an in-flight flush writes to (derived from
@@ -729,7 +871,17 @@ impl Kernel {
 
     /// Frames whose torn flush awaits re-issue.
     pub fn retry_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.retry_q.iter().map(|p| p.tag)
+        self.retry_q.iter().map(|p| p.tag.frame)
+    }
+
+    /// Lifetime (pushes, pops) of the torn-write retry queue.
+    pub fn retry_queue_counters(&self) -> (u64, u64) {
+        (self.retry_q.pushes(), self.retry_q.pops())
+    }
+
+    /// Abandoned flushes not yet drained by [`Kernel::take_dead_flushes`].
+    pub fn pending_dead_flushes(&self) -> usize {
+        self.dead_flushes.len()
     }
 
     /// All VM objects, for state audits.

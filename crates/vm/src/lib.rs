@@ -17,11 +17,16 @@ pub mod map;
 pub mod object;
 pub mod pageout;
 pub mod task;
+pub mod trace;
 pub mod types;
 
 pub use frame::{Frame, FrameTable, QueueId};
-pub use kernel::{AccessKind, AccessOutcome, AccessResult, Kernel, KernelParams, PolicyFaultInfo};
+pub use kernel::{
+    AccessKind, AccessOutcome, AccessResult, DeadFlush, Kernel, KernelParams, PolicyFaultInfo,
+    RetryTag,
+};
 pub use map::{MapEntry, VmMap};
 pub use object::{Backing, VmObject};
 pub use task::Task;
+pub use trace::{EventRing, TraceRecord, VmEvent};
 pub use types::{bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError, PAGE_SIZE};

@@ -9,6 +9,7 @@
 use hipec_sim::SimTime;
 
 use crate::kernel::{InflightFlush, Kernel};
+use crate::trace::VmEvent;
 use crate::types::{FrameId, VmError};
 
 impl Kernel {
@@ -16,10 +17,18 @@ impl Kernel {
     /// or no further progress is possible (everything left is in flight).
     pub(crate) fn pageout_scan(&mut self) -> Result<(), VmError> {
         self.stats.bump("scans");
+        let mut total_freed = 0;
+        let mut total_flushed = 0;
         loop {
             let moved = self.refill_inactive()?;
             let (freed, flushed) = self.reclaim_inactive()?;
+            total_freed += freed;
+            total_flushed += flushed;
             if self.free_count() >= self.free_target || (moved + freed + flushed) == 0 {
+                self.emit(VmEvent::PageoutScan {
+                    freed: total_freed,
+                    flushed: total_flushed,
+                });
                 return Ok(());
             }
         }
@@ -139,8 +148,13 @@ impl Kernel {
             done: completion.done,
             frame,
             torn: completion.torn,
+            attempts: 1,
         });
         self.stats.bump("pageouts");
+        self.emit(VmEvent::FlushStart {
+            frame,
+            torn: completion.torn,
+        });
         Ok(completion.done)
     }
 }

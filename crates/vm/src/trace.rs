@@ -1,0 +1,259 @@
+//! Bounded, allocation-free event tracing for the VM layer.
+//!
+//! [`EventRing`] is the storage primitive shared by every trace in the
+//! system: a fixed-capacity ring of timestamped records that overwrites its
+//! oldest entry when full. Records are stamped with the **virtual** clock,
+//! so two runs of the same seeded workload produce bit-for-bit identical
+//! traces. Recording never charges the clock and never allocates after
+//! construction, so enabling or disabling a trace cannot perturb the
+//! simulation it observes.
+//!
+//! [`VmEvent`] is the event vocabulary of this crate (fault resolution,
+//! pageout scans, the flush/retry/abandon lifecycle). `hipec-core` wraps it
+//! in its own richer event type and drains the VM ring into the kernel-wide
+//! trace so the two layers interleave in causal order.
+
+use hipec_sim::SimTime;
+
+use crate::kernel::AccessKind;
+use crate::types::{FrameId, ObjectId, TaskId};
+
+/// Default ring capacity (records kept before overwriting).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// One recorded event: virtual timestamp, global sequence number, payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord<E> {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// Position in the emission order (monotonic, never reused).
+    pub seq: u64,
+    /// The event itself.
+    pub event: E,
+}
+
+/// A bounded ring of trace records.
+///
+/// All storage is allocated up front; `push` is O(1) and allocation-free.
+/// When the ring is full the oldest record is overwritten and counted in
+/// [`EventRing::dropped`].
+#[derive(Debug, Clone)]
+pub struct EventRing<E> {
+    buf: Vec<TraceRecord<E>>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    next_seq: u64,
+    enabled: bool,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl<E: Copy> EventRing<E> {
+    /// An enabled ring holding up to `cap` records (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            next_seq: 0,
+            enabled: true,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Turns recording on or off. Counters and contents are retained.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// True if the ring is currently recording.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at virtual time `at`. No-op while disabled.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        if !self.enabled {
+            return;
+        }
+        let rec = TraceRecord {
+            at,
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        self.recorded += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum records held before overwriting.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events recorded over the ring's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events overwritten before they were read.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the held records oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<E>> {
+        let (wrapped, linear) = self.buf.split_at(self.head);
+        linear.iter().chain(wrapped.iter())
+    }
+
+    /// Moves every held record (oldest → newest) into `out` and empties the
+    /// ring. `out` is not cleared; lifetime counters are retained.
+    pub fn drain_into(&mut self, out: &mut Vec<TraceRecord<E>>) {
+        out.extend(self.iter().copied());
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Discards all held records (lifetime counters are retained).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+/// Events emitted by the VM layer (fault path, pageout daemon, flush pump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmEvent {
+    /// A fault resolved by the kernel itself (policy faults are traced by
+    /// the HiPEC layer, which sees their resolution).
+    Fault {
+        /// Faulting task.
+        task: TaskId,
+        /// Faulting virtual page.
+        vpage: u64,
+        /// How it resolved.
+        kind: AccessKind,
+        /// Write access.
+        write: bool,
+    },
+    /// A page-in submission the device rejected.
+    ReadError {
+        /// Backing object of the failed page-in.
+        object: ObjectId,
+        /// Page within the object.
+        offset: u64,
+    },
+    /// One full pageout-daemon scan finished.
+    PageoutScan {
+        /// Clean pages freed.
+        freed: u64,
+        /// Dirty pages handed to the device.
+        flushed: u64,
+    },
+    /// A dirty page's write-back was submitted.
+    FlushStart {
+        /// The busy frame.
+        frame: FrameId,
+        /// The device accepted the write but will complete it torn.
+        torn: bool,
+    },
+    /// A write-back completed clean; the frame returned to the free pool.
+    FlushComplete {
+        /// The freed frame.
+        frame: FrameId,
+    },
+    /// A torn completion was reaped; the write is queued for re-issue.
+    TornRetry {
+        /// The still-busy frame.
+        frame: FrameId,
+        /// Submissions so far.
+        attempt: u8,
+    },
+    /// A queued re-issue was rejected outright by the device.
+    RetryRejected {
+        /// The still-busy frame.
+        frame: FrameId,
+        /// Submissions so far.
+        attempt: u8,
+    },
+    /// The retry budget ran out: the page's data is lost, the frame freed,
+    /// and a [`crate::kernel::DeadFlush`] surfaced to the HiPEC layer.
+    FlushAbandoned {
+        /// The abandoned frame.
+        frame: FrameId,
+        /// Total submissions before giving up.
+        attempts: u8,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_in_order_and_wraps() {
+        let mut r: EventRing<u32> = EventRing::new(4);
+        for i in 0..6u32 {
+            r.push(SimTime::from_ns(u64::from(i)), i);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 6);
+        assert_eq!(r.dropped(), 2);
+        let held: Vec<u32> = r.iter().map(|rec| rec.event).collect();
+        assert_eq!(held, vec![2, 3, 4, 5]);
+        let seqs: Vec<u64> = r.iter().map(|rec| rec.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn disabled_ring_drops_nothing_and_records_nothing() {
+        let mut r: EventRing<u32> = EventRing::new(2);
+        r.set_enabled(false);
+        r.push(SimTime::ZERO, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 0);
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_counters() {
+        let mut r: EventRing<u32> = EventRing::new(3);
+        for i in 0..5u32 {
+            r.push(SimTime::ZERO, i);
+        }
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(
+            out.iter().map(|rec| rec.event).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.recorded(), 5);
+        // Subsequent pushes restart from the front without reallocating.
+        r.push(SimTime::ZERO, 9);
+        assert_eq!(r.iter().next().map(|rec| rec.event), Some(9));
+        assert_eq!(r.iter().next().map(|rec| rec.seq), Some(5));
+    }
+}

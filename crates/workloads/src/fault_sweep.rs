@@ -1,7 +1,7 @@
 //! The §5.1 measurement: page-fault handling time for a 40 MB region
 //! (Table 3), with and without disk I/O, on both kernels.
 
-use hipec_core::{HipecKernel, PolicyProgram};
+use hipec_core::{HipecKernel, KernelStats, PolicyProgram};
 use hipec_sim::SimDuration;
 use hipec_vm::{bytes_to_pages, Kernel, KernelParams, VAddr, PAGE_SIZE};
 
@@ -16,6 +16,9 @@ pub struct SweepResult {
     pub elapsed: SimDuration,
     /// Fault-latency distribution (trap to resolution).
     pub latency: hipec_sim::stats::Histogram,
+    /// Final kernel counter snapshot (HiPEC runs only; the unmodified
+    /// Mach kernel has no container metrics to report).
+    pub kernel: Option<KernelStats>,
 }
 
 impl SweepResult {
@@ -38,6 +41,7 @@ fn sweep(k: &mut impl SysKernel, task: hipec_vm::TaskId, bytes: u64, base: VAddr
         faults: pages,
         elapsed,
         latency: k.vm().fault_latency.clone(),
+        kernel: None,
     }
 }
 
@@ -71,7 +75,9 @@ pub fn run_hipec(
         k.vm_allocate_hipec(task, bytes, program, pages)
             .expect("allocate")
     };
-    sweep(&mut k, task, bytes, base)
+    let mut result = sweep(&mut k, task, bytes, base);
+    result.kernel = Some(k.kernel_stats());
+    result
 }
 
 #[cfg(test)]

@@ -15,4 +15,14 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== tracing compiled out: cargo test (vm + core, --no-default-features) =="
+cargo test -q -p hipec-vm -p hipec-core --no-default-features
+
+echo "== observability modules carry no dead-code waivers =="
+if grep -n '#\[allow(dead_code)\]' \
+    crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs; then
+  echo "error: dead_code allowed in an observability module" >&2
+  exit 1
+fi
+
 echo "verify: OK"

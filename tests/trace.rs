@@ -1,0 +1,385 @@
+//! The kernel observability layer: trace determinism, counter
+//! conservation against the independent frame partition, zero behavioral
+//! drift with tracing disabled — plus regression tests for the
+//! frame-accounting holes the partition audit closed (stale operand
+//! aliases across `Migrate`, kill-path reclamation credit, and the torn
+//! write-back retry budget).
+
+use hipec_core::command::{build, QueueEnd};
+use hipec_core::{
+    ContainerKey, HipecKernel, OperandDecl, PolicyFault, PolicyProgram, TraceEvent,
+    EVENT_PAGE_FAULT, NO_OPERAND,
+};
+use hipec_disk::FaultConfig;
+use hipec_policies::PolicyKind;
+use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
+
+fn small_params(total: u32, wired: u32) -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = total;
+    p.wired_frames = wired;
+    // Scale the daemon's watermarks down with the machine, or the free
+    // pool never clears `free_target` and every `Request` is rejected.
+    p.free_target = 8;
+    p.free_min = 4;
+    p.inactive_target = 12;
+    p
+}
+
+fn fault_config(seed: u64, read_err: u16, write_err: u16, delay: u16, torn: u16) -> FaultConfig {
+    FaultConfig {
+        seed,
+        read_error_permille: read_err,
+        write_error_permille: write_err,
+        delay_permille: delay,
+        max_delay: hipec_sim::SimDuration::from_us(500),
+        torn_permille: torn,
+    }
+}
+
+/// A deterministic mixed read/write workload over a 24-page region.
+fn drive(k: &mut HipecKernel, task: TaskId, base: VAddr, steps: usize) {
+    for s in 0..steps {
+        let p = (s as u64 * 7 + 3) % 24;
+        let _ = k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), s % 2 == 0);
+        k.pump();
+    }
+}
+
+/// One seeded faulty run: kernel + its installed container key.
+fn seeded_kernel() -> (HipecKernel, TaskId, VAddr, ContainerKey) {
+    let mut k = HipecKernel::new(small_params(128, 8));
+    k.vm.set_fault_plan(fault_config(0x5EED, 60, 60, 120, 100));
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(
+            task,
+            24 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install");
+    (k, task, base, key)
+}
+
+// --- Tentpole property (a): bit-for-bit trace determinism ---------------------
+
+#[test]
+fn traces_replay_bit_for_bit() {
+    let run = || {
+        let (mut k, task, base, _key) = seeded_kernel();
+        drive(&mut k, task, base, 200);
+        k.sync_trace();
+        let events: Vec<(u64, u64, TraceEvent)> = k
+            .trace
+            .iter()
+            .map(|r| (r.seq, r.at.as_ns(), r.event))
+            .collect();
+        (events, k.trace.recorded(), k.kernel_stats())
+    };
+    let (ea, ra, sa) = run();
+    let (eb, rb, sb) = run();
+    assert!(ra > 0, "the workload must record events");
+    assert_eq!(ra, rb, "recorded-event totals must replay");
+    assert_eq!(ea, eb, "the merged trace must be bit-for-bit identical");
+    assert_eq!(sa, sb, "counter snapshots must replay");
+}
+
+// --- Tentpole property (b): counters conserve against the partition -----------
+
+#[test]
+fn counters_conserve_against_the_frame_partition() {
+    let (mut k, task, base, _key) = seeded_kernel();
+    let total = 128u64;
+    for s in 0..200usize {
+        let p = (s as u64 * 7 + 3) % 24;
+        let _ = k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), s % 2 == 0);
+        k.pump();
+        // The partition is computed from the frame table alone; every
+        // gauge the metrics layer reports must agree with it, at every
+        // audited step.
+        let part = k.frame_partition();
+        let stats = k.kernel_stats();
+        assert_eq!(part.total(), total, "partition must cover every frame");
+        assert_eq!(part.unaccounted, 0, "no frame may leak");
+        assert_eq!(part.global_free, stats.free_frames);
+        assert_eq!(part.total_specific(), stats.total_specific);
+        assert_eq!(part.total_specific(), k.specific_total());
+        assert_eq!(
+            part.in_flight,
+            stats.inflight_flushes + stats.retry_depth,
+            "busy frames are exactly the in-flight and retrying write-backs"
+        );
+        for row in &stats.containers {
+            assert_eq!(
+                Some(row.allocated),
+                part.container(row.key),
+                "container {} books disagree with the partition",
+                row.key
+            );
+        }
+        k.check_invariants().expect("audit passes at every step");
+    }
+}
+
+// --- Tentpole property (c): tracing off means zero behavioral drift -----------
+
+#[test]
+fn disabling_tracing_changes_no_outcome() {
+    let (mut traced, task_a, base_a, _ka) = seeded_kernel();
+    drive(&mut traced, task_a, base_a, 200);
+
+    let (mut silent, task_b, base_b, _kb) = {
+        let mut k = HipecKernel::new(small_params(128, 8));
+        k.set_tracing(false);
+        k.vm.set_fault_plan(fault_config(0x5EED, 60, 60, 120, 100));
+        let task = k.vm.create_task();
+        let (base, _o, key) = k
+            .vm_allocate_hipec(
+                task,
+                24 * PAGE_SIZE,
+                PolicyKind::FifoSecondChance.program(),
+                6,
+            )
+            .expect("install");
+        (k, task, base, key)
+    };
+    drive(&mut silent, task_b, base_b, 200);
+
+    assert!(silent.trace.is_empty(), "disabled master ring stays empty");
+    assert!(silent.vm.trace.is_empty(), "disabled vm ring stays empty");
+    assert_eq!(
+        traced.vm.now(),
+        silent.vm.now(),
+        "virtual clocks must agree"
+    );
+
+    // Identical counter snapshots, except the trace ring's own counters.
+    let strip = |mut s: hipec_core::KernelStats| {
+        s.global.remove("trace_recorded");
+        s.global.remove("trace_dropped");
+        s
+    };
+    assert_eq!(strip(traced.kernel_stats()), strip(silent.kernel_stats()));
+}
+
+// --- Regression: Migrate scrubs the source's stale operand aliases ------------
+
+/// PageFault: request a frame, dequeue it into a slot, put it back, then
+/// migrate it away. The slot alias must be scrubbed — the trailing
+/// EnQueue has to fault instead of pushing a frame the source no longer
+/// owns onto its queue.
+fn aliasing_migrate_program() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let free = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let one = p.declare(OperandDecl::Int(1));
+    p.add_event(
+        "PageFault",
+        vec![
+            build::request(one, NO_OPERAND),
+            build::dequeue(page, free, QueueEnd::Head),
+            build::enqueue(page, free, QueueEnd::Head),
+            build::migrate(one),
+            build::enqueue(page, free, QueueEnd::Tail),
+            build::ret(NO_OPERAND),
+        ],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+fn idle_program() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    p.add_event("PageFault", vec![build::ret(NO_OPERAND)]);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+#[test]
+fn migrate_scrubs_stale_source_aliases() {
+    let mut k = HipecKernel::new(small_params(64, 4));
+    let task = k.vm.create_task();
+    let (_, _, src) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, aliasing_migrate_program(), 2)
+        .expect("install source");
+    let (_, _, dst) = k
+        .vm_allocate_hipec(task, 8 * PAGE_SIZE, idle_program(), 2)
+        .expect("install target");
+    let before = k.frame_partition();
+
+    let err = k
+        .run_event_raw(src, EVENT_PAGE_FAULT)
+        .expect_err("the post-migrate EnQueue must fault on the scrubbed slot");
+    assert!(
+        matches!(err, PolicyFault::EmptyPageSlot { .. }),
+        "expected an empty-slot fault, got: {err}"
+    );
+
+    // The migrated frame belongs to the target now, in books and partition.
+    let after = k.frame_partition();
+    assert_eq!(
+        after.container(dst.0),
+        before.container(dst.0).map(|n| n + 1),
+        "target must gain exactly the migrated frame"
+    );
+    assert_eq!(
+        after.container(src.0),
+        before.container(src.0),
+        "source requested one frame and migrated it away: net zero"
+    );
+    k.sync_trace();
+    assert!(
+        k.trace
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Migrate { from, to, .. }
+                if from == src.0 && to == dst.0)),
+        "the migration must be traced"
+    );
+    k.check_invariants().expect("no cross-container corruption");
+}
+
+// --- Regression: kill-path reclamation credits only real recoveries -----------
+
+/// PageFault resolves faults; ReclaimFrame touches a never-filled slot,
+/// so the first normal reclamation faults and terminates the container.
+fn kamikaze_reclaim_program() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let free = p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    let one = p.declare(OperandDecl::Int(1));
+    let never = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![
+            build::request(one, NO_OPERAND),
+            build::dequeue(page, free, QueueEnd::Head),
+            build::ret(page),
+        ],
+    );
+    p.add_event(
+        "ReclaimFrame",
+        vec![
+            build::enqueue(never, free, QueueEnd::Tail),
+            build::ret(NO_OPERAND),
+        ],
+    );
+    p
+}
+
+#[test]
+fn killing_a_container_mid_flush_keeps_the_books() {
+    let mut k = HipecKernel::new(small_params(128, 8));
+    // Every write-back submission is refused: the kill's flush sweep
+    // cannot push dirty frames out, so they stay on the dead container's
+    // books — and reclamation must not credit them as recovered.
+    k.vm.set_fault_plan(fault_config(0xDEAD, 0, 1000, 0, 0));
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(task, 16 * PAGE_SIZE, kamikaze_reclaim_program(), 4)
+        .expect("install");
+    for p in 0..12u64 {
+        k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), true)
+            .expect("dirtying access");
+        k.pump();
+    }
+    let before = k.container(key).expect("live").allocated;
+    assert!(before > 4, "the container must hold a surplus to reclaim");
+
+    let got = k.reclaim_frames(4);
+    let stats = k.kernel_stats();
+    let row = stats.container(key.0).expect("terminated row kept");
+    assert!(row.terminated, "a faulting ReclaimFrame policy is killed");
+    assert_eq!(
+        got,
+        before - row.allocated,
+        "reclamation credit must equal the real book decrease"
+    );
+    assert_eq!(stats.get("gfm_normal_reclaims"), got);
+    // Device-refused dirty frames stay attributed to the dead container.
+    let part = k.frame_partition();
+    assert_eq!(part.container(key.0), Some(row.allocated));
+    k.sync_trace();
+    assert!(
+        k.trace.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Terminated { container, graceful: false } if container == key.0
+        )),
+        "the kill must be traced"
+    );
+    k.check_invariants()
+        .expect("books and partition agree after the kill");
+}
+
+// --- Regression: torn-write retries are bounded and surface device faults -----
+
+#[test]
+fn torn_retries_drain_and_surface_device_faults() {
+    let mut k = HipecKernel::new(small_params(64, 4));
+    // Every write-back is torn: each flush burns its whole retry budget
+    // and is abandoned, so the retry queue must still drain to empty and
+    // the data loss must reach the owning container as a typed fault.
+    k.vm.set_fault_plan(fault_config(0x7024, 0, 0, 0, 1000));
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(
+            task,
+            16 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            4,
+        )
+        .expect("install");
+    for s in 0..120usize {
+        let p = (s as u64 * 5 + 1) % 16;
+        let _ = k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), true);
+        k.pump();
+    }
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+    assert_eq!(
+        k.vm.retry_frames().count(),
+        0,
+        "a bounded retry budget must let the retry queue drain"
+    );
+    assert_eq!(k.vm.inflight_frames().count(), 0);
+
+    let stats = k.kernel_stats();
+    assert!(
+        stats.get("retryq_pushes") > 0,
+        "torn writes must hit the retry queue"
+    );
+    let surfaced = k.take_surfaced_faults(key);
+    assert!(
+        !surfaced.is_empty(),
+        "abandoned write-backs must surface to the owner"
+    );
+    assert!(surfaced.iter().all(|f| matches!(f, PolicyFault::Device(_))));
+    assert!(stats.container(key.0).expect("row").device_faults > 0);
+    k.sync_trace();
+    assert!(
+        k.trace.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::DeviceFaultSurfaced { container, .. } if container == key.0
+        )),
+        "abandoned flushes must be traced"
+    );
+    k.check_invariants()
+        .expect("no frame lost to abandoned flushes");
+}
+
+// --- Failure reports carry the event tail --------------------------------------
+
+#[test]
+fn trace_tail_renders_recent_events() {
+    let (mut k, task, base, _key) = seeded_kernel();
+    drive(&mut k, task, base, 40);
+    k.sync_trace();
+    let tail = k.trace_tail(8);
+    assert!(!tail.is_empty(), "an active kernel has a tail to render");
+    assert!(
+        tail.lines().count() <= 8,
+        "the tail is bounded to the requested length"
+    );
+}

@@ -9,9 +9,16 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs verbatim
-//!   (they are `Debug`-printed before the test body runs) together with the
-//!   seed, so failures are reproducible but not minimized.
+//! * **Greedy shrinking, not value trees.** When a case fails via
+//!   `prop_assert!`-style failures (panics are reported unshrunk), each
+//!   argument is minimized in turn while the others are held fixed: the
+//!   runner greedily accepts any [`strategy::Strategy::shrink`] candidate
+//!   that keeps the test failing — delta-debugged chunk removal for
+//!   [`collection::vec`], descent toward the range floor (or zero) for
+//!   integers and booleans. Combinators that cannot invert their mapping
+//!   (`prop_map`, `prop_flat_map`, `boxed`, `prop_oneof!`) do not shrink
+//!   through; their values are reported as generated. The failure report
+//!   carries the minimized inputs. Arguments must be `Clone`.
 //! * **No corpus persistence.** `proptest-regressions/` files are neither
 //!   read nor written; known regressions are pinned as explicit `#[test]`
 //!   replays instead (see `crates/disk/src/flash.rs`).
@@ -80,6 +87,13 @@ pub mod bool {
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 }
 
@@ -145,6 +159,40 @@ pub mod collection {
             let span = (self.size.hi - self.size.lo) as u64 + 1;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Delta debugging over the vector's elements: every candidate has
+        /// one contiguous chunk removed, large chunks (half the vector)
+        /// first, halving down to single elements, never dropping below the
+        /// length floor. Cloning the whole vector and `drain`ing the chunk
+        /// keeps the element type free of any `Clone` bound of its own.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>>
+        where
+            Vec<S::Value>: Clone,
+        {
+            let len = value.len();
+            let mut out = Vec::new();
+            if len <= self.size.lo {
+                return out;
+            }
+            let mut chunk = (len / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < len {
+                    let end = (start + chunk).min(len);
+                    if len - (end - start) >= self.size.lo {
+                        let mut candidate = value.clone();
+                        candidate.drain(start..end);
+                        out.push(candidate);
+                    }
+                    start += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+            out
         }
     }
 }
@@ -308,14 +356,86 @@ macro_rules! __proptest_fns {
                         );)+
                     }
                     #[allow(clippy::redundant_closure_call)]
-                    (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                        $body
-                        Ok(())
-                    })()
+                    let __outcome =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $(let $arg = ::std::clone::Clone::clone(&$arg);)+
+                            $body
+                            Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            // Minimize each argument in turn, holding the
+                            // others (already-minimized or original) fixed.
+                            $crate::__proptest_shrink! {
+                                [$(($arg, $strat))+]
+                                [$($arg)+]
+                                $body
+                            }
+                            __input.clear();
+                            {
+                                use ::std::fmt::Write as _;
+                                let _ = ::core::write!(__input, "(minimized) ");
+                                $(let _ = ::core::write!(
+                                    __input,
+                                    concat!(stringify!($arg), " = {:?}; "),
+                                    &$arg
+                                );)+
+                            }
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(__msg),
+                            )
+                        }
+                        __other => __other,
+                    }
                 },
             );
         }
         $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Recurses over the argument list; each step rebinds one argument to its
+/// minimized value. The second bracket carries the *full* argument list so
+/// the probe closure can rebind every argument (macro repetitions of the
+/// same metavariable cannot nest, hence the duplicated list).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_shrink {
+    ([] [$($all:ident)+] $body:block) => {};
+    ([($cur:ident, $curstrat:expr) $(($rest:ident, $reststrat:expr))*]
+     [$($all:ident)+]
+     $body:block
+    ) => {
+        let $cur = {
+            let __fails = |__v: &_| -> bool {
+                $(let $all = ::std::clone::Clone::clone(&$all);)+
+                let $cur = $crate::test_runner::clone_like(&$cur, __v);
+                // A candidate is accepted only if it reproduces the same
+                // class of failure; a candidate that panics instead is
+                // rejected so the report stays faithful to the original.
+                let __r = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                ));
+                ::std::matches!(
+                    __r,
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(_)
+                    ))
+                )
+            };
+            $crate::test_runner::minimize(
+                ::std::clone::Clone::clone(&$cur),
+                |__v| $crate::strategy::Strategy::shrink(&($curstrat), __v),
+                __fails,
+                512,
+            )
+        };
+        $crate::__proptest_shrink! { [$(($rest, $reststrat))*] [$($all)+] $body }
     };
 }
 
@@ -388,6 +508,68 @@ mod tests {
             #![proptest_config(ProptestConfig::with_cases(8))]
             fn inner(x in 10u32..20) {
                 prop_assert!(x < 10, "x was {x}");
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn vec_shrink_removes_chunks_above_the_floor() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..100, 2..40);
+        let value: Vec<u32> = (0..8).collect();
+        let candidates = s.shrink(&value);
+        assert!(!candidates.is_empty());
+        // Most aggressive first: the first candidate drops half the vector.
+        assert_eq!(candidates[0].len(), 4);
+        for c in &candidates {
+            assert!(c.len() >= 2, "candidate {c:?} is below the size floor");
+            assert!(c.len() < value.len(), "candidate {c:?} did not shrink");
+        }
+        // At the floor, nothing is proposed.
+        assert!(s.shrink(&vec![7, 9]).is_empty());
+    }
+
+    #[test]
+    fn minimize_reduces_a_failing_vec_to_the_culprit() {
+        use crate::strategy::Strategy;
+        // A props.rs-style setup: a vec strategy generated a failing input;
+        // the failure is caused by one element. Delta debugging must strip
+        // everything else and keep the test failing.
+        let s = crate::collection::vec(0u32..100, 1..40);
+        let initial: Vec<u32> = (0..20).collect();
+        assert!(initial.contains(&13));
+        let minimized = crate::test_runner::minimize(
+            initial.clone(),
+            |v| s.shrink(v),
+            |v| v.contains(&13),
+            512,
+        );
+        assert!(
+            minimized.len() < initial.len(),
+            "minimized input {minimized:?} is not strictly smaller than {initial:?}"
+        );
+        assert_eq!(minimized, vec![13], "local minimum is the culprit alone");
+    }
+
+    #[test]
+    fn minimize_descends_ranges_to_the_failure_boundary() {
+        use crate::strategy::Strategy;
+        let s = 0u32..1000;
+        let minimized = crate::test_runner::minimize(937u32, |v| s.shrink(v), |v| *v >= 17, 512);
+        assert_eq!(minimized, 17, "binary descent plus final linear steps");
+    }
+
+    #[test]
+    #[should_panic(expected = "xs = [5, 5, 5]")]
+    fn failing_cases_report_minimized_inputs() {
+        // Every generated element is 5, so any failing case (length >= 3)
+        // must shrink to exactly [5, 5, 5] — the panic message proves the
+        // reported input is the minimized one, not the generated one.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            fn inner(xs in prop::collection::vec(5u32..6, 0..12)) {
+                prop_assert!(xs.len() < 3, "too long: {}", xs.len());
             }
         }
         inner();

@@ -8,14 +8,29 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree / shrinking: a strategy is
-/// just a deterministic function of the [`TestRng`] stream.
+/// Unlike real proptest there is no value tree: a strategy is just a
+/// deterministic function of the [`TestRng`] stream, with optional
+/// [`Strategy::shrink`]-based minimization after a failure.
 pub trait Strategy {
     /// The type of generated values.
     type Value: Debug;
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes strictly smaller candidates derived from a failing
+    /// `value`, most aggressive first. The runner greedily replaces the
+    /// failing value with the first candidate that still fails and asks
+    /// again ([`crate::test_runner::minimize`]), so candidate order is the
+    /// search order. The default proposes nothing (no shrinking);
+    /// combinators that cannot invert their mapping (`prop_map`,
+    /// `prop_flat_map`, `boxed`, `prop_oneof!`) inherit it.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value>
+    where
+        Self::Value: Clone,
+    {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -158,12 +173,45 @@ impl<T> Debug for ArbInt<T> {
     }
 }
 
+/// Candidates between `lo` (the smallest legal value) and failing `value`:
+/// the floor itself, the midpoint (binary descent), and the predecessor
+/// (final linear steps) — computed in `i128` so no signed span overflows.
+fn shrink_int_toward(lo: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value == lo {
+        return out;
+    }
+    out.push(lo);
+    let mid = lo + (value - lo) / 2;
+    if mid != lo && mid != value {
+        out.push(mid);
+    }
+    let prev = value - 1;
+    if prev != lo && prev != mid {
+        out.push(prev);
+    }
+    out
+}
+
 macro_rules! impl_int_strategies {
     ($($t:ty),*) => {$(
         impl Strategy for ArbInt<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Full-domain integers shrink toward zero (from either side
+                // for signed types: `/ 2` truncates toward zero).
+                if *value == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t];
+                let half = *value / 2;
+                if half != 0 {
+                    out.push(half);
+                }
+                out
             }
         }
 
@@ -173,6 +221,12 @@ macro_rules! impl_int_strategies {
                 assert!(self.start < self.end, "empty range strategy");
                 let width = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(width) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
 
@@ -186,6 +240,12 @@ macro_rules! impl_int_strategies {
                     return rng.next_u64() as $t;
                 }
                 (lo as i128 + rng.below(width as u64) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
             }
         }
     )*};

@@ -108,6 +108,43 @@ impl TestRng {
     }
 }
 
+/// Greedy delta debugging: repeatedly replaces `current` with the first
+/// shrink candidate that still fails, restarting the candidate scan from
+/// the new value, until no candidate fails or `budget` probes have run.
+/// Returns the smallest failing value reached.
+pub fn minimize<T>(
+    initial: T,
+    shrink: impl Fn(&T) -> Vec<T>,
+    mut fails: impl FnMut(&T) -> bool,
+    budget: usize,
+) -> T {
+    let mut current = initial;
+    let mut probes = 0usize;
+    'descend: loop {
+        for candidate in shrink(&current) {
+            if probes >= budget {
+                break 'descend;
+            }
+            probes += 1;
+            if fails(&candidate) {
+                current = candidate;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Type-bridging clone used by the shrink macro: `witness` (an existing
+/// binding of the argument) pins the concrete type, so the candidate
+/// reference needs no annotation inside macro-generated closures.
+#[doc(hidden)]
+pub fn clone_like<T: Clone>(witness: &T, value: &T) -> T {
+    let _ = witness;
+    value.clone()
+}
+
 /// FNV-1a, the base seed for a test name.
 fn name_seed(name: &str) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
