@@ -1,0 +1,409 @@
+//! Offline analysis of JSONL kernel traces.
+//!
+//! Consumes the line-per-record stream written by
+//! `hipec_core::JsonlSink` (schema of `hipec_core::render_jsonl`) and
+//! reconstructs what the kernel did: per-type event counts, fault and
+//! flush latency histograms, frame flush lifecycles, and a list of
+//! anomalies — frame leaks (a `vm.flush_start` never matched by a
+//! completion), retry storms, abandoned write-backs, checker timeouts and
+//! sequence gaps (records lost to ring overwrites). The `trace_analyze`
+//! binary wraps this module; tests feed it synthetic traces.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hipec_sim::stats::Histogram;
+use hipec_sim::SimDuration;
+use serde_json::Value;
+
+/// A torn write-back retried this many times (or more) counts as a retry
+/// storm anomaly — the paging device is effectively wedged on that frame.
+pub const RETRY_STORM_THRESHOLD: u64 = 6;
+
+/// Everything the analyzer learned from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Total records parsed.
+    pub events: u64,
+    /// Sequence number of the first record (None for an empty trace).
+    /// Non-zero means the trace starts mid-run (ring overwrote history
+    /// before a sink attached), so unmatched completions are not flagged.
+    pub first_seq: Option<u64>,
+    /// Sequence number of the last record.
+    pub last_seq: Option<u64>,
+    /// Records missing between consecutive lines (sum of gap sizes).
+    pub seq_gaps: u64,
+    /// Record counts per `"type"` field.
+    pub by_type: BTreeMap<String, u64>,
+    /// Substrate fault latencies (`vm.fault` `latency_ns`).
+    pub fault_latency: Histogram,
+    /// Policy-resolved fault latencies (`policy_fault_resolved`).
+    pub policy_fault_latency: Histogram,
+    /// Write-back latencies (`vm.flush_start` → `vm.flush_complete`).
+    pub flush_latency: Histogram,
+    /// Write-backs abandoned after exhausting retries.
+    pub abandoned_flushes: u64,
+    /// Policies the security checker timed out.
+    pub checker_timeouts: u64,
+    /// Torn write-back re-issues.
+    pub torn_retries: u64,
+    /// Retries rejected by the bounded retry queue.
+    pub retry_rejected: u64,
+    /// Deepest retry attempt seen on any frame.
+    pub max_retry_attempt: u64,
+    /// Frames whose flush never completed by end of trace (leaks).
+    pub leaked_flushes: u64,
+    /// Human-readable anomaly descriptions; empty on a clean trace.
+    pub anomalies: Vec<String>,
+}
+
+impl Analysis {
+    /// True when the trace shows no anomalies.
+    pub fn is_clean(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// Serializes the analysis (including histograms as
+    /// `[[floor_ns, ceil_ns, count], ...]` bucket triples) to JSON.
+    pub fn to_json(&self) -> Value {
+        fn hist(h: &Histogram) -> Value {
+            serde_json::json!({
+                "count": h.count(),
+                "total_ns": h.total_ns() as u64,
+                "mean_ns": h.mean().as_ns(),
+                "p50_ns": h.quantile(0.5).as_ns(),
+                "p99_ns": h.quantile(0.99).as_ns(),
+                "buckets": Value::Array(
+                    h.nonzero_buckets()
+                        .map(|(lo, hi, n)| serde_json::json!([lo, hi, n]))
+                        .collect(),
+                ),
+            })
+        }
+        let mut by_type = serde_json::Map::new();
+        for (k, v) in &self.by_type {
+            by_type.insert(k.clone(), serde_json::to_value(v));
+        }
+        serde_json::json!({
+            "events": self.events,
+            "first_seq": self.first_seq.map(Value::U64).unwrap_or(Value::Null),
+            "last_seq": self.last_seq.map(Value::U64).unwrap_or(Value::Null),
+            "seq_gaps": self.seq_gaps,
+            "by_type": Value::Object(by_type),
+            "fault_latency": hist(&self.fault_latency),
+            "policy_fault_latency": hist(&self.policy_fault_latency),
+            "flush_latency": hist(&self.flush_latency),
+            "abandoned_flushes": self.abandoned_flushes,
+            "checker_timeouts": self.checker_timeouts,
+            "torn_retries": self.torn_retries,
+            "retry_rejected": self.retry_rejected,
+            "max_retry_attempt": self.max_retry_attempt,
+            "leaked_flushes": self.leaked_flushes,
+            "anomalies": Value::Array(
+                self.anomalies
+                    .iter()
+                    .map(|a| Value::Str(a.clone()))
+                    .collect(),
+            ),
+        })
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events (seq {}..{}), {} missing",
+            self.events,
+            self.first_seq.map_or("-".to_string(), |s| s.to_string()),
+            self.last_seq.map_or("-".to_string(), |s| s.to_string()),
+            self.seq_gaps
+        )?;
+        writeln!(f, "events by type:")?;
+        for (k, v) in &self.by_type {
+            writeln!(f, "  {k:>24}: {v}")?;
+        }
+        for (name, h) in [
+            ("fault latency", &self.fault_latency),
+            ("policy fault latency", &self.policy_fault_latency),
+            ("flush latency", &self.flush_latency),
+        ] {
+            if h.count() == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{name}: n={} mean={} p50={} p99={}",
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            )?;
+            for (lo, hi, n) in h.nonzero_buckets() {
+                writeln!(f, "  [{lo:>12} ns, {hi:>12} ns]: {n}")?;
+            }
+        }
+        if self.anomalies.is_empty() {
+            writeln!(f, "anomalies: none")?;
+        } else {
+            writeln!(f, "anomalies ({}):", self.anomalies.len())?;
+            for a in &self.anomalies {
+                writeln!(f, "  ! {a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn field_u64(obj: &serde_json::Map, key: &str) -> Option<u64> {
+    obj.get(key).and_then(Value::as_u64)
+}
+
+/// Analyzes a JSONL trace given as an iterator of lines.
+///
+/// Returns `Err` only on malformed input (unparseable line, missing
+/// `seq`/`at_ns`/`type`); kernel-level problems are reported through
+/// [`Analysis::anomalies`].
+pub fn analyze_lines<'a, I>(lines: I) -> Result<Analysis, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut a = Analysis::default();
+    // frame -> (flush_start at_ns, start seq), for lifecycle matching.
+    let mut inflight: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut prev_seq: Option<u64> = None;
+
+    for (lineno, line) in lines.into_iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: bad JSON: {e:?}", lineno + 1))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| format!("line {}: not an object", lineno + 1))?;
+        let seq = field_u64(obj, "seq").ok_or_else(|| format!("line {}: no seq", lineno + 1))?;
+        let at_ns =
+            field_u64(obj, "at_ns").ok_or_else(|| format!("line {}: no at_ns", lineno + 1))?;
+        let kind = obj
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: no type", lineno + 1))?;
+
+        a.events += 1;
+        if a.first_seq.is_none() {
+            a.first_seq = Some(seq);
+        }
+        if let Some(prev) = prev_seq {
+            if seq <= prev {
+                a.anomalies
+                    .push(format!("seq {seq} after {prev}: sequence not increasing"));
+            } else if seq != prev + 1 {
+                let missing = seq - prev - 1;
+                a.seq_gaps += missing;
+                a.anomalies.push(format!(
+                    "{missing} record(s) dropped between seq {prev} and {seq}"
+                ));
+            }
+        }
+        prev_seq = Some(seq);
+        a.last_seq = Some(seq);
+        *a.by_type.entry(kind.to_string()).or_insert(0) += 1;
+
+        match kind {
+            "vm.fault" => {
+                if let Some(ns) = field_u64(obj, "latency_ns") {
+                    a.fault_latency.record(SimDuration::from_ns(ns));
+                }
+            }
+            "policy_fault_resolved" => {
+                if let Some(ns) = field_u64(obj, "latency_ns") {
+                    a.policy_fault_latency.record(SimDuration::from_ns(ns));
+                }
+            }
+            "vm.flush_start" => {
+                let frame = field_u64(obj, "frame").unwrap_or(u64::MAX);
+                if let Some((start_ns, start_seq)) = inflight.insert(frame, (at_ns, seq)) {
+                    a.anomalies.push(format!(
+                        "frame {frame}: flush_start at seq {seq} while flush from \
+                         seq {start_seq} (at {start_ns} ns) still open"
+                    ));
+                }
+            }
+            "vm.flush_complete" => {
+                let frame = field_u64(obj, "frame").unwrap_or(u64::MAX);
+                match inflight.remove(&frame) {
+                    Some((start_ns, _)) => a
+                        .flush_latency
+                        .record(SimDuration::from_ns(at_ns.saturating_sub(start_ns))),
+                    // Only a complete-from-birth trace can call an
+                    // unmatched completion an anomaly; a mid-run capture
+                    // legitimately misses the start.
+                    None if a.first_seq == Some(0) && a.seq_gaps == 0 => {
+                        a.anomalies
+                            .push(format!("frame {frame}: flush_complete without flush_start"));
+                    }
+                    None => {}
+                }
+            }
+            "vm.flush_abandoned" => {
+                let frame = field_u64(obj, "frame").unwrap_or(u64::MAX);
+                inflight.remove(&frame);
+                a.abandoned_flushes += 1;
+                let attempts = field_u64(obj, "attempts").unwrap_or(0);
+                a.anomalies.push(format!(
+                    "frame {frame}: write-back abandoned after {attempts} attempts"
+                ));
+            }
+            "vm.torn_retry" => {
+                a.torn_retries += 1;
+                let attempt = field_u64(obj, "attempt").unwrap_or(0);
+                a.max_retry_attempt = a.max_retry_attempt.max(attempt);
+                if attempt >= RETRY_STORM_THRESHOLD {
+                    let frame = field_u64(obj, "frame").unwrap_or(u64::MAX);
+                    a.anomalies
+                        .push(format!("frame {frame}: retry storm (attempt {attempt})"));
+                }
+            }
+            "vm.retry_rejected" => {
+                a.retry_rejected += 1;
+            }
+            "checker_timeout" => {
+                a.checker_timeouts += 1;
+                let container = field_u64(obj, "container").unwrap_or(u64::MAX);
+                a.anomalies
+                    .push(format!("container {container}: checker timeout"));
+            }
+            _ => {}
+        }
+    }
+
+    a.leaked_flushes = inflight.len() as u64;
+    for (frame, (start_ns, start_seq)) in &inflight {
+        a.anomalies.push(format!(
+            "frame {frame}: flush started at seq {start_seq} ({start_ns} ns) \
+             never completed (leak)"
+        ));
+    }
+    Ok(a)
+}
+
+/// Analyzes a whole JSONL document held in memory.
+pub fn analyze_str(text: &str) -> Result<Analysis, String> {
+    analyze_lines(text.lines())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_trace_has_no_anomalies() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"install\",\"container\":1,\"min_frames\":4}
+{\"seq\":1,\"at_ns\":100,\"type\":\"vm.fault\",\"task\":0,\"vpage\":3,\"kind\":\"page_in\",\"write\":false,\"latency_ns\":2500}
+{\"seq\":2,\"at_ns\":200,\"type\":\"vm.flush_start\",\"frame\":7,\"torn\":false}
+{\"seq\":3,\"at_ns\":900,\"type\":\"vm.flush_complete\",\"frame\":7}
+";
+        let a = analyze_str(trace).unwrap();
+        assert!(a.is_clean(), "anomalies: {:?}", a.anomalies);
+        assert_eq!(a.events, 4);
+        assert_eq!(a.first_seq, Some(0));
+        assert_eq!(a.last_seq, Some(3));
+        assert_eq!(a.seq_gaps, 0);
+        assert_eq!(a.by_type.get("vm.fault"), Some(&1));
+        assert_eq!(a.fault_latency.count(), 1);
+        assert_eq!(a.flush_latency.count(), 1);
+        assert_eq!(a.flush_latency.total_ns(), 700);
+    }
+
+    #[test]
+    fn seq_gap_counts_dropped_records() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"checker_wake\",\"detected\":0}
+{\"seq\":4,\"at_ns\":50,\"type\":\"checker_wake\",\"detected\":0}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.seq_gaps, 3);
+        assert_eq!(a.anomalies.len(), 1);
+        assert!(a.anomalies[0].contains("3 record(s) dropped"));
+    }
+
+    #[test]
+    fn flush_leak_and_double_start_flagged() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"vm.flush_start\",\"frame\":3,\"torn\":false}
+{\"seq\":1,\"at_ns\":10,\"type\":\"vm.flush_start\",\"frame\":3,\"torn\":false}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.leaked_flushes, 1);
+        assert_eq!(a.anomalies.len(), 2);
+        assert!(a.anomalies[0].contains("still open"));
+        assert!(a.anomalies[1].contains("never completed"));
+    }
+
+    #[test]
+    fn retry_storm_abandonment_and_timeouts_flagged() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"vm.torn_retry\",\"frame\":2,\"attempt\":1}
+{\"seq\":1,\"at_ns\":10,\"type\":\"vm.torn_retry\",\"frame\":2,\"attempt\":6}
+{\"seq\":2,\"at_ns\":20,\"type\":\"vm.flush_abandoned\",\"frame\":2,\"attempts\":7}
+{\"seq\":3,\"at_ns\":30,\"type\":\"checker_timeout\",\"container\":5}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.torn_retries, 2);
+        assert_eq!(a.max_retry_attempt, 6);
+        assert_eq!(a.abandoned_flushes, 1);
+        assert_eq!(a.checker_timeouts, 1);
+        assert_eq!(a.anomalies.len(), 3);
+    }
+
+    #[test]
+    fn midrun_capture_tolerates_unmatched_completion() {
+        // first_seq != 0: the ring overwrote history before the sink
+        // attached, so an orphan completion is expected, not an anomaly.
+        let trace = "{\"seq\":40,\"at_ns\":500,\"type\":\"vm.flush_complete\",\"frame\":9}\n";
+        let a = analyze_str(trace).unwrap();
+        assert!(a.is_clean(), "anomalies: {:?}", a.anomalies);
+    }
+
+    #[test]
+    fn complete_trace_flags_unmatched_completion() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"checker_wake\",\"detected\":0}
+{\"seq\":1,\"at_ns\":500,\"type\":\"vm.flush_complete\",\"frame\":9}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.anomalies.len(), 1);
+        assert!(a.anomalies[0].contains("without flush_start"));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(analyze_str("not json\n").is_err());
+        assert!(analyze_str("{\"at_ns\":0,\"type\":\"x\"}\n").is_err());
+        let err = analyze_str("{\"seq\":0,\"at_ns\":0}\n").unwrap_err();
+        assert!(err.contains("no type"));
+    }
+
+    #[test]
+    fn to_json_round_trips() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"vm.fault\",\"task\":0,\"vpage\":1,\"kind\":\"hit\",\"write\":true,\"latency_ns\":5}
+";
+        let a = analyze_str(trace).unwrap();
+        let v = a.to_json();
+        let text = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            back.as_object().unwrap().get("events").unwrap().as_u64(),
+            Some(1)
+        );
+        let fl = back.as_object().unwrap().get("fault_latency").unwrap();
+        assert_eq!(
+            fl.as_object().unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+}

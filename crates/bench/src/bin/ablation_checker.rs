@@ -59,17 +59,20 @@ fn small_params() -> KernelParams {
 }
 
 fn main() {
+    let json_only = hipec_bench::json_mode();
     let schedules = [
         Schedule::Adaptive,
         Schedule::Fixed(SimDuration::from_ms(250)),
         Schedule::Fixed(SimDuration::from_secs(8)),
     ];
 
-    println!("== Ablation: checker wakeup schedule ==\n");
-    println!(
-        "{:<18} {:>16} {:>20}",
-        "schedule", "quiet-hr wakeups", "runaway detection"
-    );
+    if !json_only {
+        println!("== Ablation: checker wakeup schedule ==\n");
+        println!(
+            "{:<18} {:>16} {:>20}",
+            "schedule", "quiet-hr wakeups", "runaway detection"
+        );
+    }
     let mut rows = Vec::new();
     for s in schedules {
         // Scenario 1: a quiet hour with one well-behaved app.
@@ -101,21 +104,25 @@ fn main() {
             k.vm.now().since(started)
         };
 
-        println!(
-            "{:<18} {:>16} {:>20}",
-            s.name(),
-            quiet_wakeups,
-            detection.to_string()
-        );
+        if !json_only {
+            println!(
+                "{:<18} {:>16} {:>20}",
+                s.name(),
+                quiet_wakeups,
+                detection.to_string()
+            );
+        }
         rows.push(serde_json::json!({
             "schedule": s.name(),
             "quiet_hour_wakeups": quiet_wakeups,
             "runaway_detection_ms": detection.as_ms_f64(),
         }));
     }
-    println!("\npaper (§4.3.3): the adaptive schedule sleeps most of the time when no");
-    println!("timeouts occur (cheap background cost) yet converges to 250 ms wakeups");
-    println!("when runaways appear (fast detection) — the fixed schedules give you");
-    println!("only one of the two.");
-    hipec_bench::dump_json("ablation_checker", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\npaper (§4.3.3): the adaptive schedule sleeps most of the time when no");
+        println!("timeouts occur (cheap background cost) yet converges to 250 ms wakeups");
+        println!("when runaways appear (fast detection) — the fixed schedules give you");
+        println!("only one of the two.");
+    }
+    hipec_bench::finish("ablation_checker", &serde_json::json!({ "rows": rows }));
 }

@@ -28,11 +28,14 @@ fn main() {
         })
         .collect();
 
-    println!("== Ablation: complex vs simple commands ==\n");
-    println!(
-        "{:<18} {:>8} {:>12} {:>14} {:>16}",
-        "policy", "faults", "commands", "cmds/fault", "decode ns/fault"
-    );
+    let json_only = hipec_bench::json_mode();
+    if !json_only {
+        println!("== Ablation: complex vs simple commands ==\n");
+        println!(
+            "{:<18} {:>8} {:>12} {:>14} {:>16}",
+            "policy", "faults", "commands", "cmds/fault", "decode ns/fault"
+        );
+    }
     let mut rows = Vec::new();
     for kind in [
         PolicyKind::Lru,
@@ -55,23 +58,36 @@ fn main() {
         let c = k.container(key).expect("container");
         let cmds_per_fault = c.stats.commands as f64 / c.stats.faults.max(1) as f64;
         let decode_ns = cmds_per_fault * k.vm.cost.cmd_fetch_decode.as_ns() as f64;
-        println!(
-            "{:<18} {:>8} {:>12} {:>14.1} {:>16.0}",
-            kind.name(),
-            c.stats.faults,
-            c.stats.commands,
-            cmds_per_fault,
-            decode_ns
-        );
+        if !json_only {
+            println!(
+                "{:<18} {:>8} {:>12} {:>14.1} {:>16.0}",
+                kind.name(),
+                c.stats.faults,
+                c.stats.commands,
+                cmds_per_fault,
+                decode_ns
+            );
+        }
+        // The per-opcode profile shows *where* each policy's commands go.
+        let mut ops = serde_json::Map::new();
+        for (op, count, time) in c.op_profile.nonzero() {
+            ops.insert(
+                op.mnemonic().to_string(),
+                serde_json::json!({ "count": count, "time_ns": time.as_ns() }),
+            );
+        }
         rows.push(serde_json::json!({
             "policy": kind.name(),
             "faults": c.stats.faults,
             "commands": c.stats.commands,
             "cmds_per_fault": cmds_per_fault,
             "decode_ns_per_fault": decode_ns,
+            "ops": serde_json::Value::Object(ops),
         }));
     }
-    println!("\npaper (§4.2): complex commands amortize fetch/decode; simple commands");
-    println!("cost more interpretation but give designers full flexibility.");
-    hipec_bench::dump_json("ablation_commands", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\npaper (§4.2): complex commands amortize fetch/decode; simple commands");
+        println!("cost more interpretation but give designers full flexibility.");
+    }
+    hipec_bench::finish("ablation_commands", &serde_json::json!({ "rows": rows }));
 }

@@ -32,9 +32,12 @@ fn main() {
     let upcall = mach.elapsed + (cost.null_syscall * 2).saturating_mul(faults);
     let ipc = mach.elapsed + cost.null_ipc.saturating_mul(faults);
 
-    println!("== Ablation: per-fault policy dispatch mechanism ==\n");
-    println!("40 MB sweep, {faults} faults, no disk I/O\n");
-    println!("{:<28} {:>14} {:>12}", "mechanism", "elapsed", "overhead");
+    let json_only = hipec_bench::json_mode();
+    if !json_only {
+        println!("== Ablation: per-fault policy dispatch mechanism ==\n");
+        println!("40 MB sweep, {faults} faults, no disk I/O\n");
+        println!("{:<28} {:>14} {:>12}", "mechanism", "elapsed", "overhead");
+    }
     let base = mach.elapsed.as_ns() as f64;
     let mut rows = Vec::new();
     for (name, elapsed) in [
@@ -44,15 +47,19 @@ fn main() {
         ("IPC (PREMO-style pager)", ipc),
     ] {
         let pct = (elapsed.as_ns() as f64 / base - 1.0) * 100.0;
-        println!("{name:<28} {:>14} {pct:>11.2}%", elapsed.to_string());
+        if !json_only {
+            println!("{name:<28} {:>14} {pct:>11.2}%", elapsed.to_string());
+        }
         rows.push(serde_json::json!({
             "mechanism": name,
             "elapsed_ms": elapsed.as_ms_f64(),
             "overhead_pct": pct,
         }));
     }
-    println!("\nreading: interpretation costs ~1.8%; an upcall per fault costs ~10%,");
-    println!("IPC ~75% — the factor the paper's design eliminates by never crossing");
-    println!("the kernel/user boundary.");
-    hipec_bench::dump_json("ablation_dispatch", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\nreading: interpretation costs ~1.8%; an upcall per fault costs ~10%,");
+        println!("IPC ~75% — the factor the paper's design eliminates by never crossing");
+        println!("the kernel/user boundary.");
+    }
+    hipec_bench::finish("ablation_dispatch", &serde_json::json!({ "rows": rows }));
 }

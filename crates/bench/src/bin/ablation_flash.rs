@@ -115,11 +115,14 @@ fn run(policy_name: &str, program: hipec_core::PolicyProgram) -> Run {
 }
 
 fn main() {
-    println!("== Ablation: policies on flash RAM (paper §6 extension) ==\n");
-    println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>6} {:>9}",
-        "policy", "elapsed s", "pageouts", "programs", "erases", "WA", "max wear"
-    );
+    let json_only = hipec_bench::json_mode();
+    if !json_only {
+        println!("== Ablation: policies on flash RAM (paper §6 extension) ==\n");
+        println!(
+            "{:<14} {:>10} {:>10} {:>10} {:>8} {:>6} {:>9}",
+            "policy", "elapsed s", "pageouts", "programs", "erases", "WA", "max wear"
+        );
+    }
     let mut rows = Vec::new();
     for (name, program) in [
         ("FIFO", PolicyKind::Fifo.program()),
@@ -129,10 +132,12 @@ fn main() {
         ),
     ] {
         let r = run(name, program);
-        println!(
-            "{:<14} {:>10.2} {:>10} {:>10} {:>8} {:>6.2} {:>9}",
-            name, r.elapsed_s, r.pageouts, r.programs, r.erases, r.wa, r.wear
-        );
+        if !json_only {
+            println!(
+                "{:<14} {:>10.2} {:>10} {:>10} {:>8} {:>6.2} {:>9}",
+                name, r.elapsed_s, r.pageouts, r.programs, r.erases, r.wa, r.wear
+            );
+        }
         rows.push(serde_json::json!({
             "policy": name,
             "elapsed_s": r.elapsed_s,
@@ -143,10 +148,12 @@ fn main() {
             "max_wear": r.wear,
         }));
     }
-    println!("\nreading: the clean-first policy trades interpreted scan work for");
-    println!("roughly half the flash programs and a third of the erases (and the");
-    println!("write amplification that goes with them) — the device-aware decision");
-    println!("only the application can make, which is the paper's §6 argument for");
-    println!("extending HiPEC to new hardware.");
-    hipec_bench::dump_json("ablation_flash", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\nreading: the clean-first policy trades interpreted scan work for");
+        println!("roughly half the flash programs and a third of the erases (and the");
+        println!("write amplification that goes with them) — the device-aware decision");
+        println!("only the application can make, which is the paper's §6 argument for");
+        println!("extending HiPEC to new hardware.");
+    }
+    hipec_bench::finish("ablation_flash", &serde_json::json!({ "rows": rows }));
 }

@@ -80,11 +80,14 @@ fn main() {
     params.wired_frames = 64;
     let pageable = 2_048 - 64;
 
-    println!("== Ablation: partition_burst sweep ==\n");
-    println!(
-        "{:<10} {:>14} {:>16} {:>18}",
-        "burst %", "specific frames", "specific faults", "non-specific faults"
-    );
+    let json_only = hipec_bench::json_mode();
+    if !json_only {
+        println!("== Ablation: partition_burst sweep ==\n");
+        println!(
+            "{:<10} {:>14} {:>16} {:>18}",
+            "burst %", "specific frames", "specific faults", "non-specific faults"
+        );
+    }
     let mut rows = Vec::new();
     for pct in [10u64, 25, 50, 75, 90] {
         let mut k = HipecKernel::new(params.clone());
@@ -118,18 +121,20 @@ fn main() {
         let specific_faults = c.stats.faults;
         let total_faults = k.vm.stats.get("faults");
         let non_specific_faults = total_faults - specific_faults;
-        println!(
-            "{:<10} {:>14} {:>16} {:>18}",
-            pct, c.allocated, specific_faults, non_specific_faults
-        );
-        println!(
-            "{:<10} grants={} rejections={} reclaims={}+{} (normal+forced)",
-            "",
-            stats.get("gfm_grants"),
-            stats.get("gfm_rejections"),
-            stats.get("gfm_normal_reclaims"),
-            stats.get("gfm_forced_reclaims"),
-        );
+        if !json_only {
+            println!(
+                "{:<10} {:>14} {:>16} {:>18}",
+                pct, c.allocated, specific_faults, non_specific_faults
+            );
+            println!(
+                "{:<10} grants={} rejections={} reclaims={}+{} (normal+forced)",
+                "",
+                stats.get("gfm_grants"),
+                stats.get("gfm_rejections"),
+                stats.get("gfm_normal_reclaims"),
+                stats.get("gfm_forced_reclaims"),
+            );
+        }
         rows.push(serde_json::json!({
             "burst_pct": pct,
             "specific_frames": c.allocated,
@@ -141,8 +146,10 @@ fn main() {
             "gfm_forced_reclaims": stats.get("gfm_forced_reclaims"),
         }));
     }
-    println!("\nreading: a larger partition lets the specific application grow its");
-    println!("private pool (fewer specific faults) at the expense of the default");
-    println!("pool; the paper's 50% splits the machine evenly.");
-    hipec_bench::dump_json("ablation_partition", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\nreading: a larger partition lets the specific application grow its");
+        println!("private pool (fewer specific faults) at the expense of the default");
+        println!("pool; the paper's 50% splits the machine evenly.");
+    }
+    hipec_bench::finish("ablation_partition", &serde_json::json!({ "rows": rows }));
 }

@@ -4,26 +4,33 @@
 //! home turf) with full table scans (cyclic → MRU's home turf). HiPEC's
 //! central claim is that one application can give *each region its own
 //! policy*; this harness compares that against every uniform policy.
+//!
+//! `--json` emits the rows plus the per-phase [`hipec_core::KernelStats`]
+//! diff of each mix run (the query phase only, setup excluded).
 
+use hipec_bench::{finish, json_mode, kernel_stats_json};
 use hipec_policies::PolicyKind;
 use hipec_workloads::db::{run_query_mix, DbConfig};
 
 fn main() {
+    let json_only = json_mode();
     let cfg = DbConfig::small();
-    println!("== Extension: per-region policies for a database query mix ==\n");
-    println!(
-        "index {} pages (levels {:?}, pool {}), table {} pages (pool {}), {} scans\n",
-        cfg.index_pages(),
-        cfg.index_levels,
-        cfg.index_pool,
-        cfg.table_pages,
-        cfg.table_pool,
-        cfg.scans
-    );
-    println!(
-        "{:<28} {:>12} {:>12} {:>12}",
-        "configuration", "index faults", "table faults", "elapsed"
-    );
+    if !json_only {
+        println!("== Extension: per-region policies for a database query mix ==\n");
+        println!(
+            "index {} pages (levels {:?}, pool {}), table {} pages (pool {}), {} scans\n",
+            cfg.index_pages(),
+            cfg.index_levels,
+            cfg.index_pool,
+            cfg.table_pages,
+            cfg.table_pool,
+            cfg.scans
+        );
+        println!(
+            "{:<28} {:>12} {:>12} {:>12}",
+            "configuration", "index faults", "table faults", "elapsed"
+        );
+    }
     let mut rows = Vec::new();
     let configs = [
         ("LRU index + MRU table", PolicyKind::Lru, PolicyKind::Mru),
@@ -38,21 +45,26 @@ fn main() {
     ];
     for (name, index_policy, table_policy) in configs {
         let r = run_query_mix(&cfg, index_policy, table_policy).expect("query mix");
-        println!(
-            "{name:<28} {:>12} {:>12} {:>12}",
-            r.index_faults,
-            r.table_faults,
-            r.elapsed.to_string()
-        );
+        if !json_only {
+            println!(
+                "{name:<28} {:>12} {:>12} {:>12}",
+                r.index_faults,
+                r.table_faults,
+                r.elapsed.to_string()
+            );
+        }
         rows.push(serde_json::json!({
             "config": name,
             "index_faults": r.index_faults,
             "table_faults": r.table_faults,
             "elapsed_s": r.elapsed.as_secs_f64(),
+            "kernel": kernel_stats_json(&r.stats),
         }));
     }
-    println!("\nreading: no single policy serves both access patterns; per-region");
-    println!("control (the first row) wins on both fault counts at once — the");
-    println!("workload the paper's §6 DBMS plan was written for.");
-    hipec_bench::dump_json("ext_db", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\nreading: no single policy serves both access patterns; per-region");
+        println!("control (the first row) wins on both fault counts at once — the");
+        println!("workload the paper's §6 DBMS plan was written for.");
+    }
+    finish("ext_db", &serde_json::json!({ "rows": rows }));
 }

@@ -2,22 +2,29 @@
 //! scientific-simulator motivation). Naive traversal under LRU vs MRU, and
 //! blocked traversal — application knowledge beating kernel policy from
 //! two directions.
+//!
+//! `--json` emits the rows plus the per-phase [`hipec_core::KernelStats`]
+//! diff of each multiply (the compute phase only, setup excluded).
 
+use hipec_bench::{finish, json_mode, kernel_stats_json};
 use hipec_policies::PolicyKind;
 use hipec_workloads::matrix::{run_blocked, run_naive, MatrixConfig};
 
 fn main() {
+    let json_only = json_mode();
     let cfg = MatrixConfig::small();
-    println!("== Extension: out-of-core matrix multiply (C = A × B) ==\n");
-    println!(
-        "n = {}, B = {:.1} MB, private pool {} pages ({:.1} MB), tile {}\n",
-        cfg.n,
-        cfg.matrix_bytes() as f64 / (1024.0 * 1024.0),
-        cfg.pool_pages,
-        cfg.pool_pages as f64 * 4096.0 / (1024.0 * 1024.0),
-        cfg.tile
-    );
-    println!("{:<26} {:>12} {:>12}", "variant", "B faults", "elapsed");
+    if !json_only {
+        println!("== Extension: out-of-core matrix multiply (C = A × B) ==\n");
+        println!(
+            "n = {}, B = {:.1} MB, private pool {} pages ({:.1} MB), tile {}\n",
+            cfg.n,
+            cfg.matrix_bytes() as f64 / (1024.0 * 1024.0),
+            cfg.pool_pages,
+            cfg.pool_pages as f64 * 4096.0 / (1024.0 * 1024.0),
+            cfg.tile
+        );
+        println!("{:<26} {:>12} {:>12}", "variant", "B faults", "elapsed");
+    }
     let mut rows = Vec::new();
     let runs: [(&str, Box<dyn Fn() -> _>); 4] = [
         (
@@ -39,21 +46,26 @@ fn main() {
     ];
     for (name, run) in runs {
         let r = run().expect("multiply runs");
-        println!(
-            "{name:<26} {:>12} {:>12}",
-            r.b_faults,
-            r.elapsed.to_string()
-        );
+        if !json_only {
+            println!(
+                "{name:<26} {:>12} {:>12}",
+                r.b_faults,
+                r.elapsed.to_string()
+            );
+        }
         rows.push(serde_json::json!({
             "variant": name,
             "b_faults": r.b_faults,
             "elapsed_s": r.elapsed.as_secs_f64(),
+            "kernel": kernel_stats_json(&r.stats),
         }));
     }
-    println!("\nreading: the naive traversal is the join's cyclic scan in disguise —");
-    println!("installing MRU cuts its faults per the PF_m formula (~45% here, more");
-    println!("as B outgrows the pool). Blocking removes the problem at the source");
-    println!("(250× fewer faults); either way the fix is application knowledge the");
-    println!("fixed kernel policy cannot have.");
-    hipec_bench::dump_json("ext_scientific", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        println!("\nreading: the naive traversal is the join's cyclic scan in disguise —");
+        println!("installing MRU cuts its faults per the PF_m formula (~45% here, more");
+        println!("as B outgrows the pool). Blocking removes the problem at the source");
+        println!("(250× fewer faults); either way the fix is application knowledge the");
+        println!("fixed kernel policy cannot have.");
+    }
+    finish("ext_scientific", &serde_json::json!({ "rows": rows }));
 }

@@ -4,13 +4,17 @@
 //! The paper's claim: the two kernels "almost provide the same throughput"
 //! under every mix, with the curve peaking around 5–6 users and declining
 //! under contention.
+//!
+//! `--json` emits the series plus a per-phase [`hipec_core::KernelStats`]
+//! diff for every (mix, users) HiPEC run.
 
-use hipec_bench::{print_series, Series};
+use hipec_bench::{finish, json_mode, kernel_stats_json, print_series, Series};
 use hipec_core::HipecKernel;
 use hipec_vm::{Kernel, KernelParams};
 use hipec_workloads::aim::{run, AimConfig, Mix};
 
 fn main() {
+    let json_only = json_mode();
     let user_counts: Vec<u32> = (1..=12).collect();
     let mixes = [Mix::standard(), Mix::disk_heavy(), Mix::memory_heavy()];
     let mut json = serde_json::Map::new();
@@ -18,6 +22,7 @@ fn main() {
     for mix in mixes {
         let mut mach_series = Series::new("Mach kernel");
         let mut hipec_series = Series::new("HiPEC kernel");
+        let mut phases = Vec::new();
         for &users in &user_counts {
             let cfg = AimConfig {
                 users,
@@ -28,26 +33,37 @@ fn main() {
             let mut mach = Kernel::new(KernelParams::paper_64mb());
             let rm = run(&mut mach, &cfg).expect("mach run");
             let mut hipec = HipecKernel::new(KernelParams::paper_64mb());
+            let snap = hipec.kernel_stats();
             let rh = run(&mut hipec, &cfg).expect("hipec run");
+            let phase = hipec.kernel_stats().diff(&snap);
             mach_series.push(users as f64, rm.jobs_per_minute);
             hipec_series.push(users as f64, rh.jobs_per_minute);
+            phases.push(serde_json::json!({
+                "users": users,
+                "kernel": kernel_stats_json(&phase),
+            }));
         }
-        print_series(
-            &format!("Figure 5 ({} workload): jobs/minute", mix.name),
-            "users",
-            &[mach_series.clone(), hipec_series.clone()],
-        );
+        if !json_only {
+            print_series(
+                &format!("Figure 5 ({} workload): jobs/minute", mix.name),
+                "users",
+                &[mach_series.clone(), hipec_series.clone()],
+            );
+        }
         json.insert(
             mix.name.to_string(),
             serde_json::json!({
                 "users": user_counts,
                 "mach_jpm": mach_series.points.iter().map(|p| p.1).collect::<Vec<_>>(),
                 "hipec_jpm": hipec_series.points.iter().map(|p| p.1).collect::<Vec<_>>(),
+                "hipec_phases": phases,
             }),
         );
     }
-    println!("\npaper: the original Mach kernel and the modified HiPEC kernel almost");
-    println!("provide the same throughput under all three mixes; contention degrades");
-    println!("throughput beyond ~5-6 users.");
-    hipec_bench::dump_json("fig5", &serde_json::Value::Object(json));
+    if !json_only {
+        println!("\npaper: the original Mach kernel and the modified HiPEC kernel almost");
+        println!("provide the same throughput under all three mixes; contention degrades");
+        println!("throughput beyond ~5-6 users.");
+    }
+    finish("fig5", &serde_json::Value::Object(json));
 }

@@ -3,14 +3,18 @@
 //! conventional LRU-like policy vs the HiPEC MRU policy, both with 40 MB of
 //! allocated memory. Also prints the paper's analytic fault counts (PF_l /
 //! PF_m) next to the measured ones.
+//!
+//! `--json` emits the rows plus the per-phase [`hipec_core::KernelStats`]
+//! diff of each join run (the join phase only, setup excluded).
 
-use hipec_bench::{print_series, Series};
+use hipec_bench::{finish, json_mode, kernel_stats_json, print_series, Series};
 use hipec_policies::{analytic, PolicyKind};
 use hipec_vm::PAGE_SIZE;
 use hipec_workloads::join::{run, JoinConfig};
 
 fn main() {
     const MB: u64 = 1024 * 1024;
+    let json_only = json_mode();
     let sizes_mb: Vec<u64> = (20..=60).step_by(5).collect();
 
     let mut lru_series = Series::new("LRU-like");
@@ -32,15 +36,17 @@ fn main() {
         let pf_m = analytic::pf_mru(cfg.outer_bytes, cfg.memory_bytes, cfg.loops(), PAGE_SIZE);
         lru_series.push(mb as f64, lru.elapsed.as_mins_f64());
         mru_series.push(mb as f64, mru.elapsed.as_mins_f64());
-        println!(
-            "outer {mb:>2} MB: LRU {:>8.2} min ({:>7} faults, analytic {:>7}) | MRU {:>7.2} min ({:>6} faults, analytic {:>6})",
-            lru.elapsed.as_mins_f64(),
-            lru.faults,
-            pf_l,
-            mru.elapsed.as_mins_f64(),
-            mru.faults,
-            pf_m,
-        );
+        if !json_only {
+            println!(
+                "outer {mb:>2} MB: LRU {:>8.2} min ({:>7} faults, analytic {:>7}) | MRU {:>7.2} min ({:>6} faults, analytic {:>6})",
+                lru.elapsed.as_mins_f64(),
+                lru.faults,
+                pf_l,
+                mru.elapsed.as_mins_f64(),
+                mru.faults,
+                pf_m,
+            );
+        }
         rows.push(serde_json::json!({
             "outer_mb": mb,
             "lru_min": lru.elapsed.as_mins_f64(),
@@ -49,15 +55,19 @@ fn main() {
             "mru_faults": mru.faults,
             "pf_l": pf_l.clone(),
             "pf_m": pf_m,
+            "lru_kernel": kernel_stats_json(&lru.stats),
+            "mru_kernel": kernel_stats_json(&mru.stats),
         }));
     }
 
-    print_series(
-        "Figure 6: elapsed time (min) for the join operation",
-        "outer MB",
-        &[lru_series, mru_series],
-    );
-    println!("\npaper: a great response-time gap opens when the outer table exceeds");
-    println!("the 40 MB of available frames; measurements match the analytic PF model.");
-    hipec_bench::dump_json("fig6", &serde_json::json!({ "rows": rows }));
+    if !json_only {
+        print_series(
+            "Figure 6: elapsed time (min) for the join operation",
+            "outer MB",
+            &[lru_series, mru_series],
+        );
+        println!("\npaper: a great response-time gap opens when the outer table exceeds");
+        println!("the 40 MB of available frames; measurements match the analytic PF model.");
+    }
+    finish("fig6", &serde_json::json!({ "rows": rows }));
 }

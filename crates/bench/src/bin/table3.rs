@@ -2,13 +2,14 @@
 //! 40 MB region on the unmodified Mach kernel vs the HiPEC kernel running
 //! the same FIFO-with-second-chance policy, with and without disk I/O.
 
-use hipec_bench::TextTable;
+use hipec_bench::{finish, json_mode, kernel_stats_json, TextTable};
 use hipec_policies::PolicyKind;
 use hipec_vm::KernelParams;
 use hipec_workloads::fault_sweep;
 
 fn main() {
     const MB: u64 = 1024 * 1024;
+    let json_only = json_mode();
     let bytes = 40 * MB;
 
     let mut table = TextTable::new(vec!["Evaluation", "Average Time"]);
@@ -63,17 +64,20 @@ fn main() {
                 "policy_faults": policy.faults,
                 "policy_commands": policy.commands,
                 "dev_reads": stats.get("dev_reads"),
+                "kernel": kernel_stats_json(stats),
             }),
         );
-        if with_io {
+        if with_io && !json_only {
             println!("-- kernel counters, HiPEC with-I/O sweep --\n{stats}");
         }
     }
 
-    println!("== Table 3: Comparison I (HiPEC mechanism overhead) ==\n");
-    println!("{table}");
-    println!(
-        "paper: no-I/O 4016.5 ms vs 4088.6 ms (1.8%); with-I/O 82485.5 ms vs 82505.6 ms (0.024%)"
-    );
-    hipec_bench::dump_json("table3", &serde_json::Value::Object(json));
+    if !json_only {
+        println!("== Table 3: Comparison I (HiPEC mechanism overhead) ==\n");
+        println!("{table}");
+        println!(
+            "paper: no-I/O 4016.5 ms vs 4088.6 ms (1.8%); with-I/O 82485.5 ms vs 82505.6 ms (0.024%)"
+        );
+    }
+    finish("table3", &serde_json::Value::Object(json));
 }

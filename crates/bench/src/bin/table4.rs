@@ -7,7 +7,7 @@
 //! HiPEC entry is additionally *measured* by running the real interpreter
 //! over the fast path and reading back the virtual time it charged.
 
-use hipec_bench::TextTable;
+use hipec_bench::{finish, json_mode, kernel_stats_json, TextTable};
 use hipec_core::command::{build, CompOp, JumpMode, QueueEnd};
 use hipec_core::{ContainerKey, HipecKernel, KernelVar, OperandDecl, PolicyProgram, NO_OPERAND};
 use hipec_vm::{KernelParams, PAGE_SIZE};
@@ -81,20 +81,20 @@ fn main() {
         format!("≅ {} nsec", decode_only.as_ns()),
     ]);
 
-    println!("== Table 4: Comparison II (dispatch primitives) ==\n");
-    println!("{table}");
-    println!(
-        "measured: {cmds_per_invocation} commands interpreted per simple fault; \
-         full interpreted path (incl. native queue op) {per_invocation}"
-    );
-    println!("paper: 19 µs / 292 µs / ≅150 ns");
-    // The measurement interval's kernel activity, as a counter delta.
-    println!(
-        "-- kernel counters over the measurement interval --\n{}",
-        k.kernel_stats().diff(&snap)
-    );
+    let phase = k.kernel_stats().diff(&snap);
+    if !json_mode() {
+        println!("== Table 4: Comparison II (dispatch primitives) ==\n");
+        println!("{table}");
+        println!(
+            "measured: {cmds_per_invocation} commands interpreted per simple fault; \
+             full interpreted path (incl. native queue op) {per_invocation}"
+        );
+        println!("paper: 19 µs / 292 µs / ≅150 ns");
+        // The measurement interval's kernel activity, as a counter delta.
+        println!("-- kernel counters over the measurement interval --\n{phase}");
+    }
 
-    hipec_bench::dump_json(
+    finish(
         "table4",
         &serde_json::json!({
             "null_syscall_us": m.null_syscall.as_us_f64(),
@@ -102,6 +102,7 @@ fn main() {
             "simple_fault_decode_ns": decode_only.as_ns(),
             "commands_per_fault": cmds_per_invocation,
             "full_path_ns": per_invocation.as_ns(),
+            "kernel": kernel_stats_json(&phase),
         }),
     );
 }

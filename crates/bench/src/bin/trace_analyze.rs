@@ -1,0 +1,61 @@
+//! Offline JSONL trace analysis.
+//!
+//! Replays a trace written by a `JsonlSink` (e.g. by `trace_soak`) and
+//! reports frame lifecycles, fault/flush latency histograms and any
+//! anomalies: frame leaks (flushes that never complete), retry storms,
+//! abandoned write-backs, checker timeouts, and sequence gaps (records
+//! lost to ring overwrites). Exits non-zero when anomalies are found, so
+//! it can gate CI.
+//!
+//! Usage: `trace_analyze [FILE] [--json]` — reads stdin when no file (or
+//! `-`) is given.
+
+use std::io::Read;
+
+use hipec_bench::analyze::analyze_str;
+use hipec_bench::{finish, json_mode};
+
+fn main() {
+    let json = json_mode();
+    let path = std::env::args().skip(1).find(|a| a != "--json" && a != "-");
+    let text = match &path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_analyze: cannot read {p}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("trace_analyze: cannot read stdin: {e}");
+                std::process::exit(2);
+            }
+            buf
+        }
+    };
+
+    let analysis = match analyze_str(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("trace_analyze: malformed trace: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if json {
+        finish("trace_analyze", &analysis.to_json());
+    } else {
+        print!("{analysis}");
+        finish("trace_analyze", &analysis.to_json());
+    }
+
+    if !analysis.is_clean() {
+        eprintln!(
+            "trace_analyze: FAIL: {} anomaly(ies)",
+            analysis.anomalies.len()
+        );
+        std::process::exit(1);
+    }
+}

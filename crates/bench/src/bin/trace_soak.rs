@@ -1,0 +1,158 @@
+//! Seeded long-run soak with a streaming JSONL trace sink attached.
+//!
+//! Builds a small pressured kernel, attaches a `JsonlSink` *before the
+//! first emission* (so the trace is complete from seq 0), and drives two
+//! specific applications plus a default-pool scanner for `--steps`
+//! iterations under a delay-only fault plan. The JSONL trace lands at
+//! `--out`; the exit code is non-zero if any record was dropped or the
+//! sink hit an I/O error. `scripts/verify.sh` runs this twice and diffs
+//! the outputs to prove bit-for-bit determinism, then feeds one through
+//! `trace_analyze`.
+//!
+//! Usage: `trace_soak [--out PATH] [--steps N] [--seed S] [--json]`
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use hipec_bench::{finish, json_mode, kernel_stats_json, results_dir};
+use hipec_core::{HipecKernel, JsonlSink};
+use hipec_disk::FaultConfig;
+use hipec_policies::PolicyKind;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let out: PathBuf = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("trace_soak.jsonl"));
+    let steps: usize = arg_value("--steps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| {
+            let s = s.trim_start_matches("0x");
+            u64::from_str_radix(s, 16).ok()
+        })
+        .unwrap_or(0x5EED);
+    let json = json_mode();
+
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 128;
+    params.wired_frames = 8;
+    params.free_target = 8;
+    params.free_min = 4;
+    params.inactive_target = 12;
+
+    let mut k = HipecKernel::new(params);
+
+    // The sink must attach before the first emission so the trace is
+    // complete from seq 0 (trace_analyze then enforces full lifecycles).
+    let file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_soak: cannot create {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    };
+    let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    // Delay-only fault plan: deterministic latency jitter with no read
+    // errors and no torn writes, so a clean run has zero anomalies.
+    k.vm.set_fault_plan(FaultConfig {
+        seed,
+        read_error_permille: 0,
+        write_error_permille: 0,
+        delay_permille: 150,
+        max_delay: hipec_sim::SimDuration::from_us(500),
+        torn_permille: 0,
+    });
+
+    // Two specific applications with different policies...
+    let t_fifo = k.vm.create_task();
+    let (b_fifo, _, _) = k
+        .vm_allocate_hipec(
+            t_fifo,
+            24 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install fifo2 policy");
+    let t_mru = k.vm.create_task();
+    let (b_mru, _, _) = k
+        .vm_allocate_hipec(t_mru, 24 * PAGE_SIZE, PolicyKind::Mru.program(), 6)
+        .expect("install mru policy");
+    // ...and a default-pool scanner to keep the pageout daemon busy.
+    let t_scan = k.vm.create_task();
+    let (b_scan, _) =
+        k.vm.vm_allocate(t_scan, 48 * PAGE_SIZE)
+            .expect("allocate scanner region");
+
+    for s in 0..steps {
+        let p = (s as u64 * 7 + 3) % 24;
+        let _ = k.access_sync(t_fifo, VAddr(b_fifo.0 + p * PAGE_SIZE), s % 2 == 0);
+        let q = (s as u64) % 24;
+        let _ = k.access_sync(t_mru, VAddr(b_mru.0 + q * PAGE_SIZE), s % 3 == 0);
+        let r = (s as u64 * 5 + 1) % 48;
+        let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), s % 2 == 1);
+        k.pump();
+    }
+    // Drain outstanding write-backs so every flush_start gets its
+    // completion before the trace closes.
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+
+    let stats = k.kernel_stats();
+    k.take_sink();
+    let (written, io_errors) = {
+        let s = sink.borrow();
+        (s.written(), s.io_errors())
+    };
+
+    let data = serde_json::json!({
+        "out": out.display().to_string(),
+        "steps": steps,
+        "seed": seed,
+        "records_written": written,
+        "sink_io_errors": io_errors,
+        "kernel": kernel_stats_json(&stats),
+    });
+    if json {
+        finish("trace_soak", &data);
+    } else {
+        println!(
+            "trace_soak: {} records -> {} ({} steps, seed {seed:#x})",
+            written,
+            out.display(),
+            steps
+        );
+        println!("{stats}");
+        finish("trace_soak", &data);
+    }
+
+    if stats.dropped_records != 0 {
+        eprintln!(
+            "trace_soak: FAIL: {} record(s) dropped before the sink saw them",
+            stats.dropped_records
+        );
+        std::process::exit(1);
+    }
+    if io_errors != 0 {
+        eprintln!("trace_soak: FAIL: {io_errors} sink I/O error(s)");
+        std::process::exit(1);
+    }
+}

@@ -13,12 +13,102 @@
 //! * `ablation_dispatch` — in-kernel interpretation vs upcall vs IPC.
 //!
 //! Results are also dumped as JSON under `target/hipec-results/` so
-//! EXPERIMENTS.md can cite exact numbers.
+//! EXPERIMENTS.md can cite exact numbers. Every binary also accepts
+//! `--json`, which suppresses the human-readable report and emits the
+//! result document (schema version [`JSON_SCHEMA_VERSION`]) as the sole
+//! stdout output, so CI can redirect it straight into a `BENCH_*.json`
+//! artifact.
 
 use std::fs;
 use std::path::PathBuf;
 
+use hipec_core::KernelStats;
+use serde_json::Value;
+
+pub mod analyze;
+
 pub use hipec_sim::stats::{Series, TextTable};
+
+/// Version of the `--json` output schema emitted by every bench binary.
+///
+/// The document shape is `{"bench": <name>, "schema": N, "data": {...}}`;
+/// bump this when a field inside `data` changes meaning, never reuse.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// True when the binary was invoked with `--json`: machine-readable mode.
+///
+/// In this mode the human-readable report must be suppressed; the JSON
+/// document printed by [`finish`] is the sole stdout output.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Serializes a [`KernelStats`] snapshot (or a `diff` of two) to JSON.
+///
+/// Gauges, the full global counter map, `dropped_records` and one row per
+/// container — including the per-opcode profile as
+/// `{"<mnemonic>": {"count": N, "time_ns": N}}` — all as integers so the
+/// output is stable across platforms.
+pub fn kernel_stats_json(stats: &KernelStats) -> Value {
+    let mut global = serde_json::Map::new();
+    for (&k, &v) in &stats.global {
+        global.insert(k.to_string(), serde_json::to_value(&v));
+    }
+    let containers: Vec<Value> = stats
+        .containers
+        .iter()
+        .map(|c| {
+            let mut ops = serde_json::Map::new();
+            for (op, count, time) in c.ops.nonzero() {
+                ops.insert(
+                    op.mnemonic().to_string(),
+                    serde_json::json!({
+                        "count": count,
+                        "time_ns": time.as_ns(),
+                    }),
+                );
+            }
+            serde_json::json!({
+                "key": c.key,
+                "faults": c.faults,
+                "commands": c.commands,
+                "events": c.events,
+                "requested": c.requested,
+                "released": c.released,
+                "flushes": c.flushes,
+                "device_faults": c.device_faults,
+                "allocated": c.allocated,
+                "terminated": c.terminated,
+                "ops": Value::Object(ops),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "at_ns": stats.at.as_ns(),
+        "free_frames": stats.free_frames,
+        "total_specific": stats.total_specific,
+        "inflight_flushes": stats.inflight_flushes,
+        "retry_depth": stats.retry_depth,
+        "dropped_records": stats.dropped_records,
+        "global": Value::Object(global),
+        "containers": Value::Array(containers),
+    })
+}
+
+/// Finishes a bench binary: dumps `data` under `target/hipec-results/`
+/// and, in [`json_mode`], prints the wrapped document
+/// `{"bench", "schema", "data"}` to stdout as the machine-readable result.
+pub fn finish(name: &str, data: &Value) {
+    dump_json(name, data);
+    if json_mode() {
+        let doc = serde_json::json!({
+            "bench": name,
+            "schema": JSON_SCHEMA_VERSION,
+            "data": data.clone(),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap_or_default());
+    }
+}
 
 /// Where JSON result dumps go.
 pub fn results_dir() -> PathBuf {
@@ -36,7 +126,9 @@ pub fn dump_json(name: &str, value: &serde_json::Value) {
         Ok(text) => {
             if let Err(e) = fs::write(&path, text) {
                 eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
+            } else if !json_mode() {
+                // In --json mode the wrapped document is the sole stdout
+                // output; the provenance pointer would corrupt it.
                 println!("(json: {})", path.display());
             }
         }

@@ -6,9 +6,10 @@
 //! by the global frame manager, and the execution timestamp the security
 //! checker inspects.
 
-use hipec_sim::SimTime;
+use hipec_sim::{SimDuration, SimTime};
 use hipec_vm::{Kernel, ObjectId, QueueId, TaskId};
 
+use crate::command::OpCode;
 use crate::operand::{KernelVar, OperandDecl, OperandSlot};
 use crate::program::PolicyProgram;
 
@@ -30,6 +31,72 @@ pub struct ContainerStats {
     /// Device faults surfaced to this container (abandoned write-backs
     /// whose data was lost after the retry budget ran out).
     pub device_faults: u64,
+}
+
+/// Per-opcode execution profile: how many times each HiPEC command ran and
+/// how much virtual time its interpretation cost (fetch/decode plus the
+/// command's own charges, I/O wait included).
+///
+/// Counts cover every decoded command; time is attributed when a command
+/// finishes, so a command that ends its event in a policy fault is counted
+/// but its partial cost is not attributed. `Activate` is attributed its
+/// whole nested event (whose commands are also attributed individually), so
+/// summed attribution can exceed wall-clock time under nesting. Reading the
+/// profile never charges the clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    counts: [u64; OpCode::ALL.len()],
+    time_ns: [u64; OpCode::ALL.len()],
+}
+
+impl OpProfile {
+    /// Bumps the execution count of `op` (recorded at decode).
+    pub fn bump(&mut self, op: OpCode) {
+        self.counts[op as usize] += 1;
+    }
+
+    /// Attributes `spent` virtual time to `op` (recorded at completion).
+    pub fn attribute(&mut self, op: OpCode, spent: SimDuration) {
+        self.time_ns[op as usize] = self.time_ns[op as usize].saturating_add(spent.as_ns());
+    }
+
+    /// Times `op` was decoded.
+    pub fn count(&self, op: OpCode) -> u64 {
+        self.counts[op as usize]
+    }
+
+    /// Virtual time attributed to completed runs of `op`.
+    pub fn time(&self, op: OpCode) -> SimDuration {
+        SimDuration::from_ns(self.time_ns[op as usize])
+    }
+
+    /// Total commands decoded across all opcodes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True if no command was ever decoded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Every opcode with activity, as `(opcode, count, time)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (OpCode, u64, SimDuration)> + '_ {
+        OpCode::ALL.iter().filter_map(move |&op| {
+            let (c, t) = (self.count(op), self.time(op));
+            (c != 0 || !t.is_zero()).then_some((op, c, t))
+        })
+    }
+
+    /// Element-wise difference against an earlier snapshot (saturating).
+    pub fn diff(&self, earlier: &OpProfile) -> OpProfile {
+        let mut out = OpProfile::default();
+        for i in 0..OpCode::ALL.len() {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+            out.time_ns[i] = self.time_ns[i].saturating_sub(earlier.time_ns[i]);
+        }
+        out
+    }
 }
 
 /// A HiPEC container.
@@ -69,6 +136,8 @@ pub struct Container {
     pub reclaim_target: u64,
     /// Statistics.
     pub stats: ContainerStats,
+    /// Per-opcode command counts and virtual-time attribution.
+    pub op_profile: OpProfile,
     /// Device faults surfaced asynchronously (abandoned write-backs), not
     /// yet drained by `HipecKernel::take_surfaced_faults`.
     pub pending_faults: Vec<crate::error::PolicyFault>,
@@ -120,6 +189,7 @@ impl Container {
             created_seq,
             reclaim_target: 0,
             stats: ContainerStats::default(),
+            op_profile: OpProfile::default(),
             pending_faults: Vec::new(),
         }
     }

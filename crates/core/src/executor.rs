@@ -99,12 +99,20 @@ impl HipecKernel {
             }
             *fuel -= 1;
             let cmd = seg[cc];
+            // Profile anchor: everything the command charges (decode, queue
+            // ops, I/O wait) lands between here and the attribution point.
+            let t0 = self.vm.now();
             self.vm.charge(self.vm.cost.cmd_fetch_decode);
             self.containers[cidx].stats.commands += 1;
             let op = cmd.opcode().ok_or(PolicyFault::BadOpcode { cmd, cc })?;
+            self.containers[cidx].op_profile.bump(op);
             let mut new_cond = false;
             match op {
                 OpCode::Return => {
+                    // Return charges nothing beyond decode; attribute before
+                    // the early exits below.
+                    let spent = self.vm.now().since(t0);
+                    self.containers[cidx].op_profile.attribute(op, spent);
                     if cmd.a() == NO_OPERAND {
                         return Ok(ExecValue::None);
                     }
@@ -210,6 +218,9 @@ impl HipecKernel {
                         }
                         cc = target as usize;
                         cond = false;
+                        // Taken jumps bypass the loop tail; attribute here.
+                        let spent = self.vm.now().since(t0);
+                        self.containers[cidx].op_profile.attribute(op, spent);
                         continue;
                     }
                 }
@@ -344,6 +355,8 @@ impl HipecKernel {
                     self.migrate_frame(cidx, target)?;
                 }
             }
+            let spent = self.vm.now().since(t0);
+            self.containers[cidx].op_profile.attribute(op, spent);
             cond = if op.is_test() { new_cond } else { false };
             cc += 1;
         }

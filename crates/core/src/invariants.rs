@@ -77,9 +77,11 @@ impl FramePartition {
 }
 
 /// Frame tables at or below this size are audited on every `debug_check`.
+#[cfg(debug_assertions)]
 const FULL_CHECK_FRAMES: usize = 2048;
 
 /// Audit frequency (in `debug_check` calls) for larger frame tables.
+#[cfg(debug_assertions)]
 const SAMPLE_INTERVAL: u64 = 64;
 
 impl HipecKernel {

@@ -20,9 +20,9 @@ use crate::error::{HipecError, PolicyFault};
 use crate::executor::{ExecLimits, ExecValue};
 use crate::manager::GlobalFrameManager;
 use crate::program::{PolicyProgram, EVENT_PAGE_FAULT};
-#[cfg(feature = "trace")]
-use crate::trace::TraceRecord;
 use crate::trace::{EventRing, TraceEvent, DEFAULT_TRACE_CAPACITY};
+#[cfg(feature = "trace")]
+use crate::trace::{TraceRecord, TraceSink};
 
 /// The handle an application receives when it invokes HiPEC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,12 +43,22 @@ pub struct HipecKernel {
     /// The merged kernel event trace (HiPEC layer + drained VM events).
     pub trace: EventRing<TraceEvent>,
     next_seq: u64,
-    /// Call counter for sampled invariant audits (see `invariants`).
+    /// Call counter for sampled invariant audits (see `invariants`;
+    /// `debug_check` is compiled out of release builds, as is this).
+    #[cfg(debug_assertions)]
     pub(crate) check_tick: std::cell::Cell<u64>,
     /// Reused drain buffer so merging the VM ring never allocates in
     /// steady state.
     #[cfg(feature = "trace")]
     trace_scratch: Vec<TraceRecord<VmEvent>>,
+    /// Streaming consumer of the merged trace, fed at every master-ring
+    /// push so ring overwrites cannot lose history.
+    #[cfg(feature = "trace")]
+    sink: Option<Box<dyn TraceSink>>,
+    /// Master-ring overwrites that happened while no sink was attached
+    /// (the record was lost before any consumer saw it).
+    #[cfg(feature = "trace")]
+    unsunk_dropped: u64,
 }
 
 impl HipecKernel {
@@ -66,9 +76,74 @@ impl HipecKernel {
             limits: ExecLimits::default(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             next_seq: 0,
+            #[cfg(debug_assertions)]
             check_tick: std::cell::Cell::new(0),
             #[cfg(feature = "trace")]
             trace_scratch: Vec::with_capacity(DEFAULT_TRACE_CAPACITY),
+            #[cfg(feature = "trace")]
+            sink: None,
+            #[cfg(feature = "trace")]
+            unsunk_dropped: 0,
+        }
+    }
+
+    /// Pushes one record onto the master ring and forwards the stored copy
+    /// to the attached sink, if any. Overwrites that no sink observed are
+    /// tallied for [`HipecKernel::dropped_records`].
+    #[cfg(feature = "trace")]
+    fn push_master(&mut self, at: hipec_sim::SimTime, event: TraceEvent) {
+        match self.sink.as_mut() {
+            Some(sink) => {
+                if let Some(rec) = self.trace.push(at, event) {
+                    sink.record(&rec);
+                }
+            }
+            None => {
+                let before = self.trace.dropped();
+                self.trace.push(at, event);
+                self.unsunk_dropped += self.trace.dropped() - before;
+            }
+        }
+    }
+
+    /// Attaches a streaming trace sink, returning the previous one. The
+    /// sink sees every record pushed onto the master ring from now on
+    /// (attach before driving work to capture a complete trace). Pending
+    /// VM-ring events are merged first so they are attributed to the old
+    /// sink (or counted as unsunk), never delivered out of order.
+    #[cfg(feature = "trace")]
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.sync_trace();
+        self.sink.replace(sink)
+    }
+
+    /// Detaches the current sink after merging any pending VM-ring events
+    /// into it and flushing its buffered output.
+    #[cfg(feature = "trace")]
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sync_trace();
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_mut() {
+            s.flush_sink();
+        }
+        sink
+    }
+
+    /// Trace records lost to ring overwrites before any consumer saw them.
+    ///
+    /// VM-ring overwrites always count (they happen before the merge);
+    /// master-ring overwrites count only when they happened with no sink
+    /// attached — with a sink, every record was already delivered when it
+    /// was pushed, so the bounded ring is just a tail buffer. Surfaced as
+    /// [`crate::KernelStats::dropped_records`].
+    pub fn dropped_records(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.vm.trace.dropped() + self.unsunk_dropped
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            self.vm.trace.dropped() + self.trace.dropped()
         }
     }
 
@@ -80,7 +155,7 @@ impl HipecKernel {
         #[cfg(feature = "trace")]
         {
             self.sync_trace();
-            self.trace.push(self.vm.now(), event);
+            self.push_master(self.vm.now(), event);
         }
         #[cfg(not(feature = "trace"))]
         let _ = event;
@@ -100,7 +175,7 @@ impl HipecKernel {
             // out so this stays allocation-free.
             let mut scratch = std::mem::take(&mut self.trace_scratch);
             for rec in &scratch {
-                self.trace.push(rec.at, TraceEvent::Vm(rec.event));
+                self.push_master(rec.at, TraceEvent::Vm(rec.event));
             }
             scratch.clear();
             self.trace_scratch = scratch;
@@ -265,10 +340,12 @@ impl HipecKernel {
                     Err(e) => return Err(e.into()),
                 };
                 let end = result.io_until.unwrap_or_else(|| self.vm.now());
-                self.vm.fault_latency.record(end.since(fault_start));
+                let latency = end.since(fault_start);
+                self.vm.fault_latency.record(latency);
                 self.emit(TraceEvent::PolicyFaultResolved {
                     container: info.container,
                     frame,
+                    latency,
                 });
                 Ok(result)
             }

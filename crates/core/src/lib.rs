@@ -19,8 +19,9 @@
 //!   FAFR reclamation, asynchronous flush);
 //! * [`kernel`] — [`HipecKernel`], the modified kernel with
 //!   `vm_allocate_hipec` / `vm_map_hipec`;
-//! * [`trace`] — the merged deterministic event ring (feature `trace`,
-//!   default on);
+//! * [`trace`] — the merged deterministic event ring plus streaming
+//!   [`TraceSink`]s with a stable JSONL schema (feature `trace`, default
+//!   on);
 //! * [`metrics`] — [`KernelStats`] counter snapshots with `diff`.
 //!
 //! # Examples
@@ -66,7 +67,7 @@ pub mod trace;
 pub use analysis::analyze_program;
 pub use checker::{validate_program, SecurityChecker};
 pub use command::{OpCode, RawCmd, NO_OPERAND};
-pub use container::{Container, ContainerStats};
+pub use container::{Container, ContainerStats, OpProfile};
 pub use error::{HipecError, PolicyFault};
 pub use executor::{ExecLimits, ExecValue};
 pub use invariants::FramePartition;
@@ -75,4 +76,7 @@ pub use manager::GlobalFrameManager;
 pub use metrics::{ContainerCounters, KernelStats};
 pub use operand::{KernelVar, OperandDecl, OperandSlot};
 pub use program::{PolicyProgram, WireError, EVENT_PAGE_FAULT, EVENT_RECLAIM_FRAME, HIPEC_MAGIC};
-pub use trace::{EventRing, TraceEvent, TraceRecord};
+pub use trace::{
+    event_kind, render_jsonl, CountingSink, EventRing, JsonlSink, MemorySink, TraceEvent,
+    TraceRecord, TraceSink,
+};

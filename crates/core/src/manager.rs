@@ -502,10 +502,13 @@ impl HipecKernel {
     /// clearing the object's container link.
     pub(crate) fn revert_stranded_frames(&mut self, i: usize) {
         let object = self.containers[i].object;
-        let resident: Vec<FrameId> = match self.vm.object(object) {
+        let mut resident: Vec<FrameId> = match self.vm.object(object) {
             Ok(o) => o.resident.values().copied().collect(),
             Err(_) => return,
         };
+        // The residency map is a HashMap; sort so stranded frames re-enter
+        // the global active queue in a replay-stable order.
+        resident.sort_unstable();
         for f in resident {
             let stray = matches!(self.vm.frames.queue_of(f), Ok(None))
                 && self

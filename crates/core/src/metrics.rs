@@ -13,6 +13,7 @@ use std::fmt;
 
 use hipec_sim::SimTime;
 
+use crate::container::OpProfile;
 use crate::kernel::HipecKernel;
 
 /// Counter snapshot for one container.
@@ -38,6 +39,8 @@ pub struct ContainerCounters {
     pub allocated: u64,
     /// True once the container has been terminated.
     pub terminated: bool,
+    /// Per-opcode command counts and virtual-time attribution.
+    pub ops: OpProfile,
 }
 
 impl ContainerCounters {
@@ -55,6 +58,7 @@ impl ContainerCounters {
             device_faults: self.device_faults.saturating_sub(earlier.device_faults),
             allocated: self.allocated,
             terminated: self.terminated,
+            ops: self.ops.diff(&earlier.ops),
         }
     }
 }
@@ -79,6 +83,10 @@ pub struct KernelStats {
     pub inflight_flushes: u64,
     /// Torn write-backs awaiting re-issue (gauge).
     pub retry_depth: u64,
+    /// Trace records lost to ring overwrites before any consumer saw them
+    /// (see [`HipecKernel::dropped_records`]). Zero whenever a sink was
+    /// attached for the whole run.
+    pub dropped_records: u64,
 }
 
 impl KernelStats {
@@ -116,6 +124,7 @@ impl KernelStats {
             total_specific: self.total_specific,
             inflight_flushes: self.inflight_flushes,
             retry_depth: self.retry_depth,
+            dropped_records: self.dropped_records.saturating_sub(earlier.dropped_records),
         }
     }
 }
@@ -126,8 +135,13 @@ impl fmt::Display for KernelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "kernel stats @ {} (free={} specific={} inflight={} retrying={})",
-            self.at, self.free_frames, self.total_specific, self.inflight_flushes, self.retry_depth
+            "kernel stats @ {} (free={} specific={} inflight={} retrying={} dropped={})",
+            self.at,
+            self.free_frames,
+            self.total_specific,
+            self.inflight_flushes,
+            self.retry_depth,
+            self.dropped_records
         )?;
         for (k, v) in self.global.iter().filter(|(_, v)| **v != 0) {
             writeln!(f, "  {k}: {v}")?;
@@ -147,6 +161,9 @@ impl fmt::Display for KernelStats {
                 c.allocated,
                 if c.terminated { " [terminated]" } else { "" }
             )?;
+            for (op, count, time) in c.ops.nonzero() {
+                writeln!(f, "    {}: {count}x {time}", op.mnemonic())?;
+            }
         }
         Ok(())
     }
@@ -197,6 +214,7 @@ impl HipecKernel {
                 device_faults: c.stats.device_faults,
                 allocated: c.allocated,
                 terminated: c.terminated,
+                ops: c.op_profile,
             })
             .collect();
         KernelStats {
@@ -207,6 +225,7 @@ impl HipecKernel {
             total_specific: self.gfm.total_specific,
             inflight_flushes: self.vm.inflight_frames().count() as u64,
             retry_depth: self.vm.retry_frames().count() as u64,
+            dropped_records: self.dropped_records(),
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use std::fmt;
 
+use hipec_sim::SimDuration;
 use hipec_vm::{FrameId, VmEvent};
 
 pub use hipec_vm::trace::{EventRing, TraceRecord, DEFAULT_TRACE_CAPACITY};
@@ -52,6 +53,8 @@ pub enum TraceEvent {
         container: u32,
         /// The frame the policy returned.
         frame: FrameId,
+        /// Virtual time from fault entry to resolution (I/O wait included).
+        latency: SimDuration,
     },
     /// A container was terminated (kill or graceful deallocate).
     Terminated {
@@ -161,8 +164,16 @@ impl fmt::Display for TraceEvent {
                 "policy-event c{container} ev{event} commands={commands} {}",
                 if ok { "ok" } else { "fault" }
             ),
-            TraceEvent::PolicyFaultResolved { container, frame } => {
-                write!(f, "policy-fault-resolved c{container} frame={}", frame.0)
+            TraceEvent::PolicyFaultResolved {
+                container,
+                frame,
+                latency,
+            } => {
+                write!(
+                    f,
+                    "policy-fault-resolved c{container} frame={} latency={latency}",
+                    frame.0
+                )
             }
             TraceEvent::Terminated {
                 container,
@@ -233,4 +244,342 @@ pub fn render_tail(ring: &EventRing<TraceEvent>, n: usize) -> String {
         out.push_str(&format!("    [{:>6}] {} {}\n", rec.seq, rec.at, rec.event));
     }
     out
+}
+
+/// A consumer of merged trace records, fed as each record is pushed onto
+/// the master ring (i.e. at every merge point). A kernel with a sink
+/// attached therefore loses no history to ring overwrites, no matter how
+/// long the run: the bounded ring remains only a tail buffer for failure
+/// reports.
+///
+/// Sinks observe the simulation; they must never feed back into it. The
+/// kernel guarantees the records a sink sees are identical across two runs
+/// of the same seeded workload (the determinism contract above), so a
+/// [`JsonlSink`] writing to a file yields bit-for-bit reproducible traces.
+pub trait TraceSink {
+    /// Consumes one record. Called in emission (sequence-number) order.
+    fn record(&mut self, rec: &TraceRecord<TraceEvent>);
+
+    /// Flushes any buffered output. Called by [`crate::HipecKernel::take_sink`];
+    /// default is a no-op.
+    fn flush_sink(&mut self) {}
+}
+
+/// The stable machine-readable name of an event, as used in the JSONL
+/// schema's `"type"` field (`vm.*` for substrate events).
+pub fn event_kind(event: &TraceEvent) -> &'static str {
+    match event {
+        TraceEvent::Vm(e) => match e {
+            VmEvent::Fault { .. } => "vm.fault",
+            VmEvent::ReadError { .. } => "vm.read_error",
+            VmEvent::PageoutScan { .. } => "vm.pageout_scan",
+            VmEvent::FlushStart { .. } => "vm.flush_start",
+            VmEvent::FlushComplete { .. } => "vm.flush_complete",
+            VmEvent::TornRetry { .. } => "vm.torn_retry",
+            VmEvent::RetryRejected { .. } => "vm.retry_rejected",
+            VmEvent::FlushAbandoned { .. } => "vm.flush_abandoned",
+        },
+        TraceEvent::Install { .. } => "install",
+        TraceEvent::PolicyEvent { .. } => "policy_event",
+        TraceEvent::PolicyFaultResolved { .. } => "policy_fault_resolved",
+        TraceEvent::Terminated { .. } => "terminated",
+        TraceEvent::Request { .. } => "request",
+        TraceEvent::Release { .. } => "release",
+        TraceEvent::FlushExchange { .. } => "flush_exchange",
+        TraceEvent::Migrate { .. } => "migrate",
+        TraceEvent::NormalReclaim { .. } => "normal_reclaim",
+        TraceEvent::ForcedReclaim { .. } => "forced_reclaim",
+        TraceEvent::OrphanRecovered { .. } => "orphan_recovered",
+        TraceEvent::CheckerWake { .. } => "checker_wake",
+        TraceEvent::CheckerTimeout { .. } => "checker_timeout",
+        TraceEvent::DeviceFaultSurfaced { .. } => "device_fault_surfaced",
+    }
+}
+
+/// Renders one record as a single JSONL object (no trailing newline).
+///
+/// The schema is stable: every line carries `seq`, `at_ns` and `type`
+/// (see [`event_kind`]), followed by the event's fields in declaration
+/// order. All values are integers or booleans, so the rendering needs no
+/// string escaping and is byte-stable across runs.
+pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
+    use std::fmt::Write as _;
+
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"seq\":{},\"at_ns\":{},\"type\":\"{}\"",
+        rec.seq,
+        rec.at.as_ns(),
+        event_kind(&rec.event)
+    );
+    match rec.event {
+        TraceEvent::Vm(e) => match e {
+            VmEvent::Fault {
+                task,
+                vpage,
+                kind,
+                write,
+                latency,
+            } => {
+                let kind = match kind {
+                    hipec_vm::AccessKind::Hit => "hit",
+                    hipec_vm::AccessKind::MinorFault => "minor_fault",
+                    hipec_vm::AccessKind::ZeroFill => "zero_fill",
+                    hipec_vm::AccessKind::PageIn => "page_in",
+                };
+                let _ = write!(
+                    s,
+                    ",\"task\":{},\"vpage\":{vpage},\"kind\":\"{kind}\",\"write\":{write},\"latency_ns\":{}",
+                    task.0,
+                    latency.as_ns()
+                );
+            }
+            VmEvent::ReadError { object, offset } => {
+                let _ = write!(s, ",\"object\":{},\"offset\":{offset}", object.0);
+            }
+            VmEvent::PageoutScan { freed, flushed } => {
+                let _ = write!(s, ",\"freed\":{freed},\"flushed\":{flushed}");
+            }
+            VmEvent::FlushStart { frame, torn } => {
+                let _ = write!(s, ",\"frame\":{},\"torn\":{torn}", frame.0);
+            }
+            VmEvent::FlushComplete { frame } => {
+                let _ = write!(s, ",\"frame\":{}", frame.0);
+            }
+            VmEvent::TornRetry { frame, attempt } | VmEvent::RetryRejected { frame, attempt } => {
+                let _ = write!(s, ",\"frame\":{},\"attempt\":{attempt}", frame.0);
+            }
+            VmEvent::FlushAbandoned { frame, attempts } => {
+                let _ = write!(s, ",\"frame\":{},\"attempts\":{attempts}", frame.0);
+            }
+        },
+        TraceEvent::Install {
+            container,
+            min_frames,
+        } => {
+            let _ = write!(s, ",\"container\":{container},\"min_frames\":{min_frames}");
+        }
+        TraceEvent::PolicyEvent {
+            container,
+            event,
+            commands,
+            ok,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"event\":{event},\"commands\":{commands},\"ok\":{ok}"
+            );
+        }
+        TraceEvent::PolicyFaultResolved {
+            container,
+            frame,
+            latency,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"frame\":{},\"latency_ns\":{}",
+                frame.0,
+                latency.as_ns()
+            );
+        }
+        TraceEvent::Terminated {
+            container,
+            graceful,
+        } => {
+            let _ = write!(s, ",\"container\":{container},\"graceful\":{graceful}");
+        }
+        TraceEvent::Request {
+            container,
+            asked,
+            granted,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"asked\":{asked},\"granted\":{granted}"
+            );
+        }
+        TraceEvent::Release { container, frame } => {
+            let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
+        }
+        TraceEvent::FlushExchange {
+            container,
+            dirty,
+            replacement,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"dirty\":{},\"replacement\":{}",
+                dirty.0, replacement.0
+            );
+        }
+        TraceEvent::Migrate { from, to, frame } => {
+            let _ = write!(s, ",\"from\":{from},\"to\":{to},\"frame\":{}", frame.0);
+        }
+        TraceEvent::NormalReclaim {
+            container,
+            asked,
+            recovered,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"asked\":{asked},\"recovered\":{recovered}"
+            );
+        }
+        TraceEvent::ForcedReclaim { container, taken } => {
+            let _ = write!(s, ",\"container\":{container},\"taken\":{taken}");
+        }
+        TraceEvent::OrphanRecovered { container, frame } => {
+            let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
+        }
+        TraceEvent::CheckerWake { detected } => {
+            let _ = write!(s, ",\"detected\":{detected}");
+        }
+        TraceEvent::CheckerTimeout { container } => {
+            let _ = write!(s, ",\"container\":{container}");
+        }
+        TraceEvent::DeviceFaultSurfaced { container, frame } => {
+            let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A sink that renders each record as one JSONL line into a writer.
+///
+/// Lines follow the schema of [`render_jsonl`]. Writing is buffered by the
+/// caller's writer choice; [`TraceSink::flush_sink`] forwards to
+/// [`std::io::Write::flush`]. I/O errors are counted rather than panicking
+/// (a broken sink must never abort the simulation).
+pub struct JsonlSink<W: std::io::Write> {
+    out: W,
+    written: u64,
+    io_errors: u64,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// A sink writing JSONL lines to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            written: 0,
+            io_errors: 0,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Write errors swallowed so far.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+
+    /// A view of the underlying writer (e.g. an in-memory buffer).
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+}
+
+impl<W: std::io::Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord<TraceEvent>) {
+        let mut line = render_jsonl(rec);
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(_) => self.io_errors += 1,
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A sink that keeps every record in memory (unbounded, for tests and
+/// offline analysis inside one process).
+#[derive(Default)]
+pub struct MemorySink {
+    records: Vec<TraceRecord<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// All records received, in emission order.
+    pub fn records(&self) -> &[TraceRecord<TraceEvent>] {
+        &self.records
+    }
+
+    /// Consumes the sink and returns its records.
+    pub fn into_records(self) -> Vec<TraceRecord<TraceEvent>> {
+        self.records
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord<TraceEvent>) {
+        self.records.push(*rec);
+    }
+}
+
+/// A sink that only counts records per event type — the cheapest way to
+/// watch a long soak without retaining history.
+#[derive(Default)]
+pub struct CountingSink {
+    total: u64,
+    by_kind: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl CountingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total records received.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records received for one [`event_kind`] name.
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All (kind, count) pairs, sorted by kind.
+    pub fn counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.by_kind.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, rec: &TraceRecord<TraceEvent>) {
+        self.total += 1;
+        *self.by_kind.entry(event_kind(&rec.event)).or_insert(0) += 1;
+    }
+}
+
+/// Shared-handle sinks: callers that need to inspect a sink while the
+/// kernel owns it can attach an `Rc<RefCell<S>>` clone.
+impl<S: TraceSink> TraceSink for std::rc::Rc<std::cell::RefCell<S>> {
+    fn record(&mut self, rec: &TraceRecord<TraceEvent>) {
+        self.borrow_mut().record(rec);
+    }
+
+    fn flush_sink(&mut self) {
+        self.borrow_mut().flush_sink();
+    }
 }

@@ -174,6 +174,41 @@ impl Histogram {
         }
     }
 
+    /// Total of all recorded samples, in nanoseconds.
+    pub fn total_ns(&self) -> u128 {
+        self.total_ns
+    }
+
+    /// The occupied buckets as `(floor_ns, ceil_ns, count)` triples, in
+    /// ascending order. Bucket `i` covers samples in `[2^i, 2^(i+1))`
+    /// nanoseconds (bucket 0 additionally holds zero-length samples) —
+    /// the serialization surface for offline analyzers and `--json` bench
+    /// output.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                let floor = if i == 0 { 0 } else { 1u64 << i };
+                let ceil = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                (floor, ceil, c)
+            })
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+    }
+
     /// Approximate quantile `q` in `[0, 1]`, resolved to bucket upper bounds.
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
@@ -341,6 +376,22 @@ mod tests {
         // The 0.5 quantile bucket must cover the median (50.5 µs).
         assert!(h.quantile(0.5).as_ns() >= 50_500);
         assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_buckets_serialize_and_merge() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_ns(5));
+        h.record(SimDuration::from_ns(5));
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1, 1), (4, 7, 2)]);
+        assert_eq!(h.total_ns(), 10);
+        let mut other = Histogram::new();
+        other.record(SimDuration::from_ns(6));
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.nonzero_buckets().last(), Some((4, 7, 3)));
     }
 
     #[test]

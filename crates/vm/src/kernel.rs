@@ -371,7 +371,10 @@ impl Kernel {
             .remove(addr)
             .ok_or(VmError::UnmappedAddress(task, addr))?;
         let object = entry.object;
-        let resident: Vec<FrameId> = self.object(object)?.resident.values().copied().collect();
+        let mut resident: Vec<FrameId> = self.object(object)?.resident.values().copied().collect();
+        // The residency map is a HashMap; sort so the freed frames join the
+        // free queue in a replay-stable order.
+        resident.sort_unstable();
         let mut freed = 0;
         for frame in resident {
             self.unmap_frame(frame)?;
@@ -470,12 +473,14 @@ impl Kernel {
             self.charge(self.cost.pmap_enter);
             self.frames.touch(frame, write)?;
             self.stats.bump("minor_faults");
-            self.fault_latency.record(self.now().since(fault_start));
+            let latency = self.now().since(fault_start);
+            self.fault_latency.record(latency);
             self.emit(VmEvent::Fault {
                 task,
                 vpage,
                 kind: AccessKind::MinorFault,
                 write,
+                latency,
             });
             return Ok(AccessOutcome::Done(AccessResult {
                 kind: AccessKind::MinorFault,
@@ -510,12 +515,14 @@ impl Kernel {
         self.frames.enqueue_tail(self.active_q, frame)?;
         self.charge(self.cost.queue_op);
         let end = result.io_until.unwrap_or_else(|| self.now());
-        self.fault_latency.record(end.since(fault_start));
+        let latency = end.since(fault_start);
+        self.fault_latency.record(latency);
         self.emit(VmEvent::Fault {
             task,
             vpage,
             kind: result.kind,
             write,
+            latency,
         });
         Ok(AccessOutcome::Done(result))
     }

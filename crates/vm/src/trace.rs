@@ -13,7 +13,7 @@
 //! in its own richer event type and drains the VM ring into the kernel-wide
 //! trace so the two layers interleave in causal order.
 
-use hipec_sim::SimTime;
+use hipec_sim::{SimDuration, SimTime};
 
 use crate::kernel::AccessKind;
 use crate::types::{FrameId, ObjectId, TaskId};
@@ -74,10 +74,12 @@ impl<E: Copy> EventRing<E> {
         self.enabled
     }
 
-    /// Records one event at virtual time `at`. No-op while disabled.
-    pub fn push(&mut self, at: SimTime, event: E) {
+    /// Records one event at virtual time `at` and returns a copy of the
+    /// stored record (so callers can forward it to a sink without re-reading
+    /// the ring). No-op — returning `None` — while disabled.
+    pub fn push(&mut self, at: SimTime, event: E) -> Option<TraceRecord<E>> {
         if !self.enabled {
-            return;
+            return None;
         }
         let rec = TraceRecord {
             at,
@@ -93,6 +95,7 @@ impl<E: Copy> EventRing<E> {
             self.head = (self.head + 1) % self.cap;
             self.dropped += 1;
         }
+        Some(rec)
     }
 
     /// Records currently held (≤ capacity).
@@ -155,6 +158,8 @@ pub enum VmEvent {
         kind: AccessKind,
         /// Write access.
         write: bool,
+        /// Virtual time from fault entry to resolution (I/O wait included).
+        latency: SimDuration,
     },
     /// A page-in submission the device rejected.
     ReadError {

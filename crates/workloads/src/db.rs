@@ -12,7 +12,7 @@
 //! application can give **each region its own policy** — LRU for the
 //! index, MRU for the table — which no single kernel-wide policy matches.
 
-use hipec_core::{ContainerKey, HipecError, HipecKernel};
+use hipec_core::{ContainerKey, HipecError, HipecKernel, KernelStats};
 use hipec_policies::PolicyKind;
 use hipec_sim::{DetRng, SimDuration};
 use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
@@ -63,7 +63,7 @@ impl DbConfig {
 }
 
 /// Result of one query-mix run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DbResult {
     /// Faults in the index region.
     pub index_faults: u64,
@@ -71,6 +71,9 @@ pub struct DbResult {
     pub table_faults: u64,
     /// Elapsed virtual time.
     pub elapsed: SimDuration,
+    /// Kernel counter activity during the mix (diff of snapshots taken
+    /// after setup and at the end).
+    pub stats: KernelStats,
 }
 
 struct Db {
@@ -144,6 +147,7 @@ pub fn run_query_mix(
 ) -> Result<DbResult, HipecError> {
     let mut db = Db::new(cfg, index_policy, table_policy)?;
     let mut rng = DetRng::new(cfg.seed);
+    let snap = db.kernel.kernel_stats();
     let start = db.kernel.vm.now();
     for _scan in 0..cfg.scans {
         for p in 0..cfg.table_pages {
@@ -162,6 +166,7 @@ pub fn run_query_mix(
         index_faults: db.kernel.container(db.index_key)?.stats.faults,
         table_faults: db.kernel.container(db.table_key)?.stats.faults,
         elapsed,
+        stats: db.kernel.kernel_stats().diff(&snap),
     })
 }
 

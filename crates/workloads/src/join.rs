@@ -6,7 +6,7 @@
 //! on every outer page of every scan (cyclic thrash); MRU keeps a stable
 //! prefix resident and only re-reads the tail.
 
-use hipec_core::{HipecKernel, PolicyProgram};
+use hipec_core::{HipecKernel, KernelStats, PolicyProgram};
 use hipec_sim::{SimDuration, SimTime};
 use hipec_vm::{bytes_to_pages, KernelParams, VAddr, PAGE_SIZE};
 
@@ -49,7 +49,7 @@ impl JoinConfig {
 }
 
 /// Result of one join run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct JoinResult {
     /// Elapsed virtual time.
     pub elapsed: SimDuration,
@@ -57,6 +57,9 @@ pub struct JoinResult {
     pub faults: u64,
     /// Page-ins from the backing store.
     pub pageins: u64,
+    /// Kernel counter activity during the join phase (diff of snapshots
+    /// taken after setup and at the end).
+    pub stats: KernelStats,
 }
 
 /// Runs the join under a HiPEC policy controlling the outer table.
@@ -79,6 +82,7 @@ pub fn run(cfg: &JoinConfig, program: PolicyProgram) -> Result<JoinResult, Strin
     let tuples_per_page = PAGE_SIZE / cfg.tuple_bytes;
     let compute_per_page = k.vm.cost.tuple_op.saturating_mul(tuples_per_page);
     let outer_pages = cfg.outer_pages();
+    let snap = k.kernel_stats();
     let start = k.vm.now();
 
     for _ in 0..cfg.loops() {
@@ -102,6 +106,7 @@ pub fn run(cfg: &JoinConfig, program: PolicyProgram) -> Result<JoinResult, Strin
         elapsed,
         faults,
         pageins: k.vm.stats.get("pageins"),
+        stats: k.kernel_stats().diff(&snap),
     })
 }
 

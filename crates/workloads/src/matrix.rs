@@ -17,7 +17,7 @@
 //! application knowledge. HiPEC lets the naive program fix its policy
 //! (MRU), and lets the blocked program rely on its own locality.
 
-use hipec_core::{HipecError, HipecKernel, PolicyProgram};
+use hipec_core::{HipecError, HipecKernel, KernelStats, PolicyProgram};
 use hipec_sim::SimDuration;
 use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
 
@@ -60,12 +60,15 @@ impl MatrixConfig {
 }
 
 /// Result of one multiply.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MatrixResult {
     /// Faults in the B-matrix region (the one under specific control).
     pub b_faults: u64,
     /// Elapsed virtual time.
     pub elapsed: SimDuration,
+    /// Kernel counter activity during the multiply (diff of snapshots
+    /// taken after setup and at the end).
+    pub stats: KernelStats,
 }
 
 struct Mm {
@@ -115,6 +118,7 @@ pub fn run_naive(cfg: &MatrixConfig, policy: PolicyProgram) -> Result<MatrixResu
     let mut mm = Mm::new(cfg, policy)?;
     let n = cfg.n;
     let epp = cfg.elems_per_page();
+    let snap = mm.k.kernel_stats();
     let start = mm.k.vm.now();
     for _i in 0..n {
         // One output row: every page of B is needed once (k-major page
@@ -128,6 +132,7 @@ pub fn run_naive(cfg: &MatrixConfig, policy: PolicyProgram) -> Result<MatrixResu
     Ok(MatrixResult {
         b_faults: mm.k.container(mm.key)?.stats.faults,
         elapsed: mm.k.vm.now().since(start),
+        stats: mm.k.kernel_stats().diff(&snap),
     })
 }
 
@@ -139,6 +144,7 @@ pub fn run_blocked(cfg: &MatrixConfig, policy: PolicyProgram) -> Result<MatrixRe
     let t = cfg.tile;
     let epp = cfg.elems_per_page();
     let tiles = n.div_ceil(t);
+    let snap = mm.k.kernel_stats();
     let start = mm.k.vm.now();
     for _it in 0..tiles {
         for kt in 0..tiles {
@@ -156,6 +162,7 @@ pub fn run_blocked(cfg: &MatrixConfig, policy: PolicyProgram) -> Result<MatrixRe
     Ok(MatrixResult {
         b_faults: mm.k.container(mm.key)?.stats.faults,
         elapsed: mm.k.vm.now().since(start),
+        stats: mm.k.kernel_stats().diff(&snap),
     })
 }
 

@@ -20,9 +20,26 @@ cargo test -q -p hipec-vm -p hipec-core --no-default-features
 
 echo "== observability modules carry no dead-code waivers =="
 if grep -n '#\[allow(dead_code)\]' \
-    crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs; then
+    crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs \
+    crates/bench/src/analyze.rs; then
   echo "error: dead_code allowed in an observability module" >&2
   exit 1
 fi
+
+echo "== streaming sinks: seeded soak is lossless, replayable and clean =="
+SOAK_DIR="$(mktemp -d)"
+trap 'rm -rf "$SOAK_DIR"' EXIT
+cargo run -q --release --bin trace_soak -- \
+  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/a.jsonl" >/dev/null
+cargo run -q --release --bin trace_soak -- \
+  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/b.jsonl" >/dev/null
+if ! cmp -s "$SOAK_DIR/a.jsonl" "$SOAK_DIR/b.jsonl"; then
+  echo "error: identically seeded soaks streamed different JSONL traces" >&2
+  exit 1
+fi
+echo "   traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/a.jsonl") records)"
+# trace_analyze exits non-zero on any anomaly (frame leaks, retry storms,
+# checker timeouts) or malformed input, so this line is the gate itself.
+cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/a.jsonl"
 
 echo "verify: OK"

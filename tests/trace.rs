@@ -154,10 +154,13 @@ fn disabling_tracing_changes_no_outcome() {
         "virtual clocks must agree"
     );
 
-    // Identical counter snapshots, except the trace ring's own counters.
+    // Identical counter snapshots, except the trace ring's own counters
+    // (dropped_records included: the silent run records nothing, so it
+    // cannot overwrite anything either).
     let strip = |mut s: hipec_core::KernelStats| {
         s.global.remove("trace_recorded");
         s.global.remove("trace_dropped");
+        s.dropped_records = 0;
         s
     };
     assert_eq!(strip(traced.kernel_stats()), strip(silent.kernel_stats()));
@@ -367,6 +370,133 @@ fn torn_retries_drain_and_surface_device_faults() {
     );
     k.check_invariants()
         .expect("no frame lost to abandoned flushes");
+}
+
+// --- Streaming sinks: complete delivery, zero drops, byte-stable JSONL --------
+
+use hipec_core::{JsonlSink, MemorySink};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A seeded faulty kernel under memory pressure (the 24-page region does
+/// not fit the machine, so faulting never settles), with an optional sink
+/// attached *before* any event is emitted — installation itself is
+/// traced, so [`seeded_kernel`] is too late for complete-from-seq-0
+/// capture.
+fn pressured_kernel(
+    sink: Option<Box<dyn hipec_core::TraceSink>>,
+) -> (HipecKernel, TaskId, VAddr, ContainerKey) {
+    let mut k = HipecKernel::new(small_params(32, 6));
+    if let Some(sink) = sink {
+        k.set_sink(sink);
+    }
+    k.vm.set_fault_plan(fault_config(0x5EED, 60, 60, 120, 100));
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(
+            task,
+            24 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install");
+    (k, task, base, key)
+}
+
+/// Satellite: a long soak must overwrite the bounded master ring many
+/// times over, yet with a sink attached every record is delivered before
+/// the overwrite — `dropped_records` stays exactly zero. The same soak
+/// without a sink *must* report drops, proving the counter is live.
+#[test]
+fn sink_soak_delivers_every_record_without_drops() {
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    let (mut k, task, base, _key) = pressured_kernel(Some(Box::new(Rc::clone(&sink))));
+    drive(&mut k, task, base, 1_500);
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+    k.sync_trace();
+
+    let recorded = k.trace.recorded();
+    assert!(
+        recorded > hipec_vm::trace::DEFAULT_TRACE_CAPACITY as u64,
+        "the soak must wrap the bounded ring to prove streaming delivery"
+    );
+    assert_eq!(
+        k.dropped_records(),
+        0,
+        "with a sink attached, ring overwrites must never lose a record"
+    );
+    assert_eq!(k.kernel_stats().dropped_records, 0);
+
+    let seen = sink.borrow();
+    assert_eq!(
+        seen.records().len() as u64,
+        recorded,
+        "the sink must receive exactly the records the master ring counted"
+    );
+    for (i, rec) in seen.records().iter().enumerate() {
+        assert_eq!(rec.seq, i as u64, "sequence numbers must be gap-free");
+    }
+    drop(seen);
+
+    // Control: the identical soak with no sink overwrites unobserved
+    // records, and the metrics layer must own up to every one of them.
+    let (mut quiet, task_q, base_q, _kq) = pressured_kernel(None);
+    drive(&mut quiet, task_q, base_q, 1_500);
+    quiet.sync_trace();
+    assert!(
+        quiet.dropped_records() > 0,
+        "an unsunk soak past ring capacity must report dropped records"
+    );
+    assert_eq!(
+        quiet.kernel_stats().dropped_records,
+        quiet.dropped_records()
+    );
+}
+
+/// Satellite: the JSONL stream is part of the determinism contract — two
+/// identically seeded runs must produce byte-identical output, and every
+/// line must parse as a JSON object carrying the schema's envelope.
+#[test]
+fn jsonl_stream_is_deterministic_and_well_formed() {
+    let run = || {
+        let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+        let (mut k, task, base, _key) = pressured_kernel(Some(Box::new(Rc::clone(&sink))));
+        drive(&mut k, task, base, 400);
+        while let Some(done) = k.vm.next_flush_completion() {
+            k.vm.clock.advance_to(done);
+            k.pump();
+        }
+        k.take_sink();
+        let s = sink.borrow();
+        assert_eq!(s.io_errors(), 0, "writing to a Vec cannot fail");
+        (s.get_ref().clone(), s.written())
+    };
+    let (bytes_a, written_a) = run();
+    let (bytes_b, _) = run();
+    assert!(written_a > 0, "the workload must stream lines");
+    assert_eq!(bytes_a, bytes_b, "JSONL streams must replay bit-for-bit");
+
+    let text = String::from_utf8(bytes_a).expect("JSONL is UTF-8");
+    let mut expected_seq = 0u64;
+    for line in text.lines() {
+        let doc: serde_json::Value = serde_json::from_str(line).expect("every line parses");
+        let obj = doc.as_object().expect("every line is an object");
+        assert_eq!(
+            obj.get("seq").and_then(|v| v.as_u64()),
+            Some(expected_seq),
+            "seq must count up from zero with no gaps"
+        );
+        assert!(obj.get("at_ns").and_then(|v| v.as_u64()).is_some());
+        assert!(obj.get("type").and_then(|v| v.as_str()).is_some());
+        expected_seq += 1;
+    }
+    assert_eq!(
+        expected_seq, written_a,
+        "line count matches the sink's tally"
+    );
 }
 
 // --- Failure reports carry the event tail --------------------------------------

@@ -19,9 +19,12 @@
 //!   (`prop_map`, `prop_flat_map`, `boxed`, `prop_oneof!`) do not shrink
 //!   through; their values are reported as generated. The failure report
 //!   carries the minimized inputs. Arguments must be `Clone`.
-//! * **No corpus persistence.** `proptest-regressions/` files are neither
-//!   read nor written; known regressions are pinned as explicit `#[test]`
-//!   replays instead (see `crates/disk/src/flash.rs`).
+//! * **Seed-based corpus persistence.** Minimized failures are appended to
+//!   the conventional `proptest-regressions/<stem>.txt` file next to the
+//!   test's source tree as `xs <test> <seed> <case>` entries and replayed
+//!   before any fresh cases on the next run. Upstream's hashed `cc` lines
+//!   are preserved but skipped (they carry no replayable seed); disable
+//!   per-test with [`test_runner::ProptestConfig::persistence`]` = false`.
 //! * Seeding is derived from the fully qualified test name; set
 //!   `PROPTEST_SEED=<u64>` (decimal or `0x`-hex) to override for replay.
 
@@ -345,6 +348,7 @@ macro_rules! __proptest_fns {
             $crate::test_runner::run(
                 &__cfg,
                 concat!(module_path!(), "::", stringify!($name)),
+                ::core::file!(),
                 |__rng, __input| {
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
                     {
@@ -504,8 +508,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "proptest failure")]
     fn failures_carry_input_context() {
+        // persistence off: this failure is intentional, not a regression.
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(8))]
+            #![proptest_config(ProptestConfig { persistence: false, ..ProptestConfig::with_cases(8) })]
             fn inner(x in 10u32..20) {
                 prop_assert!(x < 10, "x was {x}");
             }
@@ -567,7 +572,7 @@ mod tests {
         // must shrink to exactly [5, 5, 5] — the panic message proves the
         // reported input is the minimized one, not the generated one.
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
+            #![proptest_config(ProptestConfig { persistence: false, ..ProptestConfig::with_cases(16) })]
             fn inner(xs in prop::collection::vec(5u32..6, 0..12)) {
                 prop_assert!(xs.len() < 3, "too long: {}", xs.len());
             }

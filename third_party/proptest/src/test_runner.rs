@@ -1,26 +1,37 @@
-//! Deterministic case execution: config, RNG, and the runner behind the
-//! `proptest!` macro.
+//! Deterministic case execution: config, RNG, corpus persistence, and the
+//! runner behind the `proptest!` macro.
 
 use std::fmt;
+use std::fs;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of random cases to execute per test.
     pub cases: u32,
+    /// Whether failing cases are persisted to (and replayed from) a
+    /// `proptest-regressions/` file next to the test's source tree.
+    pub persistence: bool,
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig {
+            cases: 256,
+            persistence: true,
+        }
     }
 }
 
@@ -170,15 +181,174 @@ fn configured_seed(name: &str) -> u64 {
     }
 }
 
+/// One replayable entry of a `proptest-regressions/` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// The base seed the failing run used.
+    pub seed: u64,
+    /// The failing case index within that run.
+    pub case: u64,
+}
+
+/// Derives the regression-file path for a test source file (as produced by
+/// `file!()`): `<grandparent>/proptest-regressions/<stem>.txt`, matching
+/// upstream proptest's layout — `tests/props.rs` maps to
+/// `proptest-regressions/props.txt` at the workspace root,
+/// `crates/disk/src/flash.rs` to `crates/disk/proptest-regressions/flash.txt`.
+///
+/// `file!()` paths are relative to the compilation workspace root while the
+/// test binary runs from the package directory, so the root is recovered by
+/// walking up from the current directory to the first ancestor that
+/// actually contains the source file. Returns `None` when no ancestor does
+/// (e.g. the binary moved to another machine).
+pub fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let src = Path::new(source_file);
+    let stem = src.file_stem()?.to_str()?;
+    let base = src
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or_else(|| Path::new(""));
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join(src).is_file() {
+            return Some(
+                dir.join(base)
+                    .join("proptest-regressions")
+                    .join(format!("{stem}.txt")),
+            );
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Parses the entries of a regression file that belong to `name`.
+///
+/// Lines are `xs <test_name> <seed_hex> <case> # shrinks to <input>`.
+/// Comments, blanks, and upstream's hashed `cc <sha> # ...` entries are
+/// skipped — `cc` lines carry no seed, so they cannot be replayed here;
+/// they stay in the file for runs under the real crate.
+pub fn load_regressions(path: &Path, name: &str) -> Vec<Regression> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("xs") {
+            continue;
+        }
+        let (Some(n), Some(seed), Some(case)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        if n != name {
+            continue;
+        }
+        let Some(seed) = seed
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+        else {
+            continue;
+        };
+        let Ok(case) = case.parse::<u64>() else {
+            continue;
+        };
+        out.push(Regression { seed, case });
+    }
+    out
+}
+
+const REGRESSION_HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any
+# novel cases are generated.
+#
+# It is recommended to check this file in to source control so that
+# everyone who runs the test benefits from these saved cases.
+";
+
+/// Appends one failing case to the regression file (creating it, with the
+/// conventional header, as needed). Duplicate (name, seed, case) entries
+/// are not written twice. Best-effort: I/O problems are reported to stderr
+/// but never mask the test failure being recorded.
+pub fn persist_failure(path: &Path, name: &str, seed: u64, case: u64, input: &str) {
+    let prefix = format!("xs {name} {seed:#x} {case}");
+    let existing = fs::read_to_string(path).unwrap_or_default();
+    if existing
+        .lines()
+        .any(|l| l.trim().starts_with(prefix.as_str()))
+    {
+        return;
+    }
+    let mut text = if existing.is_empty() {
+        REGRESSION_HEADER.to_string()
+    } else {
+        existing
+    };
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    let input = input.replace('\n', " ");
+    text.push_str(&format!("{prefix} # shrinks to {input}\n"));
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(path, text) {
+        eprintln!(
+            "proptest: could not persist regression to {}: {e}",
+            path.display()
+        );
+    }
+}
+
 /// Executes `cfg.cases` random instantiations of a property.
+///
+/// `source_file` is the `file!()` of the test's source, used to locate the
+/// `proptest-regressions/` corpus: persisted failures replay *before* any
+/// fresh cases, and new failures are appended (minimized input included)
+/// when `cfg.persistence` is set.
 ///
 /// The closure receives the per-case RNG and a buffer it must fill with a
 /// `Debug` rendering of the generated inputs *before* running the body, so
 /// both failures and panics can report what was being tested.
-pub fn run<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+pub fn run<F>(cfg: &ProptestConfig, name: &str, source_file: &str, mut f: F)
 where
     F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
 {
+    let corpus = if cfg.persistence {
+        regression_path(source_file)
+    } else {
+        None
+    };
+
+    // Replay persisted regressions first: a reintroduced bug fails in
+    // milliseconds instead of whenever the random walk finds it again.
+    if let Some(path) = &corpus {
+        for r in load_regressions(path, name) {
+            let mut rng = TestRng::for_case(r.seed, r.case);
+            let mut input = String::new();
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut input)));
+            match outcome {
+                Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                    "proptest failure in {name}: persisted regression \
+                     (seed {:#x}, case {}) still fails: {msg}\n  input: {input}",
+                    r.seed, r.case
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "proptest panic in {name}: persisted regression \
+                         (seed {:#x}, case {})\n  input: {input}",
+                        r.seed, r.case
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+
     let seed = configured_seed(name);
     let mut rejected = 0u32;
     for case in 0..cfg.cases {
@@ -188,12 +358,20 @@ where
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
-            Ok(Err(TestCaseError::Fail(msg))) => panic!(
-                "proptest failure in {name}, case {case}/{} \
-                 (replay with PROPTEST_SEED={seed:#x}): {msg}\n  input: {input}",
-                cfg.cases
-            ),
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                if let Some(path) = &corpus {
+                    persist_failure(path, name, seed, u64::from(case), &input);
+                }
+                panic!(
+                    "proptest failure in {name}, case {case}/{} \
+                     (replay with PROPTEST_SEED={seed:#x}): {msg}\n  input: {input}",
+                    cfg.cases
+                )
+            }
             Err(payload) => {
+                if let Some(path) = &corpus {
+                    persist_failure(path, name, seed, u64::from(case), &input);
+                }
                 eprintln!(
                     "proptest panic in {name}, case {case}/{} \
                      (replay with PROPTEST_SEED={seed:#x})\n  input: {input}",
@@ -208,5 +386,70 @@ where
             "proptest {name}: too many rejected cases ({rejected}/{})",
             cfg.cases
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hipec-proptest-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    #[test]
+    fn entries_parse_and_legacy_lines_are_skipped() {
+        let path = scratch("parse.txt");
+        fs::write(
+            &path,
+            "# comment\n\
+             cc 9eca8f8e7df22dbed78dfdd0 # shrinks to ops = [Pop]\n\
+             xs props::conserve 0xdead 7 # shrinks to xs = [1]\n\
+             xs props::other 0xbeef 3 # shrinks to ys = []\n\
+             garbage line\n",
+        )
+        .unwrap();
+        let got = load_regressions(&path, "props::conserve");
+        assert_eq!(
+            got,
+            vec![Regression {
+                seed: 0xdead,
+                case: 7
+            }]
+        );
+        assert!(load_regressions(&path, "props::absent").is_empty());
+    }
+
+    #[test]
+    fn persist_writes_header_once_and_dedups() {
+        let path = scratch("persist.txt");
+        let _ = fs::remove_file(&path);
+        persist_failure(&path, "t::a", 0x5EED, 12, "xs = [3, 4]");
+        persist_failure(&path, "t::a", 0x5EED, 12, "xs = [3, 4]");
+        persist_failure(&path, "t::b", 0x5EED, 3, "n = 9");
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("# Seeds for failure cases").count(), 1);
+        assert_eq!(text.matches("xs t::a 0x5eed 12").count(), 1);
+        assert!(text.contains("xs t::b 0x5eed 3 # shrinks to n = 9"));
+        let got = load_regressions(&path, "t::a");
+        assert_eq!(
+            got,
+            vec![Regression {
+                seed: 0x5EED,
+                case: 12
+            }]
+        );
+    }
+
+    #[test]
+    fn regression_path_maps_grandparent_layout() {
+        // This crate's own lib.rs resolves from the manifest dir: the
+        // grandparent of `src/lib.rs`-style paths is the crate root.
+        let cwd = std::env::current_dir().unwrap();
+        let p = regression_path("src/lib.rs").expect("resolvable from the crate dir");
+        assert_eq!(p, cwd.join("proptest-regressions/lib.txt"));
+        assert!(regression_path("no/such/file.rs").is_none());
     }
 }
