@@ -1,0 +1,272 @@
+//! Chaos soak: graceful degradation under a phased hostile device.
+//!
+//! Drives three mixed workloads (two HiPEC-managed regions with different
+//! policies plus a default-pool scanner) through a phased fault plan —
+//! quiet warm-up, then an all-torn-and-delayed window (ROADMAP's
+//! pathological device), then quiet again — and asserts the
+//! graceful-degradation contract end to end:
+//!
+//! * the device circuit breaker trips during the window and closes after
+//!   it (half-open probes against the healed device),
+//! * at least one container is quarantined into default management with
+//!   its `minFrame` reservation preserved, and is later restored by
+//!   probation,
+//! * `check_invariants()` is clean at every audited step and fault
+//!   counters keep advancing (no livelock),
+//! * the streamed JSONL trace is complete (no dropped records) — and,
+//!   because every decision is a pure function of the seed, bit-for-bit
+//!   identical across runs. `scripts/verify.sh` runs this twice and
+//!   `cmp`s the traces, then gates the run through `trace_analyze`.
+//!
+//! Usage: `chaos_soak [--out PATH] [--steps N] [--seed S] [--json]`
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use hipec_bench::{finish, json_mode, kernel_stats_json, results_dir};
+use hipec_core::{HipecKernel, JsonlSink};
+use hipec_disk::{FaultPhase, PhasedFaultConfig};
+use hipec_policies::PolicyKind;
+use hipec_sim::SimDuration;
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chaos_soak: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn audit(k: &HipecKernel) {
+    if let Err(e) = k.check_invariants() {
+        fail(&format!("invariant violated: {e}"));
+    }
+}
+
+fn main() {
+    let out: PathBuf = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("chaos_soak.jsonl"));
+    let steps: usize = arg_value("--steps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2500);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| {
+            let s = s.trim_start_matches("0x");
+            u64::from_str_radix(s, 16).ok()
+        })
+        .unwrap_or(0xC4A05);
+    let json = json_mode();
+
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 128;
+    params.wired_frames = 8;
+    params.free_target = 8;
+    params.free_min = 4;
+    params.inactive_target = 12;
+
+    let mut k = HipecKernel::new(params);
+
+    // Complete-from-seq-0 capture: attach before the first emission.
+    let file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("chaos_soak: cannot create {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    };
+    let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    // Quiet warm-up, then the all-torn-and-delayed window, then quiet
+    // forever (everything after the last phase injects nothing). Phases
+    // are measured in device operations, so the plan stays a pure
+    // function of (seed, op index).
+    k.vm.set_phased_fault_plan(PhasedFaultConfig {
+        seed,
+        phases: vec![
+            FaultPhase::quiet(150),
+            // Short enough that the degraded-mode trickle (breaker probes
+            // plus default-path page-ins) drains it; deferred flushes
+            // consume no plan ops, so a long window would never end.
+            FaultPhase::torn_delayed(120, SimDuration::from_ms(2)),
+        ],
+    });
+
+    // Two HiPEC-managed regions under different policies...
+    let t_fifo = k.vm.create_task();
+    let (b_fifo, _, key_fifo) = k
+        .vm_allocate_hipec(
+            t_fifo,
+            24 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install fifo2 policy");
+    let t_mru = k.vm.create_task();
+    let (b_mru, _, key_mru) = k
+        .vm_allocate_hipec(t_mru, 24 * PAGE_SIZE, PolicyKind::Mru.program(), 6)
+        .expect("install mru policy");
+    // ...and a default-pool scanner large enough to oversubscribe memory,
+    // so faulting never settles and the pageout daemon keeps writing.
+    let t_scan = k.vm.create_task();
+    let (b_scan, _) =
+        k.vm.vm_allocate(t_scan, 96 * PAGE_SIZE)
+            .expect("allocate scanner region");
+
+    let min_fifo = k.container(key_fifo).expect("fifo row").min_frames;
+    let min_mru = k.container(key_mru).expect("mru row").min_frames;
+
+    // Write-heavy mixed workload: dirty pages force flushes into the
+    // fault window, which is what trips the breaker and strikes the
+    // policies' health.
+    let mut last_faults = 0u64;
+    let mut stalled = 0u32;
+    for s in 0..steps {
+        let p = (s as u64 * 7 + 3) % 24;
+        let _ = k.access_sync(t_fifo, VAddr(b_fifo.0 + p * PAGE_SIZE), s % 3 != 0);
+        let q = (s as u64) % 24;
+        let _ = k.access_sync(t_mru, VAddr(b_mru.0 + q * PAGE_SIZE), s % 2 == 0);
+        let r = (s as u64 * 5 + 1) % 96;
+        let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), s % 2 == 1);
+        k.pump();
+        if s % 64 == 0 {
+            audit(&k);
+            // No-livelock: the substrate must keep resolving faults even
+            // while the device is hostile (oversubscribed regions cannot
+            // stop faulting unless something wedged).
+            let faults = k.vm.stats.get("faults");
+            if faults == last_faults {
+                stalled += 1;
+                if stalled >= 4 {
+                    fail("fault counter stalled across four audit windows (livelock)");
+                }
+            } else {
+                stalled = 0;
+            }
+            last_faults = faults;
+        }
+        // Quarantine must preserve the reservation even while the region
+        // is under default management.
+        for (key, min) in [(key_fifo, min_fifo), (key_mru, min_mru)] {
+            let c = k.container(key).expect("row");
+            if c.health.quarantined() && c.min_frames != min {
+                fail("quarantine did not preserve minFrame");
+            }
+        }
+    }
+
+    // Recovery: probation needs clean checker intervals and a closed
+    // breaker, and the adaptive interval may have grown toward 8 s — so
+    // walk the clock wakeup by wakeup instead of access by access. The
+    // scanner trickle keeps dirty default pages flowing so the daemon's
+    // flushes give the breaker probes to close on.
+    let mut guard = 0;
+    while k
+        .containers
+        .iter()
+        .any(|c| !c.terminated && c.health.quarantined())
+    {
+        for i in 0..4u64 {
+            let r = (guard as u64 * 11 + i * 5) % 96;
+            let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), true);
+        }
+        let next = k.checker.next_wakeup;
+        k.vm.clock.advance_to(next);
+        k.poll_checker();
+        k.pump();
+        audit(&k);
+        guard += 1;
+        if guard > 200 {
+            fail("quarantined container was never restored (probation wedged)");
+        }
+    }
+    // Drain outstanding write-backs so every flush lifecycle closes
+    // before the trace does.
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+    audit(&k);
+
+    let stats = k.kernel_stats();
+    k.take_sink();
+    let (written, io_errors) = {
+        let s = sink.borrow();
+        (s.written(), s.io_errors())
+    };
+
+    let trips = stats.get("breaker_trips");
+    let closes = stats.get("breaker_closes");
+    let quarantines: u64 = stats.containers.iter().map(|c| c.quarantines).sum();
+    let restores: u64 = stats.containers.iter().map(|c| c.restores).sum();
+
+    let data = serde_json::json!({
+        "out": out.display().to_string(),
+        "steps": steps,
+        "seed": seed,
+        "records_written": written,
+        "sink_io_errors": io_errors,
+        "breaker_trips": trips,
+        "breaker_closes": closes,
+        "quarantines": quarantines,
+        "restores": restores,
+        "kernel": kernel_stats_json(&stats),
+    });
+    if json {
+        finish("chaos_soak", &data);
+    } else {
+        println!(
+            "chaos_soak: {written} records -> {} ({steps} steps, seed {seed:#x}): \
+             {trips} trip(s), {closes} close(s), {quarantines} quarantine(s), \
+             {restores} restore(s)",
+            out.display(),
+        );
+        println!("{stats}");
+        finish("chaos_soak", &data);
+    }
+
+    if stats.dropped_records != 0 {
+        fail(&format!(
+            "{} record(s) dropped before the sink saw them",
+            stats.dropped_records
+        ));
+    }
+    if io_errors != 0 {
+        fail(&format!("{io_errors} sink I/O error(s)"));
+    }
+    // The full degradation cycle must have been observed: trip -> open ->
+    // probe -> close, and quarantine -> probation -> restore.
+    if trips == 0 || closes == 0 {
+        fail(&format!(
+            "breaker cycle not observed ({trips} trips, {closes} closes)"
+        ));
+    }
+    if quarantines == 0 || restores == 0 {
+        fail(&format!(
+            "fallback cycle not observed ({quarantines} quarantines, {restores} restores)"
+        ));
+    }
+    // Restored containers are back on HiPEC management with their
+    // reservation honoured.
+    for (key, min) in [(key_fifo, min_fifo), (key_mru, min_mru)] {
+        let c = k.container(key).expect("row");
+        if !c.terminated && c.health.quarantined() {
+            fail("a container is still quarantined after recovery");
+        }
+        if !c.terminated && c.allocated < min {
+            fail("a restored container holds less than its minFrame");
+        }
+    }
+}

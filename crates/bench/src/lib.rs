@@ -77,8 +77,11 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
                 "released": c.released,
                 "flushes": c.flushes,
                 "device_faults": c.device_faults,
+                "quarantines": c.quarantines,
+                "restores": c.restores,
                 "allocated": c.allocated,
                 "terminated": c.terminated,
+                "quarantined": c.quarantined,
                 "ops": Value::Object(ops),
             })
         })

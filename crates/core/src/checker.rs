@@ -58,15 +58,23 @@ impl SecurityChecker {
     }
 
     /// Applies the paper's WakeUp adaptation after one wakeup.
+    ///
+    /// The adapted interval is clamped into `[min_interval, max_interval]`
+    /// from *both* sides: `halved_with_floor` / `doubled_with_ceil` each
+    /// bound only the direction they move in, so an interval that starts
+    /// out of band (a privileged reconfiguration, a test) would otherwise
+    /// stay out of band — doubling from below 125 ms lands under the
+    /// 250 ms floor, halving from above 16 s stays over the 8 s ceiling.
     pub fn adapt(&mut self, timeout_detected: bool) {
         if !self.adaptive {
             return;
         }
-        self.interval = if timeout_detected {
+        let adapted = if timeout_detected {
             self.interval.halved_with_floor(self.min_interval)
         } else {
             self.interval.doubled_with_ceil(self.max_interval)
         };
+        self.interval = adapted.clamp(self.min_interval, self.max_interval);
     }
 }
 
@@ -95,8 +103,16 @@ impl HipecKernel {
             }
             if let Some(start) = c.exec_started {
                 if now.since(start) > timeout {
-                    let _ = self.kill(i, "policy execution timeout");
-                    self.checker.kills += 1;
+                    if self.containers[i].health.state == crate::health::HealthState::Healthy {
+                        let _ = self.kill(i, "policy execution timeout");
+                        self.checker.kills += 1;
+                    } else {
+                        // A container already degraded by environmental
+                        // faults gets quarantined into default management
+                        // instead of killed: the timeout is likelier the
+                        // device's fault than the policy's.
+                        self.quarantine(i);
+                    }
                     detected = true;
                     self.emit(crate::trace::TraceEvent::CheckerTimeout {
                         container: self.containers[i].key,
@@ -104,6 +120,9 @@ impl HipecKernel {
                 }
             }
         }
+        // The wakeup tick is also the probation clock of the health state
+        // machine (strike decay, quarantine probation, restore attempts).
+        self.health_tick();
         self.emit(crate::trace::TraceEvent::CheckerWake { detected });
         self.checker.adapt(detected);
         // Each wakeup (including ones replayed after a long idle stretch)

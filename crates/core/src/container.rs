@@ -141,6 +141,8 @@ pub struct Container {
     /// Device faults surfaced asynchronously (abandoned write-backs), not
     /// yet drained by `HipecKernel::take_surfaced_faults`.
     pub pending_faults: Vec<crate::error::PolicyFault>,
+    /// Health state machine driving quarantine and fallback.
+    pub health: crate::health::ContainerHealth,
 }
 
 impl Container {
@@ -191,6 +193,7 @@ impl Container {
             stats: ContainerStats::default(),
             op_profile: OpProfile::default(),
             pending_faults: Vec::new(),
+            health: crate::health::ContainerHealth::default(),
         }
     }
 

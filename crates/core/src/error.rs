@@ -91,6 +91,9 @@ pub enum PolicyFault {
     /// nothing wrong, so the security checker does not terminate the
     /// application; the executor aborts the event and surfaces the error.
     Device(hipec_disk::DiskFault),
+    /// The container is quarantined: HiPEC execution is suspended and its
+    /// region runs under default management until probation restores it.
+    Quarantined,
     /// The VM substrate rejected an operation.
     Vm(VmError),
 }
@@ -133,6 +136,9 @@ impl fmt::Display for PolicyFault {
             }
             PolicyFault::BadMigrateTarget(k) => write!(f, "migrate to unknown container {k}"),
             PolicyFault::Device(e) => write!(f, "paging device: {e}"),
+            PolicyFault::Quarantined => {
+                write!(f, "container is quarantined (default-management fallback)")
+            }
             PolicyFault::Vm(e) => write!(f, "vm: {e}"),
         }
     }
@@ -171,6 +177,12 @@ pub enum HipecError {
     },
     /// The container key is unknown.
     NoSuchContainer(u32),
+    /// The container is quarantined: its policy is suspended and the region
+    /// runs under default management until probation restores it.
+    Quarantined {
+        /// Container key.
+        container: u32,
+    },
     /// The VM substrate rejected an operation.
     Vm(VmError),
 }
@@ -193,6 +205,10 @@ impl fmt::Display for HipecError {
                 )
             }
             HipecError::NoSuchContainer(k) => write!(f, "no such container {k}"),
+            HipecError::Quarantined { container } => write!(
+                f,
+                "container {container} is quarantined (default-management fallback)"
+            ),
             HipecError::Vm(e) => write!(f, "vm: {e}"),
         }
     }

@@ -205,6 +205,10 @@ impl HipecKernel {
     /// 7. **Partition conservation** — every container's `allocated` count
     ///    equals the number of frames the independently computed
     ///    [`FramePartition`] attributes to it, and no frame is in no bucket.
+    /// 8. **Health linkage** — a live, non-quarantined container's object
+    ///    links back to it; a terminated or quarantined container's region
+    ///    runs under default management, so its object (if it still exists)
+    ///    carries no container link.
     fn check_invariants_inner(&self) -> Result<(), String> {
         let frames = &self.vm.frames;
         let nframes = frames.len() as u32;
@@ -386,6 +390,29 @@ impl HipecKernel {
                 "{} frames fit no partition bucket",
                 partition.unaccounted
             ));
+        }
+
+        // Health ↔ object linkage.
+        for c in &self.containers {
+            let Some(object) = objects.get(&c.object) else {
+                // The region was deallocated with the container.
+                continue;
+            };
+            let fallback = c.terminated || c.health.quarantined();
+            if fallback {
+                if let Some(key) = object.container {
+                    return Err(format!(
+                        "container {} is under default-management fallback but its \
+                         object still links to container {key}",
+                        c.key
+                    ));
+                }
+            } else if object.container != Some(c.key) {
+                return Err(format!(
+                    "live container {} lost its object link (object says {:?})",
+                    c.key, object.container
+                ));
+            }
         }
 
         Ok(())

@@ -18,6 +18,7 @@ use crate::checker::{validate_program, SecurityChecker};
 use crate::container::Container;
 use crate::error::{HipecError, PolicyFault};
 use crate::executor::{ExecLimits, ExecValue};
+use crate::health::{HealthPolicy, HealthState};
 use crate::manager::GlobalFrameManager;
 use crate::program::{PolicyProgram, EVENT_PAGE_FAULT};
 use crate::trace::{EventRing, TraceEvent, DEFAULT_TRACE_CAPACITY};
@@ -38,6 +39,9 @@ pub struct HipecKernel {
     pub gfm: GlobalFrameManager,
     /// The security checker.
     pub checker: SecurityChecker,
+    /// Thresholds of the container health state machine (quarantine and
+    /// default-management fallback).
+    pub health_policy: HealthPolicy,
     /// Executor fuel and nesting limits.
     pub limits: ExecLimits,
     /// The merged kernel event trace (HiPEC layer + drained VM events).
@@ -73,6 +77,7 @@ impl HipecKernel {
             containers: Vec::new(),
             gfm: GlobalFrameManager::new(burst),
             checker: SecurityChecker::new(),
+            health_policy: HealthPolicy::default(),
             limits: ExecLimits::default(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             next_seq: 0,
@@ -335,6 +340,7 @@ impl HipecKernel {
                         // still the container's) and the fault is surfaced
                         // without terminating the application.
                         let _ = self.vm.frames.enqueue_tail(free_q, frame);
+                        self.note_strike(cidx);
                         return Err(HipecError::Vm(VmError::Device(d)));
                     }
                     Err(e) => return Err(e.into()),
@@ -362,7 +368,20 @@ impl HipecKernel {
                 // without killing the application (the page stays faulted;
                 // the access can be retried).
                 self.containers[cidx].exec_started = None;
+                self.note_strike(cidx);
                 Err(HipecError::Vm(VmError::Device(d)))
+            }
+            Err(_) if self.containers[cidx].health.state != HealthState::Healthy => {
+                // A policy that wedges while already degraded by
+                // environmental faults (its free queue empties when the
+                // breaker refuses its flushes) is collateral damage, not
+                // misbehavior: quarantine it into default management,
+                // mirroring the checker's timeout handling. The faulted
+                // access retries through the default pageout path.
+                self.quarantine(cidx);
+                Err(HipecError::Quarantined {
+                    container: self.containers[cidx].key,
+                })
             }
             Err(fault) => Err(self.kill(cidx, &fault.to_string())),
         }
@@ -397,10 +416,13 @@ impl HipecKernel {
         let started = self.containers[cidx]
             .exec_started
             .expect("runaway policies have a start stamp");
-        // The checker only kills executions older than the timeout period;
-        // step wakeup by wakeup until that happens.
+        // The checker only acts on executions older than the timeout
+        // period; step wakeup by wakeup until it does. A degraded container
+        // is quarantined rather than killed, so stop on either outcome.
         let mut guard = 0;
-        while !self.containers[cidx].terminated {
+        while !self.containers[cidx].terminated
+            && self.containers[cidx].health.state != HealthState::Quarantined
+        {
             let next = self.checker.next_wakeup;
             self.vm.clock.advance_to(next);
             self.poll_checker();
@@ -410,6 +432,11 @@ impl HipecKernel {
                 let _ = self.kill(cidx, "runaway (checker fallback)");
                 break;
             }
+        }
+        if self.containers[cidx].health.state == HealthState::Quarantined {
+            return HipecError::Quarantined {
+                container: self.containers[cidx].key,
+            };
         }
         let latency = self.vm.now().since(started);
         HipecError::Terminated {
@@ -461,7 +488,17 @@ impl HipecKernel {
                 .ok()
                 .and_then(|o| o.container)
                 .map(|key| key as usize)
-                .filter(|&i| i < self.containers.len());
+                .filter(|&i| i < self.containers.len())
+                .or_else(|| {
+                    // A quarantined container is unlinked from its object
+                    // (default management owns the region) but not dead:
+                    // data lost to its write-backs still belongs to it and
+                    // must be drainable after restore. Terminated
+                    // containers stay unattributed.
+                    self.containers
+                        .iter()
+                        .position(|c| c.object == dead.object && !c.terminated)
+                });
             if let Some(i) = owner {
                 self.containers[i].stats.device_faults += 1;
                 // Bounded: a pathological device cannot grow this without
@@ -475,6 +512,9 @@ impl HipecKernel {
                     container: self.containers[i].key,
                     frame: dead.frame,
                 });
+                // Abandoned write-backs are health strikes: enough of them
+                // quarantines the container into default management.
+                self.note_strike(i);
             }
         }
         self.sync_trace();
@@ -572,6 +612,13 @@ impl HipecKernel {
         key: ContainerKey,
         event: u8,
     ) -> Result<ExecValue, PolicyFault> {
+        if self
+            .containers
+            .get(key.0 as usize)
+            .is_some_and(|c| c.health.quarantined())
+        {
+            return Err(PolicyFault::Quarantined);
+        }
         let mut fuel = self.limits.fuel;
         let result = self.run_event(key.0 as usize, event, 0, &mut fuel);
         self.sync_trace();

@@ -56,6 +56,7 @@ pub mod command;
 pub mod container;
 pub mod error;
 pub mod executor;
+pub mod health;
 pub mod invariants;
 pub mod kernel;
 pub mod manager;
@@ -70,6 +71,7 @@ pub use command::{OpCode, RawCmd, NO_OPERAND};
 pub use container::{Container, ContainerStats, OpProfile};
 pub use error::{HipecError, PolicyFault};
 pub use executor::{ExecLimits, ExecValue};
+pub use health::{ContainerHealth, HealthPolicy, HealthState};
 pub use invariants::FramePartition;
 pub use kernel::{ContainerKey, HipecKernel};
 pub use manager::GlobalFrameManager;

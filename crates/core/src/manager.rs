@@ -257,7 +257,11 @@ impl HipecKernel {
     /// queue to the container with key `target` (paper §6, future work).
     pub(crate) fn migrate_frame(&mut self, cidx: usize, target: i64) -> Result<(), PolicyFault> {
         let tidx = usize::try_from(target).map_err(|_| PolicyFault::BadMigrateTarget(target))?;
-        if tidx >= self.containers.len() || self.containers[tidx].terminated || tidx == cidx {
+        if tidx >= self.containers.len()
+            || self.containers[tidx].terminated
+            || self.containers[tidx].health.quarantined()
+            || tidx == cidx
+        {
             return Err(PolicyFault::BadMigrateTarget(target));
         }
         let src_free = self.containers[cidx].free_q;
@@ -311,10 +315,16 @@ impl HipecKernel {
     }
 
     /// FAFR order: container indices sorted by creation sequence, skipping
-    /// terminated containers and those at or below `minFrame`.
+    /// terminated and quarantined containers (the latter cannot run
+    /// `ReclaimFrame` events, and their only remaining frames are ones a
+    /// faulty device refused to flush) and those at or below `minFrame`.
     fn fafr_candidates(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.containers.len())
-            .filter(|&i| !self.containers[i].terminated && self.containers[i].surplus() > 0)
+            .filter(|&i| {
+                !self.containers[i].terminated
+                    && !self.containers[i].health.quarantined()
+                    && self.containers[i].surplus() > 0
+            })
             .collect();
         idx.sort_by_key(|&i| self.containers[i].created_seq);
         idx
@@ -354,7 +364,8 @@ impl HipecKernel {
                 Err(PolicyFault::Device(_)) => {
                     // Environmental: the device refused a flush the policy
                     // triggered. Credit whatever was released before the
-                    // failure and leave the application running.
+                    // failure and leave the application running — but count
+                    // the strike toward its health state.
                     let released = before.saturating_sub(self.containers[i].allocated);
                     got += released;
                     self.gfm.normal_reclaims += released;
@@ -363,6 +374,7 @@ impl HipecKernel {
                         asked: ask,
                         recovered: released,
                     });
+                    self.note_strike(i);
                 }
                 Err(fault) => {
                     // A faulting ReclaimFrame policy terminates the app.

@@ -35,10 +35,16 @@ pub struct ContainerCounters {
     pub flushes: u64,
     /// Device faults surfaced to this container (abandoned write-backs).
     pub device_faults: u64,
+    /// Times this container entered quarantine.
+    pub quarantines: u64,
+    /// Times it was restored from quarantine to HiPEC management.
+    pub restores: u64,
     /// Frames currently allocated (gauge, not a counter).
     pub allocated: u64,
     /// True once the container has been terminated.
     pub terminated: bool,
+    /// True while the container is quarantined (gauge, not a counter).
+    pub quarantined: bool,
     /// Per-opcode command counts and virtual-time attribution.
     pub ops: OpProfile,
 }
@@ -56,8 +62,11 @@ impl ContainerCounters {
             released: self.released.saturating_sub(earlier.released),
             flushes: self.flushes.saturating_sub(earlier.flushes),
             device_faults: self.device_faults.saturating_sub(earlier.device_faults),
+            quarantines: self.quarantines.saturating_sub(earlier.quarantines),
+            restores: self.restores.saturating_sub(earlier.restores),
             allocated: self.allocated,
             terminated: self.terminated,
+            quarantined: self.quarantined,
             ops: self.ops.diff(&earlier.ops),
         }
     }
@@ -159,7 +168,13 @@ impl fmt::Display for KernelStats {
                 c.flushes,
                 c.device_faults,
                 c.allocated,
-                if c.terminated { " [terminated]" } else { "" }
+                if c.terminated {
+                    " [terminated]"
+                } else if c.quarantined {
+                    " [quarantined]"
+                } else {
+                    ""
+                }
             )?;
             for (op, count, time) in c.ops.nonzero() {
                 writeln!(f, "    {}: {count}x {time}", op.mnemonic())?;
@@ -192,6 +207,9 @@ impl HipecKernel {
         let (pushes, pops) = self.vm.retry_queue_counters();
         global.insert("retryq_pushes", pushes);
         global.insert("retryq_pops", pops);
+        let breaker = self.vm.breaker.counters();
+        global.insert("breaker_probes", breaker.probes);
+        global.insert("breaker_deferred", breaker.deferred);
         global.insert(
             "trace_recorded",
             self.trace.recorded() + self.vm.trace.recorded(),
@@ -212,8 +230,11 @@ impl HipecKernel {
                 released: c.stats.released,
                 flushes: c.stats.flushes,
                 device_faults: c.stats.device_faults,
+                quarantines: c.health.quarantines,
+                restores: c.health.restores,
                 allocated: c.allocated,
                 terminated: c.terminated,
+                quarantined: c.health.quarantined(),
                 ops: c.op_profile,
             })
             .collect();

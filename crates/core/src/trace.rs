@@ -138,6 +138,29 @@ pub enum TraceEvent {
         /// The frame whose write-back was abandoned.
         frame: FrameId,
     },
+    /// Environmental fault strikes degraded a container's health.
+    HealthDegraded {
+        /// The degraded container.
+        container: u32,
+        /// Strikes outstanding at the transition.
+        strikes: u64,
+    },
+    /// A container was quarantined: policy suspended, frames returned, its
+    /// region reverted to default management (`minFrame` is preserved).
+    Quarantined {
+        /// The quarantined container.
+        container: u32,
+        /// Frames the quarantine sweep returned to the global pool.
+        reclaimed: u64,
+    },
+    /// Probation completed: the container's policy was re-mounted and its
+    /// `minFrame` reservation re-admitted.
+    FallbackRestored {
+        /// The restored container.
+        container: u32,
+        /// Frames re-granted to the container's free queue.
+        readmitted: u64,
+    },
 }
 
 impl From<VmEvent> for TraceEvent {
@@ -230,6 +253,17 @@ impl fmt::Display for TraceEvent {
             TraceEvent::DeviceFaultSurfaced { container, frame } => {
                 write!(f, "device-fault-surfaced c{container} frame={}", frame.0)
             }
+            TraceEvent::HealthDegraded { container, strikes } => {
+                write!(f, "health-degraded c{container} strikes={strikes}")
+            }
+            TraceEvent::Quarantined {
+                container,
+                reclaimed,
+            } => write!(f, "quarantined c{container} reclaimed={reclaimed}"),
+            TraceEvent::FallbackRestored {
+                container,
+                readmitted,
+            } => write!(f, "fallback-restored c{container} readmitted={readmitted}"),
         }
     }
 }
@@ -278,6 +312,9 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
             VmEvent::TornRetry { .. } => "vm.torn_retry",
             VmEvent::RetryRejected { .. } => "vm.retry_rejected",
             VmEvent::FlushAbandoned { .. } => "vm.flush_abandoned",
+            VmEvent::BreakerTrip { .. } => "vm.breaker_trip",
+            VmEvent::BreakerProbe { .. } => "vm.breaker_probe",
+            VmEvent::BreakerClose { .. } => "vm.breaker_close",
         },
         TraceEvent::Install { .. } => "install",
         TraceEvent::PolicyEvent { .. } => "policy_event",
@@ -293,6 +330,9 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
         TraceEvent::CheckerWake { .. } => "checker_wake",
         TraceEvent::CheckerTimeout { .. } => "checker_timeout",
         TraceEvent::DeviceFaultSurfaced { .. } => "device_fault_surfaced",
+        TraceEvent::HealthDegraded { .. } => "health_degraded",
+        TraceEvent::Quarantined { .. } => "quarantined",
+        TraceEvent::FallbackRestored { .. } => "fallback_restored",
     }
 }
 
@@ -352,6 +392,12 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
             }
             VmEvent::FlushAbandoned { frame, attempts } => {
                 let _ = write!(s, ",\"frame\":{},\"attempts\":{attempts}", frame.0);
+            }
+            VmEvent::BreakerTrip { ewma_milli } | VmEvent::BreakerClose { ewma_milli } => {
+                let _ = write!(s, ",\"ewma_milli\":{ewma_milli}");
+            }
+            VmEvent::BreakerProbe { ok } => {
+                let _ = write!(s, ",\"ok\":{ok}");
             }
         },
         TraceEvent::Install {
@@ -440,6 +486,21 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
         }
         TraceEvent::DeviceFaultSurfaced { container, frame } => {
             let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
+        }
+        TraceEvent::HealthDegraded { container, strikes } => {
+            let _ = write!(s, ",\"container\":{container},\"strikes\":{strikes}");
+        }
+        TraceEvent::Quarantined {
+            container,
+            reclaimed,
+        } => {
+            let _ = write!(s, ",\"container\":{container},\"reclaimed\":{reclaimed}");
+        }
+        TraceEvent::FallbackRestored {
+            container,
+            readmitted,
+        } => {
+            let _ = write!(s, ",\"container\":{container},\"readmitted\":{readmitted}");
         }
     }
     s.push('}');

@@ -4,7 +4,7 @@
 use hipec_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
-use crate::fault::{DiskFault, FaultConfig, FaultPlan};
+use crate::fault::{DiskFault, FaultConfig, FaultPlan, PhasedFaultConfig};
 use crate::flash::{FlashModel, FlashParams};
 use crate::model::{DiskModel, DiskParams, Lba};
 
@@ -97,6 +97,11 @@ impl PagingDevice {
     /// Installs a fault plan (replacing any existing one).
     pub fn set_fault_plan(&mut self, cfg: FaultConfig) {
         self.faults = Some(FaultPlan::new(cfg));
+    }
+
+    /// Installs a phased fault plan (replacing any existing one).
+    pub fn set_phased_fault_plan(&mut self, cfg: PhasedFaultConfig) {
+        self.faults = Some(FaultPlan::phased(cfg));
     }
 
     /// Removes the fault plan; subsequent operations never fail.

@@ -47,6 +47,147 @@ impl FaultConfig {
     }
 }
 
+/// A duty cycle within a phase: faults fire only during the first `active`
+/// operations of every `period`-operation cycle. Models bursty media that
+/// alternates between misbehaving and healthy stretches faster than the
+/// phase granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Cycle length in operations (≥ 1; 0 is treated as 1).
+    pub period: u64,
+    /// Operations at the head of each cycle during which the phase's rates
+    /// apply; outside this window the phase injects nothing.
+    pub active: u64,
+}
+
+/// One time window of a [`PhasedFaultConfig`], measured in device
+/// operations (not virtual time — operation count is what the decision
+/// stream is keyed on, which keeps phases pure in `(seed, op index)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPhase {
+    /// Number of operations this phase covers. The ops after the last
+    /// phase are quiet.
+    pub ops: u64,
+    /// Probability a read fails outright (per-mille).
+    pub read_error_permille: u16,
+    /// Probability a write fails outright (per-mille).
+    pub write_error_permille: u16,
+    /// Probability a completion is delayed (per-mille).
+    pub delay_permille: u16,
+    /// Upper bound of an injected completion delay.
+    pub max_delay: SimDuration,
+    /// Probability an accepted write completes torn (per-mille).
+    pub torn_permille: u16,
+    /// Optional duty cycle gating the rates above.
+    pub burst: Option<Burst>,
+    /// A block that errors deterministically on every access for the whole
+    /// phase (reads and writes alike), independent of `burst`.
+    pub stuck_lba: Option<Lba>,
+}
+
+impl FaultPhase {
+    /// A phase that injects nothing for `ops` operations.
+    pub fn quiet(ops: u64) -> Self {
+        FaultPhase {
+            ops,
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+            burst: None,
+            stuck_lba: None,
+        }
+    }
+
+    /// A worst-case phase: every accepted write completes torn and every
+    /// completion is delayed by up to `max_delay`. This is ROADMAP open
+    /// item 1's all-torn-and-delayed device.
+    pub fn torn_delayed(ops: u64, max_delay: SimDuration) -> Self {
+        FaultPhase {
+            ops,
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 1000,
+            max_delay,
+            torn_permille: 1000,
+            burst: None,
+            stuck_lba: None,
+        }
+    }
+}
+
+/// A schedule of fault phases applied in sequence by operation index.
+/// Like [`FaultConfig`], every decision stays a pure function of
+/// `(seed, op index)`: the phase is looked up from the op's ordinal, and
+/// each op's draws are keyed independently, so phased plans replay exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhasedFaultConfig {
+    /// Seed of the decision stream.
+    pub seed: u64,
+    /// Phases applied back-to-back; operations past the last are quiet.
+    pub phases: Vec<FaultPhase>,
+}
+
+/// Effective injection rates for one operation (flat config or the phase
+/// covering that op, after burst gating).
+#[derive(Debug, Clone, Copy)]
+struct Rates {
+    read_error_permille: u16,
+    write_error_permille: u16,
+    delay_permille: u16,
+    max_delay: SimDuration,
+    torn_permille: u16,
+    stuck_lba: Option<Lba>,
+}
+
+impl Rates {
+    fn quiet() -> Self {
+        Rates {
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+            stuck_lba: None,
+        }
+    }
+
+    fn from_config(cfg: &FaultConfig) -> Self {
+        Rates {
+            read_error_permille: cfg.read_error_permille,
+            write_error_permille: cfg.write_error_permille,
+            delay_permille: cfg.delay_permille,
+            max_delay: cfg.max_delay,
+            torn_permille: cfg.torn_permille,
+            stuck_lba: None,
+        }
+    }
+
+    fn from_phase(ph: &FaultPhase, offset_in_phase: u64) -> Self {
+        let mut r = Rates {
+            read_error_permille: ph.read_error_permille,
+            write_error_permille: ph.write_error_permille,
+            delay_permille: ph.delay_permille,
+            max_delay: ph.max_delay,
+            torn_permille: ph.torn_permille,
+            stuck_lba: ph.stuck_lba,
+        };
+        if let Some(b) = ph.burst {
+            let pos = offset_in_phase % b.period.max(1);
+            if pos >= b.active {
+                // Outside the duty window the phase is quiet — except for a
+                // stuck block, which is a media defect, not a rate.
+                r.read_error_permille = 0;
+                r.write_error_permille = 0;
+                r.delay_permille = 0;
+                r.torn_permille = 0;
+            }
+        }
+        r
+    }
+}
+
 /// A device-level failure surfaced to the kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiskFault {
@@ -134,6 +275,8 @@ fn splitmix64(state: &mut u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     cfg: FaultConfig,
+    /// Non-empty for phased plans; `cfg` then only carries the seed.
+    phases: Vec<FaultPhase>,
     op: u64,
     trace: Vec<InjectedFault>,
 }
@@ -143,6 +286,17 @@ impl FaultPlan {
     pub fn new(cfg: FaultConfig) -> Self {
         FaultPlan {
             cfg,
+            phases: Vec::new(),
+            op: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Creates a plan that walks `cfg.phases` in operation order.
+    pub fn phased(cfg: PhasedFaultConfig) -> Self {
+        FaultPlan {
+            cfg: FaultConfig::quiet(cfg.seed),
+            phases: cfg.phases,
             op: 0,
             trace: Vec::new(),
         }
@@ -151,6 +305,11 @@ impl FaultPlan {
     /// The configuration this plan runs.
     pub fn config(&self) -> &FaultConfig {
         &self.cfg
+    }
+
+    /// The phase schedule (empty for flat plans).
+    pub fn phases(&self) -> &[FaultPhase] {
+        &self.phases
     }
 
     /// Every fault injected so far, in operation order.
@@ -179,12 +338,29 @@ impl FaultPlan {
         (draw % 1000) < u64::from(permille.min(1000))
     }
 
-    fn delay_from(&self, draw: u64) -> SimDuration {
-        let ns = self.cfg.max_delay.as_ns();
+    fn delay_from(draw: u64, max_delay: SimDuration) -> SimDuration {
+        let ns = max_delay.as_ns();
         if ns == 0 {
             return SimDuration::ZERO;
         }
         SimDuration::from_ns(draw % (ns + 1))
+    }
+
+    /// Rates in effect for operation `op` — the flat config, or the phase
+    /// whose window covers `op` (quiet past the last phase).
+    fn rates_for(&self, op: u64) -> Rates {
+        if self.phases.is_empty() {
+            return Rates::from_config(&self.cfg);
+        }
+        let mut start = 0u64;
+        for ph in &self.phases {
+            let end = start.saturating_add(ph.ops);
+            if op < end {
+                return Rates::from_phase(ph, op - start);
+            }
+            start = end;
+        }
+        Rates::quiet()
     }
 
     /// Decides the fate of the next read.
@@ -192,15 +368,16 @@ impl FaultPlan {
         let [d_err, d_delay, d_amount] = self.draws();
         let op = self.op;
         self.op += 1;
-        if Self::hit(d_err, self.cfg.read_error_permille) {
+        let rates = self.rates_for(op);
+        if rates.stuck_lba == Some(lba) || Self::hit(d_err, rates.read_error_permille) {
             self.trace.push(InjectedFault::ReadError { op, lba });
             return ReadDecision {
                 error: true,
                 extra_delay: SimDuration::ZERO,
             };
         }
-        let extra = if Self::hit(d_delay, self.cfg.delay_permille) {
-            let extra = self.delay_from(d_amount);
+        let extra = if Self::hit(d_delay, rates.delay_permille) {
+            let extra = Self::delay_from(d_amount, rates.max_delay);
             self.trace.push(InjectedFault::Delay { op, lba, extra });
             extra
         } else {
@@ -217,7 +394,8 @@ impl FaultPlan {
         let [d_err, d_delay, d_amount] = self.draws();
         let op = self.op;
         self.op += 1;
-        if Self::hit(d_err, self.cfg.write_error_permille) {
+        let rates = self.rates_for(op);
+        if rates.stuck_lba == Some(lba) || Self::hit(d_err, rates.write_error_permille) {
             self.trace.push(InjectedFault::WriteError { op, lba });
             return WriteDecision {
                 error: true,
@@ -225,8 +403,8 @@ impl FaultPlan {
                 torn: false,
             };
         }
-        let extra = if Self::hit(d_delay, self.cfg.delay_permille) {
-            let extra = self.delay_from(d_amount);
+        let extra = if Self::hit(d_delay, rates.delay_permille) {
+            let extra = Self::delay_from(d_amount, rates.max_delay);
             self.trace.push(InjectedFault::Delay { op, lba, extra });
             extra
         } else {
@@ -235,7 +413,7 @@ impl FaultPlan {
         // The torn draw reuses the error draw's high bits: the two outcomes
         // are mutually exclusive, and keeping three draws per op keeps the
         // stream layout identical for reads and writes.
-        let torn = Self::hit(d_err >> 32, self.cfg.torn_permille);
+        let torn = Self::hit(d_err >> 32, rates.torn_permille);
         if torn {
             self.trace.push(InjectedFault::Torn { op, lba });
         }
@@ -324,5 +502,126 @@ mod tests {
             let d = p.on_read(Lba(i));
             assert!(d.extra_delay <= SimDuration::from_ms(5));
         }
+    }
+
+    #[test]
+    fn phases_switch_at_operation_boundaries() {
+        // quiet(100) → all-torn(50) → quiet thereafter.
+        let mut p = FaultPlan::phased(PhasedFaultConfig {
+            seed: 3,
+            phases: vec![
+                FaultPhase::quiet(100),
+                FaultPhase::torn_delayed(50, SimDuration::from_ms(1)),
+            ],
+        });
+        for i in 0..300u64 {
+            let w = p.on_write(Lba(i));
+            let in_storm = (100..150).contains(&i);
+            assert_eq!(w.torn, in_storm, "op {i}");
+            assert!(!w.error);
+            if !in_storm {
+                assert_eq!(w.extra_delay.as_ns(), 0, "op {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn phased_plans_replay_exactly() {
+        let cfg = PhasedFaultConfig {
+            seed: 77,
+            phases: vec![
+                FaultPhase::quiet(20),
+                FaultPhase {
+                    burst: Some(Burst {
+                        period: 10,
+                        active: 3,
+                    }),
+                    stuck_lba: Some(Lba(5)),
+                    ..FaultPhase::torn_delayed(200, SimDuration::from_us(700))
+                },
+                FaultPhase::quiet(50),
+            ],
+        };
+        let mut a = FaultPlan::phased(cfg.clone());
+        let mut b = FaultPlan::phased(cfg);
+        for i in 0..400u64 {
+            if i % 4 == 0 {
+                a.on_read(Lba(i % 16));
+                b.on_read(Lba(i % 16));
+            } else {
+                a.on_write(Lba(i % 16));
+                b.on_write(Lba(i % 16));
+            }
+        }
+        assert!(!a.trace().is_empty());
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn burst_gates_the_duty_cycle() {
+        // 100% torn, but only in the first 2 ops of every 8-op cycle.
+        let mut p = FaultPlan::phased(PhasedFaultConfig {
+            seed: 5,
+            phases: vec![FaultPhase {
+                burst: Some(Burst {
+                    period: 8,
+                    active: 2,
+                }),
+                ..FaultPhase::torn_delayed(800, SimDuration::ZERO)
+            }],
+        });
+        for i in 0..800u64 {
+            let w = p.on_write(Lba(i));
+            assert_eq!(w.torn, i % 8 < 2, "op {i}");
+        }
+    }
+
+    #[test]
+    fn stuck_lba_errors_deterministically_even_outside_burst() {
+        let mut p = FaultPlan::phased(PhasedFaultConfig {
+            seed: 9,
+            phases: vec![FaultPhase {
+                burst: Some(Burst {
+                    period: 100,
+                    active: 0,
+                }),
+                stuck_lba: Some(Lba(7)),
+                ..FaultPhase::torn_delayed(1000, SimDuration::ZERO)
+            }],
+        });
+        for i in 0..500u64 {
+            let lba = Lba(i % 10);
+            let w = p.on_write(lba);
+            assert_eq!(w.error, lba == Lba(7), "op {i}");
+            let r = p.on_read(lba);
+            assert_eq!(r.error, lba == Lba(7), "op {i}");
+        }
+    }
+
+    #[test]
+    fn flat_and_phased_agree_when_rates_match() {
+        // A single endless phase with the same rates as a flat config must
+        // produce the identical decision stream (the draws are keyed only by
+        // (seed, op), never by the plan shape).
+        let flat_cfg = noisy(13);
+        let mut flat = FaultPlan::new(flat_cfg);
+        let mut phased = FaultPlan::phased(PhasedFaultConfig {
+            seed: 13,
+            phases: vec![FaultPhase {
+                ops: u64::MAX,
+                read_error_permille: flat_cfg.read_error_permille,
+                write_error_permille: flat_cfg.write_error_permille,
+                delay_permille: flat_cfg.delay_permille,
+                max_delay: flat_cfg.max_delay,
+                torn_permille: flat_cfg.torn_permille,
+                burst: None,
+                stuck_lba: None,
+            }],
+        });
+        for i in 0..500u64 {
+            flat.on_write(Lba(i));
+            phased.on_write(Lba(i));
+        }
+        assert_eq!(flat.trace(), phased.trace());
     }
 }

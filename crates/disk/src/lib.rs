@@ -32,7 +32,9 @@ pub mod queue;
 
 pub use backing::{BackingStore, PageLocation};
 pub use device::{DeviceParams, DeviceStats, PagingDevice, WriteCompletion};
-pub use fault::{DiskFault, FaultConfig, FaultPlan, InjectedFault};
+pub use fault::{
+    Burst, DiskFault, FaultConfig, FaultPhase, FaultPlan, InjectedFault, PhasedFaultConfig,
+};
 pub use flash::{FlashModel, FlashParams};
 pub use model::{DiskModel, DiskParams, Lba};
 pub use queue::{DiskQueue, QueueDiscipline};

@@ -52,6 +52,14 @@ impl<T> DiskQueue<T> {
         self.pending.push(Pending { lba, tag });
     }
 
+    /// Prepends a request so FCFS services it before everything already
+    /// queued. The degraded flush pump uses this to put a deferred head
+    /// back without reordering the rest of the retry stream.
+    pub fn push_front(&mut self, lba: Lba, tag: T) {
+        self.pushes += 1;
+        self.pending.insert(0, Pending { lba, tag });
+    }
+
     /// Cumulative requests appended over the queue's lifetime.
     pub fn pushes(&self) -> u64 {
         self.pushes
@@ -140,6 +148,19 @@ mod tests {
         q.push(Lba(16), "first");
         q.push(Lba(16), "second");
         assert_eq!(q.pop_next(0, cyl).map(|p| p.tag), Some("first"));
+    }
+
+    #[test]
+    fn push_front_is_serviced_first_under_fcfs() {
+        let mut q = DiskQueue::new(QueueDiscipline::Fcfs);
+        q.push(Lba(1), "a");
+        q.push(Lba(2), "b");
+        q.push_front(Lba(3), "head");
+        assert_eq!(q.pushes(), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_next(0, cyl))
+            .map(|p| p.tag)
+            .collect();
+        assert_eq!(order, vec!["head", "a", "b"]);
     }
 
     #[test]

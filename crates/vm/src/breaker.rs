@@ -1,0 +1,351 @@
+//! A per-device circuit breaker for the write-back path.
+//!
+//! The pageout pump normally assumes the paging device mostly works: torn
+//! writes re-issue immediately and the in-flight list is unbounded. Under a
+//! *persistently* faulty device (ROADMAP open item 1's all-torn-and-delayed
+//! plan) that strategy livelocks — every re-issue burns a retry budget
+//! charge and the free list never grows. [`CircuitBreaker`] is the error
+//! scoreboard that detects this: an integer EWMA of submission outcomes
+//! trips the breaker `Closed → Open`, after which re-submissions are gated
+//! by an exponential backoff and a bounded in-flight window, and periodic
+//! half-open probe writes decide when the device has healed and the breaker
+//! can close again.
+//!
+//! Everything is integer arithmetic on the virtual clock — no floats, no
+//! wall time — so breaker decisions replay bit-for-bit with the rest of the
+//! simulation.
+
+use hipec_sim::{SimDuration, SimTime};
+
+/// Where the breaker is in its trip/probe/close cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// The device is healthy; the pump runs at full speed.
+    #[default]
+    Closed,
+    /// The device is misbehaving; submissions wait out a backoff.
+    Open,
+    /// Probes are succeeding; a few more clean ones close the breaker.
+    HalfOpen,
+}
+
+/// Tuning knobs. The defaults trip after three consecutive failures and
+/// need roughly five clean probes to close again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerParams {
+    /// EWMA weight of each new sample, in milli-units (0–1000).
+    pub alpha_milli: u64,
+    /// Failure score at or above which the breaker trips.
+    pub trip_milli: u64,
+    /// Failure score at or below which a probe streak may close it.
+    pub close_milli: u64,
+    /// Backoff after the trip (doubles per failed probe).
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_max: SimDuration,
+    /// Maximum writes in flight while the breaker is not closed.
+    pub max_inflight_degraded: usize,
+    /// Consecutive successful probes required before closing.
+    pub close_after: u32,
+}
+
+impl Default for BreakerParams {
+    fn default() -> Self {
+        BreakerParams {
+            alpha_milli: 250,
+            trip_milli: 500,
+            close_milli: 125,
+            backoff_base: SimDuration::from_ms(5),
+            backoff_max: SimDuration::from_ms(320),
+            max_inflight_degraded: 2,
+            close_after: 3,
+        }
+    }
+}
+
+/// What one recorded outcome did to the breaker (drives trace emission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// No state change worth tracing.
+    None,
+    /// The score crossed the trip threshold: `Closed → Open`.
+    Tripped,
+    /// A degraded-mode submission served as a probe.
+    Probed {
+        /// The probe succeeded (accepted and not torn).
+        ok: bool,
+    },
+    /// A probe streak closed the breaker: `HalfOpen → Closed`.
+    Closed,
+}
+
+/// Cumulative breaker counters (exported through `KernelStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerCounters {
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Times it closed again.
+    pub closes: u64,
+    /// Degraded-mode probe submissions.
+    pub probes: u64,
+    /// Submissions refused or postponed while degraded.
+    pub deferred: u64,
+}
+
+/// The error scoreboard itself. One per paging device.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    params: BreakerParams,
+    state: BreakerState,
+    /// Failure score: EWMA over {0 = ok, 1000 = failed} samples.
+    ewma_milli: u64,
+    backoff: SimDuration,
+    next_probe_at: SimTime,
+    probe_successes: u32,
+    counters: BreakerCounters,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerParams::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(params: BreakerParams) -> Self {
+        CircuitBreaker {
+            params,
+            state: BreakerState::Closed,
+            ewma_milli: 0,
+            backoff: params.backoff_base,
+            next_probe_at: SimTime::ZERO,
+            probe_successes: 0,
+            counters: BreakerCounters::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// True while the device is considered healthy.
+    pub fn is_closed(&self) -> bool {
+        self.state == BreakerState::Closed
+    }
+
+    /// Current failure score (milli-units, 0–1000).
+    pub fn ewma_milli(&self) -> u64 {
+        self.ewma_milli
+    }
+
+    /// The tuning in effect.
+    pub fn params(&self) -> &BreakerParams {
+        &self.params
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> BreakerCounters {
+        self.counters
+    }
+
+    /// Earliest virtual time the next degraded-mode probe may be submitted.
+    pub fn next_probe_at(&self) -> SimTime {
+        self.next_probe_at
+    }
+
+    /// True if a degraded-mode submission is allowed at `now` given the
+    /// current in-flight depth.
+    pub fn probe_due(&self, now: SimTime, inflight: usize) -> bool {
+        self.state != BreakerState::Closed
+            && now >= self.next_probe_at
+            && inflight < self.params.max_inflight_degraded
+    }
+
+    /// Counts a submission the pump refused or postponed while degraded.
+    pub fn note_deferred(&mut self) {
+        self.counters.deferred += 1;
+    }
+
+    fn update_ewma(&mut self, ok: bool) {
+        let sample: u64 = if ok { 0 } else { 1000 };
+        let a = self.params.alpha_milli.min(1000);
+        self.ewma_milli = (a * sample + (1000 - a) * self.ewma_milli) / 1000;
+    }
+
+    /// Records one submission outcome (`ok` = accepted and not torn) and
+    /// returns the resulting transition. While closed this only moves the
+    /// score; while open or half-open the submission *is* a probe and its
+    /// outcome steers the backoff / close streak.
+    pub fn record(&mut self, now: SimTime, ok: bool) -> BreakerTransition {
+        match self.state {
+            BreakerState::Closed => {
+                self.update_ewma(ok);
+                if self.ewma_milli >= self.params.trip_milli {
+                    self.state = BreakerState::Open;
+                    self.counters.trips += 1;
+                    self.backoff = self.params.backoff_base;
+                    self.next_probe_at = now + self.backoff;
+                    self.probe_successes = 0;
+                    BreakerTransition::Tripped
+                } else {
+                    BreakerTransition::None
+                }
+            }
+            BreakerState::Open | BreakerState::HalfOpen => {
+                self.counters.probes += 1;
+                self.update_ewma(ok);
+                if ok {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes += 1;
+                    if self.probe_successes >= self.params.close_after
+                        && self.ewma_milli <= self.params.close_milli
+                    {
+                        self.state = BreakerState::Closed;
+                        self.counters.closes += 1;
+                        self.backoff = self.params.backoff_base;
+                        self.probe_successes = 0;
+                        return BreakerTransition::Closed;
+                    }
+                    // A clean probe earns the next one immediately.
+                    self.next_probe_at = now;
+                    BreakerTransition::Probed { ok: true }
+                } else {
+                    self.state = BreakerState::Open;
+                    self.probe_successes = 0;
+                    self.backoff = self
+                        .backoff
+                        .saturating_mul(2)
+                        .min(self.params.backoff_max)
+                        .max(self.params.backoff_base);
+                    self.next_probe_at = now + self.backoff;
+                    BreakerTransition::Probed { ok: false }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures() {
+        let mut b = CircuitBreaker::default();
+        let now = SimTime::ZERO;
+        assert_eq!(b.record(now, false), BreakerTransition::None); // 250
+        assert_eq!(b.record(now, false), BreakerTransition::None); // 437
+        assert_eq!(b.record(now, false), BreakerTransition::Tripped); // 578
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.counters().trips, 1);
+        assert!(b.next_probe_at() > now);
+    }
+
+    #[test]
+    fn successes_keep_it_closed() {
+        let mut b = CircuitBreaker::default();
+        for _ in 0..100 {
+            assert_eq!(b.record(SimTime::ZERO, true), BreakerTransition::None);
+        }
+        assert!(b.is_closed());
+        assert_eq!(b.ewma_milli(), 0);
+    }
+
+    #[test]
+    fn failed_probes_double_the_backoff_to_the_cap() {
+        let mut b = CircuitBreaker::default();
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.record(now, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        let base = b.params().backoff_base;
+        let mut expected = base;
+        for _ in 0..10 {
+            now = b.next_probe_at();
+            assert!(b.probe_due(now, 0));
+            assert_eq!(
+                b.record(now, false),
+                BreakerTransition::Probed { ok: false }
+            );
+            expected = expected.saturating_mul(2).min(b.params().backoff_max);
+            assert_eq!(b.next_probe_at(), now + expected);
+        }
+        assert_eq!(expected, b.params().backoff_max);
+    }
+
+    #[test]
+    fn probe_streak_closes_and_resets_backoff() {
+        let mut b = CircuitBreaker::default();
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.record(now, false);
+        }
+        let mut closed = false;
+        for _ in 0..32 {
+            now = b.next_probe_at();
+            if b.record(now, true) == BreakerTransition::Closed {
+                closed = true;
+                break;
+            }
+        }
+        assert!(closed, "a clean streak must close the breaker");
+        assert!(b.is_closed());
+        assert_eq!(b.counters().closes, 1);
+        assert!(b.ewma_milli() <= b.params().close_milli);
+    }
+
+    #[test]
+    fn half_open_reopens_on_a_failed_probe() {
+        let mut b = CircuitBreaker::default();
+        for _ in 0..3 {
+            b.record(SimTime::ZERO, false);
+        }
+        let now = b.next_probe_at();
+        assert_eq!(b.record(now, true), BreakerTransition::Probed { ok: true });
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(
+            b.record(now, false),
+            BreakerTransition::Probed { ok: false }
+        );
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.next_probe_at() > now);
+    }
+
+    #[test]
+    fn probe_gating_respects_time_and_inflight_bound() {
+        let mut b = CircuitBreaker::default();
+        for _ in 0..3 {
+            b.record(SimTime::ZERO, false);
+        }
+        let due = b.next_probe_at();
+        assert!(!b.probe_due(SimTime::ZERO, 0), "backoff not elapsed");
+        assert!(b.probe_due(due, 0));
+        let cap = b.params().max_inflight_degraded;
+        assert!(!b.probe_due(due, cap), "in-flight window full");
+        assert!(
+            !CircuitBreaker::default().probe_due(due, 0),
+            "closed ≠ probing"
+        );
+    }
+
+    #[test]
+    fn replay_is_exact() {
+        let drive = |b: &mut CircuitBreaker| {
+            let mut log = Vec::new();
+            let mut now = SimTime::ZERO;
+            for i in 0..200u64 {
+                now += SimDuration::from_us(130);
+                let ok = (i / 7) % 3 != 0;
+                log.push((b.record(now, ok), b.state(), b.ewma_milli()));
+            }
+            log
+        };
+        let mut a = CircuitBreaker::default();
+        let mut b = CircuitBreaker::default();
+        assert_eq!(drive(&mut a), drive(&mut b));
+        assert_eq!(a.counters(), b.counters());
+    }
+}

@@ -8,10 +8,13 @@
 //! ([`AccessOutcome::NeedsPolicy`], [`Kernel::complete_policy_fault`],
 //! [`Kernel::take_free_frames`], …).
 
-use hipec_disk::{BackingStore, DeviceParams, DiskFault, DiskQueue, FaultConfig, PagingDevice};
+use hipec_disk::{
+    BackingStore, DeviceParams, DiskFault, DiskQueue, FaultConfig, PagingDevice, PhasedFaultConfig,
+};
 use hipec_sim::stats::{Counter, Histogram};
 use hipec_sim::{CostModel, SimDuration, SimTime, VirtualClock};
 
+use crate::breaker::{BreakerTransition, CircuitBreaker};
 use crate::frame::{FrameTable, QueueId};
 use crate::object::{Backing, VmObject};
 use crate::task::Task;
@@ -193,6 +196,10 @@ pub struct Kernel {
     /// Write submissions a single dirty page may burn (initial + retries)
     /// before its flush is abandoned and surfaced as a [`DeadFlush`].
     pub flush_retry_budget: u8,
+    /// The paging device's error scoreboard. While closed the pump runs at
+    /// full speed; once tripped, flush submissions are gated by its backoff
+    /// and in-flight window (see [`crate::breaker`]).
+    pub breaker: CircuitBreaker,
     pub(crate) objects: Vec<VmObject>,
     pub(crate) tasks: Vec<Task>,
     pub(crate) disk: PagingDevice,
@@ -237,6 +244,7 @@ impl Kernel {
             fault_latency: Histogram::new(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             flush_retry_budget: 8,
+            breaker: CircuitBreaker::default(),
             objects: Vec::new(),
             tasks: Vec::new(),
             disk,
@@ -268,6 +276,38 @@ impl Kernel {
         self.trace.push(self.clock.now(), event);
         #[cfg(not(feature = "trace"))]
         let _ = event;
+    }
+
+    /// Feeds one write-submission outcome (`ok` = accepted and not torn)
+    /// to the device circuit breaker, emitting any resulting transition.
+    pub(crate) fn breaker_record_write(&mut self, ok: bool) {
+        let now = self.clock.now();
+        match self.breaker.record(now, ok) {
+            BreakerTransition::Tripped => {
+                self.stats.bump("breaker_trips");
+                self.emit(VmEvent::BreakerTrip {
+                    ewma_milli: self.breaker.ewma_milli(),
+                });
+            }
+            BreakerTransition::Probed { ok } => {
+                self.emit(VmEvent::BreakerProbe { ok });
+            }
+            BreakerTransition::Closed => {
+                self.stats.bump("breaker_closes");
+                self.emit(VmEvent::BreakerClose {
+                    ewma_milli: self.breaker.ewma_milli(),
+                });
+            }
+            BreakerTransition::None => {}
+        }
+    }
+
+    /// Feeds a read outcome to the breaker. Reads never serve as half-open
+    /// probes (probes are writes), so they only move the score while closed.
+    pub(crate) fn breaker_record_read(&mut self, ok: bool) {
+        if self.breaker.is_closed() {
+            self.breaker_record_write(ok);
+        }
     }
 
     /// Frames on the global free queue.
@@ -565,8 +605,12 @@ impl Kernel {
             // Submit before mutating any frame/object state so an injected
             // device failure needs no rollback here.
             let done = match self.disk.read(loc.lba, self.clock.now()) {
-                Ok(done) => done,
+                Ok(done) => {
+                    self.breaker_record_read(true);
+                    done
+                }
                 Err(fault) => {
+                    self.breaker_record_read(false);
                     self.stats.bump("read_errors");
                     self.emit(VmEvent::ReadError {
                         object,
@@ -702,6 +746,16 @@ impl Kernel {
                 // attempts normally get one through. Bounded so a device
                 // rejecting every write still surfaces OutOfFrames.
                 dry_retries += 1;
+                if !self.breaker.is_closed() {
+                    // Degraded submissions are gated by the breaker's
+                    // backoff; waiting here is the forced-synchronous part
+                    // of degraded reclaim — jump to the probe window so the
+                    // pump can actually submit.
+                    let due = self.breaker.next_probe_at();
+                    if due > self.clock.now() {
+                        self.clock.advance_to(due);
+                    }
+                }
                 self.pump();
             } else {
                 return Err(VmError::OutOfFrames {
@@ -763,12 +817,18 @@ impl Kernel {
             self.emit(VmEvent::FlushComplete { frame });
         }
         // Re-issue torn writes (one attempt per entry per pump; a rejected
-        // re-issue goes back on the queue until its budget runs out).
+        // re-issue goes back on the queue until its budget runs out). While
+        // the breaker is closed this drains the whole queue; once it trips
+        // mid-drain the rest waits for the degraded path below.
         let mut still_torn = Vec::new();
-        while let Some(pending) = self.retry_q.pop_next(0, |_| 0) {
+        while self.breaker.is_closed() {
+            let Some(pending) = self.retry_q.pop_next(0, |_| 0) else {
+                break;
+            };
             let RetryTag { frame, attempts } = pending.tag;
             match self.disk.write(pending.lba, self.clock.now()) {
                 Ok(c) => {
+                    self.breaker_record_write(!c.torn);
                     self.inflight.push(InflightFlush {
                         done: c.done,
                         frame,
@@ -778,6 +838,7 @@ impl Kernel {
                     self.stats.bump("flush_retries");
                 }
                 Err(_) => {
+                    self.breaker_record_write(false);
                     self.stats.bump("flush_retry_errors");
                     self.emit(VmEvent::RetryRejected {
                         frame,
@@ -800,6 +861,55 @@ impl Kernel {
         }
         for (lba, tag) in still_torn {
             self.retry_q.push(lba, tag);
+        }
+        // Degraded re-issue: at most one backoff-gated probe burst per pump,
+        // bounded by the breaker's in-flight window. A failed probe goes
+        // back to the queue *head* so the FCFS retry order is preserved.
+        if !self.breaker.is_closed() {
+            while self
+                .breaker
+                .probe_due(self.clock.now(), self.inflight.len())
+            {
+                let Some(pending) = self.retry_q.pop_next(0, |_| 0) else {
+                    break;
+                };
+                let RetryTag { frame, attempts } = pending.tag;
+                match self.disk.write(pending.lba, self.clock.now()) {
+                    Ok(c) => {
+                        self.breaker_record_write(!c.torn);
+                        self.inflight.push(InflightFlush {
+                            done: c.done,
+                            frame,
+                            torn: c.torn,
+                            attempts: attempts + 1,
+                        });
+                        self.stats.bump("flush_retries");
+                    }
+                    Err(_) => {
+                        self.breaker_record_write(false);
+                        self.stats.bump("flush_retry_errors");
+                        self.emit(VmEvent::RetryRejected {
+                            frame,
+                            attempt: attempts,
+                        });
+                        let spent = attempts + 1;
+                        if spent >= self.flush_retry_budget {
+                            self.abandon_flush(frame, spent);
+                        } else {
+                            self.retry_q.push_front(
+                                pending.lba,
+                                RetryTag {
+                                    frame,
+                                    attempts: spent,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            if !self.retry_q.is_empty() {
+                self.breaker.note_deferred();
+            }
         }
     }
 
@@ -864,9 +974,29 @@ impl Kernel {
         self.disk.set_fault_plan(cfg);
     }
 
-    /// Earliest pending flush completion, if any (for event-driven drivers).
+    /// Installs a phased fault plan (time-windowed by operation index) on
+    /// the paging device.
+    pub fn set_phased_fault_plan(&mut self, cfg: PhasedFaultConfig) {
+        self.disk.set_phased_fault_plan(cfg);
+    }
+
+    /// Earliest virtual instant at which pumping makes write-back progress
+    /// (for event-driven drivers): the next in-flight completion, or — when
+    /// nothing is in flight but torn retries are parked — the breaker's
+    /// next probe window (now, if the breaker is closed). `None` only once
+    /// every write-back lifecycle has closed.
     pub fn next_flush_completion(&self) -> Option<SimTime> {
-        self.inflight.iter().map(|i| i.done).min()
+        if let Some(done) = self.inflight.iter().map(|i| i.done).min() {
+            return Some(done);
+        }
+        if self.retry_q.is_empty() {
+            return None;
+        }
+        Some(if self.breaker.is_closed() {
+            self.clock.now()
+        } else {
+            self.breaker.next_probe_at().max(self.clock.now())
+        })
     }
 
     // --- Read-only state inspection (invariant checkers, audits) ------------

@@ -11,6 +11,7 @@
 //! policy executor, the security checker and the global frame manager on the
 //! hooks this crate exposes.
 
+pub mod breaker;
 pub mod frame;
 pub mod kernel;
 pub mod map;
@@ -20,6 +21,7 @@ pub mod task;
 pub mod trace;
 pub mod types;
 
+pub use breaker::{BreakerCounters, BreakerParams, BreakerState, CircuitBreaker};
 pub use frame::{Frame, FrameTable, QueueId};
 pub use kernel::{
     AccessKind, AccessOutcome, AccessResult, DeadFlush, Kernel, KernelParams, PolicyFaultInfo,

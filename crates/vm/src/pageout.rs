@@ -25,6 +25,14 @@ impl Kernel {
             total_freed += freed;
             total_flushed += flushed;
             if self.free_count() >= self.free_target || (moved + freed + flushed) == 0 {
+                if self.free_count() < self.free_target && !self.breaker.is_closed() {
+                    // The normal pass stalled and the breaker is tripped:
+                    // dirty pages cannot be flushed, so balance must make
+                    // progress on clean pages alone, reference bits be
+                    // damned. This is degraded mode's forced synchronous
+                    // reclaim.
+                    total_freed += self.forced_clean_reclaim()?;
+                }
                 self.emit(VmEvent::PageoutScan {
                     freed: total_freed,
                     flushed: total_flushed,
@@ -32,6 +40,37 @@ impl Kernel {
                 return Ok(());
             }
         }
+    }
+
+    /// Degraded-mode reclamation: free clean pages from the inactive (then
+    /// active) queue regardless of reference bits. Dirty pages are skipped —
+    /// they are the breaker's problem. Bounded by one pass over both queues.
+    fn forced_clean_reclaim(&mut self) -> Result<u64, VmError> {
+        let mut freed = 0;
+        let mut budget = self.inactive_count() + self.active_count();
+        while self.free_count() < self.free_target && budget > 0 {
+            budget -= 1;
+            let f = match self.frames.dequeue_head(self.inactive_q)? {
+                Some(f) => f,
+                None => match self.frames.dequeue_head(self.active_q)? {
+                    Some(f) => f,
+                    None => break,
+                },
+            };
+            self.charge(self.cost.queue_op + self.cost.bit_op);
+            if self.frames.frame(f)?.mod_bit {
+                self.frames.enqueue_tail(self.inactive_q, f)?;
+                continue;
+            }
+            self.evict_frame(f)?;
+            self.frames.enqueue_tail(self.free_q, f)?;
+            self.charge(self.cost.queue_op);
+            freed += 1;
+        }
+        if freed > 0 {
+            self.stats.add("forced_sync_reclaims", freed);
+        }
+        Ok(freed)
     }
 
     /// Stage 1: move pages from the active head to the inactive tail,
@@ -107,6 +146,21 @@ impl Kernel {
             .frame(frame)?
             .owner
             .ok_or(VmError::FrameNotQueued(frame))?;
+        // While the breaker is tripped, flushes wait out the backoff unless
+        // this submission can serve as a probe. Refusing here consumes no
+        // fault-plan operation and leaves the page exactly as it was; the
+        // caller sees the same device error a rejected submission raises.
+        if !self.breaker.is_closed()
+            && !self
+                .breaker
+                .probe_due(self.clock.now(), self.inflight.len())
+        {
+            self.breaker.note_deferred();
+            self.stats.bump("flush_deferred");
+            return Err(VmError::Device(hipec_disk::DiskFault::WriteError(
+                hipec_disk::Lba(0),
+            )));
+        }
         // Anonymous objects get a swap extent the first time any of their
         // pages is written out.
         let key = object.0 as u64;
@@ -121,10 +175,12 @@ impl Kernel {
         let completion = match self.disk.write(loc.lba, self.clock.now()) {
             Ok(c) => c,
             Err(fault) => {
+                self.breaker_record_write(false);
                 self.stats.bump("flush_errors");
                 return Err(VmError::Device(fault));
             }
         };
+        self.breaker_record_write(!completion.torn);
         // Busy frames sit on no queue: detach callers that flush straight
         // off a queue (the pageout path has already dequeued its victim).
         if self.frames.queue_of(frame)?.is_some() {

@@ -209,6 +209,22 @@ pub enum VmEvent {
         /// Total submissions before giving up.
         attempts: u8,
     },
+    /// The device circuit breaker tripped open: the pump enters degraded
+    /// mode (backoff-gated, bounded-in-flight probe submissions).
+    BreakerTrip {
+        /// Failure score at the trip (milli-units, 0–1000).
+        ewma_milli: u64,
+    },
+    /// A degraded-mode submission served as a half-open probe.
+    BreakerProbe {
+        /// The probe was accepted and not torn.
+        ok: bool,
+    },
+    /// A clean probe streak closed the breaker: the device is healthy again.
+    BreakerClose {
+        /// Failure score at the close (milli-units, 0–1000).
+        ewma_milli: u64,
+    },
 }
 
 #[cfg(test)]

@@ -42,4 +42,26 @@ echo "   traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/a.jsonl") records)"
 # checker timeouts) or malformed input, so this line is the gate itself.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/a.jsonl"
 
+echo "== chaos: degradation cycle completes, replays and analyzes clean =="
+# chaos_soak itself exits non-zero unless the full cycle was observed
+# (breaker trip -> close, quarantine -> restore, invariants clean, no
+# livelock, zero dropped records).
+cargo run -q --release --bin chaos_soak -- \
+  --seed 0xC4A05 --steps 2500 --out "$SOAK_DIR/c1.jsonl" >/dev/null
+cargo run -q --release --bin chaos_soak -- \
+  --seed 0xC4A05 --steps 2500 --out "$SOAK_DIR/c2.jsonl" >/dev/null
+if ! cmp -s "$SOAK_DIR/c1.jsonl" "$SOAK_DIR/c2.jsonl"; then
+  echo "error: identically seeded chaos soaks streamed different traces" >&2
+  exit 1
+fi
+if ! grep -q '"type":"quarantined"' "$SOAK_DIR/c1.jsonl" ||
+   ! grep -q '"type":"fallback_restored"' "$SOAK_DIR/c1.jsonl"; then
+  echo "error: chaos trace shows no quarantine-then-recovery cycle" >&2
+  exit 1
+fi
+echo "   chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/c1.jsonl") records)"
+# Degradation-aware analysis: collateral inside the breaker window is
+# expected; an unclosed breaker or unrestored container is an anomaly.
+cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/c1.jsonl"
+
 echo "verify: OK"

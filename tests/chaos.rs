@@ -1,0 +1,358 @@
+//! Chaos-cycle pinning tests for graceful degradation under persistent
+//! faults: the full breaker trip → close and quarantine → restore cycle
+//! replays bit-for-bit and leaves the books clean, the offline analyzer
+//! finds nothing anomalous in the trace, and device faults surfaced to a
+//! container killed mid-flush stay drainable without bleeding into other
+//! containers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hipec_core::command::build;
+use hipec_core::{
+    HipecKernel, JsonlSink, KernelStats, OperandDecl, PolicyFault, PolicyProgram, NO_OPERAND,
+};
+use hipec_disk::{FaultConfig, FaultPhase, PhasedFaultConfig};
+use hipec_policies::PolicyKind;
+use hipec_sim::SimDuration;
+use hipec_vm::{BreakerParams, CircuitBreaker, KernelParams, VAddr, PAGE_SIZE};
+
+fn chaos_params() -> KernelParams {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 128;
+    p.wired_frames = 8;
+    p.free_target = 8;
+    p.free_min = 4;
+    p.inactive_target = 12;
+    p
+}
+
+/// One full chaos cycle (the `chaos_soak` bench in miniature): two HiPEC
+/// containers plus an oversubscribing default scanner driven through a
+/// quiet → all-torn-and-delayed → quiet phased fault plan, then a
+/// probation walk until every quarantined container is restored. Returns
+/// the complete JSONL trace bytes and the final counter snapshot; panics
+/// if the graceful-degradation contract is violated along the way.
+fn chaos_cycle(seed: u64, steps: usize) -> (Vec<u8>, KernelStats) {
+    let mut k = HipecKernel::new(chaos_params());
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+    k.vm.set_phased_fault_plan(PhasedFaultConfig {
+        seed,
+        phases: vec![
+            FaultPhase::quiet(150),
+            FaultPhase::torn_delayed(120, SimDuration::from_ms(2)),
+        ],
+    });
+
+    let t_fifo = k.vm.create_task();
+    let (b_fifo, _, key_fifo) = k
+        .vm_allocate_hipec(
+            t_fifo,
+            24 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install fifo2");
+    let t_mru = k.vm.create_task();
+    let (b_mru, _, key_mru) = k
+        .vm_allocate_hipec(t_mru, 24 * PAGE_SIZE, PolicyKind::Mru.program(), 6)
+        .expect("install mru");
+    let t_scan = k.vm.create_task();
+    let (b_scan, _) =
+        k.vm.vm_allocate(t_scan, 96 * PAGE_SIZE)
+            .expect("allocate scanner");
+    let min_fifo = k.container(key_fifo).expect("fifo row").min_frames;
+    let min_mru = k.container(key_mru).expect("mru row").min_frames;
+
+    for s in 0..steps {
+        let p = (s as u64 * 7 + 3) % 24;
+        let _ = k.access_sync(t_fifo, VAddr(b_fifo.0 + p * PAGE_SIZE), s % 3 != 0);
+        let q = (s as u64) % 24;
+        let _ = k.access_sync(t_mru, VAddr(b_mru.0 + q * PAGE_SIZE), s % 2 == 0);
+        let r = (s as u64 * 5 + 1) % 96;
+        let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), s % 2 == 1);
+        k.pump();
+        if s % 64 == 0 {
+            k.check_invariants().expect("invariants hold mid-chaos");
+        }
+        for (key, min) in [(key_fifo, min_fifo), (key_mru, min_mru)] {
+            let c = k.container(key).expect("row");
+            assert!(
+                !c.health.quarantined() || c.min_frames == min,
+                "quarantine must preserve minFrame"
+            );
+        }
+    }
+
+    // Probation: clean checker intervals with a closed breaker restore the
+    // quarantined policies; the scanner trickle keeps flushes (and thus
+    // breaker probes) flowing.
+    let mut guard = 0;
+    while k
+        .containers
+        .iter()
+        .any(|c| !c.terminated && c.health.quarantined())
+    {
+        for i in 0..4u64 {
+            let r = (guard as u64 * 11 + i * 5) % 96;
+            let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), true);
+        }
+        let next = k.checker.next_wakeup;
+        k.vm.clock.advance_to(next);
+        k.poll_checker();
+        k.pump();
+        k.check_invariants()
+            .expect("invariants hold during probation");
+        guard += 1;
+        assert!(guard <= 200, "probation wedged: container never restored");
+    }
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+    k.check_invariants().expect("invariants hold after drain");
+
+    for (key, min) in [(key_fifo, min_fifo), (key_mru, min_mru)] {
+        let c = k.container(key).expect("row");
+        if !c.terminated {
+            assert!(!c.health.quarantined(), "still quarantined after recovery");
+            assert!(
+                c.allocated >= min,
+                "restored container below its minFrame reservation"
+            );
+        }
+    }
+
+    let stats = k.kernel_stats();
+    k.take_sink();
+    let bytes = sink.borrow().get_ref().clone();
+    (bytes, stats)
+}
+
+#[test]
+fn chaos_cycle_completes_and_replays_bit_for_bit() {
+    let (bytes_a, stats) = chaos_cycle(0xC4A05, 600);
+    let (bytes_b, _) = chaos_cycle(0xC4A05, 600);
+    assert_eq!(
+        bytes_a, bytes_b,
+        "the chaos cycle must replay bit-for-bit from its seed"
+    );
+
+    // The full degradation cycle must actually have been exercised.
+    assert!(stats.get("breaker_trips") >= 1, "breaker never tripped");
+    assert!(stats.get("breaker_closes") >= 1, "breaker never closed");
+    assert!(
+        stats.get("hipec_quarantines") >= 1,
+        "no container was quarantined"
+    );
+    assert!(
+        stats.get("hipec_restores") >= 1,
+        "no container was restored from quarantine"
+    );
+    assert_eq!(stats.dropped_records, 0, "sink must see every record");
+
+    // The offline analyzer reconstructs the same story and finds nothing
+    // anomalous: device collateral inside the breaker window is expected
+    // degradation, every quarantine has a matching restore, and no frame
+    // ends double-resident.
+    let text = String::from_utf8(bytes_a).expect("JSONL traces are UTF-8");
+    let analysis = hipec_bench::analyze::analyze_str(&text).expect("parseable trace");
+    assert!(
+        analysis.is_clean(),
+        "analyzer found anomalies in a clean chaos cycle: {:?}",
+        analysis.anomalies
+    );
+    assert!(analysis.breaker_trips >= 1 && analysis.breaker_closes >= 1);
+    assert!(analysis.quarantines >= 1 && analysis.restores >= 1);
+    assert!(
+        analysis.expected_degradations > 0,
+        "the torn window must produce gated device collateral"
+    );
+}
+
+// --- Regression: surfaced faults across a mid-flush kill ----------------------
+
+/// A policy that grows on every fault (one `Request` per page fault, so
+/// its allocation always carries a surplus past `minFrame`) and flushes
+/// the previous fault's page when dirty — a steady stream of write-backs
+/// for the device to tear. Its ReclaimFrame event touches a never-filled
+/// page slot, so the first normal reclamation faults (a non-device policy
+/// fault) and terminates the container mid-flush.
+fn greedy_flusher_with_kamikaze_reclaim() -> PolicyProgram {
+    use hipec_core::command::{JumpMode, QueueEnd};
+    let mut p = PolicyProgram::new();
+    let free = p.declare(OperandDecl::FreeQueue);
+    let hold = p.declare(OperandDecl::Queue { recency: false });
+    let page = p.declare(OperandDecl::Page);
+    let old = p.declare(OperandDecl::Page);
+    let one = p.declare(OperandDecl::Int(1));
+    let never = p.declare(OperandDecl::Page);
+    p.add_event(
+        "PageFault",
+        vec![
+            build::request(one, NO_OPERAND),            // 0: grow by one
+            build::emptyq(hold),                        // 1
+            build::jump(JumpMode::IfTrue, 8),           // 2: nothing held yet
+            build::dequeue(old, hold, QueueEnd::Head),  // 3
+            build::is_mod(old),                         // 4
+            build::jump(JumpMode::IfFalse, 7),          // 5: clean: skip flush
+            build::flush(old),                          // 6: exchange dirty page
+            build::release(old),                        // 7: give the frame back
+            build::dequeue(page, free, QueueEnd::Head), // 8
+            build::enqueue(page, hold, QueueEnd::Tail), // 9
+            build::ret(page),                           // 10
+        ],
+    );
+    p.add_event(
+        "ReclaimFrame",
+        vec![build::is_ref(never), build::ret(NO_OPERAND)],
+    );
+    p
+}
+
+#[test]
+fn surfaced_faults_survive_a_mid_flush_kill_without_misattribution() {
+    let mut k = HipecKernel::new(chaos_params());
+    // Every submitted write-back tears and is eventually abandoned, so
+    // data-loss faults keep surfacing to the owner. Neutralize the
+    // degradation machinery (the breaker's score can never reach its trip
+    // threshold, the health machine never quarantines on strikes): this
+    // test is about fault attribution across a *kill*.
+    k.vm.breaker = CircuitBreaker::new(BreakerParams {
+        trip_milli: 1001,
+        ..BreakerParams::default()
+    });
+    k.health_policy.quarantine_after = u64::MAX;
+    k.vm.set_fault_plan(FaultConfig {
+        seed: 0x50FA,
+        read_error_permille: 0,
+        write_error_permille: 0,
+        delay_permille: 0,
+        max_delay: SimDuration::from_us(500),
+        torn_permille: 1000,
+    });
+
+    let task = k.vm.create_task();
+    let (base, _o, key_a) = k
+        .vm_allocate_hipec(
+            task,
+            16 * PAGE_SIZE,
+            greedy_flusher_with_kamikaze_reclaim(),
+            4,
+        )
+        .expect("install A");
+
+    // Dirty pages until at least one abandoned write-back has surfaced to
+    // A as a device fault (strikes may degrade A's health; that is fine —
+    // the reclaim-path kill below is unconditional).
+    let mut s = 0u64;
+    while k
+        .kernel_stats()
+        .container(key_a.0)
+        .expect("row A")
+        .device_faults
+        == 0
+    {
+        let p = (s * 5 + 1) % 16;
+        let _ = k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), true);
+        k.pump();
+        if s % 8 == 7 {
+            if let Some(done) = k.vm.next_flush_completion() {
+                k.vm.clock.advance_to(done);
+                k.pump();
+            }
+        }
+        s += 1;
+        assert!(s < 20_000, "no write-back was ever abandoned");
+    }
+
+    // Kill A mid-flush: the kamikaze ReclaimFrame faults on the first
+    // normal reclamation while write-backs are still in flight/retrying.
+    assert!(
+        k.container(key_a).expect("row").allocated > 4,
+        "A must hold a surplus for normal reclamation to visit it"
+    );
+    let _ = k.reclaim_frames(2);
+    let row_a = k.kernel_stats();
+    let row_a = row_a.container(key_a.0).expect("row A");
+    assert!(row_a.terminated, "the reclaim fault must kill A");
+    let pre_kill_faults = row_a.device_faults;
+    assert!(pre_kill_faults > 0, "A must have surfaced faults pre-kill");
+
+    // A fresh container takes over; drain every outstanding write-back.
+    let (base_b, _o, key_b) = k
+        .vm_allocate_hipec(
+            task,
+            16 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            4,
+        )
+        .expect("install B");
+    let _ = k.access_sync(task, VAddr(base_b.0), false);
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+
+    // A's pre-kill faults are still drainable, exactly once.
+    let surfaced = k.take_surfaced_faults(key_a);
+    assert!(
+        !surfaced.is_empty(),
+        "faults surfaced before the kill must remain drainable"
+    );
+    assert!(surfaced.iter().all(|f| matches!(f, PolicyFault::Device(_))));
+    assert!(
+        k.take_surfaced_faults(key_a).is_empty(),
+        "draining is a take: the second call must be empty"
+    );
+
+    // Write-backs abandoned *after* the kill belong to nobody: they must
+    // not leak onto the dead row's counters beyond the pre-kill value, and
+    // they must never bleed into the fresh container.
+    let stats = k.kernel_stats();
+    assert_eq!(
+        stats.container(key_a.0).expect("row A").device_faults,
+        pre_kill_faults,
+        "post-kill abandonments must not be attributed to the dead container"
+    );
+    let row_b = stats.container(key_b.0).expect("row B");
+    assert_eq!(
+        row_b.device_faults, 0,
+        "another container's data loss must never reach B"
+    );
+    assert!(k.take_surfaced_faults(key_b).is_empty());
+    k.check_invariants()
+        .expect("books stay clean across the kill");
+}
+
+/// The quarantine counterpart: a container quarantined with write-backs
+/// still retrying is unlinked from its object, but data lost to those
+/// write-backs is still *its* loss — abandonments after the quarantine
+/// must keep surfacing to it (it is alive and will be restored), never
+/// vanish or hit another container.
+#[test]
+fn abandoned_flushes_surface_to_a_quarantined_owner() {
+    let (bytes, _) = chaos_cycle(0xFEED5, 600);
+    let text = String::from_utf8(bytes).expect("JSONL traces are UTF-8");
+    // Every device fault surfaced inside the cycle names a container that
+    // was installed — attribution never falls off the books even while
+    // the owner is quarantined.
+    let mut installed = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+        let obj = v.as_object().expect("every record is an object");
+        let field = |name: &str| obj.get(name).and_then(|x| x.as_u64());
+        let ty = obj.get("type").and_then(|x| x.as_str()).unwrap_or_default();
+        if ty == "install" {
+            installed.insert(field("container").expect("container"));
+        }
+        if ty == "device_fault_surfaced" {
+            let c = field("container").expect("container");
+            assert!(
+                installed.contains(&c),
+                "device fault surfaced to unknown container {c}"
+            );
+        }
+    }
+}

@@ -527,3 +527,54 @@ proptest! {
         }
     }
 }
+
+// --- SecurityChecker adaptation: the WakeUp equation's clamp ------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// From *any* starting interval — including ones far outside the
+    /// paper's band, as after a privileged reconfiguration — `adapt`
+    /// halves on a detected timeout and doubles otherwise, and the result
+    /// is always clamped into `[min_interval, max_interval]` from both
+    /// sides.
+    #[test]
+    fn checker_adaptation_is_always_clamped(
+        start_ns in 1u64..20_000_000_000,
+        outcomes in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        use hipec_core::SecurityChecker;
+        use hipec_sim::SimDuration;
+
+        let mut checker = SecurityChecker::new();
+        checker.interval = SimDuration::from_ns(start_ns);
+        let min = checker.min_interval;
+        let max = checker.max_interval;
+        for &timed_out in &outcomes {
+            let before = checker.interval;
+            checker.adapt(timed_out);
+            let after = checker.interval;
+            prop_assert!(after >= min, "interval fell below the 250 ms floor");
+            prop_assert!(after <= max, "interval rose above the 8 s ceiling");
+            // Inside the band the adaptation is exactly the WakeUp
+            // equation: halve on timeout, double otherwise, each clamped
+            // only in the direction it moves.
+            if before >= min && before <= max {
+                let expect = if timed_out {
+                    before.halved_with_floor(min)
+                } else {
+                    before.doubled_with_ceil(max)
+                };
+                prop_assert_eq!(after, expect);
+            }
+        }
+
+        // A non-adaptive checker (the ablation) never moves at all.
+        let mut frozen = SecurityChecker::new();
+        frozen.interval = SimDuration::from_ns(start_ns);
+        frozen.adaptive = false;
+        frozen.adapt(true);
+        frozen.adapt(false);
+        prop_assert_eq!(frozen.interval, SimDuration::from_ns(start_ns));
+    }
+}
