@@ -10,14 +10,26 @@
 //! terminated container, retry storms, abandoned write-backs, checker
 //! timeouts and sequence gaps (records lost to ring overwrites).
 //!
-//! The analyzer is degradation-aware: between a `vm.breaker_trip` and its
-//! `vm.breaker_close` the paging device is known-sick, so device collateral
-//! (abandoned write-backs, retry storms, checker timeouts) is counted as
-//! *expected degradation* instead of flagged. A breaker left open, or a
-//! container left quarantined without a `fallback_restored`, at the end of
-//! a trace is still an anomaly — the graceful-degradation contract demands
-//! recovery. The `trace_analyze` binary wraps this module; tests feed it
-//! synthetic traces.
+//! The analyzer is degradation-aware and device-aware: between a
+//! `vm.breaker_trip` and its `vm.breaker_close` *that* paging device is
+//! known-sick, so device collateral carrying its id (abandoned write-backs,
+//! retry storms) is counted as *expected degradation* instead of flagged —
+//! collateral on a different, healthy device is still an anomaly. A breaker
+//! left open on any device, or a container left quarantined without a
+//! `fallback_restored`, at the end of a trace is still an anomaly — the
+//! graceful-degradation contract demands recovery. Records without a
+//! `device` field (traces from before the device dimension) fold onto
+//! device 0, which reproduces the old single-breaker semantics.
+//!
+//! The frame-residency audit is exact: frames leave the map only on the
+//! per-frame events that retire them (`release`, `forced_seize`,
+//! `orphan_recovered`, `flush_exchange`) or on whole-container transitions
+//! (`terminated`, `quarantined`). Count-only `normal_reclaim` /
+//! `forced_reclaim` records no longer clear a container's entire entry set;
+//! for traces predating the per-frame `forced_seize` event, the old
+//! conservative clearing is available behind
+//! [`AnalyzeOptions::legacy_residency`]. The `trace_analyze` binary wraps
+//! this module; tests feed it synthetic traces.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -225,7 +237,19 @@ fn field_u64(obj: &serde_json::Map, key: &str) -> Option<u64> {
     obj.get(key).and_then(Value::as_u64)
 }
 
-/// Analyzes a JSONL trace given as an iterator of lines.
+/// Knobs for [`analyze_lines_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyzeOptions {
+    /// Restore the pre-`forced_seize` residency handling: count-only
+    /// `normal_reclaim` / `forced_reclaim` records conservatively clear the
+    /// container's whole residency entry set. Needed only for traces
+    /// recorded before per-frame seizure events existed; on current traces
+    /// it weakens the audit.
+    pub legacy_residency: bool,
+}
+
+/// Analyzes a JSONL trace given as an iterator of lines, with default
+/// options (exact residency audit).
 ///
 /// Returns `Err` only on malformed input (unparseable line, missing
 /// `seq`/`at_ns`/`type`); kernel-level problems are reported through
@@ -234,22 +258,31 @@ pub fn analyze_lines<'a, I>(lines: I) -> Result<Analysis, String>
 where
     I: IntoIterator<Item = &'a str>,
 {
+    analyze_lines_with(lines, AnalyzeOptions::default())
+}
+
+/// Analyzes a JSONL trace with explicit [`AnalyzeOptions`].
+pub fn analyze_lines_with<'a, I>(lines: I, options: AnalyzeOptions) -> Result<Analysis, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
     let mut a = Analysis::default();
     // frame -> (flush_start at_ns, start seq), for lifecycle matching.
     let mut inflight: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
-    // frame -> owning container, for residency lifecycle matching. Entries
-    // are cleared conservatively on every event that can detach frames
-    // without naming them (reclaims, termination, quarantine), so a
-    // surviving entry is a hard claim of residency.
+    // frame -> owning container, for residency lifecycle matching. Frames
+    // leave via the per-frame events that retire them (release,
+    // forced_seize, orphan_recovered, flush_exchange) or on whole-container
+    // transitions, so a surviving entry is a hard claim of residency.
     let mut resident: BTreeMap<u64, u64> = BTreeMap::new();
     // Containers currently under default management (terminated or
     // quarantined): HiPEC commands from them are anomalies.
     let mut in_fallback: BTreeSet<u64> = BTreeSet::new();
     // Containers currently quarantined (awaiting restore).
     let mut quarantined_now: BTreeSet<u64> = BTreeSet::new();
-    // True between a vm.breaker_trip and its vm.breaker_close: the device
-    // is known-sick, so device collateral is expected, not anomalous.
-    let mut breaker_open = false;
+    // Devices between a vm.breaker_trip and the matching vm.breaker_close:
+    // those devices are known-sick, so their collateral is expected, not
+    // anomalous. Pre-device traces fold onto device 0.
+    let mut open_devices: BTreeSet<u64> = BTreeSet::new();
     let mut prev_seq: Option<u64> = None;
 
     for (lineno, line) in lines.into_iter().enumerate() {
@@ -371,12 +404,18 @@ where
                     resident.remove(&frame);
                 }
             }
-            "normal_reclaim" | "forced_reclaim" => {
-                // Reclamation reports counts, not frame ids; conservatively
-                // forget everything the container held so later reuse of
-                // those frames is not misread as double residency.
+            // Count-only summaries. The frames themselves are retired by
+            // the per-frame release / forced_seize records, so the map
+            // stays exact — unless the trace predates those events and
+            // the caller asked for the conservative fallback.
+            "normal_reclaim" | "forced_reclaim" if options.legacy_residency => {
                 let container = field_u64(obj, "container").unwrap_or(u64::MAX);
                 resident.retain(|_, owner| *owner != container);
+            }
+            "forced_seize" => {
+                if let Some(frame) = field_u64(obj, "frame") {
+                    resident.remove(&frame);
+                }
             }
             "terminated" => {
                 let container = field_u64(obj, "container").unwrap_or(u64::MAX);
@@ -407,11 +446,11 @@ where
             }
             "vm.breaker_trip" => {
                 a.breaker_trips += 1;
-                breaker_open = true;
+                open_devices.insert(field_u64(obj, "device").unwrap_or(0));
             }
             "vm.breaker_close" => {
                 a.breaker_closes += 1;
-                breaker_open = false;
+                open_devices.remove(&field_u64(obj, "device").unwrap_or(0));
             }
             "vm.breaker_probe" => {
                 a.breaker_probes += 1;
@@ -446,7 +485,10 @@ where
                 inflight.remove(&frame);
                 a.abandoned_flushes += 1;
                 let attempts = field_u64(obj, "attempts").unwrap_or(0);
-                if breaker_open {
+                // Collateral is excused only on the device whose breaker is
+                // actually open — a healthy device abandoning write-backs
+                // is anomalous no matter what its neighbors are doing.
+                if open_devices.contains(&field_u64(obj, "device").unwrap_or(0)) {
                     a.expected_degradations += 1;
                 } else {
                     a.anomalies.push(format!(
@@ -459,7 +501,7 @@ where
                 let attempt = field_u64(obj, "attempt").unwrap_or(0);
                 a.max_retry_attempt = a.max_retry_attempt.max(attempt);
                 if attempt >= RETRY_STORM_THRESHOLD {
-                    if breaker_open {
+                    if open_devices.contains(&field_u64(obj, "device").unwrap_or(0)) {
                         a.expected_degradations += 1;
                     } else {
                         let frame = field_u64(obj, "frame").unwrap_or(u64::MAX);
@@ -478,7 +520,7 @@ where
                 // checker answered by quarantining the container, is the
                 // environment's fault; a timeout that killed a healthy
                 // container is the policy's own.
-                if breaker_open || quarantined_now.contains(&container) {
+                if !open_devices.is_empty() || quarantined_now.contains(&container) {
                     a.expected_degradations += 1;
                 } else {
                     a.anomalies
@@ -499,9 +541,10 @@ where
     // The graceful-degradation contract requires recovery: a breaker still
     // open, or a container still quarantined, when the trace closes means
     // the run ended degraded.
-    if breaker_open {
-        a.anomalies
-            .push("circuit breaker still open at end of trace".to_string());
+    for device in &open_devices {
+        a.anomalies.push(format!(
+            "device {device}: circuit breaker still open at end of trace"
+        ));
     }
     for container in &quarantined_now {
         a.anomalies.push(format!(
@@ -682,24 +725,82 @@ mod tests {
     }
 
     #[test]
-    fn residency_lifecycle_follows_release_reclaim_and_migrate() {
-        // fault -> release frees frame 5 for container 2; a reclaim
-        // forgets container 2's holdings, so frame 7's reuse by container
-        // 1 is legitimate; the migrated frame 9 ends under container 2.
+    fn residency_lifecycle_follows_release_seize_and_migrate() {
+        // fault -> release frees frame 5 for container 2; forced
+        // reclamation names frame 7 in a per-frame forced_seize, so its
+        // reuse by container 1 is legitimate; the migrated frame 9 ends
+        // under container 2.
         let trace = "\
 {\"seq\":0,\"at_ns\":0,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":5,\"latency_ns\":100}
 {\"seq\":1,\"at_ns\":10,\"type\":\"release\",\"container\":1,\"frame\":5}
 {\"seq\":2,\"at_ns\":20,\"type\":\"policy_fault_resolved\",\"container\":2,\"frame\":5,\"latency_ns\":100}
 {\"seq\":3,\"at_ns\":30,\"type\":\"policy_fault_resolved\",\"container\":2,\"frame\":7,\"latency_ns\":100}
-{\"seq\":4,\"at_ns\":40,\"type\":\"normal_reclaim\",\"container\":2,\"asked\":2,\"recovered\":2}
-{\"seq\":5,\"at_ns\":50,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":7,\"latency_ns\":100}
-{\"seq\":6,\"at_ns\":60,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":9,\"latency_ns\":100}
-{\"seq\":7,\"at_ns\":70,\"type\":\"migrate\",\"from\":1,\"to\":2,\"frame\":9}
+{\"seq\":4,\"at_ns\":40,\"type\":\"forced_seize\",\"container\":2,\"frame\":7}
+{\"seq\":5,\"at_ns\":40,\"type\":\"forced_reclaim\",\"container\":2,\"taken\":1}
+{\"seq\":6,\"at_ns\":50,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":7,\"latency_ns\":100}
+{\"seq\":7,\"at_ns\":60,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":9,\"latency_ns\":100}
+{\"seq\":8,\"at_ns\":70,\"type\":\"migrate\",\"from\":1,\"to\":2,\"frame\":9}
 ";
         let a = analyze_str(trace).unwrap();
         assert!(a.is_clean(), "anomalies: {:?}", a.anomalies);
         assert_eq!(a.resident_at_end.get(&1), Some(&1)); // frame 7
-        assert_eq!(a.resident_at_end.get(&2), Some(&1)); // frame 9
+        assert_eq!(a.resident_at_end.get(&2), Some(&2)); // frames 5 and 9
+    }
+
+    #[test]
+    fn exact_audit_flags_reuse_not_covered_by_a_seize() {
+        // The count-only reclaim no longer clears container 2's entries, so
+        // container 1 re-faulting frame 7 without a forced_seize (or
+        // release) naming it first is exactly the double residency the
+        // conservative clearing used to hide.
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"policy_fault_resolved\",\"container\":2,\"frame\":7,\"latency_ns\":100}
+{\"seq\":1,\"at_ns\":10,\"type\":\"normal_reclaim\",\"container\":2,\"asked\":1,\"recovered\":1}
+{\"seq\":2,\"at_ns\":20,\"type\":\"policy_fault_resolved\",\"container\":1,\"frame\":7,\"latency_ns\":100}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.anomalies.len(), 1, "anomalies: {:?}", a.anomalies);
+        assert!(a.anomalies[0].contains("double residency"));
+        // The same trace passes under the legacy fallback for pre-seize
+        // recordings.
+        let legacy = analyze_lines_with(
+            trace.lines(),
+            AnalyzeOptions {
+                legacy_residency: true,
+            },
+        )
+        .unwrap();
+        assert!(legacy.is_clean(), "anomalies: {:?}", legacy.anomalies);
+    }
+
+    #[test]
+    fn breaker_gating_is_per_device() {
+        // Device 1 is tripped; its abandonment is expected degradation.
+        // Device 0's breaker is closed, so identical collateral there is an
+        // anomaly — a sick neighbor excuses nothing.
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"vm.breaker_trip\",\"device\":1,\"ewma_milli\":578}
+{\"seq\":1,\"at_ns\":10,\"type\":\"vm.flush_abandoned\",\"device\":1,\"frame\":3,\"attempts\":8}
+{\"seq\":2,\"at_ns\":20,\"type\":\"vm.flush_abandoned\",\"device\":0,\"frame\":4,\"attempts\":8}
+{\"seq\":3,\"at_ns\":30,\"type\":\"vm.breaker_close\",\"device\":1,\"ewma_milli\":90}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.expected_degradations, 1);
+        assert_eq!(a.anomalies.len(), 1, "anomalies: {:?}", a.anomalies);
+        assert!(a.anomalies[0].contains("frame 4"));
+    }
+
+    #[test]
+    fn unclosed_breakers_are_reported_per_device() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":0,\"type\":\"vm.breaker_trip\",\"device\":2,\"ewma_milli\":600}
+{\"seq\":1,\"at_ns\":10,\"type\":\"vm.breaker_trip\",\"device\":0,\"ewma_milli\":600}
+{\"seq\":2,\"at_ns\":20,\"type\":\"vm.breaker_close\",\"device\":2,\"ewma_milli\":90}
+";
+        let a = analyze_str(trace).unwrap();
+        assert_eq!(a.anomalies.len(), 1, "anomalies: {:?}", a.anomalies);
+        assert!(a.anomalies[0].contains("device 0"));
+        assert!(a.anomalies[0].contains("breaker still open"));
     }
 
     #[test]

@@ -1,16 +1,20 @@
-//! Chaos soak: graceful degradation under a phased hostile device.
+//! Chaos soak: graceful degradation under a phased hostile device —
+//! with a second, healthy device that must ride the storm untouched.
 //!
 //! Drives three mixed workloads (two HiPEC-managed regions with different
-//! policies plus a default-pool scanner) through a phased fault plan —
-//! quiet warm-up, then an all-torn-and-delayed window (ROADMAP's
-//! pathological device), then quiet again — and asserts the
-//! graceful-degradation contract end to end:
+//! policies, each bound to its own backing device, plus a default-pool
+//! scanner on the boot device) through a phased fault plan targeted at
+//! the second device only — quiet warm-up, then an all-torn-and-delayed
+//! window (ROADMAP's pathological device), then quiet again — and asserts
+//! the graceful-degradation contract end to end:
 //!
-//! * the device circuit breaker trips during the window and closes after
-//!   it (half-open probes against the healed device),
-//! * at least one container is quarantined into default management with
-//!   its `minFrame` reservation preserved, and is later restored by
-//!   probation,
+//! * the faulty device's circuit breaker trips during the window and
+//!   closes after it (half-open probes against the healed device), while
+//!   the clean device's breaker never trips,
+//! * the container routed to the faulty device is quarantined into
+//!   default management with its `minFrame` reservation preserved, and is
+//!   later restored by probation (ramped back tranche by tranche); the
+//!   container on the clean device is never quarantined and ends Healthy,
 //! * `check_invariants()` is clean at every audited step and fault
 //!   counters keep advancing (no livelock),
 //! * the streamed JSONL trace is complete (no dropped records) — and,
@@ -27,11 +31,11 @@ use std::path::PathBuf;
 use std::rc::Rc;
 
 use hipec_bench::{finish, json_mode, kernel_stats_json, results_dir};
-use hipec_core::{HipecKernel, JsonlSink};
-use hipec_disk::{FaultPhase, PhasedFaultConfig};
+use hipec_core::{HealthState, HipecKernel, JsonlSink};
+use hipec_disk::{DeviceParams, FaultPhase, PhasedFaultConfig};
 use hipec_policies::PolicyKind;
 use hipec_sim::SimDuration;
-use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+use hipec_vm::{DeviceId, KernelParams, VAddr, PAGE_SIZE};
 
 fn arg_value(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -78,6 +82,12 @@ fn main() {
 
     let mut k = HipecKernel::new(params);
 
+    // The boot device (dev#0) stays clean; the storm is routed to a
+    // second device so isolation is observable: only the container bound
+    // to dev#1 may degrade.
+    let dev_clean = DeviceId(0);
+    let dev_bad = k.add_device(DeviceParams::default());
+
     // Complete-from-seq-0 capture: attach before the first emission.
     let file = match File::create(&out) {
         Ok(f) => f,
@@ -91,20 +101,25 @@ fn main() {
 
     // Quiet warm-up, then the all-torn-and-delayed window, then quiet
     // forever (everything after the last phase injects nothing). Phases
-    // are measured in device operations, so the plan stays a pure
-    // function of (seed, op index).
-    k.vm.set_phased_fault_plan(PhasedFaultConfig {
-        seed,
-        phases: vec![
-            FaultPhase::quiet(150),
-            // Short enough that the degraded-mode trickle (breaker probes
-            // plus default-path page-ins) drains it; deferred flushes
-            // consume no plan ops, so a long window would never end.
-            FaultPhase::torn_delayed(120, SimDuration::from_ms(2)),
-        ],
-    });
+    // are measured in the faulty device's own operations, so the plan
+    // stays a pure function of (seed, per-device op index).
+    k.vm.set_phased_fault_plan_on(
+        dev_bad,
+        PhasedFaultConfig {
+            seed,
+            phases: vec![
+                FaultPhase::quiet(150),
+                // Short enough that the degraded-mode trickle (breaker
+                // probes plus default-path page-ins) drains it; deferred
+                // flushes consume no plan ops, so a long window would
+                // never end.
+                FaultPhase::torn_delayed(120, SimDuration::from_ms(2)),
+            ],
+        },
+    );
 
-    // Two HiPEC-managed regions under different policies...
+    // Two HiPEC-managed regions under different policies, one per
+    // device...
     let t_fifo = k.vm.create_task();
     let (b_fifo, _, key_fifo) = k
         .vm_allocate_hipec(
@@ -116,7 +131,7 @@ fn main() {
         .expect("install fifo2 policy");
     let t_mru = k.vm.create_task();
     let (b_mru, _, key_mru) = k
-        .vm_allocate_hipec(t_mru, 24 * PAGE_SIZE, PolicyKind::Mru.program(), 6)
+        .vm_allocate_hipec_on(dev_bad, t_mru, 24 * PAGE_SIZE, PolicyKind::Mru.program(), 6)
         .expect("install mru policy");
     // ...and a default-pool scanner large enough to oversubscribe memory,
     // so faulting never settles and the pageout daemon keeps writing.
@@ -129,8 +144,8 @@ fn main() {
     let min_mru = k.container(key_mru).expect("mru row").min_frames;
 
     // Write-heavy mixed workload: dirty pages force flushes into the
-    // fault window, which is what trips the breaker and strikes the
-    // policies' health.
+    // fault window, which is what trips dev#1's breaker and strikes the
+    // MRU policy's health.
     let mut last_faults = 0u64;
     let mut stalled = 0u32;
     for s in 0..steps {
@@ -144,7 +159,7 @@ fn main() {
         if s % 64 == 0 {
             audit(&k);
             // No-livelock: the substrate must keep resolving faults even
-            // while the device is hostile (oversubscribed regions cannot
+            // while one device is hostile (oversubscribed regions cannot
             // stop faulting unless something wedged).
             let faults = k.vm.stats.get("faults");
             if faults == last_faults {
@@ -168,19 +183,24 @@ fn main() {
     }
 
     // Recovery: probation needs clean checker intervals and a closed
-    // breaker, and the adaptive interval may have grown toward 8 s — so
-    // walk the clock wakeup by wakeup instead of access by access. The
-    // scanner trickle keeps dirty default pages flowing so the daemon's
-    // flushes give the breaker probes to close on.
+    // breaker on the container's own device, and the adaptive interval
+    // may have grown toward 8 s — so walk the clock wakeup by wakeup
+    // instead of access by access. The scanner trickle keeps dirty
+    // default pages flowing on dev#0, and the MRU trickle keeps dev#1
+    // operating so its half-open breaker gets probes to close on. The
+    // loop also waits out the restore ramp: probation re-admits the
+    // `minFrame` reservation tranche by tranche, not in one burst.
     let mut guard = 0;
     while k
         .containers
         .iter()
-        .any(|c| !c.terminated && c.health.quarantined())
+        .any(|c| !c.terminated && (c.health.quarantined() || c.restore_pending > 0))
     {
         for i in 0..4u64 {
             let r = (guard as u64 * 11 + i * 5) % 96;
             let _ = k.access_sync(t_scan, VAddr(b_scan.0 + r * PAGE_SIZE), true);
+            let q = (guard as u64 * 13 + i * 7) % 24;
+            let _ = k.access_sync(t_mru, VAddr(b_mru.0 + q * PAGE_SIZE), true);
         }
         let next = k.checker.next_wakeup;
         k.vm.clock.advance_to(next);
@@ -212,6 +232,18 @@ fn main() {
     let quarantines: u64 = stats.containers.iter().map(|c| c.quarantines).sum();
     let restores: u64 = stats.containers.iter().map(|c| c.restores).sum();
 
+    let device_rows: Vec<serde_json::Value> = stats
+        .devices
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "id": d.id,
+                "breaker_trips": d.breaker_trips,
+                "breaker_closes": d.breaker_closes,
+                "queue_depth": d.queue_depth,
+            })
+        })
+        .collect();
     let data = serde_json::json!({
         "out": out.display().to_string(),
         "steps": steps,
@@ -222,6 +254,7 @@ fn main() {
         "breaker_closes": closes,
         "quarantines": quarantines,
         "restores": restores,
+        "devices": device_rows,
         "kernel": kernel_stats_json(&stats),
     });
     if json {
@@ -246,11 +279,16 @@ fn main() {
     if io_errors != 0 {
         fail(&format!("{io_errors} sink I/O error(s)"));
     }
-    // The full degradation cycle must have been observed: trip -> open ->
-    // probe -> close, and quarantine -> probation -> restore.
-    if trips == 0 || closes == 0 {
+    // The full degradation cycle must have been observed on the faulty
+    // device: trip -> open -> probe -> close, and quarantine ->
+    // probation -> ramped restore.
+    let bad = stats
+        .device(dev_bad.0)
+        .unwrap_or_else(|| fail("no stats row for the faulty device"));
+    if bad.breaker_trips == 0 || bad.breaker_closes == 0 {
         fail(&format!(
-            "breaker cycle not observed ({trips} trips, {closes} closes)"
+            "faulty-device breaker cycle not observed ({} trips, {} closes)",
+            bad.breaker_trips, bad.breaker_closes
         ));
     }
     if quarantines == 0 || restores == 0 {
@@ -258,8 +296,33 @@ fn main() {
             "fallback cycle not observed ({quarantines} quarantines, {restores} restores)"
         ));
     }
+    // Device isolation: the clean device's breaker never moved, and the
+    // container routed to it rode out the storm without degrading.
+    let clean = stats
+        .device(dev_clean.0)
+        .unwrap_or_else(|| fail("no stats row for the clean device"));
+    if clean.breaker_trips != 0 || clean.breaker_open {
+        fail(&format!(
+            "clean device degraded ({} trips, open={})",
+            clean.breaker_trips, clean.breaker_open
+        ));
+    }
+    let fifo_row = stats
+        .containers
+        .iter()
+        .find(|c| c.key == key_fifo.0)
+        .unwrap_or_else(|| fail("no stats row for the clean container"));
+    if fifo_row.quarantines != 0 {
+        fail("the clean device's container was quarantined by a neighbour's storm");
+    }
+    {
+        let c = k.container(key_fifo).expect("fifo row");
+        if c.health.state != HealthState::Healthy {
+            fail("the clean device's container did not end Healthy");
+        }
+    }
     // Restored containers are back on HiPEC management with their
-    // reservation honoured.
+    // reservation honoured — the ramp must have fully drained.
     for (key, min) in [(key_fifo, min_fifo), (key_mru, min_mru)] {
         let c = k.container(key).expect("row");
         if !c.terminated && c.health.quarantined() {
@@ -267,6 +330,9 @@ fn main() {
         }
         if !c.terminated && c.allocated < min {
             fail("a restored container holds less than its minFrame");
+        }
+        if !c.terminated && c.restore_pending != 0 {
+            fail("a restored container still owes ramp tranches");
         }
     }
 }

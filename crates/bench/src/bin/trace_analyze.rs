@@ -7,17 +7,22 @@
 //! lost to ring overwrites). Exits non-zero when anomalies are found, so
 //! it can gate CI.
 //!
-//! Usage: `trace_analyze [FILE] [--json]` — reads stdin when no file (or
-//! `-`) is given.
+//! Usage: `trace_analyze [FILE] [--json] [--legacy-residency]` — reads
+//! stdin when no file (or `-`) is given. `--legacy-residency` restores
+//! the conservative clear-on-reclaim residency accounting for traces
+//! recorded before per-frame `forced_seize` events existed.
 
 use std::io::Read;
 
-use hipec_bench::analyze::analyze_str;
+use hipec_bench::analyze::{analyze_lines_with, AnalyzeOptions};
 use hipec_bench::{finish, json_mode};
 
 fn main() {
     let json = json_mode();
-    let path = std::env::args().skip(1).find(|a| a != "--json" && a != "-");
+    let legacy = std::env::args().any(|a| a == "--legacy-residency");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| a != "--json" && a != "-" && a != "--legacy-residency");
     let text = match &path {
         Some(p) => match std::fs::read_to_string(p) {
             Ok(t) => t,
@@ -36,7 +41,10 @@ fn main() {
         }
     };
 
-    let analysis = match analyze_str(&text) {
+    let options = AnalyzeOptions {
+        legacy_residency: legacy,
+    };
+    let analysis = match analyze_lines_with(text.lines(), options) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("trace_analyze: malformed trace: {e}");

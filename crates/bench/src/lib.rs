@@ -33,7 +33,12 @@ pub use hipec_sim::stats::{Series, TextTable};
 ///
 /// The document shape is `{"bench": <name>, "schema": N, "data": {...}}`;
 /// bump this when a field inside `data` changes meaning, never reuse.
-pub const JSON_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: kernel snapshots gained a `devices` array (one row per backing
+/// device with `breaker_trips` / `breaker_closes` / `queue_depth` and the
+/// rest of [`hipec_core::DeviceRow`]); the flat `breaker_*` / `dev_*` /
+/// `retryq_*` globals became sums over those rows.
+pub const JSON_SCHEMA_VERSION: u64 = 2;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///
@@ -86,6 +91,29 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
             })
         })
         .collect();
+    let devices: Vec<Value> = stats
+        .devices
+        .iter()
+        .map(|d| {
+            serde_json::json!({
+                "id": d.id,
+                "reads": d.reads,
+                "writes": d.writes,
+                "read_errors": d.read_errors,
+                "write_errors": d.write_errors,
+                "torn_writes": d.torn_writes,
+                "breaker_trips": d.breaker_trips,
+                "breaker_closes": d.breaker_closes,
+                "breaker_probes": d.breaker_probes,
+                "breaker_deferred": d.breaker_deferred,
+                "breaker_open": d.breaker_open,
+                "inflight": d.inflight,
+                "queue_depth": d.queue_depth,
+                "retryq_pushes": d.retryq_pushes,
+                "retryq_pops": d.retryq_pops,
+            })
+        })
+        .collect();
     serde_json::json!({
         "at_ns": stats.at.as_ns(),
         "free_frames": stats.free_frames,
@@ -94,6 +122,7 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
         "retry_depth": stats.retry_depth,
         "dropped_records": stats.dropped_records,
         "global": Value::Object(global),
+        "devices": Value::Array(devices),
         "containers": Value::Array(containers),
     })
 }

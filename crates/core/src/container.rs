@@ -143,6 +143,10 @@ pub struct Container {
     pub pending_faults: Vec<crate::error::PolicyFault>,
     /// Health state machine driving quarantine and fallback.
     pub health: crate::health::ContainerHealth,
+    /// `minFrame` frames still owed from a ramped restore: admitted in
+    /// tranches on clean checker intervals instead of one post-restore
+    /// burst (see `HealthPolicy::restore_tranche`).
+    pub restore_pending: u64,
 }
 
 impl Container {
@@ -194,6 +198,7 @@ impl Container {
             op_profile: OpProfile::default(),
             pending_faults: Vec::new(),
             health: crate::health::ContainerHealth::default(),
+            restore_pending: 0,
         }
     }
 

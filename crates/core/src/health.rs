@@ -21,9 +21,13 @@
 //! so the pageout daemon's kernel-managed queues take over), but the
 //! container keeps its program, queues and `minFrame` reservation.
 //! **Probation** runs on the security checker's wakeup tick: after enough
-//! strike-free intervals — and only once the device circuit breaker has
-//! closed — [`HipecKernel::try_restore`] sweeps the region's default-managed
-//! pages back out, re-admits `minFrame` frames and re-mounts the policy.
+//! strike-free intervals — and only once the circuit breaker of the device
+//! the region pages against has closed — [`HipecKernel::try_restore`] sweeps
+//! the region's default-managed pages back out, re-admits a first tranche of
+//! the `minFrame` reservation and re-mounts the policy. The remaining
+//! reservation ramps in one tranche per clean interval
+//! ([`HealthPolicy::restore_tranche`]), so a just-recovered device is not
+//! hit with the whole re-fault burst at once.
 
 use hipec_vm::FrameId;
 
@@ -76,6 +80,14 @@ pub struct HealthPolicy {
     pub quarantine_after: u64,
     /// Clean checker intervals required before a restore attempt.
     pub probation_intervals: u32,
+    /// Frames a restore re-admits per tranche. The first tranche lands with
+    /// the restore itself; each subsequent clean checker interval admits
+    /// another until the `minFrame` reservation is whole. Re-admitting the
+    /// whole reservation at once floods a freshly recovered device with the
+    /// backlog of faults the quarantined region accumulated; ramping spreads
+    /// that burst across probation-paced intervals. `0` disables ramping
+    /// (single-sweep re-admission).
+    pub restore_tranche: u64,
 }
 
 impl Default for HealthPolicy {
@@ -84,6 +96,7 @@ impl Default for HealthPolicy {
             degrade_after: 3,
             quarantine_after: 8,
             probation_intervals: 2,
+            restore_tranche: 2,
         }
     }
 }
@@ -140,6 +153,9 @@ impl HipecKernel {
         self.containers[cidx].health.quarantines += 1;
         self.containers[cidx].exec_started = None;
         self.containers[cidx].runaway = false;
+        // A ramp interrupted by re-quarantine is void: the next restore
+        // starts a fresh one.
+        self.containers[cidx].restore_pending = 0;
         let reclaimed = self.reclaim_all_frames(cidx);
         let object = self.containers[cidx].object;
         if let Ok(obj) = self.vm.object_mut(object) {
@@ -168,7 +184,13 @@ impl HipecKernel {
             let clean = self.containers[i].health.interval_strikes == 0;
             self.containers[i].health.interval_strikes = 0;
             match self.containers[i].health.state {
-                HealthState::Healthy => {}
+                HealthState::Healthy => {
+                    // Ramped restore: each clean interval re-admits another
+                    // tranche of the still-owed `minFrame` reservation.
+                    if clean && self.containers[i].restore_pending > 0 {
+                        self.ramp_tick(i);
+                    }
+                }
                 HealthState::Degraded => {
                     if clean {
                         let strikes = self.containers[i].health.strikes.saturating_sub(1);
@@ -194,6 +216,37 @@ impl HipecKernel {
         }
     }
 
+    /// Admits one tranche of a ramping restore's outstanding `minFrame` debt
+    /// (run by [`HipecKernel::health_tick`] on clean intervals only).
+    /// Admission failure is not an error — the tranche simply waits for the
+    /// next clean interval.
+    fn ramp_tick(&mut self, cidx: usize) {
+        let tranche = self
+            .health_policy
+            .restore_tranche
+            .max(1)
+            .min(self.containers[cidx].restore_pending);
+        let Ok(frames) = self.admit_frames(tranche) else {
+            return;
+        };
+        let admitted = frames.len() as u64;
+        let free_q = self.containers[cidx].free_q;
+        for f in frames {
+            if self.vm.frames.enqueue_tail(free_q, f).is_err() {
+                return;
+            }
+        }
+        self.containers[cidx].allocated += admitted;
+        self.gfm.total_specific += admitted;
+        self.containers[cidx].restore_pending -= admitted;
+        let outstanding = self.containers[cidx].restore_pending;
+        self.emit(TraceEvent::RestoreRamp {
+            container: self.containers[cidx].key,
+            admitted,
+            outstanding,
+        });
+    }
+
     /// Attempts to re-admit a quarantined container's policy. Returns true
     /// on success; a false return leaves the container quarantined and the
     /// next probation tick retries.
@@ -213,7 +266,14 @@ impl HipecKernel {
         if c.terminated || !c.health.quarantined() {
             return false;
         }
-        if !self.vm.breaker.is_closed() {
+        // Only the breaker of the device this region pages against gates the
+        // restore: a storm on some other backing device is not this
+        // container's problem.
+        let device = match self.vm.device_of(c.object) {
+            Ok(d) => d,
+            Err(_) => return false,
+        };
+        if !self.vm.breaker(device).is_closed() {
             return false;
         }
         // Frames the quarantine sweep could not take (dirty pages the open
@@ -247,9 +307,17 @@ impl HipecKernel {
             }
         }
         // Re-admit the minFrame reservation, reclaiming from other specific
-        // applications if the free pool alone cannot cover it.
+        // applications if the free pool alone cannot cover it. With ramping
+        // enabled only the first tranche lands here; the remainder is owed
+        // via `restore_pending` and admitted a tranche per clean interval by
+        // `health_tick`, so a freshly recovered device sees a paced trickle
+        // of re-faults instead of the full post-restore burst.
         let want = self.containers[cidx].min_frames;
-        let frames = match self.admit_frames(want) {
+        let first = match self.health_policy.restore_tranche {
+            0 => want,
+            t => t.min(want),
+        };
+        let frames = match self.admit_frames(first) {
             Ok(fs) => fs,
             Err(HipecError::MinFramesUnavailable { .. }) => return false,
             Err(_) => return false,
@@ -263,6 +331,7 @@ impl HipecKernel {
         }
         self.containers[cidx].allocated += readmitted;
         self.gfm.total_specific += readmitted;
+        self.containers[cidx].restore_pending = want.saturating_sub(readmitted);
         if let Ok(obj) = self.vm.object_mut(object) {
             obj.container = Some(self.containers[cidx].key);
         }
@@ -283,7 +352,7 @@ impl HipecKernel {
 
 #[cfg(test)]
 mod tests {
-    use hipec_vm::{KernelParams, PAGE_SIZE};
+    use hipec_vm::{DeviceId, KernelParams, PAGE_SIZE};
 
     use super::*;
     use crate::command::{build, NO_OPERAND};
@@ -388,7 +457,17 @@ mod tests {
         k.health_tick();
         assert_eq!(k.containers[i].health.state, HealthState::Healthy);
         assert_eq!(k.containers[i].health.restores, 1);
+        // The restore admits only the first tranche; the rest of the
+        // reservation ramps in on subsequent clean intervals.
+        let tranche = k.health_policy.restore_tranche;
+        assert_eq!(k.containers[i].allocated, tranche);
+        assert_eq!(
+            k.containers[i].restore_pending,
+            k.containers[i].min_frames - tranche
+        );
+        k.health_tick();
         assert_eq!(k.containers[i].allocated, k.containers[i].min_frames);
+        assert_eq!(k.containers[i].restore_pending, 0);
         assert_eq!(
             k.vm.object(k.containers[i].object)
                 .expect("object lives")
@@ -408,12 +487,12 @@ mod tests {
             k.note_strike(i);
         }
         assert!(k.containers[i].health.quarantined());
-        // Trip the breaker: three consecutive failed submissions.
+        // Trip the region's device breaker: three consecutive failures.
         for _ in 0..3 {
             let now = k.vm.now();
-            let _ = k.vm.breaker.record(now, false);
+            let _ = k.vm.breaker_mut(DeviceId(0)).record(now, false);
         }
-        assert!(!k.vm.breaker.is_closed());
+        assert!(!k.vm.breaker(DeviceId(0)).is_closed());
         for _ in 0..5 {
             k.health_tick();
         }

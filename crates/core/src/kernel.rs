@@ -7,11 +7,13 @@
 //! region check the paper measures); specific applications install policies
 //! with [`HipecKernel::vm_allocate_hipec`] / [`HipecKernel::vm_map_hipec`].
 
+use hipec_disk::DeviceParams;
 use hipec_sim::SimDuration;
 #[cfg(feature = "trace")]
 use hipec_vm::VmEvent;
 use hipec_vm::{
-    AccessOutcome, AccessResult, Backing, Kernel, KernelParams, ObjectId, TaskId, VAddr, VmError,
+    AccessOutcome, AccessResult, Backing, DeviceId, Kernel, KernelParams, ObjectId, TaskId, VAddr,
+    VmError,
 };
 
 use crate::checker::{validate_program, SecurityChecker};
@@ -210,7 +212,15 @@ impl HipecKernel {
         out
     }
 
-    /// `vm_allocate_hipec`: an anonymous region under the given policy.
+    /// Registers an additional backing device and returns its id. Regions
+    /// bind to a device at setup time via the `_on` variants; device 0 (the
+    /// boot paging device) always exists and backs everything else.
+    pub fn add_device(&mut self, params: DeviceParams) -> DeviceId {
+        self.vm.add_device(params)
+    }
+
+    /// `vm_allocate_hipec`: an anonymous region under the given policy,
+    /// paging against the boot device.
     pub fn vm_allocate_hipec(
         &mut self,
         task: TaskId,
@@ -218,10 +228,30 @@ impl HipecKernel {
         program: PolicyProgram,
         min_frames: u64,
     ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
-        self.setup_hipec_region(task, bytes, program, min_frames, Backing::Anonymous)
+        self.setup_hipec_region(
+            DeviceId(0),
+            task,
+            bytes,
+            program,
+            min_frames,
+            Backing::Anonymous,
+        )
     }
 
-    /// `vm_map_hipec`: a file-backed region under the given policy.
+    /// `vm_allocate_hipec` with an explicit backing device.
+    pub fn vm_allocate_hipec_on(
+        &mut self,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region(device, task, bytes, program, min_frames, Backing::Anonymous)
+    }
+
+    /// `vm_map_hipec`: a file-backed region under the given policy, paging
+    /// against the boot device.
     pub fn vm_map_hipec(
         &mut self,
         task: TaskId,
@@ -229,11 +259,24 @@ impl HipecKernel {
         program: PolicyProgram,
         min_frames: u64,
     ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
-        self.setup_hipec_region(task, bytes, program, min_frames, Backing::File)
+        self.setup_hipec_region(DeviceId(0), task, bytes, program, min_frames, Backing::File)
+    }
+
+    /// `vm_map_hipec` with an explicit backing device.
+    pub fn vm_map_hipec_on(
+        &mut self,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region(device, task, bytes, program, min_frames, Backing::File)
     }
 
     fn setup_hipec_region(
         &mut self,
+        device: DeviceId,
         task: TaskId,
         bytes: u64,
         program: PolicyProgram,
@@ -250,7 +293,7 @@ impl HipecKernel {
         let frames = self.admit_frames(min_frames)?;
 
         let pages = hipec_vm::bytes_to_pages(bytes);
-        let object = self.vm.create_object(pages, backing)?;
+        let object = self.vm.create_object_on(device, pages, backing)?;
         let addr = self.vm.map_object(task, object, 0, pages)?;
         let key = self.containers.len() as u32;
         let seq = self.next_seq;

@@ -75,7 +75,7 @@ pub use health::{ContainerHealth, HealthPolicy, HealthState};
 pub use invariants::FramePartition;
 pub use kernel::{ContainerKey, HipecKernel};
 pub use manager::GlobalFrameManager;
-pub use metrics::{ContainerCounters, KernelStats};
+pub use metrics::{ContainerCounters, DeviceRow, KernelStats};
 pub use operand::{KernelVar, OperandDecl, OperandSlot};
 pub use program::{PolicyProgram, WireError, EVENT_PAGE_FAULT, EVENT_RECLAIM_FRAME, HIPEC_MAGIC};
 pub use trace::{

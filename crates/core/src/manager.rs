@@ -438,6 +438,10 @@ impl HipecKernel {
                 if ok {
                     self.scrub_slots(i, f);
                     taken += 1;
+                    self.emit(TraceEvent::ForcedSeize {
+                        container: self.containers[i].key,
+                        frame: f,
+                    });
                 } else {
                     break 'outer;
                 }
@@ -476,6 +480,10 @@ impl HipecKernel {
                     // Clears this slot and any alias of the same frame.
                     self.scrub_slots(i, f);
                     taken += 1;
+                    self.emit(TraceEvent::ForcedSeize {
+                        container: self.containers[i].key,
+                        frame: f,
+                    });
                 }
             }
         }
@@ -536,6 +544,10 @@ impl HipecKernel {
                 self.scrub_slots(i, f);
                 self.containers[i].allocated = self.containers[i].allocated.saturating_sub(1);
                 self.gfm.total_specific = self.gfm.total_specific.saturating_sub(1);
+                self.emit(TraceEvent::ForcedSeize {
+                    container: self.containers[i].key,
+                    frame: f,
+                });
             }
         }
     }

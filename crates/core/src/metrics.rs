@@ -72,6 +72,67 @@ impl ContainerCounters {
     }
 }
 
+/// Counter snapshot for one backing device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceRow {
+    /// The device's id (0 = the boot paging device).
+    pub id: u32,
+    /// Read submissions accepted.
+    pub reads: u64,
+    /// Write submissions accepted.
+    pub writes: u64,
+    /// Read submissions rejected.
+    pub read_errors: u64,
+    /// Write submissions rejected.
+    pub write_errors: u64,
+    /// Writes accepted but completed torn.
+    pub torn_writes: u64,
+    /// Times this device's breaker tripped open.
+    pub breaker_trips: u64,
+    /// Times it closed again after a clean probe streak.
+    pub breaker_closes: u64,
+    /// Degraded-mode submissions that served as probes.
+    pub breaker_probes: u64,
+    /// Submissions deferred by backoff or the in-flight cap.
+    pub breaker_deferred: u64,
+    /// True while the breaker is open or half-open (gauge).
+    pub breaker_open: bool,
+    /// Write-backs in flight on this device (gauge).
+    pub inflight: u64,
+    /// Torn write-backs parked for re-issue (gauge).
+    pub queue_depth: u64,
+    /// Lifetime retry-queue pushes.
+    pub retryq_pushes: u64,
+    /// Lifetime retry-queue pops.
+    pub retryq_pops: u64,
+}
+
+impl DeviceRow {
+    /// Counter-wise difference against an earlier snapshot of the same
+    /// device (gauges keep `self`'s value).
+    pub fn diff(&self, earlier: &DeviceRow) -> DeviceRow {
+        DeviceRow {
+            id: self.id,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            read_errors: self.read_errors.saturating_sub(earlier.read_errors),
+            write_errors: self.write_errors.saturating_sub(earlier.write_errors),
+            torn_writes: self.torn_writes.saturating_sub(earlier.torn_writes),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_closes: self.breaker_closes.saturating_sub(earlier.breaker_closes),
+            breaker_probes: self.breaker_probes.saturating_sub(earlier.breaker_probes),
+            breaker_deferred: self
+                .breaker_deferred
+                .saturating_sub(earlier.breaker_deferred),
+            breaker_open: self.breaker_open,
+            inflight: self.inflight,
+            queue_depth: self.queue_depth,
+            retryq_pushes: self.retryq_pushes.saturating_sub(earlier.retryq_pushes),
+            retryq_pops: self.retryq_pops.saturating_sub(earlier.retryq_pops),
+        }
+    }
+}
+
 /// A full kernel counter snapshot at one virtual instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelStats {
@@ -84,6 +145,9 @@ pub struct KernelStats {
     pub global: BTreeMap<&'static str, u64>,
     /// One row per container (terminated ones included).
     pub containers: Vec<ContainerCounters>,
+    /// One row per backing device (the `dev_*` / `breaker_*` globals are
+    /// sums over these).
+    pub devices: Vec<DeviceRow>,
     /// Frames on the global free queue (gauge).
     pub free_frames: u64,
     /// Frames allocated to specific applications (gauge).
@@ -109,6 +173,11 @@ impl KernelStats {
         self.containers.iter().find(|c| c.key == key)
     }
 
+    /// The counters of device `id`, if it exists.
+    pub fn device(&self, id: u32) -> Option<&DeviceRow> {
+        self.devices.iter().find(|d| d.id == id)
+    }
+
     /// Counter-wise difference against an earlier snapshot: every global
     /// and per-container counter becomes `self - earlier` (saturating);
     /// gauges and `at` keep `self`'s values.
@@ -125,10 +194,19 @@ impl KernelStats {
                 None => *c,
             })
             .collect();
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| match earlier.device(d.id) {
+                Some(e) => d.diff(e),
+                None => *d,
+            })
+            .collect();
         KernelStats {
             at: self.at,
             global,
             containers,
+            devices,
             free_frames: self.free_frames,
             total_specific: self.total_specific,
             inflight_flushes: self.inflight_flushes,
@@ -154,6 +232,25 @@ impl fmt::Display for KernelStats {
         )?;
         for (k, v) in self.global.iter().filter(|(_, v)| **v != 0) {
             writeln!(f, "  {k}: {v}")?;
+        }
+        for d in &self.devices {
+            writeln!(
+                f,
+                "  dev#{}: reads={} writes={} rderr={} wrerr={} torn={} trips={} closes={} probes={} deferred={} inflight={} queued={}{}",
+                d.id,
+                d.reads,
+                d.writes,
+                d.read_errors,
+                d.write_errors,
+                d.torn_writes,
+                d.breaker_trips,
+                d.breaker_closes,
+                d.breaker_probes,
+                d.breaker_deferred,
+                d.inflight,
+                d.queue_depth,
+                if d.breaker_open { " [open]" } else { "" }
+            )?;
         }
         for c in &self.containers {
             writeln!(
@@ -198,18 +295,61 @@ impl HipecKernel {
         global.insert("gfm_orphans_recovered", self.gfm.orphans_recovered);
         global.insert("checker_wakeups", self.checker.wakeups);
         global.insert("checker_kills", self.checker.kills);
-        let dev = self.vm.device().stats();
-        global.insert("dev_reads", dev.reads);
-        global.insert("dev_writes", dev.writes);
-        global.insert("dev_read_errors", dev.read_errors);
-        global.insert("dev_write_errors", dev.write_errors);
-        global.insert("dev_torn_writes", dev.torn_writes);
-        let (pushes, pops) = self.vm.retry_queue_counters();
-        global.insert("retryq_pushes", pushes);
-        global.insert("retryq_pops", pops);
-        let breaker = self.vm.breaker.counters();
-        global.insert("breaker_probes", breaker.probes);
-        global.insert("breaker_deferred", breaker.deferred);
+        let devices: Vec<DeviceRow> = self
+            .vm
+            .devices_iter()
+            .map(|d| {
+                let s = d.stats();
+                let b = d.breaker().counters();
+                let (retryq_pushes, retryq_pops) = d.retry_counters();
+                DeviceRow {
+                    id: d.id().0,
+                    reads: s.reads,
+                    writes: s.writes,
+                    read_errors: s.read_errors,
+                    write_errors: s.write_errors,
+                    torn_writes: s.torn_writes,
+                    breaker_trips: b.trips,
+                    breaker_closes: b.closes,
+                    breaker_probes: b.probes,
+                    breaker_deferred: b.deferred,
+                    breaker_open: !d.breaker().is_closed(),
+                    inflight: d.inflight_depth() as u64,
+                    queue_depth: d.retry_depth() as u64,
+                    retryq_pushes,
+                    retryq_pops,
+                }
+            })
+            .collect();
+        // The flat `dev_*` / `breaker_*` / `retryq_*` globals survive as
+        // sums over the per-device rows.
+        global.insert("dev_reads", devices.iter().map(|d| d.reads).sum());
+        global.insert("dev_writes", devices.iter().map(|d| d.writes).sum());
+        global.insert(
+            "dev_read_errors",
+            devices.iter().map(|d| d.read_errors).sum(),
+        );
+        global.insert(
+            "dev_write_errors",
+            devices.iter().map(|d| d.write_errors).sum(),
+        );
+        global.insert(
+            "dev_torn_writes",
+            devices.iter().map(|d| d.torn_writes).sum(),
+        );
+        global.insert(
+            "retryq_pushes",
+            devices.iter().map(|d| d.retryq_pushes).sum(),
+        );
+        global.insert("retryq_pops", devices.iter().map(|d| d.retryq_pops).sum());
+        global.insert(
+            "breaker_probes",
+            devices.iter().map(|d| d.breaker_probes).sum(),
+        );
+        global.insert(
+            "breaker_deferred",
+            devices.iter().map(|d| d.breaker_deferred).sum(),
+        );
         global.insert(
             "trace_recorded",
             self.trace.recorded() + self.vm.trace.recorded(),
@@ -242,6 +382,7 @@ impl HipecKernel {
             at: self.vm.now(),
             global,
             containers,
+            devices,
             free_frames: self.vm.free_count(),
             total_specific: self.gfm.total_specific,
             inflight_flushes: self.vm.inflight_frames().count() as u64,

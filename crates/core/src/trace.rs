@@ -113,6 +113,16 @@ pub enum TraceEvent {
         /// Frames seized.
         taken: u64,
     },
+    /// One frame taken by forced reclamation (or a stranded-frame sweep).
+    /// Emitted per frame so offline residency audits can retire exactly the
+    /// pages that left, instead of conservatively clearing the container's
+    /// whole entry set on the count-only [`TraceEvent::ForcedReclaim`].
+    ForcedSeize {
+        /// The container the frame was taken from.
+        container: u32,
+        /// The seized frame.
+        frame: FrameId,
+    },
     /// An orphaned frame (last slot handle overwritten) was recovered.
     OrphanRecovered {
         /// The container that held the orphan.
@@ -153,13 +163,23 @@ pub enum TraceEvent {
         /// Frames the quarantine sweep returned to the global pool.
         reclaimed: u64,
     },
-    /// Probation completed: the container's policy was re-mounted and its
-    /// `minFrame` reservation re-admitted.
+    /// Probation completed: the container's policy was re-mounted and the
+    /// first tranche of its `minFrame` reservation re-admitted.
     FallbackRestored {
         /// The restored container.
         container: u32,
         /// Frames re-granted to the container's free queue.
         readmitted: u64,
+    },
+    /// A clean interval admitted another tranche of a ramping restore's
+    /// outstanding `minFrame` reservation.
+    RestoreRamp {
+        /// The ramping container.
+        container: u32,
+        /// Frames admitted by this tranche.
+        admitted: u64,
+        /// Frames still owed after it.
+        outstanding: u64,
     },
 }
 
@@ -237,6 +257,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ForcedReclaim { container, taken } => {
                 write!(f, "forced-reclaim c{container} taken={taken}")
             }
+            TraceEvent::ForcedSeize { container, frame } => {
+                write!(f, "forced-seize c{container} frame={}", frame.0)
+            }
             TraceEvent::OrphanRecovered { container, frame } => {
                 write!(f, "orphan-recovered c{container} frame={}", frame.0)
             }
@@ -264,6 +287,14 @@ impl fmt::Display for TraceEvent {
                 container,
                 readmitted,
             } => write!(f, "fallback-restored c{container} readmitted={readmitted}"),
+            TraceEvent::RestoreRamp {
+                container,
+                admitted,
+                outstanding,
+            } => write!(
+                f,
+                "restore-ramp c{container} admitted={admitted} outstanding={outstanding}"
+            ),
         }
     }
 }
@@ -326,6 +357,7 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
         TraceEvent::Migrate { .. } => "migrate",
         TraceEvent::NormalReclaim { .. } => "normal_reclaim",
         TraceEvent::ForcedReclaim { .. } => "forced_reclaim",
+        TraceEvent::ForcedSeize { .. } => "forced_seize",
         TraceEvent::OrphanRecovered { .. } => "orphan_recovered",
         TraceEvent::CheckerWake { .. } => "checker_wake",
         TraceEvent::CheckerTimeout { .. } => "checker_timeout",
@@ -333,6 +365,7 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
         TraceEvent::HealthDegraded { .. } => "health_degraded",
         TraceEvent::Quarantined { .. } => "quarantined",
         TraceEvent::FallbackRestored { .. } => "fallback_restored",
+        TraceEvent::RestoreRamp { .. } => "restore_ramp",
     }
 }
 
@@ -375,29 +408,67 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
                     latency.as_ns()
                 );
             }
-            VmEvent::ReadError { object, offset } => {
-                let _ = write!(s, ",\"object\":{},\"offset\":{offset}", object.0);
+            VmEvent::ReadError {
+                device,
+                object,
+                offset,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"device\":{},\"object\":{},\"offset\":{offset}",
+                    device.0, object.0
+                );
             }
             VmEvent::PageoutScan { freed, flushed } => {
                 let _ = write!(s, ",\"freed\":{freed},\"flushed\":{flushed}");
             }
-            VmEvent::FlushStart { frame, torn } => {
-                let _ = write!(s, ",\"frame\":{},\"torn\":{torn}", frame.0);
+            VmEvent::FlushStart {
+                device,
+                frame,
+                torn,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"device\":{},\"frame\":{},\"torn\":{torn}",
+                    device.0, frame.0
+                );
             }
-            VmEvent::FlushComplete { frame } => {
-                let _ = write!(s, ",\"frame\":{}", frame.0);
+            VmEvent::FlushComplete { device, frame } => {
+                let _ = write!(s, ",\"device\":{},\"frame\":{}", device.0, frame.0);
             }
-            VmEvent::TornRetry { frame, attempt } | VmEvent::RetryRejected { frame, attempt } => {
-                let _ = write!(s, ",\"frame\":{},\"attempt\":{attempt}", frame.0);
+            VmEvent::TornRetry {
+                device,
+                frame,
+                attempt,
             }
-            VmEvent::FlushAbandoned { frame, attempts } => {
-                let _ = write!(s, ",\"frame\":{},\"attempts\":{attempts}", frame.0);
+            | VmEvent::RetryRejected {
+                device,
+                frame,
+                attempt,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"device\":{},\"frame\":{},\"attempt\":{attempt}",
+                    device.0, frame.0
+                );
             }
-            VmEvent::BreakerTrip { ewma_milli } | VmEvent::BreakerClose { ewma_milli } => {
-                let _ = write!(s, ",\"ewma_milli\":{ewma_milli}");
+            VmEvent::FlushAbandoned {
+                device,
+                frame,
+                attempts,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"device\":{},\"frame\":{},\"attempts\":{attempts}",
+                    device.0, frame.0
+                );
             }
-            VmEvent::BreakerProbe { ok } => {
-                let _ = write!(s, ",\"ok\":{ok}");
+            VmEvent::BreakerTrip { device, ewma_milli }
+            | VmEvent::BreakerClose { device, ewma_milli } => {
+                let _ = write!(s, ",\"device\":{},\"ewma_milli\":{ewma_milli}", device.0);
+            }
+            VmEvent::BreakerProbe { device, ok } => {
+                let _ = write!(s, ",\"device\":{},\"ok\":{ok}", device.0);
             }
         },
         TraceEvent::Install {
@@ -475,6 +546,9 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
         TraceEvent::ForcedReclaim { container, taken } => {
             let _ = write!(s, ",\"container\":{container},\"taken\":{taken}");
         }
+        TraceEvent::ForcedSeize { container, frame } => {
+            let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
+        }
         TraceEvent::OrphanRecovered { container, frame } => {
             let _ = write!(s, ",\"container\":{container},\"frame\":{}", frame.0);
         }
@@ -501,6 +575,16 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
             readmitted,
         } => {
             let _ = write!(s, ",\"container\":{container},\"readmitted\":{readmitted}");
+        }
+        TraceEvent::RestoreRamp {
+            container,
+            admitted,
+            outstanding,
+        } => {
+            let _ = write!(
+                s,
+                ",\"container\":{container},\"admitted\":{admitted},\"outstanding\":{outstanding}"
+            );
         }
     }
     s.push('}');

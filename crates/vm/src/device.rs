@@ -1,0 +1,144 @@
+//! The kernel's backing-device table.
+//!
+//! Mach 3.0's external-pager lineage routes each memory object to its own
+//! pager; the single-disk kernel of earlier revisions collapsed that into
+//! one global paging device, one write-back circuit breaker and one torn
+//! -write retry queue — so one sick device degraded every container. A
+//! [`BackingDevice`] restores the per-pager structure: each table entry
+//! owns its paging device, its backing-store extent map, its circuit
+//! breaker, its in-flight flush list and its retry queue. Objects bind to
+//! a device at creation ([`crate::Kernel::create_object_on`]) and the
+//! pageout pump routes every read, flush and retry to the owning entry,
+//! so fault-plan storms on one device leave the others' write-back
+//! pipelines untouched.
+
+use hipec_disk::{BackingStore, DeviceParams, DiskQueue, PagingDevice};
+use hipec_sim::SimTime;
+
+use crate::breaker::CircuitBreaker;
+use crate::kernel::{InflightFlush, RetryTag};
+use crate::types::DeviceId;
+
+/// One entry in the kernel's device table: a paging device plus all the
+/// per-device write-back machinery (extent map, breaker, in-flight list,
+/// torn-write retry queue).
+#[derive(Debug)]
+pub struct BackingDevice {
+    pub(crate) id: DeviceId,
+    pub(crate) disk: PagingDevice,
+    pub(crate) backing: BackingStore,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) inflight: Vec<InflightFlush>,
+    /// Torn flushes awaiting re-issue (FCFS — retry order is submission
+    /// order; tags carry the frame and its spent attempts).
+    pub(crate) retry_q: DiskQueue<RetryTag>,
+}
+
+impl BackingDevice {
+    /// Builds a fresh, fault-free table entry from device parameters.
+    pub(crate) fn new(id: DeviceId, params: &DeviceParams) -> Self {
+        BackingDevice {
+            id,
+            disk: params.build(),
+            backing: BackingStore::new(params.capacity_pages()),
+            breaker: CircuitBreaker::default(),
+            inflight: Vec::new(),
+            retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+        }
+    }
+
+    /// This entry's id (its index in the device table).
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Read-only view of the paging device itself.
+    pub fn device(&self) -> &PagingDevice {
+        &self.disk
+    }
+
+    /// This device's error scoreboard.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Cumulative operation counters of the underlying device.
+    pub fn stats(&self) -> hipec_disk::DeviceStats {
+        self.disk.stats()
+    }
+
+    /// Write-backs submitted to this device and not yet reaped.
+    pub fn inflight_depth(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Torn flushes parked on this device's retry queue.
+    pub fn retry_depth(&self) -> usize {
+        self.retry_q.len()
+    }
+
+    /// Lifetime (pushes, pops) of this device's retry queue.
+    pub fn retry_counters(&self) -> (u64, u64) {
+        (self.retry_q.pushes(), self.retry_q.pops())
+    }
+
+    /// Earliest virtual instant at which pumping *this* device makes
+    /// write-back progress: its next in-flight completion, or — when
+    /// nothing is in flight but torn retries are parked — its breaker's
+    /// next probe window (`now` if the breaker is closed). `None` once
+    /// every write-back lifecycle on this device has closed.
+    pub(crate) fn next_progress(&self, now: SimTime) -> Option<SimTime> {
+        if let Some(done) = self.inflight.iter().map(|i| i.done).min() {
+            return Some(done);
+        }
+        if self.retry_q.is_empty() {
+            return None;
+        }
+        Some(if self.breaker.is_closed() {
+            now
+        } else {
+            self.breaker.next_probe_at().max(now)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_is_healthy_and_idle() {
+        let d = BackingDevice::new(DeviceId(3), &DeviceParams::default());
+        assert_eq!(d.id(), DeviceId(3));
+        assert!(d.breaker().is_closed());
+        assert_eq!(d.inflight_depth(), 0);
+        assert_eq!(d.retry_depth(), 0);
+        assert_eq!(d.retry_counters(), (0, 0));
+        assert_eq!(d.stats(), hipec_disk::DeviceStats::default());
+        assert_eq!(d.next_progress(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn next_progress_prefers_inflight_over_retries() {
+        let mut d = BackingDevice::new(DeviceId(0), &DeviceParams::default());
+        let now = SimTime::from_ns(100);
+        let done = SimTime::from_ns(5_000);
+        d.inflight.push(InflightFlush {
+            done,
+            frame: crate::types::FrameId(1),
+            torn: false,
+            attempts: 1,
+        });
+        assert_eq!(d.next_progress(now), Some(done));
+        d.inflight.clear();
+        d.retry_q.push(
+            hipec_disk::Lba(0),
+            RetryTag {
+                frame: crate::types::FrameId(1),
+                attempts: 1,
+            },
+        );
+        // Closed breaker: retries can be re-issued immediately.
+        assert_eq!(d.next_progress(now), Some(now));
+    }
+}

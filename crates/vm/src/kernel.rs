@@ -8,18 +8,19 @@
 //! ([`AccessOutcome::NeedsPolicy`], [`Kernel::complete_policy_fault`],
 //! [`Kernel::take_free_frames`], …).
 
-use hipec_disk::{
-    BackingStore, DeviceParams, DiskFault, DiskQueue, FaultConfig, PagingDevice, PhasedFaultConfig,
-};
+use hipec_disk::{DeviceParams, DiskFault, FaultConfig, PagingDevice, PhasedFaultConfig};
 use hipec_sim::stats::{Counter, Histogram};
 use hipec_sim::{CostModel, SimDuration, SimTime, VirtualClock};
 
 use crate::breaker::{BreakerTransition, CircuitBreaker};
+use crate::device::BackingDevice;
 use crate::frame::{FrameTable, QueueId};
 use crate::object::{Backing, VmObject};
 use crate::task::Task;
 use crate::trace::{EventRing, VmEvent, DEFAULT_TRACE_CAPACITY};
-use crate::types::{bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError};
+use crate::types::{
+    bytes_to_pages, DeviceId, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError,
+};
 
 /// Static configuration of a simulated machine.
 #[derive(Debug, Clone)]
@@ -157,6 +158,8 @@ pub struct RetryTag {
 /// container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeadFlush {
+    /// The device whose faults exhausted the budget.
+    pub device: DeviceId,
     /// The frame that was carrying the page (already back on the free queue).
     pub frame: FrameId,
     /// The object the page belonged to.
@@ -196,18 +199,13 @@ pub struct Kernel {
     /// Write submissions a single dirty page may burn (initial + retries)
     /// before its flush is abandoned and surfaced as a [`DeadFlush`].
     pub flush_retry_budget: u8,
-    /// The paging device's error scoreboard. While closed the pump runs at
-    /// full speed; once tripped, flush submissions are gated by its backoff
-    /// and in-flight window (see [`crate::breaker`]).
-    pub breaker: CircuitBreaker,
     pub(crate) objects: Vec<VmObject>,
     pub(crate) tasks: Vec<Task>,
-    pub(crate) disk: PagingDevice,
-    pub(crate) backing: BackingStore,
-    pub(crate) inflight: Vec<InflightFlush>,
-    /// Torn flushes awaiting re-issue (FCFS — retry order is submission
-    /// order; tags carry the frame and its spent attempts).
-    pub(crate) retry_q: DiskQueue<RetryTag>,
+    /// The backing-device table. Entry 0 is built from
+    /// [`KernelParams::disk`] and always exists; further entries are added
+    /// with [`Kernel::add_device`]. Each entry owns its paging device,
+    /// extent map, circuit breaker, in-flight list and retry queue.
+    pub(crate) devices: Vec<BackingDevice>,
     pub(crate) dead_flushes: Vec<DeadFlush>,
     pub(crate) free_target: u64,
     pub(crate) free_min: u64,
@@ -230,8 +228,7 @@ impl Kernel {
                     .expect("fresh frame is unqueued");
             }
         }
-        let disk = params.disk.build();
-        let backing = BackingStore::new(params.disk.capacity_pages());
+        let devices = vec![BackingDevice::new(DeviceId(0), &params.disk)];
         Kernel {
             clock: VirtualClock::new(),
             cost: params.cost,
@@ -244,18 +241,67 @@ impl Kernel {
             fault_latency: Histogram::new(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             flush_retry_budget: 8,
-            breaker: CircuitBreaker::default(),
             objects: Vec::new(),
             tasks: Vec::new(),
-            disk,
-            backing,
-            inflight: Vec::new(),
-            retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+            devices,
             dead_flushes: Vec::new(),
             free_target: params.free_target,
             free_min: params.free_min,
             inactive_target: params.inactive_target,
         }
+    }
+
+    /// Adds a backing device to the table, returning its id. Regions bind
+    /// to it via [`Kernel::create_object_on`].
+    pub fn add_device(&mut self, params: DeviceParams) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(BackingDevice::new(id, &params));
+        id
+    }
+
+    /// Number of configured backing devices (≥ 1).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device table, in id order (for audits and metrics snapshots).
+    pub fn devices_iter(&self) -> impl Iterator<Item = &BackingDevice> {
+        self.devices.iter()
+    }
+
+    /// One device-table entry.
+    pub fn backing_device(&self, dev: DeviceId) -> Result<&BackingDevice, VmError> {
+        self.devices
+            .get(dev.0 as usize)
+            .ok_or(VmError::NoSuchDevice(dev))
+    }
+
+    /// The circuit breaker of device `dev` (device 0 always exists).
+    ///
+    /// # Panics
+    /// If `dev` is not in the device table.
+    pub fn breaker(&self, dev: DeviceId) -> &CircuitBreaker {
+        &self.devices[dev.0 as usize].breaker
+    }
+
+    /// Mutable breaker access, for tests and tooling that pre-condition a
+    /// device's health state.
+    ///
+    /// # Panics
+    /// If `dev` is not in the device table.
+    pub fn breaker_mut(&mut self, dev: DeviceId) -> &mut CircuitBreaker {
+        &mut self.devices[dev.0 as usize].breaker
+    }
+
+    /// True if any device's breaker is not closed (some write-back pipeline
+    /// is degraded).
+    pub fn any_breaker_open(&self) -> bool {
+        self.devices.iter().any(|d| !d.breaker.is_closed())
+    }
+
+    /// The backing device `object` is bound to.
+    pub fn device_of(&self, object: ObjectId) -> Result<DeviceId, VmError> {
+        Ok(self.object(object)?.device)
     }
 
     /// Advances the clock by `d` (a charged CPU cost).
@@ -279,35 +325,35 @@ impl Kernel {
     }
 
     /// Feeds one write-submission outcome (`ok` = accepted and not torn)
-    /// to the device circuit breaker, emitting any resulting transition.
-    pub(crate) fn breaker_record_write(&mut self, ok: bool) {
+    /// to device `di`'s circuit breaker, emitting any resulting transition.
+    pub(crate) fn breaker_record_write(&mut self, di: usize, ok: bool) {
         let now = self.clock.now();
-        match self.breaker.record(now, ok) {
+        let device = self.devices[di].id;
+        match self.devices[di].breaker.record(now, ok) {
             BreakerTransition::Tripped => {
                 self.stats.bump("breaker_trips");
-                self.emit(VmEvent::BreakerTrip {
-                    ewma_milli: self.breaker.ewma_milli(),
-                });
+                let ewma_milli = self.devices[di].breaker.ewma_milli();
+                self.emit(VmEvent::BreakerTrip { device, ewma_milli });
             }
             BreakerTransition::Probed { ok } => {
-                self.emit(VmEvent::BreakerProbe { ok });
+                self.emit(VmEvent::BreakerProbe { device, ok });
             }
             BreakerTransition::Closed => {
                 self.stats.bump("breaker_closes");
-                self.emit(VmEvent::BreakerClose {
-                    ewma_milli: self.breaker.ewma_milli(),
-                });
+                let ewma_milli = self.devices[di].breaker.ewma_milli();
+                self.emit(VmEvent::BreakerClose { device, ewma_milli });
             }
             BreakerTransition::None => {}
         }
     }
 
-    /// Feeds a read outcome to the breaker. Reads never serve as half-open
-    /// probes (probes are writes), so they only move the score while closed.
-    pub(crate) fn breaker_record_read(&mut self, ok: bool) {
-        if self.breaker.is_closed() {
-            self.breaker_record_write(ok);
-        }
+    /// Feeds a read outcome to device `di`'s breaker. Reads share the
+    /// write path's scoreboard in every breaker state: while closed they
+    /// move the score (so a device failing only reads still trips), and
+    /// while open or half-open a read outcome counts as a probe alongside
+    /// the gated write probes (so clean reads help close the breaker).
+    pub(crate) fn breaker_record_read(&mut self, di: usize, ok: bool) {
+        self.breaker_record_write(di, ok);
     }
 
     /// Frames on the global free queue.
@@ -350,17 +396,36 @@ impl Kernel {
         id
     }
 
-    /// Creates a memory object. File-backed objects get a disk extent now.
+    /// Creates a memory object bound to device 0. File-backed objects get
+    /// a disk extent now.
     pub fn create_object(
         &mut self,
         size_pages: u64,
         backing: Backing,
     ) -> Result<ObjectId, VmError> {
+        self.create_object_on(DeviceId(0), size_pages, backing)
+    }
+
+    /// Creates a memory object bound to `device`: every page-in, write-back
+    /// and swap extent of this object routes to that device. File-backed
+    /// objects get a disk extent on it now.
+    pub fn create_object_on(
+        &mut self,
+        device: DeviceId,
+        size_pages: u64,
+        backing: Backing,
+    ) -> Result<ObjectId, VmError> {
+        let di = device.0 as usize;
+        if di >= self.devices.len() {
+            return Err(VmError::NoSuchDevice(device));
+        }
         let id = ObjectId(self.objects.len() as u32);
         if backing == Backing::File {
-            self.backing.allocate(id.0 as u64, size_pages)?;
+            self.devices[di].backing.allocate(id.0 as u64, size_pages)?;
         }
-        self.objects.push(VmObject::new(id, size_pages, backing));
+        let mut object = VmObject::new(id, size_pages, backing);
+        object.device = device;
+        self.objects.push(object);
         Ok(id)
     }
 
@@ -379,19 +444,39 @@ impl Kernel {
             .insert_anywhere(pages, object, object_offset)
     }
 
-    /// `vm_allocate`: a fresh anonymous region of `bytes`.
+    /// `vm_allocate`: a fresh anonymous region of `bytes` (device 0).
     pub fn vm_allocate(&mut self, task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), VmError> {
+        self.vm_allocate_on(DeviceId(0), task, bytes)
+    }
+
+    /// `vm_allocate` with the region's swap routed to `device`.
+    pub fn vm_allocate_on(
+        &mut self,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+    ) -> Result<(VAddr, ObjectId), VmError> {
         let pages = bytes_to_pages(bytes);
-        let object = self.create_object(pages, Backing::Anonymous)?;
+        let object = self.create_object_on(device, pages, Backing::Anonymous)?;
         let addr = self.map_object(task, object, 0, pages)?;
         self.charge(self.cost.null_syscall);
         Ok((addr, object))
     }
 
-    /// `vm_map`: maps a file-like object of `bytes` into the task.
+    /// `vm_map`: maps a file-like object of `bytes` into the task (device 0).
     pub fn vm_map(&mut self, task: TaskId, bytes: u64) -> Result<(VAddr, ObjectId), VmError> {
+        self.vm_map_on(DeviceId(0), task, bytes)
+    }
+
+    /// `vm_map` with the file extent allocated on `device`.
+    pub fn vm_map_on(
+        &mut self,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+    ) -> Result<(VAddr, ObjectId), VmError> {
         let pages = bytes_to_pages(bytes);
-        let object = self.create_object(pages, Backing::File)?;
+        let object = self.create_object_on(device, pages, Backing::File)?;
         let addr = self.map_object(task, object, 0, pages)?;
         self.charge(self.cost.null_syscall);
         Ok((addr, object))
@@ -462,14 +547,19 @@ impl Kernel {
             .ok_or(VmError::NoSuchTask(id))
     }
 
-    /// Read-only view of the paging device.
+    /// Read-only view of the primary paging device (device 0).
     pub fn device(&self) -> &PagingDevice {
-        &self.disk
+        &self.devices[0].disk
     }
 
-    /// Read-only view of the disk statistics (zeroed for flash devices).
+    /// Read-only view of device 0's disk statistics (zeroed for flash
+    /// devices).
     pub fn disk_stats(&self) -> hipec_disk::model::DiskStats {
-        self.disk.as_disk().map(|d| d.stats()).unwrap_or_default()
+        self.devices[0]
+            .disk
+            .as_disk()
+            .map(|d| d.stats())
+            .unwrap_or_default()
     }
 
     // --- The access / fault path --------------------------------------------
@@ -601,18 +691,22 @@ impl Kernel {
         let needs_io = self.object(object)?.fault_needs_io(offset);
         let (kind, io_until) = if needs_io {
             self.charge(self.cost.pagein_cpu);
-            let loc = self.backing.locate(object.0 as u64, offset.0)?;
+            let device = self.object(object)?.device;
+            let di = device.0 as usize;
+            let loc = self.devices[di].backing.locate(object.0 as u64, offset.0)?;
             // Submit before mutating any frame/object state so an injected
             // device failure needs no rollback here.
-            let done = match self.disk.read(loc.lba, self.clock.now()) {
+            let now = self.clock.now();
+            let done = match self.devices[di].disk.read(loc.lba, now) {
                 Ok(done) => {
-                    self.breaker_record_read(true);
+                    self.breaker_record_read(di, true);
                     done
                 }
                 Err(fault) => {
-                    self.breaker_record_read(false);
+                    self.breaker_record_read(di, false);
                     self.stats.bump("read_errors");
                     self.emit(VmEvent::ReadError {
+                        device,
                         object,
                         offset: offset.0,
                     });
@@ -736,23 +830,42 @@ impl Kernel {
                 self.charge(self.cost.queue_op);
                 return Ok(f);
             }
-            // Nothing free: wait for an in-flight flush if there is one.
-            if let Some(earliest) = self.inflight.iter().map(|i| i.done).min() {
+            // Nothing free: wait for an in-flight flush if any device has
+            // one.
+            if let Some(earliest) = self
+                .devices
+                .iter()
+                .flat_map(|d| d.inflight.iter().map(|i| i.done))
+                .min()
+            {
                 self.clock.advance_to(earliest);
                 self.pump();
-            } else if !self.retry_q.is_empty() && dry_retries < 8 {
+            } else if self.devices.iter().any(|d| !d.retry_q.is_empty()) && dry_retries < 8 {
                 // Only torn writes remain and their re-issues keep being
                 // rejected; each pump draws fresh fault decisions, so a few
                 // attempts normally get one through. Bounded so a device
                 // rejecting every write still surfaces OutOfFrames.
                 dry_retries += 1;
-                if !self.breaker.is_closed() {
-                    // Degraded submissions are gated by the breaker's
-                    // backoff; waiting here is the forced-synchronous part
-                    // of degraded reclaim — jump to the probe window so the
-                    // pump can actually submit.
-                    let due = self.breaker.next_probe_at();
-                    if due > self.clock.now() {
+                // Degraded submissions are gated per-device by the breaker
+                // backoff; waiting here is the forced-synchronous part of
+                // degraded reclaim — jump to the earliest submission window
+                // among the devices with parked retries so the pump can
+                // actually submit somewhere.
+                let now = self.clock.now();
+                let due = self
+                    .devices
+                    .iter()
+                    .filter(|d| !d.retry_q.is_empty())
+                    .map(|d| {
+                        if d.breaker.is_closed() {
+                            now
+                        } else {
+                            d.breaker.next_probe_at().max(now)
+                        }
+                    })
+                    .min();
+                if let Some(due) = due {
+                    if due > now {
                         self.clock.advance_to(due);
                     }
                 }
@@ -777,9 +890,19 @@ impl Kernel {
     /// the free pool, and a [`DeadFlush`] is surfaced so the retry queue
     /// always drains even against a device rejecting every write.
     pub fn pump(&mut self) {
+        for di in 0..self.devices.len() {
+            self.pump_device(di);
+        }
+    }
+
+    /// Reaps and re-issues on one device-table entry. Each device's
+    /// breaker, in-flight window and retry queue are independent, so a
+    /// storm on one device never stalls another's drain.
+    fn pump_device(&mut self, di: usize) {
         let now = self.clock.now();
+        let device = self.devices[di].id;
         let mut done = Vec::new();
-        self.inflight.retain(|i| {
+        self.devices[di].inflight.retain(|i| {
             if i.done <= now {
                 done.push((i.frame, i.torn, i.attempts));
                 false
@@ -791,14 +914,17 @@ impl Kernel {
             if torn {
                 self.stats.bump("torn_flushes");
                 if attempts >= self.flush_retry_budget {
-                    self.abandon_flush(frame, attempts);
+                    self.abandon_flush(di, frame, attempts);
                     continue;
                 }
                 let lba = self
-                    .flush_target(frame)
+                    .flush_target(di, frame)
                     .expect("in-flight frames keep their owner");
-                self.retry_q.push(lba, RetryTag { frame, attempts });
+                self.devices[di]
+                    .retry_q
+                    .push(lba, RetryTag { frame, attempts });
                 self.emit(VmEvent::TornRetry {
+                    device,
                     frame,
                     attempt: attempts,
                 });
@@ -814,22 +940,23 @@ impl Kernel {
                 .enqueue_tail(self.free_q, frame)
                 .expect("flushed frame is unqueued");
             self.stats.bump("flush_completions");
-            self.emit(VmEvent::FlushComplete { frame });
+            self.emit(VmEvent::FlushComplete { device, frame });
         }
         // Re-issue torn writes (one attempt per entry per pump; a rejected
         // re-issue goes back on the queue until its budget runs out). While
         // the breaker is closed this drains the whole queue; once it trips
         // mid-drain the rest waits for the degraded path below.
         let mut still_torn = Vec::new();
-        while self.breaker.is_closed() {
-            let Some(pending) = self.retry_q.pop_next(0, |_| 0) else {
+        while self.devices[di].breaker.is_closed() {
+            let Some(pending) = self.devices[di].retry_q.pop_next(0, |_| 0) else {
                 break;
             };
             let RetryTag { frame, attempts } = pending.tag;
-            match self.disk.write(pending.lba, self.clock.now()) {
+            let now = self.clock.now();
+            match self.devices[di].disk.write(pending.lba, now) {
                 Ok(c) => {
-                    self.breaker_record_write(!c.torn);
-                    self.inflight.push(InflightFlush {
+                    self.breaker_record_write(di, !c.torn);
+                    self.devices[di].inflight.push(InflightFlush {
                         done: c.done,
                         frame,
                         torn: c.torn,
@@ -838,15 +965,16 @@ impl Kernel {
                     self.stats.bump("flush_retries");
                 }
                 Err(_) => {
-                    self.breaker_record_write(false);
+                    self.breaker_record_write(di, false);
                     self.stats.bump("flush_retry_errors");
                     self.emit(VmEvent::RetryRejected {
+                        device,
                         frame,
                         attempt: attempts,
                     });
                     let spent = attempts + 1;
                     if spent >= self.flush_retry_budget {
-                        self.abandon_flush(frame, spent);
+                        self.abandon_flush(di, frame, spent);
                     } else {
                         still_torn.push((
                             pending.lba,
@@ -860,24 +988,25 @@ impl Kernel {
             }
         }
         for (lba, tag) in still_torn {
-            self.retry_q.push(lba, tag);
+            self.devices[di].retry_q.push(lba, tag);
         }
         // Degraded re-issue: at most one backoff-gated probe burst per pump,
         // bounded by the breaker's in-flight window. A failed probe goes
         // back to the queue *head* so the FCFS retry order is preserved.
-        if !self.breaker.is_closed() {
-            while self
+        if !self.devices[di].breaker.is_closed() {
+            while self.devices[di]
                 .breaker
-                .probe_due(self.clock.now(), self.inflight.len())
+                .probe_due(self.clock.now(), self.devices[di].inflight.len())
             {
-                let Some(pending) = self.retry_q.pop_next(0, |_| 0) else {
+                let Some(pending) = self.devices[di].retry_q.pop_next(0, |_| 0) else {
                     break;
                 };
                 let RetryTag { frame, attempts } = pending.tag;
-                match self.disk.write(pending.lba, self.clock.now()) {
+                let now = self.clock.now();
+                match self.devices[di].disk.write(pending.lba, now) {
                     Ok(c) => {
-                        self.breaker_record_write(!c.torn);
-                        self.inflight.push(InflightFlush {
+                        self.breaker_record_write(di, !c.torn);
+                        self.devices[di].inflight.push(InflightFlush {
                             done: c.done,
                             frame,
                             torn: c.torn,
@@ -886,17 +1015,18 @@ impl Kernel {
                         self.stats.bump("flush_retries");
                     }
                     Err(_) => {
-                        self.breaker_record_write(false);
+                        self.breaker_record_write(di, false);
                         self.stats.bump("flush_retry_errors");
                         self.emit(VmEvent::RetryRejected {
+                            device,
                             frame,
                             attempt: attempts,
                         });
                         let spent = attempts + 1;
                         if spent >= self.flush_retry_budget {
-                            self.abandon_flush(frame, spent);
+                            self.abandon_flush(di, frame, spent);
                         } else {
-                            self.retry_q.push_front(
+                            self.devices[di].retry_q.push_front(
                                 pending.lba,
                                 RetryTag {
                                     frame,
@@ -907,8 +1037,8 @@ impl Kernel {
                     }
                 }
             }
-            if !self.retry_q.is_empty() {
-                self.breaker.note_deferred();
+            if !self.devices[di].retry_q.is_empty() {
+                self.devices[di].breaker.note_deferred();
             }
         }
     }
@@ -917,14 +1047,15 @@ impl Kernel {
     /// lost (it was evicted when the flush started), the frame is scrubbed
     /// and returned to the free pool, and a [`DeadFlush`] records the loss
     /// for the HiPEC layer to attribute.
-    fn abandon_flush(&mut self, frame: FrameId, attempts: u8) {
+    fn abandon_flush(&mut self, di: usize, frame: FrameId, attempts: u8) {
+        let device = self.devices[di].id;
         let (object, offset) = self
             .frames
             .frame(frame)
             .expect("retry frames are valid")
             .owner
             .expect("in-flight frames keep their owner");
-        let lba = self
+        let lba = self.devices[di]
             .backing
             .locate(object.0 as u64, offset.0)
             .map(|l| l.lba)
@@ -944,12 +1075,17 @@ impl Kernel {
             .expect("abandoned frame is unqueued");
         self.stats.bump("flush_abandoned");
         self.dead_flushes.push(DeadFlush {
+            device,
             frame,
             object,
             offset,
             fault: DiskFault::WriteError(lba),
         });
-        self.emit(VmEvent::FlushAbandoned { frame, attempts });
+        self.emit(VmEvent::FlushAbandoned {
+            device,
+            frame,
+            attempts,
+        });
     }
 
     /// Drains the record of abandoned flushes (data-loss events) since the
@@ -958,62 +1094,84 @@ impl Kernel {
         std::mem::take(&mut self.dead_flushes)
     }
 
-    /// The backing-store block an in-flight flush writes to (derived from
-    /// the frame's retained owner).
-    fn flush_target(&self, frame: FrameId) -> Result<hipec_disk::Lba, VmError> {
+    /// The backing-store block an in-flight flush on device `di` writes to
+    /// (derived from the frame's retained owner).
+    fn flush_target(&self, di: usize, frame: FrameId) -> Result<hipec_disk::Lba, VmError> {
         let (object, offset) = self
             .frames
             .frame(frame)?
             .owner
             .ok_or(VmError::FrameNotQueued(frame))?;
-        Ok(self.backing.locate(object.0 as u64, offset.0)?.lba)
+        Ok(self.devices[di]
+            .backing
+            .locate(object.0 as u64, offset.0)?
+            .lba)
     }
 
-    /// Installs a deterministic fault-injection plan on the paging device.
+    /// Installs a deterministic fault-injection plan on device 0.
     pub fn set_fault_plan(&mut self, cfg: FaultConfig) {
-        self.disk.set_fault_plan(cfg);
+        self.set_fault_plan_on(DeviceId(0), cfg);
+    }
+
+    /// Installs a deterministic fault-injection plan on device `dev`.
+    ///
+    /// # Panics
+    /// If `dev` is not in the device table.
+    pub fn set_fault_plan_on(&mut self, dev: DeviceId, cfg: FaultConfig) {
+        self.devices[dev.0 as usize].disk.set_fault_plan(cfg);
     }
 
     /// Installs a phased fault plan (time-windowed by operation index) on
-    /// the paging device.
+    /// device 0.
     pub fn set_phased_fault_plan(&mut self, cfg: PhasedFaultConfig) {
-        self.disk.set_phased_fault_plan(cfg);
+        self.set_phased_fault_plan_on(DeviceId(0), cfg);
+    }
+
+    /// Installs a phased fault plan on device `dev`.
+    ///
+    /// # Panics
+    /// If `dev` is not in the device table.
+    pub fn set_phased_fault_plan_on(&mut self, dev: DeviceId, cfg: PhasedFaultConfig) {
+        self.devices[dev.0 as usize].disk.set_phased_fault_plan(cfg);
     }
 
     /// Earliest virtual instant at which pumping makes write-back progress
-    /// (for event-driven drivers): the next in-flight completion, or — when
-    /// nothing is in flight but torn retries are parked — the breaker's
-    /// next probe window (now, if the breaker is closed). `None` only once
-    /// every write-back lifecycle has closed.
+    /// (for event-driven drivers): the minimum over the per-device
+    /// progress instants — each device's next in-flight completion, or,
+    /// when it only has torn retries parked, its breaker's next probe
+    /// window (now, if that breaker is closed). `None` only once every
+    /// write-back lifecycle on every device has closed.
     pub fn next_flush_completion(&self) -> Option<SimTime> {
-        if let Some(done) = self.inflight.iter().map(|i| i.done).min() {
-            return Some(done);
-        }
-        if self.retry_q.is_empty() {
-            return None;
-        }
-        Some(if self.breaker.is_closed() {
-            self.clock.now()
-        } else {
-            self.breaker.next_probe_at().max(self.clock.now())
-        })
+        let now = self.clock.now();
+        self.devices
+            .iter()
+            .filter_map(|d| d.next_progress(now))
+            .min()
     }
 
     // --- Read-only state inspection (invariant checkers, audits) ------------
 
-    /// Frames with an in-flight flush (completion not yet reaped).
+    /// Frames with an in-flight flush (completion not yet reaped), across
+    /// every device.
     pub fn inflight_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.inflight.iter().map(|i| i.frame)
+        self.devices
+            .iter()
+            .flat_map(|d| d.inflight.iter().map(|i| i.frame))
     }
 
-    /// Frames whose torn flush awaits re-issue.
+    /// Frames whose torn flush awaits re-issue, across every device.
     pub fn retry_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
-        self.retry_q.iter().map(|p| p.tag.frame)
+        self.devices
+            .iter()
+            .flat_map(|d| d.retry_q.iter().map(|p| p.tag.frame))
     }
 
-    /// Lifetime (pushes, pops) of the torn-write retry queue.
+    /// Lifetime (pushes, pops) of the torn-write retry queues, summed
+    /// across every device.
     pub fn retry_queue_counters(&self) -> (u64, u64) {
-        (self.retry_q.pushes(), self.retry_q.pops())
+        self.devices.iter().fold((0, 0), |(pushes, pops), d| {
+            (pushes + d.retry_q.pushes(), pops + d.retry_q.pops())
+        })
     }
 
     /// Abandoned flushes not yet drained by [`Kernel::take_dead_flushes`].
@@ -1181,6 +1339,92 @@ mod tests {
         k.clock.advance_to(done);
         k.pump();
         assert!(!k.frames.frame(frame).expect("frame").busy);
+    }
+
+    #[test]
+    fn read_only_faults_trip_and_clean_reads_close_the_breaker() {
+        let mut k = small_kernel();
+        let t = k.create_task();
+        let (addr, _) = k.vm_map(t, 16 * PAGE_SIZE).expect("map");
+        // A device failing *only* reads: the breaker must still trip.
+        k.set_fault_plan(FaultConfig {
+            seed: 9,
+            read_error_permille: 1000,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+        });
+        for p in 0..3 {
+            let r = k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false);
+            assert!(matches!(r, Err(VmError::Device(_))), "read must fail");
+        }
+        assert!(
+            !k.breaker(DeviceId(0)).is_closed(),
+            "three failed reads must trip the breaker"
+        );
+        assert_eq!(k.stats.get("breaker_trips"), 1);
+        // The device heals: clean reads serve as probes and close the
+        // breaker again without a single write.
+        k.set_fault_plan(FaultConfig {
+            seed: 9,
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 0,
+        });
+        for p in 0..16 {
+            if k.breaker(DeviceId(0)).is_closed() {
+                break;
+            }
+            k.access(t, VAddr(addr.0 + p * PAGE_SIZE), false)
+                .expect("clean read");
+        }
+        assert!(
+            k.breaker(DeviceId(0)).is_closed(),
+            "clean reads must close the breaker via probing"
+        );
+        assert_eq!(k.stats.get("breaker_closes"), 1);
+        assert_eq!(k.device().stats().writes, 0, "no write ever probed");
+    }
+
+    #[test]
+    fn flushes_route_to_the_owning_device() {
+        let mut k = small_kernel();
+        let dev1 = k.add_device(DeviceParams::default());
+        assert_eq!(k.device_count(), 2);
+        let t = k.create_task();
+        let (a0, o0) = k.vm_allocate(t, PAGE_SIZE).expect("dev0 region");
+        let (a1, o1) = k.vm_allocate_on(dev1, t, PAGE_SIZE).expect("dev1 region");
+        assert_eq!(k.device_of(o0).expect("bound"), DeviceId(0));
+        assert_eq!(k.device_of(o1).expect("bound"), dev1);
+        k.access(t, a0, true).expect("dirty dev0 page");
+        k.access(t, a1, true).expect("dirty dev1 page");
+        let f0 = k
+            .task(t)
+            .expect("task")
+            .translate(a0.vpage())
+            .expect("mapped");
+        let f1 = k
+            .task(t)
+            .expect("task")
+            .translate(a1.vpage())
+            .expect("mapped");
+        k.start_flush(f0).expect("flush to dev0");
+        k.start_flush(f1).expect("flush to dev1");
+        assert_eq!(
+            k.backing_device(DeviceId(0)).expect("dev0").stats().writes,
+            1
+        );
+        assert_eq!(k.backing_device(dev1).expect("dev1").stats().writes, 1);
+        assert_eq!(k.backing_device(dev1).expect("dev1").inflight_depth(), 1);
+        while let Some(done) = k.next_flush_completion() {
+            k.clock.advance_to(done);
+            k.pump();
+        }
+        assert_eq!(k.stats.get("flush_completions"), 2);
+        assert_eq!(k.inflight_frames().count(), 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! hooks this crate exposes.
 
 pub mod breaker;
+pub mod device;
 pub mod frame;
 pub mod kernel;
 pub mod map;
@@ -22,6 +23,7 @@ pub mod trace;
 pub mod types;
 
 pub use breaker::{BreakerCounters, BreakerParams, BreakerState, CircuitBreaker};
+pub use device::BackingDevice;
 pub use frame::{Frame, FrameTable, QueueId};
 pub use kernel::{
     AccessKind, AccessOutcome, AccessResult, DeadFlush, Kernel, KernelParams, PolicyFaultInfo,
@@ -31,4 +33,6 @@ pub use map::{MapEntry, VmMap};
 pub use object::{Backing, VmObject};
 pub use task::Task;
 pub use trace::{EventRing, TraceRecord, VmEvent};
-pub use types::{bytes_to_pages, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError, PAGE_SIZE};
+pub use types::{
+    bytes_to_pages, DeviceId, FrameId, ObjectId, PageOffset, TaskId, VAddr, VmError, PAGE_SIZE,
+};

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::types::{FrameId, ObjectId, PageOffset};
+use crate::types::{DeviceId, FrameId, ObjectId, PageOffset};
 
 /// How an object's non-resident pages are materialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +38,9 @@ pub struct VmObject {
     /// HiPEC container attachment key, if this object is under specific
     /// application control.
     pub container: Option<u32>,
+    /// The backing device this object pages against (bound at creation,
+    /// never re-routed).
+    pub device: DeviceId,
 }
 
 impl VmObject {
@@ -51,6 +54,7 @@ impl VmObject {
             resident: HashMap::new(),
             paged_out: std::collections::HashSet::new(),
             container: None,
+            device: DeviceId(0),
         }
     }
 

@@ -25,12 +25,12 @@ impl Kernel {
             total_freed += freed;
             total_flushed += flushed;
             if self.free_count() >= self.free_target || (moved + freed + flushed) == 0 {
-                if self.free_count() < self.free_target && !self.breaker.is_closed() {
-                    // The normal pass stalled and the breaker is tripped:
-                    // dirty pages cannot be flushed, so balance must make
-                    // progress on clean pages alone, reference bits be
-                    // damned. This is degraded mode's forced synchronous
-                    // reclaim.
+                if self.free_count() < self.free_target && self.any_breaker_open() {
+                    // The normal pass stalled and some device's breaker is
+                    // tripped: its dirty pages cannot be flushed, so
+                    // balance must make progress on clean pages alone,
+                    // reference bits be damned. This is degraded mode's
+                    // forced synchronous reclaim.
                     total_freed += self.forced_clean_reclaim()?;
                 }
                 self.emit(VmEvent::PageoutScan {
@@ -146,16 +146,20 @@ impl Kernel {
             .frame(frame)?
             .owner
             .ok_or(VmError::FrameNotQueued(frame))?;
-        // While the breaker is tripped, flushes wait out the backoff unless
-        // this submission can serve as a probe. Refusing here consumes no
-        // fault-plan operation and leaves the page exactly as it was; the
-        // caller sees the same device error a rejected submission raises.
-        if !self.breaker.is_closed()
-            && !self
+        // Route to the owning object's backing device.
+        let device = self.object(object)?.device;
+        let di = device.0 as usize;
+        // While that device's breaker is tripped, flushes wait out the
+        // backoff unless this submission can serve as a probe. Refusing
+        // here consumes no fault-plan operation and leaves the page exactly
+        // as it was; the caller sees the same device error a rejected
+        // submission raises.
+        if !self.devices[di].breaker.is_closed()
+            && !self.devices[di]
                 .breaker
-                .probe_due(self.clock.now(), self.inflight.len())
+                .probe_due(self.clock.now(), self.devices[di].inflight.len())
         {
-            self.breaker.note_deferred();
+            self.devices[di].breaker.note_deferred();
             self.stats.bump("flush_deferred");
             return Err(VmError::Device(hipec_disk::DiskFault::WriteError(
                 hipec_disk::Lba(0),
@@ -164,23 +168,24 @@ impl Kernel {
         // Anonymous objects get a swap extent the first time any of their
         // pages is written out.
         let key = object.0 as u64;
-        if !self.backing.has_extent(key) {
+        if !self.devices[di].backing.has_extent(key) {
             let size = self.object(object)?.size_pages;
-            self.backing.allocate(key, size)?;
+            self.devices[di].backing.allocate(key, size)?;
         }
         // Submit the write *before* mutating any frame or object state: an
         // injected submission failure then leaves the page exactly as it
         // was (dirty, mapped, resident) and needs no rollback.
-        let loc = self.backing.locate(key, offset.0)?;
-        let completion = match self.disk.write(loc.lba, self.clock.now()) {
+        let loc = self.devices[di].backing.locate(key, offset.0)?;
+        let now = self.clock.now();
+        let completion = match self.devices[di].disk.write(loc.lba, now) {
             Ok(c) => c,
             Err(fault) => {
-                self.breaker_record_write(false);
+                self.breaker_record_write(di, false);
                 self.stats.bump("flush_errors");
                 return Err(VmError::Device(fault));
             }
         };
-        self.breaker_record_write(!completion.torn);
+        self.breaker_record_write(di, !completion.torn);
         // Busy frames sit on no queue: detach callers that flush straight
         // off a queue (the pageout path has already dequeued its victim).
         if self.frames.queue_of(frame)?.is_some() {
@@ -200,7 +205,7 @@ impl Kernel {
             f.busy = true;
         }
         self.charge(self.cost.flush_handoff);
-        self.inflight.push(InflightFlush {
+        self.devices[di].inflight.push(InflightFlush {
             done: completion.done,
             frame,
             torn: completion.torn,
@@ -208,6 +213,7 @@ impl Kernel {
         });
         self.stats.bump("pageouts");
         self.emit(VmEvent::FlushStart {
+            device,
             frame,
             torn: completion.torn,
         });

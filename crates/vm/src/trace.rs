@@ -16,7 +16,7 @@
 use hipec_sim::{SimDuration, SimTime};
 
 use crate::kernel::AccessKind;
-use crate::types::{FrameId, ObjectId, TaskId};
+use crate::types::{DeviceId, FrameId, ObjectId, TaskId};
 
 /// Default ring capacity (records kept before overwriting).
 pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
@@ -163,6 +163,8 @@ pub enum VmEvent {
     },
     /// A page-in submission the device rejected.
     ReadError {
+        /// The rejecting device.
+        device: DeviceId,
         /// Backing object of the failed page-in.
         object: ObjectId,
         /// Page within the object.
@@ -177,6 +179,8 @@ pub enum VmEvent {
     },
     /// A dirty page's write-back was submitted.
     FlushStart {
+        /// The device the write was submitted to.
+        device: DeviceId,
         /// The busy frame.
         frame: FrameId,
         /// The device accepted the write but will complete it torn.
@@ -184,11 +188,15 @@ pub enum VmEvent {
     },
     /// A write-back completed clean; the frame returned to the free pool.
     FlushComplete {
+        /// The completing device.
+        device: DeviceId,
         /// The freed frame.
         frame: FrameId,
     },
     /// A torn completion was reaped; the write is queued for re-issue.
     TornRetry {
+        /// The device that tore the write.
+        device: DeviceId,
         /// The still-busy frame.
         frame: FrameId,
         /// Submissions so far.
@@ -196,6 +204,8 @@ pub enum VmEvent {
     },
     /// A queued re-issue was rejected outright by the device.
     RetryRejected {
+        /// The rejecting device.
+        device: DeviceId,
         /// The still-busy frame.
         frame: FrameId,
         /// Submissions so far.
@@ -204,24 +214,33 @@ pub enum VmEvent {
     /// The retry budget ran out: the page's data is lost, the frame freed,
     /// and a [`crate::kernel::DeadFlush`] surfaced to the HiPEC layer.
     FlushAbandoned {
+        /// The device whose faults exhausted the budget.
+        device: DeviceId,
         /// The abandoned frame.
         frame: FrameId,
         /// Total submissions before giving up.
         attempts: u8,
     },
-    /// The device circuit breaker tripped open: the pump enters degraded
-    /// mode (backoff-gated, bounded-in-flight probe submissions).
+    /// A device's circuit breaker tripped open: that device's pump enters
+    /// degraded mode (backoff-gated, bounded-in-flight probe submissions).
     BreakerTrip {
+        /// The tripped device.
+        device: DeviceId,
         /// Failure score at the trip (milli-units, 0–1000).
         ewma_milli: u64,
     },
     /// A degraded-mode submission served as a half-open probe.
     BreakerProbe {
+        /// The probed device.
+        device: DeviceId,
         /// The probe was accepted and not torn.
         ok: bool,
     },
-    /// A clean probe streak closed the breaker: the device is healthy again.
+    /// A clean probe streak closed a device's breaker: that device is
+    /// healthy again.
     BreakerClose {
+        /// The recovered device.
+        device: DeviceId,
         /// Failure score at the close (milli-units, 0–1000).
         ewma_milli: u64,
     },

@@ -14,6 +14,12 @@ pub const fn bytes_to_pages(bytes: u64) -> u64 {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FrameId(pub u32);
 
+/// A backing-device identifier: an index into the kernel's device table.
+/// Device 0 always exists (built from [`crate::KernelParams::disk`]) and
+/// backs the default-managed pool and any region not bound elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceId(pub u32);
+
 /// A kernel memory-object identifier (one per `VmObject`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
@@ -45,6 +51,12 @@ impl VAddr {
 impl fmt::Display for FrameId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "frame#{}", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
     }
 }
 
@@ -80,6 +92,8 @@ pub enum VmError {
     FrameNotQueued(FrameId),
     /// The queue id does not exist.
     BadQueue(u32),
+    /// The backing-device id does not exist in the device table.
+    NoSuchDevice(DeviceId),
     /// A dirty frame was released without being flushed first.
     DirtyFrameFreed(FrameId),
     /// The frame is busy (an in-flight flush) and cannot be evicted or
@@ -113,6 +127,7 @@ impl fmt::Display for VmError {
             VmError::FrameAlreadyQueued(id) => write!(f, "{id} is already on a queue"),
             VmError::FrameNotQueued(id) => write!(f, "{id} is not on the expected queue"),
             VmError::BadQueue(q) => write!(f, "invalid queue id {q}"),
+            VmError::NoSuchDevice(d) => write!(f, "no such backing device {d}"),
             VmError::DirtyFrameFreed(id) => write!(f, "dirty {id} released without flush"),
             VmError::FrameBusy(id) => write!(f, "{id} is busy (flush in flight)"),
             VmError::Backing(e) => write!(f, "backing store: {e}"),

@@ -18,11 +18,12 @@ cargo test -q
 echo "== tracing compiled out: cargo test (vm + core, --no-default-features) =="
 cargo test -q -p hipec-vm -p hipec-core --no-default-features
 
-echo "== observability modules carry no dead-code waivers =="
+echo "== observability and device-table modules carry no dead-code waivers =="
 if grep -n '#\[allow(dead_code)\]' \
     crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs \
-    crates/bench/src/analyze.rs; then
-  echo "error: dead_code allowed in an observability module" >&2
+    crates/bench/src/analyze.rs \
+    crates/vm/src/device.rs crates/core/src/health.rs; then
+  echo "error: dead_code allowed in an observability or device-table module" >&2
   exit 1
 fi
 
@@ -42,10 +43,11 @@ echo "   traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/a.jsonl") records)"
 # checker timeouts) or malformed input, so this line is the gate itself.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/a.jsonl"
 
-echo "== chaos: degradation cycle completes, replays and analyzes clean =="
-# chaos_soak itself exits non-zero unless the full cycle was observed
-# (breaker trip -> close, quarantine -> restore, invariants clean, no
-# livelock, zero dropped records).
+echo "== chaos: two-device degradation cycle completes, replays and analyzes clean =="
+# chaos_soak itself exits non-zero unless the full cycle was observed on
+# the faulty device (breaker trip -> close, quarantine -> ramped restore,
+# invariants clean, no livelock, zero dropped records) while the clean
+# device's breaker never trips and its container stays Healthy.
 cargo run -q --release --bin chaos_soak -- \
   --seed 0xC4A05 --steps 2500 --out "$SOAK_DIR/c1.jsonl" >/dev/null
 cargo run -q --release --bin chaos_soak -- \
@@ -59,9 +61,20 @@ if ! grep -q '"type":"quarantined"' "$SOAK_DIR/c1.jsonl" ||
   echo "error: chaos trace shows no quarantine-then-recovery cycle" >&2
   exit 1
 fi
+# The storm must be confined to the second device: every breaker trip
+# record names dev#1, never the boot device.
+if ! grep -q '"type":"vm.breaker_trip","device":1' "$SOAK_DIR/c1.jsonl"; then
+  echo "error: chaos trace shows no breaker trip on the faulty device" >&2
+  exit 1
+fi
+if grep -q '"type":"vm.breaker_trip","device":0' "$SOAK_DIR/c1.jsonl"; then
+  echo "error: the clean device's breaker tripped during the chaos soak" >&2
+  exit 1
+fi
 echo "   chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/c1.jsonl") records)"
-# Degradation-aware analysis: collateral inside the breaker window is
-# expected; an unclosed breaker or unrestored container is an anomaly.
+# Degradation-aware analysis, gated per device: collateral inside a
+# device's own breaker window is expected; collateral on a closed-breaker
+# device, an unclosed breaker or an unrestored container is an anomaly.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/c1.jsonl"
 
 echo "verify: OK"

@@ -15,7 +15,7 @@ use hipec_core::{
 use hipec_disk::{FaultConfig, FaultPhase, PhasedFaultConfig};
 use hipec_policies::PolicyKind;
 use hipec_sim::SimDuration;
-use hipec_vm::{BreakerParams, CircuitBreaker, KernelParams, VAddr, PAGE_SIZE};
+use hipec_vm::{BreakerParams, CircuitBreaker, DeviceId, KernelParams, VAddr, PAGE_SIZE};
 
 fn chaos_params() -> KernelParams {
     let mut p = KernelParams::paper_64mb();
@@ -87,12 +87,13 @@ fn chaos_cycle(seed: u64, steps: usize) -> (Vec<u8>, KernelStats) {
 
     // Probation: clean checker intervals with a closed breaker restore the
     // quarantined policies; the scanner trickle keeps flushes (and thus
-    // breaker probes) flowing.
+    // breaker probes) flowing. Restores ramp, so keep ticking until every
+    // restored container's outstanding reservation is fully admitted too.
     let mut guard = 0;
     while k
         .containers
         .iter()
-        .any(|c| !c.terminated && c.health.quarantined())
+        .any(|c| !c.terminated && (c.health.quarantined() || c.restore_pending > 0))
     {
         for i in 0..4u64 {
             let r = (guard as u64 * 11 + i * 5) % 96;
@@ -169,6 +170,33 @@ fn chaos_cycle_completes_and_replays_bit_for_bit() {
         analysis.expected_degradations > 0,
         "the torn window must produce gated device collateral"
     );
+
+    // Restores must be ramped: the restore itself re-admits at most one
+    // tranche (no post-restore re-fault burst), and the remainder of the
+    // reservation trickles in through restore_ramp events.
+    let tranche = hipec_core::HealthPolicy::default().restore_tranche;
+    let mut ramp_events = 0u64;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+        let obj = v.as_object().expect("record object");
+        let ty = obj.get("type").and_then(|x| x.as_str()).unwrap_or_default();
+        let field = |name: &str| obj.get(name).and_then(|x| x.as_u64());
+        if ty == "fallback_restored" {
+            let readmitted = field("readmitted").expect("readmitted");
+            assert!(
+                readmitted <= tranche,
+                "restore re-admitted {readmitted} frames at once (tranche is {tranche})"
+            );
+        }
+        if ty == "restore_ramp" {
+            ramp_events += 1;
+            assert!(field("admitted").expect("admitted") <= tranche);
+        }
+    }
+    assert!(
+        ramp_events >= 1,
+        "a 6-frame reservation behind a 2-frame tranche must ramp"
+    );
 }
 
 // --- Regression: surfaced faults across a mid-flush kill ----------------------
@@ -219,7 +247,7 @@ fn surfaced_faults_survive_a_mid_flush_kill_without_misattribution() {
     // degradation machinery (the breaker's score can never reach its trip
     // threshold, the health machine never quarantines on strikes): this
     // test is about fault attribution across a *kill*.
-    k.vm.breaker = CircuitBreaker::new(BreakerParams {
+    *k.vm.breaker_mut(DeviceId(0)) = CircuitBreaker::new(BreakerParams {
         trip_milli: 1001,
         ..BreakerParams::default()
     });
