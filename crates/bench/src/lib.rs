@@ -38,7 +38,12 @@ pub use hipec_sim::stats::{Series, TextTable};
 /// device with `breaker_trips` / `breaker_closes` / `queue_depth` and the
 /// rest of [`hipec_core::DeviceRow`]); the flat `breaker_*` / `dev_*` /
 /// `retryq_*` globals became sums over those rows.
-pub const JSON_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the envelope gained a top-level `backend` field naming the policy
+/// executor the binary ran under (`"interpreter"` or `"native"`, the
+/// build's default [`hipec_core::ExecBackend`]), so results from JIT-on
+/// and JIT-off builds are distinguishable after the fact.
+pub const JSON_SCHEMA_VERSION: u64 = 3;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///
@@ -136,6 +141,7 @@ pub fn finish(name: &str, data: &Value) {
         let doc = serde_json::json!({
             "bench": name,
             "schema": JSON_SCHEMA_VERSION,
+            "backend": hipec_core::ExecBackend::default().name(),
             "data": data.clone(),
         });
         println!("{}", serde_json::to_string_pretty(&doc).unwrap_or_default());

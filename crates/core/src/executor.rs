@@ -50,6 +50,45 @@ pub enum ExecValue {
     Bool(bool),
 }
 
+/// Which execution backend [`HipecKernel::run_event`] dispatches to.
+///
+/// Both backends observe the same accounting contract — per installed
+/// command, `cmd_fetch_decode` plus the operation's native charges — so
+/// traces, [`crate::KernelStats`] and fuel behavior are bit-identical
+/// either way. The interpreter is the reference implementation; the native
+/// backend ([`crate::jit`]) exists purely to cut host-CPU dispatch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Fetch, decode and dispatch each 32-bit command on every execution.
+    Interpreter,
+    /// Pre-lowered fn-pointer step chains, installed at `vm_*_hipec` time
+    /// (see [`crate::jit`]). Containers without a compiled form fall back
+    /// to the interpreter.
+    Native,
+}
+
+impl ExecBackend {
+    /// Stable machine-readable name (bench `--json` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecBackend::Interpreter => "interpreter",
+            ExecBackend::Native => "native",
+        }
+    }
+}
+
+impl Default for ExecBackend {
+    /// Native when the `jit` feature (default-on) is compiled in, so
+    /// regular kernels get compiled dispatch; interpreter otherwise.
+    fn default() -> Self {
+        if cfg!(feature = "jit") {
+            ExecBackend::Native
+        } else {
+            ExecBackend::Interpreter
+        }
+    }
+}
+
 impl HipecKernel {
     /// Interprets one event of container `cidx`'s policy.
     ///
@@ -74,7 +113,38 @@ impl HipecKernel {
         result
     }
 
+    /// Backend dispatch: containers with a compiled form run natively when
+    /// the kernel's backend is [`ExecBackend::Native`]; everything else
+    /// takes the reference interpreter. Shared by top-level invocations and
+    /// nested `Activate`s, so mixed programs stay consistent.
     fn run_event_inner(
+        &mut self,
+        cidx: usize,
+        event: u8,
+        depth: u8,
+        fuel: &mut u32,
+    ) -> Result<ExecValue, PolicyFault> {
+        #[cfg(feature = "jit")]
+        if self.backend == ExecBackend::Native {
+            // Take-and-restore instead of `Arc::clone`: moving the pointer
+            // out avoids two atomic refcount updates per event. While the
+            // event runs the container shows no compiled form, so a nested
+            // `Activate` of the same container takes the interpreter —
+            // bit-identical by contract (enforced by tests/jit.rs).
+            if let Some(compiled) = self.containers[cidx].compiled.take() {
+                let result = self.run_event_native(cidx, event, depth, fuel, &compiled);
+                self.containers[cidx].compiled = Some(compiled);
+                return result;
+            }
+        }
+        self.run_event_interp(cidx, event, depth, fuel)
+    }
+
+    /// The reference interpreter (paper §4.3.2): fetch, decode and execute
+    /// one 32-bit command at a time. The native backend in [`crate::jit`]
+    /// must stay bit-compatible with this loop's charges, faults, profile
+    /// attribution and condition-flag behavior.
+    fn run_event_interp(
         &mut self,
         cidx: usize,
         event: u8,
@@ -109,31 +179,34 @@ impl HipecKernel {
             let mut new_cond = false;
             match op {
                 OpCode::Return => {
-                    // Return charges nothing beyond decode; attribute before
-                    // the early exits below.
+                    // Resolve the value first: a faulting Return (empty page
+                    // slot, queue operand) is counted but not attributed,
+                    // like every other faulting command.
+                    let value = if cmd.a() == NO_OPERAND {
+                        ExecValue::None
+                    } else {
+                        match *self.slot(cidx, cmd.a(), cc)? {
+                            OperandSlot::Int(v) => ExecValue::Int(v),
+                            OperandSlot::Bool(b) => ExecValue::Bool(b),
+                            OperandSlot::Page(Some(f)) => ExecValue::Page(f),
+                            OperandSlot::Page(None) => {
+                                return Err(PolicyFault::EmptyPageSlot { index: cmd.a(), cc })
+                            }
+                            OperandSlot::Kernel(v) => {
+                                ExecValue::Int(self.containers[cidx].kernel_var(v, &self.vm))
+                            }
+                            OperandSlot::Queue(_) => {
+                                return Err(PolicyFault::TypeMismatch {
+                                    expected: "returnable value",
+                                    found: "queue",
+                                    cc,
+                                })
+                            }
+                        }
+                    };
                     let spent = self.vm.now().since(t0);
                     self.containers[cidx].op_profile.attribute(op, spent);
-                    if cmd.a() == NO_OPERAND {
-                        return Ok(ExecValue::None);
-                    }
-                    return Ok(match *self.slot(cidx, cmd.a(), cc)? {
-                        OperandSlot::Int(v) => ExecValue::Int(v),
-                        OperandSlot::Bool(b) => ExecValue::Bool(b),
-                        OperandSlot::Page(Some(f)) => ExecValue::Page(f),
-                        OperandSlot::Page(None) => {
-                            return Err(PolicyFault::EmptyPageSlot { index: cmd.a(), cc })
-                        }
-                        OperandSlot::Kernel(v) => {
-                            ExecValue::Int(self.containers[cidx].kernel_var(v, &self.vm))
-                        }
-                        OperandSlot::Queue(_) => {
-                            return Err(PolicyFault::TypeMismatch {
-                                expected: "returnable value",
-                                found: "queue",
-                                cc,
-                            })
-                        }
-                    });
+                    return Ok(value);
                 }
                 OpCode::Arith => {
                     let aop = ArithOp::from_u8(cmd.c()).ok_or(PolicyFault::BadFlag { cmd, cc })?;

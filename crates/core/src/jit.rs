@@ -1,0 +1,986 @@
+//! Native policy compilation: pre-lowered step chains for the executor.
+//!
+//! The interpreter in [`crate::executor`] re-decodes every 32-bit command on
+//! every execution — opcode match, flag decode, operand-byte extraction —
+//! which is pure host-CPU overhead on the fault path. This module lowers a
+//! validated command stream *once*, at `vm_*_hipec` install time, into a
+//! chain of monomorphized step functions ([`Step`]): opcode and flag
+//! variants become distinct `fn` items selected at lowering (match-free
+//! threaded dispatch), so executing a command is one indirect call with all
+//! decoding already done.
+//!
+//! Two further host-cost reductions, both invisible in virtual time:
+//!
+//! * Steps return a register-sized [`StepRes`] verdict; `Return` values and
+//!   fault payloads travel through the per-event [`Ctx`] scratch instead of
+//!   a by-value `Result` too large for a return register.
+//! * Over an uninterrupted run of *pure* steps (ops that never charge the
+//!   clock beyond `cmd_fetch_decode`, never emit a trace record and never
+//!   recurse), the decode charges and command counts accumulate in locals
+//!   and are flushed before anything that could observe them — a non-pure
+//!   step, a fault, or the end of the event. Nothing a pure step executes
+//!   reads the clock or the counters, so the flushed state is bit-identical
+//!   to charging per command.
+//!
+//! # The accounting contract
+//!
+//! The compiled form is an *implementation* of the same abstract machine,
+//! not a different one. Per installed source command it charges exactly
+//! what the interpreter charges — `cmd_fetch_decode` plus the operation's
+//! native costs — bumps and attributes the same [`crate::OpProfile`]
+//! entries, burns one fuel unit, and raises the same [`PolicyFault`]s from
+//! the same machine states. Traces, `KernelStats` and fuel exhaustion are
+//! bit-identical between backends (enforced by the differential sweep in
+//! `tests/jit.rs`). The interpreter stays as the reference implementation
+//! behind the same `run_event` entry point.
+//!
+//! Lowering is *total*: an undecodable opcode or flag byte lowers to a
+//! fault step that reproduces the interpreter's exact fault (including the
+//! operand reads the interpreter performs before it decodes a trailing
+//! flag byte), so no program needs an interpreter fallback.
+
+use std::sync::Arc;
+
+use crate::command::{
+    ArithOp, CompOp, JumpMode, LogicOp, OpCode, PageBit, QueueEnd, RawCmd, NO_OPERAND,
+};
+use crate::error::PolicyFault;
+use crate::executor::ExecValue;
+use crate::kernel::HipecKernel;
+use crate::operand::OperandSlot;
+use crate::program::PolicyProgram;
+
+/// What a step body tells the adapter to do next (fault-free cases).
+/// Taken jumps don't pass through here: `jump_step` reports
+/// [`StepRes::Jump`] directly.
+enum StepOut {
+    /// Fall through to the next command; the payload is the op's
+    /// condition-flag result (only honored when the op is a test).
+    Next(bool),
+    /// `Return` executed: end the event with this value.
+    Return(ExecValue),
+}
+
+/// The register-sized verdict a step hands back to the driver. `Return`
+/// values and fault payloads go through [`Ctx`]; everything hot fits in
+/// one byte.
+#[derive(Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum StepRes {
+    /// Fall through, condition result false.
+    Fall,
+    /// Fall through, condition result true.
+    FallSet,
+    /// Taken jump to the step's target.
+    Jump,
+    /// `Return` executed; the value is in `Ctx::ret`.
+    Ret,
+    /// The step faulted; the fault is in `Ctx::fault`.
+    Fault,
+}
+
+/// Per-event scratch shared between the driver and the step functions:
+/// the cold-path payload channels plus the `Activate` recursion inputs.
+struct Ctx<'f> {
+    fuel: &'f mut u32,
+    depth: u8,
+    fault: Option<PolicyFault>,
+    ret: ExecValue,
+}
+
+/// Folds a step body's `Result` into the compact verdict, routing the
+/// cold payloads into the scratch.
+#[inline(always)]
+fn finish(ctx: &mut Ctx, r: Result<StepOut, PolicyFault>) -> StepRes {
+    match r {
+        Ok(StepOut::Next(false)) => StepRes::Fall,
+        Ok(StepOut::Next(true)) => StepRes::FallSet,
+        Ok(StepOut::Return(v)) => {
+            ctx.ret = v;
+            StepRes::Ret
+        }
+        Err(f) => {
+            ctx.fault = Some(f);
+            StepRes::Fault
+        }
+    }
+}
+
+/// One lowered command: a monomorphized executor plus its pre-decoded
+/// operand bytes.
+type StepFn = fn(&mut HipecKernel, usize, &Step, bool, &mut Ctx) -> StepRes;
+
+/// A lowered command. Everything the interpreter decodes per execution is
+/// resolved here once: the opcode match and flag decode are baked into
+/// `exec`, the operand bytes are plain fields.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    exec: StepFn,
+    /// The decoded opcode, for profile bump/attribution. Unused (and
+    /// arbitrary) on undecodable-opcode fault steps, which never bump.
+    op: OpCode,
+    /// Whether the driver bumps `op_profile` at decode (false only for an
+    /// undecodable opcode, which the interpreter faults on before bumping).
+    bump: bool,
+    /// Cached `op.is_test()`: whether `FallSet` may set the condition.
+    is_test: bool,
+    /// True when the op never charges the clock beyond `cmd_fetch_decode`,
+    /// never emits a trace record and never recurses: its attribution is
+    /// exactly the decode cost and nothing it executes can observe the
+    /// clock or counters, so the driver defers its accounting.
+    pure: bool,
+    a: u8,
+    b: u8,
+    /// Pre-extracted 16-bit jump target.
+    target: u16,
+    /// The segment length, for the taken-jump range check.
+    len: usize,
+    /// The source command counter, baked into fault payloads.
+    cc: usize,
+    /// The source word, baked into decode-fault payloads.
+    cmd: RawCmd,
+}
+
+/// A policy lowered to native step chains, one per event.
+///
+/// Built by [`compile_policy`] and installed on the container next to the
+/// source program; [`HipecKernel::run_event`] dispatches to it when the
+/// kernel backend is [`crate::ExecBackend::Native`].
+#[derive(Debug)]
+pub struct CompiledPolicy {
+    events: Vec<Vec<Step>>,
+}
+
+impl CompiledPolicy {
+    /// Number of lowered events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total lowered steps across all events (equals the installed
+    /// program's command count: lowering is one step per source command).
+    pub fn step_count(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+}
+
+/// Lowers every event of `program` into native step chains. Total: invalid
+/// opcode or flag bytes lower to fault steps, so this never fails and the
+/// result never needs an interpreter fallback.
+pub fn compile_policy(program: &PolicyProgram) -> Arc<CompiledPolicy> {
+    Arc::new(CompiledPolicy {
+        events: program
+            .events
+            .iter()
+            .map(|seg| {
+                let len = seg.len();
+                seg.iter()
+                    .enumerate()
+                    .map(|(cc, &cmd)| lower_cmd(cmd, cc, len))
+                    .collect()
+            })
+            .collect(),
+    })
+}
+
+/// Lowers one command, selecting the monomorphized step function for its
+/// opcode and flag variant.
+fn lower_cmd(cmd: RawCmd, cc: usize, len: usize) -> Step {
+    let mut step = Step {
+        exec: fault_bad_opcode,
+        op: OpCode::Return, // placeholder; never bumped or attributed
+        bump: false,
+        is_test: false,
+        pure: true,
+        a: cmd.a(),
+        b: cmd.b(),
+        target: cmd.jump_target(),
+        len,
+        cc,
+        cmd,
+    };
+    let Some(op) = cmd.opcode() else {
+        return step;
+    };
+    step.op = op;
+    step.bump = true;
+    step.is_test = op.is_test();
+    // Flag decodes the interpreter performs up front fail here as plain
+    // `fault_bad_flag` steps; ops that read operands *before* decoding a
+    // flag byte get a fault step that replays those reads first.
+    step.exec = match op {
+        OpCode::Return => {
+            if cmd.a() == NO_OPERAND {
+                ret_none
+            } else {
+                ret_slot
+            }
+        }
+        OpCode::Arith => match ArithOp::from_u8(cmd.c()) {
+            Some(ArithOp::Add) => arith_step::<{ ArithOp::Add as u8 }>,
+            Some(ArithOp::Sub) => arith_step::<{ ArithOp::Sub as u8 }>,
+            Some(ArithOp::Mul) => arith_step::<{ ArithOp::Mul as u8 }>,
+            Some(ArithOp::Div) => arith_step::<{ ArithOp::Div as u8 }>,
+            Some(ArithOp::Mod) => arith_step::<{ ArithOp::Mod as u8 }>,
+            Some(ArithOp::Mov) => arith_step::<{ ArithOp::Mov as u8 }>,
+            Some(ArithOp::Inc) => arith_step::<{ ArithOp::Inc as u8 }>,
+            Some(ArithOp::Dec) => arith_step::<{ ArithOp::Dec as u8 }>,
+            None => fault_bad_flag,
+        },
+        OpCode::Comp => match CompOp::from_u8(cmd.c()) {
+            Some(CompOp::Eq) => comp_step::<{ CompOp::Eq as u8 }>,
+            Some(CompOp::Gt) => comp_step::<{ CompOp::Gt as u8 }>,
+            Some(CompOp::Lt) => comp_step::<{ CompOp::Lt as u8 }>,
+            Some(CompOp::Ge) => comp_step::<{ CompOp::Ge as u8 }>,
+            Some(CompOp::Le) => comp_step::<{ CompOp::Le as u8 }>,
+            Some(CompOp::Ne) => comp_step::<{ CompOp::Ne as u8 }>,
+            None => fault_bad_flag,
+        },
+        OpCode::Logic => match LogicOp::from_u8(cmd.c()) {
+            Some(LogicOp::And) => logic_step::<{ LogicOp::And as u8 }>,
+            Some(LogicOp::Or) => logic_step::<{ LogicOp::Or as u8 }>,
+            Some(LogicOp::Xor) => logic_step::<{ LogicOp::Xor as u8 }>,
+            Some(LogicOp::Not) => logic_step::<{ LogicOp::Not as u8 }>,
+            Some(LogicOp::StoreCond) => logic_step::<{ LogicOp::StoreCond as u8 }>,
+            Some(LogicOp::LoadCond) => logic_step::<{ LogicOp::LoadCond as u8 }>,
+            None => fault_bad_flag,
+        },
+        OpCode::EmptyQ => emptyq_step,
+        OpCode::InQ => inq_step,
+        OpCode::Jump => match JumpMode::from_u8(cmd.a()) {
+            Some(JumpMode::IfFalse) => jump_step::<{ JumpMode::IfFalse as u8 }>,
+            Some(JumpMode::Always) => jump_step::<{ JumpMode::Always as u8 }>,
+            Some(JumpMode::IfTrue) => jump_step::<{ JumpMode::IfTrue as u8 }>,
+            None => fault_bad_flag,
+        },
+        OpCode::DeQueue => match QueueEnd::from_u8(cmd.c()) {
+            Some(QueueEnd::Head) => dequeue_step::<true>,
+            Some(QueueEnd::Tail) => dequeue_step::<false>,
+            // The interpreter reads the queue operand before decoding the
+            // end flag; replay that read so its faults win.
+            None => fault_bad_flag_after_queue_read,
+        },
+        OpCode::EnQueue => match QueueEnd::from_u8(cmd.c()) {
+            Some(QueueEnd::Head) => enqueue_step::<true>,
+            Some(QueueEnd::Tail) => enqueue_step::<false>,
+            None => fault_bad_flag_after_page_queue_read,
+        },
+        OpCode::Request => request_step,
+        OpCode::Release => release_step,
+        OpCode::Flush => flush_step,
+        OpCode::Set => match (PageBit::from_u8(cmd.b()), cmd.c()) {
+            (Some(PageBit::Reference), 0) => set_step::<false, false>,
+            (Some(PageBit::Reference), 1) => set_step::<false, true>,
+            (Some(PageBit::Modify), 0) => set_step::<true, false>,
+            (Some(PageBit::Modify), 1) => set_step::<true, true>,
+            // Page operand read precedes both flag decodes.
+            _ => fault_bad_flag_after_page_read,
+        },
+        OpCode::Ref => ref_step,
+        OpCode::Mod => mod_step,
+        OpCode::Find => find_step,
+        OpCode::Activate => activate_step,
+        OpCode::Fifo | OpCode::Lru => reclaim_step::<true>,
+        OpCode::Mru => reclaim_step::<false>,
+        OpCode::Migrate => migrate_step,
+    };
+    step.pure = matches!(
+        op,
+        OpCode::Return
+            | OpCode::Arith
+            | OpCode::Comp
+            | OpCode::Logic
+            | OpCode::EmptyQ
+            | OpCode::InQ
+            | OpCode::Jump
+    );
+    step
+}
+
+impl HipecKernel {
+    /// Drives one event of `cidx`'s compiled policy: the native twin of the
+    /// interpreter loop in `executor.rs`, with identical charge, fault,
+    /// fuel, profile and condition-flag behavior per source command.
+    pub(crate) fn run_event_native(
+        &mut self,
+        cidx: usize,
+        event: u8,
+        depth: u8,
+        fuel: &mut u32,
+        compiled: &CompiledPolicy,
+    ) -> Result<ExecValue, PolicyFault> {
+        let steps = compiled
+            .events
+            .get(event as usize)
+            .ok_or(PolicyFault::UnknownEvent(event))?;
+        self.containers[cidx].stats.events += 1;
+        // The cost model is immutable while an event runs; hoisting the
+        // decode charge keeps the per-step loop free of repeated loads.
+        let decode = self.vm.cost.cmd_fetch_decode;
+        let mut ctx = Ctx {
+            fuel,
+            depth,
+            fault: None,
+            ret: ExecValue::None,
+        };
+        let mut cc: usize = 0;
+        let mut cond = false;
+        // Decode charges and command counts deferred over the current run
+        // of pure steps. Flushed before any point that could observe the
+        // clock or the counters: a non-pure step, a fault, fuel
+        // exhaustion, or the end of the event.
+        let mut pending: u32 = 0;
+        // Settles the deferred charges/counts; the one mid-loop caller
+        // (the non-pure branch) resets `pending` itself, every other
+        // caller returns immediately after.
+        macro_rules! settle_pending {
+            () => {
+                if pending != 0 {
+                    self.vm.charge(decode * pending as u64);
+                    self.containers[cidx].stats.commands += pending as u64;
+                }
+            };
+        }
+        loop {
+            let Some(step) = steps.get(cc) else {
+                settle_pending!();
+                return Err(PolicyFault::MissingReturn);
+            };
+            if *ctx.fuel == 0 {
+                settle_pending!();
+                self.containers[cidx].runaway = true;
+                return Err(PolicyFault::OutOfFuel);
+            }
+            *ctx.fuel -= 1;
+            if step.pure {
+                // A pure step cannot observe the clock, the counters or
+                // the profile, so its decode charge and command count sit
+                // in `pending` and its profile entry is settled after the
+                // call — bit-identical to the interpreter's per-command
+                // order once flushed.
+                pending += 1;
+                let res = (step.exec)(self, cidx, step, cond, &mut ctx);
+                match res {
+                    StepRes::Fall | StepRes::FallSet => {
+                        let p = &mut self.containers[cidx].op_profile;
+                        p.bump(step.op);
+                        p.attribute(step.op, decode);
+                        cond = step.is_test && res == StepRes::FallSet;
+                        cc += 1;
+                    }
+                    StepRes::Jump => {
+                        // Taken jumps attribute the decode cost, flag
+                        // cleared — same as the interpreter.
+                        let p = &mut self.containers[cidx].op_profile;
+                        p.bump(step.op);
+                        p.attribute(step.op, decode);
+                        cond = false;
+                        cc = step.target as usize;
+                    }
+                    StepRes::Ret => {
+                        let p = &mut self.containers[cidx].op_profile;
+                        p.bump(step.op);
+                        p.attribute(step.op, decode);
+                        settle_pending!();
+                        return Ok(ctx.ret);
+                    }
+                    StepRes::Fault => {
+                        // Charged and counted (it is part of `pending`),
+                        // bumped, never attributed.
+                        if step.bump {
+                            self.containers[cidx].op_profile.bump(step.op);
+                        }
+                        settle_pending!();
+                        return Err(ctx.fault.take().expect("fault step sets a fault"));
+                    }
+                }
+            } else {
+                settle_pending!();
+                pending = 0;
+                let t0 = self.vm.now();
+                self.vm.charge(decode);
+                {
+                    let c = &mut self.containers[cidx];
+                    c.stats.commands += 1;
+                    if step.bump {
+                        c.op_profile.bump(step.op);
+                    }
+                }
+                match (step.exec)(self, cidx, step, cond, &mut ctx) {
+                    res @ (StepRes::Fall | StepRes::FallSet) => {
+                        let spent = self.vm.now().since(t0);
+                        self.containers[cidx].op_profile.attribute(step.op, spent);
+                        cond = step.is_test && res == StepRes::FallSet;
+                        cc += 1;
+                    }
+                    StepRes::Jump => {
+                        self.containers[cidx].op_profile.attribute(step.op, decode);
+                        cond = false;
+                        cc = step.target as usize;
+                    }
+                    StepRes::Ret => {
+                        self.containers[cidx].op_profile.attribute(step.op, decode);
+                        return Ok(ctx.ret);
+                    }
+                    StepRes::Fault => {
+                        return Err(ctx.fault.take().expect("fault step sets a fault"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- Decode-fault steps -------------------------------------------------------
+//
+// A faulting step reports `Fault` before the driver attributes, matching
+// the interpreter's counted-but-not-attributed treatment of faulting
+// commands.
+
+fn fault_bad_opcode(
+    _k: &mut HipecKernel,
+    _cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    ctx.fault = Some(PolicyFault::BadOpcode {
+        cmd: s.cmd,
+        cc: s.cc,
+    });
+    StepRes::Fault
+}
+
+fn fault_bad_flag(
+    _k: &mut HipecKernel,
+    _cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    ctx.fault = Some(PolicyFault::BadFlag {
+        cmd: s.cmd,
+        cc: s.cc,
+    });
+    StepRes::Fault
+}
+
+fn fault_bad_flag_after_queue_read(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            k.read_queue(cidx, s.b, s.cc)?;
+            Err(PolicyFault::BadFlag {
+                cmd: s.cmd,
+                cc: s.cc,
+            })
+        })(),
+    )
+}
+
+fn fault_bad_flag_after_page_queue_read(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            k.read_page(cidx, s.a, s.cc)?;
+            k.read_queue(cidx, s.b, s.cc)?;
+            Err(PolicyFault::BadFlag {
+                cmd: s.cmd,
+                cc: s.cc,
+            })
+        })(),
+    )
+}
+
+fn fault_bad_flag_after_page_read(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            k.read_page(cidx, s.a, s.cc)?;
+            Err(PolicyFault::BadFlag {
+                cmd: s.cmd,
+                cc: s.cc,
+            })
+        })(),
+    )
+}
+
+// --- Monomorphized operation steps --------------------------------------------
+//
+// Each body mirrors the matching interpreter arm exactly: same operand-read
+// order, same fault order, same charges at the same points. Flag variants
+// arrive as const generics, so `from_u8(...).expect(...)` folds to the one
+// selected arm at monomorphization — no runtime decode.
+
+fn ret_none(_k: &mut HipecKernel, _cidx: usize, _s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    ctx.ret = ExecValue::None;
+    StepRes::Ret
+}
+
+fn ret_slot(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let value = match *k.slot(cidx, s.a, s.cc)? {
+                OperandSlot::Int(v) => ExecValue::Int(v),
+                OperandSlot::Bool(b) => ExecValue::Bool(b),
+                OperandSlot::Page(Some(f)) => ExecValue::Page(f),
+                OperandSlot::Page(None) => {
+                    return Err(PolicyFault::EmptyPageSlot {
+                        index: s.a,
+                        cc: s.cc,
+                    })
+                }
+                OperandSlot::Kernel(v) => ExecValue::Int(k.containers[cidx].kernel_var(v, &k.vm)),
+                OperandSlot::Queue(_) => {
+                    return Err(PolicyFault::TypeMismatch {
+                        expected: "returnable value",
+                        found: "queue",
+                        cc: s.cc,
+                    })
+                }
+            };
+            Ok(StepOut::Return(value))
+        })(),
+    )
+}
+
+fn arith_step<const AOP: u8>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let aop = ArithOp::from_u8(AOP).expect("lowered variant");
+            let a = k.read_int(cidx, s.a, s.cc)?;
+            let b = match aop {
+                ArithOp::Inc | ArithOp::Dec => 1,
+                _ => k.read_int(cidx, s.b, s.cc)?,
+            };
+            let v = match aop {
+                ArithOp::Add | ArithOp::Inc => a.wrapping_add(b),
+                ArithOp::Sub | ArithOp::Dec => a.wrapping_sub(b),
+                ArithOp::Mul => a.wrapping_mul(b),
+                ArithOp::Div => {
+                    if b == 0 {
+                        return Err(PolicyFault::DivideByZero { cc: s.cc });
+                    }
+                    a.wrapping_div(b)
+                }
+                ArithOp::Mod => {
+                    if b == 0 {
+                        return Err(PolicyFault::DivideByZero { cc: s.cc });
+                    }
+                    a.wrapping_rem(b)
+                }
+                ArithOp::Mov => b,
+            };
+            k.write_int(cidx, s.a, v, s.cc)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn comp_step<const COP: u8>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let cop = CompOp::from_u8(COP).expect("lowered variant");
+            let a = k.read_int(cidx, s.a, s.cc)?;
+            let b = k.read_int(cidx, s.b, s.cc)?;
+            Ok(StepOut::Next(cop.eval(a, b)))
+        })(),
+    )
+}
+
+fn logic_step<const LOP: u8>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let lop = LogicOp::from_u8(LOP).expect("lowered variant");
+            let new_cond = match lop {
+                // `&&`/`||` short-circuit exactly like the interpreter: a
+                // bad second operand only faults when it is actually read.
+                LogicOp::And => k.read_bool(cidx, s.a, s.cc)? && k.read_bool(cidx, s.b, s.cc)?,
+                LogicOp::Or => k.read_bool(cidx, s.a, s.cc)? || k.read_bool(cidx, s.b, s.cc)?,
+                LogicOp::Xor => k.read_bool(cidx, s.a, s.cc)? ^ k.read_bool(cidx, s.b, s.cc)?,
+                LogicOp::Not => !k.read_bool(cidx, s.a, s.cc)?,
+                LogicOp::StoreCond => {
+                    k.write_bool(cidx, s.a, cond, s.cc)?;
+                    cond
+                }
+                LogicOp::LoadCond => k.read_bool(cidx, s.a, s.cc)?,
+            };
+            Ok(StepOut::Next(new_cond))
+        })(),
+    )
+}
+
+fn emptyq_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let q = k.read_queue(cidx, s.a, s.cc)?;
+            Ok(StepOut::Next(k.vm.frames.queue_is_empty(q)?))
+        })(),
+    )
+}
+
+fn inq_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let q = k.read_queue(cidx, s.a, s.cc)?;
+            let page = k.read_page(cidx, s.b, s.cc)?;
+            Ok(StepOut::Next(k.vm.frames.queue_of(page)? == Some(q)))
+        })(),
+    )
+}
+
+fn jump_step<const MODE: u8>(
+    _k: &mut HipecKernel,
+    _cidx: usize,
+    s: &Step,
+    cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    let take = match JumpMode::from_u8(MODE).expect("lowered variant") {
+        JumpMode::IfFalse => !cond,
+        JumpMode::Always => true,
+        JumpMode::IfTrue => cond,
+    };
+    if take {
+        if (s.target as usize) >= s.len {
+            ctx.fault = Some(PolicyFault::JumpOutOfRange {
+                target: s.target,
+                len: s.len,
+            });
+            return StepRes::Fault;
+        }
+        StepRes::Jump
+    } else {
+        StepRes::Fall
+    }
+}
+
+fn dequeue_step<const HEAD: bool>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let q = k.read_queue(cidx, s.b, s.cc)?;
+            let page = if HEAD {
+                k.vm.frames.dequeue_head(q)?
+            } else {
+                k.vm.frames.dequeue_tail(q)?
+            };
+            k.vm.charge(k.vm.cost.queue_op);
+            k.write_page(cidx, s.a, page, s.cc)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn enqueue_step<const HEAD: bool>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            let q = k.read_queue(cidx, s.b, s.cc)?;
+            // Pushing onto the container's free queue is the eviction
+            // point: the page must be clean and gets unmapped.
+            if q == k.containers[cidx].free_q {
+                let frame = k.vm.frames.frame(page)?;
+                if frame.mod_bit {
+                    return Err(PolicyFault::DirtyFree);
+                }
+                if frame.owner.is_some() {
+                    k.vm.evict_frame(page)?;
+                }
+            }
+            if k.vm.frames.queue_of(page)?.is_some() {
+                k.vm.frames.remove(page)?;
+                k.vm.charge(k.vm.cost.queue_op);
+            }
+            if HEAD {
+                k.vm.frames.enqueue_head(q, page)?;
+            } else {
+                k.vm.frames.enqueue_tail(q, page)?;
+            }
+            k.vm.charge(k.vm.cost.queue_op);
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn request_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let n = k.read_int(cidx, s.a, s.cc)?;
+            let granted = k.gfm_request(cidx, n.max(0) as u64)?;
+            if s.b != NO_OPERAND {
+                k.write_int(cidx, s.b, granted as i64, s.cc)?;
+            }
+            Ok(StepOut::Next(granted == n.max(0) as u64 && n > 0))
+        })(),
+    )
+}
+
+fn release_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            k.gfm_release(cidx, page)?;
+            k.write_page(cidx, s.a, None, s.cc)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn flush_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            let replacement = k.flush_exchange(cidx, page)?;
+            k.write_page(cidx, s.a, Some(replacement), s.cc)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn set_step<const MODIFY: bool, const VALUE: bool>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            k.vm.charge(k.vm.cost.bit_op);
+            let frame = k.vm.frames.frame_mut(page)?;
+            if MODIFY {
+                if !VALUE && frame.mod_bit {
+                    // Clearing the modify bit of a dirty page would lose
+                    // data; policies must Flush.
+                    return Err(PolicyFault::UnsafeModClear);
+                }
+                frame.mod_bit = VALUE;
+            } else {
+                frame.ref_bit = VALUE;
+            }
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn ref_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            k.vm.charge(k.vm.cost.bit_op);
+            Ok(StepOut::Next(k.vm.frames.frame(page)?.ref_bit))
+        })(),
+    )
+}
+
+fn mod_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let page = k.read_page(cidx, s.a, s.cc)?;
+            k.vm.charge(k.vm.cost.bit_op);
+            Ok(StepOut::Next(k.vm.frames.frame(page)?.mod_bit))
+        })(),
+    )
+}
+
+fn find_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let vaddr = k.read_int(cidx, s.b, s.cc)?;
+            let task = k.containers[cidx].task;
+            let vpage = (vaddr.max(0) as u64) / hipec_vm::PAGE_SIZE;
+            let frame = k.vm.task(task).map_err(PolicyFault::Vm)?.translate(vpage);
+            k.vm.charge(k.vm.cost.mem_touch);
+            k.write_page(cidx, s.a, frame, s.cc)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+fn activate_step(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    if ctx.depth >= k.limits.max_depth {
+        ctx.fault = Some(PolicyFault::DepthExceeded);
+        return StepRes::Fault;
+    }
+    // Procedure-call semantics: the nested event's return value is
+    // discarded. Recursing through `run_event` keeps the nested trace
+    // record and backend dispatch identical to the interpreter's.
+    match k.run_event(cidx, s.a, ctx.depth + 1, ctx.fuel) {
+        Ok(_) => StepRes::Fall,
+        Err(f) => {
+            ctx.fault = Some(f);
+            StepRes::Fault
+        }
+    }
+}
+
+fn reclaim_step<const HEAD: bool>(
+    k: &mut HipecKernel,
+    cidx: usize,
+    s: &Step,
+    _cond: bool,
+    ctx: &mut Ctx,
+) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let q = k.read_queue(cidx, s.a, s.cc)?;
+            // FIFO and LRU reclaim the head (oldest-enqueued /
+            // least-recently-used of a recency queue); MRU the tail.
+            let victim = if HEAD {
+                k.vm.frames.dequeue_head(q)?
+            } else {
+                k.vm.frames.dequeue_tail(q)?
+            };
+            k.vm.charge(k.vm.cost.queue_op);
+            match victim {
+                Some(v) => {
+                    let freed = k.reclaim_one(cidx, v)?;
+                    if s.b != NO_OPERAND {
+                        k.write_page(cidx, s.b, Some(freed), s.cc)?;
+                    }
+                    Ok(StepOut::Next(true))
+                }
+                None => Ok(StepOut::Next(false)),
+            }
+        })(),
+    )
+}
+
+fn migrate_step(k: &mut HipecKernel, cidx: usize, s: &Step, _cond: bool, ctx: &mut Ctx) -> StepRes {
+    finish(
+        ctx,
+        (|| -> Result<StepOut, PolicyFault> {
+            let target = k.read_int(cidx, s.a, s.cc)?;
+            k.migrate_frame(cidx, target)?;
+            Ok(StepOut::Next(false))
+        })(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::build;
+    use crate::operand::OperandDecl;
+
+    fn two_event_program(cmds: Vec<RawCmd>) -> PolicyProgram {
+        let mut p = PolicyProgram::new();
+        p.declare(OperandDecl::FreeQueue);
+        p.add_event("PageFault", cmds);
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        p
+    }
+
+    #[test]
+    fn lowering_is_one_step_per_command() {
+        let p = two_event_program(vec![
+            build::jump(JumpMode::Always, 1),
+            build::ret(NO_OPERAND),
+        ]);
+        let c = compile_policy(&p);
+        assert_eq!(c.event_count(), 2);
+        assert_eq!(c.step_count(), 3);
+    }
+
+    #[test]
+    fn lowering_is_total_on_garbage() {
+        // Undecodable opcode and flag bytes lower to fault steps instead of
+        // failing the lowering itself.
+        let p = two_event_program(vec![
+            RawCmd::new(0xEE, 0, 0, 0),                 // bad opcode
+            RawCmd::new(OpCode::Arith as u8, 0, 0, 99), // bad arith flag
+            build::ret(NO_OPERAND),
+        ]);
+        let c = compile_policy(&p);
+        assert_eq!(c.step_count(), 4);
+        let steps = &c.events[0];
+        assert!(!steps[0].bump, "bad opcode is never profiled");
+        assert!(steps[1].bump, "bad flag is bumped before it faults");
+        assert_eq!(steps[1].op, OpCode::Arith);
+    }
+
+    #[test]
+    fn pure_flags_cover_only_chargeless_ops() {
+        let p = two_event_program(vec![
+            build::comp(1, 1, CompOp::Eq),
+            build::is_ref(2),
+            build::ret(NO_OPERAND),
+        ]);
+        let c = compile_policy(&p);
+        let steps = &c.events[0];
+        assert!(steps[0].pure, "Comp never charges beyond decode");
+        assert!(!steps[1].pure, "Ref charges bit_op");
+        assert!(steps[2].pure, "Return never charges beyond decode");
+    }
+}

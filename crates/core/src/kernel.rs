@@ -19,7 +19,7 @@ use hipec_vm::{
 use crate::checker::{validate_program, SecurityChecker};
 use crate::container::Container;
 use crate::error::{HipecError, PolicyFault};
-use crate::executor::{ExecLimits, ExecValue};
+use crate::executor::{ExecBackend, ExecLimits, ExecValue};
 use crate::health::{HealthPolicy, HealthState};
 use crate::manager::GlobalFrameManager;
 use crate::program::{PolicyProgram, EVENT_PAGE_FAULT};
@@ -46,6 +46,9 @@ pub struct HipecKernel {
     pub health_policy: HealthPolicy,
     /// Executor fuel and nesting limits.
     pub limits: ExecLimits,
+    /// Which executor backend `run_event` dispatches to (see
+    /// [`ExecBackend`]); both observe the same accounting contract.
+    pub(crate) backend: ExecBackend,
     /// The merged kernel event trace (HiPEC layer + drained VM events).
     pub trace: EventRing<TraceEvent>,
     next_seq: u64,
@@ -81,6 +84,7 @@ impl HipecKernel {
             checker: SecurityChecker::new(),
             health_policy: HealthPolicy::default(),
             limits: ExecLimits::default(),
+            backend: ExecBackend::default(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             next_seq: 0,
             #[cfg(debug_assertions)]
@@ -667,6 +671,19 @@ impl HipecKernel {
         self.sync_trace();
         self.debug_check();
         result
+    }
+
+    /// The executor backend events currently dispatch to.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// Selects the executor backend. Takes effect on the next event; both
+    /// backends are bit-identical in virtual time, traces and faults, so
+    /// switching mid-run never changes simulation results — only how much
+    /// host CPU the dispatch burns.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
     }
 
     /// Charges the cost of one null syscall (used by comparison harnesses).

@@ -58,6 +58,8 @@ pub mod error;
 pub mod executor;
 pub mod health;
 pub mod invariants;
+#[cfg(feature = "jit")]
+pub mod jit;
 pub mod kernel;
 pub mod manager;
 pub mod metrics;
@@ -70,7 +72,7 @@ pub use checker::{validate_program, SecurityChecker};
 pub use command::{OpCode, RawCmd, NO_OPERAND};
 pub use container::{Container, ContainerStats, OpProfile};
 pub use error::{HipecError, PolicyFault};
-pub use executor::{ExecLimits, ExecValue};
+pub use executor::{ExecBackend, ExecLimits, ExecValue};
 pub use health::{ContainerHealth, HealthPolicy, HealthState};
 pub use invariants::FramePartition;
 pub use kernel::{ContainerKey, HipecKernel};

@@ -32,16 +32,43 @@ pub fn optimize(program: &PolicyProgram) -> PolicyProgram {
 
 fn optimize_event(seg: &[RawCmd]) -> Vec<RawCmd> {
     let mut code: Vec<RawCmd> = seg.to_vec();
-    // Each pass can expose more work for the others; iterate to fixpoint
-    // (bounded — every pass only ever shrinks or retargets).
-    for _ in 0..8 {
-        let before = (code.len(), code.clone());
+    // Each pass can expose more work for the others; iterate to fixpoint.
+    // `drop_jump_to_next` removes at most one jump per round, so a chain
+    // of K removable jumps needs K+1 rounds — the bound must scale with
+    // the stream, not sit at a constant (a fixed cap of 8 silently shipped
+    // half-optimized streams for larger events). Every non-converged round
+    // either shrinks the stream (at most `len` times) or only retargets
+    // jumps; the slack beyond `len` covers trailing retarget-only rounds,
+    // so a sound pass set converges well inside the bound.
+    let max_rounds = 2 * seg.len() + 4;
+    let mut converged = false;
+    for _ in 0..max_rounds {
+        let before = code.clone();
         thread_jumps(&mut code);
         drop_jump_to_next(&mut code);
         drop_unreachable(&mut code);
-        if before.0 == code.len() && before.1 == code {
+        if before == code {
+            converged = true;
             break;
         }
+    }
+    if !converged {
+        // A pass set that oscillates instead of converging is an optimizer
+        // bug: surface it loudly in debug builds and diagnose in release
+        // ones. Shipping the last iterate is still safe — each pass is
+        // individually semantics-preserving, so a non-converged stream is
+        // merely under-optimized, never wrong.
+        debug_assert!(
+            converged,
+            "peephole fixpoint not reached after {max_rounds} rounds \
+             (event of {} commands): {code:?}",
+            seg.len()
+        );
+        eprintln!(
+            "hipec-lang: peephole fixpoint not reached after {max_rounds} rounds \
+             (event of {} commands); shipping the last safe iterate",
+            seg.len()
+        );
     }
     code
 }
@@ -246,6 +273,37 @@ mod tests {
             seg.iter().any(|c| is_unconditional(*c)),
             "flag-clearing jump must survive: {seg:?}"
         );
+    }
+
+    #[test]
+    fn deep_jump_chains_converge_past_the_old_eight_round_cap() {
+        // Twelve `[Comp, Jump Always -> next]` pairs: the jumps target Comp
+        // commands (nothing to thread), everything is reachable (nothing
+        // for DCE), so only `drop_jump_to_next` makes progress — one jump
+        // per round. Reaching the fixpoint needs 13 rounds; the old cap of
+        // 8 shipped a stream with 4 jumps still in it.
+        const PAIRS: u16 = 12;
+        let mut p = PolicyProgram::new();
+        let _fq = p.declare(OperandDecl::FreeQueue);
+        let a = p.declare(OperandDecl::Int(1));
+        let mut cmds = Vec::new();
+        for i in 0..PAIRS {
+            cmds.push(build::comp(a, a, CompOp::Eq));
+            cmds.push(build::jump(JumpMode::Always, 2 * i + 2));
+        }
+        cmds.push(build::ret(NO_OPERAND));
+        p.add_event("PageFault", cmds);
+        p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+        hipec_core::validate_program(&p).expect("input program is valid");
+
+        let o = optimize(&p);
+        let seg = o.event(0).expect("segment");
+        assert!(
+            !seg.iter().any(|c| c.opcode() == Some(OpCode::Jump)),
+            "every jump-to-next must be gone at the fixpoint: {seg:?}"
+        );
+        assert_eq!(seg.len(), PAIRS as usize + 1, "12 Comps + Return remain");
+        hipec_core::validate_program(&o).expect("optimized program is valid");
     }
 
     #[test]

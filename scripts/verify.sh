@@ -15,15 +15,27 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
-echo "== tracing compiled out: cargo test (vm + core, --no-default-features) =="
+echo "== tracing and jit compiled out: cargo test (vm + core, --no-default-features) =="
 cargo test -q -p hipec-vm -p hipec-core --no-default-features
 
-echo "== observability and device-table modules carry no dead-code waivers =="
+echo "== jit compiled out, tracing on: cargo test (core, --features trace) =="
+cargo test -q -p hipec-core --no-default-features --features trace
+
+echo "== native backend: seeded differential sweep (JIT vs interpreter) =="
+# Bit-identical outcomes, KernelStats, virtual time and rendered traces
+# across both executor backends, plus the pinned fault-path parity tests.
+# The vendored proptest is seeded per test name; pin the seed anyway so
+# this gate is the same run everywhere.
+PROPTEST_SEED=0xD1FF517 cargo test -q -p hipec-integration --test jit
+
+echo "== observability, device-table and executor modules carry no dead-code waivers =="
 if grep -n '#\[allow(dead_code)\]' \
     crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs \
     crates/bench/src/analyze.rs \
-    crates/vm/src/device.rs crates/core/src/health.rs; then
-  echo "error: dead_code allowed in an observability or device-table module" >&2
+    crates/vm/src/device.rs crates/core/src/health.rs \
+    crates/core/src/jit.rs crates/core/src/executor.rs crates/lang/src/opt.rs \
+    tests/jit.rs; then
+  echo "error: dead_code allowed in an observability, device-table or executor module" >&2
   exit 1
 fi
 

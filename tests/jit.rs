@@ -1,0 +1,542 @@
+//! Differential tests for the native (JIT) executor backend.
+//!
+//! The compiled backend's contract is *bit-identical observable behavior*:
+//! same virtual-time charges, same `KernelStats`, same traces, same faults
+//! and the same fuel behavior as the reference interpreter, per installed
+//! source command. These sweeps drive both backends over shipped policies,
+//! random structured command streams and injected device faults, and
+//! compare the full fingerprint. A second sweep checks the peephole
+//! optimizer end-to-end: an optimized program must reach the same outcome
+//! and final container state as its unoptimized source in no more virtual
+//! time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use hipec_core::command::{build, ArithOp, CompOp, JumpMode, LogicOp, PageBit, QueueEnd};
+use hipec_core::{
+    render_jsonl, ExecBackend, HipecError, HipecKernel, KernelStats, MemorySink, OperandDecl,
+    PolicyProgram, EVENT_PAGE_FAULT, NO_OPERAND,
+};
+use hipec_disk::FaultConfig;
+use hipec_policies::PolicyKind;
+use hipec_vm::{FrameId, KernelParams, VAddr, PAGE_SIZE};
+
+// --- Harness ------------------------------------------------------------------
+
+fn small_params() -> KernelParams {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 128;
+    params.wired_frames = 8;
+    params
+}
+
+fn fault_config(seed: u64, read_err: u16, write_err: u16, delay: u16, torn: u16) -> FaultConfig {
+    FaultConfig {
+        seed,
+        read_error_permille: read_err,
+        write_error_permille: write_err,
+        delay_permille: delay,
+        max_delay: hipec_sim::SimDuration::from_us(500),
+        torn_permille: torn,
+    }
+}
+
+/// Everything observable about a run: per-step outcomes, the final counter
+/// snapshot (virtual clock included) and the full rendered trace.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    outcomes: Vec<String>,
+    stats: KernelStats,
+    now_ns: u64,
+    trace: Vec<String>,
+}
+
+fn kernel_with_sink(
+    params: KernelParams,
+    backend: ExecBackend,
+    cfg: Option<FaultConfig>,
+) -> (HipecKernel, Rc<RefCell<MemorySink>>) {
+    let mut k = HipecKernel::new(params);
+    k.set_backend(backend);
+    if let Some(cfg) = cfg {
+        k.vm.set_fault_plan(cfg);
+    }
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+    (k, sink)
+}
+
+fn fingerprint(
+    k: &HipecKernel,
+    sink: &Rc<RefCell<MemorySink>>,
+    outcomes: Vec<String>,
+) -> Fingerprint {
+    let trace = sink.borrow().records().iter().map(render_jsonl).collect();
+    Fingerprint {
+        outcomes,
+        stats: k.kernel_stats(),
+        now_ns: k.vm.now().as_ns(),
+        trace,
+    }
+}
+
+/// Runs `trace` through a shipped policy under `backend` with fault
+/// injection, collecting the full fingerprint.
+fn drive_shipped(
+    kind: PolicyKind,
+    backend: ExecBackend,
+    trace: &[u64],
+    cap: u64,
+    cfg: FaultConfig,
+) -> Fingerprint {
+    let (mut k, sink) = kernel_with_sink(small_params(), backend, Some(cfg));
+    let task = k.vm.create_task();
+    let (base, _o, _key) = k
+        .vm_allocate_hipec(task, 24 * PAGE_SIZE, kind.program(), cap)
+        .expect("install");
+    let mut outcomes = Vec::with_capacity(trace.len());
+    for &p in trace {
+        let addr = VAddr(base.0 + p * PAGE_SIZE);
+        let r = k.access_sync(task, addr, p % 2 == 0);
+        outcomes.push(format!("{r:?}"));
+        k.pump();
+        k.check_invariants().expect("invariants hold");
+    }
+    fingerprint(&k, &sink, outcomes)
+}
+
+// --- Structured random programs -----------------------------------------------
+//
+// Straight-line kernel ops plus tests, forward jumps and condition-flag
+// stores: enough control flow to exercise every optimizer pass and every
+// step shape the JIT lowers. Forward-only jumps guarantee termination, so
+// optimized and unoptimized forms can be compared state-for-state without
+// fuel-exhaustion skew.
+
+#[derive(Debug, Clone, Copy)]
+enum GenCmd {
+    Request,
+    DequeueFree,
+    DequeueQ,
+    EnqueueFree,
+    EnqueueQ,
+    Release,
+    Flush,
+    Fifo,
+    Mru,
+    RefBit,
+    ModBit,
+    SetRef(bool),
+    SetMod(bool),
+    Test(bool),
+    StoreCond,
+    LoadCond,
+    /// `Jump mode -> min(self + 1 + skip, last)`: always forward, always in
+    /// range, `skip == 0` makes it a jump-to-next.
+    Jump(u8, u8),
+}
+
+fn gen_cmd() -> impl Strategy<Value = GenCmd> {
+    prop_oneof![
+        Just(GenCmd::Request),
+        Just(GenCmd::DequeueFree),
+        Just(GenCmd::DequeueQ),
+        Just(GenCmd::EnqueueFree),
+        Just(GenCmd::EnqueueQ),
+        Just(GenCmd::Release),
+        Just(GenCmd::Flush),
+        Just(GenCmd::Fifo),
+        Just(GenCmd::Mru),
+        Just(GenCmd::RefBit),
+        Just(GenCmd::ModBit),
+        any::<bool>().prop_map(GenCmd::SetRef),
+        any::<bool>().prop_map(GenCmd::SetMod),
+        any::<bool>().prop_map(GenCmd::Test),
+        Just(GenCmd::StoreCond),
+        Just(GenCmd::LoadCond),
+        (0u8..3, 0u8..5).prop_map(|(m, s)| GenCmd::Jump(m, s)),
+    ]
+}
+
+/// Assembles a validator-friendly program from the generated commands.
+/// Slots: 0 free queue, 1 recency queue, 2 page, 3 int(1), 4 int(0), 5 bool.
+fn assemble(gen: &[GenCmd]) -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    let free = p.declare(OperandDecl::FreeQueue);
+    let q = p.declare(OperandDecl::Queue { recency: true });
+    let page = p.declare(OperandDecl::Page);
+    let one = p.declare(OperandDecl::Int(1));
+    let zero = p.declare(OperandDecl::Int(0));
+    let flag = p.declare(OperandDecl::Bool(false));
+    let last = gen.len() as u16; // index of the final Return
+    let mut cmds = Vec::with_capacity(gen.len() + 1);
+    for (i, g) in gen.iter().enumerate() {
+        cmds.push(match *g {
+            GenCmd::Request => build::request(one, NO_OPERAND),
+            GenCmd::DequeueFree => build::dequeue(page, free, QueueEnd::Head),
+            GenCmd::DequeueQ => build::dequeue(page, q, QueueEnd::Head),
+            GenCmd::EnqueueFree => build::enqueue(page, free, QueueEnd::Tail),
+            GenCmd::EnqueueQ => build::enqueue(page, q, QueueEnd::Tail),
+            GenCmd::Release => build::release(page),
+            GenCmd::Flush => build::flush(page),
+            GenCmd::Fifo => build::fifo(q, NO_OPERAND),
+            GenCmd::Mru => build::mru(q, NO_OPERAND),
+            GenCmd::RefBit => build::is_ref(page),
+            GenCmd::ModBit => build::is_mod(page),
+            GenCmd::SetRef(v) => build::set(page, PageBit::Reference, v),
+            GenCmd::SetMod(v) => build::set(page, PageBit::Modify, v),
+            GenCmd::Test(true) => build::comp(one, one, CompOp::Eq),
+            GenCmd::Test(false) => build::comp(one, zero, CompOp::Eq),
+            GenCmd::StoreCond => build::logic(flag, NO_OPERAND, LogicOp::StoreCond),
+            GenCmd::LoadCond => build::logic(flag, NO_OPERAND, LogicOp::LoadCond),
+            GenCmd::Jump(mode, skip) => {
+                let mode = JumpMode::from_u8(mode).expect("mode in range");
+                let target = (i as u16 + 1 + skip as u16).min(last);
+                build::jump(mode, target)
+            }
+        });
+    }
+    cmds.push(build::ret(NO_OPERAND));
+    p.add_event("PageFault", cmds);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+/// Installs `program` and runs `rounds` PageFault events under `backend`,
+/// returning the fingerprint plus the final operand and queue state.
+/// `Ok(None)` when static validation rejects the stream (a skip, not a
+/// failure).
+#[allow(clippy::type_complexity)]
+fn drive_program(
+    program: PolicyProgram,
+    backend: ExecBackend,
+    rounds: usize,
+    cfg: FaultConfig,
+) -> Option<(Fingerprint, Vec<String>, Vec<Vec<FrameId>>)> {
+    let mut params = small_params();
+    params.total_frames = 64;
+    params.wired_frames = 4;
+    let (mut k, sink) = kernel_with_sink(params, backend, Some(cfg));
+    let task = k.vm.create_task();
+    let (_, _, key) = match k.vm_allocate_hipec(task, 16 * PAGE_SIZE, program, 4) {
+        Ok(r) => r,
+        Err(HipecError::InvalidProgram(_)) => return None,
+        Err(e) => panic!("install failed: {e}"),
+    };
+    let mut outcomes = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let r = k.run_event_raw(key, EVENT_PAGE_FAULT);
+        outcomes.push(format!("{r:?}"));
+        k.check_invariants().expect("invariants hold");
+    }
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+    }
+    let container = k.container(key).expect("container");
+    let operands: Vec<String> = container
+        .operands
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect();
+    let queues: Vec<Vec<FrameId>> = container
+        .queues
+        .iter()
+        .map(|&q| k.vm.frames.iter_queue(q).collect())
+        .collect();
+    Some((fingerprint(&k, &sink, outcomes), operands, queues))
+}
+
+// --- JIT vs interpreter: bit-identical fingerprints ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shipped policies, random traces, random fault plans: both backends
+    /// produce the same access outcomes, the same `KernelStats` (virtual
+    /// clock included) and a bit-identical trace.
+    #[test]
+    fn shipped_policies_are_bit_identical_across_backends(
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        trace in prop::collection::vec(0u64..24, 1..60),
+        cap in 2u64..12,
+        seed in any::<u64>(),
+        write_err in 0u16..120,
+        torn in 0u16..150,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let cfg = fault_config(seed, 0, write_err, 100, torn);
+        let interp = drive_shipped(kind, ExecBackend::Interpreter, &trace, cap, cfg);
+        let native = drive_shipped(kind, ExecBackend::Native, &trace, cap, cfg);
+        prop_assert_eq!(&interp.outcomes, &native.outcomes);
+        prop_assert_eq!(interp.now_ns, native.now_ns, "virtual clocks diverged");
+        prop_assert_eq!(&interp.stats, &native.stats, "counter snapshots diverged");
+        prop_assert_eq!(&interp.trace, &native.trace, "traces diverged");
+    }
+
+    /// Random structured command streams (tests, forward jumps, flag
+    /// stores, queue/frame ops) under fault injection: same fingerprint
+    /// under both backends, including the rendered trace.
+    #[test]
+    fn structured_streams_are_bit_identical_across_backends(
+        gen in prop::collection::vec(gen_cmd(), 0..32),
+        rounds in 1usize..6,
+        seed in any::<u64>(),
+        write_err in 0u16..200,
+        torn in 0u16..200,
+    ) {
+        let cfg = fault_config(seed, 0, write_err, 100, torn);
+        let program = assemble(&gen);
+        let interp = drive_program(program.clone(), ExecBackend::Interpreter, rounds, cfg);
+        let native = drive_program(program, ExecBackend::Native, rounds, cfg);
+        prop_assert_eq!(&interp, &native, "backend fingerprints diverged");
+    }
+
+    /// Satellite sweep: the peephole optimizer must preserve outcomes —
+    /// same per-event results and faults (modulo the `cc` a fault names,
+    /// which legitimately shifts when commands are deleted), same final
+    /// operand and queue state — and can only ever *save* virtual time
+    /// (fewer commands means fewer decode charges, never more).
+    #[test]
+    fn optimized_streams_match_unoptimized_outcomes(
+        gen in prop::collection::vec(gen_cmd(), 0..32),
+        rounds in 1usize..6,
+        seed in any::<u64>(),
+        write_err in 0u16..200,
+    ) {
+        let cfg = fault_config(seed, 0, write_err, 100, 0);
+        let program = assemble(&gen);
+        let optimized = hipec_lang::optimize(&program);
+        let plain = drive_program(program, ExecBackend::Native, rounds, cfg);
+        let opt = drive_program(optimized, ExecBackend::Native, rounds, cfg);
+        let (Some((plain_fp, plain_ops, plain_qs)), Some((opt_fp, opt_ops, opt_qs))) =
+            (plain, opt)
+        else {
+            // Validation verdicts must at least agree.
+            return Ok(());
+        };
+        let plain_out: Vec<String> = plain_fp.outcomes.iter().map(|s| strip_cc(s)).collect();
+        let opt_out: Vec<String> = opt_fp.outcomes.iter().map(|s| strip_cc(s)).collect();
+        prop_assert_eq!(&plain_out, &opt_out, "results or faults diverged");
+        prop_assert_eq!(&plain_ops, &opt_ops, "operand state diverged");
+        prop_assert_eq!(&plain_qs, &opt_qs, "queue state diverged");
+        prop_assert!(
+            opt_fp.now_ns <= plain_fp.now_ns,
+            "the optimizer may only remove charges: {} > {}",
+            opt_fp.now_ns,
+            plain_fp.now_ns
+        );
+    }
+}
+
+/// Replaces every `cc: <digits>` in a fault's debug rendering with
+/// `cc: _`: the source position a fault names is the one field the
+/// optimizer is allowed to move.
+fn strip_cc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find("cc: ") {
+        out.push_str(&rest[..i + 4]);
+        rest = &rest[i + 4..];
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        out.push('_');
+        rest = &rest[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+// --- Fault-path charge parity (pinned unit tests) -----------------------------
+
+/// Installs `program` under `backend` on a small kernel, no fault plan.
+fn bare_kernel(
+    program: PolicyProgram,
+    backend: ExecBackend,
+) -> (HipecKernel, hipec_core::ContainerKey) {
+    let mut k = HipecKernel::new(small_params());
+    k.set_backend(backend);
+    let task = k.vm.create_task();
+    let (_, _, key) = k
+        .vm_allocate_hipec(task, 16 * PAGE_SIZE, program, 4)
+        .expect("install");
+    (k, key)
+}
+
+fn fuel_program() -> PolicyProgram {
+    let mut p = PolicyProgram::new();
+    p.declare(OperandDecl::FreeQueue);
+    let n = p.declare(OperandDecl::Int(0));
+    let one = p.declare(OperandDecl::Int(1));
+    let cmds = vec![
+        build::arith(n, one, ArithOp::Add),
+        build::jump(JumpMode::Always, 0),
+    ];
+    p.add_event("PageFault", cmds);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p
+}
+
+/// Fuel exhaustion mid-stream must leave identical charges, commands and
+/// the runaway mark under both backends (ISSUE 6 satellite: the stop at
+/// `executor.rs`'s fuel check).
+#[test]
+fn fuel_exhaustion_charges_identically() {
+    let run = |backend| {
+        let (mut k, key) = bare_kernel(fuel_program(), backend);
+        k.limits.fuel = 7;
+        let r = k.run_event_raw(key, EVENT_PAGE_FAULT);
+        let c = k.container(key).expect("container");
+        (
+            format!("{r:?}"),
+            k.vm.now().as_ns(),
+            c.stats.commands,
+            c.runaway,
+            c.op_profile,
+        )
+    };
+    let interp = run(ExecBackend::Interpreter);
+    let native = run(ExecBackend::Native);
+    assert_eq!(interp, native);
+    assert!(interp.0.contains("OutOfFuel"));
+    assert_eq!(interp.2, 7, "exactly the fuel budget in commands");
+    assert!(interp.3, "fuel exhaustion marks the policy runaway");
+}
+
+/// An `Activate` chain that exceeds the depth limit must fault at the same
+/// virtual instant with the same partial charges under both backends.
+#[test]
+fn activate_depth_fault_charges_identically() {
+    let mut p = PolicyProgram::new();
+    p.declare(OperandDecl::FreeQueue);
+    // PageFault activates Deep; Deep activates itself until the limit.
+    p.add_event(
+        "PageFault",
+        vec![build::activate(2), build::ret(NO_OPERAND)],
+    );
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+    p.add_event("Deep", vec![build::activate(2), build::ret(NO_OPERAND)]);
+
+    let run = |backend| {
+        let (mut k, key) = bare_kernel(p.clone(), backend);
+        let r = k.run_event_raw(key, EVENT_PAGE_FAULT);
+        let c = k.container(key).expect("container");
+        (
+            format!("{r:?}"),
+            k.vm.now().as_ns(),
+            c.stats.commands,
+            c.stats.events,
+            c.op_profile,
+        )
+    };
+    let interp = run(ExecBackend::Interpreter);
+    let native = run(ExecBackend::Native);
+    assert_eq!(interp, native);
+    assert!(interp.0.contains("DepthExceeded"));
+}
+
+/// A device fault raised mid-policy (a `Flush` of a dirty victim refused
+/// once the device's breaker trips under persistent write failures) must
+/// abort the event with the same fault and charges under both backends.
+#[test]
+fn device_fault_charges_identically() {
+    // Dirty every page (even page numbers are writes in `drive_shipped`)
+    // and evict constantly with a tiny cap, so FIFO-2ndChance keeps
+    // flushing modified victims into a device where every write fails.
+    let trace: Vec<u64> = (0..12u64).map(|i| (i * 2) % 24).cycle().take(96).collect();
+    let cfg = fault_config(0xD15C, 0, 1000, 0, 0);
+    let interp = drive_shipped(
+        PolicyKind::FifoSecondChance,
+        ExecBackend::Interpreter,
+        &trace,
+        4,
+        cfg,
+    );
+    let native = drive_shipped(
+        PolicyKind::FifoSecondChance,
+        ExecBackend::Native,
+        &trace,
+        4,
+        cfg,
+    );
+    assert_eq!(interp.outcomes, native.outcomes);
+    assert_eq!(interp.now_ns, native.now_ns, "virtual clocks diverged");
+    assert_eq!(interp.stats, native.stats, "counter snapshots diverged");
+    assert_eq!(interp.trace, native.trace, "traces diverged");
+    assert!(
+        interp.outcomes.iter().any(|s| s.contains("Device")),
+        "a flush under a persistently failing device must eventually raise \
+         the Device fault mid-policy: {:?}",
+        interp.outcomes
+    );
+}
+
+/// Pins the interpreter-side `Return` attribution fix (ISSUE 6 satellite):
+/// a faulting `Return` is counted but NOT attributed — like every other
+/// faulting command — under both backends.
+#[test]
+fn faulting_return_is_counted_but_not_attributed() {
+    let mut p = PolicyProgram::new();
+    p.declare(OperandDecl::FreeQueue);
+    let page = p.declare(OperandDecl::Page);
+    // The page slot is empty, so `Return page` faults.
+    p.add_event("PageFault", vec![build::ret(page)]);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+
+    for backend in [ExecBackend::Interpreter, ExecBackend::Native] {
+        let (mut k, key) = bare_kernel(p.clone(), backend);
+        let r = k.run_event_raw(key, EVENT_PAGE_FAULT);
+        assert!(format!("{r:?}").contains("EmptyPageSlot"), "{backend:?}");
+        let profile = k.container(key).expect("container").op_profile;
+        assert_eq!(profile.count(hipec_core::OpCode::Return), 1, "{backend:?}");
+        assert!(
+            profile.time(hipec_core::OpCode::Return).as_ns() == 0,
+            "{backend:?}: a faulting Return must not be attributed"
+        );
+    }
+}
+
+/// A runaway *compiled* policy must sit stuck until the security checker's
+/// timeout detection terminates it — at exactly the same virtual instant,
+/// with the same detection latency in the reason, as an interpreted one
+/// (ISSUE 6 satellite).
+#[test]
+fn runaway_compiled_policy_trips_checker_timeout_identically() {
+    let mut p = PolicyProgram::new();
+    p.declare(OperandDecl::FreeQueue);
+    p.add_event("PageFault", vec![build::jump(JumpMode::Always, 0)]);
+    p.add_event("ReclaimFrame", vec![build::ret(NO_OPERAND)]);
+
+    let run = |backend| {
+        let mut k = HipecKernel::new(small_params());
+        k.set_backend(backend);
+        let task = k.vm.create_task();
+        let (base, _, key) = k
+            .vm_allocate_hipec(task, 16 * PAGE_SIZE, p.clone(), 4)
+            .expect("install");
+        let err = k
+            .access(task, base, false)
+            .expect_err("runaway must be killed");
+        let c = k.container(key).expect("container");
+        (
+            format!("{err}"),
+            k.vm.now().as_ns(),
+            c.terminated,
+            c.runaway,
+            k.kernel_stats(),
+        )
+    };
+    let interp = run(ExecBackend::Interpreter);
+    let native = run(ExecBackend::Native);
+    assert_eq!(interp, native);
+    assert!(
+        interp.0.contains("timeout detected after"),
+        "the checker, not a direct kill, must terminate the runaway: {}",
+        interp.0
+    );
+    assert!(interp.2, "the application is terminated");
+}

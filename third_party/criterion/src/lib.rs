@@ -93,11 +93,26 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measures one batch of calls to `f`.
+    ///
+    /// The batch grows until it runs long enough to swamp the `Instant`
+    /// timer overhead (tens of nanoseconds — the same order as a single
+    /// iteration of a dispatch-level microbench), so per-iteration means
+    /// stay meaningful down to nanosecond scale.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        let start = Instant::now();
-        black_box(f());
-        self.elapsed += start.elapsed();
-        self.iters += 1;
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= (1 << 20) {
+                self.elapsed += elapsed;
+                self.iters += batch;
+                return;
+            }
+            batch *= 8;
+        }
     }
 }
 
