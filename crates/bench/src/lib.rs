@@ -43,7 +43,17 @@ pub use hipec_sim::stats::{Series, TextTable};
 /// executor the binary ran under (`"interpreter"` or `"native"`, the
 /// build's default [`hipec_core::ExecBackend`]), so results from JIT-on
 /// and JIT-off builds are distinguishable after the fact.
-pub const JSON_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: the `tournament` binary's `data` is a policy × workload × backend ×
+/// plan matrix: `cells[]` rows each carry `policy`, `workload`, `backend`,
+/// `plan` (`"clean"`/`"chaos"`), `accesses`/`ok`/`faults`/`hits`/
+/// `hit_permille`, `p50_fault_ns`/`p99_fault_ns`, and the per-container
+/// counter diff (`commands`, `events`, `flushes`, `released`,
+/// `device_faults`, `quarantines`); `ranking[]` orders policies by Borda
+/// points over the clean cells. Unlike the envelope's `backend` (still the
+/// build default), each cell's `backend` names the executor that produced
+/// that row.
+pub const JSON_SCHEMA_VERSION: u64 = 4;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///

@@ -126,9 +126,343 @@ out:
     return
 "#;
 
+/// LearnedCache perceptron, hand-coded.
+///
+/// Same algorithm as [`crate::sources::LEARNED`], written directly against
+/// the command set: weights live in persistent operand slots 5–7, feature
+/// extraction materializes the survivor and modified bits into slots
+/// 12–13, and the saturating update is a chain of `arith`/`comp` pairs.
+/// Slot map in the listing comments (DESIGN.md §12).
+pub const LEARNED_ASM: &str = r#"
+.freeq                      ; 0  free queue
+.queue                      ; 1  fresh_q (active_count)
+.queue                      ; 2  aged_q probation (inactive_count)
+.queue                      ; 3  surv_q survivors (uncounted)
+.page                       ; 4  scratch page
+.int 0                      ; 5  w_surv    (persistent weight)
+.int 0                      ; 6  w_mod     (persistent weight)
+.int 0                      ; 7  w_bias    (persistent weight)
+.int 32                     ; 8  w_max
+.int 8                      ; 9  scan_limit
+.int 0                      ; 10 constant 0
+.int 0                      ; 11 scanned
+.int 0                      ; 12 f_surv    (feature)
+.int 0                      ; 13 f_mod     (feature)
+.int 0                      ; 14 score
+.int 0                      ; 15 label
+.int 0                      ; 16 pred
+.int 0                      ; 17 err
+.int 0                      ; 18 -w_max    (computed)
+.int 0                      ; 19 tmp (err * feature)
+.int 0                      ; 20 released
+.kernel free_count          ; 21
+.kernel active_count        ; 22
+.kernel inactive_count      ; 23
+.kernel allocated_count     ; 24
+.kernel reclaim_target      ; 25
+
+.event PageFault
+    comp 21, 10, gt         ; free_count > 0 ?
+    jt serve
+    activate 2
+serve:
+    dequeue 4, 0, head
+    enqueue 4, 1, tail
+    return 4
+
+.event ReclaimFrame
+    arith 20, 10, mov       ; released = 0
+loop:
+    comp 20, 25, lt         ; released < reclaim_target ?
+    jf out
+    comp 24, 10, gt         ; allocated_count > 0 ?
+    jf out
+    comp 21, 10, gt         ; free_count > 0 ?
+    jt take
+    activate 2
+take:
+    dequeue 4, 0, head
+    release 4
+    arith 20, inc
+    ja loop
+out:
+    return
+
+.event Evict
+age:
+    comp 22, 10, gt         ; active_count > 0 ?
+    jf scaninit
+    dequeue 4, 1, head
+    set 4, ref, clear       ; age: a later set bit is a re-reference
+    enqueue 4, 2, tail
+    ja age
+scaninit:
+    arith 11, 10, mov       ; scanned = 0
+scan:
+    comp 11, 9, lt          ; scanned < scan_limit ?
+    jf forced
+    comp 23, 10, gt         ; probation first ...
+    jt fromaged
+    emptyq 3                ; ... survivors otherwise ...
+    jt forced               ; ... nothing at all: break
+    dequeue 4, 3, head
+    arith 12, 10, mov
+    arith 12, inc           ; f_surv = 1
+    ja havep
+fromaged:
+    dequeue 4, 2, head
+    arith 12, 10, mov       ; f_surv = 0
+havep:
+    arith 11, inc
+    arith 13, 10, mov       ; f_mod = 0
+    mod 4
+    jf fcold
+    arith 13, inc           ; f_mod = 1
+fcold:
+    arith 14, 5, mov        ; score = w_surv
+    arith 14, 12, mul       ;       * f_surv
+    arith 19, 6, mov        ; tmp = w_mod
+    arith 19, 13, mul       ;     * f_mod
+    arith 14, 19, add
+    arith 14, 7, add        ;       + w_bias
+    arith 15, 10, mov       ; label = 0
+    ref 4
+    jf lcold
+    arith 15, inc           ; label = 1 (re-referenced)
+lcold:
+    arith 16, 10, mov       ; pred = 0
+    comp 14, 10, gt         ; score > 0 ?
+    jf pcold
+    arith 16, inc           ; pred = 1
+pcold:
+    arith 17, 15, mov       ; err = label
+    arith 17, 16, sub       ;     - pred
+    comp 17, 10, eq         ; prediction correct: skip the update
+    jt decide
+    arith 19, 17, mov       ; w_surv += err * f_surv
+    arith 19, 12, mul
+    arith 5, 19, add
+    arith 19, 17, mov       ; w_mod += err * f_mod
+    arith 19, 13, mul
+    arith 6, 19, add
+    arith 7, 17, add        ; w_bias += err
+    arith 18, 10, mov       ; -w_max = 0
+    arith 18, 8, sub        ;        - w_max
+    comp 5, 8, gt           ; saturate w_surv to [-w_max, w_max]
+    jf k1
+    arith 5, 8, mov
+k1:
+    comp 5, 18, lt
+    jf k2
+    arith 5, 18, mov
+k2:
+    comp 6, 8, gt           ; saturate w_mod
+    jf k3
+    arith 6, 8, mov
+k3:
+    comp 6, 18, lt
+    jf k4
+    arith 6, 18, mov
+k4:
+    comp 7, 8, gt           ; saturate w_bias
+    jf k5
+    arith 7, 8, mov
+k5:
+    comp 7, 18, lt
+    jf decide
+    arith 7, 18, mov
+decide:
+    comp 15, 10, gt         ; label == 1: observed hot, promote
+    jf chkpred
+    set 4, ref, clear
+    enqueue 4, 3, tail
+    ja scan
+chkpred:
+    comp 16, 10, gt         ; pred == 1: predicted hot, protect in class
+    jf victim
+    comp 12, 10, gt
+    jt tosurv
+    enqueue 4, 2, tail
+    ja scan
+tosurv:
+    enqueue 4, 3, tail
+    ja scan
+victim:
+    mod 4
+    jf vclean
+    flush 4
+vclean:
+    enqueue 4, 0, head
+    return
+forced:
+    comp 23, 10, gt         ; budget exhausted: oldest probation page ...
+    jf trysurv
+    dequeue 4, 2, head
+    ja fvict
+trysurv:
+    emptyq 3                ; ... or the oldest survivor
+    jt give_up
+    dequeue 4, 3, head
+fvict:
+    mod 4
+    jf fclean
+    flush 4
+fclean:
+    enqueue 4, 0, head
+give_up:
+    return
+"#;
+
+/// AWRP, hand-coded.
+///
+/// Same algorithm as [`crate::sources::AWRP`]: class weights in persistent
+/// slots 5–6, weighted-share comparison via two `arith mul` products, and
+/// the pardon/credit loop bounded by `spin_limit`.
+pub const AWRP_ASM: &str = r#"
+.freeq                      ; 0  free queue
+.rqueue                     ; 1  recent_q   (active_count)
+.rqueue                     ; 2  frequent_q (inactive_count)
+.queue                      ; 3  fresh_q (fault staging, uncounted)
+.page                       ; 4  scratch page
+.int 8                      ; 5  w_r  (persistent weight)
+.int 8                      ; 6  w_f  (persistent weight)
+.int 64                     ; 7  w_max
+.int 8                      ; 8  spin_limit
+.int 0                      ; 9  constant 0
+.int 1                      ; 10 constant 1
+.int 0                      ; 11 spins
+.int 0                      ; 12 active_count * w_f
+.int 0                      ; 13 inactive_count * w_r
+.kernel free_count          ; 14
+.kernel active_count        ; 15
+.kernel inactive_count      ; 16
+.kernel allocated_count     ; 17
+.kernel reclaim_target      ; 18
+.int 0                      ; 19 released
+
+.event PageFault
+    comp 14, 9, gt          ; free_count > 0 ?
+    jt serve
+    activate 2
+serve:
+    dequeue 4, 0, head
+    enqueue 4, 3, tail      ; stage through fresh_q
+    return 4
+
+.event ReclaimFrame
+    arith 19, 9, mov        ; released = 0
+loop:
+    comp 19, 18, lt         ; released < reclaim_target ?
+    jf out
+    comp 17, 9, gt          ; allocated_count > 0 ?
+    jf out
+    comp 14, 9, gt          ; free_count > 0 ?
+    jt take
+    activate 2
+take:
+    dequeue 4, 0, head
+    release 4
+    arith 19, inc
+    ja loop
+out:
+    return
+
+.event Rank
+age:
+    emptyq 3                ; drain staged faults into recent_q
+    jt spininit
+    dequeue 4, 3, head
+    set 4, ref, clear       ; age: a later set bit is a re-reference
+    enqueue 4, 1, tail
+    ja age
+spininit:
+    arith 11, 9, mov        ; spins = 0
+spin:
+    comp 11, 8, lt          ; spins < spin_limit ?
+    jf fallback
+    arith 11, inc
+    arith 12, 15, mov       ; share_l = active_count
+    arith 12, 6, mul        ;         * w_f
+    arith 13, 16, mov       ; share_r = inactive_count
+    arith 13, 5, mul        ;         * w_r
+    comp 12, 13, lt         ; recent under its share: pick frequent
+    jt try_freq
+pick_recent:
+    comp 15, 9, gt          ; active_count > 0 ?
+    jf pick_freq
+    dequeue 4, 1, head
+    ref 4
+    jf evict_it
+    set 4, ref, clear       ; pardon: promote, credit recency class
+    enqueue 4, 2, tail
+    arith 5, 10, add        ; w_r += 1
+    arith 6, 10, sub        ; w_f -= 1
+    ja clamp
+try_freq:
+    comp 16, 9, gt          ; inactive_count > 0 ?
+    jf pick_recent
+pick_freq:
+    comp 16, 9, gt          ; forced back to recent if both drained
+    jf pick_recent_forced
+    dequeue 4, 2, head
+    ref 4
+    jf evict_it
+    set 4, ref, clear       ; pardon: recycle, credit frequency class
+    enqueue 4, 2, tail
+    arith 6, 10, add        ; w_f += 1
+    arith 5, 10, sub        ; w_r -= 1
+    ja clamp
+pick_recent_forced:
+    comp 15, 9, gt
+    jf fallback
+    ja pick_recent
+clamp:
+    comp 5, 10, lt          ; clamp w_r to [1, w_max]
+    jf c1
+    arith 5, 10, mov
+c1:
+    comp 5, 7, gt
+    jf c2
+    arith 5, 7, mov
+c2:
+    comp 6, 10, lt          ; clamp w_f to [1, w_max]
+    jf c3
+    arith 6, 10, mov
+c3:
+    comp 6, 7, gt
+    jf spin
+    arith 6, 7, mov
+    ja spin
+evict_it:
+    mod 4
+    jf clean
+    flush 4
+clean:
+    enqueue 4, 0, head
+    return
+fallback:
+    comp 15, 9, gt          ; pardon budget exhausted: strict LRU
+    jf try_lru_freq
+    lru 1
+    return
+try_lru_freq:
+    lru 2
+    return
+"#;
+
 /// Assembles the hand-coded FIFO-with-second-chance listing.
 pub fn fifo_second_chance() -> PolicyProgram {
     hipec_lang::assemble(FIFO_SECOND_CHANCE_ASM).expect("shipped listing assembles")
+}
+
+/// Assembles the hand-coded LearnedCache perceptron listing.
+pub fn learned() -> PolicyProgram {
+    hipec_lang::assemble(LEARNED_ASM).expect("shipped listing assembles")
+}
+
+/// Assembles the hand-coded AWRP listing.
+pub fn awrp() -> PolicyProgram {
+    hipec_lang::assemble(AWRP_ASM).expect("shipped listing assembles")
 }
 
 /// Assembles the hand-coded MRU listing.
@@ -142,7 +476,7 @@ mod tests {
 
     #[test]
     fn listings_assemble_and_validate() {
-        for p in [fifo_second_chance(), mru()] {
+        for p in [fifo_second_chance(), mru(), learned(), awrp()] {
             hipec_core::validate_program(&p).expect("valid");
             assert!(p.events.len() >= 2);
         }

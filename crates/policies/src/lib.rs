@@ -35,17 +35,23 @@ pub enum PolicyKind {
     Clock,
     /// Simplified 2Q: FIFO probation + protected LRU (scan-resistant).
     TwoQueue,
+    /// LearnedCache: integer-weight perceptron over operand-slot features.
+    Learned,
+    /// AWRP: adaptive weight ranking over recency/frequency classes.
+    Awrp,
 }
 
 impl PolicyKind {
     /// All shipped policies.
-    pub const ALL: [PolicyKind; 6] = [
+    pub const ALL: [PolicyKind; 8] = [
         PolicyKind::Fifo,
         PolicyKind::FifoSecondChance,
         PolicyKind::Lru,
         PolicyKind::Mru,
         PolicyKind::Clock,
         PolicyKind::TwoQueue,
+        PolicyKind::Learned,
+        PolicyKind::Awrp,
     ];
 
     /// Human-readable name.
@@ -57,6 +63,8 @@ impl PolicyKind {
             PolicyKind::Mru => "MRU",
             PolicyKind::Clock => "Clock",
             PolicyKind::TwoQueue => "2Q",
+            PolicyKind::Learned => "Learned",
+            PolicyKind::Awrp => "AWRP",
         }
     }
 
@@ -69,6 +77,8 @@ impl PolicyKind {
             PolicyKind::Mru => sources::MRU,
             PolicyKind::Clock => sources::CLOCK,
             PolicyKind::TwoQueue => sources::TWO_QUEUE,
+            PolicyKind::Learned => sources::LEARNED,
+            PolicyKind::Awrp => sources::AWRP,
         }
     }
 

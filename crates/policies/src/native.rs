@@ -126,6 +126,196 @@ impl Replacement for Clock {
     }
 }
 
+/// Saturation bound for [`LearnedCache`] weights (mirrors `w_max` in
+/// [`crate::sources::LEARNED`]).
+pub const LEARNED_W_MAX: i64 = 32;
+/// Aged pages examined per eviction (mirrors `scan_limit` in the source).
+pub const LEARNED_SCAN_LIMIT: usize = 8;
+
+/// LearnedCache: an integer-weight perceptron deciding evict-vs-protect.
+///
+/// Native reference for [`crate::sources::LEARNED`]: pages age from a
+/// fresh queue into an aged queue with their reference bit cleared, and the
+/// eviction scan predicts hot/cold from an integer dot product, training on
+/// the observed re-reference bit. The abstract trace has no dirty bit, so
+/// the learned feature here is "survived a previous scan" instead of the
+/// modified bit; the perceptron machinery (features, saturating updates,
+/// labels) is the same.
+#[derive(Debug, Default)]
+pub struct LearnedCache {
+    fresh: VecDeque<u64>,
+    aged: VecDeque<u64>,
+    referenced: HashSet<u64>,
+    survivor: HashSet<u64>,
+    w_surv: i64,
+    w_bias: i64,
+}
+
+impl LearnedCache {
+    /// Current (w_surv, w_bias) weights, for bound checks in tests.
+    pub fn weights(&self) -> (i64, i64) {
+        (self.w_surv, self.w_bias)
+    }
+
+    fn train(&mut self, f_surv: i64, label: bool) -> bool {
+        let score = self.w_surv * f_surv + self.w_bias;
+        let pred = score > 0;
+        let err = i64::from(label) - i64::from(pred);
+        if err != 0 {
+            let clamp = |w: i64| w.clamp(-LEARNED_W_MAX, LEARNED_W_MAX);
+            self.w_surv = clamp(self.w_surv + err * f_surv);
+            self.w_bias = clamp(self.w_bias + err);
+        }
+        pred
+    }
+}
+
+impl Replacement for LearnedCache {
+    fn name(&self) -> &'static str {
+        "Learned"
+    }
+    fn on_access(&mut self, page: u64) {
+        self.referenced.insert(page);
+    }
+    fn on_insert(&mut self, page: u64) {
+        self.fresh.push_back(page);
+        self.referenced.insert(page);
+    }
+    fn evict(&mut self) -> u64 {
+        // Age fresh pages: clear the fault-time reference bit so a set bit
+        // on an aged page is a genuine re-reference (the training label).
+        while let Some(f) = self.fresh.pop_front() {
+            self.referenced.remove(&f);
+            self.aged.push_back(f);
+        }
+        for _ in 0..LEARNED_SCAN_LIMIT {
+            let Some(p) = self.aged.pop_front() else {
+                break;
+            };
+            let f_surv = i64::from(self.survivor.contains(&p));
+            let label = self.referenced.remove(&p);
+            let pred = self.train(f_surv, label);
+            if label || pred {
+                // Observed or predicted hot: recycle with a fresh chance.
+                self.survivor.insert(p);
+                self.aged.push_back(p);
+            } else {
+                self.survivor.remove(&p);
+                return p;
+            }
+        }
+        // Scan budget exhausted: evict the oldest aged page outright.
+        let v = self.aged.pop_front().expect("evict on non-empty cache");
+        self.referenced.remove(&v);
+        self.survivor.remove(&v);
+        v
+    }
+}
+
+/// Weight bound for [`Awrp`] (mirrors `w_max` in [`crate::sources::AWRP`]).
+pub const AWRP_W_MAX: i64 = 64;
+
+/// AWRP — adaptive weight ranking over recency and frequency.
+///
+/// Native reference for [`crate::sources::AWRP`], at per-page granularity
+/// (plain Rust has the per-page integer state the command set lacks): each
+/// resident page is ranked by `w_r * last_access + w_f * frequency`, the
+/// eviction victim is the rank minimum, and a hit on a page that one
+/// component alone would have evicted next shifts weight toward the other
+/// component, clamped to `[1, AWRP_W_MAX]`.
+#[derive(Debug)]
+pub struct Awrp {
+    tick: u64,
+    last: HashMap<u64, u64>,
+    freq: HashMap<u64, u64>,
+    w_r: i64,
+    w_f: i64,
+}
+
+impl Default for Awrp {
+    fn default() -> Self {
+        Awrp {
+            tick: 0,
+            last: HashMap::new(),
+            freq: HashMap::new(),
+            w_r: 8,
+            w_f: 8,
+        }
+    }
+}
+
+impl Awrp {
+    /// Current (w_r, w_f) weights, for bound checks in tests.
+    pub fn weights(&self) -> (i64, i64) {
+        (self.w_r, self.w_f)
+    }
+
+    /// Eviction rank of a resident page: lower evicts first. The page id
+    /// tie-break makes the ranking a total order over any page set.
+    pub fn rank_key(&self, page: u64) -> (i64, u64) {
+        let last = self.last.get(&page).copied().unwrap_or(0) as i64;
+        let freq = self.freq.get(&page).copied().unwrap_or(0) as i64;
+        (self.w_r * last + self.w_f * freq, page)
+    }
+
+    fn touch(&mut self, page: u64) {
+        self.tick += 1;
+        self.last.insert(page, self.tick);
+        *self.freq.entry(page).or_insert(0) += 1;
+    }
+
+    /// The resident page a single component (recency or frequency) would
+    /// evict next, ignoring the other component.
+    fn component_min(&self, by_freq: bool) -> Option<u64> {
+        self.last
+            .keys()
+            .map(|&p| {
+                let v = if by_freq {
+                    self.freq[&p]
+                } else {
+                    self.last[&p]
+                };
+                (v, p)
+            })
+            .min()
+            .map(|(_, p)| p)
+    }
+}
+
+impl Replacement for Awrp {
+    fn name(&self) -> &'static str {
+        "AWRP"
+    }
+    fn on_access(&mut self, page: u64) {
+        // A hit on the page a lone component ranked as the next victim is
+        // evidence that component misranks: shift weight to the other one.
+        let clamp = |w: i64| w.clamp(1, AWRP_W_MAX);
+        if self.component_min(false) == Some(page) {
+            self.w_f = clamp(self.w_f + 1);
+            self.w_r = clamp(self.w_r - 1);
+        } else if self.component_min(true) == Some(page) {
+            self.w_r = clamp(self.w_r + 1);
+            self.w_f = clamp(self.w_f - 1);
+        }
+        self.touch(page);
+    }
+    fn on_insert(&mut self, page: u64) {
+        self.touch(page);
+    }
+    fn evict(&mut self) -> u64 {
+        let victim = self
+            .last
+            .keys()
+            .map(|&p| (self.rank_key(p), p))
+            .min()
+            .map(|(_, p)| p)
+            .expect("evict on non-empty cache");
+        self.last.remove(&victim);
+        self.freq.remove(&victim);
+        victim
+    }
+}
+
 /// A fixed-capacity cache simulator counting faults over a reference trace.
 pub struct CacheSim<P: Replacement> {
     policy: P,
@@ -302,6 +492,65 @@ mod tests {
         assert!(clock <= fifo, "second chance must not be worse than FIFO");
         // Clock lands in LRU's neighbourhood.
         assert!((clock as i64 - lru as i64).abs() < (fifo as i64 - lru as i64).max(10));
+    }
+
+    #[test]
+    fn learned_resists_one_shot_scans() {
+        // Hot working set with periodic one-shot sweeps: the perceptron
+        // must learn that never-re-referenced pages are cold and keep the
+        // hot set resident at least as well as plain LRU does.
+        let mut trace = Vec::new();
+        let mut cold = 10_000u64;
+        for round in 0..300u64 {
+            for h in 0..6u64 {
+                trace.push(h);
+            }
+            if round % 3 == 0 {
+                for _ in 0..12 {
+                    trace.push(cold);
+                    cold += 1;
+                }
+            }
+        }
+        let learned = CacheSim::new(LearnedCache::default(), 16).run(trace.clone());
+        let lru = CacheSim::new(Lru::default(), 16).run(trace);
+        assert!(
+            learned <= lru,
+            "learned ({learned}) must not thrash worse than LRU ({lru}) on scans"
+        );
+    }
+
+    #[test]
+    fn learned_weights_stay_saturated() {
+        let mut sim = CacheSim::new(LearnedCache::default(), 8);
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            sim.access(x % 64);
+            let (w_surv, w_bias) = sim.policy().weights();
+            assert!(w_surv.abs() <= LEARNED_W_MAX && w_bias.abs() <= LEARNED_W_MAX);
+        }
+    }
+
+    #[test]
+    fn awrp_rank_is_a_total_order_and_weights_stay_bounded() {
+        let mut sim = CacheSim::new(Awrp::default(), 8);
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..5_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            sim.access(x % 24);
+            let (w_r, w_f) = sim.policy().weights();
+            assert!((1..=AWRP_W_MAX).contains(&w_r) && (1..=AWRP_W_MAX).contains(&w_f));
+        }
+        // Distinct pages always rank distinctly (page-id tie-break).
+        let mut keys: Vec<_> = (0..24u64).map(|p| sim.policy().rank_key(p)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 24);
     }
 
     #[test]

@@ -244,6 +244,290 @@ pub const TWO_QUEUE: &str = r#"
     }
 "#;
 
+/// LearnedCache: an integer-weight perceptron deciding evict-vs-protect.
+///
+/// Pages age from `fresh_q` into the `aged_q` probation queue with their
+/// reference bit cleared, exactly as in 2Q — a set bit on an aged page is
+/// therefore a genuine re-reference and serves as the training *label*.
+/// Pages observed hot move to `surv_q`; queue membership doubles as the
+/// per-page *survivor* feature bit (the command set has no per-page
+/// integer state, so the feature is encoded structurally). At eviction
+/// time the policy scans up to `scan_limit` candidates — probation first —
+/// and for each extracts integer features into operand slots (survivor
+/// bit, modified bit, constant bias), computes the dot product against the
+/// persistent top-level weight slots, and predicts hot (protect) or cold
+/// (evict). Mispredictions update the weights by the perceptron rule,
+/// saturating at `+/- w_max` so the fixed-point weights can never run away
+/// (DESIGN.md §12).
+///
+/// Scan-resistance is learned rather than hard-wired: one-shot scan pages
+/// are never re-referenced, so every hot prediction on a non-survivor is
+/// a misprediction and the bias sinks until probation drains FIFO-style,
+/// while `w_surv` grows until survivors are protected on prediction alone.
+pub const LEARNED: &str = r#"
+    queue fresh_q;        // unscanned pages (active_count)
+    queue aged_q;         // probation: never survived a scan (inactive_count)
+    queue surv_q;         // survivors: observed hot at least once (uncounted)
+
+    int w_surv = 0;       // weight: survivor feature
+    int w_mod = 0;        // weight: modified-bit feature
+    int w_bias = 0;       // weight: constant bias feature
+    int w_max = 32;       // saturation bound for every weight
+    int scan_limit = 8;   // candidates examined per eviction
+
+    event PageFault() {
+        if (free_count == 0) {
+            activate Evict;
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(fresh_q, p);
+        return p;
+    }
+
+    event Evict() {
+        // Age fresh pages: clear the fault-time reference bit so a set bit
+        // on an aged page is a genuine re-reference (the training label).
+        while (active_count > 0) {
+            page f = dequeue_head(fresh_q);
+            reset_ref(f);
+            enqueue_tail(aged_q, f);
+        }
+        bool done = false;
+        int scanned = 0;
+        while (!done && scanned < scan_limit) {
+            if (inactive_count == 0 && empty(surv_q)) {
+                break;
+            }
+            scanned = scanned + 1;
+            // Draw the candidate: probation first, survivors otherwise.
+            // Feature extraction into operand slots (DESIGN.md §12).
+            int f_surv = 0;
+            page p;
+            if (inactive_count > 0) {
+                p = dequeue_head(aged_q);
+            } else {
+                p = dequeue_head(surv_q);
+                f_surv = 1;
+            }
+            int f_mod = 0;
+            if (modified(p)) {
+                f_mod = 1;
+            }
+            int score = w_surv * f_surv + w_mod * f_mod + w_bias;
+            int label = 0;
+            if (referenced(p)) {
+                label = 1;
+            }
+            int pred = 0;
+            if (score > 0) {
+                pred = 1;
+            }
+            // Perceptron update on mispredict, saturating at +/- w_max.
+            int err = label - pred;
+            if (err != 0) {
+                w_surv = w_surv + err * f_surv;
+                w_mod = w_mod + err * f_mod;
+                w_bias = w_bias + err;
+                if (w_surv > w_max) {
+                    w_surv = w_max;
+                }
+                if (w_surv < -w_max) {
+                    w_surv = -w_max;
+                }
+                if (w_mod > w_max) {
+                    w_mod = w_max;
+                }
+                if (w_mod < -w_max) {
+                    w_mod = -w_max;
+                }
+                if (w_bias > w_max) {
+                    w_bias = w_max;
+                }
+                if (w_bias < -w_max) {
+                    w_bias = -w_max;
+                }
+            }
+            if (label == 1) {
+                // Observed hot: promote to (or recycle in) the survivors.
+                reset_ref(p);
+                enqueue_tail(surv_q, p);
+            } else if (pred == 1) {
+                // Predicted hot: protect in its own class this round (the
+                // label corrects the weights if the prediction keeps
+                // missing).
+                if (f_surv == 1) {
+                    enqueue_tail(surv_q, p);
+                } else {
+                    enqueue_tail(aged_q, p);
+                }
+            } else {
+                if (modified(p)) {
+                    flush(p);
+                }
+                enqueue_head(free_queue, p);
+                done = true;
+            }
+        }
+        if (!done) {
+            // Scan budget exhausted: evict the oldest probation page
+            // outright, or the oldest survivor if probation is empty.
+            if (inactive_count > 0) {
+                page v = dequeue_head(aged_q);
+                if (modified(v)) {
+                    flush(v);
+                }
+                enqueue_head(free_queue, v);
+            } else if (!empty(surv_q)) {
+                page s = dequeue_head(surv_q);
+                if (modified(s)) {
+                    flush(s);
+                }
+                enqueue_head(free_queue, s);
+            }
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                activate Evict;
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
+/// AWRP — adaptive weight ranking over recency and frequency.
+///
+/// Two ranked classes, both kernel-maintained recency (LRU) queues:
+/// `recent_q` holds pages seen once, `frequent_q` pages genuinely
+/// re-referenced. Faults stage through an uncounted `fresh_q` and are aged
+/// into `recent_q` with the fault-time reference bit cleared, so a set bit
+/// later is a real re-reference (same trick as 2Q). Persistent weights
+/// `w_r`/`w_f` rank the classes: the eviction scan drains whichever class
+/// exceeds its weighted share (recent, unless
+/// `active_count * w_f < inactive_count * w_r`). A drained page found
+/// referenced is pardoned — promoted or recycled — and each pardon is
+/// evidence its class was misranked too cheap, so that class's weight is
+/// bumped (ARC-style), clamped to `[1, w_max]`. Per-page scalar ranking is
+/// approximated at class granularity: the command set has no per-page
+/// integer state, so kernel LRU order within a class stands in for the
+/// per-page recency term.
+pub const AWRP: &str = r#"
+    recency queue recent_q;     // aged, seen once (active_count)
+    recency queue frequent_q;   // re-referenced (inactive_count)
+    queue fresh_q;              // fault staging, uncounted
+
+    int w_r = 8;          // weight (value) of the recency class
+    int w_f = 8;          // weight (value) of the frequency class
+    int w_max = 64;       // weights stay in [1, w_max]
+    int spin_limit = 8;   // pardons tolerated per eviction
+
+    event PageFault() {
+        if (free_count == 0) {
+            activate Rank;
+        }
+        page p = dequeue_head(free_queue);
+        enqueue_tail(fresh_q, p);
+        return p;
+    }
+
+    event Rank() {
+        // Age staged faults: clear the fault-time reference bit so a set
+        // bit on a ranked page is a genuine re-reference.
+        while (!empty(fresh_q)) {
+            page f = dequeue_head(fresh_q);
+            reset_ref(f);
+            enqueue_tail(recent_q, f);
+        }
+        bool done = false;
+        int spins = 0;
+        while (!done && spins < spin_limit) {
+            spins = spins + 1;
+            // Drain the class holding more than its weighted share.
+            bool pick_recent = true;
+            if (active_count * w_f < inactive_count * w_r) {
+                pick_recent = false;
+            }
+            if (inactive_count == 0) {
+                pick_recent = true;
+            }
+            if (active_count == 0) {
+                pick_recent = false;
+            }
+            if (pick_recent) {
+                page p = dequeue_head(recent_q);
+                if (referenced(p)) {
+                    // Genuine re-reference: promote, and credit the
+                    // recency class the weights just tried to drain.
+                    reset_ref(p);
+                    enqueue_tail(frequent_q, p);
+                    w_r = w_r + 1;
+                    w_f = w_f - 1;
+                } else {
+                    if (modified(p)) {
+                        flush(p);
+                    }
+                    enqueue_head(free_queue, p);
+                    done = true;
+                }
+            } else {
+                page q = dequeue_head(frequent_q);
+                if (referenced(q)) {
+                    // Still hot: recycle in class, credit frequency.
+                    reset_ref(q);
+                    enqueue_tail(frequent_q, q);
+                    w_f = w_f + 1;
+                    w_r = w_r - 1;
+                } else {
+                    if (modified(q)) {
+                        flush(q);
+                    }
+                    enqueue_head(free_queue, q);
+                    done = true;
+                }
+            }
+            // Clamp both weights to [1, w_max].
+            if (w_r < 1) {
+                w_r = 1;
+            }
+            if (w_r > w_max) {
+                w_r = w_max;
+            }
+            if (w_f < 1) {
+                w_f = 1;
+            }
+            if (w_f > w_max) {
+                w_f = w_max;
+            }
+        }
+        if (!done) {
+            // Pardon budget exhausted: evict strictly by LRU, recent
+            // class first.
+            if (active_count > 0) {
+                lru(recent_q);
+            } else {
+                lru(frequent_q);
+            }
+        }
+    }
+
+    event ReclaimFrame() {
+        int released = 0;
+        while (released < reclaim_target && allocated_count > 0) {
+            if (free_count == 0) {
+                activate Rank;
+            }
+            page p = dequeue_head(free_queue);
+            release(p);
+            released = released + 1;
+        }
+    }
+"#;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +541,8 @@ mod tests {
             ("MRU", MRU),
             ("CLOCK", CLOCK),
             ("TWO_QUEUE", TWO_QUEUE),
+            ("LEARNED", LEARNED),
+            ("AWRP", AWRP),
         ] {
             let p = hipec_lang::compile(src)
                 .unwrap_or_else(|e| panic!("{name} failed to compile: {e:?}"));

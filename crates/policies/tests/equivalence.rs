@@ -137,6 +137,120 @@ fn hand_coded_listings_match_translator_output_behaviour() {
 }
 
 #[test]
+fn learned_and_awrp_listings_match_translator_output_behaviour() {
+    // The hand-coded perceptron and AWRP listings implement the same
+    // decision procedure as their pseudo-code sources, so fault counts
+    // must agree exactly on every trace.
+    let (region, cap) = (48u64, 32u64);
+    let run_program = |program: hipec_core::PolicyProgram, trace: &[u64]| -> u64 {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        let mut k = HipecKernel::new(params);
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, region * PAGE_SIZE, program, cap)
+            .expect("install");
+        for &page in trace {
+            k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+                .expect("access");
+            k.vm.pump();
+        }
+        k.container(key).expect("container").stats.faults
+    };
+    for (name, trace) in traces(region) {
+        let asm_learned = run_program(hipec_policies::asm_listings::learned(), &trace);
+        let compiled_learned = run_interpreted(PolicyKind::Learned, &trace, region, cap);
+        assert_eq!(
+            asm_learned, compiled_learned,
+            "Learned listings diverge on `{name}`"
+        );
+
+        let asm_awrp = run_program(hipec_policies::asm_listings::awrp(), &trace);
+        let compiled_awrp = run_interpreted(PolicyKind::Awrp, &trace, region, cap);
+        assert_eq!(asm_awrp, compiled_awrp, "AWRP listings diverge on `{name}`");
+    }
+}
+
+#[test]
+fn optimizer_preserves_hand_assembled_listing_behaviour() {
+    // `optimized_policies_fault_identically_to_unoptimized` below feeds the
+    // optimizer translator *output*; hand-assembled listings are a separate
+    // input class (jump structures the codegen never emits — the Learned
+    // saturation chain, AWRP's weight-share spin loop). Pin that class too:
+    // the peephole passes must keep any valid hand-written listing valid
+    // and decision-identical.
+    let (region, cap) = (48u64, 32u64);
+    let run_program = |program: hipec_core::PolicyProgram, trace: &[u64]| -> u64 {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        let mut k = HipecKernel::new(params);
+        let task = k.vm.create_task();
+        let (addr, _obj, key) = k
+            .vm_allocate_hipec(task, region * PAGE_SIZE, program, cap)
+            .expect("install");
+        for &page in trace {
+            k.access_sync(task, VAddr(addr.0 + page * PAGE_SIZE), false)
+                .expect("access");
+            k.vm.pump();
+        }
+        k.container(key).expect("container").stats.faults
+    };
+    for (lname, listing) in [
+        (
+            "second-chance",
+            hipec_policies::asm_listings::fifo_second_chance(),
+        ),
+        ("mru", hipec_policies::asm_listings::mru()),
+        ("learned", hipec_policies::asm_listings::learned()),
+        ("awrp", hipec_policies::asm_listings::awrp()),
+    ] {
+        let optimized = hipec_lang::optimize(&listing);
+        hipec_core::validate_program(&optimized).expect("optimized listing stays valid");
+        for (tname, trace) in traces(region) {
+            assert_eq!(
+                run_program(listing.clone(), &trace),
+                run_program(optimized.clone(), &trace),
+                "optimizer changed {lname} behaviour on `{tname}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn learned_policy_is_scan_resistant_in_kernel() {
+    // Same shape as the 2Q scan test: a hot set re-referenced between
+    // one-shot scan bursts. The perceptron has no hard-wired probation
+    // rule; it must *learn* that never-re-referenced pages are cold and
+    // end up clearly ahead of LRU.
+    let (region, cap) = (256u64, 24u64);
+    let hot = 8u64;
+    let mut trace = Vec::new();
+    let mut cold = hot;
+    let mut scan = |trace: &mut Vec<u64>, n: u64| {
+        for _ in 0..n {
+            trace.push(cold);
+            cold = hot + (cold - hot + 1) % (region - hot);
+        }
+    };
+    for _ in 0..4 {
+        trace.extend(0..hot);
+        scan(&mut trace, 8);
+    }
+    for _ in 0..25 {
+        trace.extend(0..hot);
+        scan(&mut trace, 40);
+    }
+    let lru = run_interpreted(PolicyKind::Lru, &trace, region, cap);
+    let learned = run_interpreted(PolicyKind::Learned, &trace, region, cap);
+    assert!(
+        learned + 100 < lru,
+        "Learned must beat LRU on scan-polluted traces ({learned} vs {lru})"
+    );
+}
+
+#[test]
 fn optimized_policies_fault_identically_to_unoptimized() {
     let (region, cap) = (48u64, 32u64);
     let run_program = |program: hipec_core::PolicyProgram, trace: &[u64]| -> u64 {

@@ -25,5 +25,5 @@ pub mod time;
 pub use clock::VirtualClock;
 pub use cost::CostModel;
 pub use event::EventQueue;
-pub use rng::DetRng;
+pub use rng::{DetRng, ZipfTable};
 pub use time::{SimDuration, SimTime};

@@ -15,6 +15,12 @@
 //!   per-region policies, the paper's §6 DBMS direction.
 //! * [`matrix`] — out-of-core matrix multiply (naive vs blocked), the
 //!   introduction's scientific-simulator motivation.
+//! * [`zipf_kv`] — a Zipf-distributed key-value store (web/KV skew).
+//! * [`web_cache`] — a scan-resistant edge cache: Zipf user traffic with
+//!   periodic one-shot crawler sweeps.
+//! * [`tournament`] — the cross-policy harness: every shipped policy ×
+//!   every workload shape × both executor backends × clean/chaos fault
+//!   plans, with uniform per-cell metrics.
 
 pub mod aim;
 pub mod db;
@@ -23,5 +29,8 @@ pub mod join;
 pub mod kernel_iface;
 pub mod matrix;
 pub mod scan;
+pub mod tournament;
+pub mod web_cache;
+pub mod zipf_kv;
 
 pub use kernel_iface::SysKernel;

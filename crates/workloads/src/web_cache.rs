@@ -1,0 +1,170 @@
+//! Scan-resistant web-cache workload.
+//!
+//! An edge cache in front of a large catalog: user requests follow a Zipf
+//! popularity curve (a small hot set carries most of the traffic), but a
+//! crawler periodically sweeps a long sequential slice of the catalog —
+//! one-shot reads that a recency-only policy lets flush the hot set. This
+//! is the classic scan-pollution scenario 2Q/LearnedCache exist for.
+//!
+//! The seeded [`trace`] generator is the workload's source of truth: the
+//! tournament and the determinism tests replay the exact same `(page,
+//! write)` sequence.
+
+use hipec_core::{HipecError, HipecKernel, KernelStats, PolicyProgram};
+use hipec_sim::{DetRng, SimDuration, ZipfTable};
+use hipec_vm::{KernelParams, VAddr, PAGE_SIZE};
+
+/// Shape of the web-cache workload.
+#[derive(Debug, Clone)]
+pub struct WebCacheConfig {
+    /// Catalog size in pages (objects).
+    pub pages: u64,
+    /// Number of user requests.
+    pub requests: u64,
+    /// Zipf exponent of user popularity.
+    pub s: f64,
+    /// A crawler sweep is injected after every `crawl_every` user requests.
+    pub crawl_every: u64,
+    /// Sequential pages touched per crawler sweep.
+    pub crawl_span: u64,
+    /// Fraction of user requests that update the object, in permille.
+    pub write_permille: u64,
+    /// Private pool for the region.
+    pub pool: u64,
+    /// RNG seed for the request stream.
+    pub seed: u64,
+    /// Machine parameters.
+    pub params: KernelParams,
+}
+
+impl WebCacheConfig {
+    /// A small edge cache: 512-page catalog, 48-frame pool, hourly-style
+    /// crawler sweeps of 96 pages every 400 requests.
+    pub fn small() -> Self {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 2_048;
+        params.wired_frames = 64;
+        WebCacheConfig {
+            pages: 512,
+            requests: 12_000,
+            s: 1.1,
+            crawl_every: 400,
+            crawl_span: 96,
+            write_permille: 50,
+            pool: 48,
+            seed: 0x3EB,
+            params,
+        }
+    }
+}
+
+/// Generates the `(page, is_write)` request trace: Zipf user requests with
+/// periodic sequential crawler sweeps (always reads) spliced in. Same
+/// config (seed included) ⇒ bit-identical trace.
+pub fn trace(cfg: &WebCacheConfig) -> Vec<(u64, bool)> {
+    let mut rng = DetRng::new(cfg.seed);
+    let table = ZipfTable::new(cfg.pages as usize, cfg.s);
+    let write_p = cfg.write_permille as f64 / 1_000.0;
+    let sweeps = cfg.requests / cfg.crawl_every;
+    let mut out = Vec::with_capacity((cfg.requests + sweeps * cfg.crawl_span) as usize);
+    let mut crawl_cursor = 0u64;
+    for req in 0..cfg.requests {
+        let page = table.sample(&mut rng) as u64;
+        out.push((page, rng.chance(write_p)));
+        if (req + 1) % cfg.crawl_every == 0 {
+            // One-shot sequential sweep over the next catalog slice.
+            for i in 0..cfg.crawl_span {
+                out.push(((crawl_cursor + i) % cfg.pages, false));
+            }
+            crawl_cursor = (crawl_cursor + cfg.crawl_span) % cfg.pages;
+        }
+    }
+    out
+}
+
+/// Result of one web-cache run.
+#[derive(Debug, Clone)]
+pub struct WebCacheResult {
+    /// Requests issued (user + crawler).
+    pub accesses: u64,
+    /// Faults taken by the region's policy container.
+    pub faults: u64,
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+    /// Kernel counter activity during the run.
+    pub stats: KernelStats,
+}
+
+/// Replays the trace against a fresh kernel under `policy`.
+pub fn run(cfg: &WebCacheConfig, policy: PolicyProgram) -> Result<WebCacheResult, HipecError> {
+    let reqs = trace(cfg);
+    let mut k = HipecKernel::new(cfg.params.clone());
+    let task = k.vm.create_task();
+    let (base, _obj, key) = k.vm_map_hipec(task, cfg.pages * PAGE_SIZE, policy, cfg.pool)?;
+    let per_req = k.vm.cost.tuple_op * 8;
+    let snap = k.kernel_stats();
+    let start = k.vm.now();
+    for &(page, write) in &reqs {
+        k.access_sync(task, VAddr(base.0 + page * PAGE_SIZE), write)?;
+        k.charge(per_req);
+        k.vm.pump();
+    }
+    Ok(WebCacheResult {
+        accesses: reqs.len() as u64,
+        faults: k.container(key)?.stats.faults,
+        elapsed: k.vm.now().since(start),
+        stats: k.kernel_stats().diff(&snap),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipec_policies::PolicyKind;
+
+    #[test]
+    fn same_seed_gives_bit_identical_traces() {
+        let cfg = WebCacheConfig::small();
+        assert_eq!(trace(&cfg), trace(&cfg));
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(trace(&cfg), trace(&other), "seed must matter");
+    }
+
+    #[test]
+    fn crawler_sweeps_are_present_and_read_only() {
+        let cfg = WebCacheConfig::small();
+        let reqs = trace(&cfg);
+        let sweeps = cfg.requests / cfg.crawl_every;
+        assert_eq!(
+            reqs.len() as u64,
+            cfg.requests + sweeps * cfg.crawl_span,
+            "every sweep fully spliced in"
+        );
+        // Find the first sweep: crawl_span consecutive sequential reads.
+        let start = cfg.crawl_every as usize;
+        for i in 0..cfg.crawl_span as usize {
+            let (page, write) = reqs[start + i];
+            assert_eq!(page, i as u64, "sweep is sequential from the cursor");
+            assert!(!write, "crawler never writes");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_and_scans_pollute_lru() {
+        let cfg = WebCacheConfig::small();
+        let a = run(&cfg, PolicyKind::TwoQueue.program()).expect("run");
+        let b = run(&cfg, PolicyKind::TwoQueue.program()).expect("run");
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.elapsed, b.elapsed);
+        // The scan-resistant policy must beat LRU here — that asymmetry is
+        // the whole point of the workload.
+        let lru = run(&cfg, PolicyKind::Lru.program()).expect("run");
+        assert!(
+            a.faults < lru.faults,
+            "2Q ({}) must beat LRU ({}) under crawler pollution",
+            a.faults,
+            lru.faults
+        );
+    }
+}

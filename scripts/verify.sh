@@ -34,7 +34,9 @@ if grep -n '#\[allow(dead_code)\]' \
     crates/bench/src/analyze.rs \
     crates/vm/src/device.rs crates/core/src/health.rs \
     crates/core/src/jit.rs crates/core/src/executor.rs crates/lang/src/opt.rs \
-    tests/jit.rs; then
+    crates/workloads/src/tournament.rs crates/workloads/src/zipf_kv.rs \
+    crates/workloads/src/web_cache.rs crates/policies/src/native.rs \
+    tests/jit.rs tests/tournament.rs; then
   echo "error: dead_code allowed in an observability, device-table or executor module" >&2
   exit 1
 fi
@@ -88,5 +90,33 @@ echo "   chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/c1.jsonl") records
 # device's own breaker window is expected; collateral on a closed-breaker
 # device, an unclosed breaker or an unrestored container is an anomaly.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/c1.jsonl"
+
+echo "== tournament: seeded short matrix is schema-v4, clean and replayable =="
+# The tournament binary exits non-zero if any cell's invariant audit fails,
+# so the run itself gates whole-kernel consistency across every policy ×
+# workload × backend × plan combination. On top of that: the --json
+# document must have the v4 shape (full cross product, both backends, a
+# complete ranking) and be bit-identical across reruns.
+cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t1.json"
+cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t2.json"
+if ! cmp -s "$SOAK_DIR/t1.json" "$SOAK_DIR/t2.json"; then
+  echo "error: identically seeded tournaments emitted different matrices" >&2
+  exit 1
+fi
+python3 - "$SOAK_DIR/t1.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == 4, f"schema {doc['schema']} != 4"
+data = doc["data"]
+policies, workloads, cells = data["policies"], data["workloads"], data["cells"]
+assert len(workloads) == 6, workloads
+assert len(cells) == len(policies) * len(workloads) * 2 * 2, len(cells)
+assert {c["backend"] for c in cells} == {"interpreter", "native"}
+assert {c["plan"] for c in cells} == {"clean", "chaos"}
+for c in cells:
+    assert c["hits"] + c["faults"] <= c["accesses"], c
+assert [r["policy"] for r in data["ranking"]] and len(data["ranking"]) == len(policies)
+print(f"   v4 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
+PY
 
 echo "verify: OK"

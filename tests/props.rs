@@ -105,7 +105,7 @@ proptest! {
     /// Wire encoding round-trips every program the translator can produce
     /// from the shipped sources (parameterized by which policy).
     #[test]
-    fn wire_round_trip_shipped_policies(idx in 0usize..5) {
+    fn wire_round_trip_shipped_policies(idx in 0usize..PolicyKind::ALL.len()) {
         let program = PolicyKind::ALL[idx].program();
         let decoded = PolicyProgram::from_words(&program.to_words()).expect("round trip");
         prop_assert_eq!(&decoded.decls, &program.decls);
@@ -274,7 +274,7 @@ proptest! {
     /// invariant audit passes after every step.
     #[test]
     fn policies_under_faults_preserve_invariants(
-        kind_idx in 0usize..5,
+        kind_idx in 0usize..PolicyKind::ALL.len(),
         trace in prop::collection::vec(0u64..24, 1..60),
         cap in 2u64..12,
         seed in any::<u64>(),
@@ -291,7 +291,7 @@ proptest! {
     /// injected-fault trace and the same failure counters, twice over.
     #[test]
     fn fault_injection_replays_exactly(
-        kind_idx in 0usize..5,
+        kind_idx in 0usize..PolicyKind::ALL.len(),
         trace in prop::collection::vec(0u64..24, 1..40),
         cap in 2u64..12,
         seed in any::<u64>(),
@@ -576,5 +576,91 @@ proptest! {
         frozen.adapt(true);
         frozen.adapt(false);
         prop_assert_eq!(frozen.interval, SimDuration::from_ns(start_ns));
+    }
+}
+
+// --- Learned/adaptive policy properties ---------------------------------------
+
+use hipec_core::OperandSlot;
+use hipec_policies::native::{Awrp, LearnedCache, AWRP_W_MAX, LEARNED_W_MAX};
+
+/// Replays `trace` in-kernel under `kind` and returns every integer
+/// operand slot of the region's container afterwards.
+fn int_slots_after(kind: PolicyKind, trace: &[u64], cap: u64) -> Vec<i64> {
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 256;
+    params.wired_frames = 8;
+    let mut k = HipecKernel::new(params);
+    let task = k.vm.create_task();
+    let (base, _o, key) = k
+        .vm_allocate_hipec(task, 32 * PAGE_SIZE, kind.program(), cap)
+        .expect("install");
+    for &p in trace {
+        k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), p % 3 == 0)
+            .expect("access");
+        k.vm.pump();
+    }
+    k.container(key)
+        .expect("container")
+        .operands
+        .iter()
+        .filter_map(|s| match s {
+            OperandSlot::Int(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The perceptron's saturating updates hold under arbitrary traces:
+    /// the native reference's weights never leave `[-W_MAX, W_MAX]`.
+    #[test]
+    fn learned_weights_saturate_on_any_trace(
+        trace in prop::collection::vec(0u64..48, 1..600),
+        cap in 2usize..16,
+    ) {
+        let mut sim = CacheSim::new(LearnedCache::default(), cap);
+        sim.run(trace.iter().copied());
+        let (w_surv, w_bias) = sim.policy().weights();
+        prop_assert!(w_surv.abs() <= LEARNED_W_MAX);
+        prop_assert!(w_bias.abs() <= LEARNED_W_MAX);
+    }
+
+    /// The same guarantee through the whole stack: after an arbitrary
+    /// in-kernel trace, every integer operand slot of the compiled Learned
+    /// policy is still inside the envelope its saturating updates imply
+    /// (weights at most ±w_max, the score at most the weight sum, loop
+    /// counters at most the scan budget).
+    #[test]
+    fn learned_kernel_slots_stay_inside_the_saturation_envelope(
+        trace in prop::collection::vec(0u64..32, 1..250),
+        cap in 2u64..12,
+    ) {
+        for v in int_slots_after(PolicyKind::Learned, &trace, cap) {
+            prop_assert!(v.abs() <= 3 * LEARNED_W_MAX, "slot escaped the envelope: {}", v);
+        }
+    }
+
+    /// AWRP's eviction rank is a strict total order over any page set
+    /// (its page-id tie-break makes every key distinct) and its component
+    /// weights never leave `[1, AWRP_W_MAX]`.
+    #[test]
+    fn awrp_rank_is_a_strict_total_order_on_any_trace(
+        trace in prop::collection::vec(0u64..48, 1..600),
+        cap in 2usize..16,
+    ) {
+        let mut sim = CacheSim::new(Awrp::default(), cap);
+        sim.run(trace.iter().copied());
+        let (w_r, w_f) = sim.policy().weights();
+        prop_assert!((1..=AWRP_W_MAX).contains(&w_r));
+        prop_assert!((1..=AWRP_W_MAX).contains(&w_f));
+        let mut keys: Vec<_> = (0..48u64).map(|p| sim.policy().rank_key(p)).collect();
+        keys.sort();
+        prop_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "rank keys must be pairwise distinct and strictly ordered"
+        );
     }
 }
