@@ -246,6 +246,12 @@ pub struct AnalyzeOptions {
     /// recorded before per-frame seizure events existed; on current traces
     /// it weakens the audit.
     pub legacy_residency: bool,
+    /// Flag an anomaly when the substrate fault latency p99 exceeds this
+    /// many virtual ns (0 disables the gate).
+    pub gate_p99_fault_ns: u64,
+    /// Flag an anomaly when the flush latency p99 exceeds this many
+    /// virtual ns (0 disables the gate).
+    pub gate_p99_flush_ns: u64,
 }
 
 /// Analyzes a JSONL trace given as an iterator of lines, with default
@@ -555,6 +561,27 @@ where
     for owner in resident.values() {
         *a.resident_at_end.entry(*owner).or_insert(0) += 1;
     }
+    // Percentile gates: a seeded soak has a deterministic latency
+    // distribution, so a tail drifting past the configured ceiling is a
+    // regression even when every lifecycle closes cleanly.
+    if options.gate_p99_fault_ns != 0 {
+        let p99 = a.fault_latency.quantile(0.99).as_ns();
+        if p99 > options.gate_p99_fault_ns {
+            a.anomalies.push(format!(
+                "fault latency p99 {p99} ns exceeds gate {} ns",
+                options.gate_p99_fault_ns
+            ));
+        }
+    }
+    if options.gate_p99_flush_ns != 0 {
+        let p99 = a.flush_latency.quantile(0.99).as_ns();
+        if p99 > options.gate_p99_flush_ns {
+            a.anomalies.push(format!(
+                "flush latency p99 {p99} ns exceeds gate {} ns",
+                options.gate_p99_flush_ns
+            ));
+        }
+    }
     Ok(a)
 }
 
@@ -585,6 +612,32 @@ mod tests {
         assert_eq!(a.fault_latency.count(), 1);
         assert_eq!(a.flush_latency.count(), 1);
         assert_eq!(a.flush_latency.total_ns(), 700);
+    }
+
+    #[test]
+    fn percentile_gates_flag_slow_tails_only() {
+        let trace = "\
+{\"seq\":0,\"at_ns\":100,\"type\":\"vm.fault\",\"task\":0,\"vpage\":3,\"kind\":\"page_in\",\"write\":false,\"latency_ns\":2500}
+{\"seq\":1,\"at_ns\":200,\"type\":\"vm.flush_start\",\"frame\":7,\"torn\":false}
+{\"seq\":2,\"at_ns\":900,\"type\":\"vm.flush_complete\",\"frame\":7}
+";
+        let generous = AnalyzeOptions {
+            gate_p99_fault_ns: 1_000_000,
+            gate_p99_flush_ns: 1_000_000,
+            ..AnalyzeOptions::default()
+        };
+        let a = analyze_lines_with(trace.lines(), generous).unwrap();
+        assert!(a.is_clean(), "anomalies: {:?}", a.anomalies);
+
+        let tight = AnalyzeOptions {
+            gate_p99_fault_ns: 1_000,
+            gate_p99_flush_ns: 100,
+            ..AnalyzeOptions::default()
+        };
+        let a = analyze_lines_with(trace.lines(), tight).unwrap();
+        assert_eq!(a.anomalies.len(), 2, "anomalies: {:?}", a.anomalies);
+        assert!(a.anomalies[0].contains("fault latency p99"));
+        assert!(a.anomalies[1].contains("flush latency p99"));
     }
 
     #[test]
@@ -767,6 +820,7 @@ mod tests {
             trace.lines(),
             AnalyzeOptions {
                 legacy_residency: true,
+                ..AnalyzeOptions::default()
             },
         )
         .unwrap();

@@ -129,10 +129,10 @@ fn main() {
             println!(
                 "{:<10} grants={} rejections={} reclaims={}+{} (normal+forced)",
                 "",
-                stats.get("gfm_grants"),
-                stats.get("gfm_rejections"),
-                stats.get("gfm_normal_reclaims"),
-                stats.get("gfm_forced_reclaims"),
+                stats.get("gfm_grants").unwrap_or(0),
+                stats.get("gfm_rejections").unwrap_or(0),
+                stats.get("gfm_normal_reclaims").unwrap_or(0),
+                stats.get("gfm_forced_reclaims").unwrap_or(0),
             );
         }
         rows.push(serde_json::json!({
@@ -140,10 +140,10 @@ fn main() {
             "specific_frames": c.allocated,
             "specific_faults": specific_faults,
             "non_specific_faults": non_specific_faults,
-            "gfm_grants": stats.get("gfm_grants"),
-            "gfm_rejections": stats.get("gfm_rejections"),
-            "gfm_normal_reclaims": stats.get("gfm_normal_reclaims"),
-            "gfm_forced_reclaims": stats.get("gfm_forced_reclaims"),
+            "gfm_grants": stats.get("gfm_grants").unwrap_or(0),
+            "gfm_rejections": stats.get("gfm_rejections").unwrap_or(0),
+            "gfm_normal_reclaims": stats.get("gfm_normal_reclaims").unwrap_or(0),
+            "gfm_forced_reclaims": stats.get("gfm_forced_reclaims").unwrap_or(0),
         }));
     }
     if !json_only {

@@ -227,8 +227,8 @@ fn main() {
         (s.written(), s.io_errors())
     };
 
-    let trips = stats.get("breaker_trips");
-    let closes = stats.get("breaker_closes");
+    let trips = stats.get("breaker_trips").unwrap_or(0);
+    let closes = stats.get("breaker_closes").unwrap_or(0);
     let quarantines: u64 = stats.containers.iter().map(|c| c.quarantines).sum();
     let restores: u64 = stats.containers.iter().map(|c| c.restores).sum();
 

@@ -63,7 +63,7 @@ fn main() {
                 "faults": mach.faults,
                 "policy_faults": policy.faults,
                 "policy_commands": policy.commands,
-                "dev_reads": stats.get("dev_reads"),
+                "dev_reads": stats.get("dev_reads").unwrap_or(0),
                 "kernel": kernel_stats_json(stats),
             }),
         );

@@ -3,7 +3,7 @@
 //!
 //! Human mode prints one ranked table per workload (clean-plan faults and
 //! hit rates) plus the overall Borda ranking; `--json` emits the full cell
-//! matrix (schema v4, see [`hipec_bench::JSON_SCHEMA_VERSION`]). Every
+//! matrix (schema v5, see [`hipec_bench::JSON_SCHEMA_VERSION`]). Every
 //! number derives from the seed, so two runs with the same flags produce
 //! bit-identical output — `scripts/verify.sh` gates on that.
 //!
@@ -36,6 +36,8 @@ fn cell_json(c: &Cell) -> Value {
         "hit_permille": c.hit_permille,
         "p50_fault_ns": c.p50_fault_ns,
         "p99_fault_ns": c.p99_fault_ns,
+        "p99_event_ns": c.p99_event_ns,
+        "p99_flush_ns": c.p99_flush_ns,
         "commands": c.commands,
         "events": c.events,
         "flushes": c.flushes,
@@ -54,8 +56,8 @@ fn report(t: &Tournament) {
     for &wl in &t.workloads {
         println!("\n-- {wl} (clean plan, interpreter) --");
         println!(
-            "{:>10} {:>8} {:>8} {:>6} {:>12} {:>12}",
-            "policy", "faults", "hits", "hit‰", "p50_fault", "p99_fault"
+            "{:>10} {:>8} {:>8} {:>6} {:>12} {:>12} {:>12} {:>12}",
+            "policy", "faults", "hits", "hit‰", "p50_fault", "p99_fault", "p99_event", "p99_flush"
         );
         let mut rows: Vec<&Cell> = t
             .cells
@@ -65,8 +67,15 @@ fn report(t: &Tournament) {
         rows.sort_by_key(|c| (c.faults, c.policy));
         for c in rows {
             println!(
-                "{:>10} {:>8} {:>8} {:>6} {:>10}ns {:>10}ns",
-                c.policy, c.faults, c.hits, c.hit_permille, c.p50_fault_ns, c.p99_fault_ns
+                "{:>10} {:>8} {:>8} {:>6} {:>10}ns {:>10}ns {:>10}ns {:>10}ns",
+                c.policy,
+                c.faults,
+                c.hits,
+                c.hit_permille,
+                c.p50_fault_ns,
+                c.p99_fault_ns,
+                c.p99_event_ns,
+                c.p99_flush_ns
             );
         }
     }

@@ -7,22 +7,45 @@
 //! lost to ring overwrites). Exits non-zero when anomalies are found, so
 //! it can gate CI.
 //!
-//! Usage: `trace_analyze [FILE] [--json] [--legacy-residency]` — reads
-//! stdin when no file (or `-`) is given. `--legacy-residency` restores
-//! the conservative clear-on-reclaim residency accounting for traces
-//! recorded before per-frame `forced_seize` events existed.
+//! Usage: `trace_analyze [FILE] [--json] [--legacy-residency]
+//! [--gate-p99-fault-ns N] [--gate-p99-flush-ns N]` — reads stdin when no
+//! file (or `-`) is given. `--legacy-residency` restores the conservative
+//! clear-on-reclaim residency accounting for traces recorded before
+//! per-frame `forced_seize` events existed. The `--gate-p99-*` flags turn
+//! a latency tail past N virtual ns into an anomaly (and a non-zero exit),
+//! so CI can pin percentile regressions, not just lifecycle bugs.
 
 use std::io::Read;
 
 use hipec_bench::analyze::{analyze_lines_with, AnalyzeOptions};
 use hipec_bench::{finish, json_mode};
 
+fn parse_gate(value: Option<String>, flag: &str) -> u64 {
+    match value.and_then(|s| s.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("trace_analyze: {flag} needs an integer ns value");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let json = json_mode();
-    let legacy = std::env::args().any(|a| a == "--legacy-residency");
-    let path = std::env::args()
-        .skip(1)
-        .find(|a| a != "--json" && a != "-" && a != "--legacy-residency");
+    let mut legacy = false;
+    let mut gate_fault = 0u64;
+    let mut gate_flush = 0u64;
+    let mut path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" | "-" => {}
+            "--legacy-residency" => legacy = true,
+            "--gate-p99-fault-ns" => gate_fault = parse_gate(args.next(), "--gate-p99-fault-ns"),
+            "--gate-p99-flush-ns" => gate_flush = parse_gate(args.next(), "--gate-p99-flush-ns"),
+            _ => path = Some(a),
+        }
+    }
     let text = match &path {
         Some(p) => match std::fs::read_to_string(p) {
             Ok(t) => t,
@@ -43,6 +66,8 @@ fn main() {
 
     let options = AnalyzeOptions {
         legacy_residency: legacy,
+        gate_p99_fault_ns: gate_fault,
+        gate_p99_flush_ns: gate_flush,
     };
     let analysis = match analyze_lines_with(text.lines(), options) {
         Ok(a) => a,

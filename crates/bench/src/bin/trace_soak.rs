@@ -9,7 +9,11 @@
 //! the outputs to prove bit-for-bit determinism, then feeds one through
 //! `trace_analyze`.
 //!
-//! Usage: `trace_soak [--out PATH] [--steps N] [--seed S] [--json]`
+//! Usage: `trace_soak [--out PATH] [--steps N] [--seed S]
+//! [--stats-export PATH] [--json]` — `--stats-export` additionally writes
+//! the final kernel snapshot as Prometheus-style text exposition
+//! ([`hipec_core::stats_export`]); the bytes are a pure function of the
+//! seed, which is what verify.sh's double-run `cmp` gate checks.
 
 use std::cell::RefCell;
 use std::fs::File;
@@ -117,6 +121,12 @@ fn main() {
     }
 
     let stats = k.kernel_stats();
+    if let Some(p) = arg_value("--stats-export") {
+        if let Err(e) = std::fs::write(&p, hipec_core::stats_export(&stats)) {
+            eprintln!("trace_soak: cannot write {p}: {e}");
+            std::process::exit(2);
+        }
+    }
     k.take_sink();
     let (written, io_errors) = {
         let s = sink.borrow();

@@ -53,7 +53,16 @@ pub use hipec_sim::stats::{Series, TextTable};
 /// points over the clean cells. Unlike the envelope's `backend` (still the
 /// build default), each cell's `backend` names the executor that produced
 /// that row.
-pub const JSON_SCHEMA_VERSION: u64 = 4;
+///
+/// v5: kernel snapshots gained a `latency` array — one row per
+/// [`hipec_core::LatencyRow`] with `metric`, `key` (the human label: opcode
+/// mnemonic for `op_charge`, decimal container key / device id otherwise),
+/// `count`, `saturated`, `p50_ns`/`p90_ns`/`p99_ns`/`p999_ns` and `max_ns`,
+/// in the snapshot's fixed deterministic row order. The `tournament`
+/// matrix's cells gained `p99_event_ns` (per-container top-level event
+/// duration) and `p99_flush_ns` (device-0 flush completion latency) beside
+/// the existing fault percentiles.
+pub const JSON_SCHEMA_VERSION: u64 = 5;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///
@@ -65,10 +74,11 @@ pub fn json_mode() -> bool {
 
 /// Serializes a [`KernelStats`] snapshot (or a `diff` of two) to JSON.
 ///
-/// Gauges, the full global counter map, `dropped_records` and one row per
+/// Gauges, the full global counter map, `dropped_records`, one row per
 /// container — including the per-opcode profile as
-/// `{"<mnemonic>": {"count": N, "time_ns": N}}` — all as integers so the
-/// output is stable across platforms.
+/// `{"<mnemonic>": {"count": N, "time_ns": N}}` — and the occupied latency
+/// rows with their percentiles, all as integers so the output is stable
+/// across platforms.
 pub fn kernel_stats_json(stats: &KernelStats) -> Value {
     let mut global = serde_json::Map::new();
     for (&k, &v) in &stats.global {
@@ -129,6 +139,24 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
             })
         })
         .collect();
+    let latency: Vec<Value> = stats
+        .latency
+        .iter()
+        .filter(|r| !r.hist.is_empty())
+        .map(|r| {
+            serde_json::json!({
+                "metric": r.metric.name(),
+                "key": r.key_label(),
+                "count": r.count(),
+                "saturated": r.saturated(),
+                "p50_ns": r.p50().as_ns(),
+                "p90_ns": r.p90().as_ns(),
+                "p99_ns": r.p99().as_ns(),
+                "p999_ns": r.p999().as_ns(),
+                "max_ns": r.max().as_ns(),
+            })
+        })
+        .collect();
     serde_json::json!({
         "at_ns": stats.at.as_ns(),
         "free_frames": stats.free_frames,
@@ -139,6 +167,7 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
         "global": Value::Object(global),
         "devices": Value::Array(devices),
         "containers": Value::Array(containers),
+        "latency": Value::Array(latency),
     })
 }
 

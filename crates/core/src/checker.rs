@@ -125,6 +125,10 @@ impl HipecKernel {
         self.health_tick();
         self.emit(crate::trace::TraceEvent::CheckerWake { detected });
         self.checker.adapt(detected);
+        // The adapted interval is the scheduling decision this wakeup made;
+        // its distribution shows how often the checker actually runs.
+        #[cfg(feature = "metrics")]
+        self.obs.checker_interval.record(self.checker.interval);
         // Each wakeup (including ones replayed after a long idle stretch)
         // reschedules from its own firing time, so the checker's CPU cost
         // is charged for every tick that would have occurred.

@@ -6,7 +6,7 @@
 //! by the global frame manager, and the execution timestamp the security
 //! checker inspects.
 
-use hipec_sim::{SimDuration, SimTime};
+use hipec_sim::{LatencyHistogram, SimDuration, SimTime};
 use hipec_vm::{Kernel, ObjectId, QueueId, TaskId};
 
 use crate::command::OpCode;
@@ -138,6 +138,13 @@ pub struct Container {
     pub stats: ContainerStats,
     /// Per-opcode command counts and virtual-time attribution.
     pub op_profile: OpProfile,
+    /// Fault-service latency distribution: `access` entry to frame-ready,
+    /// per policy-resolved fault. Storage is unconditional; recording is
+    /// behind the `metrics` feature.
+    pub lat_fault: LatencyHistogram,
+    /// `run_event` duration distribution (one sample per top-level policy
+    /// event, nested `Activate` events included in their parent's span).
+    pub lat_event: LatencyHistogram,
     /// Device faults surfaced asynchronously (abandoned write-backs), not
     /// yet drained by `HipecKernel::take_surfaced_faults`.
     pub pending_faults: Vec<crate::error::PolicyFault>,
@@ -205,6 +212,8 @@ impl Container {
             reclaim_target: 0,
             stats: ContainerStats::default(),
             op_profile: OpProfile::default(),
+            lat_fault: LatencyHistogram::EMPTY,
+            lat_event: LatencyHistogram::EMPTY,
             pending_faults: Vec::new(),
             health: crate::health::ContainerHealth::default(),
             restore_pending: 0,

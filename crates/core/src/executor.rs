@@ -102,8 +102,17 @@ impl HipecKernel {
         fuel: &mut u32,
     ) -> Result<ExecValue, PolicyFault> {
         let before = self.containers[cidx].stats.commands;
+        #[cfg(feature = "metrics")]
+        let entered = self.vm.now();
         let result = self.run_event_inner(cidx, event, depth, fuel);
         let delta = self.containers[cidx].stats.commands - before;
+        // Top-level events get one duration sample each; a nested
+        // `Activate` is part of its parent's span, not a sample of its own.
+        #[cfg(feature = "metrics")]
+        if depth == 0 {
+            let spent = self.vm.now().since(entered);
+            self.containers[cidx].lat_event.record(spent);
+        }
         self.emit(crate::trace::TraceEvent::PolicyEvent {
             container: self.containers[cidx].key,
             event,
@@ -205,7 +214,7 @@ impl HipecKernel {
                         }
                     };
                     let spent = self.vm.now().since(t0);
-                    self.containers[cidx].op_profile.attribute(op, spent);
+                    self.profile_op(cidx, op, spent);
                     return Ok(value);
                 }
                 OpCode::Arith => {
@@ -293,7 +302,7 @@ impl HipecKernel {
                         cond = false;
                         // Taken jumps bypass the loop tail; attribute here.
                         let spent = self.vm.now().since(t0);
-                        self.containers[cidx].op_profile.attribute(op, spent);
+                        self.profile_op(cidx, op, spent);
                         continue;
                     }
                 }
@@ -429,7 +438,7 @@ impl HipecKernel {
                 }
             }
             let spent = self.vm.now().since(t0);
-            self.containers[cidx].op_profile.attribute(op, spent);
+            self.profile_op(cidx, op, spent);
             cond = if op.is_test() { new_cond } else { false };
             cc += 1;
         }

@@ -1,0 +1,42 @@
+//! The latency-histogram engine, re-exported at the HiPEC layer.
+//!
+//! The engine itself lives in `hipec-sim` ([`hipec_sim::hist`]) because the
+//! VM substrate's device table records into it and the dependency direction
+//! runs core → vm → sim; this module is the HiPEC-facing facade the
+//! attribution layer ([`crate::obs`]) and external consumers import from.
+//! See the engine module for the bucket layout and the determinism
+//! argument, and DESIGN.md §13 for how the kernel uses it.
+
+pub use hipec_sim::hist::{
+    LatencyHistogram, BUCKETS, GROUPS, SATURATION_NS, SUB_BITS, SUB_BUCKETS,
+};
+
+use hipec_sim::SimDuration;
+
+/// The percentile set every latency surface reports, as
+/// `(p50, p90, p99, p999)` — one place so `KernelStats` rows, bench
+/// `--json` and `stats_export` can never drift apart.
+pub fn quantile_set(h: &LatencyHistogram) -> (SimDuration, SimDuration, SimDuration, SimDuration) {
+    (
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_set_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        for ns in [10u64, 100, 1_000, 10_000, 100_000] {
+            h.record(SimDuration::from_ns(ns));
+        }
+        let (p50, p90, p99, p999) = quantile_set(&h);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999);
+        assert!(p999 <= h.max());
+    }
+}

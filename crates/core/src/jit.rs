@@ -362,25 +362,22 @@ impl HipecKernel {
                 let res = (step.exec)(self, cidx, step, cond, &mut ctx);
                 match res {
                     StepRes::Fall | StepRes::FallSet => {
-                        let p = &mut self.containers[cidx].op_profile;
-                        p.bump(step.op);
-                        p.attribute(step.op, decode);
+                        self.containers[cidx].op_profile.bump(step.op);
+                        self.profile_op(cidx, step.op, decode);
                         cond = step.is_test && res == StepRes::FallSet;
                         cc += 1;
                     }
                     StepRes::Jump => {
                         // Taken jumps attribute the decode cost, flag
                         // cleared — same as the interpreter.
-                        let p = &mut self.containers[cidx].op_profile;
-                        p.bump(step.op);
-                        p.attribute(step.op, decode);
+                        self.containers[cidx].op_profile.bump(step.op);
+                        self.profile_op(cidx, step.op, decode);
                         cond = false;
                         cc = step.target as usize;
                     }
                     StepRes::Ret => {
-                        let p = &mut self.containers[cidx].op_profile;
-                        p.bump(step.op);
-                        p.attribute(step.op, decode);
+                        self.containers[cidx].op_profile.bump(step.op);
+                        self.profile_op(cidx, step.op, decode);
                         settle_pending!();
                         return Ok(ctx.ret);
                     }
@@ -409,17 +406,17 @@ impl HipecKernel {
                 match (step.exec)(self, cidx, step, cond, &mut ctx) {
                     res @ (StepRes::Fall | StepRes::FallSet) => {
                         let spent = self.vm.now().since(t0);
-                        self.containers[cidx].op_profile.attribute(step.op, spent);
+                        self.profile_op(cidx, step.op, spent);
                         cond = step.is_test && res == StepRes::FallSet;
                         cc += 1;
                     }
                     StepRes::Jump => {
-                        self.containers[cidx].op_profile.attribute(step.op, decode);
+                        self.profile_op(cidx, step.op, decode);
                         cond = false;
                         cc = step.target as usize;
                     }
                     StepRes::Ret => {
-                        self.containers[cidx].op_profile.attribute(step.op, decode);
+                        self.profile_op(cidx, step.op, decode);
                         return Ok(ctx.ret);
                     }
                     StepRes::Fault => {

@@ -49,6 +49,9 @@ pub struct HipecKernel {
     /// Which executor backend `run_event` dispatches to (see
     /// [`ExecBackend`]); both observe the same accounting contract.
     pub(crate) backend: ExecBackend,
+    /// Kernel-scope latency histograms (sampled opcode charges, checker
+    /// interval, pump cadence); see [`crate::obs`].
+    pub obs: crate::obs::ObsState,
     /// The merged kernel event trace (HiPEC layer + drained VM events).
     pub trace: EventRing<TraceEvent>,
     next_seq: u64,
@@ -85,6 +88,7 @@ impl HipecKernel {
             health_policy: HealthPolicy::default(),
             limits: ExecLimits::default(),
             backend: ExecBackend::default(),
+            obs: crate::obs::ObsState::default(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             next_seq: 0,
             #[cfg(debug_assertions)]
@@ -395,6 +399,8 @@ impl HipecKernel {
                 let end = result.io_until.unwrap_or_else(|| self.vm.now());
                 let latency = end.since(fault_start);
                 self.vm.fault_latency.record(latency);
+                #[cfg(feature = "metrics")]
+                self.containers[cidx].lat_fault.record(latency);
                 self.emit(TraceEvent::PolicyFaultResolved {
                     container: info.container,
                     frame,
@@ -527,6 +533,24 @@ impl HipecKernel {
     /// [`PolicyFault::Device`] it can drain via
     /// [`HipecKernel::take_surfaced_faults`].
     pub fn pump(&mut self) {
+        // The pump itself advances no virtual time, so the observable
+        // latency dimension is its cadence: the span since the last pump.
+        // Same-instant re-pumps (common when callers pump defensively
+        // inside one access) carry no cadence information, so only spans
+        // that advanced virtual time are recorded — this also keeps the
+        // hot loop's recording cost proportional to time, not call count.
+        #[cfg(feature = "metrics")]
+        {
+            let now = self.vm.now();
+            match self.obs.last_pump {
+                Some(last) if now > last => {
+                    self.obs.pump_drain.record(now.since(last));
+                    self.obs.last_pump = Some(now);
+                }
+                Some(_) => {}
+                None => self.obs.last_pump = Some(now),
+            }
+        }
         self.vm.pump();
         for dead in self.vm.take_dead_flushes() {
             let owner = self

@@ -22,7 +22,11 @@
 //! * [`trace`] — the merged deterministic event ring plus streaming
 //!   [`TraceSink`]s with a stable JSONL schema (feature `trace`, default
 //!   on);
-//! * [`metrics`] — [`KernelStats`] counter snapshots with `diff`.
+//! * [`metrics`] — [`KernelStats`] counter snapshots with `diff`;
+//! * [`hist`] / [`obs`] — fixed-footprint log-linear latency histograms
+//!   and the attribution layer surfacing them as [`LatencyRow`]s and
+//!   Prometheus-style text exposition (recording sites behind the
+//!   `metrics` feature, default on).
 //!
 //! # Examples
 //!
@@ -57,12 +61,14 @@ pub mod container;
 pub mod error;
 pub mod executor;
 pub mod health;
+pub mod hist;
 pub mod invariants;
 #[cfg(feature = "jit")]
 pub mod jit;
 pub mod kernel;
 pub mod manager;
 pub mod metrics;
+pub mod obs;
 pub mod operand;
 pub mod program;
 pub mod trace;
@@ -74,10 +80,12 @@ pub use container::{Container, ContainerStats, OpProfile};
 pub use error::{HipecError, PolicyFault};
 pub use executor::{ExecBackend, ExecLimits, ExecValue};
 pub use health::{ContainerHealth, HealthPolicy, HealthState};
+pub use hist::LatencyHistogram;
 pub use invariants::FramePartition;
 pub use kernel::{ContainerKey, HipecKernel};
 pub use manager::GlobalFrameManager;
 pub use metrics::{ContainerCounters, DeviceRow, KernelStats};
+pub use obs::{stats_export, LatencyMetric, LatencyRow, ObsState};
 pub use operand::{KernelVar, OperandDecl, OperandSlot};
 pub use program::{PolicyProgram, WireError, EVENT_PAGE_FAULT, EVENT_RECLAIM_FRAME, HIPEC_MAGIC};
 pub use trace::{

@@ -15,6 +15,19 @@ use hipec_sim::SimTime;
 
 use crate::container::OpProfile;
 use crate::kernel::HipecKernel;
+use crate::obs::LatencyRow;
+
+/// Saturating counter difference that flags time-travel: a monotone counter
+/// can only shrink between an "earlier" and a "later" snapshot if the caller
+/// swapped the arguments or mixed snapshots from different kernels. Debug
+/// builds assert (`went_backwards`); release builds saturate to zero.
+fn sat_diff(name: &str, later: u64, earlier: u64) -> u64 {
+    debug_assert!(
+        later >= earlier,
+        "went_backwards: counter `{name}` later={later} earlier={earlier}"
+    );
+    later.saturating_sub(earlier)
+}
 
 /// Counter snapshot for one container.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,15 +68,15 @@ impl ContainerCounters {
     pub fn diff(&self, earlier: &ContainerCounters) -> ContainerCounters {
         ContainerCounters {
             key: self.key,
-            faults: self.faults.saturating_sub(earlier.faults),
-            commands: self.commands.saturating_sub(earlier.commands),
-            events: self.events.saturating_sub(earlier.events),
-            requested: self.requested.saturating_sub(earlier.requested),
-            released: self.released.saturating_sub(earlier.released),
-            flushes: self.flushes.saturating_sub(earlier.flushes),
-            device_faults: self.device_faults.saturating_sub(earlier.device_faults),
-            quarantines: self.quarantines.saturating_sub(earlier.quarantines),
-            restores: self.restores.saturating_sub(earlier.restores),
+            faults: sat_diff("faults", self.faults, earlier.faults),
+            commands: sat_diff("commands", self.commands, earlier.commands),
+            events: sat_diff("events", self.events, earlier.events),
+            requested: sat_diff("requested", self.requested, earlier.requested),
+            released: sat_diff("released", self.released, earlier.released),
+            flushes: sat_diff("flushes", self.flushes, earlier.flushes),
+            device_faults: sat_diff("device_faults", self.device_faults, earlier.device_faults),
+            quarantines: sat_diff("quarantines", self.quarantines, earlier.quarantines),
+            restores: sat_diff("restores", self.restores, earlier.restores),
             allocated: self.allocated,
             terminated: self.terminated,
             quarantined: self.quarantined,
@@ -113,22 +126,32 @@ impl DeviceRow {
     pub fn diff(&self, earlier: &DeviceRow) -> DeviceRow {
         DeviceRow {
             id: self.id,
-            reads: self.reads.saturating_sub(earlier.reads),
-            writes: self.writes.saturating_sub(earlier.writes),
-            read_errors: self.read_errors.saturating_sub(earlier.read_errors),
-            write_errors: self.write_errors.saturating_sub(earlier.write_errors),
-            torn_writes: self.torn_writes.saturating_sub(earlier.torn_writes),
-            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
-            breaker_closes: self.breaker_closes.saturating_sub(earlier.breaker_closes),
-            breaker_probes: self.breaker_probes.saturating_sub(earlier.breaker_probes),
-            breaker_deferred: self
-                .breaker_deferred
-                .saturating_sub(earlier.breaker_deferred),
+            reads: sat_diff("reads", self.reads, earlier.reads),
+            writes: sat_diff("writes", self.writes, earlier.writes),
+            read_errors: sat_diff("read_errors", self.read_errors, earlier.read_errors),
+            write_errors: sat_diff("write_errors", self.write_errors, earlier.write_errors),
+            torn_writes: sat_diff("torn_writes", self.torn_writes, earlier.torn_writes),
+            breaker_trips: sat_diff("breaker_trips", self.breaker_trips, earlier.breaker_trips),
+            breaker_closes: sat_diff(
+                "breaker_closes",
+                self.breaker_closes,
+                earlier.breaker_closes,
+            ),
+            breaker_probes: sat_diff(
+                "breaker_probes",
+                self.breaker_probes,
+                earlier.breaker_probes,
+            ),
+            breaker_deferred: sat_diff(
+                "breaker_deferred",
+                self.breaker_deferred,
+                earlier.breaker_deferred,
+            ),
             breaker_open: self.breaker_open,
             inflight: self.inflight,
             queue_depth: self.queue_depth,
-            retryq_pushes: self.retryq_pushes.saturating_sub(earlier.retryq_pushes),
-            retryq_pops: self.retryq_pops.saturating_sub(earlier.retryq_pops),
+            retryq_pushes: sat_diff("retryq_pushes", self.retryq_pushes, earlier.retryq_pushes),
+            retryq_pops: sat_diff("retryq_pops", self.retryq_pops, earlier.retryq_pops),
         }
     }
 }
@@ -160,12 +183,18 @@ pub struct KernelStats {
     /// (see [`HipecKernel::dropped_records`]). Zero whenever a sink was
     /// attached for the whole run.
     pub dropped_records: u64,
+    /// Latency-histogram rows in a fixed deterministic order (kernel scope,
+    /// occupied opcodes, containers, devices). Empty histograms when the
+    /// `metrics` feature is compiled out — the snapshot shape never changes.
+    pub latency: Vec<LatencyRow>,
 }
 
 impl KernelStats {
-    /// A global counter by name (0 if absent).
-    pub fn get(&self, name: &str) -> u64 {
-        self.global.get(name).copied().unwrap_or(0)
+    /// A global counter by name, or `None` if no counter of that name was
+    /// ever registered. A missing counter is not the same thing as a zero
+    /// one — callers that treat absence as zero say so with `unwrap_or(0)`.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.global.get(name).copied()
     }
 
     /// The counters of container `key`, if it exists.
@@ -184,7 +213,7 @@ impl KernelStats {
     pub fn diff(&self, earlier: &KernelStats) -> KernelStats {
         let mut global = BTreeMap::new();
         for (&k, &v) in &self.global {
-            global.insert(k, v.saturating_sub(earlier.get(k)));
+            global.insert(k, v.saturating_sub(earlier.get(k).unwrap_or(0)));
         }
         let containers = self
             .containers
@@ -202,6 +231,20 @@ impl KernelStats {
                 None => *d,
             })
             .collect();
+        let latency = self
+            .latency
+            .iter()
+            .map(|r| {
+                match earlier
+                    .latency
+                    .iter()
+                    .find(|e| e.metric == r.metric && e.key == r.key)
+                {
+                    Some(e) => r.diff(e),
+                    None => *r,
+                }
+            })
+            .collect();
         KernelStats {
             at: self.at,
             global,
@@ -212,7 +255,15 @@ impl KernelStats {
             inflight_flushes: self.inflight_flushes,
             retry_depth: self.retry_depth,
             dropped_records: self.dropped_records.saturating_sub(earlier.dropped_records),
+            latency,
         }
+    }
+
+    /// The latency row for `(metric, key)`, if present in this snapshot.
+    pub fn latency_row(&self, metric: crate::obs::LatencyMetric, key: u64) -> Option<&LatencyRow> {
+        self.latency
+            .iter()
+            .find(|r| r.metric == metric && r.key == key)
     }
 }
 
@@ -276,6 +327,9 @@ impl fmt::Display for KernelStats {
             for (op, count, time) in c.ops.nonzero() {
                 writeln!(f, "    {}: {count}x {time}", op.mnemonic())?;
             }
+        }
+        for r in self.latency.iter().filter(|r| !r.hist.is_empty()) {
+            writeln!(f, "  {r}")?;
         }
         Ok(())
     }
@@ -388,6 +442,80 @@ impl HipecKernel {
             inflight_flushes: self.vm.inflight_frames().count() as u64,
             retry_depth: self.vm.retry_frames().count() as u64,
             dropped_records: self.dropped_records(),
+            latency: self.latency_rows(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_diff_subtracts_counters_and_keeps_gauges() {
+        let earlier = ContainerCounters {
+            key: 7,
+            faults: 10,
+            commands: 100,
+            allocated: 4,
+            ..ContainerCounters::default()
+        };
+        let later = ContainerCounters {
+            key: 7,
+            faults: 15,
+            commands: 160,
+            allocated: 2,
+            quarantined: true,
+            ..ContainerCounters::default()
+        };
+        let d = later.diff(&earlier);
+        assert_eq!(d.faults, 5);
+        assert_eq!(d.commands, 60);
+        assert_eq!(d.allocated, 2, "gauges keep the later value");
+        assert!(d.quarantined);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn container_diff_asserts_when_a_counter_went_backwards() {
+        let earlier = ContainerCounters {
+            faults: 9,
+            ..ContainerCounters::default()
+        };
+        let later = ContainerCounters {
+            faults: 3,
+            ..ContainerCounters::default()
+        };
+        let panic = std::panic::catch_unwind(|| later.diff(&earlier));
+        assert!(panic.is_err(), "backwards counter must trip went_backwards");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn device_diff_asserts_when_a_counter_went_backwards() {
+        let earlier = DeviceRow {
+            writes: 20,
+            ..DeviceRow::default()
+        };
+        let later = DeviceRow {
+            writes: 19,
+            ..DeviceRow::default()
+        };
+        let panic = std::panic::catch_unwind(|| later.diff(&earlier));
+        assert!(panic.is_err(), "backwards counter must trip went_backwards");
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn diff_saturates_to_zero_in_release_builds() {
+        let earlier = DeviceRow {
+            reads: 8,
+            ..DeviceRow::default()
+        };
+        let later = DeviceRow {
+            reads: 5,
+            ..DeviceRow::default()
+        };
+        assert_eq!(later.diff(&earlier).reads, 0);
     }
 }

@@ -11,6 +11,8 @@
 //!   measurements published in the HiPEC paper (OSDI '94, Tables 3 and 4).
 //! * [`stats`] — counters, online moments, histograms and series used by the
 //!   experiment harnesses.
+//! * [`hist`] — fixed-footprint log-linear latency histograms with the
+//!   merge/diff algebra the observability layer's snapshots need.
 //!
 //! Everything here is pure computation: no wall-clock reads, no I/O, no
 //! threads. Simulations are bit-reproducible given the same seed.
@@ -18,6 +20,7 @@
 pub mod clock;
 pub mod cost;
 pub mod event;
+pub mod hist;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -25,5 +28,6 @@ pub mod time;
 pub use clock::VirtualClock;
 pub use cost::CostModel;
 pub use event::EventQueue;
+pub use hist::LatencyHistogram;
 pub use rng::{DetRng, ZipfTable};
 pub use time::{SimDuration, SimTime};

@@ -13,7 +13,7 @@
 //! pipelines untouched.
 
 use hipec_disk::{BackingStore, DeviceParams, DiskQueue, PagingDevice};
-use hipec_sim::SimTime;
+use hipec_sim::{LatencyHistogram, SimTime};
 
 use crate::breaker::CircuitBreaker;
 use crate::kernel::{InflightFlush, RetryTag};
@@ -32,6 +32,16 @@ pub struct BackingDevice {
     /// Torn flushes awaiting re-issue (FCFS — retry order is submission
     /// order; tags carry the frame and its spent attempts).
     pub(crate) retry_q: DiskQueue<RetryTag>,
+    /// Completion latency of demand reads issued to this device. In the
+    /// virtual-time simulation a submission's completion instant is known
+    /// at issue, so latency is recorded at the submission site (behind
+    /// the `metrics` feature; the storage is unconditional so snapshot
+    /// shapes don't change).
+    pub(crate) lat_read: LatencyHistogram,
+    /// Completion latency of first-issue write-back flushes.
+    pub(crate) lat_flush: LatencyHistogram,
+    /// Completion latency of torn-write retry re-issues.
+    pub(crate) lat_torn_retry: LatencyHistogram,
 }
 
 impl BackingDevice {
@@ -44,6 +54,9 @@ impl BackingDevice {
             breaker: CircuitBreaker::default(),
             inflight: Vec::new(),
             retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+            lat_read: LatencyHistogram::EMPTY,
+            lat_flush: LatencyHistogram::EMPTY,
+            lat_torn_retry: LatencyHistogram::EMPTY,
         }
     }
 
@@ -80,6 +93,13 @@ impl BackingDevice {
     /// Lifetime (pushes, pops) of this device's retry queue.
     pub fn retry_counters(&self) -> (u64, u64) {
         (self.retry_q.pushes(), self.retry_q.pops())
+    }
+
+    /// Completion-latency histograms for this device, as `(read, flush,
+    /// torn_retry)` — the snapshot surface `KernelStats` latency rows
+    /// are assembled from. Empty when the `metrics` feature is off.
+    pub fn latency(&self) -> (&LatencyHistogram, &LatencyHistogram, &LatencyHistogram) {
+        (&self.lat_read, &self.lat_flush, &self.lat_torn_retry)
     }
 
     /// Earliest virtual instant at which pumping *this* device makes

@@ -700,6 +700,10 @@ impl Kernel {
             let done = match self.devices[di].disk.read(loc.lba, now) {
                 Ok(done) => {
                     self.breaker_record_read(di, true);
+                    // In virtual time a submission's completion instant is
+                    // already known: record the read's service latency here.
+                    #[cfg(feature = "metrics")]
+                    self.devices[di].lat_read.record(done.since(now));
                     done
                 }
                 Err(fault) => {
@@ -956,6 +960,8 @@ impl Kernel {
             match self.devices[di].disk.write(pending.lba, now) {
                 Ok(c) => {
                     self.breaker_record_write(di, !c.torn);
+                    #[cfg(feature = "metrics")]
+                    self.devices[di].lat_torn_retry.record(c.done.since(now));
                     self.devices[di].inflight.push(InflightFlush {
                         done: c.done,
                         frame,
@@ -1006,6 +1012,8 @@ impl Kernel {
                 match self.devices[di].disk.write(pending.lba, now) {
                     Ok(c) => {
                         self.breaker_record_write(di, !c.torn);
+                        #[cfg(feature = "metrics")]
+                        self.devices[di].lat_torn_retry.record(c.done.since(now));
                         self.devices[di].inflight.push(InflightFlush {
                             done: c.done,
                             frame,

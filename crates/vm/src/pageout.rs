@@ -186,6 +186,12 @@ impl Kernel {
             }
         };
         self.breaker_record_write(di, !completion.torn);
+        // Completion instants are known at submission in virtual time:
+        // record the flush's service latency here.
+        #[cfg(feature = "metrics")]
+        self.devices[di]
+            .lat_flush
+            .record(completion.done.since(now));
         // Busy frames sit on no queue: detach callers that flush straight
         // off a queue (the pageout path has already dequeued its victim).
         if self.frames.queue_of(frame)?.is_some() {

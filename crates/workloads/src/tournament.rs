@@ -16,7 +16,7 @@
 //! bit-for-bit — which is what lets `tests/tournament.rs` pin the matrix
 //! as a golden and assert Interpreter/Native parity cell by cell.
 
-use hipec_core::{ExecBackend, HipecKernel, PolicyProgram};
+use hipec_core::{ExecBackend, HipecKernel, LatencyMetric, PolicyProgram};
 use hipec_disk::FaultConfig;
 use hipec_policies::PolicyKind;
 use hipec_sim::{DetRng, SimDuration};
@@ -299,6 +299,12 @@ pub struct Cell {
     pub p50_fault_ns: u64,
     /// Tail fault-handling latency (virtual ns).
     pub p99_fault_ns: u64,
+    /// Tail top-level policy-event duration in the region's container
+    /// (virtual ns, interval histogram; 0 when metrics are compiled out).
+    pub p99_event_ns: u64,
+    /// Tail flush completion latency on the boot paging device (virtual
+    /// ns, interval histogram; 0 when metrics are compiled out).
+    pub p99_flush_ns: u64,
     /// Policy commands executed.
     pub commands: u64,
     /// Policy event invocations.
@@ -414,6 +420,14 @@ pub fn run_cell_with(
         hit_permille: hits * 1_000 / accesses.max(1),
         p50_fault_ns: k.vm.fault_latency.quantile(0.5).as_ns(),
         p99_fault_ns: k.vm.fault_latency.quantile(0.99).as_ns(),
+        p99_event_ns: stats
+            .latency_row(LatencyMetric::ContainerEvent, key.0 as u64)
+            .map(|r| r.p99().as_ns())
+            .unwrap_or(0),
+        p99_flush_ns: stats
+            .latency_row(LatencyMetric::DeviceFlush, 0)
+            .map(|r| r.p99().as_ns())
+            .unwrap_or(0),
         commands: row.commands,
         events: row.events,
         flushes: row.flushes,

@@ -21,6 +21,12 @@ cargo test -q -p hipec-vm -p hipec-core --no-default-features
 echo "== jit compiled out, tracing on: cargo test (core, --features trace) =="
 cargo test -q -p hipec-core --no-default-features --features trace
 
+echo "== metrics compiled out: cargo test (core, --features trace,jit) =="
+# Histogram storage is unconditional; only the recording sites are gated.
+# Kernel behavior, snapshot shapes and all tests must hold with the
+# metrics feature off.
+cargo test -q -p hipec-core --no-default-features --features trace,jit
+
 echo "== native backend: seeded differential sweep (JIT vs interpreter) =="
 # Bit-identical outcomes, KernelStats, virtual time and rendered traces
 # across both executor backends, plus the pinned fault-path parity tests.
@@ -32,6 +38,7 @@ echo "== observability, device-table and executor modules carry no dead-code wai
 if grep -n '#\[allow(dead_code)\]' \
     crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs \
     crates/bench/src/analyze.rs \
+    crates/sim/src/hist.rs crates/core/src/hist.rs crates/core/src/obs.rs \
     crates/vm/src/device.rs crates/core/src/health.rs \
     crates/core/src/jit.rs crates/core/src/executor.rs crates/lang/src/opt.rs \
     crates/workloads/src/tournament.rs crates/workloads/src/zipf_kv.rs \
@@ -45,17 +52,36 @@ echo "== streaming sinks: seeded soak is lossless, replayable and clean =="
 SOAK_DIR="$(mktemp -d)"
 trap 'rm -rf "$SOAK_DIR"' EXIT
 cargo run -q --release --bin trace_soak -- \
-  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/a.jsonl" >/dev/null
+  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/a.jsonl" \
+  --stats-export "$SOAK_DIR/a.prom" >/dev/null
 cargo run -q --release --bin trace_soak -- \
-  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/b.jsonl" >/dev/null
+  --seed 0x5EED --steps 1500 --out "$SOAK_DIR/b.jsonl" \
+  --stats-export "$SOAK_DIR/b.prom" >/dev/null
 if ! cmp -s "$SOAK_DIR/a.jsonl" "$SOAK_DIR/b.jsonl"; then
   echo "error: identically seeded soaks streamed different JSONL traces" >&2
   exit 1
 fi
-echo "   traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/a.jsonl") records)"
+# The exported histogram snapshot (every latency bucket included) must be
+# byte-identical too — this is the determinism gate for the hist/obs layer.
+if ! cmp -s "$SOAK_DIR/a.prom" "$SOAK_DIR/b.prom"; then
+  echo "error: identically seeded soaks exported different histogram snapshots" >&2
+  exit 1
+fi
+if ! grep -q '^# TYPE hipec_latency_ns histogram' "$SOAK_DIR/a.prom"; then
+  echo "error: stats export carries no latency histogram family" >&2
+  exit 1
+fi
+echo "   traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/a.jsonl") records," \
+  "$(wc -l <"$SOAK_DIR/a.prom") export lines)"
 # trace_analyze exits non-zero on any anomaly (frame leaks, retry storms,
-# checker timeouts) or malformed input, so this line is the gate itself.
-cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/a.jsonl"
+# checker timeouts) or malformed input, so this line is the gate itself —
+# the generous percentile gates additionally pin the latency tails. The
+# substrate fault p99 on this seed is ~0.5 ms (delay-only plan, max
+# injected delay 500 µs), so the 10 ms fault gate flags order-of-magnitude
+# regressions; flush spans include queue wait under the soak's pressure
+# (observed p99 ~268 ms), so the flush gate sits at 2 s.
+cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/a.jsonl" \
+  --gate-p99-fault-ns 10000000 --gate-p99-flush-ns 2000000000
 
 echo "== chaos: two-device degradation cycle completes, replays and analyzes clean =="
 # chaos_soak itself exits non-zero unless the full cycle was observed on
@@ -91,12 +117,13 @@ echo "   chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/c1.jsonl") records
 # device, an unclosed breaker or an unrestored container is an anomaly.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/c1.jsonl"
 
-echo "== tournament: seeded short matrix is schema-v4, clean and replayable =="
+echo "== tournament: seeded short matrix is schema-v5, clean and replayable =="
 # The tournament binary exits non-zero if any cell's invariant audit fails,
 # so the run itself gates whole-kernel consistency across every policy ×
 # workload × backend × plan combination. On top of that: the --json
-# document must have the v4 shape (full cross product, both backends, a
-# complete ranking) and be bit-identical across reruns.
+# document must have the v5 shape (full cross product, both backends,
+# per-cell latency percentile columns, a complete ranking) and be
+# bit-identical across reruns.
 cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t1.json"
 cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t2.json"
 if ! cmp -s "$SOAK_DIR/t1.json" "$SOAK_DIR/t2.json"; then
@@ -106,7 +133,7 @@ fi
 python3 - "$SOAK_DIR/t1.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == 4, f"schema {doc['schema']} != 4"
+assert doc["schema"] == 5, f"schema {doc['schema']} != 5"
 data = doc["data"]
 policies, workloads, cells = data["policies"], data["workloads"], data["cells"]
 assert len(workloads) == 6, workloads
@@ -115,8 +142,11 @@ assert {c["backend"] for c in cells} == {"interpreter", "native"}
 assert {c["plan"] for c in cells} == {"clean", "chaos"}
 for c in cells:
     assert c["hits"] + c["faults"] <= c["accesses"], c
+    for col in ("p50_fault_ns", "p99_fault_ns", "p99_event_ns", "p99_flush_ns"):
+        assert isinstance(c[col], int), (col, c)
+assert any(c["p99_event_ns"] > 0 for c in cells), "no cell recorded event latency"
 assert [r["policy"] for r in data["ranking"]] and len(data["ranking"]) == len(policies)
-print(f"   v4 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
+print(f"   v5 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
 PY
 
 echo "verify: OK"

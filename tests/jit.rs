@@ -540,3 +540,53 @@ fn runaway_compiled_policy_trips_checker_timeout_identically() {
     );
     assert!(interp.2, "the application is terminated");
 }
+
+/// Latency histograms are part of the cross-backend contract: a seeded
+/// fault-injected workload must produce bit-identical `KernelStats::latency`
+/// rows — per-container fault/event service, per-device completion, sampled
+/// per-opcode charges, buckets and all — under Interpreter and Native
+/// (ISSUE 8 tentpole). The fingerprint sweeps already compare snapshots
+/// wholesale; this pins the histogram surface explicitly so a sampling or
+/// attribution divergence fails with a readable message.
+#[test]
+fn latency_histograms_are_bit_identical_across_backends() {
+    let trace: Vec<u64> = (0..160u64).map(|s| (s * 7 + 3) % 24).collect();
+    let cfg = fault_config(0x0B5E55ED, 10, 10, 120, 25);
+    let interp = drive_shipped(
+        PolicyKind::FifoSecondChance,
+        ExecBackend::Interpreter,
+        &trace,
+        6,
+        cfg,
+    );
+    let native = drive_shipped(
+        PolicyKind::FifoSecondChance,
+        ExecBackend::Native,
+        &trace,
+        6,
+        cfg,
+    );
+    assert_eq!(
+        interp.stats.latency, native.stats.latency,
+        "latency rows diverged between backends"
+    );
+    // The integration crate builds hipec-core with default features, so
+    // the `metrics` recording sites are compiled in.
+    {
+        let fault_row = interp
+            .stats
+            .latency
+            .iter()
+            .find(|r| r.metric == hipec_core::LatencyMetric::ContainerFault && !r.hist.is_empty())
+            .expect("a pressured run records container fault latency");
+        assert!(fault_row.count() > 0);
+        assert!(
+            interp
+                .stats
+                .latency
+                .iter()
+                .any(|r| r.metric == hipec_core::LatencyMetric::OpCharge && !r.hist.is_empty()),
+            "sampled op-charge histograms must be populated"
+        );
+    }
+}

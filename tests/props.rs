@@ -664,3 +664,85 @@ proptest! {
         );
     }
 }
+
+// --- Latency histograms: shard/merge equivalence, saturation, empties ---------
+
+mod hist_props {
+    use proptest::prelude::*;
+
+    use hipec_core::hist::{LatencyHistogram, SATURATION_NS};
+    use hipec_sim::SimDuration;
+
+    fn record_all(ns: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in ns {
+            h.record(SimDuration::from_ns(v));
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Recording a sample set in two shards and merging is bit-identical
+        /// to recording it all into one histogram, so every quantile agrees
+        /// too — the property that makes `LatencyRow::merge` across
+        /// containers or intervals honest.
+        #[test]
+        fn merge_then_quantile_equals_record_all_then_quantile(
+            ns in prop::collection::vec(0u64..SATURATION_NS * 2, 0..400),
+            split in 0usize..400,
+            q_permille in 0u64..=1000,
+        ) {
+            let q = q_permille as f64 / 1000.0;
+            let cut = split.min(ns.len());
+            let mut merged = record_all(&ns[..cut]);
+            merged.merge(&record_all(&ns[cut..]));
+            let all = record_all(&ns);
+            prop_assert_eq!(merged, all);
+            prop_assert_eq!(merged.quantile(q), all.quantile(q));
+        }
+
+        /// Saturated samples stay in the books twice over: they clamp into
+        /// the top bucket (so `count` covers every sample) and bump the
+        /// dedicated saturation counter; the exact maximum survives intact.
+        #[test]
+        fn saturation_counting_matches_the_input(
+            ns in prop::collection::vec(0u64..SATURATION_NS * 2, 1..200),
+        ) {
+            let h = record_all(&ns);
+            let expect_sat = ns.iter().filter(|&&v| v >= SATURATION_NS).count() as u64;
+            prop_assert_eq!(h.count(), ns.len() as u64);
+            prop_assert_eq!(h.saturated(), expect_sat);
+            prop_assert_eq!(h.max().as_ns(), ns.iter().copied().max().unwrap_or(0));
+        }
+
+        /// The empty histogram is zero everywhere, an identity under merge,
+        /// and what diffing a snapshot against itself leaves behind (the
+        /// interval's buckets, counts and totals all drain to zero; only the
+        /// conservative max upper bound is retained).
+        #[test]
+        fn empty_histogram_edge_cases(
+            ns in prop::collection::vec(0u64..SATURATION_NS * 2, 0..100),
+            q_permille in 0u64..=1000,
+        ) {
+            let q = q_permille as f64 / 1000.0;
+            let empty = LatencyHistogram::EMPTY;
+            prop_assert_eq!(empty.count(), 0);
+            prop_assert_eq!(empty.saturated(), 0);
+            prop_assert_eq!(empty.quantile(q).as_ns(), 0);
+            prop_assert_eq!(empty.nonzero_buckets().count(), 0);
+
+            let h = record_all(&ns);
+            let mut merged = h;
+            merged.merge(&empty);
+            prop_assert_eq!(merged, h);
+
+            let drained = h.diff(&h);
+            prop_assert_eq!(drained.count(), 0);
+            prop_assert_eq!(drained.saturated(), 0);
+            prop_assert_eq!(drained.total_ns(), 0);
+            prop_assert_eq!(drained.nonzero_buckets().count(), 0);
+        }
+    }
+}

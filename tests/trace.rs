@@ -298,7 +298,7 @@ fn killing_a_container_mid_flush_keeps_the_books() {
         before - row.allocated,
         "reclamation credit must equal the real book decrease"
     );
-    assert_eq!(stats.get("gfm_normal_reclaims"), got);
+    assert_eq!(stats.get("gfm_normal_reclaims"), Some(got));
     // Device-refused dirty frames stay attributed to the dead container.
     let part = k.frame_partition();
     assert_eq!(part.container(key.0), Some(row.allocated));
@@ -350,7 +350,7 @@ fn torn_retries_drain_and_surface_device_faults() {
 
     let stats = k.kernel_stats();
     assert!(
-        stats.get("retryq_pushes") > 0,
+        stats.get("retryq_pushes").expect("retryq_pushes counter") > 0,
         "torn writes must hit the retry queue"
     );
     let surfaced = k.take_surfaced_faults(key);
