@@ -22,7 +22,14 @@
 //!   identical across runs. `scripts/verify.sh` runs this twice and
 //!   `cmp`s the traces, then gates the run through `trace_analyze`.
 //!
-//! Usage: `chaos_soak [--out PATH] [--steps N] [--seed S] [--json]`
+//! Usage: `chaos_soak [--out PATH] [--steps N] [--seed S] [--kind disk|flash] [--json]`
+//!
+//! `--kind flash` backs the hostile device with a small flash array whose
+//! log fills during the soak, so garbage-collection erase pauses land in
+//! the middle of the storm and its aftermath. The run then additionally
+//! pins that GC pauses are *latency only*: they must never feed the
+//! breaker's failure EWMA, so every trip closes again (no spurious trips
+//! outside the injected fault window) while `gc_pauses` and wear advance.
 
 use std::cell::RefCell;
 use std::fs::File;
@@ -71,6 +78,7 @@ fn main() {
             u64::from_str_radix(s, 16).ok()
         })
         .unwrap_or(0xC4A05);
+    let kind = arg_value("--kind").unwrap_or_else(|| "disk".into());
     let json = json_mode();
 
     let mut params = KernelParams::paper_64mb();
@@ -86,7 +94,22 @@ fn main() {
     // second device so isolation is observable: only the container bound
     // to dev#1 may degrade.
     let dev_clean = DeviceId(0);
-    let dev_bad = k.add_device(DeviceParams::default());
+    let bad_params = match kind.as_str() {
+        "disk" => DeviceParams::default(),
+        // A deliberately tiny array: 10 blocks × 16 pages with 80%
+        // over-provisioning exposes 128 logical pages, so the 24-page MRU
+        // extent's rewrites fill the log and force GC erases mid-soak.
+        "flash" => DeviceParams::Flash(hipec_disk::FlashParams {
+            read_page: SimDuration::from_us(150),
+            program_page: SimDuration::from_us(900),
+            erase_block: SimDuration::from_ms(12),
+            pages_per_block: 16,
+            blocks: 10,
+            logical_pct: 80,
+        }),
+        other => fail(&format!("unknown --kind {other} (disk|flash)")),
+    };
+    let dev_bad = k.add_device(bad_params);
 
     // Complete-from-seq-0 capture: attach before the first emission.
     let file = match File::create(&out) {
@@ -248,6 +271,7 @@ fn main() {
         "out": out.display().to_string(),
         "steps": steps,
         "seed": seed,
+        "kind": kind,
         "records_written": written,
         "sink_io_errors": io_errors,
         "breaker_trips": trips,
@@ -319,6 +343,37 @@ fn main() {
         let c = k.container(key_fifo).expect("fifo row");
         if c.health.state != HealthState::Healthy {
             fail("the clean device's container did not end Healthy");
+        }
+    }
+    // Flash-backed storm device: GC must actually have run (the tiny log
+    // fills), its wear counters must surface, and — the EWMA pin — GC
+    // pauses are latency only, so every trip was caused by the injected
+    // window and closed again. A breaker fed by GC stalls would either
+    // trip during the quiet tail (closes < trips) or end the soak open.
+    if kind == "flash" {
+        let bad = stats
+            .device(dev_bad.0)
+            .unwrap_or_else(|| fail("no stats row for the flash device"));
+        if bad.tier != 1 {
+            fail("flash device did not report tier 1");
+        }
+        if bad.gc_pauses == 0 || bad.max_wear == 0 {
+            fail(&format!(
+                "flash GC never ran ({} pauses, wear {})",
+                bad.gc_pauses, bad.max_wear
+            ));
+        }
+        if bad.write_amp_milli < 1000 {
+            fail(&format!(
+                "flash write amplification below 1.0 ({} milli)",
+                bad.write_amp_milli
+            ));
+        }
+        if bad.breaker_closes < bad.breaker_trips || bad.breaker_open {
+            fail(&format!(
+                "GC pauses leaked into the breaker EWMA ({} trips, {} closes, open={})",
+                bad.breaker_trips, bad.breaker_closes, bad.breaker_open
+            ));
         }
     }
     // Restored containers are back on HiPEC management with their

@@ -1,0 +1,307 @@
+//! Unplug soak: the device-lifecycle gauntlet, traced and self-gating.
+//!
+//! Three backing stores — the boot disk, a small flash tier and a doomed
+//! disk wearing an all-torn fault plan — carry a write-heavy workload
+//! while the run exercises every lifecycle transition in one deterministic
+//! story:
+//!
+//! 1. fault-rate-driven tier rebalancing promotes the hot region onto the
+//!    flash device and demotes it again once it cools,
+//! 2. the flash device is hot-unplugged mid-storm (`remove_device`): its
+//!    objects re-bind to the boot disk, queued copies and re-homed torn
+//!    retries drain through the pump, and the entry reaches Removed,
+//! 3. the doomed disk's breaker trips on the torn storm, every half-open
+//!    probe fails, the backoff budget exhausts and the entry is declared
+//!    Dead — the same drain then force-migrates its objects onto the boot
+//!    disk, attributed as forced migrations.
+//!
+//! The exit code is non-zero unless the whole story completes: both drains
+//! finish (Removed + Dead-and-drained), **zero** pages are abandoned (the
+//! drain machinery is budget-exempt, so even the all-torn device loses no
+//! data), every drained page reads back through the survivor, forced
+//! migrations are attributed, and `check_invariants()` stays clean at
+//! every audited step. The JSONL trace is a pure function of the seed;
+//! `scripts/verify.sh` runs the binary twice and `cmp`s the traces.
+//!
+//! Usage: `unplug_soak [--out PATH] [--steps N] [--seed S] [--json]`
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use hipec_bench::{finish, json_mode, kernel_stats_json, results_dir};
+use hipec_core::{HipecKernel, JsonlSink};
+use hipec_disk::{DeviceParams, FaultConfig};
+use hipec_sim::SimDuration;
+use hipec_vm::{DeviceId, DeviceState, KernelParams, VAddr, PAGE_SIZE};
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("unplug_soak: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn audit(k: &HipecKernel) {
+    if let Err(e) = k.check_invariants() {
+        fail(&format!("invariant violated: {e}"));
+    }
+}
+
+/// Drives the pump until every flush and migration lifecycle closes.
+fn drain(k: &mut HipecKernel) {
+    let mut guard = 0u32;
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+        guard += 1;
+        if guard > 200_000 {
+            fail("pump did not quiesce (drain wedged)");
+        }
+    }
+}
+
+fn state_of(k: &HipecKernel, dev: DeviceId) -> DeviceState {
+    k.vm.backing_device(dev)
+        .unwrap_or_else(|_| fail("device vanished from the table"))
+        .state()
+}
+
+fn main() {
+    let out: PathBuf = arg_value("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("unplug_soak.jsonl"));
+    let steps: usize = arg_value("--steps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1200);
+    let seed: u64 = arg_value("--seed")
+        .and_then(|s| {
+            let s = s.trim_start_matches("0x");
+            u64::from_str_radix(s, 16).ok()
+        })
+        .unwrap_or(0x0D15C);
+    let json = json_mode();
+
+    let mut params = KernelParams::paper_64mb();
+    params.total_frames = 128;
+    params.wired_frames = 8;
+    params.free_target = 8;
+    params.free_min = 4;
+    params.inactive_target = 12;
+
+    let mut k = HipecKernel::new(params);
+
+    let dev_boot = DeviceId(0);
+    // A small flash tier: big enough for the hot region, small enough
+    // that promotion traffic exercises the translation layer.
+    let dev_flash = k.add_device(DeviceParams::Flash(hipec_disk::FlashParams {
+        read_page: SimDuration::from_us(150),
+        program_page: SimDuration::from_us(900),
+        erase_block: SimDuration::from_ms(12),
+        pages_per_block: 16,
+        blocks: 16,
+        logical_pct: 80,
+    }));
+    // The doomed disk: every accepted write completes torn, forever. Its
+    // breaker will trip, peg its backoff at the ceiling and exhaust the
+    // dead budget below.
+    let dev_doomed = k.add_device(DeviceParams::default());
+
+    let file = match File::create(&out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("unplug_soak: cannot create {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    };
+    let sink = Rc::new(RefCell::new(JsonlSink::new(BufWriter::new(file))));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    k.vm.set_fault_plan_on(
+        dev_doomed,
+        FaultConfig {
+            seed,
+            read_error_permille: 0,
+            write_error_permille: 0,
+            delay_permille: 0,
+            max_delay: SimDuration::ZERO,
+            torn_permille: 1000,
+        },
+    );
+    // Two consecutive failed probes at the 320 ms backoff ceiling declare
+    // the device permanently failed.
+    k.vm.breaker_mut(dev_doomed).set_dead_budget(Some(2));
+
+    // A hot region on the boot disk (rebalancing will promote it to
+    // flash), a warm region born on flash (the unplug will drain it), and
+    // a doomed region whose device dies under it.
+    let t = k.vm.create_task();
+    let (b_hot, o_hot) = k.vm.vm_allocate(t, 16 * PAGE_SIZE).expect("hot region");
+    let (b_flash, o_flash) =
+        k.vm.vm_allocate_on(dev_flash, t, 24 * PAGE_SIZE)
+            .expect("flash region");
+    let (b_doom, o_doom) =
+        k.vm.vm_allocate_on(dev_doomed, t, 24 * PAGE_SIZE)
+            .expect("doomed region");
+    // A default-pool scanner keeps memory pressured so the pageout daemon
+    // writes continuously.
+    let (b_scan, _) = k.vm.vm_allocate(t, 72 * PAGE_SIZE).expect("scanner");
+
+    let mut promotions = 0u64;
+    let mut demotions = 0u64;
+    for s in 0..steps {
+        // The hot region goes quiet every third interval, so its fault
+        // rate collapses and the rebalancer demotes it off flash again.
+        if (s / 100) % 3 != 2 {
+            let p = (s as u64 * 7 + 3) % 16;
+            let _ = k.access_sync(t, VAddr(b_hot.0 + p * PAGE_SIZE), s % 2 == 0);
+        }
+        let q = (s as u64) % 24;
+        let _ = k.access_sync(t, VAddr(b_flash.0 + q * PAGE_SIZE), s % 2 == 1);
+        let d = (s as u64 * 5 + 1) % 24;
+        let _ = k.access_sync(t, VAddr(b_doom.0 + d * PAGE_SIZE), s % 3 != 0);
+        let r = (s as u64 * 11 + 2) % 72;
+        let _ = k.access_sync(t, VAddr(b_scan.0 + r * PAGE_SIZE), s % 2 == 0);
+        k.pump();
+        if s % 100 == 99 {
+            // Hot/cold rebalancing between the disk and flash tiers; the
+            // hot region's fault rate decides, and counters reset each
+            // interval.
+            let (p, d) = k.rebalance_tiers(8);
+            promotions += p;
+            demotions += d;
+            // The rebalancer sees the doomed and flash regions as cold
+            // (their pages pin resident, so they stop faulting) and
+            // demotes them to the boot disk. Pin them back: the story
+            // needs them bound to their devices when the unplug and the
+            // Dead escalation strike — and re-migrating onto a device
+            // whose breaker is open exercises the parked-copy path that
+            // the drain later cancels.
+            for (obj, home) in [(o_flash, dev_flash), (o_doom, dev_doomed)] {
+                if k.vm.device_of(obj).ok() != Some(home) {
+                    let _ = k.migrate_object(obj, home);
+                }
+            }
+            audit(&k);
+        }
+    }
+
+    // Hot-unplug the flash tier mid-storm: everything it backs re-binds
+    // to the boot disk and the drain rides the pump to completion.
+    let survivor = match k.remove_device(dev_flash) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("remove_device(flash) refused: {e}")),
+    };
+    if survivor != dev_boot {
+        fail("flash drain picked the wrong survivor");
+    }
+    audit(&k);
+    // Keep the doomed device's torn storm churning until its breaker
+    // exhausts; the drain loop walks every probe window deterministically.
+    drain(&mut k);
+    audit(&k);
+
+    if state_of(&k, dev_flash) != DeviceState::Removed {
+        fail("flash device never reached Removed");
+    }
+    if state_of(&k, dev_doomed) != DeviceState::Dead {
+        fail("doomed device never escalated to Dead");
+    }
+    let stats = k.kernel_stats();
+    if stats.get("devices_dead_drained").unwrap_or(0) != 1 {
+        fail("the Dead device's forced drain never completed");
+    }
+    if stats.get("flush_abandoned").unwrap_or(0) != 0 {
+        fail(&format!(
+            "{} page(s) abandoned — the drain lost data",
+            stats.get("flush_abandoned").unwrap_or(0)
+        ));
+    }
+    if stats.get("forced_migrations").unwrap_or(0) == 0 {
+        fail("Dead escalation attributed no forced migrations");
+    }
+    if stats.get("retries_rehomed").unwrap_or(0) == 0 {
+        fail("no torn retry was re-homed (the storm never parked a flush?)");
+    }
+    if promotions == 0 || demotions == 0 {
+        fail(&format!(
+            "tier rebalancing did not cycle ({promotions} promotions, {demotions} demotions)"
+        ));
+    }
+    // Every page of every drained region must read back through the
+    // survivor — the zero-lost-pages contract, checked end to end.
+    for (base, pages, name) in [
+        (b_hot, 16, "hot"),
+        (b_flash, 24, "flash"),
+        (b_doom, 24, "doomed"),
+    ] {
+        for p in 0..pages {
+            if k.access_sync(t, VAddr(base.0 + p * PAGE_SIZE), false)
+                .is_err()
+            {
+                fail(&format!("page {p} of the {name} region was lost"));
+            }
+        }
+    }
+    drain(&mut k);
+    audit(&k);
+    for (obj, name) in [(o_hot, "hot"), (o_flash, "flash"), (o_doom, "doomed")] {
+        match k.vm.device_of(obj) {
+            Ok(d) if d == dev_boot => {}
+            other => fail(&format!("{name} region is not on the survivor: {other:?}")),
+        }
+    }
+
+    let stats = k.kernel_stats();
+    k.take_sink();
+    let (written, io_errors) = {
+        let s = sink.borrow();
+        (s.written(), s.io_errors())
+    };
+
+    let data = serde_json::json!({
+        "out": out.display().to_string(),
+        "steps": steps,
+        "seed": seed,
+        "records_written": written,
+        "sink_io_errors": io_errors,
+        "promotions": promotions,
+        "demotions": demotions,
+        "kernel": kernel_stats_json(&stats),
+    });
+    if json {
+        finish("unplug_soak", &data);
+    } else {
+        println!(
+            "unplug_soak: {written} records -> {} ({steps} steps, seed {seed:#x}): \
+             {promotions} promotion(s), {demotions} demotion(s), \
+             {} object migration(s), {} forced, {} page(s) copied",
+            out.display(),
+            stats.get("object_migrations").unwrap_or(0),
+            stats.get("forced_migrations").unwrap_or(0),
+            stats.get("migrated_pages").unwrap_or(0),
+        );
+        println!("{stats}");
+        finish("unplug_soak", &data);
+    }
+
+    if stats.dropped_records != 0 {
+        fail(&format!(
+            "{} record(s) dropped before the sink saw them",
+            stats.dropped_records
+        ));
+    }
+    if io_errors != 0 {
+        fail(&format!("{io_errors} sink I/O error(s)"));
+    }
+}

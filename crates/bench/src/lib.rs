@@ -62,7 +62,17 @@ pub use hipec_sim::stats::{Series, TextTable};
 /// matrix's cells gained `p99_event_ns` (per-container top-level event
 /// duration) and `p99_flush_ns` (device-0 flush completion latency) beside
 /// the existing fault percentiles.
-pub const JSON_SCHEMA_VERSION: u64 = 5;
+///
+/// v6: device rows gained the lifecycle and tier surface — `tier` (0 disk,
+/// 1 flash), `state` (0 Active, 1 Draining, 2 Removed, 3 Dead),
+/// `migrations` (copies landed on this device), `migr_pending` (queued or
+/// in-flight copies, a gauge), and the flash wear counters
+/// `write_amp_milli` (integer milli-units, `programs * 1000 /
+/// host_writes`), `max_wear` (highest per-block erase count) and
+/// `gc_pauses` (erase stalls). All zero for disks, so v5 consumers that
+/// ignored unknown fields keep working; the version still bumps because
+/// rows now appear for Removed/Dead devices whose ids stay in the table.
+pub const JSON_SCHEMA_VERSION: u64 = 6;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///
@@ -136,6 +146,13 @@ pub fn kernel_stats_json(stats: &KernelStats) -> Value {
                 "queue_depth": d.queue_depth,
                 "retryq_pushes": d.retryq_pushes,
                 "retryq_pops": d.retryq_pops,
+                "tier": d.tier,
+                "state": d.state,
+                "migrations": d.migrations,
+                "migr_pending": d.migr_pending,
+                "write_amp_milli": d.write_amp_milli,
+                "max_wear": d.max_wear,
+                "gc_pauses": d.gc_pauses,
             })
         })
         .collect();

@@ -227,6 +227,36 @@ impl HipecKernel {
         self.vm.add_device(params)
     }
 
+    /// Hot-unplugs a backing device (see [`hipec_vm::Kernel::remove_device`]):
+    /// every object it backs re-binds to the returned survivor and the
+    /// drain completes as the pump runs. HiPEC containers are unaffected
+    /// except that their health machinery now gates restores on the
+    /// survivor's breaker, since `device_of` follows the re-bind.
+    pub fn remove_device(&mut self, dev: DeviceId) -> Result<DeviceId, HipecError> {
+        let survivor = self.vm.remove_device(dev)?;
+        self.sync_trace();
+        self.debug_check();
+        Ok(survivor)
+    }
+
+    /// Re-binds one object to another Active device, queueing backing-page
+    /// copies (see [`hipec_vm::Kernel::migrate_object`]).
+    pub fn migrate_object(&mut self, object: ObjectId, to: DeviceId) -> Result<u64, HipecError> {
+        let pages = self.vm.migrate_object(object, to)?;
+        self.sync_trace();
+        self.debug_check();
+        Ok(pages)
+    }
+
+    /// Fault-rate-driven hot/cold rebalancing across storage tiers (see
+    /// [`hipec_vm::Kernel::rebalance_tiers`]).
+    pub fn rebalance_tiers(&mut self, hot_threshold: u64) -> (u64, u64) {
+        let moved = self.vm.rebalance_tiers(hot_threshold);
+        self.sync_trace();
+        self.debug_check();
+        moved
+    }
+
     /// `vm_allocate_hipec`: an anonymous region under the given policy,
     /// paging against the boot device.
     pub fn vm_allocate_hipec(

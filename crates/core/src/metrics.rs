@@ -118,6 +118,21 @@ pub struct DeviceRow {
     pub retryq_pushes: u64,
     /// Lifetime retry-queue pops.
     pub retryq_pops: u64,
+    /// Storage tier (gauge): 0 = disk, 1 = flash.
+    pub tier: u64,
+    /// Lifecycle state (gauge): 0 Active, 1 Draining, 2 Removed, 3 Dead.
+    pub state: u64,
+    /// Migration copies completed onto this device.
+    pub migrations: u64,
+    /// Migration copies queued or in flight on this device (gauge).
+    pub migr_pending: u64,
+    /// Flash write amplification in milli-units (gauge, integer —
+    /// `programs * 1000 / host_writes`); 0 for disks and idle flash.
+    pub write_amp_milli: u64,
+    /// Highest per-block erase count (gauge); 0 for disks.
+    pub max_wear: u64,
+    /// Flash GC pauses taken (erases — each stalls the array); 0 for disks.
+    pub gc_pauses: u64,
 }
 
 impl DeviceRow {
@@ -152,6 +167,13 @@ impl DeviceRow {
             queue_depth: self.queue_depth,
             retryq_pushes: sat_diff("retryq_pushes", self.retryq_pushes, earlier.retryq_pushes),
             retryq_pops: sat_diff("retryq_pops", self.retryq_pops, earlier.retryq_pops),
+            tier: self.tier,
+            state: self.state,
+            migrations: sat_diff("migrations", self.migrations, earlier.migrations),
+            migr_pending: self.migr_pending,
+            write_amp_milli: self.write_amp_milli,
+            max_wear: self.max_wear,
+            gc_pauses: sat_diff("gc_pauses", self.gc_pauses, earlier.gc_pauses),
         }
     }
 }
@@ -302,6 +324,24 @@ impl fmt::Display for KernelStats {
                 d.queue_depth,
                 if d.breaker_open { " [open]" } else { "" }
             )?;
+            if d.tier != 0 || d.state != 0 || d.migrations != 0 || d.migr_pending != 0 {
+                writeln!(
+                    f,
+                    "    tier={} state={} migrations={} migr_pending={} write_amp_milli={} max_wear={} gc_pauses={}",
+                    d.tier,
+                    match d.state {
+                        0 => "active",
+                        1 => "draining",
+                        2 => "removed",
+                        _ => "dead",
+                    },
+                    d.migrations,
+                    d.migr_pending,
+                    d.write_amp_milli,
+                    d.max_wear,
+                    d.gc_pauses
+                )?;
+            }
         }
         for c in &self.containers {
             writeln!(
@@ -372,6 +412,23 @@ impl HipecKernel {
                     queue_depth: d.retry_depth() as u64,
                     retryq_pushes,
                     retryq_pops,
+                    tier: u64::from(d.tier()),
+                    state: match d.state() {
+                        hipec_vm::DeviceState::Active => 0,
+                        hipec_vm::DeviceState::Draining => 1,
+                        hipec_vm::DeviceState::Removed => 2,
+                        hipec_vm::DeviceState::Dead => 3,
+                    },
+                    migrations: d.migrations_completed(),
+                    migr_pending: d.migr_pending() as u64,
+                    write_amp_milli: d.flash_stats().map_or(0, |f| {
+                        f.programs
+                            .saturating_mul(1000)
+                            .checked_div(f.host_writes)
+                            .unwrap_or(0)
+                    }),
+                    max_wear: u64::from(d.max_wear()),
+                    gc_pauses: d.flash_stats().map_or(0, |f| f.erases),
                 }
             })
             .collect();

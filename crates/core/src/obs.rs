@@ -316,6 +316,28 @@ pub fn stats_export(stats: &KernelStats) -> String {
     }
     let _ = writeln!(
         out,
+        "# HELP hipec_device Per-device lifecycle, tier and flash-wear state."
+    );
+    let _ = writeln!(out, "# TYPE hipec_device gauge");
+    for d in &stats.devices {
+        for (name, value) in [
+            ("tier", d.tier),
+            ("state", d.state),
+            ("migrations", d.migrations),
+            ("migr_pending", d.migr_pending),
+            ("write_amp_milli", d.write_amp_milli),
+            ("max_wear", d.max_wear),
+            ("gc_pauses", d.gc_pauses),
+        ] {
+            let _ = writeln!(
+                out,
+                "hipec_device{{device=\"{}\",name=\"{name}\"}} {value}",
+                d.id
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
         "# HELP hipec_latency_ns Virtual-time latency distributions."
     );
     let _ = writeln!(out, "# TYPE hipec_latency_ns histogram");

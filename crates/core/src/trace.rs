@@ -346,6 +346,10 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
             VmEvent::BreakerTrip { .. } => "vm.breaker_trip",
             VmEvent::BreakerProbe { .. } => "vm.breaker_probe",
             VmEvent::BreakerClose { .. } => "vm.breaker_close",
+            VmEvent::DeviceDraining { .. } => "vm.device_draining",
+            VmEvent::DeviceDrained { .. } => "vm.device_drained",
+            VmEvent::DeviceDead { .. } => "vm.device_dead",
+            VmEvent::ObjectMigrated { .. } => "vm.object_migrated",
         },
         TraceEvent::Install { .. } => "install",
         TraceEvent::PolicyEvent { .. } => "policy_event",
@@ -469,6 +473,37 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
             }
             VmEvent::BreakerProbe { device, ok } => {
                 let _ = write!(s, ",\"device\":{},\"ok\":{ok}", device.0);
+            }
+            VmEvent::DeviceDraining {
+                device,
+                to,
+                objects,
+                pages,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"device\":{},\"to\":{},\"objects\":{objects},\"pages\":{pages}",
+                    device.0, to.0
+                );
+            }
+            VmEvent::DeviceDrained { device } => {
+                let _ = write!(s, ",\"device\":{}", device.0);
+            }
+            VmEvent::DeviceDead { device, ewma_milli } => {
+                let _ = write!(s, ",\"device\":{},\"ewma_milli\":{ewma_milli}", device.0);
+            }
+            VmEvent::ObjectMigrated {
+                object,
+                from,
+                to,
+                pages,
+                forced,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"object\":{},\"from\":{},\"to\":{},\"pages\":{pages},\"forced\":{forced}",
+                    object.0, from.0, to.0
+                );
             }
         },
         TraceEvent::Install {

@@ -77,6 +77,9 @@ pub enum BreakerTransition {
     },
     /// A probe streak closed the breaker: `HalfOpen → Closed`.
     Closed,
+    /// The backoff budget is spent: probes kept failing at the backoff
+    /// ceiling. The device should be declared dead and drained.
+    Exhausted,
 }
 
 /// Cumulative breaker counters (exported through `KernelStats`).
@@ -102,6 +105,12 @@ pub struct CircuitBreaker {
     backoff: SimDuration,
     next_probe_at: SimTime,
     probe_successes: u32,
+    /// Consecutive failed probes taken while the backoff already sat at
+    /// its ceiling. Resets on any successful probe.
+    maxed_failures: u32,
+    /// Failed-probes-at-the-ceiling budget after which [`record`] reports
+    /// [`BreakerTransition::Exhausted`]. `None` disables escalation.
+    dead_budget: Option<u32>,
     counters: BreakerCounters,
 }
 
@@ -121,8 +130,22 @@ impl CircuitBreaker {
             backoff: params.backoff_base,
             next_probe_at: SimTime::ZERO,
             probe_successes: 0,
+            maxed_failures: 0,
+            dead_budget: None,
             counters: BreakerCounters::default(),
         }
+    }
+
+    /// Arms (or disarms) permanent-failure escalation: after `budget`
+    /// consecutive failed probes at the backoff ceiling, [`record`] returns
+    /// [`BreakerTransition::Exhausted`] instead of another failed probe.
+    pub fn set_dead_budget(&mut self, budget: Option<u32>) {
+        self.dead_budget = budget;
+    }
+
+    /// The escalation budget in effect, if any.
+    pub fn dead_budget(&self) -> Option<u32> {
+        self.dead_budget
     }
 
     /// Current state.
@@ -188,6 +211,7 @@ impl CircuitBreaker {
                     self.backoff = self.params.backoff_base;
                     self.next_probe_at = now + self.backoff;
                     self.probe_successes = 0;
+                    self.maxed_failures = 0;
                     BreakerTransition::Tripped
                 } else {
                     BreakerTransition::None
@@ -198,6 +222,7 @@ impl CircuitBreaker {
                 self.update_ewma(ok);
                 if ok {
                     self.state = BreakerState::HalfOpen;
+                    self.maxed_failures = 0;
                     self.probe_successes += 1;
                     if self.probe_successes >= self.params.close_after
                         && self.ewma_milli <= self.params.close_milli
@@ -220,6 +245,14 @@ impl CircuitBreaker {
                         .min(self.params.backoff_max)
                         .max(self.params.backoff_base);
                     self.next_probe_at = now + self.backoff;
+                    if self.backoff == self.params.backoff_max {
+                        self.maxed_failures += 1;
+                        if let Some(budget) = self.dead_budget {
+                            if self.maxed_failures >= budget {
+                                return BreakerTransition::Exhausted;
+                            }
+                        }
+                    }
                     BreakerTransition::Probed { ok: false }
                 }
             }
@@ -329,6 +362,81 @@ mod tests {
             !CircuitBreaker::default().probe_due(due, 0),
             "closed ≠ probing"
         );
+    }
+
+    #[test]
+    fn dead_budget_exhausts_after_failed_probes_at_the_ceiling() {
+        let mut b = CircuitBreaker::default();
+        b.set_dead_budget(Some(3));
+        assert_eq!(b.dead_budget(), Some(3));
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.record(now, false);
+        }
+        // Backoff after each failed probe: 10, 20, 40, 80, 160, 320 ms.
+        // The sixth probe lands on the ceiling (budget charge 1); two more
+        // ceiling failures exhaust the budget of 3 on the eighth probe.
+        let mut transitions = Vec::new();
+        for _ in 0..8 {
+            now = b.next_probe_at();
+            transitions.push(b.record(now, false));
+        }
+        assert_eq!(
+            transitions
+                .iter()
+                .filter(|t| **t == BreakerTransition::Exhausted)
+                .count(),
+            1,
+            "exactly one exhaustion in {transitions:?}"
+        );
+        assert_eq!(transitions[7], BreakerTransition::Exhausted);
+        assert_eq!(b.state(), BreakerState::Open, "exhaustion never closes");
+    }
+
+    #[test]
+    fn clean_probe_resets_the_dead_budget() {
+        let mut b = CircuitBreaker::default();
+        b.set_dead_budget(Some(2));
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.record(now, false);
+        }
+        // Six failed probes: 10 → 20 → 40 → 80 → 160 → 320 ms. The last
+        // doubling lands on the ceiling, spending one budget charge.
+        for _ in 0..6 {
+            now = b.next_probe_at();
+            assert_eq!(
+                b.record(now, false),
+                BreakerTransition::Probed { ok: false }
+            );
+        }
+        // A clean probe wipes the streak.
+        now = b.next_probe_at();
+        assert_eq!(b.record(now, true), BreakerTransition::Probed { ok: true });
+        // Two more ceiling failures are needed again.
+        now = b.next_probe_at();
+        assert_eq!(
+            b.record(now, false),
+            BreakerTransition::Probed { ok: false }
+        );
+        now = b.next_probe_at();
+        assert_eq!(b.record(now, false), BreakerTransition::Exhausted);
+    }
+
+    #[test]
+    fn without_a_budget_probes_fail_forever() {
+        let mut b = CircuitBreaker::default();
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            b.record(now, false);
+        }
+        for _ in 0..64 {
+            now = b.next_probe_at();
+            assert_eq!(
+                b.record(now, false),
+                BreakerTransition::Probed { ok: false }
+            );
+        }
     }
 
     #[test]

@@ -11,17 +11,67 @@
 //! pageout pump routes every read, flush and retry to the owning entry,
 //! so fault-plan storms on one device leave the others' write-back
 //! pipelines untouched.
+//!
+//! Entries are a managed *lifecycle*, not a static table: a device starts
+//! [`DeviceState::Active`], a hot-unplug ([`crate::Kernel::remove_device`])
+//! moves it through [`DeviceState::Draining`] to [`DeviceState::Removed`],
+//! and a breaker that exhausts its backoff budget escalates straight to
+//! [`DeviceState::Dead`]. Both exits run the same drain: objects re-bind
+//! to a surviving entry and their backing pages are copied over through
+//! the per-entry migration queue driven by the pageout pump.
 
-use hipec_disk::{BackingStore, DeviceParams, DiskQueue, PagingDevice};
+use hipec_disk::{BackingStore, DeviceParams, DiskQueue, Lba, PagingDevice};
 use hipec_sim::{LatencyHistogram, SimTime};
 
 use crate::breaker::CircuitBreaker;
 use crate::kernel::{InflightFlush, RetryTag};
-use crate::types::DeviceId;
+use crate::types::{DeviceId, ObjectId};
+
+/// Where a device-table entry is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceState {
+    /// In service: accepts new object bindings, reads and write-backs.
+    #[default]
+    Active,
+    /// Hot-unplug in progress: objects are re-bound and backing pages are
+    /// being copied onto a sibling; no new bindings are accepted.
+    Draining,
+    /// Hot-unplug complete: no outstanding work traces back to the entry.
+    Removed,
+    /// Permanently failed (breaker backoff budget exhausted). Terminal;
+    /// the forced drain runs while the entry stays Dead.
+    Dead,
+}
+
+/// One queued backing-page copy: a page of `object` being re-homed from
+/// device `from` onto the device whose migration queue holds the tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrTag {
+    /// The object whose page is being copied.
+    pub object: ObjectId,
+    /// The page within the object.
+    pub offset: u64,
+    /// The device the page is leaving.
+    pub from: DeviceId,
+    /// Copy submissions so far. Migration copies carry the drained data,
+    /// so they are never abandoned — a torn or rejected copy re-queues
+    /// until the receiving device accepts it.
+    pub attempts: u32,
+}
+
+/// A migration copy submitted to the device and not yet reaped.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InflightMigration {
+    pub done: SimTime,
+    /// The device accepted the copy but will complete it torn.
+    pub torn: bool,
+    pub lba: Lba,
+    pub tag: MigrTag,
+}
 
 /// One entry in the kernel's device table: a paging device plus all the
 /// per-device write-back machinery (extent map, breaker, in-flight list,
-/// torn-write retry queue).
+/// torn-write retry queue, migration queue, lifecycle state).
 #[derive(Debug)]
 pub struct BackingDevice {
     pub(crate) id: DeviceId,
@@ -32,6 +82,24 @@ pub struct BackingDevice {
     /// Torn flushes awaiting re-issue (FCFS — retry order is submission
     /// order; tags carry the frame and its spent attempts).
     pub(crate) retry_q: DiskQueue<RetryTag>,
+    /// Lifecycle state (see [`DeviceState`]).
+    pub(crate) state: DeviceState,
+    /// While draining (or dead), the surviving device absorbing this
+    /// entry's objects, re-homed retries and page copies.
+    pub(crate) drain_to: Option<DeviceId>,
+    /// Set by the breaker's `Exhausted` transition; the next pump
+    /// escalates the entry to [`DeviceState::Dead`] outside the re-issue
+    /// loops.
+    pub(crate) dead_pending: bool,
+    /// A Dead entry whose forced drain has completed (Removed implies it).
+    pub(crate) drained: bool,
+    /// Backing-page copies queued *onto* this device by drains and tier
+    /// migrations (FCFS, driven by the pageout pump like the retry queue).
+    pub(crate) migr_q: DiskQueue<MigrTag>,
+    /// Migration copies submitted to this device and not yet reaped.
+    pub(crate) migr_inflight: Vec<InflightMigration>,
+    /// Migration copies that completed clean on this device.
+    pub(crate) migr_done: u64,
     /// Completion latency of demand reads issued to this device. In the
     /// virtual-time simulation a submission's completion instant is known
     /// at issue, so latency is recorded at the submission site (behind
@@ -54,6 +122,13 @@ impl BackingDevice {
             breaker: CircuitBreaker::default(),
             inflight: Vec::new(),
             retry_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+            state: DeviceState::Active,
+            drain_to: None,
+            dead_pending: false,
+            drained: false,
+            migr_q: DiskQueue::new(hipec_disk::QueueDiscipline::Fcfs),
+            migr_inflight: Vec::new(),
+            migr_done: 0,
             lat_read: LatencyHistogram::EMPTY,
             lat_flush: LatencyHistogram::EMPTY,
             lat_torn_retry: LatencyHistogram::EMPTY,
@@ -73,6 +148,42 @@ impl BackingDevice {
     /// This device's error scoreboard.
     pub fn breaker(&self) -> &CircuitBreaker {
         &self.breaker
+    }
+
+    /// Lifecycle state of this entry.
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// True while the entry accepts new bindings and write-backs.
+    pub fn is_active(&self) -> bool {
+        self.state == DeviceState::Active
+    }
+
+    /// The surviving device this entry is draining onto, if a drain has
+    /// been started.
+    pub fn drain_target(&self) -> Option<DeviceId> {
+        self.drain_to
+    }
+
+    /// Storage tier of this entry: 1 for flash (the fast tier), 0 for a
+    /// rotational disk. Hot objects are promoted toward higher tiers.
+    pub fn tier(&self) -> u32 {
+        if self.disk.as_flash().is_some() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// FTL statistics when this entry is flash-backed (`None` for disks).
+    pub fn flash_stats(&self) -> Option<hipec_disk::flash::FlashStats> {
+        self.disk.as_flash().map(|f| f.stats())
+    }
+
+    /// Highest per-block erase count when flash-backed (0 for disks).
+    pub fn max_wear(&self) -> u32 {
+        self.disk.as_flash().map(|f| f.max_wear()).unwrap_or(0)
     }
 
     /// Cumulative operation counters of the underlying device.
@@ -95,6 +206,16 @@ impl BackingDevice {
         (self.retry_q.pushes(), self.retry_q.pops())
     }
 
+    /// Backing-page copies queued or in flight *onto* this device.
+    pub fn migr_pending(&self) -> usize {
+        self.migr_q.len() + self.migr_inflight.len()
+    }
+
+    /// Migration copies that completed clean on this device.
+    pub fn migrations_completed(&self) -> u64 {
+        self.migr_done
+    }
+
     /// Completion-latency histograms for this device, as `(read, flush,
     /// torn_retry)` — the snapshot surface `KernelStats` latency rows
     /// are assembled from. Empty when the `metrics` feature is off.
@@ -102,16 +223,29 @@ impl BackingDevice {
         (&self.lat_read, &self.lat_flush, &self.lat_torn_retry)
     }
 
+    /// Writes in flight that count against the breaker's degraded
+    /// in-flight window (flushes and migration copies alike).
+    pub(crate) fn degraded_inflight(&self) -> usize {
+        self.inflight.len() + self.migr_inflight.len()
+    }
+
     /// Earliest virtual instant at which pumping *this* device makes
-    /// write-back progress: its next in-flight completion, or — when
-    /// nothing is in flight but torn retries are parked — its breaker's
-    /// next probe window (`now` if the breaker is closed). `None` once
-    /// every write-back lifecycle on this device has closed.
+    /// write-back or migration progress: its next in-flight completion
+    /// (flush or page copy), or — when nothing is in flight but torn
+    /// retries or queued copies are parked — its breaker's next probe
+    /// window (`now` if the breaker is closed). `None` once every
+    /// write-back and migration lifecycle on this device has closed.
     pub(crate) fn next_progress(&self, now: SimTime) -> Option<SimTime> {
-        if let Some(done) = self.inflight.iter().map(|i| i.done).min() {
+        if let Some(done) = self
+            .inflight
+            .iter()
+            .map(|i| i.done)
+            .chain(self.migr_inflight.iter().map(|m| m.done))
+            .min()
+        {
             return Some(done);
         }
-        if self.retry_q.is_empty() {
+        if self.retry_q.is_empty() && self.migr_q.is_empty() {
             return None;
         }
         Some(if self.breaker.is_closed() {
@@ -131,11 +265,29 @@ mod tests {
         let d = BackingDevice::new(DeviceId(3), &DeviceParams::default());
         assert_eq!(d.id(), DeviceId(3));
         assert!(d.breaker().is_closed());
+        assert_eq!(d.state(), DeviceState::Active);
+        assert!(d.is_active());
+        assert_eq!(d.drain_target(), None);
+        assert_eq!(d.tier(), 0, "default device is rotational");
+        assert_eq!(d.flash_stats().map(|s| s.programs), None);
+        assert_eq!(d.max_wear(), 0);
         assert_eq!(d.inflight_depth(), 0);
         assert_eq!(d.retry_depth(), 0);
+        assert_eq!(d.migr_pending(), 0);
+        assert_eq!(d.migrations_completed(), 0);
         assert_eq!(d.retry_counters(), (0, 0));
         assert_eq!(d.stats(), hipec_disk::DeviceStats::default());
         assert_eq!(d.next_progress(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn flash_entries_report_the_fast_tier() {
+        let d = BackingDevice::new(
+            DeviceId(1),
+            &DeviceParams::Flash(hipec_disk::FlashParams::early_flash_card()),
+        );
+        assert_eq!(d.tier(), 1);
+        assert!(d.flash_stats().is_some());
     }
 
     #[test]
@@ -148,6 +300,7 @@ mod tests {
             frame: crate::types::FrameId(1),
             torn: false,
             attempts: 1,
+            rehomed_from: None,
         });
         assert_eq!(d.next_progress(now), Some(done));
         d.inflight.clear();
@@ -156,9 +309,36 @@ mod tests {
             RetryTag {
                 frame: crate::types::FrameId(1),
                 attempts: 1,
+                rehomed_from: None,
             },
         );
         // Closed breaker: retries can be re-issued immediately.
         assert_eq!(d.next_progress(now), Some(now));
+    }
+
+    #[test]
+    fn next_progress_covers_queued_and_inflight_migrations() {
+        let mut d = BackingDevice::new(DeviceId(0), &DeviceParams::default());
+        let now = SimTime::from_ns(100);
+        let tag = MigrTag {
+            object: ObjectId(7),
+            offset: 3,
+            from: DeviceId(1),
+            attempts: 0,
+        };
+        d.migr_q.push(hipec_disk::Lba(3), tag);
+        // A queued copy alone is progress at the next submission window.
+        assert_eq!(d.next_progress(now), Some(now));
+        assert_eq!(d.migr_pending(), 1);
+        let done = SimTime::from_ns(9_000);
+        d.migr_q.pop_next(0, |_| 0);
+        d.migr_inflight.push(InflightMigration {
+            done,
+            torn: false,
+            lba: hipec_disk::Lba(3),
+            tag,
+        });
+        assert_eq!(d.next_progress(now), Some(done));
+        assert_eq!(d.degraded_inflight(), 1);
     }
 }

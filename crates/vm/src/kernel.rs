@@ -139,6 +139,9 @@ pub(crate) struct InflightFlush {
     pub torn: bool,
     /// Write submissions so far (the initial one counts).
     pub attempts: u8,
+    /// The draining device this flush was re-homed from, if any. Re-homed
+    /// flushes carry drained data and are exempt from the retry budget.
+    pub rehomed_from: Option<DeviceId>,
 }
 
 /// Retry-queue tag: the frame being re-flushed and how many submissions it
@@ -149,6 +152,11 @@ pub struct RetryTag {
     pub frame: FrameId,
     /// Write submissions so far.
     pub attempts: u8,
+    /// The draining (or dead) device this retry was re-homed from, if any.
+    /// Re-homed retries carry the drained page's only copy, so they are
+    /// exempt from [`Kernel::flush_retry_budget`] — they re-queue until
+    /// the surviving device accepts the write.
+    pub rehomed_from: Option<DeviceId>,
 }
 
 /// A write-back that exhausted its retry budget: the page's data is lost.
@@ -343,6 +351,15 @@ impl Kernel {
                 let ewma_milli = self.devices[di].breaker.ewma_milli();
                 self.emit(VmEvent::BreakerClose { device, ewma_milli });
             }
+            BreakerTransition::Exhausted => {
+                // The backoff budget is spent: flag the entry for
+                // permanent-failure escalation. The escalation itself (the
+                // Dead transition and forced drain) runs at the top of the
+                // next pump, outside the re-issue loops that call here.
+                self.stats.bump("breaker_exhausted");
+                self.devices[di].dead_pending = true;
+                self.emit(VmEvent::BreakerProbe { device, ok: false });
+            }
             BreakerTransition::None => {}
         }
     }
@@ -418,6 +435,9 @@ impl Kernel {
         let di = device.0 as usize;
         if di >= self.devices.len() {
             return Err(VmError::NoSuchDevice(device));
+        }
+        if !self.devices[di].is_active() {
+            return Err(VmError::DeviceUnavailable(device));
         }
         let id = ObjectId(self.objects.len() as u32);
         if backing == Backing::File {
@@ -596,6 +616,9 @@ impl Kernel {
         let entry = *self.task(task)?.map.lookup(task, addr)?;
         let offset = PageOffset(entry.object_page(vpage));
         let object = entry.object;
+        // The per-object fault rate is the hot/cold signal for tier
+        // rebalancing; it counts every fault kind, policy faults included.
+        self.object_mut(object)?.fault_rate += 1;
 
         if let Some(frame) = self.object(object)?.lookup(offset) {
             // Minor fault: resident, just install the translation.
@@ -893,10 +916,19 @@ impl Kernel {
     /// flush is abandoned — the page's data is lost, the frame returns to
     /// the free pool, and a [`DeadFlush`] is surfaced so the retry queue
     /// always drains even against a device rejecting every write.
+    /// (Re-homed flushes from a draining device are the exception: they
+    /// carry the drained page's only copy and re-queue without a budget.)
+    ///
+    /// The pump also drives the device-lifecycle machinery: migration
+    /// copies queued by drains and tier rebalancing, pending
+    /// permanent-failure escalations, and drain-completion detection.
     pub fn pump(&mut self) {
         for di in 0..self.devices.len() {
             self.pump_device(di);
+            self.pump_migration(di);
         }
+        self.process_dead_pending();
+        self.finish_drains();
     }
 
     /// Reaps and re-issues on one device-table entry. Each device's
@@ -908,27 +940,53 @@ impl Kernel {
         let mut done = Vec::new();
         self.devices[di].inflight.retain(|i| {
             if i.done <= now {
-                done.push((i.frame, i.torn, i.attempts));
+                done.push((i.frame, i.torn, i.attempts, i.rehomed_from));
                 false
             } else {
                 true
             }
         });
-        for (frame, torn, attempts) in done {
+        for (frame, torn, attempts, rehomed_from) in done {
             if torn {
                 self.stats.bump("torn_flushes");
-                if attempts >= self.flush_retry_budget {
+                // A torn completion re-homes to the owning object's current
+                // device: after a drain (or a tier migration) the object is
+                // re-bound elsewhere, its extent allocated there, so the
+                // retry writes the page to the store that now serves it.
+                // Re-homed retries are budget-exempt — including a write
+                // whose budget ran out while it was in flight and its
+                // object was drained away: the page follows its object
+                // instead of dying with the old device.
+                let home = self
+                    .frames
+                    .frame(frame)
+                    .ok()
+                    .and_then(|f| f.owner)
+                    .map(|(o, _)| self.objects[o.0 as usize].device)
+                    .unwrap_or(device);
+                if home == device && attempts >= self.flush_retry_budget && rehomed_from.is_none() {
                     self.abandon_flush(di, frame, attempts);
                     continue;
                 }
+                let (ri, rehomed_from) = if home != device {
+                    self.stats.bump("retries_rehomed");
+                    (home.0 as usize, Some(device))
+                } else {
+                    (di, rehomed_from)
+                };
                 let lba = self
-                    .flush_target(di, frame)
+                    .flush_target(ri, frame)
                     .expect("in-flight frames keep their owner");
-                self.devices[di]
-                    .retry_q
-                    .push(lba, RetryTag { frame, attempts });
+                self.devices[ri].retry_q.push(
+                    lba,
+                    RetryTag {
+                        frame,
+                        attempts,
+                        rehomed_from,
+                    },
+                );
                 self.emit(VmEvent::TornRetry {
-                    device,
+                    device: self.devices[ri].id,
                     frame,
                     attempt: attempts,
                 });
@@ -955,7 +1013,11 @@ impl Kernel {
             let Some(pending) = self.devices[di].retry_q.pop_next(0, |_| 0) else {
                 break;
             };
-            let RetryTag { frame, attempts } = pending.tag;
+            let RetryTag {
+                frame,
+                attempts,
+                rehomed_from,
+            } = pending.tag;
             let now = self.clock.now();
             match self.devices[di].disk.write(pending.lba, now) {
                 Ok(c) => {
@@ -966,7 +1028,8 @@ impl Kernel {
                         done: c.done,
                         frame,
                         torn: c.torn,
-                        attempts: attempts + 1,
+                        attempts: attempts.saturating_add(1),
+                        rehomed_from,
                     });
                     self.stats.bump("flush_retries");
                 }
@@ -978,8 +1041,8 @@ impl Kernel {
                         frame,
                         attempt: attempts,
                     });
-                    let spent = attempts + 1;
-                    if spent >= self.flush_retry_budget {
+                    let spent = attempts.saturating_add(1);
+                    if spent >= self.flush_retry_budget && rehomed_from.is_none() {
                         self.abandon_flush(di, frame, spent);
                     } else {
                         still_torn.push((
@@ -987,6 +1050,7 @@ impl Kernel {
                             RetryTag {
                                 frame,
                                 attempts: spent,
+                                rehomed_from,
                             },
                         ));
                     }
@@ -1002,12 +1066,16 @@ impl Kernel {
         if !self.devices[di].breaker.is_closed() {
             while self.devices[di]
                 .breaker
-                .probe_due(self.clock.now(), self.devices[di].inflight.len())
+                .probe_due(self.clock.now(), self.devices[di].degraded_inflight())
             {
                 let Some(pending) = self.devices[di].retry_q.pop_next(0, |_| 0) else {
                     break;
                 };
-                let RetryTag { frame, attempts } = pending.tag;
+                let RetryTag {
+                    frame,
+                    attempts,
+                    rehomed_from,
+                } = pending.tag;
                 let now = self.clock.now();
                 match self.devices[di].disk.write(pending.lba, now) {
                     Ok(c) => {
@@ -1018,7 +1086,8 @@ impl Kernel {
                             done: c.done,
                             frame,
                             torn: c.torn,
-                            attempts: attempts + 1,
+                            attempts: attempts.saturating_add(1),
+                            rehomed_from,
                         });
                         self.stats.bump("flush_retries");
                     }
@@ -1030,8 +1099,8 @@ impl Kernel {
                             frame,
                             attempt: attempts,
                         });
-                        let spent = attempts + 1;
-                        if spent >= self.flush_retry_budget {
+                        let spent = attempts.saturating_add(1);
+                        if spent >= self.flush_retry_budget && rehomed_from.is_none() {
                             self.abandon_flush(di, frame, spent);
                         } else {
                             self.devices[di].retry_q.push_front(
@@ -1039,6 +1108,7 @@ impl Kernel {
                                 RetryTag {
                                     frame,
                                     attempts: spent,
+                                    rehomed_from,
                                 },
                             );
                         }

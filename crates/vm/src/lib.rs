@@ -15,6 +15,7 @@ pub mod breaker;
 pub mod device;
 pub mod frame;
 pub mod kernel;
+pub mod lifecycle;
 pub mod map;
 pub mod object;
 pub mod pageout;
@@ -23,7 +24,7 @@ pub mod trace;
 pub mod types;
 
 pub use breaker::{BreakerCounters, BreakerParams, BreakerState, CircuitBreaker};
-pub use device::BackingDevice;
+pub use device::{BackingDevice, DeviceState, MigrTag};
 pub use frame::{Frame, FrameTable, QueueId};
 pub use kernel::{
     AccessKind, AccessOutcome, AccessResult, DeadFlush, Kernel, KernelParams, PolicyFaultInfo,

@@ -38,9 +38,19 @@ pub struct VmObject {
     /// HiPEC container attachment key, if this object is under specific
     /// application control.
     pub container: Option<u32>,
-    /// The backing device this object pages against (bound at creation,
-    /// never re-routed).
+    /// The backing device this object pages against. Bound at creation;
+    /// re-bound only by the migration machinery
+    /// ([`crate::Kernel::migrate_object`], [`crate::Kernel::remove_device`]
+    /// and Dead-device escalation), which copies the object's backing pages
+    /// onto the new device.
     pub device: DeviceId,
+    /// Faults taken against this object since the last
+    /// [`crate::Kernel::rebalance_tiers`] interval — the hot/cold signal
+    /// that drives steady-state tier migration.
+    pub fault_rate: u64,
+    /// Lifetime device re-bindings (hot/cold promotions, demotions and
+    /// forced drains).
+    pub migrations: u64,
 }
 
 impl VmObject {
@@ -55,6 +65,8 @@ impl VmObject {
             paged_out: std::collections::HashSet::new(),
             container: None,
             device: DeviceId(0),
+            fault_rate: 0,
+            migrations: 0,
         }
     }
 

@@ -157,7 +157,7 @@ impl Kernel {
         if !self.devices[di].breaker.is_closed()
             && !self.devices[di]
                 .breaker
-                .probe_due(self.clock.now(), self.devices[di].inflight.len())
+                .probe_due(self.clock.now(), self.devices[di].degraded_inflight())
         {
             self.devices[di].breaker.note_deferred();
             self.stats.bump("flush_deferred");
@@ -216,6 +216,7 @@ impl Kernel {
             frame,
             torn: completion.torn,
             attempts: 1,
+            rehomed_from: None,
         });
         self.stats.bump("pageouts");
         self.emit(VmEvent::FlushStart {

@@ -244,6 +244,47 @@ pub enum VmEvent {
         /// Failure score at the close (milli-units, 0–1000).
         ewma_milli: u64,
     },
+    /// A device left the Active state and its drain began: every bound
+    /// object was re-routed to a sibling and backing copies were queued.
+    DeviceDraining {
+        /// The device being drained.
+        device: DeviceId,
+        /// The surviving device receiving its objects.
+        to: DeviceId,
+        /// Objects re-bound.
+        objects: u64,
+        /// Backing-page copies queued.
+        pages: u64,
+    },
+    /// A drain finished: no in-flight write, parked retry or queued
+    /// migration traces back to the device any more.
+    DeviceDrained {
+        /// The fully drained device.
+        device: DeviceId,
+    },
+    /// A breaker exhausted its backoff budget: the device is permanently
+    /// failed and its drain was forced onto the survivors.
+    DeviceDead {
+        /// The dead device.
+        device: DeviceId,
+        /// Failure score at escalation (milli-units, 0–1000).
+        ewma_milli: u64,
+    },
+    /// One object was re-bound to another device (hot/cold tier migration,
+    /// hot-unplug drain, or Dead-device escalation).
+    ObjectMigrated {
+        /// The migrated object.
+        object: ObjectId,
+        /// Previous backing device.
+        from: DeviceId,
+        /// New backing device.
+        to: DeviceId,
+        /// Backing-page copies queued for the move.
+        pages: u64,
+        /// True when the move was forced by device failure (Dead
+        /// escalation), false for voluntary unplug or tier rebalancing.
+        forced: bool,
+    },
 }
 
 #[cfg(test)]

@@ -94,6 +94,12 @@ pub enum VmError {
     BadQueue(u32),
     /// The backing-device id does not exist in the device table.
     NoSuchDevice(DeviceId),
+    /// The device exists but is not Active (draining, removed or dead), so
+    /// it cannot accept new bindings or be drained again.
+    DeviceUnavailable(DeviceId),
+    /// The device cannot be removed: no other Active device exists to
+    /// receive its objects.
+    LastDevice(DeviceId),
     /// A dirty frame was released without being flushed first.
     DirtyFrameFreed(FrameId),
     /// The frame is busy (an in-flight flush) and cannot be evicted or
@@ -128,6 +134,10 @@ impl fmt::Display for VmError {
             VmError::FrameNotQueued(id) => write!(f, "{id} is not on the expected queue"),
             VmError::BadQueue(q) => write!(f, "invalid queue id {q}"),
             VmError::NoSuchDevice(d) => write!(f, "no such backing device {d}"),
+            VmError::DeviceUnavailable(d) => write!(f, "backing device {d} is not active"),
+            VmError::LastDevice(d) => {
+                write!(f, "cannot remove {d}: no surviving active device")
+            }
             VmError::DirtyFrameFreed(id) => write!(f, "dirty {id} released without flush"),
             VmError::FrameBusy(id) => write!(f, "{id} is busy (flush in flight)"),
             VmError::Backing(e) => write!(f, "backing store: {e}"),

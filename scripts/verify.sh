@@ -39,7 +39,8 @@ if grep -n '#\[allow(dead_code)\]' \
     crates/vm/src/trace.rs crates/core/src/trace.rs crates/core/src/metrics.rs \
     crates/bench/src/analyze.rs \
     crates/sim/src/hist.rs crates/core/src/hist.rs crates/core/src/obs.rs \
-    crates/vm/src/device.rs crates/core/src/health.rs \
+    crates/vm/src/device.rs crates/vm/src/lifecycle.rs crates/vm/src/breaker.rs \
+    crates/core/src/health.rs \
     crates/core/src/jit.rs crates/core/src/executor.rs crates/lang/src/opt.rs \
     crates/workloads/src/tournament.rs crates/workloads/src/zipf_kv.rs \
     crates/workloads/src/web_cache.rs crates/policies/src/native.rs \
@@ -117,11 +118,49 @@ echo "   chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/c1.jsonl") records
 # device, an unclosed breaker or an unrestored container is an anomaly.
 cargo run -q --release --bin trace_analyze -- "$SOAK_DIR/c1.jsonl"
 
-echo "== tournament: seeded short matrix is schema-v5, clean and replayable =="
+echo "== chaos on flash: GC latency spikes degrade gracefully without spurious trips =="
+# Same degradation cycle over a flash translation layer doing garbage
+# collection. The binary's own gates additionally require visible wear
+# (gc_pauses, max_wear, write amplification) and that the breaker EWMA
+# tolerates erase stalls: every trip closes again and the breaker ends
+# closed — GC pauses are slow successes, not failures.
+cargo run -q --release --bin chaos_soak -- \
+  --kind flash --seed 0xC4A05 --steps 2500 --out "$SOAK_DIR/cf1.jsonl" >/dev/null
+cargo run -q --release --bin chaos_soak -- \
+  --kind flash --seed 0xC4A05 --steps 2500 --out "$SOAK_DIR/cf2.jsonl" >/dev/null
+if ! cmp -s "$SOAK_DIR/cf1.jsonl" "$SOAK_DIR/cf2.jsonl"; then
+  echo "error: identically seeded flash chaos soaks streamed different traces" >&2
+  exit 1
+fi
+echo "   flash chaos traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/cf1.jsonl") records)"
+
+echo "== unplug: lifecycle soak drains, escalates and replays bit-for-bit =="
+# unplug_soak exits non-zero unless the whole lifecycle story completes:
+# tier rebalancing cycles both ways, the mid-storm hot-unplug reaches
+# Removed, the all-torn device's breaker exhausts its dead budget and the
+# forced drain completes (devices_dead_drained), zero pages are abandoned
+# and every drained page reads back through the survivor.
+cargo run -q --release --bin unplug_soak -- \
+  --seed 0xD15C --out "$SOAK_DIR/u1.jsonl" >/dev/null
+cargo run -q --release --bin unplug_soak -- \
+  --seed 0xD15C --out "$SOAK_DIR/u2.jsonl" >/dev/null
+if ! cmp -s "$SOAK_DIR/u1.jsonl" "$SOAK_DIR/u2.jsonl"; then
+  echo "error: identically seeded unplug soaks streamed different traces" >&2
+  exit 1
+fi
+for ev in vm.device_draining vm.device_drained vm.device_dead vm.object_migrated; do
+  if ! grep -q "\"type\":\"$ev\"" "$SOAK_DIR/u1.jsonl"; then
+    echo "error: unplug trace carries no $ev event" >&2
+    exit 1
+  fi
+done
+echo "   unplug traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/u1.jsonl") records)"
+
+echo "== tournament: seeded short matrix is schema-v6, clean and replayable =="
 # The tournament binary exits non-zero if any cell's invariant audit fails,
 # so the run itself gates whole-kernel consistency across every policy ×
 # workload × backend × plan combination. On top of that: the --json
-# document must have the v5 shape (full cross product, both backends,
+# document must have the v6 shape (full cross product, both backends,
 # per-cell latency percentile columns, a complete ranking) and be
 # bit-identical across reruns.
 cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t1.json"
@@ -133,7 +172,7 @@ fi
 python3 - "$SOAK_DIR/t1.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == 5, f"schema {doc['schema']} != 5"
+assert doc["schema"] == 6, f"schema {doc['schema']} != 6"
 data = doc["data"]
 policies, workloads, cells = data["policies"], data["workloads"], data["cells"]
 assert len(workloads) == 6, workloads
@@ -146,7 +185,7 @@ for c in cells:
         assert isinstance(c[col], int), (col, c)
 assert any(c["p99_event_ns"] > 0 for c in cells), "no cell recorded event latency"
 assert [r["policy"] for r in data["ranking"]] and len(data["ranking"]) == len(policies)
-print(f"   v5 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
+print(f"   v6 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
 PY
 
 echo "verify: OK"

@@ -12,7 +12,7 @@ use hipec_core::{HealthState, HipecKernel, JsonlSink, KernelStats};
 use hipec_disk::{DeviceParams, DiskParams, FaultPhase, PhasedFaultConfig};
 use hipec_policies::PolicyKind;
 use hipec_sim::SimDuration;
-use hipec_vm::{DeviceId, KernelParams, VAddr, PAGE_SIZE};
+use hipec_vm::{DeviceId, DeviceState, KernelParams, VAddr, PAGE_SIZE};
 
 fn tight_params() -> KernelParams {
     let mut p = KernelParams::paper_64mb();
@@ -263,4 +263,202 @@ fn objects_route_to_their_bound_device() {
     assert_eq!(k.vm.device_of(obj0).expect("bound"), DeviceId(0));
     assert_eq!(k.vm.device_of(obj1).expect("bound"), dev_b);
     assert_eq!(k.vm.device_count(), 2);
+}
+
+// --- Device lifecycle: hot-unplug under a torn storm -------------------------
+
+/// Drives the pump until every flush and migration lifecycle closes.
+fn drive_to_quiescence(k: &mut HipecKernel) {
+    let mut guard = 0u32;
+    while let Some(done) = k.vm.next_flush_completion() {
+        k.vm.clock.advance_to(done);
+        k.pump();
+        guard += 1;
+        assert!(guard <= 200_000, "pump never quiesced (drain wedged)");
+    }
+}
+
+fn device_state(k: &HipecKernel, dev: DeviceId) -> DeviceState {
+    k.vm.backing_device(dev).expect("device row").state()
+}
+
+/// Two devices, the second wearing a long torn-and-delayed window; the run
+/// hot-unplugs it while the storm is still live, so the drain has to cope
+/// with a worn breaker, torn in-flight writes and a populated retry queue
+/// all at once. Returns the trace bytes and the final stats.
+fn run_unplug_storm() -> (Vec<u8>, KernelStats) {
+    let mut k = HipecKernel::new(tight_params());
+    let dev_bad = k.add_device(DeviceParams::Disk(DiskParams::default()));
+
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    // A quiet warm-up, then every accepted write on dev#1 completes torn
+    // and delayed. The torn window is still live when the unplug strikes,
+    // and the drain itself writes only to the survivor, so the backlog
+    // settles there no matter how hostile dev#1 stays.
+    k.vm.set_phased_fault_plan_on(
+        dev_bad,
+        PhasedFaultConfig {
+            seed: 0xD15C,
+            phases: vec![
+                FaultPhase::quiet(60),
+                FaultPhase::torn_delayed(400, SimDuration::from_ms(2)),
+            ],
+        },
+    );
+
+    let t = k.vm.create_task();
+    let (b_keep, _) =
+        k.vm.vm_allocate(t, 40 * PAGE_SIZE)
+            .expect("survivor region");
+    let (b_doom, o_doom) =
+        k.vm.vm_allocate_on(dev_bad, t, 40 * PAGE_SIZE)
+            .expect("doomed region");
+
+    for s in 0..300usize {
+        let p = (s as u64 * 7 + 3) % 40;
+        let _ = k.access_sync(t, VAddr(b_keep.0 + p * PAGE_SIZE), s % 3 != 0);
+        let q = (s as u64) % 40;
+        let _ = k.access_sync(t, VAddr(b_doom.0 + q * PAGE_SIZE), s % 2 == 0);
+        k.pump();
+        if s % 64 == 0 {
+            k.check_invariants().expect("invariants hold mid-storm");
+        }
+    }
+
+    // Mid-storm unplug: dev#1's writes are tearing and its retry queue is
+    // populated; the drain re-homes all of it onto the survivor. Torn
+    // retries may already have burnt through the ordinary retry budget
+    // during the storm — that is the budget doing its job — but from the
+    // unplug onward the drain must not abandon a single further page.
+    let abandoned_before = k.kernel_stats().get("flush_abandoned").unwrap_or(0);
+    let survivor = k.remove_device(dev_bad).expect("unplug mid-storm");
+    assert_eq!(survivor, DeviceId(0));
+    k.check_invariants()
+        .expect("invariants hold right after unplug");
+
+    drive_to_quiescence(&mut k);
+    k.check_invariants()
+        .expect("invariants hold after the drain");
+    assert_eq!(device_state(&k, dev_bad), DeviceState::Removed);
+    assert_eq!(k.vm.device_of(o_doom).expect("still bound"), DeviceId(0));
+
+    // Zero lost pages: every page of the drained region reads back
+    // through the survivor.
+    for p in 0..40u64 {
+        k.access_sync(t, VAddr(b_doom.0 + p * PAGE_SIZE), false)
+            .expect("drained page reads back");
+    }
+    drive_to_quiescence(&mut k);
+    k.check_invariants().expect("invariants hold at the end");
+
+    let stats = k.kernel_stats();
+    assert_eq!(
+        stats.get("flush_abandoned").unwrap_or(0),
+        abandoned_before,
+        "the drain abandoned pages instead of re-homing them"
+    );
+    k.take_sink();
+    let trace = sink.borrow().get_ref().clone();
+    (trace, stats)
+}
+
+#[test]
+fn unplug_mid_storm_replays_bit_for_bit_and_loses_no_pages() {
+    let (trace_a, stats) = run_unplug_storm();
+    let (trace_b, _) = run_unplug_storm();
+    assert_eq!(
+        trace_a, trace_b,
+        "the mid-storm unplug must replay bit-for-bit from its seed"
+    );
+    assert_eq!(stats.dropped_records, 0, "sink must see every record");
+    assert_eq!(stats.get("devices_unplugged"), Some(1));
+    assert_eq!(stats.get("device_drains"), Some(1));
+    assert!(
+        stats.get("migrated_pages").unwrap_or(0) >= 1,
+        "the drain copied nothing despite paged-out data"
+    );
+    assert!(
+        stats.get("retries_rehomed").unwrap_or(0) >= 1,
+        "a mid-storm unplug must re-home the torn backlog"
+    );
+}
+
+/// The other direction: a clean device is unplugged while the *survivor*
+/// is all-torn. The drain's copies keep tearing, the survivor's breaker
+/// trips, and the drain parks — it never abandons a copy — then rides the
+/// half-open probes to completion once the torn window runs out.
+#[test]
+fn drain_parks_while_the_survivor_is_all_torn_and_heals_without_loss() {
+    let mut k = HipecKernel::new(tight_params());
+    let dev_b = k.add_device(DeviceParams::Disk(DiskParams::default()));
+
+    let t = k.vm.create_task();
+    // 64 pages against 40 usable frames: the working set cannot stay
+    // resident, so dirty evictions page a good chunk of it out to dev#1.
+    let (b, o) =
+        k.vm.vm_allocate_on(dev_b, t, 64 * PAGE_SIZE)
+            .expect("region on the doomed device");
+    for s in 0..400usize {
+        let p = (s as u64 * 11 + 5) % 64;
+        let _ = k.access_sync(t, VAddr(b.0 + p * PAGE_SIZE), true);
+        k.pump();
+    }
+    drive_to_quiescence(&mut k);
+    k.check_invariants().expect("clean before the unplug");
+
+    // Now the survivor turns hostile: dev#0's next 40 accepted writes all
+    // complete torn. The drain's copies land exactly in that window.
+    k.vm.set_phased_fault_plan_on(
+        DeviceId(0),
+        PhasedFaultConfig {
+            seed: 0xA11,
+            phases: vec![FaultPhase::torn_delayed(40, SimDuration::from_ms(1))],
+        },
+    );
+    let survivor = k.remove_device(dev_b).expect("unplug onto a torn sibling");
+    assert_eq!(survivor, DeviceId(0));
+
+    // Walk a handful of completion windows: the copies tear, the
+    // survivor's breaker wears, and the entry stays Draining — parked,
+    // not abandoned.
+    let mut parked = false;
+    for _ in 0..12 {
+        let Some(done) = k.vm.next_flush_completion() else {
+            break;
+        };
+        k.vm.clock.advance_to(done);
+        k.pump();
+        if device_state(&k, dev_b) == DeviceState::Draining {
+            parked = true;
+        }
+        k.check_invariants().expect("invariants hold while parked");
+    }
+    assert!(parked, "the drain never waited on the torn survivor");
+    let mid = k.kernel_stats();
+    assert!(
+        mid.get("migration_retries").unwrap_or(0) >= 1,
+        "no drain copy was ever torn and re-queued"
+    );
+    assert_eq!(
+        mid.get("flush_abandoned").unwrap_or(0),
+        0,
+        "a parked drain must never abandon a copy"
+    );
+
+    // The survivor's torn window runs out of ops; the parked copies drain
+    // through and the entry completes Removed.
+    drive_to_quiescence(&mut k);
+    assert_eq!(device_state(&k, dev_b), DeviceState::Removed);
+    let stats = k.kernel_stats();
+    assert_eq!(stats.get("flush_abandoned").unwrap_or(0), 0);
+    assert!(stats.get("migrated_pages").unwrap_or(0) >= 1);
+    assert_eq!(k.vm.device_of(o).expect("bound"), DeviceId(0));
+    for p in 0..64u64 {
+        k.access_sync(t, VAddr(b.0 + p * PAGE_SIZE), false)
+            .expect("page survived the torn-survivor drain");
+    }
+    drive_to_quiescence(&mut k);
+    k.check_invariants().expect("clean at the end");
 }

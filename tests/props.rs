@@ -746,3 +746,72 @@ mod hist_props {
         }
     }
 }
+
+// --- Device unplug conserves objects and pages under random fault plans -------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hot-unplugging a device under an arbitrary flat fault plan never
+    /// violates a kernel invariant, never loses the object, and abandons
+    /// no further page from the unplug onward: drain traffic is
+    /// budget-exempt, so conservation holds no matter how hostile the
+    /// removed device's plan stays. The drain also always quiesces,
+    /// because everything re-homes onto the clean boot device.
+    #[test]
+    fn remove_device_conserves_objects_and_pages_under_random_faults(
+        seed in any::<u64>(),
+        read_err in 0u16..=150,
+        write_err in 0u16..=150,
+        torn in 0u16..=1000,
+        delay in 0u16..=1000,
+        steps in 40usize..120,
+    ) {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 48;
+        params.wired_frames = 8;
+        params.free_target = 8;
+        params.free_min = 4;
+        params.inactive_target = 12;
+        let mut k = HipecKernel::new(params);
+        let dev = k.add_device(hipec_disk::DeviceParams::default());
+        k.vm.set_fault_plan_on(dev, fault_config(seed, read_err, write_err, delay, torn));
+
+        let task = k.vm.create_task();
+        let (base, obj) = k.vm.vm_allocate_on(dev, task, 40 * PAGE_SIZE).expect("region");
+        for s in 0..steps {
+            let p = (s as u64 * 13 + 7) % 40;
+            let _ = k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), true);
+            k.pump();
+            k.check_invariants().expect("invariants survive the fault plan");
+        }
+
+        let abandoned_before = k.kernel_stats().get("flush_abandoned").unwrap_or(0);
+        let survivor = k.remove_device(dev).expect("unplug under faults");
+        prop_assert_eq!(survivor, hipec_vm::DeviceId(0));
+        k.check_invariants().expect("invariants hold right after the unplug");
+
+        let mut guard = 0u32;
+        while let Some(done) = k.vm.next_flush_completion() {
+            k.vm.clock.advance_to(done);
+            k.pump();
+            k.check_invariants().expect("invariants hold during the drain");
+            guard += 1;
+            prop_assert!(guard <= 200_000, "drain never quiesced");
+        }
+
+        // Conservation: the object survives on the boot device, the drain
+        // abandoned nothing, and every page reads back through the
+        // survivor (dev#0 never had a fault plan installed).
+        prop_assert_eq!(k.vm.device_of(obj).expect("still bound"), hipec_vm::DeviceId(0));
+        let stats = k.kernel_stats();
+        prop_assert_eq!(stats.get("flush_abandoned").unwrap_or(0), abandoned_before);
+        prop_assert_eq!(stats.get("devices_unplugged"), Some(1));
+        for p in 0..40u64 {
+            prop_assert!(
+                k.access_sync(task, VAddr(base.0 + p * PAGE_SIZE), false).is_ok(),
+                "page {} lost in the drain", p
+            );
+        }
+    }
+}
