@@ -72,7 +72,15 @@ pub use hipec_sim::stats::{Series, TextTable};
 /// `gc_pauses` (erase stalls). All zero for disks, so v5 consumers that
 /// ignored unknown fields keep working; the version still bumps because
 /// rows now appear for Removed/Dead devices whose ids stay in the table.
-pub const JSON_SCHEMA_VERSION: u64 = 6;
+///
+/// v7: kernel snapshots' `latency` arrays gained `class_fault` rows — one
+/// per occupied tenant share class, keyed by the class name (`free` /
+/// `standard` / `premium`) — aggregating fault service latency per class.
+/// The new `tenants_soak` binary's `data` carries a `classes` array with
+/// one row per class (`class`, `tenants`, `installed`, `faults`,
+/// `p50_fault_ns`, `p99_fault_ns`) plus the admission counters
+/// `admission_throttled` and `admission_over_share`.
+pub const JSON_SCHEMA_VERSION: u64 = 7;
 
 /// True when the binary was invoked with `--json`: machine-readable mode.
 ///

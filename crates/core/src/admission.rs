@@ -1,0 +1,250 @@
+//! Per-tenant admission control: weighted share classes on top of
+//! `minFrame`.
+//!
+//! The paper's admission story stops at the per-region `minFrame`
+//! guarantee: any install whose reservation the global frame manager can
+//! cover is mounted. With thousands of tenants that is not enough — a
+//! burst of installs from one customer class can claim the whole
+//! partitionable pool before anyone else arrives, and nothing stops a
+//! best-effort class from starving a paying one. This module adds the
+//! missing layer, two deterministic checks ahead of the `minFrame`
+//! admission in `setup_hipec_region`:
+//!
+//! * **Weighted share cap.** Each container carries a [`ShareClass`];
+//!   a class's live containers may hold at most
+//!   `partition_burst · weight / Σ weights` frames. The cap is computed
+//!   from the kernel's own books (summed `allocated` of live containers),
+//!   so it is a pure function of kernel state.
+//! * **Bursty-arrival throttle.** Installs per class are counted in a
+//!   window that rolls on every security-checker wakeup — the kernel's
+//!   existing adaptive clock (paper §4.3.3). A class gets
+//!   `burst_base · weight` installs per interval; the rest are rejected
+//!   with a retryable error. Keying the window on the checker interval
+//!   means the throttle tightens exactly when the kernel is struggling
+//!   (timeouts halve the interval → fewer wall-clock installs per window
+//!   — no: a *shorter* interval rolls the window more often, admitting
+//!   more; a calm kernel's 8 s interval stretches the window and smooths
+//!   arrival bursts over it).
+//!
+//! Admission control ships **disabled** so single-tenant workloads and
+//! the paper experiments are byte-identical with it compiled in; the
+//! `tenants` workload enables it explicitly.
+
+/// The weighted share class of a tenant's containers.
+///
+/// Weights are relative claims on the partitionable pool
+/// (`partition_burst`): with the default weights 1/2/4 a Premium tenant
+/// population may hold four times the frames of the Free population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ShareClass {
+    /// Best-effort tenants (weight 1).
+    Free,
+    /// The default class every legacy entry point installs under
+    /// (weight 2).
+    #[default]
+    Standard,
+    /// Latency-sensitive tenants (weight 4).
+    Premium,
+}
+
+impl ShareClass {
+    /// Every class, in ascending-weight order; a class's position here is
+    /// its stable index in per-class arrays and snapshot keys.
+    pub const ALL: [ShareClass; 3] = [ShareClass::Free, ShareClass::Standard, ShareClass::Premium];
+
+    /// Relative claim on the partitionable pool.
+    pub fn weight(self) -> u64 {
+        match self {
+            ShareClass::Free => 1,
+            ShareClass::Standard => 2,
+            ShareClass::Premium => 4,
+        }
+    }
+
+    /// Sum of all class weights (the share-cap denominator).
+    pub fn total_weight() -> u64 {
+        Self::ALL.iter().map(|c| c.weight()).sum()
+    }
+
+    /// Stable snake_case name used in export labels and bench `--json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShareClass::Free => "free",
+            ShareClass::Standard => "standard",
+            ShareClass::Premium => "premium",
+        }
+    }
+
+    /// This class's index in [`ShareClass::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The class at `index` in [`ShareClass::ALL`], if in range.
+    pub fn from_index(index: usize) -> Option<ShareClass> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// The frame cap of this class: its weighted share of the
+    /// partitionable pool.
+    pub fn share_cap(self, partition_burst: u64) -> u64 {
+        partition_burst * self.weight() / Self::total_weight()
+    }
+}
+
+/// Why admission control turned an install away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitReject {
+    /// The class spent its install budget for the current checker
+    /// interval; the install is retryable once the window rolls.
+    Throttled,
+    /// The reservation would push the class past its weighted share of
+    /// the partitionable pool.
+    ShareExceeded,
+}
+
+/// State of the per-tenant admission layer, owned by
+/// [`crate::HipecKernel`].
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    /// When false (the boot default) every install passes straight to the
+    /// `minFrame` admission, preserving the paper's behavior exactly.
+    pub enabled: bool,
+    /// Installs a weight-1 class may start per checker interval; a class
+    /// of weight `w` gets `w · burst_base`.
+    pub burst_base: u32,
+    /// Installs started per class in the current checker interval.
+    window_installs: [u32; ShareClass::ALL.len()],
+    /// Lifetime burst-throttle rejections per class.
+    pub throttled: [u64; ShareClass::ALL.len()],
+    /// Lifetime share-cap rejections per class.
+    pub over_share: [u64; ShareClass::ALL.len()],
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            enabled: false,
+            burst_base: 8,
+            window_installs: [0; ShareClass::ALL.len()],
+            throttled: [0; ShareClass::ALL.len()],
+            over_share: [0; ShareClass::ALL.len()],
+        }
+    }
+}
+
+impl AdmissionControl {
+    /// An enabled admission layer granting `burst_base` installs per
+    /// weight unit per checker interval.
+    pub fn enabled_with(burst_base: u32) -> Self {
+        AdmissionControl {
+            enabled: true,
+            burst_base: burst_base.max(1),
+            ..AdmissionControl::default()
+        }
+    }
+
+    /// Rolls the arrival window: called on every security-checker wakeup,
+    /// so the throttle clock is the kernel's existing adaptive interval.
+    pub(crate) fn roll_window(&mut self) {
+        self.window_installs = [0; ShareClass::ALL.len()];
+    }
+
+    /// Checks one install of `min_frames` for `class`, where the class's
+    /// live containers already hold `class_frames` of the
+    /// `partition_burst` pool. Counts the install against the arrival
+    /// window on success. A pure function of admission state and its
+    /// arguments — no clock, no randomness — so rejection patterns replay
+    /// bit-identically.
+    pub(crate) fn admit(
+        &mut self,
+        class: ShareClass,
+        min_frames: u64,
+        class_frames: u64,
+        partition_burst: u64,
+    ) -> Result<(), AdmitReject> {
+        if !self.enabled {
+            return Ok(());
+        }
+        let i = class.index();
+        let burst_cap = u64::from(self.burst_base) * class.weight();
+        if u64::from(self.window_installs[i]) >= burst_cap {
+            self.throttled[i] += 1;
+            return Err(AdmitReject::Throttled);
+        }
+        if class_frames.saturating_add(min_frames) > class.share_cap(partition_burst) {
+            self.over_share[i] += 1;
+            return Err(AdmitReject::ShareExceeded);
+        }
+        self.window_installs[i] += 1;
+        Ok(())
+    }
+
+    /// Lifetime rejections (throttle + share cap) across every class.
+    pub fn total_rejections(&self) -> u64 {
+        self.throttled.iter().sum::<u64>() + self.over_share.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_weights_and_caps() {
+        assert_eq!(ShareClass::total_weight(), 7);
+        assert_eq!(ShareClass::Premium.share_cap(700), 400);
+        assert_eq!(ShareClass::Standard.share_cap(700), 200);
+        assert_eq!(ShareClass::Free.share_cap(700), 100);
+        assert_eq!(ShareClass::from_index(2), Some(ShareClass::Premium));
+        assert_eq!(ShareClass::from_index(9), None);
+        assert_eq!(ShareClass::default(), ShareClass::Standard);
+    }
+
+    #[test]
+    fn disabled_admits_everything() {
+        let mut a = AdmissionControl::default();
+        for _ in 0..10_000 {
+            assert_eq!(a.admit(ShareClass::Free, u64::MAX, u64::MAX, 0), Ok(()));
+        }
+        assert_eq!(a.total_rejections(), 0);
+    }
+
+    #[test]
+    fn burst_throttle_is_weighted_and_rolls_with_the_window() {
+        let mut a = AdmissionControl::enabled_with(2);
+        // Weight 1 → 2 installs per window.
+        assert!(a.admit(ShareClass::Free, 1, 0, 1000).is_ok());
+        assert!(a.admit(ShareClass::Free, 1, 0, 1000).is_ok());
+        assert_eq!(
+            a.admit(ShareClass::Free, 1, 0, 1000),
+            Err(AdmitReject::Throttled)
+        );
+        // Premium's weight-4 budget is untouched by Free's burst.
+        for _ in 0..8 {
+            assert!(a.admit(ShareClass::Premium, 1, 0, 1000).is_ok());
+        }
+        assert_eq!(
+            a.admit(ShareClass::Premium, 1, 0, 1000),
+            Err(AdmitReject::Throttled)
+        );
+        a.roll_window();
+        assert!(a.admit(ShareClass::Free, 1, 0, 1000).is_ok());
+        assert_eq!(a.throttled, [1, 0, 1]);
+    }
+
+    #[test]
+    fn share_cap_rejects_without_spending_the_window() {
+        let mut a = AdmissionControl::enabled_with(8);
+        // Free's cap of a 700-frame pool is 100 frames.
+        assert_eq!(
+            a.admit(ShareClass::Free, 8, 96, 700),
+            Err(AdmitReject::ShareExceeded)
+        );
+        assert_eq!(a.over_share, [1, 0, 0]);
+        // The rejected install did not burn window budget.
+        for _ in 0..8 {
+            assert!(a.admit(ShareClass::Free, 8, 0, 700).is_ok());
+        }
+    }
+}

@@ -121,8 +121,10 @@ impl HipecKernel {
             }
         }
         // The wakeup tick is also the probation clock of the health state
-        // machine (strike decay, quarantine probation, restore attempts).
+        // machine (strike decay, quarantine probation, restore attempts)
+        // and the arrival window of per-tenant admission control.
         self.health_tick();
+        self.admission.roll_window();
         self.emit(crate::trace::TraceEvent::CheckerWake { detected });
         self.checker.adapt(detected);
         // The adapted interval is the scheduling decision this wakeup made;

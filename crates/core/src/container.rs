@@ -131,6 +131,10 @@ pub struct Container {
     pub terminated: bool,
     /// Creation sequence for FAFR (first-allocated, first-reclaimed).
     pub created_seq: u64,
+    /// The weighted share class this container's tenant installs under
+    /// (admission control; see [`crate::admission`]). Legacy entry points
+    /// install as [`crate::admission::ShareClass::Standard`].
+    pub share: crate::admission::ShareClass,
     /// Frames the global frame manager currently wants back (visible to the
     /// policy as [`KernelVar::ReclaimTarget`] during `ReclaimFrame`).
     pub reclaim_target: u64,
@@ -209,6 +213,7 @@ impl Container {
             runaway: false,
             terminated: false,
             created_seq,
+            share: crate::admission::ShareClass::default(),
             reclaim_target: 0,
             stats: ContainerStats::default(),
             op_profile: OpProfile::default(),

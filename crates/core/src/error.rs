@@ -166,6 +166,15 @@ pub enum HipecError {
         /// Frames obtainable.
         available: u64,
     },
+    /// Per-tenant admission control turned the install away before the
+    /// `minFrame` admission ran (see [`crate::admission`]).
+    AdmissionRejected {
+        /// Stable name of the rejected share class.
+        class: &'static str,
+        /// True for the bursty-arrival throttle (retry once the checker
+        /// interval rolls the window), false for the weighted share cap.
+        throttled: bool,
+    },
     /// The program failed static validation; see the contained report.
     InvalidProgram(String),
     /// The specific application was terminated (policy fault or timeout).
@@ -196,6 +205,15 @@ impl fmt::Display for HipecError {
             } => write!(
                 f,
                 "minFrame request of {requested} frames cannot be met ({available} available)"
+            ),
+            HipecError::AdmissionRejected { class, throttled } => write!(
+                f,
+                "admission control rejected a {class}-class install ({})",
+                if *throttled {
+                    "arrival burst throttled; retry next checker interval"
+                } else {
+                    "weighted share cap exceeded"
+                }
             ),
             HipecError::InvalidProgram(r) => write!(f, "invalid policy program: {r}"),
             HipecError::Terminated { container, reason } => {

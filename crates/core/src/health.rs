@@ -177,7 +177,9 @@ impl HipecKernel {
     /// threshold; quarantined ones accumulate clean intervals toward a
     /// restore attempt.
     pub(crate) fn health_tick(&mut self) {
-        for i in 0..self.containers.len() {
+        let n = self.containers.len();
+        let mut ramp_ready = vec![false; n];
+        for (i, ready) in ramp_ready.iter_mut().enumerate() {
             if self.containers[i].terminated {
                 continue;
             }
@@ -187,9 +189,7 @@ impl HipecKernel {
                 HealthState::Healthy => {
                     // Ramped restore: each clean interval re-admits another
                     // tranche of the still-owed `minFrame` reservation.
-                    if clean && self.containers[i].restore_pending > 0 {
-                        self.ramp_tick(i);
-                    }
+                    *ready = clean && self.containers[i].restore_pending > 0;
                 }
                 HealthState::Degraded => {
                     if clean {
@@ -213,6 +213,21 @@ impl HipecKernel {
                     }
                 }
             }
+        }
+        // Tranche order rotates one container per tick: when `admit_frames`
+        // can only cover some of the concurrent ramps, each takes its turn
+        // at the front instead of the lowest id draining the pool every
+        // interval. Purely a function of kernel state (the cursor advances
+        // with the tick count), so replay is bit-identical.
+        if n > 0 {
+            let start = self.ramp_cursor % n;
+            for off in 0..n {
+                let i = (start + off) % n;
+                if ramp_ready[i] {
+                    self.ramp_tick(i);
+                }
+            }
+            self.ramp_cursor = (self.ramp_cursor + 1) % n;
         }
     }
 

@@ -16,6 +16,7 @@ use hipec_vm::{
     VmError,
 };
 
+use crate::admission::{AdmissionControl, AdmitReject, ShareClass};
 use crate::checker::{validate_program, SecurityChecker};
 use crate::container::Container;
 use crate::error::{HipecError, PolicyFault};
@@ -41,9 +42,17 @@ pub struct HipecKernel {
     pub gfm: GlobalFrameManager,
     /// The security checker.
     pub checker: SecurityChecker,
+    /// Per-tenant admission control (weighted share classes and
+    /// bursty-arrival throttling; disabled at boot — see
+    /// [`crate::admission`]).
+    pub admission: AdmissionControl,
     /// Thresholds of the container health state machine (quarantine and
     /// default-management fallback).
     pub health_policy: HealthPolicy,
+    /// Rotating start of the restore-ramp scan: advances one container per
+    /// health tick so concurrent ramps take turns at a tight free pool
+    /// instead of lowest-id-wins (see [`HipecKernel::health_tick`]).
+    pub(crate) ramp_cursor: usize,
     /// Executor fuel and nesting limits.
     pub limits: ExecLimits,
     /// Which executor backend `run_event` dispatches to (see
@@ -85,7 +94,9 @@ impl HipecKernel {
             containers: Vec::new(),
             gfm: GlobalFrameManager::new(burst),
             checker: SecurityChecker::new(),
+            admission: AdmissionControl::default(),
             health_policy: HealthPolicy::default(),
+            ramp_cursor: 0,
             limits: ExecLimits::default(),
             backend: ExecBackend::default(),
             obs: crate::obs::ObsState::default(),
@@ -312,8 +323,73 @@ impl HipecKernel {
         self.setup_hipec_region(device, task, bytes, program, min_frames, Backing::File)
     }
 
+    /// `vm_allocate_hipec` under an explicit share class and backing
+    /// device — the multi-tenant entry point admission control meters.
+    pub fn vm_allocate_hipec_as(
+        &mut self,
+        share: ShareClass,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region_as(
+            share,
+            device,
+            task,
+            bytes,
+            program,
+            min_frames,
+            Backing::Anonymous,
+        )
+    }
+
+    /// `vm_map_hipec` under an explicit share class and backing device.
+    pub fn vm_map_hipec_as(
+        &mut self,
+        share: ShareClass,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region_as(
+            share,
+            device,
+            task,
+            bytes,
+            program,
+            min_frames,
+            Backing::File,
+        )
+    }
+
     fn setup_hipec_region(
         &mut self,
+        device: DeviceId,
+        task: TaskId,
+        bytes: u64,
+        program: PolicyProgram,
+        min_frames: u64,
+        backing: Backing,
+    ) -> Result<(VAddr, ObjectId, ContainerKey), HipecError> {
+        self.setup_hipec_region_as(
+            ShareClass::default(),
+            device,
+            task,
+            bytes,
+            program,
+            min_frames,
+            backing,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn setup_hipec_region_as(
+        &mut self,
+        share: ShareClass,
         device: DeviceId,
         task: TaskId,
         bytes: u64,
@@ -325,6 +401,31 @@ impl HipecKernel {
         // container is mounted (paper §4.3).
         if let Err(report) = validate_program(&program) {
             return Err(HipecError::InvalidProgram(report.join("; ")));
+        }
+        // Per-tenant admission: the weighted share cap and the
+        // bursty-arrival throttle run before any frame moves, so a
+        // rejected install leaves no kernel state behind.
+        let class_frames: u64 = self
+            .containers
+            .iter()
+            .filter(|c| !c.terminated && c.share == share)
+            .map(|c| c.allocated)
+            .sum();
+        if let Err(why) =
+            self.admission
+                .admit(share, min_frames, class_frames, self.gfm.partition_burst)
+        {
+            let throttled = why == AdmitReject::Throttled;
+            self.vm.stats.bump("admission_rejects");
+            self.emit(TraceEvent::AdmissionRejected {
+                class: share.index() as u8,
+                asked: min_frames,
+                throttled,
+            });
+            return Err(HipecError::AdmissionRejected {
+                class: share.name(),
+                throttled,
+            });
         }
         // minFrame admission: reclaim from existing containers if the free
         // pool alone cannot cover the request.
@@ -338,6 +439,7 @@ impl HipecKernel {
         self.next_seq += 1;
         let mut container =
             Container::new(key, object, task, program, min_frames, seq, &mut self.vm);
+        container.share = share;
         for f in frames {
             self.vm
                 .frames
@@ -431,6 +533,8 @@ impl HipecKernel {
                 self.vm.fault_latency.record(latency);
                 #[cfg(feature = "metrics")]
                 self.containers[cidx].lat_fault.record(latency);
+                #[cfg(feature = "metrics")]
+                self.obs.class_fault[self.containers[cidx].share.index()].record(latency);
                 self.emit(TraceEvent::PolicyFaultResolved {
                     container: info.container,
                     frame,

@@ -15,6 +15,8 @@
 //!   array, private frame queues and execution timestamps;
 //! * [`executor`] — the in-kernel interpreter;
 //! * [`checker`] — static validation and adaptive timeout detection;
+//! * [`admission`] — per-tenant weighted share classes and bursty-arrival
+//!   throttling ahead of the `minFrame` admission;
 //! * [`manager`] — the global frame manager (partition_burst, minFrame,
 //!   FAFR reclamation, asynchronous flush);
 //! * [`kernel`] — [`HipecKernel`], the modified kernel with
@@ -54,6 +56,7 @@
 //! kernel.access(task, VAddr(addr.0 + PAGE_SIZE), true).expect("again");
 //! ```
 
+pub mod admission;
 pub mod analysis;
 pub mod checker;
 pub mod command;
@@ -73,6 +76,7 @@ pub mod operand;
 pub mod program;
 pub mod trace;
 
+pub use admission::{AdmissionControl, AdmitReject, ShareClass};
 pub use analysis::analyze_program;
 pub use checker::{validate_program, SecurityChecker};
 pub use command::{OpCode, RawCmd, NO_OPERAND};

@@ -50,6 +50,9 @@ pub enum LatencyMetric {
     PumpDrain,
     /// Sampled executor charge per opcode (key: the opcode byte).
     OpCharge,
+    /// Fault service latency aggregated per tenant share class (key: the
+    /// class index in [`crate::ShareClass::ALL`]).
+    ClassFault,
     /// Fault service latency, `access` entry to frame-ready (key: the
     /// container key).
     ContainerFault,
@@ -71,6 +74,7 @@ impl LatencyMetric {
             LatencyMetric::CheckerInterval => "checker_interval",
             LatencyMetric::PumpDrain => "pump_drain",
             LatencyMetric::OpCharge => "op_charge",
+            LatencyMetric::ClassFault => "class_fault",
             LatencyMetric::ContainerFault => "container_fault",
             LatencyMetric::ContainerEvent => "container_event",
             LatencyMetric::DeviceRead => "dev_read",
@@ -100,6 +104,9 @@ impl LatencyRow {
         match self.metric {
             LatencyMetric::OpCharge => OpCode::from_u8(self.key as u8)
                 .map(|op| op.mnemonic().to_string())
+                .unwrap_or_else(|| self.key.to_string()),
+            LatencyMetric::ClassFault => crate::ShareClass::from_index(self.key as usize)
+                .map(|c| c.name().to_string())
                 .unwrap_or_else(|| self.key.to_string()),
             _ => self.key.to_string(),
         }
@@ -189,6 +196,10 @@ pub struct ObsState {
     /// [`OP_SAMPLE_EVERY`] sampling decision. Identical across executor
     /// backends because attribution order is part of their contract.
     pub op_seq: u64,
+    /// Fault service latency per tenant share class, indexed by
+    /// [`crate::ShareClass::ALL`] position. The per-class aggregate the
+    /// `tenants` workload gates on; rows appear only once a class faults.
+    pub class_fault: [LatencyHistogram; crate::ShareClass::ALL.len()],
     /// The adaptive checker interval, recorded as scheduled at each wakeup.
     pub checker_interval: LatencyHistogram,
     /// Virtual time between consecutive pageout-pump invocations (the pump
@@ -205,6 +216,7 @@ impl Default for ObsState {
         ObsState {
             op_charge: [LatencyHistogram::EMPTY; OpCode::ALL.len()],
             op_seq: 0,
+            class_fault: [LatencyHistogram::EMPTY; crate::ShareClass::ALL.len()],
             checker_interval: LatencyHistogram::EMPTY,
             pump_drain: LatencyHistogram::EMPTY,
             last_pump: None,
@@ -248,6 +260,15 @@ impl HipecKernel {
             if !h.is_empty() {
                 rows.push(LatencyRow {
                     metric: LatencyMetric::OpCharge,
+                    key: i as u64,
+                    hist: *h,
+                });
+            }
+        }
+        for (i, h) in self.obs.class_fault.iter().enumerate() {
+            if !h.is_empty() {
+                rows.push(LatencyRow {
+                    metric: LatencyMetric::ClassFault,
                     key: i as u64,
                     hist: *h,
                 });

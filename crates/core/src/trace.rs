@@ -28,6 +28,18 @@ pub use hipec_vm::trace::{EventRing, TraceRecord, DEFAULT_TRACE_CAPACITY};
 pub enum TraceEvent {
     /// An event recorded by the VM substrate.
     Vm(VmEvent),
+    /// Per-tenant admission control rejected a policy install (see
+    /// [`crate::admission`]).
+    AdmissionRejected {
+        /// Share-class index of the rejected install (position in
+        /// [`crate::admission::ShareClass::ALL`]).
+        class: u8,
+        /// The `minFrame` reservation the install asked for.
+        asked: u64,
+        /// True for the bursty-arrival throttle, false for the weighted
+        /// share cap.
+        throttled: bool,
+    },
     /// A policy was installed (`vm_allocate_hipec` / `vm_map_hipec`).
     Install {
         /// The new container's key.
@@ -193,6 +205,15 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             TraceEvent::Vm(e) => write!(f, "vm: {e:?}"),
+            TraceEvent::AdmissionRejected {
+                class,
+                asked,
+                throttled,
+            } => write!(
+                f,
+                "admission-rejected class={class} asked={asked} ({})",
+                if throttled { "throttled" } else { "share cap" }
+            ),
             TraceEvent::Install {
                 container,
                 min_frames,
@@ -343,6 +364,7 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
             VmEvent::TornRetry { .. } => "vm.torn_retry",
             VmEvent::RetryRejected { .. } => "vm.retry_rejected",
             VmEvent::FlushAbandoned { .. } => "vm.flush_abandoned",
+            VmEvent::PumpDeferred { .. } => "vm.pump_deferred",
             VmEvent::BreakerTrip { .. } => "vm.breaker_trip",
             VmEvent::BreakerProbe { .. } => "vm.breaker_probe",
             VmEvent::BreakerClose { .. } => "vm.breaker_close",
@@ -351,6 +373,7 @@ pub fn event_kind(event: &TraceEvent) -> &'static str {
             VmEvent::DeviceDead { .. } => "vm.device_dead",
             VmEvent::ObjectMigrated { .. } => "vm.object_migrated",
         },
+        TraceEvent::AdmissionRejected { .. } => "admission_rejected",
         TraceEvent::Install { .. } => "install",
         TraceEvent::PolicyEvent { .. } => "policy_event",
         TraceEvent::PolicyFaultResolved { .. } => "policy_fault_resolved",
@@ -467,6 +490,9 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
                     device.0, frame.0
                 );
             }
+            VmEvent::PumpDeferred { deferred } => {
+                let _ = write!(s, ",\"deferred\":{deferred}");
+            }
             VmEvent::BreakerTrip { device, ewma_milli }
             | VmEvent::BreakerClose { device, ewma_milli } => {
                 let _ = write!(s, ",\"device\":{},\"ewma_milli\":{ewma_milli}", device.0);
@@ -506,6 +532,16 @@ pub fn render_jsonl(rec: &TraceRecord<TraceEvent>) -> String {
                 );
             }
         },
+        TraceEvent::AdmissionRejected {
+            class,
+            asked,
+            throttled,
+        } => {
+            let _ = write!(
+                s,
+                ",\"class\":{class},\"asked\":{asked},\"throttled\":{throttled}"
+            );
+        }
         TraceEvent::Install {
             container,
             min_frames,

@@ -229,6 +229,60 @@ impl BackingDevice {
         self.inflight.len() + self.migr_inflight.len()
     }
 
+    /// Deterministic pressure score steering the pump's per-call service
+    /// order: higher scores drain first. Combines, in decreasing weight:
+    ///
+    /// * completions already due — each reap frees a frame or retires a
+    ///   migration copy, the direct head-of-line payload;
+    /// * how long the oldest due completion has been claimable — deadline
+    ///   ageing, so work parked across many pump calls rises to the front
+    ///   instead of starving behind a perpetually-stormy sibling;
+    /// * the in-flight depth (flushes and copies alike);
+    /// * the parked backlog (torn retries plus queued copies), discounted
+    ///   while the breaker is open because a gated device can only submit
+    ///   bounded probe bursts no matter how early it is served.
+    ///
+    /// A pure function of device state and `now` — no host time, no
+    /// randomness — so the weighted order is replay-stable.
+    pub(crate) fn pressure(&self, now: SimTime) -> u64 {
+        /// Score per completion already due.
+        const DUE_WEIGHT: u64 = 64;
+        /// Score per microsecond the oldest due completion has waited.
+        const LATENESS_WEIGHT: u64 = 4;
+        /// Ageing saturates here (≈1 s) so one ancient completion cannot
+        /// overflow the score or drown every other component forever.
+        const LATENESS_CAP_US: u64 = 1 << 20;
+        /// Score per in-flight submission (not yet due).
+        const INFLIGHT_WEIGHT: u64 = 2;
+
+        let mut due = 0u64;
+        let mut oldest_due: Option<SimTime> = None;
+        for done in self
+            .inflight
+            .iter()
+            .map(|i| i.done)
+            .chain(self.migr_inflight.iter().map(|m| m.done))
+        {
+            if done <= now {
+                due += 1;
+                oldest_due = Some(oldest_due.map_or(done, |o| o.min(done)));
+            }
+        }
+        let lateness_us = oldest_due
+            .map_or(0, |o| now.since(o).as_ns() / 1_000)
+            .min(LATENESS_CAP_US);
+        let backlog = (self.retry_q.len() + self.migr_q.len()) as u64;
+        let backlog = if self.breaker.is_closed() {
+            backlog
+        } else {
+            backlog / 2
+        };
+        due * DUE_WEIGHT
+            + lateness_us * LATENESS_WEIGHT
+            + self.degraded_inflight() as u64 * INFLIGHT_WEIGHT
+            + backlog
+    }
+
     /// Earliest virtual instant at which pumping *this* device makes
     /// write-back or migration progress: its next in-flight completion
     /// (flush or page copy), or — when nothing is in flight but torn

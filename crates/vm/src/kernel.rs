@@ -159,6 +159,18 @@ pub struct RetryTag {
     pub rehomed_from: Option<DeviceId>,
 }
 
+/// The submission allowance of one [`Kernel::pump`] call, shared by every
+/// device's full-speed re-issue and migration loops (see
+/// [`Kernel::pump_submit_budget`]). Tracks how many parked submissions the
+/// exhausted budget left waiting, for the deferral stat and trace event.
+pub(crate) struct PumpBudget {
+    /// Submissions remaining in this pump call.
+    pub(crate) left: u32,
+    /// Parked entries a submission loop walked away from because the
+    /// budget ran out (they stay queued for the next pump call).
+    pub(crate) deferred: u64,
+}
+
 /// A write-back that exhausted its retry budget: the page's data is lost.
 ///
 /// The frame has already been freed; the HiPEC layer drains these via
@@ -207,6 +219,15 @@ pub struct Kernel {
     /// Write submissions a single dirty page may burn (initial + retries)
     /// before its flush is abandoned and surfaced as a [`DeadFlush`].
     pub flush_retry_budget: u8,
+    /// Write submissions (torn-retry re-issues plus migration copies) one
+    /// [`Kernel::pump`] call may make across the whole device table. Reaps
+    /// are never budgeted — claiming a due completion is always pure
+    /// progress — and neither are degraded probes, which the breaker
+    /// already gates to a bounded burst per backoff window. The budget
+    /// bounds only the full-speed submission loops, so a device with
+    /// thousands of parked writes spreads them over several pump calls
+    /// instead of monopolising one.
+    pub pump_submit_budget: u32,
     pub(crate) objects: Vec<VmObject>,
     pub(crate) tasks: Vec<Task>,
     /// The backing-device table. Entry 0 is built from
@@ -249,6 +270,7 @@ impl Kernel {
             fault_latency: Histogram::new(),
             trace: EventRing::new(DEFAULT_TRACE_CAPACITY),
             flush_retry_budget: 8,
+            pump_submit_budget: 64,
             objects: Vec::new(),
             tasks: Vec::new(),
             devices,
@@ -846,63 +868,62 @@ impl Kernel {
         self.frames.enqueue_tail(self.free_q, frame)
     }
 
+    /// Bound on consecutive "dry" pumps [`Kernel::obtain_free_frame`] may
+    /// burn — pumps taken with nothing in flight anywhere, only parked
+    /// queues whose submissions keep being rejected. Derived from
+    /// [`Kernel::flush_retry_budget`]: once every parked write has had a
+    /// budget's worth of chances to get a submission through, the pool is
+    /// genuinely dry and `OutOfFrames` is the honest answer.
+    fn dry_pump_budget(&self) -> u32 {
+        u32::from(self.flush_retry_budget)
+    }
+
     /// One clean frame off the free queue, replenishing it if necessary.
+    ///
+    /// When the pool is empty the wait is event-driven off
+    /// [`Kernel::next_flush_completion`], which covers every source of
+    /// future frames: in-flight flushes, parked torn retries *and* the
+    /// drain/migration traffic of an unplug — so a fault arriving
+    /// mid-unplug blocks on the drain instead of spuriously reporting
+    /// `OutOfFrames`. Pumps that find nothing in flight anywhere (each
+    /// pump draws fresh fault decisions, so a few attempts normally get a
+    /// rejected submission through) are bounded by
+    /// [`Kernel::dry_pump_budget`] so a device rejecting every write
+    /// still surfaces `OutOfFrames`.
     pub(crate) fn obtain_free_frame(&mut self) -> Result<FrameId, VmError> {
         if self.free_count() < self.free_min {
             self.pageout_scan()?;
         }
-        let mut dry_retries = 0;
+        let mut dry_pumps = 0u32;
         loop {
             if let Some(f) = self.frames.dequeue_head(self.free_q)? {
                 self.charge(self.cost.queue_op);
                 return Ok(f);
             }
-            // Nothing free: wait for an in-flight flush if any device has
-            // one.
-            if let Some(earliest) = self
-                .devices
-                .iter()
-                .flat_map(|d| d.inflight.iter().map(|i| i.done))
-                .min()
-            {
-                self.clock.advance_to(earliest);
-                self.pump();
-            } else if self.devices.iter().any(|d| !d.retry_q.is_empty()) && dry_retries < 8 {
-                // Only torn writes remain and their re-issues keep being
-                // rejected; each pump draws fresh fault decisions, so a few
-                // attempts normally get one through. Bounded so a device
-                // rejecting every write still surfaces OutOfFrames.
-                dry_retries += 1;
-                // Degraded submissions are gated per-device by the breaker
-                // backoff; waiting here is the forced-synchronous part of
-                // degraded reclaim — jump to the earliest submission window
-                // among the devices with parked retries so the pump can
-                // actually submit somewhere.
-                let now = self.clock.now();
-                let due = self
-                    .devices
-                    .iter()
-                    .filter(|d| !d.retry_q.is_empty())
-                    .map(|d| {
-                        if d.breaker.is_closed() {
-                            now
-                        } else {
-                            d.breaker.next_probe_at().max(now)
-                        }
-                    })
-                    .min();
-                if let Some(due) = due {
-                    if due > now {
-                        self.clock.advance_to(due);
-                    }
-                }
-                self.pump();
-            } else {
+            // Nothing free: wait for write-back (or migration) progress.
+            let Some(due) = self.next_flush_completion() else {
                 return Err(VmError::OutOfFrames {
                     requested: 1,
                     available: 0,
                 });
+            };
+            let inflight = self
+                .devices
+                .iter()
+                .any(|d| !d.inflight.is_empty() || !d.migr_inflight.is_empty());
+            if !inflight {
+                dry_pumps += 1;
+                if dry_pumps > self.dry_pump_budget() {
+                    return Err(VmError::OutOfFrames {
+                        requested: 1,
+                        available: 0,
+                    });
+                }
             }
+            if due > self.clock.now() {
+                self.clock.advance_to(due);
+            }
+            self.pump();
         }
     }
 
@@ -922,10 +943,40 @@ impl Kernel {
     /// The pump also drives the device-lifecycle machinery: migration
     /// copies queued by drains and tier rebalancing, pending
     /// permanent-failure escalations, and drain-completion detection.
+    ///
+    /// Devices are serviced in **pressure order**, not id order: each
+    /// entry's [`BackingDevice::pressure`] score (due completions, ageing
+    /// of the oldest claimable one, in-flight depth, parked backlog) is
+    /// computed against the state at pump entry and the table is walked
+    /// highest-score first, ties broken by ascending id. Combined with the
+    /// per-call [`Kernel::pump_submit_budget`] this removes the
+    /// head-of-line blocking of the old id-order walk: a storming device's
+    /// thousand parked retries can no longer starve a healthy sibling's
+    /// reap inside a single call. The score is a pure function of kernel
+    /// state, so the weighted order — and everything downstream of it —
+    /// is bit-identical across replays.
     pub fn pump(&mut self) {
-        for di in 0..self.devices.len() {
-            self.pump_device(di);
-            self.pump_migration(di);
+        let now = self.clock.now();
+        let mut order: Vec<(u64, usize)> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(di, d)| (d.pressure(now), di))
+            .collect();
+        order.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut budget = PumpBudget {
+            left: self.pump_submit_budget,
+            deferred: 0,
+        };
+        for (_, di) in order {
+            self.pump_device(di, &mut budget);
+            self.pump_migration(di, &mut budget);
+        }
+        if budget.deferred > 0 {
+            self.stats.bump("pump_budget_deferrals");
+            self.emit(VmEvent::PumpDeferred {
+                deferred: budget.deferred,
+            });
         }
         self.process_dead_pending();
         self.finish_drains();
@@ -934,7 +985,7 @@ impl Kernel {
     /// Reaps and re-issues on one device-table entry. Each device's
     /// breaker, in-flight window and retry queue are independent, so a
     /// storm on one device never stalls another's drain.
-    fn pump_device(&mut self, di: usize) {
+    fn pump_device(&mut self, di: usize, budget: &mut PumpBudget) {
         let now = self.clock.now();
         let device = self.devices[di].id;
         let mut done = Vec::new();
@@ -1006,13 +1057,19 @@ impl Kernel {
         }
         // Re-issue torn writes (one attempt per entry per pump; a rejected
         // re-issue goes back on the queue until its budget runs out). While
-        // the breaker is closed this drains the whole queue; once it trips
-        // mid-drain the rest waits for the degraded path below.
+        // the breaker is closed this drains the queue up to the pump call's
+        // submission budget; once it trips mid-drain the rest waits for the
+        // degraded path below.
         let mut still_torn = Vec::new();
         while self.devices[di].breaker.is_closed() {
+            if !self.devices[di].retry_q.is_empty() && budget.left == 0 {
+                budget.deferred += self.devices[di].retry_q.len() as u64;
+                break;
+            }
             let Some(pending) = self.devices[di].retry_q.pop_next(0, |_| 0) else {
                 break;
             };
+            budget.left -= 1;
             let RetryTag {
                 frame,
                 attempts,

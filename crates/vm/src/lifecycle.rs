@@ -20,7 +20,7 @@
 use std::collections::HashSet;
 
 use crate::device::{DeviceState, InflightMigration, MigrTag};
-use crate::kernel::{Kernel, RetryTag};
+use crate::kernel::{Kernel, PumpBudget, RetryTag};
 use crate::object::Backing;
 use crate::trace::VmEvent;
 use crate::types::{DeviceId, ObjectId, VmError};
@@ -346,10 +346,11 @@ impl Kernel {
 
     /// Drives one device's migration queue: reaps due copies (torn ones
     /// re-queue — migration copies are never abandoned), then submits
-    /// queued copies full-speed while the breaker is closed or as gated
-    /// probes while it is open. Mirrors the torn-retry pump, so a drain
-    /// against a tripped survivor parks and resumes on half-open probes.
-    pub(crate) fn pump_migration(&mut self, di: usize) {
+    /// queued copies while the breaker is closed — up to the pump call's
+    /// shared submission budget — or as gated probes while it is open.
+    /// Mirrors the torn-retry pump, so a drain against a tripped survivor
+    /// parks and resumes on half-open probes.
+    pub(crate) fn pump_migration(&mut self, di: usize, budget: &mut PumpBudget) {
         let now = self.clock.now();
         let mut done = Vec::new();
         self.devices[di].migr_inflight.retain(|m| {
@@ -371,9 +372,14 @@ impl Kernel {
         }
         let mut still = Vec::new();
         while self.devices[di].breaker.is_closed() {
+            if !self.devices[di].migr_q.is_empty() && budget.left == 0 {
+                budget.deferred += self.devices[di].migr_q.len() as u64;
+                break;
+            }
             let Some(pending) = self.devices[di].migr_q.pop_next(0, |_| 0) else {
                 break;
             };
+            budget.left -= 1;
             let now = self.clock.now();
             match self.devices[di].disk.write(pending.lba, now) {
                 Ok(c) => {

@@ -221,6 +221,14 @@ pub enum VmEvent {
         /// Total submissions before giving up.
         attempts: u8,
     },
+    /// A pump call exhausted its submission budget with parked work left
+    /// waiting; the deferred entries stay queued for the next call. (The
+    /// per-call budget is what keeps one storming device from monopolising
+    /// a pump — see `Kernel::pump_submit_budget`.)
+    PumpDeferred {
+        /// Parked submissions (torn retries + queued copies) left waiting.
+        deferred: u64,
+    },
     /// A device's circuit breaker tripped open: that device's pump enters
     /// degraded mode (backoff-gated, bounded-in-flight probe submissions).
     BreakerTrip {

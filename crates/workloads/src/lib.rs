@@ -16,6 +16,9 @@
 //! * [`matrix`] — out-of-core matrix multiply (naive vs blocked), the
 //!   introduction's scientific-simulator motivation.
 //! * [`zipf_kv`] — a Zipf-distributed key-value store (web/KV skew).
+//! * [`tenants`] — a multi-tenant consolidation cell: Zipf tenant
+//!   population, bursty arrivals under admission control, mixed policies
+//!   and an all-torn storm device isolated by the weighted pump.
 //! * [`web_cache`] — a scan-resistant edge cache: Zipf user traffic with
 //!   periodic one-shot crawler sweeps.
 //! * [`tournament`] — the cross-policy harness: every shipped policy ×
@@ -29,6 +32,7 @@ pub mod join;
 pub mod kernel_iface;
 pub mod matrix;
 pub mod scan;
+pub mod tenants;
 pub mod tournament;
 pub mod web_cache;
 pub mod zipf_kv;

@@ -1,0 +1,407 @@
+//! Multi-tenant consolidation workload: a Zipf tenant population with
+//! bursty arrivals, mixed policies, weighted share classes and an
+//! optional all-torn storm device.
+//!
+//! Tenants arrive in waves and install under per-tenant admission control
+//! ([`hipec_core::AdmissionControl`]): each tenant is one HiPEC container
+//! in a [`ShareClass`] chosen by a fixed index rule, running one of the
+//! shipped policies (also by index, so the population is policy-mixed).
+//! Free-class tenants land on a separate backing device wearing a storm
+//! fault plan: torn write-backs (the breaker trips and the retry backlog
+//! becomes exactly the head-of-line pressure the weighted pump scheduler
+//! has to keep away from the healthy device) plus injected completion
+//! delays, which is what actually stretches the storm class's own fault
+//! tail.
+//!
+//! Traffic is Zipf over the tenant population (a few loud tenants, a long
+//! quiet tail), and each operation touches a rotating page of the chosen
+//! tenant's region. The seeded [`trace`] and [`arrival_wave`] functions
+//! are the source of truth: same config ⇒ bit-identical run, which the
+//! `tenants_soak` binary double-runs and `cmp`s.
+
+use hipec_core::{
+    AdmissionControl, ContainerKey, HipecError, HipecKernel, KernelStats, ShareClass,
+};
+use hipec_disk::{DeviceParams, FaultConfig};
+use hipec_policies::PolicyKind;
+use hipec_sim::{DetRng, SimDuration, ZipfTable};
+use hipec_vm::{DeviceId, KernelParams, TaskId, VAddr, PAGE_SIZE};
+
+/// Shape of the multi-tenant workload.
+#[derive(Debug, Clone)]
+pub struct TenantsConfig {
+    /// Tenant population size (one container each, admission permitting).
+    pub tenants: u64,
+    /// Total operations across the population.
+    pub ops: u64,
+    /// Zipf exponent over the tenant population.
+    pub s: f64,
+    /// Region pages per tenant.
+    pub pages_per_tenant: u64,
+    /// `minFrame` reservation per tenant container.
+    pub pool: u64,
+    /// Fraction of operations that write, in permille.
+    pub write_permille: u64,
+    /// Admission arrival budget per weight unit per checker interval.
+    pub burst_base: u32,
+    /// Torn-write probability (permille) on the Free-class device;
+    /// 1000 = the all-torn storm.
+    pub storm_torn_permille: u16,
+    /// Probability (permille) that a storm-device I/O is delayed.
+    pub storm_delay_permille: u16,
+    /// Upper bound of the injected storm-device delay.
+    pub storm_max_delay: SimDuration,
+    /// Operations per install round (arrival waves retry between slabs).
+    pub slab: u64,
+    /// RNG seed for the request stream and the fault plan.
+    pub seed: u64,
+    /// Machine parameters.
+    pub params: KernelParams,
+}
+
+impl TenantsConfig {
+    /// A consolidation cell: 24 tenants over two devices, all-torn storm
+    /// on the Free tier, arrival bursts that trip the throttle.
+    pub fn small() -> Self {
+        let mut params = KernelParams::paper_64mb();
+        params.total_frames = 512;
+        params.wired_frames = 16;
+        params.free_target = 24;
+        params.free_min = 8;
+        params.inactive_target = 32;
+        TenantsConfig {
+            tenants: 24,
+            ops: 12_000,
+            s: 1.1,
+            pages_per_tenant: 16,
+            pool: 6,
+            write_permille: 350,
+            burst_base: 2,
+            storm_torn_permille: 1000,
+            storm_delay_permille: 400,
+            storm_max_delay: SimDuration::from_ms(40),
+            slab: 1_000,
+            seed: 0x7E4A17,
+            params,
+        }
+    }
+}
+
+/// The share class of tenant `i`: the population splits evenly into the
+/// three tiers, so the weight-1 Free class is the one whose demand
+/// overruns its slice of the pool.
+pub fn class_of(tenant: u64) -> ShareClass {
+    match tenant % 3 {
+        0 => ShareClass::Premium,
+        1 => ShareClass::Standard,
+        _ => ShareClass::Free,
+    }
+}
+
+/// The policy tenant `i` installs: cycled over the classic replacement
+/// set so the population is policy-mixed.
+pub fn policy_of(tenant: u64) -> PolicyKind {
+    const MIX: [PolicyKind; 4] = [
+        PolicyKind::Lru,
+        PolicyKind::Clock,
+        PolicyKind::Fifo,
+        PolicyKind::TwoQueue,
+    ];
+    MIX[(tenant / 3) as usize % MIX.len()]
+}
+
+/// The install round in which tenant `i` first arrives: even tenants at
+/// boot, odd tenants as a second mid-run wave — two bursts, each larger
+/// than any class's per-window budget.
+pub fn arrival_wave(tenant: u64) -> u64 {
+    tenant % 2
+}
+
+/// One operation of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantOp {
+    /// Which tenant the request hits.
+    pub tenant: u64,
+    /// Page within the tenant's region.
+    pub page: u64,
+    /// Write access?
+    pub write: bool,
+}
+
+/// Generates the operation trace: Zipf tenant choice (scattered by a
+/// fixed odd multiplier so popularity is uncorrelated with class), a
+/// rotating page within the tenant, and the configured write mix. Same
+/// config (seed included) ⇒ bit-identical trace.
+pub fn trace(cfg: &TenantsConfig) -> Vec<TenantOp> {
+    let mut rng = DetRng::new(cfg.seed);
+    let table = ZipfTable::new(cfg.tenants as usize, cfg.s);
+    let write_p = cfg.write_permille as f64 / 1_000.0;
+    (0..cfg.ops)
+        .map(|_| {
+            let rank = table.sample(&mut rng) as u64;
+            let tenant = rank.wrapping_mul(2_654_435_761) % cfg.tenants;
+            let page = rng.below(cfg.pages_per_tenant);
+            let write = rng.chance(write_p);
+            TenantOp {
+                tenant,
+                page,
+                write,
+            }
+        })
+        .collect()
+}
+
+/// Per-class outcome of a run.
+#[derive(Debug, Clone)]
+pub struct ClassSummary {
+    /// The share class.
+    pub class: ShareClass,
+    /// Tenants assigned to the class by [`class_of`].
+    pub tenants: u64,
+    /// Tenants whose install was eventually admitted.
+    pub installed: u64,
+    /// Faults served by the class's containers.
+    pub faults: u64,
+    /// Median fault service latency.
+    pub p50_fault: SimDuration,
+    /// 99th-percentile fault service latency.
+    pub p99_fault: SimDuration,
+}
+
+/// Result of one multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct TenantsResult {
+    /// Operations issued (including ones against never-admitted tenants,
+    /// which are skipped).
+    pub accesses: u64,
+    /// Accesses that returned an error (storm-device casualties).
+    pub errors: u64,
+    /// Containers installed.
+    pub installs: u64,
+    /// Installs rejected by the bursty-arrival throttle (then retried).
+    pub throttled: u64,
+    /// Installs rejected by the weighted share cap (dropped).
+    pub over_share: u64,
+    /// One row per share class, in [`ShareClass::ALL`] order.
+    pub classes: Vec<ClassSummary>,
+    /// Elapsed virtual time.
+    pub elapsed: SimDuration,
+    /// Kernel counter activity during the run.
+    pub stats: KernelStats,
+}
+
+struct Tenant {
+    base: VAddr,
+    key: ContainerKey,
+}
+
+fn try_install(
+    k: &mut HipecKernel,
+    cfg: &TenantsConfig,
+    storm_dev: DeviceId,
+    task: TaskId,
+    tenant: u64,
+) -> Result<Tenant, HipecError> {
+    let class = class_of(tenant);
+    let device = if class == ShareClass::Free {
+        storm_dev
+    } else {
+        DeviceId(0)
+    };
+    let bytes = cfg.pages_per_tenant * PAGE_SIZE;
+    let (base, _obj, key) = k.vm_map_hipec_as(
+        class,
+        device,
+        task,
+        bytes,
+        policy_of(tenant).program(),
+        cfg.pool,
+    )?;
+    Ok(Tenant { base, key })
+}
+
+/// Runs the workload against a fresh kernel: arrival waves under
+/// admission control, the Zipf trace over whoever is installed, and the
+/// per-class latency aggregation from the kernel's own books.
+pub fn run(cfg: &TenantsConfig) -> Result<TenantsResult, HipecError> {
+    let ops = trace(cfg);
+    let mut k = HipecKernel::new(cfg.params.clone());
+    k.admission = AdmissionControl::enabled_with(cfg.burst_base);
+    let storm_dev = k.add_device(DeviceParams::default());
+    if cfg.storm_torn_permille > 0 || cfg.storm_delay_permille > 0 {
+        k.vm.set_fault_plan_on(
+            storm_dev,
+            FaultConfig {
+                seed: cfg.seed ^ 0x5707,
+                read_error_permille: 0,
+                write_error_permille: 0,
+                delay_permille: cfg.storm_delay_permille,
+                max_delay: cfg.storm_max_delay,
+                torn_permille: cfg.storm_torn_permille,
+            },
+        );
+    }
+    let task = k.vm.create_task();
+
+    let mut installed: Vec<Option<Tenant>> = (0..cfg.tenants).map(|_| None).collect();
+    // Tenants still waiting to install: wave-0 arrivals first, the
+    // second wave joins once the run crosses its midpoint.
+    let mut pending: Vec<u64> = (0..cfg.tenants).filter(|&t| arrival_wave(t) == 0).collect();
+    let mut second_wave: Vec<u64> = (0..cfg.tenants).filter(|&t| arrival_wave(t) == 1).collect();
+    let mut installs = 0u64;
+    let mut dropped = 0u64;
+    let mut errors = 0u64;
+
+    let start = k.vm.now();
+    let snap = k.kernel_stats();
+    let per_op = k.vm.cost.tuple_op * 4;
+    let slab = cfg.slab.max(1) as usize;
+    for (i, chunk) in ops.chunks(slab).enumerate() {
+        if i as u64 * cfg.slab >= cfg.ops / 2 && !second_wave.is_empty() {
+            pending.append(&mut second_wave);
+        }
+        // One admission attempt per pending tenant per round; throttled
+        // installs stay queued for the next round (the checker interval
+        // rolls the window while the slab runs), share-capped installs
+        // are dropped for good.
+        let mut still_pending = Vec::new();
+        for t in pending.drain(..) {
+            match try_install(&mut k, cfg, storm_dev, task, t) {
+                Ok(tenant) => {
+                    installed[t as usize] = Some(tenant);
+                    installs += 1;
+                }
+                Err(HipecError::AdmissionRejected { throttled, .. }) => {
+                    if throttled {
+                        still_pending.push(t);
+                    } else {
+                        dropped += 1;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        pending = still_pending;
+        for op in chunk {
+            let Some(tenant) = &installed[op.tenant as usize] else {
+                continue;
+            };
+            let addr = VAddr(tenant.base.0 + op.page * PAGE_SIZE);
+            if k.access_sync(task, addr, op.write).is_err() {
+                errors += 1;
+            }
+            k.charge(per_op);
+            k.pump();
+        }
+    }
+    let _ = dropped;
+
+    let classes = ShareClass::ALL
+        .iter()
+        .map(|&class| {
+            let faults: u64 = installed
+                .iter()
+                .enumerate()
+                .filter(|(t, slot)| class_of(*t as u64) == class && slot.is_some())
+                .filter_map(|(_, slot)| slot.as_ref())
+                .filter_map(|tenant| k.container(tenant.key).ok())
+                .map(|c| c.stats.faults)
+                .sum();
+            let hist = &k.obs.class_fault[class.index()];
+            ClassSummary {
+                class,
+                tenants: (0..cfg.tenants).filter(|&t| class_of(t) == class).count() as u64,
+                installed: installed
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, slot)| class_of(*t as u64) == class && slot.is_some())
+                    .count() as u64,
+                faults,
+                p50_fault: hist.quantile(0.50),
+                p99_fault: hist.quantile(0.99),
+            }
+        })
+        .collect();
+
+    Ok(TenantsResult {
+        accesses: ops.len() as u64,
+        errors,
+        installs,
+        throttled: k.admission.throttled.iter().sum(),
+        over_share: k.admission.over_share.iter().sum(),
+        classes,
+        elapsed: k.vm.now().since(start),
+        stats: k.kernel_stats().diff(&snap),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_seeded_and_population_is_mixed() {
+        let cfg = TenantsConfig::small();
+        assert_eq!(trace(&cfg), trace(&cfg));
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(trace(&cfg), trace(&other), "seed must matter");
+        // The index rules cover every class and more than one policy.
+        let classes: std::collections::BTreeSet<_> = (0..cfg.tenants).map(class_of).collect();
+        assert_eq!(classes.len(), ShareClass::ALL.len());
+        let policies: std::collections::BTreeSet<_> =
+            (0..cfg.tenants).map(|t| policy_of(t).name()).collect();
+        assert!(policies.len() >= 3, "policy mix too narrow: {policies:?}");
+    }
+
+    #[test]
+    fn arrival_bursts_trip_the_throttle_and_retry() {
+        let cfg = TenantsConfig::small();
+        let r = run(&cfg).expect("run");
+        assert!(r.throttled > 0, "waves never tripped the arrival throttle");
+        // Throttled installs are retryable: every non-Free tenant must
+        // eventually be admitted (Free may hit its share cap).
+        for class in [ShareClass::Standard, ShareClass::Premium] {
+            let row = &r.classes[class.index()];
+            assert_eq!(
+                row.installed,
+                row.tenants,
+                "{} tenants left uninstalled",
+                class.name()
+            );
+        }
+        assert!(r.installs >= 20, "only {} installs landed", r.installs);
+    }
+
+    #[test]
+    fn storm_degrades_free_but_not_premium() {
+        let r = run(&TenantsConfig::small()).expect("run");
+        let free = &r.classes[ShareClass::Free.index()];
+        let premium = &r.classes[ShareClass::Premium.index()];
+        assert!(free.faults > 0 && premium.faults > 0);
+        // The storm lives on the Free tier's device; the healthy device's
+        // premium tenants must not inherit its tail.
+        assert!(
+            free.p99_fault > premium.p99_fault,
+            "storm did not degrade the free class (free p99 {} vs premium p99 {})",
+            free.p99_fault,
+            premium.p99_fault
+        );
+    }
+
+    #[test]
+    fn runs_replay_bit_identically() {
+        let cfg = TenantsConfig::small();
+        let a = run(&cfg).expect("run");
+        let b = run(&cfg).expect("run");
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.errors, b.errors);
+        assert_eq!(a.installs, b.installs);
+        assert_eq!(a.throttled, b.throttled);
+        assert_eq!(a.elapsed, b.elapsed);
+        for (x, y) in a.classes.iter().zip(&b.classes) {
+            assert_eq!(x.faults, y.faults);
+            assert_eq!(x.p99_fault, y.p99_fault);
+        }
+    }
+}

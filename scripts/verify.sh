@@ -44,6 +44,8 @@ if grep -n '#\[allow(dead_code)\]' \
     crates/core/src/jit.rs crates/core/src/executor.rs crates/lang/src/opt.rs \
     crates/workloads/src/tournament.rs crates/workloads/src/zipf_kv.rs \
     crates/workloads/src/web_cache.rs crates/policies/src/native.rs \
+    crates/core/src/admission.rs crates/workloads/src/tenants.rs \
+    crates/bench/src/bin/tenants_soak.rs \
     tests/jit.rs tests/tournament.rs; then
   echo "error: dead_code allowed in an observability, device-table or executor module" >&2
   exit 1
@@ -156,11 +158,11 @@ for ev in vm.device_draining vm.device_drained vm.device_dead vm.object_migrated
 done
 echo "   unplug traces replay bit-for-bit ($(wc -l <"$SOAK_DIR/u1.jsonl") records)"
 
-echo "== tournament: seeded short matrix is schema-v6, clean and replayable =="
+echo "== tournament: seeded short matrix is schema-v7, clean and replayable =="
 # The tournament binary exits non-zero if any cell's invariant audit fails,
 # so the run itself gates whole-kernel consistency across every policy ×
 # workload × backend × plan combination. On top of that: the --json
-# document must have the v6 shape (full cross product, both backends,
+# document must have the full shape (cross product, both backends,
 # per-cell latency percentile columns, a complete ranking) and be
 # bit-identical across reruns.
 cargo run -q --release --bin tournament -- --short --json >"$SOAK_DIR/t1.json"
@@ -172,7 +174,7 @@ fi
 python3 - "$SOAK_DIR/t1.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == 6, f"schema {doc['schema']} != 6"
+assert doc["schema"] == 7, f"schema {doc['schema']} != 7"
 data = doc["data"]
 policies, workloads, cells = data["policies"], data["workloads"], data["cells"]
 assert len(workloads) == 6, workloads
@@ -185,7 +187,41 @@ for c in cells:
         assert isinstance(c[col], int), (col, c)
 assert any(c["p99_event_ns"] > 0 for c in cells), "no cell recorded event latency"
 assert [r["policy"] for r in data["ranking"]] and len(data["ranking"]) == len(policies)
-print(f"   v6 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
+print(f"   v7 matrix OK: {len(cells)} cells, winner {data['ranking'][0]['policy']}")
+PY
+
+echo "== tenants: multi-tenant QoS gauntlet gates isolation and replays bit-for-bit =="
+# tenants_soak exits non-zero unless its own QoS gates hold (throttle
+# tripped, throttled healthy tenants all eventually installed, healthy
+# classes under the isolation bound, storm class visibly degraded). On
+# top of that the v7 document must carry all three class rows with the
+# per-class p99s the binary gated on, and be bit-identical across runs.
+cargo run -q --release --bin tenants_soak -- --json >"$SOAK_DIR/q1.json"
+cargo run -q --release --bin tenants_soak -- --json >"$SOAK_DIR/q2.json"
+if ! cmp -s "$SOAK_DIR/q1.json" "$SOAK_DIR/q2.json"; then
+  echo "error: identically seeded tenants soaks emitted different documents" >&2
+  exit 1
+fi
+python3 - "$SOAK_DIR/q1.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == 7, f"schema {doc['schema']} != 7"
+data = doc["data"]
+assert data["admission_throttled"] > 0, "arrival bursts never tripped the throttle"
+rows = {c["class"]: c for c in data["classes"]}
+assert set(rows) == {"free", "standard", "premium"}, rows.keys()
+bound = data["healthy_p99_bound_ns"]
+for name in ("standard", "premium"):
+    row = rows[name]
+    assert row["installed"] == row["tenants"], f"{name}: uninstalled tenants"
+    assert row["faults"] > 0, f"{name}: served no faults"
+    assert 0 < row["p99_fault_ns"] <= bound, f"{name}: p99 {row['p99_fault_ns']} vs bound {bound}"
+healthy_worst = max(rows[n]["p99_fault_ns"] for n in ("standard", "premium"))
+assert rows["free"]["p99_fault_ns"] > healthy_worst, "storm class did not degrade"
+keys = {r["key"] for r in data["kernel"]["latency"] if r["metric"] == "class_fault"}
+assert keys == {"free", "standard", "premium"}, keys
+print(f"   v7 tenants OK: free p99 {rows['free']['p99_fault_ns']} ns"
+      f" > healthy worst {healthy_worst} ns (bound {bound} ns)")
 PY
 
 echo "verify: OK"

@@ -9,7 +9,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use hipec_core::{HealthState, HipecKernel, JsonlSink, KernelStats};
-use hipec_disk::{DeviceParams, DiskParams, FaultPhase, PhasedFaultConfig};
+use hipec_disk::{DeviceParams, DiskParams, FaultConfig, FaultPhase, PhasedFaultConfig};
 use hipec_policies::PolicyKind;
 use hipec_sim::SimDuration;
 use hipec_vm::{DeviceId, DeviceState, KernelParams, VAddr, PAGE_SIZE};
@@ -220,6 +220,164 @@ fn storm_on_one_device_does_not_reach_the_other_container() {
         s_max.abs_diff(b_max) <= jitter,
         "clean-device max fault latency moved beyond rotational jitter: \
          {s_max} ns vs {b_max} ns baseline"
+    );
+}
+
+/// Like [`run_two_device`], but the storm is *saturating*: a flat fault
+/// plan tears every accepted write on dev#1 for the entire run, so its
+/// breaker, retry queue and pump backlog never drain. There is no
+/// recovery phase — the device never heals by design — so the run ends
+/// mid-storm with the clean container's fault record already complete
+/// (its faults resolve synchronously inside `access_sync`).
+fn run_saturated(storm: bool) -> Run {
+    let mut k = HipecKernel::new(tight_params());
+    let dev_bad = k.add_device(DeviceParams::Disk(DiskParams::default()));
+
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::<u8>::new())));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    if storm {
+        k.vm.set_fault_plan_on(
+            dev_bad,
+            FaultConfig {
+                seed: 0x5A7,
+                read_error_permille: 0,
+                write_error_permille: 0,
+                delay_permille: 0,
+                max_delay: SimDuration::ZERO,
+                torn_permille: 1000,
+            },
+        );
+    }
+
+    let t_clean = k.vm.create_task();
+    let (b_clean, _, key_clean) = k
+        .vm_allocate_hipec(
+            t_clean,
+            40 * PAGE_SIZE,
+            PolicyKind::FifoSecondChance.program(),
+            6,
+        )
+        .expect("install clean-device policy");
+    let t_sick = k.vm.create_task();
+    let (b_sick, _, key_sick) = k
+        .vm_allocate_hipec_on(
+            dev_bad,
+            t_sick,
+            40 * PAGE_SIZE,
+            PolicyKind::Mru.program(),
+            6,
+        )
+        .expect("install faulty-device policy");
+
+    for s in 0..1200usize {
+        let p = (s as u64 * 7 + 3) % 40;
+        let _ = k.access_sync(t_clean, VAddr(b_clean.0 + p * PAGE_SIZE), s % 3 != 0);
+        let q = (s as u64) % 40;
+        let _ = k.access_sync(t_sick, VAddr(b_sick.0 + q * PAGE_SIZE), s % 2 == 0);
+        k.pump();
+        if s % 64 == 0 {
+            k.check_invariants().expect("invariants hold mid-storm");
+        }
+    }
+    let sick_state = k.container(key_sick).expect("sick row").health.state;
+    let clean_state = k.container(key_clean).expect("clean row").health.state;
+    k.check_invariants()
+        .expect("invariants hold with the storm still live");
+
+    let stats = k.kernel_stats();
+    k.take_sink();
+    let trace = sink.borrow().get_ref().clone();
+
+    let text = String::from_utf8(trace.clone()).expect("JSONL traces are UTF-8");
+    let mut clean_latencies = Vec::new();
+    for line in text.lines() {
+        let doc: serde_json::Value = serde_json::from_str(line).expect("well-formed record");
+        let obj = doc.as_object().expect("every line is an object");
+        let is_clean_fault = obj.get("type").and_then(|t| t.as_str())
+            == Some("policy_fault_resolved")
+            && obj.get("container").and_then(|c| c.as_u64()) == Some(u64::from(key_clean.0));
+        if is_clean_fault {
+            clean_latencies.push(
+                obj.get("latency_ns")
+                    .and_then(|l| l.as_u64())
+                    .expect("latency_ns"),
+            );
+        }
+    }
+
+    Run {
+        trace,
+        stats,
+        clean_latencies,
+        clean_state,
+        sick_state,
+    }
+}
+
+fn p99(latencies: &[u64]) -> u64 {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    sorted
+        .get((sorted.len().saturating_sub(1)) * 99 / 100)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// The head-of-line pin: a device that stays saturated all-torn for the
+/// whole run — breaker worn, retry queue populated, its pageout backlog
+/// perpetually the most "due" work the pump sees — must not inflate the
+/// healthy sibling's tail. The weighted pump may *order* the storming
+/// device first, but the per-call submission budget caps what it can
+/// submit, so the clean container's p99 fault latency stays within
+/// rotational jitter of an undisturbed baseline.
+#[test]
+fn saturated_all_torn_device_does_not_inflate_the_siblings_p99() {
+    let baseline = run_saturated(false);
+    let storm = run_saturated(true);
+
+    // The storm really saturated: every accepted write on dev#1 tore,
+    // the breaker tripped at least once, and the sick container took the
+    // health strikes. Nothing leaked onto dev#0.
+    let bad = storm.stats.device(1).expect("faulty device row");
+    assert!(bad.torn_writes >= 20, "the flat plan barely fired");
+    assert!(
+        bad.breaker_trips >= 1,
+        "saturation never tripped the breaker"
+    );
+    let clean = storm.stats.device(0).expect("clean device row");
+    assert_eq!(clean.torn_writes, 0, "fault injection leaked to dev#0");
+    assert_eq!(clean.breaker_trips, 0, "clean-device breaker tripped");
+    assert_eq!(storm.clean_state, HealthState::Healthy);
+    assert_ne!(storm.sick_state, HealthState::Healthy);
+    assert_eq!(baseline.sick_state, HealthState::Healthy);
+
+    // The sibling's tail is pinned: same faults, and the p99 moves by at
+    // most one platter revolution (the storm shifts absolute virtual
+    // time, so the rotational phase may differ; nothing else may).
+    assert!(
+        !baseline.clean_latencies.is_empty(),
+        "clean container never faulted"
+    );
+    assert_eq!(
+        storm.clean_latencies.len(),
+        baseline.clean_latencies.len(),
+        "the storm changed which accesses fault on the clean device"
+    );
+    let b99 = p99(&baseline.clean_latencies);
+    let s99 = p99(&storm.clean_latencies);
+    let jitter = DiskParams::default().revolution.as_ns();
+    assert!(
+        s99.abs_diff(b99) <= jitter,
+        "clean-device p99 fault latency moved beyond rotational jitter: \
+         {s99} ns vs {b99} ns baseline"
+    );
+
+    // And bit-identical replay holds even for the never-ending storm.
+    let again = run_saturated(true);
+    assert_eq!(
+        storm.trace, again.trace,
+        "saturated storm must replay exactly"
     );
 }
 

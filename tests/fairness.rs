@@ -5,7 +5,10 @@
 //! starving anyone, and keep every application making progress — which
 //! the per-container profiler counters can now prove directly.
 
-use hipec_core::{ContainerKey, HipecKernel};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hipec_core::{ContainerKey, HipecKernel, MemorySink, TraceEvent};
 use hipec_policies::PolicyKind;
 use hipec_vm::{KernelParams, TaskId, VAddr, PAGE_SIZE};
 
@@ -203,4 +206,82 @@ fn competing_specific_apps_never_starve_below_min_frames() {
 
     k.check_invariants()
         .expect("books and partition balance after the contest");
+}
+
+/// Pin: concurrent restore ramps are served round-robin — the tranche
+/// scan starts one container later each health tick, so the per-tick
+/// `RestoreRamp` emission order is a rotation that advances by one, not
+/// lowest-id-first every interval.
+#[test]
+fn restore_ramp_tranche_order_rotates_round_robin() {
+    let mut p = KernelParams::paper_64mb();
+    p.total_frames = 128;
+    p.wired_frames = 8;
+    p.free_target = 8;
+    p.free_min = 4;
+    p.inactive_target = 12;
+    let mut k = HipecKernel::new(p);
+
+    // Three modest containers, admitted small so the free pool can cover
+    // every tranche (this pins *order*, not contention).
+    let keys: Vec<ContainerKey> = (0..3)
+        .map(|_| {
+            let t = k.vm.create_task();
+            let (_, _, key) = k
+                .vm_allocate_hipec(t, 16 * PAGE_SIZE, PolicyKind::Lru.program(), 2)
+                .expect("install");
+            key
+        })
+        .collect();
+
+    // Owe each container a ramp (the state a restore leaves behind):
+    // three tranches of the default size 2.
+    let tranche = k.health_policy.restore_tranche;
+    assert_eq!(tranche, 2, "test assumes the default tranche size");
+    for key in &keys {
+        k.containers[key.0 as usize].restore_pending = 3 * tranche;
+    }
+
+    let sink = Rc::new(RefCell::new(MemorySink::new()));
+    k.set_sink(Box::new(Rc::clone(&sink)));
+
+    // Drive exactly four checker wakeups; the first three drain the ramps.
+    for _ in 0..4 {
+        let next = k.checker.next_wakeup;
+        k.vm.clock.advance_to(next);
+        k.poll_checker();
+    }
+    k.take_sink();
+
+    for key in &keys {
+        assert_eq!(
+            k.containers[key.0 as usize].restore_pending, 0,
+            "ramp must drain in three ticks"
+        );
+        assert_eq!(k.containers[key.0 as usize].allocated, 2 + 3 * tranche);
+    }
+
+    // Group the RestoreRamp events into per-tick triplets and pin the
+    // rotation: tick t starts where tick t-1's second container was.
+    let ramp_order: Vec<u32> = sink
+        .borrow()
+        .records()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RestoreRamp { container, .. } => Some(container),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ramp_order.len(), 9, "three ticks of three tranches");
+    let first = ramp_order[0] as usize;
+    for (tick, chunk) in ramp_order.chunks(3).enumerate() {
+        let start = (first + tick) % 3;
+        let want: Vec<u32> = (0..3).map(|o| ((start + o) % 3) as u32).collect();
+        assert_eq!(
+            chunk,
+            &want[..],
+            "tick {tick} must start at container {start} and wrap in order"
+        );
+    }
+    k.check_invariants().expect("books balance after the ramps");
 }
